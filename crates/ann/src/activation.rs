@@ -1,0 +1,102 @@
+//! Neuron activation functions (the FANN-style subset used here).
+
+use serde::{Deserialize, Serialize};
+
+/// Activation applied to a layer's weighted sums.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Logistic sigmoid `1 / (1 + e^(-2sx))` with steepness `s` (FANN's
+    /// default output squashing; outputs in `(0, 1)`).
+    Sigmoid {
+        /// Steepness `s` (FANN defaults to 0.5).
+        steepness: f64,
+    },
+    /// Symmetric sigmoid (tanh-shaped; outputs in `(-1, 1)`).
+    SymmetricSigmoid {
+        /// Steepness `s`.
+        steepness: f64,
+    },
+    /// Identity (for regression outputs).
+    Linear,
+}
+
+impl Activation {
+    /// FANN's default hidden/output activation: sigmoid, steepness 0.5.
+    pub fn fann_default() -> Self {
+        Activation::Sigmoid { steepness: 0.5 }
+    }
+
+    /// Applies the activation.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Sigmoid { steepness } => 1.0 / (1.0 + (-2.0 * steepness * x).exp()),
+            Activation::SymmetricSigmoid { steepness } => (steepness * x).tanh(),
+            Activation::Linear => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the activation *output* `y` (the
+    /// form backpropagation uses).
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Sigmoid { steepness } => {
+                // Clamp to keep training moving when neurons saturate
+                // (FANN applies the same trick).
+                let y = y.clamp(0.01, 0.99);
+                2.0 * steepness * y * (1.0 - y)
+            }
+            Activation::SymmetricSigmoid { steepness } => {
+                let y = y.clamp(-0.98, 0.98);
+                steepness * (1.0 - y * y)
+            }
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_shape() {
+        let a = Activation::fann_default();
+        assert!((a.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(a.apply(10.0) > 0.99);
+        assert!(a.apply(-10.0) < 0.01);
+    }
+
+    #[test]
+    fn symmetric_sigmoid_shape() {
+        let a = Activation::SymmetricSigmoid { steepness: 1.0 };
+        assert!(a.apply(0.0).abs() < 1e-12);
+        assert!(a.apply(5.0) > 0.99);
+        assert!(a.apply(-5.0) < -0.99);
+    }
+
+    #[test]
+    fn linear_is_identity() {
+        assert_eq!(Activation::Linear.apply(3.25), 3.25);
+        assert_eq!(Activation::Linear.derivative_from_output(3.25), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_derivative_matches_numeric() {
+        let a = Activation::Sigmoid { steepness: 0.5 };
+        let x = 0.3;
+        let h = 1e-6;
+        let numeric = (a.apply(x + h) - a.apply(x - h)) / (2.0 * h);
+        let analytic = a.derivative_from_output(a.apply(x));
+        assert!((numeric - analytic).abs() < 1e-6, "{numeric} vs {analytic}");
+    }
+
+    #[test]
+    fn symmetric_derivative_matches_numeric() {
+        let a = Activation::SymmetricSigmoid { steepness: 0.7 };
+        let x = -0.4;
+        let h = 1e-6;
+        let numeric = (a.apply(x + h) - a.apply(x - h)) / (2.0 * h);
+        let analytic = a.derivative_from_output(a.apply(x));
+        assert!((numeric - analytic).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,253 @@
+//! The feedforward network: dense layers, forward pass, and an operation
+//! count for analytic timing models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::rng::InitRng;
+
+/// One fully connected layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct Layer {
+    pub inputs: usize,
+    pub outputs: usize,
+    /// Row-major `outputs × inputs` weight matrix.
+    pub weights: Vec<f64>,
+    pub biases: Vec<f64>,
+    pub activation: Activation,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, activation: Activation, rng: &mut InitRng) -> Self {
+        // FANN-style init: uniform in ±(1/sqrt(fan_in)).
+        let half_range = 1.0 / (inputs as f64).sqrt();
+        Layer {
+            inputs,
+            outputs,
+            weights: (0..inputs * outputs).map(|_| rng.uniform(half_range)).collect(),
+            biases: (0..outputs).map(|_| rng.uniform(half_range)).collect(),
+            activation,
+        }
+    }
+
+    fn forward_into(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let mut sum = self.biases[o];
+            for (w, x) in row.iter().zip(input) {
+                sum += w * x;
+            }
+            out.push(self.activation.apply(sum));
+        }
+    }
+}
+
+/// A fully connected feedforward neural network (FANN-style).
+///
+/// # Examples
+///
+/// ```
+/// use adamant_ann::{Activation, NeuralNetwork};
+///
+/// let net = NeuralNetwork::new(&[2, 4, 1], Activation::fann_default(), 42);
+/// let out = net.run(&[0.3, 0.7]);
+/// assert_eq!(out.len(), 1);
+/// assert!((0.0..=1.0).contains(&out[0]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuralNetwork {
+    pub(crate) layers: Vec<Layer>,
+}
+
+impl NeuralNetwork {
+    /// Builds a network with the given layer sizes (`[inputs, hidden...,
+    /// outputs]`), one activation everywhere, and deterministic random
+    /// weights from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layer sizes are given or any size is zero.
+    pub fn new(layer_sizes: &[usize], activation: Activation, seed: u64) -> Self {
+        assert!(
+            layer_sizes.len() >= 2,
+            "a network needs at least input and output layers"
+        );
+        assert!(
+            layer_sizes.iter().all(|&n| n > 0),
+            "layer sizes must be positive"
+        );
+        let mut rng = InitRng::new(seed);
+        let layers = layer_sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], activation, &mut rng))
+            .collect();
+        NeuralNetwork { layers }
+    }
+
+    /// Number of input neurons.
+    pub fn input_size(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.inputs)
+    }
+
+    /// Number of output neurons.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.outputs)
+    }
+
+    /// Layer sizes including input and output.
+    pub fn layer_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![self.input_size()];
+        sizes.extend(self.layers.iter().map(|l| l.outputs));
+        sizes
+    }
+
+    /// Total trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.biases.len())
+            .sum()
+    }
+
+    /// Floating-point operations per query (multiply-adds counted as two
+    /// ops, plus one activation evaluation per neuron).
+    ///
+    /// The count depends only on the architecture — a feedforward query
+    /// touches every connection exactly once regardless of input values,
+    /// which is why the paper's ANN responds in constant, predictable time.
+    pub fn ops_per_query(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| (2 * l.inputs * l.outputs + 2 * l.outputs) as u64)
+            .sum()
+    }
+
+    /// Runs a forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from [`input_size`](Self::input_size).
+    pub fn run(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            input.len(),
+            self.input_size(),
+            "input length must match the input layer"
+        );
+        let mut current = input.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.forward_into(&current, &mut next);
+            std::mem::swap(&mut current, &mut next);
+        }
+        current
+    }
+
+    /// Forward pass that also returns every layer's activations (used by
+    /// backpropagation). Index 0 is the input itself.
+    pub(crate) fn run_full(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(input.to_vec());
+        for layer in &self.layers {
+            let mut out = Vec::new();
+            layer.forward_into(activations.last().expect("nonempty"), &mut out);
+            activations.push(out);
+        }
+        activations
+    }
+
+    /// Mean squared error over a dataset (FANN's stopping criterion).
+    pub fn mse(&self, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
+        assert_eq!(inputs.len(), targets.len());
+        if inputs.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (input, target) in inputs.iter().zip(targets) {
+            let out = self.run(input);
+            for (o, t) in out.iter().zip(target) {
+                total += (o - t) * (o - t);
+                count += 1;
+            }
+        }
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_shapes() {
+        let net = NeuralNetwork::new(&[7, 24, 6], Activation::fann_default(), 1);
+        assert_eq!(net.input_size(), 7);
+        assert_eq!(net.output_size(), 6);
+        assert_eq!(net.layer_sizes(), vec![7, 24, 6]);
+        assert_eq!(net.parameter_count(), 7 * 24 + 24 + 24 * 6 + 6);
+    }
+
+    #[test]
+    fn ops_per_query_matches_architecture() {
+        let net = NeuralNetwork::new(&[7, 24, 6], Activation::fann_default(), 1);
+        let expected = (2 * 7 * 24 + 2 * 24) + (2 * 24 * 6 + 2 * 6);
+        assert_eq!(net.ops_per_query(), expected as u64);
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let a = NeuralNetwork::new(&[3, 5, 2], Activation::fann_default(), 9);
+        let b = NeuralNetwork::new(&[3, 5, 2], Activation::fann_default(), 9);
+        assert_eq!(a, b);
+        assert_eq!(a.run(&[0.1, 0.2, 0.3]), b.run(&[0.1, 0.2, 0.3]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = NeuralNetwork::new(&[3, 5, 2], Activation::fann_default(), 9);
+        let b = NeuralNetwork::new(&[3, 5, 2], Activation::fann_default(), 10);
+        assert_ne!(a.run(&[0.1, 0.2, 0.3]), b.run(&[0.1, 0.2, 0.3]));
+    }
+
+    #[test]
+    fn sigmoid_outputs_bounded() {
+        let net = NeuralNetwork::new(&[4, 8, 3], Activation::fann_default(), 3);
+        let out = net.run(&[10.0, -10.0, 0.0, 1.0]);
+        assert!(out.iter().all(|&y| (0.0..=1.0).contains(&y)));
+    }
+
+    #[test]
+    #[should_panic(expected = "input length")]
+    fn wrong_input_size_panics() {
+        let net = NeuralNetwork::new(&[2, 2], Activation::fann_default(), 1);
+        net.run(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn too_few_layers_panics() {
+        NeuralNetwork::new(&[4], Activation::fann_default(), 1);
+    }
+
+    #[test]
+    fn mse_of_perfect_predictor_is_zero() {
+        let net = NeuralNetwork::new(&[1, 2, 1], Activation::fann_default(), 1);
+        let input = vec![vec![0.5]];
+        let target = vec![net.run(&[0.5])];
+        assert!(net.mse(&input, &target) < 1e-15);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let net = NeuralNetwork::new(&[3, 4, 2], Activation::fann_default(), 5);
+        let json = serde_json::to_string(&net).unwrap();
+        let back: NeuralNetwork = serde_json::from_str(&json).unwrap();
+        // JSON may lose the last ULP of a float; compare behaviourally.
+        assert_eq!(net.layer_sizes(), back.layer_sizes());
+        let input = [0.2, -0.4, 0.9];
+        for (a, b) in net.run(&input).iter().zip(back.run(&input)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

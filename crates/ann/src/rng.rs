@@ -1,0 +1,66 @@
+//! Minimal deterministic RNG for weight initialisation (SplitMix64).
+
+/// A tiny deterministic generator: enough for reproducible weight
+/// initialisation without pulling in a dependency.
+#[derive(Debug, Clone)]
+pub(crate) struct InitRng {
+    state: u64,
+}
+
+impl InitRng {
+    pub fn new(seed: u64) -> Self {
+        InitRng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[-half_range, half_range)`.
+    pub fn uniform(&mut self, half_range: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (unit * 2.0 - 1.0) * half_range
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = InitRng::new(5);
+        let mut b = InitRng::new(5);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_range() {
+        let mut rng = InitRng::new(1);
+        for _ in 0..1_000 {
+            let x = rng.uniform(0.5);
+            assert!((-0.5..0.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut rng = InitRng::new(2);
+        for _ in 0..1_000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

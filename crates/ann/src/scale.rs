@@ -1,0 +1,126 @@
+//! Min-max feature scaling: maps each input dimension to `[0, 1]` so the
+//! sigmoid network sees comparable magnitudes.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted per-dimension min-max scaler.
+///
+/// # Examples
+///
+/// ```
+/// use adamant_ann::MinMaxScaler;
+///
+/// let rows = vec![vec![0.0, 10.0], vec![4.0, 30.0]];
+/// let scaler = MinMaxScaler::fit(&rows);
+/// assert_eq!(scaler.transform_row(&[2.0, 20.0]), vec![0.5, 0.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits a scaler to `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler to no data");
+        let dim = rows[0].len();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for row in rows {
+            assert_eq!(row.len(), dim, "ragged rows");
+            for (d, &x) in row.iter().enumerate() {
+                mins[d] = mins[d].min(x);
+                maxs[d] = maxs[d].max(x);
+            }
+        }
+        MinMaxScaler { mins, maxs }
+    }
+
+    /// Number of dimensions the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scales one row into `[0, 1]` per dimension; constant dimensions map
+    /// to 0.5. Values outside the fitted range are clamped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong dimensionality.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.dim(), "dimension mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(d, &x)| {
+                let span = self.maxs[d] - self.mins[d];
+                if span <= 0.0 {
+                    0.5
+                } else {
+                    ((x - self.mins[d]) / span).clamp(0.0, 1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Scales a whole dataset.
+    pub fn transform(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_extremes_to_unit_interval() {
+        let rows = vec![vec![-5.0, 100.0], vec![5.0, 200.0]];
+        let s = MinMaxScaler::fit(&rows);
+        assert_eq!(s.transform_row(&[-5.0, 100.0]), vec![0.0, 0.0]);
+        assert_eq!(s.transform_row(&[5.0, 200.0]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_half() {
+        let rows = vec![vec![3.0], vec![3.0]];
+        let s = MinMaxScaler::fit(&rows);
+        assert_eq!(s.transform_row(&[3.0]), vec![0.5]);
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        let rows = vec![vec![0.0], vec![1.0]];
+        let s = MinMaxScaler::fit(&rows);
+        assert_eq!(s.transform_row(&[2.0]), vec![1.0]);
+        assert_eq!(s.transform_row(&[-1.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn transform_whole_dataset() {
+        let rows = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let s = MinMaxScaler::fit(&rows);
+        assert_eq!(
+            s.transform(&rows),
+            vec![vec![0.0], vec![0.5], vec![1.0]]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_fit_panics() {
+        MinMaxScaler::fit(&[]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = MinMaxScaler::fit(&[vec![0.0, 1.0], vec![2.0, 3.0]]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MinMaxScaler = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,815 @@
+//! Training: batch backpropagation gradients with iRPROP− or plain online
+//! gradient descent, driven to a target MSE (FANN's "stopping error").
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::NeuralNetwork;
+use crate::rng::InitRng;
+
+/// A supervised training set.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrainingData {
+    inputs: Vec<Vec<f64>>,
+    targets: Vec<Vec<f64>>,
+}
+
+impl TrainingData {
+    /// Creates a dataset from matching input/target rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ, rows are ragged, or the set is
+    /// empty.
+    pub fn new(inputs: Vec<Vec<f64>>, targets: Vec<Vec<f64>>) -> Self {
+        assert_eq!(inputs.len(), targets.len(), "row counts must match");
+        assert!(!inputs.is_empty(), "training data must be nonempty");
+        let in_dim = inputs[0].len();
+        let out_dim = targets[0].len();
+        assert!(
+            inputs.iter().all(|r| r.len() == in_dim),
+            "ragged input rows"
+        );
+        assert!(
+            targets.iter().all(|r| r.len() == out_dim),
+            "ragged target rows"
+        );
+        TrainingData { inputs, targets }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.inputs[0].len()
+    }
+
+    /// Target dimensionality.
+    pub fn target_dim(&self) -> usize {
+        self.targets[0].len()
+    }
+
+    /// The input rows.
+    pub fn inputs(&self) -> &[Vec<f64>] {
+        &self.inputs
+    }
+
+    /// The target rows.
+    pub fn targets(&self) -> &[Vec<f64>] {
+        &self.targets
+    }
+
+    /// Splits into (selected, rest) by example index predicate.
+    pub fn split_by<F: Fn(usize) -> bool>(&self, pick: F) -> (TrainingData, TrainingData) {
+        let mut a = (Vec::new(), Vec::new());
+        let mut b = (Vec::new(), Vec::new());
+        for i in 0..self.len() {
+            let bucket = if pick(i) { &mut a } else { &mut b };
+            bucket.0.push(self.inputs[i].clone());
+            bucket.1.push(self.targets[i].clone());
+        }
+        (
+            TrainingData {
+                inputs: a.0,
+                targets: a.1,
+            },
+            TrainingData {
+                inputs: b.0,
+                targets: b.1,
+            },
+        )
+    }
+}
+
+/// Which optimisation algorithm drives training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// iRPROP− — FANN's default: per-weight adaptive steps from gradient
+    /// signs only. Fast and insensitive to learning-rate choice.
+    Rprop,
+    /// Plain online (incremental) gradient descent.
+    Incremental {
+        /// Learning rate.
+        learning_rate: f64,
+        /// Momentum factor in `[0, 1)`.
+        momentum: f64,
+    },
+    /// Quickprop (Fahlman): batch training with a per-weight parabolic
+    /// step estimated from consecutive gradients, clamped by the growth
+    /// factor `mu`. FANN's second classic batch algorithm.
+    Quickprop {
+        /// Gradient-descent bootstrap/fallback rate.
+        learning_rate: f64,
+        /// Maximum growth factor between consecutive steps (FANN: 1.75).
+        mu: f64,
+    },
+}
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainParams {
+    /// Optimiser.
+    pub algorithm: Algorithm,
+    /// Stop once dataset MSE falls to this value (the paper uses 1e-4).
+    pub stopping_mse: f64,
+    /// Hard cap on training epochs.
+    pub max_epochs: u32,
+    /// Seed for example shuffling (incremental training).
+    pub seed: u64,
+}
+
+impl Default for TrainParams {
+    fn default() -> Self {
+        TrainParams {
+            algorithm: Algorithm::Rprop,
+            stopping_mse: 1e-4,
+            max_epochs: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+/// What training achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainOutcome {
+    /// Epochs actually run.
+    pub epochs: u32,
+    /// Final dataset MSE.
+    pub final_mse: f64,
+    /// Whether the stopping error was reached before `max_epochs`.
+    pub reached_target: bool,
+}
+
+/// Per-weight iRPROP− state.
+struct RpropState {
+    step: Vec<f64>,
+    prev_grad: Vec<f64>,
+}
+
+const RPROP_ETA_PLUS: f64 = 1.2;
+const RPROP_ETA_MINUS: f64 = 0.5;
+const RPROP_STEP_MIN: f64 = 1e-9;
+const RPROP_STEP_MAX: f64 = 50.0;
+const RPROP_STEP_INIT: f64 = 0.1;
+
+/// Trains `net` on `data` until the stopping error or epoch cap.
+///
+/// # Panics
+///
+/// Panics if the data dimensions do not match the network.
+pub fn train(net: &mut NeuralNetwork, data: &TrainingData, params: &TrainParams) -> TrainOutcome {
+    assert_eq!(
+        data.input_dim(),
+        net.input_size(),
+        "input dim mismatch"
+    );
+    assert_eq!(
+        data.target_dim(),
+        net.output_size(),
+        "target dim mismatch"
+    );
+    match params.algorithm {
+        Algorithm::Rprop => train_rprop(net, data, params),
+        Algorithm::Incremental {
+            learning_rate,
+            momentum,
+        } => train_incremental(net, data, params, learning_rate, momentum),
+        Algorithm::Quickprop { learning_rate, mu } => {
+            train_quickprop(net, data, params, learning_rate, mu)
+        }
+    }
+}
+
+/// Per-weight Quickprop state.
+struct QuickpropState {
+    prev_step: Vec<f64>,
+    prev_grad: Vec<f64>,
+}
+
+fn quickprop_update(
+    params: &mut [f64],
+    grad: &[f64],
+    state: &mut QuickpropState,
+    learning_rate: f64,
+    mu: f64,
+) {
+    const SHRINK_GUARD: f64 = 1e-12;
+    for i in 0..params.len() {
+        let g = grad[i];
+        let prev_step = state.prev_step[i];
+        let prev_grad = state.prev_grad[i];
+        let mut step = 0.0;
+        if prev_step.abs() > SHRINK_GUARD {
+            // Parabolic estimate of the minimum along this weight.
+            let denom = prev_grad - g;
+            if denom.abs() > SHRINK_GUARD {
+                step = g / denom * prev_step;
+            }
+            // Clamp growth and keep direction sane.
+            let max_step = mu * prev_step.abs();
+            step = step.clamp(-max_step, max_step);
+            // Add a gradient term while the slope still points the same
+            // way (Fahlman's recommendation; FANN does the same).
+            if g * prev_grad > 0.0 {
+                step += -learning_rate * g;
+            }
+        } else {
+            step = -learning_rate * g;
+        }
+        params[i] += step;
+        state.prev_step[i] = step;
+        state.prev_grad[i] = g;
+    }
+}
+
+fn train_quickprop(
+    net: &mut NeuralNetwork,
+    data: &TrainingData,
+    params: &TrainParams,
+    learning_rate: f64,
+    mu: f64,
+) -> TrainOutcome {
+    let mut states: Vec<(QuickpropState, QuickpropState)> = net
+        .layers
+        .iter()
+        .map(|l| {
+            (
+                QuickpropState {
+                    prev_step: vec![0.0; l.weights.len()],
+                    prev_grad: vec![0.0; l.weights.len()],
+                },
+                QuickpropState {
+                    prev_step: vec![0.0; l.biases.len()],
+                    prev_grad: vec![0.0; l.biases.len()],
+                },
+            )
+        })
+        .collect();
+    let mut epochs = 0;
+    loop {
+        let mse = net.mse(data.inputs(), data.targets());
+        if mse <= params.stopping_mse {
+            return TrainOutcome {
+                epochs,
+                final_mse: mse,
+                reached_target: true,
+            };
+        }
+        if epochs >= params.max_epochs {
+            return TrainOutcome {
+                epochs,
+                final_mse: mse,
+                reached_target: false,
+            };
+        }
+        let grads = batch_gradients(net, data);
+        for (l, (gw, gb)) in grads.into_iter().enumerate() {
+            let (wstate, bstate) = &mut states[l];
+            quickprop_update(&mut net.layers[l].weights, &gw, wstate, learning_rate, mu);
+            quickprop_update(&mut net.layers[l].biases, &gb, bstate, learning_rate, mu);
+        }
+        epochs += 1;
+    }
+}
+
+/// Computes batch gradients (dE/dw, dE/db per layer) for squared error.
+fn batch_gradients(net: &NeuralNetwork, data: &TrainingData) -> Vec<(Vec<f64>, Vec<f64>)> {
+    let mut grads: Vec<(Vec<f64>, Vec<f64>)> = net
+        .layers
+        .iter()
+        .map(|l| (vec![0.0; l.weights.len()], vec![0.0; l.biases.len()]))
+        .collect();
+    for (input, target) in data.inputs().iter().zip(data.targets()) {
+        accumulate_example(net, input, target, &mut grads);
+    }
+    grads
+}
+
+/// Adds one example's gradients into `grads` (standard backprop).
+fn accumulate_example(
+    net: &NeuralNetwork,
+    input: &[f64],
+    target: &[f64],
+    grads: &mut [(Vec<f64>, Vec<f64>)],
+) {
+    let activations = net.run_full(input);
+    let depth = net.layers.len();
+    // Output-layer delta: (y - t) * f'(y).
+    let output = &activations[depth];
+    let mut delta: Vec<f64> = output
+        .iter()
+        .zip(target)
+        .map(|(&y, &t)| {
+            (y - t) * net.layers[depth - 1].activation.derivative_from_output(y)
+        })
+        .collect();
+    for l in (0..depth).rev() {
+        let layer = &net.layers[l];
+        let prev = &activations[l];
+        let (gw, gb) = &mut grads[l];
+        for o in 0..layer.outputs {
+            let d = delta[o];
+            gb[o] += d;
+            let row = &mut gw[o * layer.inputs..(o + 1) * layer.inputs];
+            for (g, &x) in row.iter_mut().zip(prev) {
+                *g += d * x;
+            }
+        }
+        if l > 0 {
+            let below = &net.layers[l - 1];
+            let mut next_delta = vec![0.0; layer.inputs];
+            for (i, nd) in next_delta.iter_mut().enumerate() {
+                let mut sum = 0.0;
+                for o in 0..layer.outputs {
+                    sum += delta[o] * layer.weights[o * layer.inputs + i];
+                }
+                *nd = sum * below.activation.derivative_from_output(activations[l][i]);
+            }
+            delta = next_delta;
+        }
+    }
+}
+
+fn train_rprop(net: &mut NeuralNetwork, data: &TrainingData, params: &TrainParams) -> TrainOutcome {
+    let mut states: Vec<(RpropState, RpropState)> = net
+        .layers
+        .iter()
+        .map(|l| {
+            (
+                RpropState {
+                    step: vec![RPROP_STEP_INIT; l.weights.len()],
+                    prev_grad: vec![0.0; l.weights.len()],
+                },
+                RpropState {
+                    step: vec![RPROP_STEP_INIT; l.biases.len()],
+                    prev_grad: vec![0.0; l.biases.len()],
+                },
+            )
+        })
+        .collect();
+
+    let mut epochs = 0;
+    loop {
+        let mse = net.mse(data.inputs(), data.targets());
+        if mse <= params.stopping_mse {
+            return TrainOutcome {
+                epochs,
+                final_mse: mse,
+                reached_target: true,
+            };
+        }
+        if epochs >= params.max_epochs {
+            return TrainOutcome {
+                epochs,
+                final_mse: mse,
+                reached_target: false,
+            };
+        }
+        let grads = batch_gradients(net, data);
+        for (l, (gw, gb)) in grads.into_iter().enumerate() {
+            let (wstate, bstate) = &mut states[l];
+            rprop_update(&mut net.layers[l].weights, &gw, wstate);
+            rprop_update(&mut net.layers[l].biases, &gb, bstate);
+        }
+        epochs += 1;
+    }
+}
+
+fn rprop_update(params: &mut [f64], grad: &[f64], state: &mut RpropState) {
+    for i in 0..params.len() {
+        let g = grad[i];
+        let sign_product = g * state.prev_grad[i];
+        if sign_product > 0.0 {
+            state.step[i] = (state.step[i] * RPROP_ETA_PLUS).min(RPROP_STEP_MAX);
+            params[i] -= g.signum() * state.step[i];
+            state.prev_grad[i] = g;
+        } else if sign_product < 0.0 {
+            state.step[i] = (state.step[i] * RPROP_ETA_MINUS).max(RPROP_STEP_MIN);
+            // iRPROP−: forget the gradient after a sign change, no revert.
+            state.prev_grad[i] = 0.0;
+        } else {
+            params[i] -= g.signum() * state.step[i];
+            state.prev_grad[i] = g;
+        }
+    }
+}
+
+fn train_incremental(
+    net: &mut NeuralNetwork,
+    data: &TrainingData,
+    params: &TrainParams,
+    learning_rate: f64,
+    momentum: f64,
+) -> TrainOutcome {
+    let mut rng = InitRng::new(params.seed);
+    let mut velocity: Vec<(Vec<f64>, Vec<f64>)> = net
+        .layers
+        .iter()
+        .map(|l| (vec![0.0; l.weights.len()], vec![0.0; l.biases.len()]))
+        .collect();
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut epochs = 0;
+    loop {
+        let mse = net.mse(data.inputs(), data.targets());
+        if mse <= params.stopping_mse {
+            return TrainOutcome {
+                epochs,
+                final_mse: mse,
+                reached_target: true,
+            };
+        }
+        if epochs >= params.max_epochs {
+            return TrainOutcome {
+                epochs,
+                final_mse: mse,
+                reached_target: false,
+            };
+        }
+        // Fisher-Yates shuffle for stochastic example order.
+        for i in (1..order.len()).rev() {
+            let j = rng.below(i + 1);
+            order.swap(i, j);
+        }
+        for &idx in &order {
+            let mut grads: Vec<(Vec<f64>, Vec<f64>)> = net
+                .layers
+                .iter()
+                .map(|l| (vec![0.0; l.weights.len()], vec![0.0; l.biases.len()]))
+                .collect();
+            accumulate_example(net, &data.inputs()[idx], &data.targets()[idx], &mut grads);
+            for (l, (gw, gb)) in grads.into_iter().enumerate() {
+                let (vw, vb) = &mut velocity[l];
+                for i in 0..gw.len() {
+                    vw[i] = momentum * vw[i] - learning_rate * gw[i];
+                    net.layers[l].weights[i] += vw[i];
+                }
+                for i in 0..gb.len() {
+                    vb[i] = momentum * vb[i] - learning_rate * gb[i];
+                    net.layers[l].biases[i] += vb[i];
+                }
+            }
+        }
+        epochs += 1;
+    }
+}
+
+/// Outcome of [`train_with_validation`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidatedOutcome {
+    /// The inner training outcome of the final round.
+    pub train: TrainOutcome,
+    /// Validation MSE of the best (restored) weights.
+    pub best_validation_mse: f64,
+    /// Total epochs run across all rounds.
+    pub total_epochs: u32,
+    /// Whether early stopping fired (patience exhausted).
+    pub stopped_early: bool,
+}
+
+/// Trains with validation-based early stopping: runs training in rounds of
+/// `round_epochs`, evaluates the validation MSE after each round, and stops
+/// once it has failed to improve for `patience` consecutive rounds —
+/// restoring the weights from the best round.
+///
+/// This is the standard guard against over-fitting small datasets like the
+/// paper's 394 inputs; the paper itself trains to a fixed stopping error,
+/// which `train` reproduces, while this variant is the cross-validated
+/// practitioner's alternative.
+///
+/// # Panics
+///
+/// Panics if `round_epochs` or `patience` is zero or the data dimensions
+/// do not match the network.
+pub fn train_with_validation(
+    net: &mut NeuralNetwork,
+    training: &TrainingData,
+    validation: &TrainingData,
+    params: &TrainParams,
+    round_epochs: u32,
+    patience: u32,
+) -> ValidatedOutcome {
+    assert!(round_epochs > 0, "round_epochs must be positive");
+    assert!(patience > 0, "patience must be positive");
+    let mut best_net = net.clone();
+    let mut best_val = net.mse(validation.inputs(), validation.targets());
+    let mut bad_rounds = 0;
+    let mut total_epochs = 0;
+    let mut last = TrainOutcome {
+        epochs: 0,
+        final_mse: net.mse(training.inputs(), training.targets()),
+        reached_target: false,
+    };
+    while total_epochs < params.max_epochs {
+        let round = TrainParams {
+            max_epochs: round_epochs.min(params.max_epochs - total_epochs),
+            ..*params
+        };
+        last = train(net, training, &round);
+        total_epochs += last.epochs;
+        let val = net.mse(validation.inputs(), validation.targets());
+        if val < best_val {
+            best_val = val;
+            best_net = net.clone();
+            bad_rounds = 0;
+        } else {
+            bad_rounds += 1;
+            if bad_rounds >= patience {
+                *net = best_net;
+                return ValidatedOutcome {
+                    train: last,
+                    best_validation_mse: best_val,
+                    total_epochs,
+                    stopped_early: true,
+                };
+            }
+        }
+        if last.reached_target || last.epochs == 0 {
+            break;
+        }
+    }
+    *net = best_net;
+    ValidatedOutcome {
+        train: last,
+        best_validation_mse: best_val,
+        total_epochs,
+        stopped_early: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+
+    fn xor_data() -> TrainingData {
+        TrainingData::new(
+            vec![
+                vec![0.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 0.0],
+                vec![1.0, 1.0],
+            ],
+            vec![vec![0.0], vec![1.0], vec![1.0], vec![0.0]],
+        )
+    }
+
+    #[test]
+    fn rprop_learns_xor() {
+        let mut net = NeuralNetwork::new(&[2, 6, 1], Activation::fann_default(), 7);
+        let outcome = train(
+            &mut net,
+            &xor_data(),
+            &TrainParams {
+                stopping_mse: 1e-3,
+                max_epochs: 5_000,
+                ..TrainParams::default()
+            },
+        );
+        assert!(
+            outcome.reached_target,
+            "XOR did not converge: mse {}",
+            outcome.final_mse
+        );
+        assert!(net.run(&[0.0, 1.0])[0] > 0.9);
+        assert!(net.run(&[1.0, 1.0])[0] < 0.1);
+    }
+
+    #[test]
+    fn incremental_learns_xor() {
+        let mut net = NeuralNetwork::new(&[2, 8, 1], Activation::fann_default(), 3);
+        let outcome = train(
+            &mut net,
+            &xor_data(),
+            &TrainParams {
+                algorithm: Algorithm::Incremental {
+                    learning_rate: 0.7,
+                    momentum: 0.5,
+                },
+                stopping_mse: 1e-2,
+                max_epochs: 20_000,
+                seed: 11,
+            },
+        );
+        assert!(
+            outcome.reached_target,
+            "incremental XOR did not converge: mse {}",
+            outcome.final_mse
+        );
+    }
+
+    #[test]
+    fn quickprop_learns_xor() {
+        let mut net = NeuralNetwork::new(&[2, 8, 1], Activation::fann_default(), 21);
+        let outcome = train(
+            &mut net,
+            &xor_data(),
+            &TrainParams {
+                algorithm: Algorithm::Quickprop {
+                    learning_rate: 0.7,
+                    mu: 1.75,
+                },
+                stopping_mse: 1e-2,
+                max_epochs: 10_000,
+                seed: 0,
+            },
+        );
+        assert!(
+            outcome.reached_target,
+            "Quickprop XOR did not converge: mse {}",
+            outcome.final_mse
+        );
+        assert!(net.run(&[1.0, 0.0])[0] > 0.8);
+        assert!(net.run(&[0.0, 0.0])[0] < 0.2);
+    }
+
+    #[test]
+    fn quickprop_is_deterministic() {
+        let run = || {
+            let mut net = NeuralNetwork::new(&[2, 4, 1], Activation::fann_default(), 5);
+            train(
+                &mut net,
+                &xor_data(),
+                &TrainParams {
+                    algorithm: Algorithm::Quickprop {
+                        learning_rate: 0.5,
+                        mu: 1.75,
+                    },
+                    max_epochs: 100,
+                    ..TrainParams::default()
+                },
+            );
+            net
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let run = || {
+            let mut net = NeuralNetwork::new(&[2, 4, 1], Activation::fann_default(), 5);
+            train(
+                &mut net,
+                &xor_data(),
+                &TrainParams {
+                    max_epochs: 200,
+                    ..TrainParams::default()
+                },
+            );
+            net
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mse_decreases_during_training() {
+        let data = xor_data();
+        let mut net = NeuralNetwork::new(&[2, 6, 1], Activation::fann_default(), 9);
+        let before = net.mse(data.inputs(), data.targets());
+        train(
+            &mut net,
+            &data,
+            &TrainParams {
+                max_epochs: 300,
+                stopping_mse: 0.0,
+                ..TrainParams::default()
+            },
+        );
+        let after = net.mse(data.inputs(), data.targets());
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn epoch_cap_respected() {
+        let mut net = NeuralNetwork::new(&[2, 2, 1], Activation::fann_default(), 1);
+        let outcome = train(
+            &mut net,
+            &xor_data(),
+            &TrainParams {
+                stopping_mse: 0.0, // unreachable
+                max_epochs: 17,
+                ..TrainParams::default()
+            },
+        );
+        assert_eq!(outcome.epochs, 17);
+        assert!(!outcome.reached_target);
+    }
+
+    #[test]
+    fn gradients_match_numeric_estimate() {
+        let net = NeuralNetwork::new(&[2, 3, 2], Activation::fann_default(), 13);
+        let data = TrainingData::new(vec![vec![0.3, -0.6]], vec![vec![0.2, 0.9]]);
+        let grads = batch_gradients(&net, &data);
+        // Perturb a handful of weights and compare dE/dw numerically.
+        // E = sum((y - t)^2) over outputs; batch gradient is dE/dw / 2...
+        // our delta uses (y - t) so gradient corresponds to E = 1/2 sum sq.
+        let h = 1e-6;
+        for (layer_idx, weight_idx) in [(0usize, 0usize), (0, 4), (1, 2), (1, 5)] {
+            let mut plus = net.clone();
+            plus.layers[layer_idx].weights[weight_idx] += h;
+            let mut minus = net.clone();
+            minus.layers[layer_idx].weights[weight_idx] -= h;
+            let e = |n: &NeuralNetwork| {
+                let y = n.run(&data.inputs()[0]);
+                y.iter()
+                    .zip(&data.targets()[0])
+                    .map(|(a, b)| 0.5 * (a - b) * (a - b))
+                    .sum::<f64>()
+            };
+            let numeric = (e(&plus) - e(&minus)) / (2.0 * h);
+            let analytic = grads[layer_idx].0[weight_idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "layer {layer_idx} w{weight_idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_by_partitions() {
+        let data = TrainingData::new(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            vec![vec![0.0], vec![1.0], vec![0.0], vec![1.0]],
+        );
+        let (even, odd) = data.split_by(|i| i % 2 == 0);
+        assert_eq!(even.len(), 2);
+        assert_eq!(odd.len(), 2);
+        assert_eq!(even.inputs()[1], vec![2.0]);
+    }
+
+    #[test]
+    fn early_stopping_restores_best_weights() {
+        // Train/validation split of a noisy 1-D threshold problem: enough
+        // capacity to overfit, so validation MSE eventually degrades.
+        let inputs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+        let targets: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                // A few mislabelled points to overfit on.
+                let label = if i == 3 || i == 37 {
+                    usize::from(i < 20)
+                } else {
+                    usize::from(i >= 20)
+                };
+                crate::classify::one_hot(label, 2)
+            })
+            .collect();
+        let all = TrainingData::new(inputs, targets);
+        let (validation, training) = all.split_by(|i| i % 4 == 0);
+        let mut net = NeuralNetwork::new(&[1, 16, 2], Activation::fann_default(), 11);
+        let outcome = train_with_validation(
+            &mut net,
+            &training,
+            &validation,
+            &TrainParams {
+                stopping_mse: 0.0,
+                max_epochs: 4_000,
+                ..TrainParams::default()
+            },
+            50,
+            3,
+        );
+        // The restored network achieves the reported best validation MSE.
+        let val = net.mse(validation.inputs(), validation.targets());
+        assert!((val - outcome.best_validation_mse).abs() < 1e-12);
+        assert!(outcome.total_epochs > 0);
+        assert!(outcome.total_epochs <= 4_000);
+    }
+
+    #[test]
+    fn validated_training_respects_epoch_budget() {
+        let data = xor_data();
+        let mut net = NeuralNetwork::new(&[2, 4, 1], Activation::fann_default(), 2);
+        let outcome = train_with_validation(
+            &mut net,
+            &data,
+            &data,
+            &TrainParams {
+                stopping_mse: 0.0,
+                max_epochs: 73,
+                ..TrainParams::default()
+            },
+            20,
+            100, // patience never fires
+        );
+        assert_eq!(outcome.total_epochs, 73);
+        assert!(!outcome.stopped_early);
+    }
+
+    #[test]
+    #[should_panic(expected = "row counts")]
+    fn mismatched_rows_panic() {
+        TrainingData::new(vec![vec![0.0]], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        TrainingData::new(vec![vec![0.0], vec![0.0, 1.0]], vec![vec![1.0], vec![1.0]]);
+    }
+}

@@ -1,0 +1,362 @@
+//! A CART-style decision-tree classifier.
+//!
+//! The paper's concluding remarks note the authors were "investigating
+//! other machine learning techniques that provide timeliness and high
+//! accuracy to compare with ANNs". A depth-bounded decision tree is the
+//! natural first comparator: training is deterministic, and querying is a
+//! short chain of comparisons — also constant-bounded, like the ANN's
+//! forward pass.
+
+use serde::{Deserialize, Serialize};
+
+/// Training limits for [`DecisionTree::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionTreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Do not split nodes with fewer examples than this.
+    pub min_samples_split: usize,
+}
+
+impl Default for DecisionTreeParams {
+    fn default() -> Self {
+        DecisionTreeParams {
+            max_depth: 12,
+            min_samples_split: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained decision tree over dense `f64` features.
+///
+/// # Examples
+///
+/// ```
+/// use adamant_ann::{DecisionTree, DecisionTreeParams};
+///
+/// let inputs = vec![vec![0.1], vec![0.2], vec![0.8], vec![0.9]];
+/// let labels = vec![0, 0, 1, 1];
+/// let tree = DecisionTree::fit(&inputs, &labels, 2, DecisionTreeParams::default());
+/// assert_eq!(tree.predict(&[0.15]), 0);
+/// assert_eq!(tree.predict(&[0.85]), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    classes: usize,
+    features: usize,
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sum_sq = 0.0;
+    for &c in counts {
+        let p = c as f64 / total as f64;
+        sum_sq += p * p;
+    }
+    1.0 - sum_sq
+}
+
+fn majority(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+impl DecisionTree {
+    /// Fits a tree to `inputs` with integer `labels` in `0..classes`.
+    ///
+    /// Training is fully deterministic: features are scanned in order and
+    /// the first best split wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs are empty or ragged, the label count differs,
+    /// or any label is out of range.
+    pub fn fit(
+        inputs: &[Vec<f64>],
+        labels: &[usize],
+        classes: usize,
+        params: DecisionTreeParams,
+    ) -> Self {
+        assert!(!inputs.is_empty(), "cannot fit a tree to no data");
+        assert_eq!(inputs.len(), labels.len(), "label count mismatch");
+        let features = inputs[0].len();
+        assert!(
+            inputs.iter().all(|r| r.len() == features),
+            "ragged input rows"
+        );
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "label out of range"
+        );
+        let indices: Vec<usize> = (0..inputs.len()).collect();
+        let root = Self::build(inputs, labels, classes, &indices, 0, &params);
+        DecisionTree {
+            root,
+            classes,
+            features,
+        }
+    }
+
+    fn build(
+        inputs: &[Vec<f64>],
+        labels: &[usize],
+        classes: usize,
+        indices: &[usize],
+        depth: usize,
+        params: &DecisionTreeParams,
+    ) -> Node {
+        let mut counts = vec![0usize; classes];
+        for &i in indices {
+            counts[labels[i]] += 1;
+        }
+        let node_gini = gini(&counts, indices.len());
+        if node_gini == 0.0
+            || depth >= params.max_depth
+            || indices.len() < params.min_samples_split
+        {
+            return Node::Leaf {
+                class: majority(&counts),
+            };
+        }
+
+        // Exhaustive split search: for each feature, sort the node's
+        // examples and evaluate every midpoint between distinct values.
+        let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
+        let features = inputs[indices[0]].len();
+        for feature in 0..features {
+            let mut order: Vec<usize> = indices.to_vec();
+            order.sort_by(|&a, &b| inputs[a][feature].total_cmp(&inputs[b][feature]));
+            let mut left_counts = vec![0usize; classes];
+            let mut right_counts = counts.clone();
+            for cut in 1..order.len() {
+                let moved = order[cut - 1];
+                left_counts[labels[moved]] += 1;
+                right_counts[labels[moved]] -= 1;
+                let a = inputs[order[cut - 1]][feature];
+                let b = inputs[order[cut]][feature];
+                if a == b {
+                    continue;
+                }
+                let threshold = a + (b - a) / 2.0;
+                let left_total = cut;
+                let right_total = order.len() - cut;
+                let weighted = (left_total as f64 * gini(&left_counts, left_total)
+                    + right_total as f64 * gini(&right_counts, right_total))
+                    / order.len() as f64;
+                if best.is_none_or(|(bi, _, _)| weighted < bi - 1e-12) {
+                    best = Some((weighted, feature, threshold));
+                }
+            }
+        }
+
+        let Some((impurity, feature, threshold)) = best else {
+            return Node::Leaf {
+                class: majority(&counts),
+            };
+        };
+        // Accept zero-gain splits (XOR-like patterns have no single
+        // impurity-reducing cut at the root, yet splitting still leads to
+        // pure grandchildren); the depth cap bounds the recursion. Reject
+        // only splits that make things strictly worse.
+        if impurity > node_gini + 1e-12 {
+            return Node::Leaf {
+                class: majority(&counts),
+            };
+        }
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| inputs[i][feature] <= threshold);
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(Self::build(
+                inputs, labels, classes, &left_idx, depth + 1, params,
+            )),
+            right: Box::new(Self::build(
+                inputs, labels, classes, &right_idx, depth + 1, params,
+            )),
+        }
+    }
+
+    /// Predicts the class of `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` has the wrong dimensionality.
+    pub fn predict(&self, input: &[f64]) -> usize {
+        assert_eq!(input.len(), self.features, "feature dimension mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if input[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Fraction of `(input, label)` pairs predicted correctly.
+    pub fn accuracy(&self, inputs: &[Vec<f64>], labels: &[usize]) -> f64 {
+        if inputs.is_empty() {
+            return 0.0;
+        }
+        let correct = inputs
+            .iter()
+            .zip(labels)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / inputs.len() as f64
+    }
+
+    /// Total nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Depth of the deepest leaf (root = 0).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_separable_data_perfectly() {
+        let inputs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        let tree = DecisionTree::fit(&inputs, &labels, 2, DecisionTreeParams::default());
+        assert_eq!(tree.accuracy(&inputs, &labels), 1.0);
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.node_count(), 3);
+    }
+
+    #[test]
+    fn learns_xor_with_two_features() {
+        let inputs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let labels = vec![0, 1, 1, 0];
+        let tree = DecisionTree::fit(&inputs, &labels, 2, DecisionTreeParams::default());
+        assert_eq!(tree.accuracy(&inputs, &labels), 1.0);
+        assert!(tree.depth() >= 2, "XOR needs two levels");
+    }
+
+    #[test]
+    fn depth_cap_is_respected() {
+        let inputs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..64).map(|i| (i % 2) as usize).collect();
+        let tree = DecisionTree::fit(
+            &inputs,
+            &labels,
+            2,
+            DecisionTreeParams {
+                max_depth: 3,
+                min_samples_split: 2,
+            },
+        );
+        assert!(tree.depth() <= 3);
+        // Alternating labels on one feature cannot be perfect at depth 3.
+        assert!(tree.accuracy(&inputs, &labels) < 1.0);
+    }
+
+    #[test]
+    fn pure_node_is_a_leaf() {
+        let inputs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let labels = vec![1, 1, 1];
+        let tree = DecisionTree::fit(&inputs, &labels, 3, DecisionTreeParams::default());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[99.0]), 1);
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let inputs: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64])
+            .collect();
+        let labels: Vec<usize> = (0..30).map(|i| (i % 3) as usize).collect();
+        let a = DecisionTree::fit(&inputs, &labels, 3, DecisionTreeParams::default());
+        let b = DecisionTree::fit(&inputs, &labels, 3, DecisionTreeParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let inputs = vec![vec![0.0], vec![1.0]];
+        let labels = vec![0, 1];
+        let tree = DecisionTree::fit(&inputs, &labels, 2, DecisionTreeParams::default());
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(tree, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_labels_rejected() {
+        DecisionTree::fit(&[vec![0.0]], &[5], 2, DecisionTreeParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension")]
+    fn wrong_dimension_rejected() {
+        let tree = DecisionTree::fit(
+            &[vec![0.0], vec![1.0]],
+            &[0, 1],
+            2,
+            DecisionTreeParams::default(),
+        );
+        tree.predict(&[0.0, 1.0]);
+    }
+}

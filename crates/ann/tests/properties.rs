@@ -1,0 +1,124 @@
+//! Property-based tests of the neural-network invariants.
+
+use adamant_ann::{
+    argmax, cross_validate, fold_assignment, one_hot, train, Activation, MinMaxScaler,
+    NeuralNetwork, TrainParams, TrainingData,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sigmoid outputs stay in (0, 1) for arbitrary inputs and seeds.
+    #[test]
+    fn outputs_bounded(
+        seed in 0u64..10_000,
+        hidden in 1usize..40,
+        input in prop::collection::vec(-1e3f64..1e3, 5),
+    ) {
+        let net = NeuralNetwork::new(&[5, hidden, 3], Activation::fann_default(), seed);
+        let out = net.run(&input);
+        prop_assert_eq!(out.len(), 3);
+        for y in out {
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    /// The query operation count depends only on the architecture, and the
+    /// forward pass is a pure function.
+    #[test]
+    fn query_is_pure_and_constant_cost(
+        seed in 0u64..1_000,
+        a in prop::collection::vec(-10.0f64..10.0, 4),
+        b in prop::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let net = NeuralNetwork::new(&[4, 9, 2], Activation::fann_default(), seed);
+        prop_assert_eq!(net.run(&a), net.run(&a));
+        // ops_per_query never changes with inputs (trivially: no input arg).
+        let ops = net.ops_per_query();
+        let _ = net.run(&b);
+        prop_assert_eq!(ops, net.ops_per_query());
+    }
+
+    /// One-hot and argmax round-trip.
+    #[test]
+    fn one_hot_argmax_round_trip(classes in 1usize..20, class in 0usize..20) {
+        prop_assume!(class < classes);
+        prop_assert_eq!(argmax(&one_hot(class, classes)), Some(class));
+    }
+
+    /// Min-max scaling maps fitted data into [0, 1] in every dimension.
+    #[test]
+    fn scaler_bounds(rows in prop::collection::vec(
+        prop::collection::vec(-1e6f64..1e6, 3),
+        1..50,
+    )) {
+        let scaler = MinMaxScaler::fit(&rows);
+        for row in scaler.transform(&rows) {
+            for x in row {
+                prop_assert!((0.0..=1.0).contains(&x));
+            }
+        }
+    }
+
+    /// Fold assignment partitions every element into a valid fold with
+    /// balanced sizes.
+    #[test]
+    fn folds_partition(n in 10usize..200, k in 2usize..10, seed in 0u64..100) {
+        prop_assume!(k <= n);
+        let folds = fold_assignment(n, k, seed);
+        prop_assert_eq!(folds.len(), n);
+        let mut counts = vec![0usize; k];
+        for &f in &folds {
+            prop_assert!(f < k);
+            counts[f] += 1;
+        }
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced folds: {counts:?}");
+    }
+
+    /// Training never increases the dataset MSE beyond its starting point
+    /// (for a healthy learning setup on separable data).
+    #[test]
+    fn training_reduces_mse(seed in 0u64..50) {
+        let inputs: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64 / 16.0]).collect();
+        let targets: Vec<Vec<f64>> = (0..16).map(|i| one_hot(usize::from(i >= 8), 2)).collect();
+        let data = TrainingData::new(inputs, targets);
+        let mut net = NeuralNetwork::new(&[1, 5, 2], Activation::fann_default(), seed);
+        let before = net.mse(data.inputs(), data.targets());
+        train(&mut net, &data, &TrainParams {
+            stopping_mse: 0.0,
+            max_epochs: 100,
+            ..TrainParams::default()
+        });
+        let after = net.mse(data.inputs(), data.targets());
+        prop_assert!(after <= before + 1e-12, "MSE rose: {before} -> {after}");
+    }
+}
+
+/// Cross-validation accuracy lies in [0, 1] for every fold, whatever the
+/// labels (deterministic small cases).
+#[test]
+fn cross_validation_accuracy_bounds() {
+    for seed in 0..3u64 {
+        let inputs: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let targets: Vec<Vec<f64>> = (0..30).map(|i| one_hot((i % 2) as usize, 2)).collect();
+        let data = TrainingData::new(inputs, targets);
+        let cv = cross_validate(
+            &[2, 4, 2],
+            Activation::fann_default(),
+            &data,
+            &TrainParams {
+                max_epochs: 50,
+                ..TrainParams::default()
+            },
+            5,
+            seed,
+        );
+        assert_eq!(cv.fold_accuracies.len(), 5);
+        for acc in &cv.fold_accuracies {
+            assert!((0.0..=1.0).contains(acc));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Substrate hot paths: simulator event processing, metric computation,
+//! and ANN training epochs.
+
+use adamant_ann::{train, Activation, NeuralNetwork, TrainParams, TrainingData};
+use adamant_metrics::{Delivery, MetricKind, QosReport};
+use adamant_netsim::{
+    Agent, Bandwidth, Ctx, HostConfig, MachineClass, OutPacket, Packet, SimTime, Simulation,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::any::Any;
+use std::hint::black_box;
+
+/// Minimal ping-pong agents to exercise the raw event loop.
+struct Pong;
+impl Agent for Pong {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        ctx.send(pkt.src, OutPacket::new(64, ()));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct Ping {
+    peer: adamant_netsim::NodeId,
+    remaining: u32,
+}
+impl Agent for Ping {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send(self.peer, OutPacket::new(64, ()));
+    }
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _pkt: Packet) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(self.peer, OutPacket::new(64, ()));
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    const ROUND_TRIPS: u32 = 1_000;
+    let mut group = c.benchmark_group("netsim_event_loop");
+    group.throughput(Throughput::Elements(ROUND_TRIPS as u64 * 2));
+    group.bench_function("ping_pong_1000", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let cfg = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+            let pong = sim.add_node(cfg, Pong);
+            sim.add_node(
+                cfg,
+                Ping {
+                    peer: pong,
+                    remaining: ROUND_TRIPS,
+                },
+            );
+            sim.run();
+            black_box(sim.events_processed())
+        });
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let deliveries: Vec<Delivery> = (0..10_000u64)
+        .map(|seq| Delivery {
+            seq,
+            published_at: SimTime::from_micros(seq * 100),
+            delivered_at: SimTime::from_micros(seq * 100 + 350 + (seq % 13) * 7),
+            recovered: seq % 20 == 0,
+        })
+        .collect();
+    let mut group = c.benchmark_group("metrics");
+    group.throughput(Throughput::Elements(deliveries.len() as u64));
+    group.bench_function("report_build_10k", |b| {
+        b.iter(|| {
+            let mut builder = QosReport::builder(10_000, 1);
+            builder.add_receiver(black_box(&deliveries), 0);
+            black_box(builder.finish())
+        });
+    });
+    let mut builder = QosReport::builder(10_000, 1);
+    builder.add_receiver(&deliveries, 0);
+    let report = builder.finish();
+    group.bench_function("relate2jit_score", |b| {
+        b.iter(|| black_box(MetricKind::ReLate2Jit.score(black_box(&report))));
+    });
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    // One RPROP epoch over a 394-row, 7-feature dataset (the paper's
+    // training-set scale).
+    let inputs: Vec<Vec<f64>> = (0..394)
+        .map(|i| (0..7).map(|d| ((i * 7 + d) % 97) as f64 / 97.0).collect())
+        .collect();
+    let targets: Vec<Vec<f64>> = (0..394)
+        .map(|i| {
+            let mut t = vec![0.0; 6];
+            t[i % 6] = 1.0;
+            t
+        })
+        .collect();
+    let data = TrainingData::new(inputs, targets);
+    let mut group = c.benchmark_group("ann_training");
+    group.sample_size(20);
+    group.bench_function("rprop_10_epochs_394rows", |b| {
+        b.iter(|| {
+            let mut net = NeuralNetwork::new(&[7, 24, 6], Activation::fann_default(), 7);
+            black_box(train(
+                &mut net,
+                &data,
+                &TrainParams {
+                    stopping_mse: 0.0,
+                    max_epochs: 10,
+                    ..TrainParams::default()
+                },
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_loop, bench_metrics, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! # adamant-bench
+//!
+//! Criterion benchmarks for the ADAMANT reproduction. The benches map onto
+//! the paper's evaluation:
+//!
+//! * `ann_query` — Figures 20–21: ANN query latency and its spread, per
+//!   hidden-layer size, plus the lookup-table baseline ablation.
+//! * `protocol_cells` — the per-cell cost of the runs behind Figures 4–17
+//!   (reduced workloads; the real series come from `adamant-experiments`).
+//! * `engine` — substrate hot paths: simulator event throughput, metric
+//!   computation, and ANN training epochs.
+//!
+//! This library exposes shared helpers for those benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use adamant::{AppParams, BandwidthClass, DatasetRow, Environment, LabeledDataset};
+use adamant_dds::DdsImplementation;
+use adamant_metrics::MetricKind;
+use adamant_netsim::MachineClass;
+
+/// A synthetic labelled dataset with the paper's headline pattern (fast
+/// hardware → Ricochet, slow hardware → NAKcast 1 ms), sized like the real
+/// 394-row set. Benches use it so they do not depend on sweep artifacts.
+pub fn synthetic_dataset() -> LabeledDataset {
+    let mut rows = Vec::new();
+    for machine in MachineClass::all() {
+        for bandwidth in [
+            BandwidthClass::Gbps1,
+            BandwidthClass::Mbps100,
+            BandwidthClass::Mbps10,
+        ] {
+            for dds in DdsImplementation::all() {
+                for loss in 1..=5u8 {
+                    for receivers in [3u32, 9, 15] {
+                        let env = Environment::new(machine, bandwidth, dds, loss);
+                        let best_class = match machine {
+                            MachineClass::Pc3000 => 4,
+                            MachineClass::Pc850 => 3,
+                        };
+                        rows.push(DatasetRow {
+                            env,
+                            app: AppParams::new(receivers, 25),
+                            metric: MetricKind::ReLate2,
+                            best_class,
+                            scores: vec![0.0; 6],
+                        });
+                    }
+                }
+            }
+        }
+    }
+    LabeledDataset { rows }
+}
+
+/// The environment behind Figures 4/6/8 (fast) and 5/7/9 (slow).
+pub fn figure_environment(fast: bool) -> Environment {
+    if fast {
+        Environment::new(
+            MachineClass::Pc3000,
+            BandwidthClass::Gbps1,
+            DdsImplementation::OpenSplice,
+            5,
+        )
+    } else {
+        Environment::new(
+            MachineClass::Pc850,
+            BandwidthClass::Mbps100,
+            DdsImplementation::OpenSplice,
+            5,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_dataset_shape() {
+        let ds = synthetic_dataset();
+        assert_eq!(ds.len(), 2 * 3 * 2 * 5 * 3);
+        assert!(ds.class_histogram()[3] > 0);
+        assert!(ds.class_histogram()[4] > 0);
+    }
+
+    #[test]
+    fn figure_environments_differ() {
+        assert_ne!(figure_environment(true), figure_environment(false));
+    }
+}

@@ -1,0 +1,198 @@
+//! The ADAMANT facade: the full autonomic control flow of the paper's
+//! Figure 3 — probe the environment, consult the machine-learning
+//! knowledge base, and configure the DDS middleware's transport.
+
+use adamant_dds::DdsImplementation;
+use adamant_metrics::MetricKind;
+use adamant_transport::TransportConfig;
+
+use crate::env::{AppParams, Environment};
+use crate::probe::ResourceProbe;
+use crate::selector::{ProtocolSelector, Selection};
+
+/// A completed autonomic configuration decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Configuration {
+    /// The environment ADAMANT determined it is running in.
+    pub environment: Environment,
+    /// The selector's decision (protocol, scores, query time).
+    pub selection: Selection,
+}
+
+impl Configuration {
+    /// The transport configuration to hand to the DDS layer.
+    pub fn transport(&self) -> TransportConfig {
+        TransportConfig::new(self.selection.protocol)
+    }
+}
+
+/// The ADAMANT platform: ties a trained [`ProtocolSelector`] to a resource
+/// probe, mirroring the paper's control flow:
+///
+/// 1. Query the environment for hardware and networking resources
+///    (`/proc/cpuinfo`, `ethtool` — or the simulated cloud).
+/// 2. Combine with application properties (receivers, sending rate) and
+///    the QoS metric of interest.
+/// 3. Ask the ANN for the best transport protocol.
+/// 4. Configure the DDS middleware through ANT with that protocol.
+///
+/// # Examples
+///
+/// See `examples/quickstart.rs` for the end-to-end flow.
+#[derive(Debug)]
+pub struct Adamant {
+    selector: ProtocolSelector,
+}
+
+impl Adamant {
+    /// Creates the platform around a trained selector.
+    pub fn new(selector: ProtocolSelector) -> Self {
+        Adamant { selector }
+    }
+
+    /// The underlying selector.
+    pub fn selector(&self) -> &ProtocolSelector {
+        &self.selector
+    }
+
+    /// Runs the autonomic configuration flow.
+    ///
+    /// `dds` and `loss_percent` come from the deployment's service
+    /// agreement (the paper: DDS availability and network loss are part of
+    /// what the cloud offering specifies), while machine class and
+    /// bandwidth are probed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the probe's error message when the platform cannot be
+    /// inspected.
+    pub fn configure(
+        &self,
+        probe: &dyn ResourceProbe,
+        dds: DdsImplementation,
+        loss_percent: u8,
+        app: AppParams,
+        metric: MetricKind,
+    ) -> Result<Configuration, String> {
+        let probed = probe.probe()?;
+        let environment = Environment::new(
+            probed.machine_class(),
+            probed.bandwidth_class(),
+            dds,
+            loss_percent,
+        );
+        let selection = self.selector.select(&environment, &app, metric);
+        Ok(Configuration {
+            environment,
+            selection,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetRow, LabeledDataset};
+    use crate::env::BandwidthClass;
+    use crate::probe::SimulatedCloud;
+    use crate::selector::SelectorConfig;
+    use adamant_netsim::MachineClass;
+    use adamant_transport::ProtocolKind;
+
+    fn trained_platform() -> Adamant {
+        // pc3000 → class 4 (Ricochet R4C3), pc850 → class 3 (NAKcast 1 ms).
+        let mut rows = Vec::new();
+        for machine in MachineClass::all() {
+            for bandwidth in BandwidthClass::all() {
+                for loss in 1..=5u8 {
+                    rows.push(DatasetRow {
+                        env: Environment::new(
+                            machine,
+                            bandwidth,
+                            DdsImplementation::OpenSplice,
+                            loss,
+                        ),
+                        app: AppParams::new(3, 25),
+                        metric: MetricKind::ReLate2,
+                        best_class: if machine == MachineClass::Pc3000 { 4 } else { 3 },
+                        scores: vec![0.0; 6],
+                    });
+                }
+            }
+        }
+        let ds = LabeledDataset { rows };
+        let (selector, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
+        Adamant::new(selector)
+    }
+
+    #[test]
+    fn end_to_end_probe_to_transport() {
+        let adamant = trained_platform();
+        let cloud = SimulatedCloud::new(Environment::new(
+            MachineClass::Pc3000,
+            BandwidthClass::Gbps1,
+            DdsImplementation::OpenSplice,
+            5,
+        ));
+        let config = adamant
+            .configure(
+                &cloud,
+                DdsImplementation::OpenSplice,
+                5,
+                AppParams::new(3, 25),
+                MetricKind::ReLate2,
+            )
+            .unwrap();
+        assert_eq!(config.environment.machine, MachineClass::Pc3000);
+        assert_eq!(config.environment.bandwidth, BandwidthClass::Gbps1);
+        assert_eq!(
+            config.transport().kind,
+            ProtocolKind::Ricochet { r: 4, c: 3 }
+        );
+    }
+
+    #[test]
+    fn different_cloud_different_decision() {
+        let adamant = trained_platform();
+        let slow_cloud = SimulatedCloud::new(Environment::new(
+            MachineClass::Pc850,
+            BandwidthClass::Mbps100,
+            DdsImplementation::OpenSplice,
+            5,
+        ));
+        let config = adamant
+            .configure(
+                &slow_cloud,
+                DdsImplementation::OpenSplice,
+                5,
+                AppParams::new(3, 25),
+                MetricKind::ReLate2,
+            )
+            .unwrap();
+        assert!(matches!(
+            config.transport().kind,
+            ProtocolKind::Nakcast { .. }
+        ));
+    }
+
+    #[test]
+    fn probe_errors_propagate() {
+        struct Broken;
+        impl ResourceProbe for Broken {
+            fn probe(&self) -> Result<crate::probe::ProbedResources, String> {
+                Err("no hardware".into())
+            }
+        }
+        let adamant = trained_platform();
+        let err = adamant
+            .configure(
+                &Broken,
+                DdsImplementation::OpenDds,
+                1,
+                AppParams::new(3, 10),
+                MetricKind::ReLate2,
+            )
+            .unwrap_err();
+        assert_eq!(err, "no hardware");
+    }
+}

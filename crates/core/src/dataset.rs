@@ -1,0 +1,230 @@
+//! Labelled datasets: the bridge between experiment sweeps and ANN
+//! training. Each row is one (environment, application, metric)
+//! configuration labelled with the transport protocol that scored best.
+
+use adamant_metrics::MetricKind;
+use adamant_transport::ProtocolKind;
+use serde::{Deserialize, Serialize};
+
+use adamant_ann::{one_hot, MinMaxScaler, TrainingData};
+
+use crate::env::{AppParams, Environment};
+use crate::features::{candidate_protocols, raw_features};
+
+/// Picks the best (lowest) score index with a stability margin: when a
+/// lower-indexed candidate scores within `margin` (fractionally) of the
+/// minimum, the lower index wins. Candidates whose measured scores are
+/// statistically indistinguishable (e.g. Ricochet R4 vs R8 at low rates,
+/// where the window parameter cannot engage) would otherwise be labelled
+/// by run-to-run noise, which puts an artificial ceiling on classifier
+/// accuracy.
+///
+/// # Panics
+///
+/// Panics if `scores` is empty or contains NaN.
+pub fn best_class_with_margin(scores: &[f64], margin: f64) -> usize {
+    assert!(!scores.is_empty(), "no scores to compare");
+    let best = scores
+        .iter()
+        .copied()
+        .min_by(|a, b| a.partial_cmp(b).expect("NaN score"))
+        .expect("nonempty");
+    scores
+        .iter()
+        .position(|&s| s <= best * (1.0 + margin))
+        .expect("minimum exists")
+}
+
+/// The default labelling margin (3%): differences smaller than typical
+/// repetition-to-repetition variation resolve to the first candidate.
+pub const LABEL_MARGIN: f64 = 0.03;
+
+/// One labelled example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetRow {
+    /// The environment configuration.
+    pub env: Environment,
+    /// The application parameters.
+    pub app: AppParams,
+    /// The composite metric of interest.
+    pub metric: MetricKind,
+    /// Index (into [`candidate_protocols`]) of the best protocol.
+    pub best_class: usize,
+    /// The metric score each candidate achieved (averaged over
+    /// repetitions), aligned with [`candidate_protocols`].
+    pub scores: Vec<f64>,
+}
+
+impl DatasetRow {
+    /// The winning protocol.
+    pub fn best_protocol(&self) -> ProtocolKind {
+        candidate_protocols()[self.best_class]
+    }
+}
+
+/// A labelled dataset (the paper's 394 training inputs).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LabeledDataset {
+    /// The examples.
+    pub rows: Vec<DatasetRow>,
+}
+
+impl LabeledDataset {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Raw (unscaled) feature matrix.
+    pub fn raw_inputs(&self) -> Vec<Vec<f64>> {
+        self.rows
+            .iter()
+            .map(|r| raw_features(&r.env, &r.app, r.metric).to_vec())
+            .collect()
+    }
+
+    /// Converts to scaled ANN training data plus the fitted scaler
+    /// (needed to encode queries consistently at selection time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn to_training_data(&self) -> (TrainingData, MinMaxScaler) {
+        assert!(!self.is_empty(), "cannot train on an empty dataset");
+        let raw = self.raw_inputs();
+        let scaler = MinMaxScaler::fit(&raw);
+        let classes = candidate_protocols().len();
+        let targets: Vec<Vec<f64>> = self
+            .rows
+            .iter()
+            .map(|r| one_hot(r.best_class, classes))
+            .collect();
+        (TrainingData::new(scaler.transform(&raw), targets), scaler)
+    }
+
+    /// Measures and labels a dataset serially: for every configuration,
+    /// runs each candidate protocol `repetitions` times with `samples`
+    /// samples and records the winner under each paper metric.
+    ///
+    /// This is the library-level (single-threaded) path used by examples;
+    /// the `adamant-experiments` crate provides the parallel sweep that
+    /// builds the full 394-input set.
+    pub fn measure(
+        configs: &[(Environment, AppParams)],
+        samples: u64,
+        repetitions: u32,
+    ) -> LabeledDataset {
+        use crate::runner::Scenario;
+        use adamant_transport::TransportConfig;
+
+        let candidates = candidate_protocols();
+        let mut rows = Vec::with_capacity(configs.len() * 2);
+        for (i, &(env, app)) in configs.iter().enumerate() {
+            let scenario = Scenario::paper(env, app, 0x5EED ^ (i as u64) << 8)
+                .with_samples(samples);
+            let per_candidate: Vec<Vec<adamant_metrics::QosReport>> = candidates
+                .iter()
+                .map(|&kind| scenario.run_repeated(TransportConfig::new(kind), repetitions))
+                .collect();
+            for metric in MetricKind::paper_metrics() {
+                let scores: Vec<f64> = per_candidate
+                    .iter()
+                    .map(|reports| {
+                        reports.iter().map(|r| metric.score(r)).sum::<f64>()
+                            / reports.len() as f64
+                    })
+                    .collect();
+                let best_class = best_class_with_margin(&scores, LABEL_MARGIN);
+                rows.push(DatasetRow {
+                    env,
+                    app,
+                    metric,
+                    best_class,
+                    scores,
+                });
+            }
+        }
+        LabeledDataset { rows }
+    }
+
+    /// How often each class is the winner (diagnostic for dataset balance).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; candidate_protocols().len()];
+        for row in &self.rows {
+            hist[row.best_class] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::BandwidthClass;
+    use adamant_dds::DdsImplementation;
+    use adamant_netsim::MachineClass;
+
+    fn row(loss: u8, best_class: usize) -> DatasetRow {
+        DatasetRow {
+            env: Environment::new(
+                MachineClass::Pc3000,
+                BandwidthClass::Gbps1,
+                DdsImplementation::OpenDds,
+                loss,
+            ),
+            app: AppParams::new(3, 10),
+            metric: MetricKind::ReLate2,
+            best_class,
+            scores: vec![1.0; 6],
+        }
+    }
+
+    #[test]
+    fn converts_to_training_data() {
+        let ds = LabeledDataset {
+            rows: vec![row(1, 0), row(2, 4), row(3, 5)],
+        };
+        let (data, scaler) = ds.to_training_data();
+        assert_eq!(data.len(), 3);
+        assert_eq!(data.input_dim(), crate::features::FEATURE_DIM);
+        assert_eq!(data.target_dim(), 6);
+        assert_eq!(scaler.dim(), crate::features::FEATURE_DIM);
+        // Scaled features live in [0, 1].
+        for rowv in data.inputs() {
+            assert!(rowv.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+        // Targets are one-hot.
+        assert_eq!(data.targets()[1][4], 1.0);
+        assert_eq!(data.targets()[1].iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn histogram_counts_winners() {
+        let ds = LabeledDataset {
+            rows: vec![row(1, 0), row(2, 0), row(3, 5)],
+        };
+        assert_eq!(ds.class_histogram(), vec![2, 0, 0, 0, 0, 1]);
+        assert_eq!(ds.rows[2].best_protocol(), candidate_protocols()[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_cannot_train() {
+        LabeledDataset::default().to_training_data();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ds = LabeledDataset {
+            rows: vec![row(1, 2)],
+        };
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: LabeledDataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(ds, back);
+    }
+}

@@ -1,0 +1,261 @@
+//! The configuration space of the paper's evaluation: cloud environment
+//! variables (Table 1) and application variables (Table 2).
+
+use adamant_dds::DdsImplementation;
+use adamant_netsim::{Bandwidth, HostConfig, LossModel, MachineClass, NetworkConfig, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// The network bandwidth classes of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BandwidthClass {
+    /// 1 Gb/s LAN.
+    Gbps1,
+    /// 100 Mb/s LAN.
+    Mbps100,
+    /// 10 Mb/s LAN.
+    Mbps10,
+}
+
+impl BandwidthClass {
+    /// All classes, Table 1 order (fastest first).
+    pub fn all() -> [BandwidthClass; 3] {
+        [
+            BandwidthClass::Gbps1,
+            BandwidthClass::Mbps100,
+            BandwidthClass::Mbps10,
+        ]
+    }
+
+    /// The link bandwidth.
+    pub fn bandwidth(self) -> Bandwidth {
+        match self {
+            BandwidthClass::Gbps1 => Bandwidth::GBPS_1,
+            BandwidthClass::Mbps100 => Bandwidth::MBPS_100,
+            BandwidthClass::Mbps10 => Bandwidth::MBPS_10,
+        }
+    }
+
+    /// One-way switch/propagation delay for this network class.
+    ///
+    /// Slower Emulab LANs come with older switching gear; the per-packet
+    /// fixed delay grows as the link slows. This is what makes bandwidth a
+    /// meaningful environment input even for the paper's 12-byte samples,
+    /// whose serialization time alone would barely register.
+    pub fn propagation(self) -> SimDuration {
+        match self {
+            BandwidthClass::Gbps1 => SimDuration::from_micros(50),
+            BandwidthClass::Mbps100 => SimDuration::from_micros(150),
+            BandwidthClass::Mbps10 => SimDuration::from_micros(500),
+        }
+    }
+
+    /// Bandwidth in Mb/s (feature encoding).
+    pub fn mbps(self) -> f64 {
+        self.bandwidth().mbps()
+    }
+}
+
+impl std::fmt::Display for BandwidthClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.bandwidth())
+    }
+}
+
+/// One cloud environment configuration (a row of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Environment {
+    /// Machine type: pc850 or pc3000.
+    pub machine: MachineClass,
+    /// Network bandwidth class: 1 Gb, 100 Mb, or 10 Mb.
+    pub bandwidth: BandwidthClass,
+    /// DDS implementation: OpenDDS or OpenSplice.
+    pub dds: DdsImplementation,
+    /// Percent end-host network loss (1–5 in the paper).
+    pub loss_percent: u8,
+}
+
+impl Environment {
+    /// Creates an environment, validating the loss range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_percent` exceeds 100.
+    pub fn new(
+        machine: MachineClass,
+        bandwidth: BandwidthClass,
+        dds: DdsImplementation,
+        loss_percent: u8,
+    ) -> Self {
+        assert!(loss_percent <= 100, "loss percent out of range");
+        Environment {
+            machine,
+            bandwidth,
+            dds,
+            loss_percent,
+        }
+    }
+
+    /// Every Table 1 configuration: 2 machines × 3 bandwidths × 2 DDS
+    /// implementations × 5 loss rates = 60 environments.
+    pub fn table1() -> Vec<Environment> {
+        let mut all = Vec::with_capacity(60);
+        for machine in MachineClass::all() {
+            for bandwidth in BandwidthClass::all() {
+                for dds in DdsImplementation::all() {
+                    for loss_percent in 1..=5u8 {
+                        all.push(Environment {
+                            machine,
+                            bandwidth,
+                            dds,
+                            loss_percent,
+                        });
+                    }
+                }
+            }
+        }
+        all
+    }
+
+    /// The loss as a probability in `[0, 1]`.
+    pub fn drop_probability(&self) -> f64 {
+        self.loss_percent as f64 / 100.0
+    }
+
+    /// The host configuration every node of this environment runs on (the
+    /// paper's LANs are homogeneous).
+    pub fn host_config(&self) -> HostConfig {
+        HostConfig::new(self.machine, self.bandwidth.bandwidth())
+    }
+
+    /// The network configuration of this environment.
+    pub fn network_config(&self) -> NetworkConfig {
+        NetworkConfig {
+            propagation: self.bandwidth.propagation(),
+            loss: LossModel::NONE,
+        }
+    }
+}
+
+impl std::fmt::Display for Environment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/{}% loss",
+            self.machine, self.bandwidth, self.dds, self.loss_percent
+        )
+    }
+}
+
+/// One application configuration (a row of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AppParams {
+    /// Number of receiving data readers (3–15 in the paper).
+    pub receivers: u32,
+    /// Sending rate in Hz (10, 25, 50, or 100 in the paper).
+    pub rate_hz: u32,
+}
+
+impl AppParams {
+    /// Creates application parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is zero.
+    pub fn new(receivers: u32, rate_hz: u32) -> Self {
+        assert!(receivers > 0, "need at least one receiver");
+        assert!(rate_hz > 0, "rate must be positive");
+        AppParams { receivers, rate_hz }
+    }
+
+    /// The sending rates of Table 2.
+    pub fn table2_rates() -> [u32; 4] {
+        [10, 25, 50, 100]
+    }
+
+    /// The receiver-count range of Table 2.
+    pub fn table2_receivers() -> std::ops::RangeInclusive<u32> {
+        3..=15
+    }
+}
+
+impl std::fmt::Display for AppParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} receivers @ {} Hz", self.receivers, self.rate_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_enumerates_sixty_environments() {
+        let all = Environment::table1();
+        assert_eq!(all.len(), 60);
+        let mut unique = all.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), 60);
+    }
+
+    #[test]
+    fn propagation_grows_as_bandwidth_shrinks() {
+        assert!(BandwidthClass::Mbps10.propagation() > BandwidthClass::Mbps100.propagation());
+        assert!(BandwidthClass::Mbps100.propagation() > BandwidthClass::Gbps1.propagation());
+    }
+
+    #[test]
+    fn display_formats() {
+        let env = Environment::new(
+            MachineClass::Pc3000,
+            BandwidthClass::Gbps1,
+            DdsImplementation::OpenSplice,
+            5,
+        );
+        assert_eq!(env.to_string(), "pc3000/1Gb/OpenSplice/5% loss");
+        assert_eq!(AppParams::new(3, 25).to_string(), "3 receivers @ 25 Hz");
+    }
+
+    #[test]
+    fn drop_probability_from_percent() {
+        let env = Environment::new(
+            MachineClass::Pc850,
+            BandwidthClass::Mbps100,
+            DdsImplementation::OpenDds,
+            5,
+        );
+        assert!((env.drop_probability() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_and_network_configs_reflect_environment() {
+        let env = Environment::new(
+            MachineClass::Pc850,
+            BandwidthClass::Mbps10,
+            DdsImplementation::OpenDds,
+            1,
+        );
+        assert_eq!(env.host_config().machine, MachineClass::Pc850);
+        assert_eq!(env.host_config().bandwidth, Bandwidth::MBPS_10);
+        assert_eq!(
+            env.network_config().propagation,
+            SimDuration::from_micros(500)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn absurd_loss_rejected() {
+        Environment::new(
+            MachineClass::Pc850,
+            BandwidthClass::Mbps10,
+            DdsImplementation::OpenDds,
+            101,
+        );
+    }
+
+    #[test]
+    fn table2_space() {
+        assert_eq!(AppParams::table2_rates(), [10, 25, 50, 100]);
+        assert_eq!(AppParams::table2_receivers().count(), 13);
+    }
+}

@@ -1,0 +1,108 @@
+//! Feature encoding: maps (environment, application, metric) triples onto
+//! the ANN's input vector, and candidate protocols onto output classes.
+
+use adamant_dds::DdsImplementation;
+use adamant_metrics::MetricKind;
+use adamant_netsim::MachineClass;
+use adamant_transport::ProtocolKind;
+
+use crate::env::{AppParams, Environment};
+
+/// Number of ANN input features.
+pub const FEATURE_DIM: usize = 7;
+
+/// The candidate protocol configurations the selector chooses between
+/// (§4.2: four NAKcast timeouts, two Ricochet settings).
+pub fn candidate_protocols() -> [ProtocolKind; 6] {
+    ProtocolKind::paper_candidates()
+}
+
+/// The output class index of `kind`, if it is a candidate.
+pub fn class_index(kind: ProtocolKind) -> Option<usize> {
+    candidate_protocols().iter().position(|&k| k == kind)
+}
+
+/// Index of the metric among the ANN-visible metrics (ReLate2 = 0,
+/// ReLate2Jit = 1, then the extended family).
+pub fn metric_index(metric: MetricKind) -> usize {
+    match metric {
+        MetricKind::ReLate2 => 0,
+        MetricKind::ReLate2Jit => 1,
+        MetricKind::ReLate => 2,
+        MetricKind::ReLate2Burst => 3,
+        MetricKind::ReLate2Net => 4,
+    }
+}
+
+/// Encodes one configuration as raw (unscaled) features:
+/// `[cpu MHz, bandwidth Mb/s, dds, loss %, receivers, rate Hz, metric]`.
+pub fn raw_features(env: &Environment, app: &AppParams, metric: MetricKind) -> [f64; FEATURE_DIM] {
+    let mhz = match env.machine {
+        MachineClass::Pc850 => 850.0,
+        MachineClass::Pc3000 => 3_000.0,
+    };
+    let dds = match env.dds {
+        DdsImplementation::OpenDds => 0.0,
+        DdsImplementation::OpenSplice => 1.0,
+    };
+    [
+        mhz,
+        env.bandwidth.mbps(),
+        dds,
+        env.loss_percent as f64,
+        app.receivers as f64,
+        app.rate_hz as f64,
+        metric_index(metric) as f64,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::BandwidthClass;
+
+    #[test]
+    fn candidates_map_to_dense_classes() {
+        for (i, kind) in candidate_protocols().iter().enumerate() {
+            assert_eq!(class_index(*kind), Some(i));
+        }
+        assert_eq!(class_index(ProtocolKind::Udp), None);
+    }
+
+    #[test]
+    fn features_reflect_configuration() {
+        let env = Environment::new(
+            MachineClass::Pc850,
+            BandwidthClass::Mbps100,
+            DdsImplementation::OpenSplice,
+            4,
+        );
+        let app = AppParams::new(15, 25);
+        let f = raw_features(&env, &app, MetricKind::ReLate2Jit);
+        assert_eq!(f, [850.0, 100.0, 1.0, 4.0, 15.0, 25.0, 1.0]);
+    }
+
+    #[test]
+    fn distinct_configurations_have_distinct_features() {
+        let base = Environment::new(
+            MachineClass::Pc3000,
+            BandwidthClass::Gbps1,
+            DdsImplementation::OpenDds,
+            1,
+        );
+        let app = AppParams::new(3, 10);
+        let f1 = raw_features(&base, &app, MetricKind::ReLate2);
+        let mut other = base;
+        other.loss_percent = 2;
+        let f2 = raw_features(&other, &app, MetricKind::ReLate2);
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn metric_indices_are_dense_and_distinct() {
+        let mut seen: Vec<usize> = MetricKind::all().iter().map(|&m| metric_index(m)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), MetricKind::all().len());
+    }
+}

@@ -1,0 +1,232 @@
+//! Autonomic resource probing (Fig. 3 of the paper): ADAMANT queries the
+//! environment for hardware and networking resources before asking the ANN
+//! for a transport configuration.
+//!
+//! On a real Linux host the paper reads `/proc/cpuinfo` and runs `ethtool`;
+//! [`LinuxProcProbe`] does the former. In simulation, [`SimulatedCloud`]
+//! plays the role of the cloud's provisioning answer.
+
+use adamant_netsim::MachineClass;
+use serde::{Deserialize, Serialize};
+
+use crate::env::{BandwidthClass, Environment};
+
+/// What a probe learned about the platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbedResources {
+    /// CPU clock in MHz.
+    pub cpu_mhz: f64,
+    /// Logical CPU count.
+    pub cpus: u32,
+    /// CPU model string, if available.
+    pub model: Option<String>,
+    /// Link speed in Mb/s, if known.
+    pub link_mbps: Option<f64>,
+}
+
+impl ProbedResources {
+    /// Maps the probed CPU onto the nearest paper machine class (by clock).
+    pub fn machine_class(&self) -> MachineClass {
+        // Midpoint between 850 MHz and 3000 MHz.
+        if self.cpu_mhz < 1_925.0 {
+            MachineClass::Pc850
+        } else {
+            MachineClass::Pc3000
+        }
+    }
+
+    /// Maps the probed link onto the nearest Table 1 bandwidth class
+    /// (defaults to 1 Gb/s when unknown).
+    pub fn bandwidth_class(&self) -> BandwidthClass {
+        match self.link_mbps {
+            Some(mbps) if mbps <= 55.0 => BandwidthClass::Mbps10,
+            Some(mbps) if mbps <= 550.0 => BandwidthClass::Mbps100,
+            _ => BandwidthClass::Gbps1,
+        }
+    }
+}
+
+/// A source of platform resource information.
+pub trait ResourceProbe {
+    /// Queries the platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the underlying source cannot be read or
+    /// parsed.
+    fn probe(&self) -> Result<ProbedResources, String>;
+}
+
+/// Probes the local Linux host through `/proc/cpuinfo`.
+#[derive(Debug, Clone, Default)]
+pub struct LinuxProcProbe {
+    /// Override of the cpuinfo path (tests use a fixture).
+    pub cpuinfo_path: Option<std::path::PathBuf>,
+}
+
+impl LinuxProcProbe {
+    /// Probes the standard `/proc/cpuinfo` location.
+    pub fn new() -> Self {
+        LinuxProcProbe::default()
+    }
+
+    /// Parses cpuinfo text (exposed for testing).
+    pub fn parse(cpuinfo: &str) -> Result<ProbedResources, String> {
+        let mut cpu_mhz = None;
+        let mut cpus = 0u32;
+        let mut model = None;
+        for line in cpuinfo.lines() {
+            let Some((key, value)) = line.split_once(':') else {
+                continue;
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "processor" => cpus += 1,
+                "cpu MHz"
+                    if cpu_mhz.is_none() => {
+                        cpu_mhz = value.parse::<f64>().ok();
+                    }
+                "model name"
+                    if model.is_none() => {
+                        model = Some(value.to_owned());
+                    }
+                _ => {}
+            }
+        }
+        let cpu_mhz = cpu_mhz.ok_or_else(|| "no `cpu MHz` line in cpuinfo".to_owned())?;
+        if cpus == 0 {
+            return Err("no processors listed in cpuinfo".to_owned());
+        }
+        Ok(ProbedResources {
+            cpu_mhz,
+            cpus,
+            model,
+            link_mbps: None,
+        })
+    }
+}
+
+impl ResourceProbe for LinuxProcProbe {
+    fn probe(&self) -> Result<ProbedResources, String> {
+        let path = self
+            .cpuinfo_path
+            .clone()
+            .unwrap_or_else(|| "/proc/cpuinfo".into());
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+}
+
+/// A simulated cloud provisioning answer: yields the resources of a chosen
+/// [`Environment`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedCloud {
+    /// The environment the cloud provisioned.
+    pub environment: Environment,
+}
+
+impl SimulatedCloud {
+    /// Creates a cloud that provisions `environment`.
+    pub fn new(environment: Environment) -> Self {
+        SimulatedCloud { environment }
+    }
+}
+
+impl ResourceProbe for SimulatedCloud {
+    fn probe(&self) -> Result<ProbedResources, String> {
+        let (cpu_mhz, cpus, model) = match self.environment.machine {
+            MachineClass::Pc850 => (850.0, 1, "Pentium III (Coppermine)"),
+            MachineClass::Pc3000 => (3_000.0, 2, "Intel(R) Xeon(TM) CPU 3.00GHz"),
+        };
+        Ok(ProbedResources {
+            cpu_mhz,
+            cpus,
+            model: Some(model.to_owned()),
+            link_mbps: Some(self.environment.bandwidth.mbps()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamant_dds::DdsImplementation;
+
+    const FIXTURE: &str = "\
+processor\t: 0
+vendor_id\t: GenuineIntel
+model name\t: Intel(R) Xeon(TM) CPU 3.00GHz
+cpu MHz\t\t: 2992.689
+cache size\t: 2048 KB
+
+processor\t: 1
+vendor_id\t: GenuineIntel
+model name\t: Intel(R) Xeon(TM) CPU 3.00GHz
+cpu MHz\t\t: 2992.689
+cache size\t: 2048 KB
+";
+
+    #[test]
+    fn parses_cpuinfo_fixture() {
+        let r = LinuxProcProbe::parse(FIXTURE).unwrap();
+        assert_eq!(r.cpus, 2);
+        assert!((r.cpu_mhz - 2992.689).abs() < 1e-9);
+        assert_eq!(r.model.as_deref(), Some("Intel(R) Xeon(TM) CPU 3.00GHz"));
+        assert_eq!(r.machine_class(), MachineClass::Pc3000);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(LinuxProcProbe::parse("hello world").is_err());
+        assert!(LinuxProcProbe::parse("processor : 0\n").is_err());
+    }
+
+    #[test]
+    fn classifies_slow_cpu_as_pc850() {
+        let r = ProbedResources {
+            cpu_mhz: 851.0,
+            cpus: 1,
+            model: None,
+            link_mbps: None,
+        };
+        assert_eq!(r.machine_class(), MachineClass::Pc850);
+    }
+
+    #[test]
+    fn bandwidth_classification() {
+        let mk = |mbps: Option<f64>| ProbedResources {
+            cpu_mhz: 3000.0,
+            cpus: 1,
+            model: None,
+            link_mbps: mbps,
+        };
+        assert_eq!(mk(Some(10.0)).bandwidth_class(), BandwidthClass::Mbps10);
+        assert_eq!(mk(Some(100.0)).bandwidth_class(), BandwidthClass::Mbps100);
+        assert_eq!(mk(Some(1000.0)).bandwidth_class(), BandwidthClass::Gbps1);
+        assert_eq!(mk(None).bandwidth_class(), BandwidthClass::Gbps1);
+    }
+
+    #[test]
+    fn simulated_cloud_round_trips_environment() {
+        let env = Environment::new(
+            MachineClass::Pc850,
+            BandwidthClass::Mbps100,
+            DdsImplementation::OpenSplice,
+            3,
+        );
+        let probed = SimulatedCloud::new(env).probe().unwrap();
+        assert_eq!(probed.machine_class(), MachineClass::Pc850);
+        assert_eq!(probed.bandwidth_class(), BandwidthClass::Mbps100);
+    }
+
+    #[test]
+    fn real_proc_cpuinfo_parses_on_linux() {
+        if std::path::Path::new("/proc/cpuinfo").exists() {
+            let r = LinuxProcProbe::new().probe().unwrap();
+            assert!(r.cpus >= 1);
+            assert!(r.cpu_mhz > 0.0);
+        }
+    }
+}

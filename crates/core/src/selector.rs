@@ -1,0 +1,384 @@
+//! Protocol selection: the ANN-backed selector (ADAMANT's knowledge base)
+//! and a nearest-neighbour lookup-table baseline for comparison.
+
+use std::time::{Duration, Instant};
+
+use adamant_ann::{
+    argmax, evaluate, train, Activation, DecisionTree, DecisionTreeParams, Evaluation,
+    MinMaxScaler, NeuralNetwork, TrainOutcome, TrainParams,
+};
+use adamant_metrics::MetricKind;
+use adamant_transport::ProtocolKind;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::LabeledDataset;
+use crate::env::{AppParams, Environment};
+use crate::features::{candidate_protocols, raw_features, FEATURE_DIM};
+
+/// Architecture and training configuration for the selector's ANN.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectorConfig {
+    /// Hidden-node count (the paper's best network uses 24).
+    pub hidden_nodes: usize,
+    /// Training parameters (stopping error 1e-4 in the paper).
+    pub train: TrainParams,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for SelectorConfig {
+    fn default() -> Self {
+        SelectorConfig {
+            hidden_nodes: 24,
+            train: TrainParams::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// The outcome of one protocol selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// The protocol the selector chose.
+    pub protocol: ProtocolKind,
+    /// The raw per-class output scores.
+    pub scores: Vec<f64>,
+    /// Wall-clock time of the query on this host.
+    pub elapsed: Duration,
+}
+
+/// ADAMANT's trained knowledge base: encodes a configuration, runs the
+/// ANN, and returns the winning transport protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolSelector {
+    network: NeuralNetwork,
+    scaler: MinMaxScaler,
+}
+
+impl ProtocolSelector {
+    /// Trains a selector on `dataset` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn train_from(dataset: &LabeledDataset, config: &SelectorConfig) -> (Self, TrainOutcome) {
+        let (data, scaler) = dataset.to_training_data();
+        let mut network = NeuralNetwork::new(
+            &[FEATURE_DIM, config.hidden_nodes, candidate_protocols().len()],
+            Activation::fann_default(),
+            config.seed,
+        );
+        let outcome = train(&mut network, &data, &config.train);
+        (ProtocolSelector { network, scaler }, outcome)
+    }
+
+    /// Wraps an externally trained network and its feature scaler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network shape does not match the feature/class
+    /// dimensions.
+    pub fn from_parts(network: NeuralNetwork, scaler: MinMaxScaler) -> Self {
+        assert_eq!(network.input_size(), FEATURE_DIM, "input size mismatch");
+        assert_eq!(
+            network.output_size(),
+            candidate_protocols().len(),
+            "output size mismatch"
+        );
+        assert_eq!(scaler.dim(), FEATURE_DIM, "scaler dimension mismatch");
+        ProtocolSelector { network, scaler }
+    }
+
+    /// The underlying network (e.g. for timing models).
+    pub fn network(&self) -> &NeuralNetwork {
+        &self.network
+    }
+
+    /// Selects the transport protocol for a configuration, measuring the
+    /// query's wall-clock time on this host.
+    pub fn select(&self, env: &Environment, app: &AppParams, metric: MetricKind) -> Selection {
+        let raw = raw_features(env, app, metric);
+        let start = Instant::now();
+        let input = self.scaler.transform_row(&raw);
+        let scores = self.network.run(&input);
+        let elapsed = start.elapsed();
+        let class = argmax(&scores).expect("network has outputs");
+        Selection {
+            protocol: candidate_protocols()[class],
+            scores,
+            elapsed,
+        }
+    }
+
+    /// Training-set recall: the paper's "accuracy for environments known
+    /// *a priori*".
+    pub fn evaluate_on(&self, dataset: &LabeledDataset) -> Evaluation {
+        let raw = dataset.raw_inputs();
+        let inputs = self.scaler.transform(&raw);
+        let targets: Vec<Vec<f64>> = dataset
+            .rows
+            .iter()
+            .map(|r| adamant_ann::one_hot(r.best_class, candidate_protocols().len()))
+            .collect();
+        let data = adamant_ann::TrainingData::new(inputs, targets);
+        evaluate(&self.network, &data)
+    }
+}
+
+/// The manual alternative to the ANN: a lookup table of every measured
+/// configuration, answered by nearest neighbour in scaled feature space.
+///
+/// Exact for environments known *a priori*, but its query time grows with
+/// the table (versus the ANN's constant-time pass), and its handling of
+/// unseen environments has no notion of generalisation beyond distance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableSelector {
+    scaler: MinMaxScaler,
+    entries: Vec<(Vec<f64>, usize)>,
+}
+
+impl TableSelector {
+    /// Builds the table from a labelled dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn from_dataset(dataset: &LabeledDataset) -> Self {
+        assert!(!dataset.is_empty(), "cannot build a table from no data");
+        let raw = dataset.raw_inputs();
+        let scaler = MinMaxScaler::fit(&raw);
+        let entries = raw
+            .iter()
+            .zip(&dataset.rows)
+            .map(|(r, row)| (scaler.transform_row(r), row.best_class))
+            .collect();
+        TableSelector { scaler, entries }
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Selects by nearest neighbour, measuring wall-clock time.
+    pub fn select(&self, env: &Environment, app: &AppParams, metric: MetricKind) -> Selection {
+        let raw = raw_features(env, app, metric);
+        let start = Instant::now();
+        let query = self.scaler.transform_row(&raw);
+        let mut best = (f64::INFINITY, 0usize);
+        for (features, class) in &self.entries {
+            let dist: f64 = features
+                .iter()
+                .zip(&query)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if dist < best.0 {
+                best = (dist, *class);
+            }
+        }
+        let elapsed = start.elapsed();
+        let mut scores = vec![0.0; candidate_protocols().len()];
+        scores[best.1] = 1.0;
+        Selection {
+            protocol: candidate_protocols()[best.1],
+            scores,
+            elapsed,
+        }
+    }
+}
+
+/// A decision-tree alternative to the ANN (the paper's "other machine
+/// learning techniques" future-work comparator). Training is deterministic
+/// and querying is a bounded chain of comparisons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeSelector {
+    scaler: MinMaxScaler,
+    tree: DecisionTree,
+}
+
+impl TreeSelector {
+    /// Fits a tree to a labelled dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn from_dataset(dataset: &LabeledDataset, params: DecisionTreeParams) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit a tree to no data");
+        let raw = dataset.raw_inputs();
+        let scaler = MinMaxScaler::fit(&raw);
+        let inputs = scaler.transform(&raw);
+        let labels: Vec<usize> = dataset.rows.iter().map(|r| r.best_class).collect();
+        let tree = DecisionTree::fit(&inputs, &labels, candidate_protocols().len(), params);
+        TreeSelector { scaler, tree }
+    }
+
+    /// The underlying tree (for size/depth inspection).
+    pub fn tree(&self) -> &DecisionTree {
+        &self.tree
+    }
+
+    /// Selects by tree traversal, measuring wall-clock time.
+    pub fn select(&self, env: &Environment, app: &AppParams, metric: MetricKind) -> Selection {
+        let raw = raw_features(env, app, metric);
+        let start = Instant::now();
+        let query = self.scaler.transform_row(&raw);
+        let class = self.tree.predict(&query);
+        let elapsed = start.elapsed();
+        let mut scores = vec![0.0; candidate_protocols().len()];
+        scores[class] = 1.0;
+        Selection {
+            protocol: candidate_protocols()[class],
+            scores,
+            elapsed,
+        }
+    }
+
+    /// Training-set recall.
+    pub fn evaluate_on(&self, dataset: &LabeledDataset) -> f64 {
+        let inputs = self.scaler.transform(&dataset.raw_inputs());
+        let labels: Vec<usize> = dataset.rows.iter().map(|r| r.best_class).collect();
+        self.tree.accuracy(&inputs, &labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetRow;
+    use crate::env::BandwidthClass;
+    use adamant_dds::DdsImplementation;
+    use adamant_netsim::MachineClass;
+
+    /// A synthetic but learnable dataset: pc3000 prefers Ricochet R4C3
+    /// (class 4), pc850 prefers NAKcast 1 ms (class 3) — the paper's
+    /// headline pattern.
+    fn synthetic_dataset() -> LabeledDataset {
+        let mut rows = Vec::new();
+        for machine in MachineClass::all() {
+            for bandwidth in BandwidthClass::all() {
+                for dds in DdsImplementation::all() {
+                    for loss in 1..=5u8 {
+                        for receivers in [3u32, 15] {
+                            let env = Environment::new(machine, bandwidth, dds, loss);
+                            let best_class = match machine {
+                                MachineClass::Pc3000 => 4,
+                                MachineClass::Pc850 => 3,
+                            };
+                            rows.push(DatasetRow {
+                                env,
+                                app: AppParams::new(receivers, 25),
+                                metric: MetricKind::ReLate2,
+                                best_class,
+                                scores: vec![0.0; 6],
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        LabeledDataset { rows }
+    }
+
+    #[test]
+    fn trained_selector_recalls_training_set() {
+        let ds = synthetic_dataset();
+        let (selector, outcome) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
+        assert!(
+            outcome.reached_target || outcome.final_mse < 0.02,
+            "training struggled: {outcome:?}"
+        );
+        let eval = selector.evaluate_on(&ds);
+        assert!(eval.accuracy() > 0.98, "accuracy {}", eval.accuracy());
+    }
+
+    #[test]
+    fn selection_matches_learned_pattern() {
+        let ds = synthetic_dataset();
+        let (selector, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
+        let fast = Environment::new(
+            MachineClass::Pc3000,
+            BandwidthClass::Gbps1,
+            DdsImplementation::OpenSplice,
+            5,
+        );
+        let slow = Environment::new(
+            MachineClass::Pc850,
+            BandwidthClass::Mbps100,
+            DdsImplementation::OpenSplice,
+            5,
+        );
+        let app = AppParams::new(3, 25);
+        assert_eq!(
+            selector.select(&fast, &app, MetricKind::ReLate2).protocol,
+            ProtocolKind::Ricochet { r: 4, c: 3 }
+        );
+        assert!(matches!(
+            selector.select(&slow, &app, MetricKind::ReLate2).protocol,
+            ProtocolKind::Nakcast { .. }
+        ));
+    }
+
+    #[test]
+    fn selection_time_is_measured_and_small() {
+        let ds = synthetic_dataset();
+        let (selector, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
+        let env = ds.rows[0].env;
+        let app = ds.rows[0].app;
+        // Warm up, then measure.
+        let _ = selector.select(&env, &app, MetricKind::ReLate2);
+        let sel = selector.select(&env, &app, MetricKind::ReLate2);
+        assert!(sel.elapsed < Duration::from_millis(1), "{:?}", sel.elapsed);
+        assert_eq!(sel.scores.len(), 6);
+    }
+
+    #[test]
+    fn table_selector_is_exact_on_known_configurations() {
+        let ds = synthetic_dataset();
+        let table = TableSelector::from_dataset(&ds);
+        assert_eq!(table.len(), ds.len());
+        for row in &ds.rows {
+            let sel = table.select(&row.env, &row.app, row.metric);
+            assert_eq!(sel.protocol, row.best_protocol());
+        }
+    }
+
+    #[test]
+    fn tree_selector_recalls_and_generalises_the_pattern() {
+        let ds = synthetic_dataset();
+        let tree = TreeSelector::from_dataset(&ds, adamant_ann::DecisionTreeParams::default());
+        assert!(tree.evaluate_on(&ds) > 0.99, "recall {}", tree.evaluate_on(&ds));
+        let fast = Environment::new(
+            MachineClass::Pc3000,
+            BandwidthClass::Gbps1,
+            DdsImplementation::OpenSplice,
+            5,
+        );
+        let sel = tree.select(&fast, &AppParams::new(3, 25), MetricKind::ReLate2);
+        assert_eq!(sel.protocol, ProtocolKind::Ricochet { r: 4, c: 3 });
+        assert!(tree.tree().depth() >= 1);
+    }
+
+    #[test]
+    fn from_parts_validates_shape() {
+        let ds = synthetic_dataset();
+        let (data, scaler) = ds.to_training_data();
+        let _ = data;
+        let net = NeuralNetwork::new(&[FEATURE_DIM, 4, 6], Activation::fann_default(), 1);
+        let selector = ProtocolSelector::from_parts(net, scaler);
+        let _ = selector.network();
+    }
+
+    #[test]
+    #[should_panic(expected = "output size mismatch")]
+    fn from_parts_rejects_wrong_outputs() {
+        let ds = synthetic_dataset();
+        let (_, scaler) = ds.to_training_data();
+        let net = NeuralNetwork::new(&[FEATURE_DIM, 4, 2], Activation::fann_default(), 1);
+        ProtocolSelector::from_parts(net, scaler);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the ADAMANT core: feature encoding, labelling,
+//! and selection invariants.
+
+use adamant::features::{candidate_protocols, class_index, raw_features, FEATURE_DIM};
+use adamant::{
+    best_class_with_margin, AppParams, BandwidthClass, DatasetRow, Environment, LabeledDataset,
+    ProtocolSelector, SelectorConfig,
+};
+use adamant_dds::DdsImplementation;
+use adamant_metrics::MetricKind;
+use adamant_netsim::MachineClass;
+use proptest::prelude::*;
+
+fn arb_environment() -> impl Strategy<Value = Environment> {
+    (
+        prop_oneof![Just(MachineClass::Pc850), Just(MachineClass::Pc3000)],
+        prop_oneof![
+            Just(BandwidthClass::Gbps1),
+            Just(BandwidthClass::Mbps100),
+            Just(BandwidthClass::Mbps10)
+        ],
+        prop_oneof![
+            Just(DdsImplementation::OpenDds),
+            Just(DdsImplementation::OpenSplice)
+        ],
+        1u8..=5,
+    )
+        .prop_map(|(machine, bandwidth, dds, loss)| {
+            Environment::new(machine, bandwidth, dds, loss)
+        })
+}
+
+fn arb_app() -> impl Strategy<Value = AppParams> {
+    (3u32..=15, prop_oneof![Just(10u32), Just(25), Just(50), Just(100)])
+        .prop_map(|(receivers, rate)| AppParams::new(receivers, rate))
+}
+
+fn arb_metric() -> impl Strategy<Value = MetricKind> {
+    prop_oneof![Just(MetricKind::ReLate2), Just(MetricKind::ReLate2Jit)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Feature encoding is injective over the evaluation space: different
+    /// configurations never collide.
+    #[test]
+    fn feature_encoding_is_injective(
+        a in (arb_environment(), arb_app(), arb_metric()),
+        b in (arb_environment(), arb_app(), arb_metric()),
+    ) {
+        let fa = raw_features(&a.0, &a.1, a.2);
+        let fb = raw_features(&b.0, &b.1, b.2);
+        if a != b {
+            prop_assert_ne!(fa, fb, "distinct configs must encode distinctly");
+        } else {
+            prop_assert_eq!(fa, fb);
+        }
+    }
+
+    /// Every feature vector has the advertised dimension and finite values.
+    #[test]
+    fn features_finite(env in arb_environment(), app in arb_app(), metric in arb_metric()) {
+        let f = raw_features(&env, &app, metric);
+        prop_assert_eq!(f.len(), FEATURE_DIM);
+        prop_assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    /// Margin labelling picks the true argmin when the margin is zero, and
+    /// never picks an index whose score exceeds the margin band.
+    #[test]
+    fn margin_labelling_sound(
+        scores in prop::collection::vec(0.1f64..1e6, 1..6),
+        margin in 0.0f64..0.2,
+    ) {
+        let zero = best_class_with_margin(&scores, 0.0);
+        let min = scores.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(scores[zero], min);
+
+        let with_margin = best_class_with_margin(&scores, margin);
+        prop_assert!(scores[with_margin] <= min * (1.0 + margin) + 1e-9);
+        prop_assert!(with_margin <= zero, "margin can only move labels earlier");
+    }
+
+    /// A trained selector always returns one of the candidate protocols
+    /// with a full score vector, for any query in the space.
+    #[test]
+    fn selector_closed_over_candidates(
+        env in arb_environment(),
+        app in arb_app(),
+        metric in arb_metric(),
+    ) {
+        // A small fixed dataset (training quality irrelevant here).
+        let rows: Vec<DatasetRow> = (1..=5u8)
+            .map(|loss| DatasetRow {
+                env: Environment::new(
+                    MachineClass::Pc3000,
+                    BandwidthClass::Gbps1,
+                    DdsImplementation::OpenDds,
+                    loss,
+                ),
+                app: AppParams::new(3, 10),
+                metric: MetricKind::ReLate2,
+                best_class: (loss % 6) as usize,
+                scores: vec![0.0; 6],
+            })
+            .collect();
+        let dataset = LabeledDataset { rows };
+        let config = SelectorConfig {
+            train: adamant_ann::TrainParams {
+                max_epochs: 5,
+                ..adamant_ann::TrainParams::default()
+            },
+            ..SelectorConfig::default()
+        };
+        let (selector, _) = ProtocolSelector::train_from(&dataset, &config);
+        let selection = selector.select(&env, &app, metric);
+        prop_assert!(class_index(selection.protocol).is_some());
+        prop_assert_eq!(selection.scores.len(), candidate_protocols().len());
+        prop_assert!(selection.scores.iter().all(|s| s.is_finite()));
+    }
+}

@@ -1,0 +1,333 @@
+//! Simple participant/endpoint discovery (an SPDP/SEDP-flavoured
+//! simulation).
+//!
+//! Real DDS implementations discover each other before any data flows:
+//! participants multicast periodic announcements describing their
+//! endpoints, and writers match readers with compatible topic + QoS. This
+//! module reproduces that startup phase on the simulator, so experiments
+//! can account for middleware bring-up time (part of the paper's "timely
+//! configuration" concern) and tests can assert on matching semantics.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use adamant_netsim::{
+    Agent, Ctx, GroupId, OutPacket, Packet, ProcessingCost, SimDuration, SimTime, TimerId,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::qos::QosProfile;
+
+/// Wire tag for discovery announcements.
+pub const TAG_DISCOVERY: u16 = 16;
+
+/// One endpoint advertised by a participant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointInfo {
+    /// Topic name.
+    pub topic: String,
+    /// `true` for a data writer, `false` for a data reader.
+    pub is_writer: bool,
+    /// Offered (writer) or requested (reader) QoS.
+    pub qos: QosProfile,
+}
+
+/// A periodic participant announcement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParticipantAnnouncement {
+    /// The announcing participant's id.
+    pub participant_id: u32,
+    /// The endpoints it hosts.
+    pub endpoints: Vec<EndpointInfo>,
+}
+
+/// Discovery timing constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscoveryConfig {
+    /// Interval between announcements.
+    pub announce_interval: SimDuration,
+    /// How long to keep announcing (bounds the simulation; real SPDP
+    /// announces forever).
+    pub announce_for: SimDuration,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            announce_interval: SimDuration::from_millis(100),
+            announce_for: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// A matched writer/reader pair discovered on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// Topic the endpoints share.
+    pub topic: String,
+    /// Writer's participant id.
+    pub writer_participant: u32,
+    /// Reader's participant id.
+    pub reader_participant: u32,
+    /// When the match was established (at the observing participant).
+    pub matched_at: SimTime,
+}
+
+/// The discovery agent: announces its own endpoints and matches remote
+/// announcements against them.
+#[derive(Debug)]
+pub struct DiscoveryAgent {
+    participant_id: u32,
+    group: GroupId,
+    endpoints: Vec<EndpointInfo>,
+    config: DiscoveryConfig,
+    started_at: SimTime,
+    /// Remote participants seen (id → last announcement time).
+    seen: BTreeMap<u32, SimTime>,
+    matches: Vec<Match>,
+    announcements_sent: u64,
+}
+
+const TIMER_ANNOUNCE: u64 = 40;
+
+impl DiscoveryAgent {
+    /// Creates a discovery agent for participant `participant_id`
+    /// announcing `endpoints` on `group`.
+    pub fn new(
+        participant_id: u32,
+        group: GroupId,
+        endpoints: Vec<EndpointInfo>,
+        config: DiscoveryConfig,
+    ) -> Self {
+        DiscoveryAgent {
+            participant_id,
+            group,
+            endpoints,
+            config,
+            started_at: SimTime::ZERO,
+            seen: BTreeMap::new(),
+            matches: Vec::new(),
+            announcements_sent: 0,
+        }
+    }
+
+    /// Matches established so far (ordered by discovery time).
+    pub fn matches(&self) -> &[Match] {
+        &self.matches
+    }
+
+    /// Remote participants heard from.
+    pub fn participants_seen(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Announcements this agent multicast.
+    pub fn announcements_sent(&self) -> u64 {
+        self.announcements_sent
+    }
+
+    /// Time from start to the first established match, if any.
+    pub fn time_to_first_match(&self) -> Option<SimDuration> {
+        self.matches
+            .first()
+            .map(|m| m.matched_at.saturating_since(self.started_at))
+    }
+
+    fn announce(&mut self, ctx: &mut Ctx<'_>) {
+        // ~48 B header + ~64 B per endpoint entry, SPDP-ish.
+        let size = 48 + 64 * self.endpoints.len() as u32;
+        ctx.send(
+            self.group,
+            OutPacket::new(
+                size,
+                ParticipantAnnouncement {
+                    participant_id: self.participant_id,
+                    endpoints: self.endpoints.clone(),
+                },
+            )
+            .tag(TAG_DISCOVERY)
+            .cost(ProcessingCost::symmetric(SimDuration::from_micros(20))),
+        );
+        self.announcements_sent += 1;
+    }
+
+    fn consider(&mut self, now: SimTime, remote: &ParticipantAnnouncement) {
+        let first_time = !self.seen.contains_key(&remote.participant_id);
+        self.seen.insert(remote.participant_id, now);
+        if !first_time {
+            return; // matches already evaluated for this participant
+        }
+        for local in &self.endpoints {
+            for other in &remote.endpoints {
+                if local.topic != other.topic || local.is_writer == other.is_writer {
+                    continue;
+                }
+                let (writer, reader, wp, rp) = if local.is_writer {
+                    (local, other, self.participant_id, remote.participant_id)
+                } else {
+                    (other, local, remote.participant_id, self.participant_id)
+                };
+                if writer.qos.compatible_with(&reader.qos).is_ok() {
+                    self.matches.push(Match {
+                        topic: local.topic.clone(),
+                        writer_participant: wp,
+                        reader_participant: rp,
+                        matched_at: now,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Agent for DiscoveryAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.started_at = ctx.now();
+        // Random phase, like every periodic protocol in this workspace.
+        let interval = self.config.announce_interval.as_nanos();
+        let phase = SimDuration::from_nanos(ctx.rng().next_below(interval.max(1)));
+        ctx.set_timer(phase, TIMER_ANNOUNCE);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
+        if tag == TIMER_ANNOUNCE {
+            self.announce(ctx);
+            if ctx.now().saturating_since(self.started_at) < self.config.announce_for {
+                ctx.set_timer(self.config.announce_interval, TIMER_ANNOUNCE);
+            }
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        if let Some(announcement) = packet.payload_as::<ParticipantAnnouncement>() {
+            let announcement = announcement.clone();
+            self.consider(ctx.now(), &announcement);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::QosProfile;
+    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, Simulation};
+
+    fn endpoint(topic: &str, is_writer: bool, qos: QosProfile) -> EndpointInfo {
+        EndpointInfo {
+            topic: topic.to_owned(),
+            is_writer,
+            qos,
+        }
+    }
+
+    fn run_discovery(
+        participants: Vec<Vec<EndpointInfo>>,
+    ) -> (Simulation, Vec<adamant_netsim::NodeId>) {
+        let mut sim = Simulation::new(77);
+        let cfg = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+        let group = sim.create_group(&[]);
+        let mut nodes = Vec::new();
+        for (i, endpoints) in participants.into_iter().enumerate() {
+            let node = sim.add_node(
+                cfg,
+                DiscoveryAgent::new(i as u32, group, endpoints, DiscoveryConfig::default()),
+            );
+            sim.join_group(group, node);
+            nodes.push(node);
+        }
+        sim.run_until(SimTime::from_secs(6));
+        (sim, nodes)
+    }
+
+    #[test]
+    fn compatible_endpoints_match_quickly() {
+        let (sim, nodes) = run_discovery(vec![
+            vec![endpoint("sensors", true, QosProfile::reliable())],
+            vec![endpoint("sensors", false, QosProfile::best_effort())],
+            vec![endpoint("sensors", false, QosProfile::reliable())],
+        ]);
+        // The writer sees both readers.
+        let writer = sim.agent::<DiscoveryAgent>(nodes[0]).unwrap();
+        assert_eq!(writer.matches().len(), 2);
+        assert_eq!(writer.participants_seen(), 2);
+        // Each reader sees the writer.
+        for &node in &nodes[1..] {
+            let reader = sim.agent::<DiscoveryAgent>(node).unwrap();
+            assert_eq!(reader.matches().len(), 1);
+            assert_eq!(reader.matches()[0].writer_participant, 0);
+            // Matching completes within a couple of announce intervals.
+            let ttm = reader.time_to_first_match().unwrap();
+            assert!(
+                ttm <= SimDuration::from_millis(250),
+                "slow discovery: {ttm}"
+            );
+        }
+    }
+
+    #[test]
+    fn incompatible_qos_does_not_match() {
+        let (sim, nodes) = run_discovery(vec![
+            vec![endpoint("video", true, QosProfile::best_effort())],
+            // Reader demands reliability the writer does not offer.
+            vec![endpoint("video", false, QosProfile::reliable())],
+        ]);
+        for &node in &nodes {
+            let agent = sim.agent::<DiscoveryAgent>(node).unwrap();
+            assert_eq!(agent.matches().len(), 0);
+            assert_eq!(agent.participants_seen(), 1, "they still see each other");
+        }
+    }
+
+    #[test]
+    fn different_topics_do_not_match() {
+        let (sim, nodes) = run_discovery(vec![
+            vec![endpoint("a", true, QosProfile::reliable())],
+            vec![endpoint("b", false, QosProfile::best_effort())],
+        ]);
+        for &node in &nodes {
+            assert!(sim.agent::<DiscoveryAgent>(node).unwrap().matches().is_empty());
+        }
+    }
+
+    #[test]
+    fn announcements_stop_after_window() {
+        let (sim, nodes) = run_discovery(vec![vec![endpoint(
+            "t",
+            true,
+            QosProfile::reliable(),
+        )]]);
+        let agent = sim.agent::<DiscoveryAgent>(nodes[0]).unwrap();
+        // ~5 s window at 100 ms intervals → ~50 announcements, then quiet.
+        assert!(
+            (45..=55).contains(&agent.announcements_sent()),
+            "sent {}",
+            agent.announcements_sent()
+        );
+    }
+
+    #[test]
+    fn writers_and_readers_in_one_participant_both_match() {
+        let (sim, nodes) = run_discovery(vec![
+            vec![
+                endpoint("up", true, QosProfile::reliable()),
+                endpoint("down", false, QosProfile::best_effort()),
+            ],
+            vec![
+                endpoint("up", false, QosProfile::reliable()),
+                endpoint("down", true, QosProfile::reliable()),
+            ],
+        ]);
+        let a = sim.agent::<DiscoveryAgent>(nodes[0]).unwrap();
+        let topics: Vec<&str> = a.matches().iter().map(|m| m.topic.as_str()).collect();
+        assert!(topics.contains(&"up"));
+        assert!(topics.contains(&"down"));
+    }
+}

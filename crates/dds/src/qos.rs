@@ -1,0 +1,301 @@
+//! DDS QoS policy vocabulary (a pragmatic subset of the OMG DDS 1.2
+//! specification) with requested-vs-offered compatibility checking.
+
+use adamant_netsim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// RELIABILITY QoS policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Reliability {
+    /// Samples may be lost; no recovery machinery engaged.
+    BestEffort,
+    /// The middleware attempts to deliver every sample.
+    Reliable,
+}
+
+/// HISTORY QoS policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum History {
+    /// Retain only the most recent `depth` samples per instance.
+    KeepLast(u32),
+    /// Retain all samples (bounded by resource limits).
+    KeepAll,
+}
+
+/// DURABILITY QoS policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Durability {
+    /// Samples exist only while in transit.
+    Volatile,
+    /// Late-joining readers receive the writer's history cache.
+    TransientLocal,
+}
+
+/// Ordering guarantee requested by the application (DESTINATION_ORDER
+/// crossed with presentation, collapsed to what the transports provide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ordering {
+    /// Samples may be delivered in any order.
+    Unordered,
+    /// Samples are delivered in publication order.
+    SourceOrdered,
+}
+
+/// A bundle of QoS policies for a writer or reader.
+///
+/// # Examples
+///
+/// ```
+/// use adamant_dds::QosProfile;
+///
+/// let qos = QosProfile::reliable();
+/// assert!(qos.compatible_with(&QosProfile::best_effort()).is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosProfile {
+    /// Delivery guarantee.
+    pub reliability: Reliability,
+    /// Sample cache behaviour.
+    pub history: History,
+    /// Availability to late joiners.
+    pub durability: Durability,
+    /// Delivery ordering.
+    pub ordering: Ordering,
+    /// Maximum tolerated inter-sample gap, if any (DEADLINE).
+    pub deadline: Option<SimDuration>,
+    /// Acceptable added latency for batching (LATENCY_BUDGET).
+    pub latency_budget: SimDuration,
+}
+
+impl QosProfile {
+    /// Reliable, keep-all, source-ordered: the profile of the paper's
+    /// NAKcast-style sessions.
+    pub fn reliable() -> Self {
+        QosProfile {
+            reliability: Reliability::Reliable,
+            history: History::KeepAll,
+            durability: Durability::Volatile,
+            ordering: Ordering::SourceOrdered,
+            deadline: None,
+            latency_budget: SimDuration::ZERO,
+        }
+    }
+
+    /// Best-effort, keep-last(1): plain UDP-style streaming.
+    pub fn best_effort() -> Self {
+        QosProfile {
+            reliability: Reliability::BestEffort,
+            history: History::KeepLast(1),
+            durability: Durability::Volatile,
+            ordering: Ordering::Unordered,
+            deadline: None,
+            latency_budget: SimDuration::ZERO,
+        }
+    }
+
+    /// Time-critical probabilistic delivery: reliable-ish but unordered,
+    /// the profile Ricochet-style LEC serves.
+    pub fn time_critical() -> Self {
+        QosProfile {
+            reliability: Reliability::Reliable,
+            history: History::KeepLast(64),
+            durability: Durability::Volatile,
+            ordering: Ordering::Unordered,
+            deadline: None,
+            latency_budget: SimDuration::ZERO,
+        }
+    }
+
+    /// Checks DDS requested-vs-offered compatibility: `self` is the
+    /// writer's *offered* QoS, `requested` the reader's.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`QosMismatch`] found, per the DDS RxO rules:
+    /// a reader may not request stronger reliability, durability, ordering,
+    /// or a tighter deadline than the writer offers.
+    pub fn compatible_with(&self, requested: &QosProfile) -> Result<(), QosMismatch> {
+        if requested.reliability == Reliability::Reliable
+            && self.reliability == Reliability::BestEffort
+        {
+            return Err(QosMismatch::Reliability);
+        }
+        if requested.durability > self.durability {
+            return Err(QosMismatch::Durability);
+        }
+        if requested.ordering == Ordering::SourceOrdered && self.ordering == Ordering::Unordered {
+            return Err(QosMismatch::Ordering);
+        }
+        match (self.deadline, requested.deadline) {
+            (Some(offered), Some(asked)) if offered > asked => {
+                return Err(QosMismatch::Deadline)
+            }
+            (None, Some(_)) => return Err(QosMismatch::Deadline),
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+impl QosProfile {
+    /// Sets the DEADLINE period (builder-style).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adamant_dds::QosProfile;
+    /// use adamant_netsim::SimDuration;
+    ///
+    /// let qos = QosProfile::reliable().with_deadline(SimDuration::from_millis(100));
+    /// assert_eq!(qos.deadline, Some(SimDuration::from_millis(100)));
+    /// ```
+    pub fn with_deadline(mut self, period: SimDuration) -> Self {
+        self.deadline = Some(period);
+        self
+    }
+
+    /// Sets the LATENCY_BUDGET (builder-style).
+    pub fn with_latency_budget(mut self, budget: SimDuration) -> Self {
+        self.latency_budget = budget;
+        self
+    }
+
+    /// Sets the HISTORY policy (builder-style).
+    pub fn with_history(mut self, history: History) -> Self {
+        self.history = history;
+        self
+    }
+
+    /// Sets the DURABILITY policy (builder-style).
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+}
+
+impl Default for QosProfile {
+    fn default() -> Self {
+        QosProfile::reliable()
+    }
+}
+
+/// Why a reader's requested QoS cannot be served by a writer's offered QoS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QosMismatch {
+    /// Reader requests Reliable, writer offers BestEffort.
+    Reliability,
+    /// Reader requests stronger durability than offered.
+    Durability,
+    /// Reader requests ordered delivery, writer offers unordered.
+    Ordering,
+    /// Reader requests a deadline the writer does not promise.
+    Deadline,
+}
+
+impl std::fmt::Display for QosMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QosMismatch::Reliability => write!(f, "requested reliability exceeds offered"),
+            QosMismatch::Durability => write!(f, "requested durability exceeds offered"),
+            QosMismatch::Ordering => write!(f, "requested ordering exceeds offered"),
+            QosMismatch::Deadline => write!(f, "requested deadline tighter than offered"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_offer_satisfies_any_request() {
+        let offered = QosProfile::reliable();
+        for requested in [
+            QosProfile::reliable(),
+            QosProfile::best_effort(),
+            QosProfile::time_critical(),
+        ] {
+            assert!(offered.compatible_with(&requested).is_ok());
+        }
+    }
+
+    #[test]
+    fn best_effort_offer_rejects_reliable_request() {
+        let offered = QosProfile::best_effort();
+        assert_eq!(
+            offered.compatible_with(&QosProfile::reliable()),
+            Err(QosMismatch::Reliability)
+        );
+    }
+
+    #[test]
+    fn unordered_offer_rejects_ordered_request() {
+        let offered = QosProfile::time_critical();
+        let requested = QosProfile::reliable(); // source-ordered
+        assert_eq!(
+            offered.compatible_with(&requested),
+            Err(QosMismatch::Ordering)
+        );
+    }
+
+    #[test]
+    fn durability_is_ordered() {
+        let mut offered = QosProfile::reliable();
+        let mut requested = QosProfile::reliable();
+        requested.durability = Durability::TransientLocal;
+        assert_eq!(
+            offered.compatible_with(&requested),
+            Err(QosMismatch::Durability)
+        );
+        offered.durability = Durability::TransientLocal;
+        assert!(offered.compatible_with(&requested).is_ok());
+    }
+
+    #[test]
+    fn deadline_rules() {
+        let mut offered = QosProfile::reliable();
+        let mut requested = QosProfile::reliable();
+        requested.deadline = Some(SimDuration::from_millis(10));
+        // Writer promises nothing: incompatible.
+        assert_eq!(
+            offered.compatible_with(&requested),
+            Err(QosMismatch::Deadline)
+        );
+        // Writer promises 20 ms, reader wants 10 ms: incompatible.
+        offered.deadline = Some(SimDuration::from_millis(20));
+        assert_eq!(
+            offered.compatible_with(&requested),
+            Err(QosMismatch::Deadline)
+        );
+        // Writer promises 5 ms: fine.
+        offered.deadline = Some(SimDuration::from_millis(5));
+        assert!(offered.compatible_with(&requested).is_ok());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let qos = QosProfile::best_effort()
+            .with_deadline(SimDuration::from_millis(50))
+            .with_latency_budget(SimDuration::from_millis(5))
+            .with_history(History::KeepLast(8))
+            .with_durability(Durability::TransientLocal);
+        assert_eq!(qos.deadline, Some(SimDuration::from_millis(50)));
+        assert_eq!(qos.latency_budget, SimDuration::from_millis(5));
+        assert_eq!(qos.history, History::KeepLast(8));
+        assert_eq!(qos.durability, Durability::TransientLocal);
+        assert_eq!(qos.reliability, Reliability::BestEffort);
+    }
+
+    #[test]
+    fn mismatch_messages_are_lowercase() {
+        for m in [
+            QosMismatch::Reliability,
+            QosMismatch::Durability,
+            QosMismatch::Ordering,
+            QosMismatch::Deadline,
+        ] {
+            let text = m.to_string();
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the DDS entity layer: random QoS combinations
+//! and entity topologies must always be validated consistently.
+
+use adamant_dds::{
+    DdsImplementation, DomainParticipant, Durability, History, Ordering, QosProfile, Reliability,
+};
+use adamant_netsim::{Bandwidth, HostConfig, MachineClass, SimDuration, Simulation};
+use adamant_transport::{AppSpec, ProtocolKind, TransportConfig};
+use proptest::prelude::*;
+
+fn arb_qos() -> impl Strategy<Value = QosProfile> {
+    (
+        prop_oneof![Just(Reliability::BestEffort), Just(Reliability::Reliable)],
+        prop_oneof![
+            Just(History::KeepAll),
+            (1u32..64).prop_map(History::KeepLast)
+        ],
+        prop_oneof![Just(Durability::Volatile), Just(Durability::TransientLocal)],
+        prop_oneof![Just(Ordering::Unordered), Just(Ordering::SourceOrdered)],
+        prop_oneof![Just(None), (1u64..1_000).prop_map(|ms| Some(SimDuration::from_millis(ms)))],
+    )
+        .prop_map(|(reliability, history, durability, ordering, deadline)| QosProfile {
+            reliability,
+            history,
+            durability,
+            ordering,
+            deadline,
+            latency_budget: SimDuration::ZERO,
+        })
+}
+
+fn arb_protocol() -> impl Strategy<Value = ProtocolKind> {
+    prop_oneof![
+        Just(ProtocolKind::Udp),
+        (1u64..50).prop_map(|ms| ProtocolKind::Nakcast {
+            timeout: SimDuration::from_millis(ms)
+        }),
+        (2u8..8, 1u8..4).prop_map(|(r, c)| ProtocolKind::Ricochet { r, c }),
+        (5u64..50).prop_map(|ms| ProtocolKind::Ackcast {
+            rto: SimDuration::from_millis(ms)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// QoS compatibility is reflexive: any profile can serve itself.
+    #[test]
+    fn compatibility_is_reflexive(qos in arb_qos()) {
+        prop_assert!(qos.compatible_with(&qos).is_ok());
+    }
+
+    /// The strongest offer (reliable, transient-local, ordered, tightest
+    /// deadline) satisfies every request with an equal-or-looser deadline.
+    #[test]
+    fn strongest_offer_satisfies_all(requested in arb_qos()) {
+        let offered = QosProfile {
+            reliability: Reliability::Reliable,
+            history: History::KeepAll,
+            durability: Durability::TransientLocal,
+            ordering: Ordering::SourceOrdered,
+            deadline: Some(SimDuration::from_nanos(1)),
+            latency_budget: SimDuration::ZERO,
+        };
+        prop_assert!(offered.compatible_with(&requested).is_ok());
+    }
+
+    /// `install` never panics for arbitrary QoS/protocol combinations: it
+    /// either installs a coherent session or returns a typed error — and
+    /// when it succeeds, every reader's QoS was compatible and the
+    /// transport satisfies the session's needs.
+    #[test]
+    fn install_is_total_and_sound(
+        writer_qos in arb_qos(),
+        reader_qos in arb_qos(),
+        protocol in arb_protocol(),
+        readers in 1usize..4,
+    ) {
+        let mut participant = DomainParticipant::new(0, DdsImplementation::OpenSplice);
+        let topic = participant.create_topic::<u32>("t", writer_qos).unwrap();
+        let host = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+        participant
+            .create_data_writer(topic, writer_qos, AppSpec::at_rate(10, 100.0, 12), host)
+            .unwrap();
+        for _ in 0..readers {
+            participant
+                .create_data_reader(topic, reader_qos, host, 0.01)
+                .unwrap();
+        }
+        let mut sim = Simulation::new(1);
+        match participant.install(&mut sim, topic, TransportConfig::new(protocol)) {
+            Ok(handles) => {
+                prop_assert_eq!(handles.receivers.len(), readers);
+                prop_assert!(writer_qos.compatible_with(&reader_qos).is_ok());
+                // The session actually runs to completion.
+                sim.run_until(adamant_netsim::SimTime::from_secs(3));
+                let report = adamant_transport::ant::collect_report(&sim, &handles);
+                prop_assert!(report.reliability() > 0.5);
+            }
+            Err(e) => {
+                // Errors are typed and displayable.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// Topic names are unique per participant regardless of QoS.
+    #[test]
+    fn duplicate_topics_always_rejected(a in arb_qos(), b in arb_qos()) {
+        let mut participant = DomainParticipant::new(0, DdsImplementation::OpenDds);
+        participant.create_topic::<u32>("same", a).unwrap();
+        prop_assert!(participant.create_topic::<u64>("same", b).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Artifact persistence: every regenerated figure and the training dataset
+//! are written as JSON so results are inspectable and reruns can reuse the
+//! expensive sweep outputs.
+
+use std::path::{Path, PathBuf};
+
+use serde::{de::DeserializeOwned, Serialize};
+
+/// The artifact directory: `$ADAMANT_ARTIFACTS` or `./artifacts`.
+pub fn artifacts_dir() -> PathBuf {
+    std::env::var_os("ADAMANT_ARTIFACTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("artifacts"))
+}
+
+/// Serialises `value` as pretty JSON under the artifact directory.
+///
+/// # Errors
+///
+/// Returns an error message when the directory cannot be created or the
+/// file cannot be written.
+pub fn save<T: Serialize>(name: &str, value: &T) -> Result<PathBuf, String> {
+    let dir = artifacts_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    let path = dir.join(name);
+    let json = serde_json::to_string_pretty(value).map_err(|e| format!("serialise: {e}"))?;
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Loads an artifact saved by [`save`].
+///
+/// # Errors
+///
+/// Returns an error message when the file is missing or malformed.
+pub fn load<T: DeserializeOwned>(name: &str) -> Result<T, String> {
+    load_from(&artifacts_dir().join(name))
+}
+
+/// Loads an artifact from an explicit path.
+///
+/// # Errors
+///
+/// Returns an error message when the file is missing or malformed.
+pub fn load_from<T: DeserializeOwned>(path: &Path) -> Result<T, String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    serde_json::from_str(&json).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("adamant-artifacts-{}", std::process::id()));
+        // Scoped env override.
+        std::env::set_var("ADAMANT_ARTIFACTS", &dir);
+        let value = vec![1u32, 2, 3];
+        let path = save("test.json", &value).unwrap();
+        assert!(path.exists());
+        let back: Vec<u32> = load("test.json").unwrap();
+        assert_eq!(back, value);
+        std::env::remove_var("ADAMANT_ARTIFACTS");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_reports_error() {
+        let err = load_from::<Vec<u32>>(Path::new("/definitely/not/here.json")).unwrap_err();
+        assert!(err.contains("read"));
+    }
+}

@@ -1,0 +1,73 @@
+//! The operator's tool: probe *this* machine, consult the trained
+//! knowledge base, and print the transport ADAMANT would configure.
+//!
+//! ```text
+//! adamant_cli [dds] [loss%] [receivers] [rate_hz] [relate2|relate2jit]
+//! ```
+//!
+//! Requires `artifacts/selector.json` (produce it with `train`). This is
+//! the paper's Figure 3 control flow pointed at the real host: the probe
+//! reads `/proc/cpuinfo`; bandwidth defaults to 1 Gb/s when unknown.
+
+use adamant::{AppParams, Environment, LinuxProcProbe, ProtocolSelector, ResourceProbe};
+use adamant_dds::DdsImplementation;
+use adamant_experiments::artifacts;
+use adamant_metrics::MetricKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dds = match args.first().map(String::as_str) {
+        Some("opendds") => DdsImplementation::OpenDds,
+        _ => DdsImplementation::OpenSplice,
+    };
+    let loss: u8 = args
+        .get(1)
+        .and_then(|s| s.trim_end_matches('%').parse().ok())
+        .unwrap_or(5);
+    let receivers: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let rate: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(25);
+    let metric = match args.get(4).map(String::as_str) {
+        Some("relate2jit") => MetricKind::ReLate2Jit,
+        _ => MetricKind::ReLate2,
+    };
+
+    let selector: ProtocolSelector = artifacts::load("selector.json").unwrap_or_else(|e| {
+        eprintln!("cannot load selector artifact ({e}); run `train` first");
+        std::process::exit(1);
+    });
+
+    let probe = LinuxProcProbe::new();
+    let probed = match probe.probe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("platform probe failed ({e})");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "probed: {} MHz × {} cpus ({})",
+        probed.cpu_mhz.round(),
+        probed.cpus,
+        probed.model.as_deref().unwrap_or("unknown model")
+    );
+    let env = Environment::new(probed.machine_class(), probed.bandwidth_class(), dds, loss);
+    let app = AppParams::new(receivers, rate);
+    println!("mapped to paper environment: {env}");
+    println!("application: {app}, optimising {metric}");
+
+    // Warm up once, then report a measured decision.
+    let _ = selector.select(&env, &app, metric);
+    let selection = selector.select(&env, &app, metric);
+    println!(
+        "\n→ configure transport: {}   (decided in {:?})",
+        selection.protocol, selection.elapsed
+    );
+    print!("  class scores:");
+    for (kind, score) in adamant::features::candidate_protocols()
+        .iter()
+        .zip(&selection.scores)
+    {
+        print!(" {}={score:.3}", kind.label());
+    }
+    println!();
+}

@@ -1,0 +1,74 @@
+//! Calibration diagnostic: prints per-protocol QoS for the paper's
+//! headline configurations (Figs 4–5 and 10–11) so the simulator constants
+//! can be tuned to reproduce the published shapes.
+
+use adamant::{AppParams, BandwidthClass, Environment};
+use adamant_dds::DdsImplementation;
+use adamant_experiments::{run_all, Averaged, RunSpec};
+use adamant_metrics::{MetricKind, QosReport};
+use adamant_netsim::{MachineClass, SimDuration};
+use adamant_transport::{ProtocolKind, Tuning};
+
+fn main() {
+    let samples: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000);
+    let reps: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let protocols = [
+        ProtocolKind::Nakcast { timeout: SimDuration::from_millis(1) },
+        ProtocolKind::Ricochet { r: 4, c: 3 },
+        ProtocolKind::Ricochet { r: 8, c: 3 },
+        ProtocolKind::Nakcast { timeout: SimDuration::from_millis(50) },
+    ];
+    let configs = [
+        ("fig4-ish pc3000/1Gb 3rcv", MachineClass::Pc3000, BandwidthClass::Gbps1, 3u32, 10u32),
+        ("fig4-ish pc3000/1Gb 3rcv", MachineClass::Pc3000, BandwidthClass::Gbps1, 3, 25),
+        ("fig5-ish pc850/100Mb 3rcv", MachineClass::Pc850, BandwidthClass::Mbps100, 3, 10),
+        ("fig5-ish pc850/100Mb 3rcv", MachineClass::Pc850, BandwidthClass::Mbps100, 3, 25),
+        ("fig10-ish pc3000/1Gb 15rcv", MachineClass::Pc3000, BandwidthClass::Gbps1, 15, 10),
+        ("fig11-ish pc850/100Mb 15rcv", MachineClass::Pc850, BandwidthClass::Mbps100, 15, 10),
+    ];
+
+    for (label, machine, bw, receivers, rate) in configs {
+        println!("\n=== {label} rate={rate}Hz loss=5% ===");
+        println!(
+            "{:<22} {:>9} {:>10} {:>10} {:>12} {:>14}",
+            "protocol", "reliab", "lat_us", "jit_us", "ReLate2", "ReLate2Jit"
+        );
+        let env = Environment::new(machine, bw, DdsImplementation::OpenSplice, 5);
+        let app = AppParams::new(receivers, rate);
+        for protocol in protocols {
+            let specs: Vec<RunSpec> = (0..reps)
+                .map(|repetition| RunSpec {
+                    env,
+                    app,
+                    protocol,
+                    samples,
+                    repetition,
+                })
+                .collect();
+            let results = run_all(&specs, Tuning::default());
+            let reports: Vec<QosReport> =
+                results.iter().map(|r| r.report.clone()).collect();
+            let avg = Averaged::over(&reports);
+            let relate2: f64 = reports.iter().map(|r| MetricKind::ReLate2.score(r)).sum::<f64>()
+                / reports.len() as f64;
+            let relate2jit: f64 =
+                reports.iter().map(|r| MetricKind::ReLate2Jit.score(r)).sum::<f64>()
+                    / reports.len() as f64;
+            println!(
+                "{:<22} {:>9.5} {:>10.1} {:>10.1} {:>12.1} {:>14.0}",
+                protocol.label(),
+                avg.reliability,
+                avg.avg_latency_us,
+                avg.jitter_us,
+                relate2,
+                relate2jit
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Diagnostic: distribution of recovered-packet latencies for NAKcast.
+use adamant::{AppParams, BandwidthClass, Environment, Scenario};
+use adamant_dds::DdsImplementation;
+use adamant_netsim::{MachineClass, SimDuration};
+use adamant_transport::{ProtocolKind, TransportConfig};
+
+fn main() {
+    let app = AppParams::new(3, 10);
+    // Run via the lower-level ant API so we can inspect individual readers.
+    use adamant_transport::{ant, AppSpec, SessionSpec};
+    let args: Vec<String> = std::env::args().collect();
+    let proto = args.get(1).map(String::as_str).unwrap_or("nak");
+    let receivers: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let machine = if args.get(3).map(String::as_str) == Some("pc850") {
+        MachineClass::Pc850
+    } else {
+        MachineClass::Pc3000
+    };
+    let bwc = if args.get(3).map(String::as_str) == Some("pc850") {
+        BandwidthClass::Mbps100
+    } else {
+        BandwidthClass::Gbps1
+    };
+    let env = Environment::new(machine, bwc, DdsImplementation::OpenSplice, 5);
+    let kind = if proto == "ric" {
+        ProtocolKind::Ricochet { r: 4, c: 3 }
+    } else {
+        ProtocolKind::Nakcast { timeout: SimDuration::from_millis(1) }
+    };
+    let mut tuning = adamant_transport::Tuning::default();
+    if args.iter().any(|a| a == "nomaint") {
+        tuning.fec_maintenance_every = 0;
+    }
+    if args.iter().any(|a| a == "nomember") {
+        tuning.membership_interval = SimDuration::from_secs(10_000);
+    }
+    if args.iter().any(|a| a == "norepair") {
+        tuning.fec_repair_rx_cost_us = 0.0;
+        tuning.fec_repair_tx_cost_us = 0.0;
+    }
+    let spec = SessionSpec {
+        transport: TransportConfig::new(kind).with_tuning(tuning),
+        app: AppSpec::at_rate(1000, 10.0, 12),
+        stack: env.dds.stack_profile(),
+        sender_host: env.host_config(),
+        receiver_hosts: vec![env.host_config(); receivers],
+        drop_probability: 0.05,
+    };
+    let scenario = Scenario::paper(env, app, 1).with_samples(1000);
+    let _ = scenario;
+    let mut sim = adamant_netsim::Simulation::new(1).with_network(env.network_config());
+    let handles = ant::install(&mut sim, &spec);
+    sim.run_until(adamant_netsim::SimTime::from_secs(110));
+    for &node in &handles.receivers {
+        let r = ant::reader(&sim, &handles, node);
+        let (rec, orig): (Vec<_>, Vec<_>) = r.log().deliveries().iter().partition(|d| d.recovered);
+        let avg = |v: &[&adamant_metrics::Delivery]| {
+            if v.is_empty() { return 0.0 }
+            v.iter().map(|d| d.latency().as_micros_f64()).sum::<f64>() / v.len() as f64
+        };
+        let rec_refs: Vec<&adamant_metrics::Delivery> = rec.to_vec();
+        let orig_refs: Vec<&adamant_metrics::Delivery> = orig.to_vec();
+        let mut rec_lats: Vec<f64> = rec_refs.iter().map(|d| d.latency().as_micros_f64()).collect();
+        rec_lats.sort_by(f64::total_cmp);
+        println!(
+            "reader {node}: delivered {} recovered {} dropped {} avg_orig {:.1} avg_rec {:.1} rec_p50 {:.1} rec_max {:.1}",
+            r.log().delivered_count(),
+            rec_refs.len(),
+            r.dropped(),
+            avg(&orig_refs),
+            avg(&rec_refs),
+            rec_lats.get(rec_lats.len()/2).copied().unwrap_or(0.0),
+            rec_lats.last().copied().unwrap_or(0.0),
+        );
+    }
+}

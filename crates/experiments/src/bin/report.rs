@@ -1,0 +1,83 @@
+//! Renders the saved figure artifacts as a standalone markdown report
+//! (`artifacts/report.md`) — the machine-generated companion to
+//! EXPERIMENTS.md.
+//!
+//! ```text
+//! report          (needs artifacts/figures.json; see `figures`)
+//! ```
+
+use std::fmt::Write as _;
+
+use adamant_experiments::artifacts;
+use adamant_experiments::figures::{check_shapes, FigureData};
+
+fn main() {
+    let mut figures: Vec<FigureData> = artifacts::load("figures.json").unwrap_or_else(|e| {
+        eprintln!("cannot load figures artifact ({e}); run `figures` first");
+        std::process::exit(1);
+    });
+    figures.sort_by_key(|f| {
+        f.id.trim_start_matches("fig")
+            .parse::<u32>()
+            .unwrap_or(u32::MAX)
+    });
+
+    let mut md = String::new();
+    let _ = writeln!(md, "# Regenerated figures\n");
+    let _ = writeln!(
+        md,
+        "Machine-rendered from `artifacts/figures.json`. See EXPERIMENTS.md \
+         for the paper-vs-measured discussion.\n"
+    );
+
+    let _ = writeln!(md, "## Shape checks\n");
+    let checks = check_shapes(&figures);
+    let passed = checks.iter().filter(|(_, ok)| *ok).count();
+    let _ = writeln!(md, "**{passed} / {} claims hold.**\n", checks.len());
+    for (claim, ok) in &checks {
+        let _ = writeln!(md, "- {} {claim}", if *ok { "✅" } else { "❌" });
+    }
+    let _ = writeln!(md);
+
+    for figure in &figures {
+        let _ = writeln!(md, "## {} — {}\n", figure.id, figure.title);
+        let _ = writeln!(md, "*{}*\n", figure.y_axis);
+        // Header from the longest series.
+        let width = figure
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
+        let mut header = String::from("| series |");
+        let mut rule = String::from("|---|");
+        if width > 0 {
+            for p in &figure.series[0].points {
+                let _ = write!(header, " {} |", p.x);
+                rule.push_str("---|");
+            }
+        }
+        header.push_str(" mean |");
+        rule.push_str("---|");
+        let _ = writeln!(md, "{header}");
+        let _ = writeln!(md, "{rule}");
+        for series in &figure.series {
+            let _ = write!(md, "| {} |", series.label);
+            for p in &series.points {
+                let _ = write!(md, " {:.2} |", p.y);
+            }
+            for _ in series.points.len()..width {
+                let _ = write!(md, " |");
+            }
+            let _ = writeln!(md, " **{:.2}** |", series.mean());
+        }
+        let _ = writeln!(md, "\n> paper shape: {}\n", figure.paper_shape);
+    }
+
+    let dir = artifacts::artifacts_dir();
+    let path = dir.join("report.md");
+    std::fs::create_dir_all(&dir).expect("artifact dir");
+    std::fs::write(&path, md).expect("write report");
+    println!("wrote {} ({} figures, {passed}/{} checks pass)",
+        path.display(), figures.len(), checks.len());
+}

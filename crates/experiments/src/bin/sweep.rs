@@ -1,0 +1,119 @@
+//! Full-grid winner map: sweeps the complete Table 1 × Table 2 space and
+//! prints which candidate protocol wins each environment under each
+//! composite metric — the exhaustive version of the paper's "no single
+//! protocol performs best in all cases" claim.
+//!
+//! ```text
+//! sweep [samples] [reps]   (defaults: 1500, 3)
+//! ```
+
+use std::collections::BTreeMap;
+
+use adamant::features::candidate_protocols;
+use adamant::{best_class_with_margin, LABEL_MARGIN};
+use adamant_experiments::dataset_gen::full_grid;
+use adamant_experiments::{run_all, RunSpec};
+use adamant_metrics::{MetricKind, QosReport};
+use adamant_transport::Tuning;
+
+fn main() {
+    let samples: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_500);
+    let reps: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    let grid = full_grid();
+    let candidates = candidate_protocols();
+    println!(
+        "sweeping {} configurations × {} candidates × {} repetitions...",
+        grid.len(),
+        candidates.len(),
+        reps
+    );
+
+    // winners[metric][class] → count; flips[metric] counts environments
+    // where hardware alone changes the winner.
+    let mut winners: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut rows = Vec::new();
+    let started = std::time::Instant::now();
+    for (i, &(env, app)) in grid.iter().enumerate() {
+        if i % 40 == 0 {
+            println!("  {i}/{} ({:.0?})", grid.len(), started.elapsed());
+        }
+        let specs: Vec<RunSpec> = candidates
+            .iter()
+            .flat_map(|&protocol| {
+                (0..reps).map(move |repetition| RunSpec {
+                    env,
+                    app,
+                    protocol,
+                    samples,
+                    repetition,
+                })
+            })
+            .collect();
+        let results = run_all(&specs, Tuning::default());
+        for metric in MetricKind::paper_metrics() {
+            let scores: Vec<f64> = (0..candidates.len())
+                .map(|c| {
+                    let reports: Vec<&QosReport> = results
+                        [c * reps as usize..(c + 1) * reps as usize]
+                        .iter()
+                        .map(|r| &r.report)
+                        .collect();
+                    reports.iter().map(|r| metric.score(r)).sum::<f64>() / reports.len() as f64
+                })
+                .collect();
+            let best = best_class_with_margin(&scores, LABEL_MARGIN);
+            winners
+                .entry(metric.to_string())
+                .or_insert_with(|| vec![0; candidates.len()])[best] += 1;
+            rows.push((env, app, metric, best));
+        }
+    }
+
+    println!("\nwinner counts over the full {}-configuration grid:", grid.len());
+    for (metric, counts) in &winners {
+        println!("  {metric}:");
+        for (class, count) in counts.iter().enumerate() {
+            if *count > 0 {
+                println!("    {:<18} {count}", candidates[class].label());
+            }
+        }
+    }
+
+    // Hardware-sensitivity: how often does switching pc850 ↔ pc3000 (same
+    // everything else) change the winner?
+    let mut flips = 0usize;
+    let mut pairs = 0usize;
+    for &(env, app, metric, best) in &rows {
+        if env.machine == adamant_netsim::MachineClass::Pc850 {
+            let twin = rows.iter().find(|(e2, a2, m2, _)| {
+                e2.machine == adamant_netsim::MachineClass::Pc3000
+                    && e2.bandwidth == env.bandwidth
+                    && e2.dds == env.dds
+                    && e2.loss_percent == env.loss_percent
+                    && *a2 == app
+                    && *m2 == metric
+            });
+            if let Some(&(_, _, _, other)) = twin {
+                pairs += 1;
+                if other != best {
+                    flips += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "\nhardware sensitivity: changing only the machine class flips the \
+         winner in {flips}/{pairs} configuration pairs"
+    );
+    println!(
+        "(the paper's core claim — configuration must follow the provisioned \
+         resources — holds iff this is well above zero)"
+    );
+}

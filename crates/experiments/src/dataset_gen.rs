@@ -1,0 +1,177 @@
+//! Training-set generation: reproduces the paper's 394-input dataset
+//! (§4.4) by sweeping environment × application configurations, measuring
+//! every candidate protocol, and labelling each configuration with the
+//! winner under each composite metric.
+//!
+//! The paper does not enumerate its exact 394 configurations ("we found it
+//! helpful to make coarse-grained adjustments for initial experiments"), so
+//! this harness defines a *deterministic* subset: the canonical cross
+//! product of Table 1 × {3, 15 receivers} × Table 2 rates is laid out in a
+//! fixed order and strided down to exactly 197 configurations; with both
+//! paper metrics (ReLate2, ReLate2Jit) that yields exactly 394 labelled
+//! inputs.
+
+use adamant::{best_class_with_margin, AppParams, DatasetRow, Environment, LabeledDataset, LABEL_MARGIN};
+use adamant_metrics::MetricKind;
+use adamant_transport::Tuning;
+
+use crate::sweep::{run_all_with_threads, Averaged, RunSpec};
+
+/// How many configurations the dataset labels per metric (197 × 2 = 394).
+pub const CONFIGS_PER_METRIC: usize = 197;
+
+/// Samples per labelling run. The paper publishes 20 000 samples per run;
+/// labelling uses a shorter stream (the winner is decided by averages that
+/// stabilise long before 20 000 samples) to keep the 5 910-run sweep
+/// tractable on one machine.
+pub const LABEL_SAMPLES: u64 = 2_000;
+
+/// Repetitions averaged per (configuration, protocol), as in the paper.
+pub const REPETITIONS: u32 = 5;
+
+/// The canonical full grid: Table 1 × receivers {3, 15} × Table 2 rates,
+/// in deterministic order (480 configurations).
+pub fn full_grid() -> Vec<(Environment, AppParams)> {
+    let mut grid = Vec::new();
+    for env in Environment::table1() {
+        for receivers in [3u32, 15] {
+            for rate in AppParams::table2_rates() {
+                grid.push((env, AppParams::new(receivers, rate)));
+            }
+        }
+    }
+    grid
+}
+
+/// The deterministic 197-configuration subset used for the dataset.
+pub fn dataset_grid() -> Vec<(Environment, AppParams)> {
+    let grid = full_grid();
+    (0..CONFIGS_PER_METRIC)
+        .map(|i| grid[i * grid.len() / CONFIGS_PER_METRIC])
+        .collect()
+}
+
+/// Generates the labelled dataset by running every candidate protocol on
+/// every configuration of [`dataset_grid`].
+///
+/// `samples` and `repetitions` default to [`LABEL_SAMPLES`] and
+/// [`REPETITIONS`] through [`generate_default`]. `threads` bounds sweep
+/// parallelism.
+pub fn generate(
+    samples: u64,
+    repetitions: u32,
+    threads: usize,
+    tuning: Tuning,
+    progress: &mut dyn FnMut(usize, usize),
+) -> LabeledDataset {
+    let grid = dataset_grid();
+    let candidates = adamant::features::candidate_protocols();
+    let mut rows = Vec::with_capacity(grid.len() * 2);
+    for (done, &(env, app)) in grid.iter().enumerate() {
+        progress(done, grid.len());
+        // All candidate × repetition runs for this configuration.
+        let specs: Vec<RunSpec> = candidates
+            .iter()
+            .flat_map(|&protocol| {
+                (0..repetitions).map(move |repetition| RunSpec {
+                    env,
+                    app,
+                    protocol,
+                    samples,
+                    repetition,
+                })
+            })
+            .collect();
+        let results = run_all_with_threads(&specs, tuning, threads);
+        // Average per candidate, then label per metric.
+        let mut averaged = Vec::with_capacity(candidates.len());
+        for (c, _) in candidates.iter().enumerate() {
+            let reports: Vec<_> = results
+                [c * repetitions as usize..(c + 1) * repetitions as usize]
+                .iter()
+                .map(|r| r.report.clone())
+                .collect();
+            averaged.push((Averaged::over(&reports), reports));
+        }
+        for metric in MetricKind::paper_metrics() {
+            let scores: Vec<f64> = averaged
+                .iter()
+                .map(|(_, reports)| {
+                    reports.iter().map(|r| metric.score(r)).sum::<f64>()
+                        / reports.len() as f64
+                })
+                .collect();
+            let best_class = best_class_with_margin(&scores, LABEL_MARGIN);
+            rows.push(DatasetRow {
+                env,
+                app,
+                metric,
+                best_class,
+                scores,
+            });
+        }
+    }
+    progress(grid.len(), grid.len());
+    LabeledDataset { rows }
+}
+
+/// Generates the dataset with the paper-scale defaults.
+pub fn generate_default(progress: &mut dyn FnMut(usize, usize)) -> LabeledDataset {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    generate(LABEL_SAMPLES, REPETITIONS, threads, Tuning::default(), progress)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_sizes() {
+        assert_eq!(full_grid().len(), 480);
+        let ds = dataset_grid();
+        assert_eq!(ds.len(), CONFIGS_PER_METRIC);
+        // Strided selection produces distinct entries in order.
+        let mut seen = std::collections::HashSet::new();
+        for pair in &ds {
+            assert!(seen.insert(format!("{}/{}", pair.0, pair.1)));
+        }
+    }
+
+    #[test]
+    fn grid_is_deterministic() {
+        assert_eq!(dataset_grid(), dataset_grid());
+    }
+
+    #[test]
+    fn tiny_generation_labels_and_scores() {
+        // One-config scale check: shrink the sweep by monkeying the grid via
+        // generate() on few samples and one repetition but the full grid
+        // would be too slow — so only smoke-test the machinery via a direct
+        // call with tiny parameters on the first grid entries.
+        let grid = &dataset_grid()[..1];
+        let candidates = adamant::features::candidate_protocols();
+        let (env, app) = grid[0];
+        let specs: Vec<RunSpec> = candidates
+            .iter()
+            .map(|&protocol| RunSpec {
+                env,
+                app,
+                protocol,
+                samples: 60,
+                repetition: 0,
+            })
+            .collect();
+        let results = run_all_with_threads(&specs, Tuning::default(), 1);
+        assert_eq!(results.len(), candidates.len());
+        for r in &results {
+            assert!(r.report.reliability() > 0.5);
+        }
+    }
+
+    #[test]
+    fn dataset_total_is_394() {
+        assert_eq!(CONFIGS_PER_METRIC * MetricKind::paper_metrics().len(), 394);
+    }
+}

@@ -1,0 +1,593 @@
+//! Regeneration of every figure in the paper's evaluation (§4.3–4.4).
+//!
+//! Each generator returns a [`FigureData`]: labelled series of points that
+//! correspond one-to-one with the bars/lines of the published figure, plus
+//! the *shape* the paper reports (who wins, in which environment). The
+//! `figures` binary prints them and saves JSON artifacts.
+
+use adamant::{AppParams, Environment};
+use adamant_dds::DdsImplementation;
+use adamant_metrics::{MetricKind, QosReport};
+use adamant_netsim::{MachineClass, SimDuration};
+use adamant_transport::{ProtocolKind, Tuning};
+use serde::{Deserialize, Serialize};
+
+use adamant::BandwidthClass;
+
+use crate::sweep::{run_all, RunSpec};
+
+/// One point of a series (x is categorical in the paper's figures).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Category label (e.g. `"run 3"`, `"24 hidden"`).
+    pub x: String,
+    /// Measured value.
+    pub y: f64,
+}
+
+/// One labelled series of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (e.g. `"Ricochet R4 C3 @ 10Hz"`).
+    pub label: String,
+    /// The data points.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// Mean of the series' values.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.y).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// A regenerated figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Paper figure id (e.g. `"fig4"`).
+    pub id: String,
+    /// Paper caption, abbreviated.
+    pub title: String,
+    /// Y-axis meaning.
+    pub y_axis: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// The shape the paper reports for this figure.
+    pub paper_shape: String,
+}
+
+impl FigureData {
+    /// Returns the series whose label starts with `prefix`.
+    pub fn series_starting_with(&self, prefix: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label.starts_with(prefix))
+    }
+
+    /// Renders the figure as aligned text (for the CLI and EXPERIMENTS.md).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "[{}] {}", self.id, self.title);
+        let _ = writeln!(out, "  y-axis: {}", self.y_axis);
+        for series in &self.series {
+            let _ = write!(out, "  {:<34}", series.label);
+            for p in &series.points {
+                let _ = write!(out, " {:>12.2}", p.y);
+            }
+            let _ = writeln!(out, "  | mean {:>12.2}", series.mean());
+        }
+        let _ = writeln!(out, "  paper shape: {}", self.paper_shape);
+        out
+    }
+}
+
+/// Workload scale for figure regeneration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FigureScale {
+    /// Samples per protocol run (paper: 20 000).
+    pub samples: u64,
+    /// Repetitions per configuration (paper: 5).
+    pub repetitions: u32,
+    /// Training restarts per hidden-node count (paper: 10 for Fig 18).
+    pub ann_restarts: u32,
+    /// Restarts per cross-validation sweep point.
+    pub cv_restarts: u32,
+    /// Epoch cap per training.
+    pub max_epochs: u32,
+    /// Timing experiments (paper: 5 × 394 queries).
+    pub timing_experiments: u32,
+}
+
+impl FigureScale {
+    /// Paper-scale regeneration (slow; used for EXPERIMENTS.md).
+    pub fn full() -> Self {
+        FigureScale {
+            samples: 20_000,
+            repetitions: 5,
+            ann_restarts: 10,
+            cv_restarts: 5,
+            max_epochs: 3_000,
+            timing_experiments: 5,
+        }
+    }
+
+    /// Reduced scale for smoke runs and CI.
+    pub fn quick() -> Self {
+        FigureScale {
+            samples: 1_000,
+            repetitions: 2,
+            ann_restarts: 3,
+            cv_restarts: 1,
+            max_epochs: 300,
+            timing_experiments: 2,
+        }
+    }
+}
+
+/// The two protocols the paper's Figures 4–17 compare (the best NAKcast and
+/// the best Ricochet configuration).
+pub fn headline_protocols() -> [ProtocolKind; 2] {
+    [
+        ProtocolKind::Nakcast {
+            timeout: SimDuration::from_millis(1),
+        },
+        ProtocolKind::Ricochet { r: 4, c: 3 },
+    ]
+}
+
+/// The fast environment of Figs 4/6/8/10/12/14/16: pc3000, 1 Gb LAN,
+/// OpenSplice, 5% loss.
+pub fn fast_environment() -> Environment {
+    Environment::new(
+        MachineClass::Pc3000,
+        BandwidthClass::Gbps1,
+        DdsImplementation::OpenSplice,
+        5,
+    )
+}
+
+/// The slow environment of Figs 5/7/9/11/13/15/17: pc850, 100 Mb LAN,
+/// OpenSplice, 5% loss.
+pub fn slow_environment() -> Environment {
+    Environment::new(
+        MachineClass::Pc850,
+        BandwidthClass::Mbps100,
+        DdsImplementation::OpenSplice,
+        5,
+    )
+}
+
+/// Raw run results backing one environment's figure group.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupRuns {
+    /// (protocol label, rate, per-repetition reports).
+    pub cells: Vec<(String, u32, Vec<QosReport>)>,
+}
+
+fn run_group(env: Environment, receivers: u32, rates: &[u32], scale: FigureScale) -> GroupRuns {
+    let mut cells = Vec::new();
+    for &protocol in &headline_protocols() {
+        for &rate in rates {
+            let specs: Vec<RunSpec> = (0..scale.repetitions)
+                .map(|repetition| RunSpec {
+                    env,
+                    app: AppParams::new(receivers, rate),
+                    protocol,
+                    samples: scale.samples,
+                    repetition,
+                })
+                .collect();
+            let reports = run_all(&specs, Tuning::default())
+                .into_iter()
+                .map(|r| r.report)
+                .collect();
+            cells.push((protocol.label(), rate, reports));
+        }
+    }
+    GroupRuns { cells }
+}
+
+fn per_run_series(
+    runs: &GroupRuns,
+    value: impl Fn(&QosReport) -> f64,
+) -> Vec<Series> {
+    runs.cells
+        .iter()
+        .map(|(label, rate, reports)| Series {
+            label: format!("{label} @ {rate}Hz"),
+            points: reports
+                .iter()
+                .enumerate()
+                .map(|(i, r)| Point {
+                    x: format!("run {}", i + 1),
+                    y: value(r),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn figure(
+    id: &str,
+    title: &str,
+    y_axis: &str,
+    series: Vec<Series>,
+    paper_shape: &str,
+) -> FigureData {
+    FigureData {
+        id: id.to_owned(),
+        title: title.to_owned(),
+        y_axis: y_axis.to_owned(),
+        series,
+        paper_shape: paper_shape.to_owned(),
+    }
+}
+
+/// Regenerates Figures 4, 6, and 8 (fast environment, 3 receivers) or 5,
+/// 7, and 9 (slow environment) from one shared run set.
+pub fn three_receiver_figures(fast: bool, scale: FigureScale) -> Vec<FigureData> {
+    let (env, ids, env_label) = if fast {
+        (fast_environment(), ["fig4", "fig6", "fig8"], "pc3000, 1Gb LAN")
+    } else {
+        (slow_environment(), ["fig5", "fig7", "fig9"], "pc850, 100Mb LAN")
+    };
+    let runs = run_group(env, 3, &[10, 25], scale);
+    let relate2 = per_run_series(&runs, |r| MetricKind::ReLate2.score(r));
+    let reliability = per_run_series(&runs, |r| r.reliability());
+    let latency = per_run_series(&runs, |r| r.avg_latency_us);
+    let winner_shape = if fast {
+        "Ricochet R4 C3 has the lowest ReLate2 at both rates"
+    } else {
+        "NAKcast 1 ms has the lowest ReLate2 at both rates"
+    };
+    vec![
+        figure(
+            ids[0],
+            &format!("ReLate2: {env_label}, 3 receivers, 5% loss, 10 & 25 Hz"),
+            "ReLate2 (lower is better)",
+            relate2,
+            winner_shape,
+        ),
+        figure(
+            ids[1],
+            &format!("Reliability: {env_label}, 3 receivers, 5% loss, 10 & 25 Hz"),
+            "delivered fraction",
+            reliability,
+            "NAKcast ~100%, Ricochet slightly lower; insensitive to hardware",
+        ),
+        figure(
+            ids[2],
+            &format!("Latency: {env_label}, 3 receivers, 5% loss, 10 & 25 Hz"),
+            "average latency (µs)",
+            latency,
+            if fast {
+                "Ricochet lower; the gap is wide on fast hardware"
+            } else {
+                "Ricochet lower; the gap narrows on slow hardware"
+            },
+        ),
+    ]
+}
+
+/// Regenerates Figures 10, 12, 14, 16 (fast) or 11, 13, 15, 17 (slow):
+/// 15 receivers, 5% loss, 10 Hz.
+pub fn fifteen_receiver_figures(fast: bool, scale: FigureScale) -> Vec<FigureData> {
+    let (env, ids, env_label) = if fast {
+        (
+            fast_environment(),
+            ["fig10", "fig12", "fig14", "fig16"],
+            "pc3000, 1Gb LAN",
+        )
+    } else {
+        (
+            slow_environment(),
+            ["fig11", "fig13", "fig15", "fig17"],
+            "pc850, 100Mb LAN",
+        )
+    };
+    let runs = run_group(env, 15, &[10], scale);
+    vec![
+        figure(
+            ids[0],
+            &format!("ReLate2Jit: {env_label}, 15 receivers, 5% loss, 10 Hz"),
+            "ReLate2Jit (lower is better)",
+            per_run_series(&runs, |r| MetricKind::ReLate2Jit.score(r)),
+            if fast {
+                "Ricochet R4 C3 wins every run"
+            } else {
+                "NAKcast 1 ms wins most runs (4 of 5 in the paper)"
+            },
+        ),
+        figure(
+            ids[1],
+            &format!("Latency: {env_label}, 15 receivers, 5% loss, 10 Hz"),
+            "average latency (µs)",
+            per_run_series(&runs, |r| r.avg_latency_us),
+            "Ricochet consistently lower",
+        ),
+        figure(
+            ids[2],
+            &format!("Jitter: {env_label}, 15 receivers, 5% loss, 10 Hz"),
+            "latency stddev (µs)",
+            per_run_series(&runs, |r| r.jitter_us),
+            "Ricochet consistently lower",
+        ),
+        figure(
+            ids[3],
+            &format!("Reliability: {env_label}, 15 receivers, 5% loss, 10 Hz"),
+            "delivered fraction",
+            per_run_series(&runs, |r| r.reliability()),
+            "NAKcast higher; insensitive to hardware",
+        ),
+    ]
+}
+
+/// Extension beyond the paper: the same Figure 4/5-style duel evaluated
+/// under the *entire* composite-metric family (ReLate, ReLate2,
+/// ReLate2Jit, ReLate2Burst, ReLate2Net), one figure per environment.
+/// Shows how the choice of composite metric — not just the hardware —
+/// moves the decision boundary.
+pub fn extended_metric_figures(scale: FigureScale) -> Vec<FigureData> {
+    let mut figures = Vec::new();
+    for fast in [true, false] {
+        let (env, env_label, id) = if fast {
+            (fast_environment(), "pc3000, 1Gb LAN", "figX1")
+        } else {
+            (slow_environment(), "pc850, 100Mb LAN", "figX2")
+        };
+        let runs = run_group(env, 3, &[25], scale);
+        let series = MetricKind::all()
+            .iter()
+            .flat_map(|&metric| {
+                runs.cells.iter().map(move |(label, rate, reports)| Series {
+                    label: format!("{metric} / {label} @ {rate}Hz"),
+                    points: reports
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| Point {
+                            x: format!("run {}", i + 1),
+                            y: metric.score(r),
+                        })
+                        .collect(),
+                })
+            })
+            .collect();
+        figures.push(figure(
+            id,
+            &format!(
+                "Extended composite-metric family: {env_label}, 3 receivers, 5% loss, 25 Hz"
+            ),
+            "metric score (lower is better; scales differ per metric)",
+            series,
+            "plain ReLate always prefers Ricochet; ReLate2Net always prefers              NAKcast; the paper's ReLate2/ReLate2Jit sit between and are the              hardware-sensitive ones",
+        ));
+    }
+    figures
+}
+
+/// Renders Table 1 (environment variables).
+pub fn table1() -> String {
+    let mut out = String::from(
+        "[table1] Environment variables\n  Machine type:       pc850, pc3000\n",
+    );
+    out.push_str("  Network bandwidth:  1Gb, 100Mb, 10Mb\n");
+    out.push_str("  DDS implementation: OpenDDS, OpenSplice\n");
+    out.push_str("  End-host loss:      1–5 %\n");
+    out.push_str(&format!(
+        "  → {} distinct environments\n",
+        Environment::table1().len()
+    ));
+    out
+}
+
+/// Renders Table 2 (application variables).
+pub fn table2() -> String {
+    format!(
+        "[table2] Application variables\n  Receiving data readers: 3–15\n  Sending rate:           {:?} Hz\n",
+        AppParams::table2_rates()
+    )
+}
+
+/// Checks the paper's qualitative shapes against regenerated figures,
+/// returning one PASS/FAIL line per claim.
+pub fn check_shapes(figures: &[FigureData]) -> Vec<(String, bool)> {
+    let mut checks = Vec::new();
+    let by_id = |id: &str| figures.iter().find(|f| f.id == id);
+    let mean_of = |fig: &FigureData, prefix: &str| {
+        fig.series_starting_with(prefix).map(|s| s.mean())
+    };
+
+    let mut claim = |name: &str, ok: Option<bool>| {
+        if let Some(ok) = ok {
+            checks.push((name.to_owned(), ok));
+        }
+    };
+
+    // Figs 4/5: ReLate2 winner flips with hardware.
+    if let Some(fig4) = by_id("fig4") {
+        let nak = mean_of(fig4, "nakcast");
+        let ric = mean_of(fig4, "ricochet");
+        claim(
+            "fig4: Ricochet beats NAKcast on ReLate2 (pc3000/1Gb)",
+            nak.zip(ric).map(|(n, r)| r < n),
+        );
+    }
+    if let Some(fig5) = by_id("fig5") {
+        let nak = mean_of(fig5, "nakcast");
+        let ric = mean_of(fig5, "ricochet");
+        claim(
+            "fig5: NAKcast beats Ricochet on ReLate2 (pc850/100Mb)",
+            nak.zip(ric).map(|(n, r)| n < r),
+        );
+    }
+    // Figs 6/7: reliability ordering and hardware insensitivity.
+    if let (Some(f6), Some(f7)) = (by_id("fig6"), by_id("fig7")) {
+        let n6 = mean_of(f6, "nakcast");
+        let r6 = mean_of(f6, "ricochet");
+        let r7 = mean_of(f7, "ricochet");
+        claim(
+            "fig6: NAKcast reliability above Ricochet",
+            n6.zip(r6).map(|(n, r)| n > r),
+        );
+        claim(
+            "fig6/7: Ricochet reliability hardware-insensitive (<0.5% shift)",
+            r6.zip(r7).map(|(a, b)| (a - b).abs() < 0.005),
+        );
+    }
+    // Figs 8/9: latency ordering and gap direction.
+    if let (Some(f8), Some(f9)) = (by_id("fig8"), by_id("fig9")) {
+        let gap = |f: &FigureData| {
+            mean_of(f, "nakcast")
+                .zip(mean_of(f, "ricochet"))
+                .map(|(n, r)| n - r)
+        };
+        claim(
+            "fig8: Ricochet latency below NAKcast (pc3000)",
+            gap(f8).map(|g| g > 0.0),
+        );
+        claim(
+            "fig9: Ricochet latency below NAKcast (pc850)",
+            gap(f9).map(|g| g > 0.0),
+        );
+        claim(
+            "fig8 vs fig9: latency gap wider on faster hardware",
+            gap(f8).zip(gap(f9)).map(|(fast, slow)| fast > slow),
+        );
+    }
+    // Figs 10/11: ReLate2Jit winner flips with hardware.
+    if let Some(f10) = by_id("fig10") {
+        claim(
+            "fig10: Ricochet wins ReLate2Jit (pc3000/1Gb, 15 receivers)",
+            mean_of(f10, "nakcast")
+                .zip(mean_of(f10, "ricochet"))
+                .map(|(n, r)| r < n),
+        );
+    }
+    if let Some(f11) = by_id("fig11") {
+        claim(
+            "fig11: NAKcast wins ReLate2Jit (pc850/100Mb, 15 receivers)",
+            mean_of(f11, "nakcast")
+                .zip(mean_of(f11, "ricochet"))
+                .map(|(n, r)| n < r),
+        );
+    }
+    // Figs 12–17 orderings.
+    for (id, name, nak_higher) in [
+        ("fig12", "fig12: Ricochet latency lower (pc3000, 15 rcv)", true),
+        ("fig13", "fig13: Ricochet latency lower (pc850, 15 rcv)", true),
+        ("fig14", "fig14: Ricochet jitter lower (pc3000, 15 rcv)", true),
+        ("fig15", "fig15: Ricochet jitter lower (pc850, 15 rcv)", true),
+        ("fig16", "fig16: NAKcast reliability higher (pc3000, 15 rcv)", true),
+        ("fig17", "fig17: NAKcast reliability higher (pc850, 15 rcv)", true),
+    ] {
+        if let Some(f) = by_id(id) {
+            let nak = mean_of(f, "nakcast");
+            let ric = mean_of(f, "ricochet");
+            claim(
+                name,
+                nak.zip(ric).map(|(n, r)| if nak_higher { n > r } else { n < r }),
+            );
+        }
+    }
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_sane() {
+        let full = FigureScale::full();
+        let quick = FigureScale::quick();
+        assert_eq!(full.samples, 20_000);
+        assert_eq!(full.repetitions, 5);
+        assert!(quick.samples < full.samples);
+    }
+
+    #[test]
+    fn figure_render_contains_series() {
+        let fig = figure(
+            "figX",
+            "test",
+            "units",
+            vec![Series {
+                label: "a".into(),
+                points: vec![Point { x: "run 1".into(), y: 2.0 }],
+            }],
+            "shape",
+        );
+        let text = fig.render();
+        assert!(text.contains("[figX]"));
+        assert!(text.contains("mean"));
+        assert!(text.contains("shape"));
+        assert_eq!(fig.series_starting_with("a").unwrap().mean(), 2.0);
+    }
+
+    #[test]
+    fn tables_render() {
+        assert!(table1().contains("pc3000"));
+        assert!(table2().contains("3–15"));
+    }
+
+    #[test]
+    fn tiny_three_receiver_group_has_expected_structure() {
+        let scale = FigureScale {
+            samples: 120,
+            repetitions: 2,
+            ann_restarts: 1,
+            cv_restarts: 1,
+            max_epochs: 10,
+            timing_experiments: 1,
+        };
+        let figs = three_receiver_figures(true, scale);
+        assert_eq!(figs.len(), 3);
+        assert_eq!(figs[0].id, "fig4");
+        // 2 protocols × 2 rates = 4 series, 2 runs each.
+        assert_eq!(figs[0].series.len(), 4);
+        assert_eq!(figs[0].series[0].points.len(), 2);
+        // Reliability figure values are fractions.
+        for s in &figs[1].series {
+            assert!(s.points.iter().all(|p| (0.0..=1.0).contains(&p.y)));
+        }
+    }
+
+    #[test]
+    fn extended_metric_figures_cover_the_family() {
+        let scale = FigureScale {
+            samples: 150,
+            repetitions: 2,
+            ann_restarts: 1,
+            cv_restarts: 1,
+            max_epochs: 10,
+            timing_experiments: 1,
+        };
+        let figs = extended_metric_figures(scale);
+        assert_eq!(figs.len(), 2);
+        // 5 metrics × 2 protocols × 1 rate = 10 series per environment.
+        assert_eq!(figs[0].series.len(), 10);
+        for fig in &figs {
+            for series in &fig.series {
+                assert!(series.points.iter().all(|p| p.y.is_finite() && p.y >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn shape_checker_reports_on_present_figures() {
+        let scale = FigureScale {
+            samples: 120,
+            repetitions: 2,
+            ann_restarts: 1,
+            cv_restarts: 1,
+            max_epochs: 10,
+            timing_experiments: 1,
+        };
+        let figs = three_receiver_figures(true, scale);
+        let checks = check_shapes(&figs);
+        // fig4 + fig8-related claims apply only partially without fig9.
+        assert!(checks.iter().any(|(name, _)| name.starts_with("fig4")));
+    }
+}

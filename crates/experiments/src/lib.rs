@@ -1,0 +1,31 @@
+//! # adamant-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! ADAMANT paper's evaluation (§4):
+//!
+//! * [`sweep`] — deterministic parallel execution of (environment,
+//!   application, protocol) runs.
+//! * [`dataset_gen`] — the 394-input training set (§4.4).
+//! * [`figures`] — Figures 4–17: protocol QoS under varying cloud
+//!   resources, plus Tables 1–2 and the paper-shape checker.
+//! * [`ann_study`] — Figures 18–21: ANN accuracy (training recall and
+//!   10-fold cross-validation) and query timing.
+//! * [`artifacts`] — JSON persistence of datasets and figure series.
+//!
+//! See `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
+//! paper-vs-measured results. The `figures` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p adamant-experiments --bin figures -- all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ann_study;
+pub mod artifacts;
+pub mod dataset_gen;
+pub mod figures;
+pub mod sweep;
+
+pub use sweep::{run_all, run_all_with_threads, Averaged, RunResult, RunSpec};

@@ -1,0 +1,187 @@
+//! Parallel experiment sweeps: run many (configuration, protocol) pairs
+//! across CPU cores with deterministic seeding.
+
+use adamant::{AppParams, Environment, Scenario};
+use adamant_metrics::QosReport;
+use adamant_transport::{ProtocolKind, TransportConfig, Tuning};
+use serde::{Deserialize, Serialize};
+
+/// One unit of sweep work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Environment (Table 1 row).
+    pub env: Environment,
+    /// Application parameters (Table 2 row).
+    pub app: AppParams,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Samples to publish.
+    pub samples: u64,
+    /// Repetition index (also offsets the seed).
+    pub repetition: u32,
+}
+
+impl RunSpec {
+    /// The deterministic seed of this run: a hash of the entire
+    /// configuration, so results never depend on sweep order.
+    pub fn seed(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.env.hash(&mut h);
+        self.app.hash(&mut h);
+        self.protocol.hash(&mut h);
+        self.samples.hash(&mut h);
+        self.repetition.hash(&mut h);
+        h.finish()
+    }
+
+    /// Executes the run.
+    pub fn execute(&self, tuning: Tuning) -> QosReport {
+        let scenario = Scenario::paper(self.env, self.app, self.seed())
+            .with_samples(self.samples);
+        scenario.run(TransportConfig::new(self.protocol).with_tuning(tuning))
+    }
+}
+
+/// A completed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// What was run.
+    pub spec: RunSpec,
+    /// What it measured.
+    pub report: QosReport,
+}
+
+/// Executes `specs` in parallel across all cores, preserving order.
+pub fn run_all(specs: &[RunSpec], tuning: Tuning) -> Vec<RunResult> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    run_all_with_threads(specs, tuning, threads)
+}
+
+/// Executes `specs` on a fixed worker count (order preserved).
+pub fn run_all_with_threads(specs: &[RunSpec], tuning: Tuning, threads: usize) -> Vec<RunResult> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, specs.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<RunResult>>> =
+        specs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let spec = specs[i];
+                let report = spec.execute(tuning);
+                *results[i].lock() = Some(RunResult { spec, report });
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// Averages a metric-relevant summary over repetitions of the same
+/// configuration (the paper reports 5-run averages).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Averaged {
+    /// Mean reliability over repetitions.
+    pub reliability: f64,
+    /// Mean average-latency over repetitions (µs).
+    pub avg_latency_us: f64,
+    /// Mean jitter over repetitions (µs).
+    pub jitter_us: f64,
+    /// Mean burstiness over repetitions.
+    pub burstiness: f64,
+    /// Mean bandwidth usage (bytes/s).
+    pub bandwidth: f64,
+}
+
+impl Averaged {
+    /// Averages the given reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn over(reports: &[QosReport]) -> Averaged {
+        assert!(!reports.is_empty(), "cannot average zero reports");
+        let n = reports.len() as f64;
+        Averaged {
+            reliability: reports.iter().map(QosReport::reliability).sum::<f64>() / n,
+            avg_latency_us: reports.iter().map(|r| r.avg_latency_us).sum::<f64>() / n,
+            jitter_us: reports.iter().map(|r| r.jitter_us).sum::<f64>() / n,
+            burstiness: reports.iter().map(|r| r.burstiness).sum::<f64>() / n,
+            bandwidth: reports
+                .iter()
+                .map(|r| r.avg_bandwidth_bytes_per_sec)
+                .sum::<f64>()
+                / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamant::BandwidthClass;
+    use adamant_dds::DdsImplementation;
+    use adamant_netsim::{MachineClass, SimDuration};
+
+    fn spec(repetition: u32) -> RunSpec {
+        RunSpec {
+            env: Environment::new(
+                MachineClass::Pc3000,
+                BandwidthClass::Gbps1,
+                DdsImplementation::OpenSplice,
+                5,
+            ),
+            app: AppParams::new(3, 100),
+            protocol: ProtocolKind::Nakcast {
+                timeout: SimDuration::from_millis(1),
+            },
+            samples: 200,
+            repetition,
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_configuration() {
+        assert_ne!(spec(0).seed(), spec(1).seed());
+        assert_eq!(spec(0).seed(), spec(0).seed());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_execution() {
+        let specs: Vec<RunSpec> = (0..4).map(spec).collect();
+        let tuning = Tuning::default();
+        let parallel = run_all_with_threads(&specs, tuning, 4);
+        for (i, result) in parallel.iter().enumerate() {
+            assert_eq!(result.spec, specs[i]);
+            assert_eq!(result.report, specs[i].execute(tuning));
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        assert!(run_all(&[], Tuning::default()).is_empty());
+    }
+
+    #[test]
+    fn averaging() {
+        let specs: Vec<RunSpec> = (0..2).map(spec).collect();
+        let results = run_all_with_threads(&specs, Tuning::default(), 2);
+        let reports: Vec<_> = results.iter().map(|r| r.report.clone()).collect();
+        let avg = Averaged::over(&reports);
+        assert!(avg.reliability > 0.9);
+        assert!(avg.avg_latency_us > 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # adamant-metrics
+//!
+//! Composite QoS metrics for evaluating pub/sub transport configurations,
+//! reproducing §4.1 of the ADAMANT paper (Hoffert, Schmidt, Gokhale —
+//! Middleware 2010).
+//!
+//! The crate provides three layers:
+//!
+//! * **Raw records** — [`Delivery`] / [`ReceptionLog`] /
+//!   [`DenseReceptionLog`]: what each data reader observed.
+//! * **Reports** — [`QosReport`]: pooled reliability, average latency,
+//!   jitter (latency stddev), burstiness (per-second bandwidth stddev), and
+//!   network usage for one run.
+//! * **Composite metrics** — [`MetricKind`]: the ReLate2 family, which
+//!   collapses a report into one comparable score (lower is better).
+//!
+//! ## Example
+//!
+//! ```
+//! use adamant_metrics::{Delivery, MetricKind, QosReport};
+//! use adamant_netsim::SimTime;
+//!
+//! let mut builder = QosReport::builder(2, 1);
+//! builder.add_receiver(
+//!     &[Delivery {
+//!         seq: 0,
+//!         published_at: SimTime::ZERO,
+//!         delivered_at: SimTime::from_micros(800),
+//!         recovered: false,
+//!     }],
+//!     0,
+//! );
+//! let report = builder.finish();
+//! // One of two samples arrived: 50% loss → (50 + 1) × 800 µs.
+//! assert_eq!(MetricKind::ReLate2.score(&report), 40_800.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod composite;
+mod histogram;
+mod record;
+mod report;
+mod stats;
+mod windowed;
+
+pub use composite::MetricKind;
+pub use histogram::LatencyHistogram;
+pub use record::{Delivery, DenseReceptionLog, ReceptionLog};
+pub use report::{QosReport, QosReportBuilder};
+pub use stats::{percentile, Welford};
+pub use windowed::{constant_rate_schedule, windowed_qos, WindowQos};

@@ -1,0 +1,119 @@
+//! Property-based tests of the composite QoS metric invariants.
+
+use adamant_metrics::{percentile, Delivery, MetricKind, QosReport, Welford};
+use adamant_netsim::SimTime;
+use proptest::prelude::*;
+
+fn report_from(latencies_us: &[u64], sent: u64) -> QosReport {
+    let deliveries: Vec<Delivery> = latencies_us
+        .iter()
+        .enumerate()
+        .map(|(i, &lat)| Delivery {
+            seq: i as u64,
+            published_at: SimTime::from_micros(1_000 * i as u64),
+            delivered_at: SimTime::from_micros(1_000 * i as u64 + lat),
+            recovered: false,
+        })
+        .collect();
+    let mut b = QosReport::builder(sent, 1);
+    b.add_receiver(&deliveries, 0);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Reliability is always a fraction and percent loss its complement.
+    #[test]
+    fn reliability_bounds(
+        lat in prop::collection::vec(1u64..100_000, 0..50),
+        extra_sent in 0u64..50,
+    ) {
+        let sent = lat.len() as u64 + extra_sent;
+        prop_assume!(sent > 0);
+        let r = report_from(&lat, sent);
+        prop_assert!((0.0..=1.0).contains(&r.reliability()));
+        prop_assert!((0.0..=100.0).contains(&r.percent_loss()));
+        prop_assert!((r.reliability() * 100.0 + r.percent_loss() - 100.0).abs() < 1e-9);
+    }
+
+    /// Dropping deliveries (same latencies) can only worsen ReLate2.
+    #[test]
+    fn relate2_monotone_in_loss(
+        lat in prop::collection::vec(1u64..100_000, 2..50),
+    ) {
+        let sent = lat.len() as u64;
+        let full = report_from(&lat, sent);
+        let partial = report_from(&lat[..lat.len() - 1], sent);
+        // Removing the last delivery changes the mean too; compare with the
+        // same latency multiset by dropping one at the mean is complex, so
+        // assert the weaker, always-true form: zero-loss scores strictly
+        // less than the same-latency lossy report when means are equal.
+        let constant = vec![lat[0]; lat.len()];
+        let all = report_from(&constant, sent);
+        let lossy = report_from(&constant[..lat.len() - 1], sent);
+        prop_assert!(MetricKind::ReLate2.score(&all) < MetricKind::ReLate2.score(&lossy));
+        // And loss accounting itself is monotone.
+        prop_assert!(partial.percent_loss() > full.percent_loss());
+    }
+
+    /// Scaling all latencies scales ReLate2 proportionally (holding loss).
+    #[test]
+    fn relate2_linear_in_latency(
+        base in 1u64..10_000,
+        k in 2u64..10,
+        n in 2usize..40,
+    ) {
+        let lat: Vec<u64> = vec![base; n];
+        let scaled: Vec<u64> = vec![base * k; n];
+        let a = MetricKind::ReLate2.score(&report_from(&lat, n as u64));
+        let b = MetricKind::ReLate2.score(&report_from(&scaled, n as u64));
+        prop_assert!((b / a - k as f64).abs() < 1e-9);
+    }
+
+    /// ReLate2Jit of a constant-latency stream is zero (no jitter) and all
+    /// metric scores are finite and non-negative.
+    #[test]
+    fn scores_finite_nonnegative(
+        lat in prop::collection::vec(1u64..100_000, 1..50),
+        extra_sent in 0u64..10,
+    ) {
+        let sent = lat.len() as u64 + extra_sent;
+        let r = report_from(&lat, sent);
+        for metric in MetricKind::all() {
+            let s = metric.score(&r);
+            prop_assert!(s.is_finite());
+            prop_assert!(s >= 0.0);
+        }
+        let constant = report_from(&[500; 10], 10);
+        prop_assert_eq!(MetricKind::ReLate2Jit.score(&constant), 0.0);
+    }
+
+    /// Welford matches the naive two-pass computation.
+    #[test]
+    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let w: Welford = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.population_variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+    }
+
+    /// Percentiles are bounded by extremes and monotone in q.
+    #[test]
+    fn percentile_properties(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let lo = q1.min(q2);
+        let hi = q1.max(q2);
+        let p_lo = percentile(&xs, lo).unwrap();
+        let p_hi = percentile(&xs, hi).unwrap();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p_lo <= p_hi);
+        prop_assert!(p_lo >= min - 1e-9);
+        prop_assert!(p_hi <= max + 1e-9);
+    }
+}

@@ -1,0 +1,168 @@
+//! The event queue at the heart of the discrete-event engine.
+//!
+//! Events are ordered by `(time, sequence)`: ties on simulated time break in
+//! scheduling order, which makes every run fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::packet::{NodeId, Packet};
+use crate::time::SimTime;
+
+/// A timer handle returned by [`Ctx::set_timer`](crate::Ctx::set_timer),
+/// usable to cancel the timer before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// What a scheduled event does when it fires.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// A packet copy has reached the receiver's switch port and now
+    /// contends for its ingress NIC and CPU (in arrival order).
+    Ingress { node: NodeId, packet: Packet },
+    /// Deliver a packet to a node's agent (all pipeline delays already paid).
+    Deliver { node: NodeId, packet: Packet },
+    /// Fire a timer on a node's agent.
+    Timer {
+        node: NodeId,
+        timer: TimerId,
+        tag: u64,
+    },
+    /// Invoke an agent's `on_start`.
+    Start { node: NodeId },
+}
+
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped
+        // first, with scheduling order breaking ties.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of simulation events.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at `time`. Returns the tie-break sequence number.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+        seq
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(node: u32) -> EventKind {
+        EventKind::Start {
+            node: NodeId(node),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), start(0));
+        q.schedule(SimTime::from_micros(10), start(1));
+        q.schedule(SimTime::from_micros(20), start(2));
+        let times: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(
+            times,
+            vec![
+                SimTime::from_micros(10),
+                SimTime::from_micros(20),
+                SimTime::from_micros(30)
+            ]
+        );
+    }
+
+    #[test]
+    fn ties_break_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for node in 0..5 {
+            q.schedule(t, start(node));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Start { node } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::from_micros(8), start(0));
+        q.schedule(SimTime::from_micros(3), start(1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(3)));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(8)));
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Network-level loss models.
+//!
+//! The paper injects loss at end hosts (the protocol layer handles that);
+//! these models describe loss *in the network itself*, used for failure
+//! injection beyond the paper's envelope: uniform random drops and the
+//! classic two-state Gilbert–Elliott bursty channel.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SimRng;
+
+/// How the network drops packet copies in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossModel {
+    /// Drop each copy independently with probability `p`.
+    Bernoulli(f64),
+    /// Two-state Markov (Gilbert–Elliott) channel per receiving host:
+    /// mostly-clean *good* state, lossy *bad* state, with geometric
+    /// sojourn times. Models interference bursts and congestion episodes.
+    GilbertElliott {
+        /// Per-packet probability of moving good → bad.
+        p_enter_bad: f64,
+        /// Per-packet probability of moving bad → good.
+        p_exit_bad: f64,
+        /// Drop probability while in the good state.
+        loss_good: f64,
+        /// Drop probability while in the bad state.
+        loss_bad: f64,
+    },
+}
+
+impl LossModel {
+    /// A lossless network.
+    pub const NONE: LossModel = LossModel::Bernoulli(0.0);
+
+    /// Whether this model can ever drop a packet.
+    pub fn can_drop(&self) -> bool {
+        match *self {
+            LossModel::Bernoulli(p) => p > 0.0,
+            LossModel::GilbertElliott {
+                loss_good,
+                loss_bad,
+                ..
+            } => loss_good > 0.0 || loss_bad > 0.0,
+        }
+    }
+
+    /// The long-run average drop probability of the model.
+    pub fn steady_state_loss(&self) -> f64 {
+        match *self {
+            LossModel::Bernoulli(p) => p.clamp(0.0, 1.0),
+            LossModel::GilbertElliott {
+                p_enter_bad,
+                p_exit_bad,
+                loss_good,
+                loss_bad,
+            } => {
+                let denom = p_enter_bad + p_exit_bad;
+                if denom <= 0.0 {
+                    return loss_good.clamp(0.0, 1.0);
+                }
+                let frac_bad = p_enter_bad / denom;
+                (loss_good * (1.0 - frac_bad) + loss_bad * frac_bad).clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel::NONE
+    }
+}
+
+/// Per-host channel state for stateful loss models.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ChannelState {
+    in_bad_state: bool,
+}
+
+impl ChannelState {
+    /// Advances the channel one packet and decides whether to drop it.
+    pub fn should_drop(&mut self, model: &LossModel, rng: &mut SimRng) -> bool {
+        match *model {
+            LossModel::Bernoulli(p) => p > 0.0 && rng.bernoulli(p),
+            LossModel::GilbertElliott {
+                p_enter_bad,
+                p_exit_bad,
+                loss_good,
+                loss_bad,
+            } => {
+                if self.in_bad_state {
+                    if rng.bernoulli(p_exit_bad) {
+                        self.in_bad_state = false;
+                    }
+                } else if rng.bernoulli(p_enter_bad) {
+                    self.in_bad_state = true;
+                }
+                let p = if self.in_bad_state { loss_bad } else { loss_good };
+                p > 0.0 && rng.bernoulli(p)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_rate_matches_p() {
+        let model = LossModel::Bernoulli(0.2);
+        let mut state = ChannelState::default();
+        let mut rng = SimRng::seed_from_u64(1);
+        let n = 100_000;
+        let drops = (0..n)
+            .filter(|_| state.should_drop(&model, &mut rng))
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
+        assert!((model.steady_state_loss() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_never_drops() {
+        let mut state = ChannelState::default();
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..1_000 {
+            assert!(!state.should_drop(&LossModel::NONE, &mut rng));
+        }
+        assert!(!LossModel::NONE.can_drop());
+    }
+
+    #[test]
+    fn gilbert_elliott_steady_state() {
+        let model = LossModel::GilbertElliott {
+            p_enter_bad: 0.01,
+            p_exit_bad: 0.09,
+            loss_good: 0.001,
+            loss_bad: 0.4,
+        };
+        // Analytic: frac_bad = 0.01 / 0.10 = 0.1 → 0.9×0.001 + 0.1×0.4.
+        let expected = 0.9 * 0.001 + 0.1 * 0.4;
+        assert!((model.steady_state_loss() - expected).abs() < 1e-12);
+
+        let mut state = ChannelState::default();
+        let mut rng = SimRng::seed_from_u64(3);
+        let n = 400_000;
+        let drops = (0..n)
+            .filter(|_| state.should_drop(&model, &mut rng))
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!(
+            (rate - expected).abs() < 0.005,
+            "empirical {rate} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Same average loss, very different clustering: measure the mean
+        // run length of consecutive drops.
+        let run_length = |model: LossModel, seed: u64| {
+            let mut state = ChannelState::default();
+            let mut rng = SimRng::seed_from_u64(seed);
+            let outcomes: Vec<bool> = (0..200_000)
+                .map(|_| state.should_drop(&model, &mut rng))
+                .collect();
+            let mut runs = 0usize;
+            let mut dropped = 0usize;
+            let mut prev = false;
+            for &d in &outcomes {
+                if d {
+                    dropped += 1;
+                    if !prev {
+                        runs += 1;
+                    }
+                }
+                prev = d;
+            }
+            dropped as f64 / runs.max(1) as f64
+        };
+        let ge = LossModel::GilbertElliott {
+            p_enter_bad: 0.005,
+            p_exit_bad: 0.05,
+            loss_good: 0.0,
+            loss_bad: 0.5,
+        };
+        let uniform = LossModel::Bernoulli(ge.steady_state_loss());
+        let ge_run = run_length(ge, 7);
+        let uniform_run = run_length(uniform, 7);
+        assert!(
+            ge_run > 1.3 * uniform_run,
+            "GE runs ({ge_run:.2}) should exceed uniform runs ({uniform_run:.2})"
+        );
+    }
+
+    #[test]
+    fn degenerate_ge_without_transitions() {
+        let stuck = LossModel::GilbertElliott {
+            p_enter_bad: 0.0,
+            p_exit_bad: 0.0,
+            loss_good: 0.1,
+            loss_bad: 0.9,
+        };
+        // Never leaves the good state.
+        assert!((stuck.steady_state_loss() - 0.1).abs() < 1e-12);
+    }
+}

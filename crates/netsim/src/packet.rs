@@ -1,0 +1,290 @@
+//! Packets, addressing, and per-packet processing-cost declarations.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Identifies a simulated host (and the agent running on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of this node within its simulation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a raw index.
+    ///
+    /// Only meaningful for indices previously handed out by the same
+    /// [`Simulation`](crate::Simulation); mainly useful in tests.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a multicast group within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub(crate) u32);
+
+impl GroupId {
+    /// The raw index of this group within its simulation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Where a packet is headed: a single host or a multicast group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Destination {
+    /// Deliver to one host.
+    Node(NodeId),
+    /// Deliver to every member of the group except the sender.
+    Group(GroupId),
+}
+
+impl From<NodeId> for Destination {
+    fn from(node: NodeId) -> Self {
+        Destination::Node(node)
+    }
+}
+
+impl From<GroupId> for Destination {
+    fn from(group: GroupId) -> Self {
+        Destination::Group(group)
+    }
+}
+
+/// CPU work a packet requires at the sender and at each receiver, expressed
+/// as *reference* durations on the fastest machine class.
+///
+/// The host model scales these by the machine's CPU factor (a pc850 runs the
+/// same protocol code several times slower than a pc3000), then runs them
+/// through the host's serial CPU queue. This is how the reproduction carries
+/// the paper's observation that CPU speed shifts protocol trade-offs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProcessingCost {
+    /// Reference CPU time consumed at the sender before the packet reaches
+    /// the NIC.
+    pub tx: SimDuration,
+    /// Reference CPU time consumed at each receiver after the packet leaves
+    /// the NIC and before the agent sees it.
+    pub rx: SimDuration,
+}
+
+impl ProcessingCost {
+    /// No CPU cost on either side.
+    pub const FREE: ProcessingCost = ProcessingCost {
+        tx: SimDuration::ZERO,
+        rx: SimDuration::ZERO,
+    };
+
+    /// Creates a cost with the given reference send and receive durations.
+    pub const fn new(tx: SimDuration, rx: SimDuration) -> Self {
+        ProcessingCost { tx, rx }
+    }
+
+    /// Creates a symmetric cost (same work on both sides).
+    pub const fn symmetric(each: SimDuration) -> Self {
+        ProcessingCost { tx: each, rx: each }
+    }
+
+    /// Adds another cost component-wise.
+    pub fn plus(self, other: ProcessingCost) -> ProcessingCost {
+        ProcessingCost {
+            tx: self.tx + other.tx,
+            rx: self.rx + other.rx,
+        }
+    }
+}
+
+/// An opaque, cheaply clonable message body.
+///
+/// Protocol layers define their own payload types and downcast on receipt;
+/// the simulator never inspects payload contents, only `size_bytes`.
+pub type Payload = Arc<dyn Any + Send + Sync>;
+
+/// A packet in flight (or being constructed for sending).
+///
+/// `size_bytes` should include all protocol framing the caller wants the
+/// network model to account for; the simulator charges serialization time
+/// for exactly this many bytes at each traversed link.
+#[derive(Clone)]
+pub struct Packet {
+    /// The host that sent the packet.
+    pub src: NodeId,
+    /// Where the packet is headed.
+    pub dst: Destination,
+    /// Wire size in bytes (payload plus framing).
+    pub size_bytes: u32,
+    /// Caller-defined discriminator used for wire statistics (e.g. data vs.
+    /// repair traffic). Register labels with
+    /// [`Simulation::register_tag`](crate::Simulation::register_tag).
+    pub tag: u16,
+    /// CPU work declared for this packet.
+    pub cost: ProcessingCost,
+    /// The message body.
+    pub payload: Payload,
+    /// Engine-assigned unique id (per transmission, not per copy).
+    pub wire_id: u64,
+}
+
+impl Packet {
+    /// Downcasts the payload to a concrete message type.
+    pub fn payload_as<T: 'static>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Packet")
+            .field("src", &self.src)
+            .field("dst", &self.dst)
+            .field("size_bytes", &self.size_bytes)
+            .field("tag", &self.tag)
+            .field("wire_id", &self.wire_id)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A packet being prepared for transmission by an agent.
+///
+/// Construct with [`OutPacket::new`], then adjust with the builder-style
+/// setters before handing it to [`Ctx::send`](crate::Ctx::send).
+///
+/// # Examples
+///
+/// ```
+/// use adamant_netsim::{OutPacket, ProcessingCost, SimDuration};
+///
+/// let pkt = OutPacket::new(64, "hello")
+///     .tag(3)
+///     .cost(ProcessingCost::symmetric(SimDuration::from_micros(2)));
+/// assert_eq!(pkt.size_bytes, 64);
+/// ```
+#[derive(Clone)]
+pub struct OutPacket {
+    /// Wire size in bytes.
+    pub size_bytes: u32,
+    /// Statistics discriminator.
+    pub tag: u16,
+    /// Declared CPU cost.
+    pub cost: ProcessingCost,
+    /// Message body.
+    pub payload: Payload,
+}
+
+impl OutPacket {
+    /// Creates a packet of `size_bytes` carrying `payload`.
+    pub fn new<T: Any + Send + Sync>(size_bytes: u32, payload: T) -> Self {
+        OutPacket {
+            size_bytes,
+            tag: 0,
+            cost: ProcessingCost::FREE,
+            payload: Arc::new(payload),
+        }
+    }
+
+    /// Creates a packet sharing an already-allocated payload.
+    pub fn from_shared(size_bytes: u32, payload: Payload) -> Self {
+        OutPacket {
+            size_bytes,
+            tag: 0,
+            cost: ProcessingCost::FREE,
+            payload,
+        }
+    }
+
+    /// Sets the statistics tag.
+    pub fn tag(mut self, tag: u16) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Sets the declared CPU cost.
+    pub fn cost(mut self, cost: ProcessingCost) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+impl fmt::Debug for OutPacket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OutPacket")
+            .field("size_bytes", &self.size_bytes)
+            .field("tag", &self.tag)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_group_display() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(GroupId(2).to_string(), "g2");
+        assert_eq!(NodeId::from_index(7).index(), 7);
+    }
+
+    #[test]
+    fn destination_conversions() {
+        let n = NodeId(1);
+        let g = GroupId(0);
+        assert_eq!(Destination::from(n), Destination::Node(n));
+        assert_eq!(Destination::from(g), Destination::Group(g));
+    }
+
+    #[test]
+    fn processing_cost_addition() {
+        let a = ProcessingCost::new(SimDuration::from_micros(1), SimDuration::from_micros(2));
+        let b = ProcessingCost::symmetric(SimDuration::from_micros(3));
+        let sum = a.plus(b);
+        assert_eq!(sum.tx, SimDuration::from_micros(4));
+        assert_eq!(sum.rx, SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn out_packet_builder() {
+        let pkt = OutPacket::new(100, 42u32)
+            .tag(7)
+            .cost(ProcessingCost::symmetric(SimDuration::from_micros(1)));
+        assert_eq!(pkt.size_bytes, 100);
+        assert_eq!(pkt.tag, 7);
+        assert_eq!(*pkt.payload.downcast_ref::<u32>().unwrap(), 42);
+    }
+
+    #[test]
+    fn payload_downcast_via_packet() {
+        let out = OutPacket::new(10, String::from("msg"));
+        let pkt = Packet {
+            src: NodeId(0),
+            dst: Destination::Node(NodeId(1)),
+            size_bytes: out.size_bytes,
+            tag: out.tag,
+            cost: out.cost,
+            payload: out.payload,
+            wire_id: 1,
+        };
+        assert_eq!(pkt.payload_as::<String>().unwrap(), "msg");
+        assert!(pkt.payload_as::<u64>().is_none());
+    }
+}

@@ -1,0 +1,808 @@
+//! The discrete-event simulation engine.
+
+use std::collections::HashSet;
+
+use crate::agent::{Agent, Command, Ctx};
+use crate::event::{EventKind, EventQueue, TimerId};
+use crate::host::{HostConfig, HostState};
+use crate::loss::{ChannelState, LossModel};
+use crate::packet::{Destination, GroupId, NodeId, OutPacket, Packet};
+use crate::rng::SimRng;
+use crate::stats::WireStats;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+
+/// Network-wide configuration: the switched-LAN model shared by all hosts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// One-way switch + propagation delay applied to every packet copy.
+    pub propagation: SimDuration,
+    /// How the network itself drops copies in flight.
+    ///
+    /// The paper's loss is injected at end hosts (receivers drop data
+    /// packets programmatically), so this defaults to lossless; it exists
+    /// for failure-injection extensions (uniform or Gilbert–Elliott
+    /// bursty loss).
+    pub loss: LossModel,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            // Store-and-forward switch plus short cable runs on a datacenter
+            // LAN: tens of microseconds.
+            propagation: SimDuration::from_micros(50),
+            loss: LossModel::NONE,
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation of hosts on a switched LAN.
+///
+/// Build one by adding hosts (with their [`Agent`]s) and multicast groups,
+/// then drive it with [`run`](Simulation::run) or
+/// [`run_until`](Simulation::run_until). After the run, downcast agents with
+/// [`agent`](Simulation::agent) to read out results.
+///
+/// # Examples
+///
+/// ```
+/// use adamant_netsim::*;
+/// use std::any::Any;
+///
+/// struct Echo {
+///     got: u32,
+/// }
+/// impl Agent for Echo {
+///     fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {
+///         self.got += 1;
+///     }
+///     fn as_any(&self) -> &dyn Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+/// }
+///
+/// struct Pinger {
+///     peer: NodeId,
+/// }
+/// impl Agent for Pinger {
+///     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+///         ctx.send(self.peer, OutPacket::new(64, ()));
+///     }
+///     fn as_any(&self) -> &dyn Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+/// }
+///
+/// let mut sim = Simulation::new(7);
+/// let cfg = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+/// let b = sim.add_node(cfg, Echo { got: 0 });
+/// let _a = sim.add_node(cfg, Pinger { peer: b });
+/// sim.run();
+/// assert_eq!(sim.agent::<Echo>(b).unwrap().got, 1);
+/// ```
+pub struct Simulation {
+    now: SimTime,
+    queue: EventQueue,
+    engine_rng: SimRng,
+    node_rngs: Vec<SimRng>,
+    hosts: Vec<HostState>,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    groups: Vec<Vec<NodeId>>,
+    stats: WireStats,
+    network: NetworkConfig,
+    next_timer_id: u64,
+    cancelled_timers: HashSet<TimerId>,
+    channel_states: Vec<ChannelState>,
+    trace: Trace,
+    cpu_busy: Vec<SimDuration>,
+    next_wire_id: u64,
+    events_processed: u64,
+    event_limit: u64,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("nodes", &self.hosts.len())
+            .field("groups", &self.groups.len())
+            .field("pending_events", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation seeded with `seed`.
+    ///
+    /// Two simulations built identically from the same seed produce
+    /// bit-identical runs.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            engine_rng: SimRng::seed_from_u64(seed ^ 0xADA_3A17),
+            node_rngs: Vec::new(),
+            hosts: Vec::new(),
+            agents: Vec::new(),
+            groups: Vec::new(),
+            stats: WireStats::new(),
+            network: NetworkConfig::default(),
+            next_timer_id: 0,
+            cancelled_timers: HashSet::new(),
+            channel_states: Vec::new(),
+            trace: Trace::new(0),
+            cpu_busy: Vec::new(),
+            next_wire_id: 0,
+            events_processed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Replaces the network configuration (builder-style).
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Caps the total number of processed events; [`run`](Self::run) stops
+    /// once the cap is hit. A safety net against runaway protocol loops.
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = limit;
+        self
+    }
+
+    /// Enables packet-level tracing with a bounded ring of `capacity`
+    /// events (disabled by default; see [`Trace`]).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace = Trace::new(capacity);
+        self
+    }
+
+    /// Registers a human-readable label for a packet tag in the wire
+    /// statistics.
+    pub fn register_tag(&mut self, tag: u16, label: &str) {
+        self.stats.register_tag(tag, label);
+    }
+
+    /// Adds a host running `agent` and returns its id. The agent's
+    /// `on_start` fires at the current simulation time.
+    pub fn add_node<A: Agent + 'static>(&mut self, config: HostConfig, agent: A) -> NodeId {
+        let id = NodeId(self.hosts.len() as u32);
+        self.hosts.push(HostState::new(config));
+        self.agents.push(Some(Box::new(agent)));
+        let stream = id.0 as u64;
+        self.node_rngs.push(self.engine_rng.fork(stream));
+        self.channel_states.push(ChannelState::default());
+        self.cpu_busy.push(SimDuration::ZERO);
+        self.queue.schedule(self.now, EventKind::Start { node: id });
+        id
+    }
+
+    /// Creates a multicast group containing `members` and returns its id.
+    pub fn create_group(&mut self, members: &[NodeId]) -> GroupId {
+        let id = GroupId(self.groups.len() as u32);
+        self.groups.push(members.to_vec());
+        id
+    }
+
+    /// Adds `node` to `group` (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` does not exist.
+    pub fn join_group(&mut self, group: GroupId, node: NodeId) {
+        let members = &mut self.groups[group.index()];
+        if !members.contains(&node) {
+            members.push(node);
+        }
+    }
+
+    /// Removes `node` from `group` (no-op if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` does not exist.
+    pub fn leave_group(&mut self, group: GroupId, node: NodeId) {
+        self.groups[group.index()].retain(|&n| n != node);
+    }
+
+    /// Current members of `group`.
+    pub fn group_members(&self, group: GroupId) -> &[NodeId] {
+        &self.groups[group.index()]
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The host configuration of `node`.
+    pub fn host_config(&self, node: NodeId) -> HostConfig {
+        self.hosts[node.index()].config
+    }
+
+    /// Wire-level statistics collected so far.
+    pub fn stats(&self) -> &WireStats {
+        &self.stats
+    }
+
+    /// The packet trace (empty unless enabled with
+    /// [`with_trace_capacity`](Self::with_trace_capacity)).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Accumulated CPU busy time of `node` (protocol + middleware
+    /// processing charged through the per-packet cost model).
+    pub fn cpu_busy(&self, node: NodeId) -> SimDuration {
+        self.cpu_busy[node.index()]
+    }
+
+    /// CPU utilisation of `node` as a fraction of elapsed simulated time
+    /// (zero before any time has passed).
+    pub fn cpu_utilization(&self, node: NodeId) -> f64 {
+        let elapsed = self.now.as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.cpu_busy[node.index()].as_secs_f64() / elapsed
+    }
+
+    /// Downcasts the agent on `node` to a concrete type.
+    pub fn agent<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        self.agents[node.index()]
+            .as_deref()
+            .and_then(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable downcast of the agent on `node`.
+    pub fn agent_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.agents[node.index()]
+            .as_deref_mut()
+            .and_then(|a| a.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Runs until the event queue drains (or the event limit is reached).
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until simulated time reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs for `span` of simulated time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+
+    /// Processes one event. Returns `false` when the queue is empty or the
+    /// event limit has been reached.
+    pub fn step(&mut self) -> bool {
+        if self.events_processed >= self.event_limit {
+            return false;
+        }
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.time >= self.now, "time went backwards");
+        self.now = event.time;
+        self.events_processed += 1;
+        match event.kind {
+            EventKind::Start { node } => self.dispatch(node, AgentCall::Start),
+            EventKind::Ingress { node, packet } => self.ingress(node, packet),
+            EventKind::Deliver { node, packet } => {
+                self.dispatch(node, AgentCall::Packet(packet))
+            }
+            EventKind::Timer { node, timer, tag } => {
+                if self.cancelled_timers.remove(&timer) {
+                    return true;
+                }
+                self.dispatch(node, AgentCall::Timer(timer, tag));
+            }
+        }
+        true
+    }
+
+    fn dispatch(&mut self, node: NodeId, call: AgentCall) {
+        let mut agent = match self.agents[node.index()].take() {
+            Some(a) => a,
+            None => return, // agent removed (crashed host in failure tests)
+        };
+        let machine = self.hosts[node.index()].config.machine;
+        let mut commands = Vec::new();
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                machine,
+                rng: &mut self.node_rngs[node.index()],
+                groups: &self.groups,
+                commands: Vec::new(),
+                next_timer_id: &mut self.next_timer_id,
+            };
+            match call {
+                AgentCall::Start => agent.on_start(&mut ctx),
+                AgentCall::Packet(pkt) => agent.on_packet(&mut ctx, pkt),
+                AgentCall::Timer(id, tag) => agent.on_timer(&mut ctx, id, tag),
+            }
+            commands.append(&mut ctx.commands);
+        }
+        self.agents[node.index()] = Some(agent);
+        for command in commands {
+            self.apply(node, command);
+        }
+    }
+
+    fn apply(&mut self, from: NodeId, command: Command) {
+        match command {
+            Command::Send { dst, packet } => self.transmit(from, dst, packet),
+            Command::SetTimer { id, fire_at, tag } => {
+                self.queue.schedule(
+                    fire_at,
+                    EventKind::Timer {
+                        node: from,
+                        timer: id,
+                        tag,
+                    },
+                );
+            }
+            Command::CancelTimer { id } => {
+                self.cancelled_timers.insert(id);
+            }
+        }
+    }
+
+    /// Runs the sender half of the delivery pipeline and schedules the
+    /// receiver half for each destination copy.
+    fn transmit(&mut self, from: NodeId, dst: Destination, out: OutPacket) {
+        let wire_id = self.next_wire_id;
+        self.next_wire_id += 1;
+        self.stats.record_send(from, out.tag, out.size_bytes);
+        self.trace.record(TraceEvent {
+            time: self.now,
+            kind: TraceKind::Sent,
+            node: from,
+            tag: out.tag,
+            wire_id,
+            size_bytes: out.size_bytes,
+        });
+
+        // Sender side: CPU, then egress serialization (once, even for
+        // multicast — the switch replicates).
+        let tx_cost = out.cost.tx.scale(self.hosts[from.index()].config.cpu_scale());
+        self.cpu_busy[from.index()] += tx_cost;
+        let cpu_done = self.hosts[from.index()].occupy_cpu(self.now, out.cost.tx);
+        let egress_done = self.hosts[from.index()].occupy_egress(cpu_done, out.size_bytes);
+        let at_switch = egress_done
+            + self.network.propagation
+            + self.hosts[from.index()].config.uplink_delay;
+
+        let targets: Vec<NodeId> = match dst {
+            Destination::Node(n) => vec![n],
+            Destination::Group(g) => self.groups[g.index()]
+                .iter()
+                .copied()
+                .filter(|&n| n != from)
+                .collect(),
+        };
+
+        for target in targets {
+            if self.network.loss.can_drop()
+                && self.channel_states[target.index()]
+                    .should_drop(&self.network.loss, &mut self.engine_rng)
+            {
+                self.stats.record_link_drop(out.tag);
+                self.trace.record(TraceEvent {
+                    time: self.now,
+                    kind: TraceKind::LinkDropped,
+                    node: target,
+                    tag: out.tag,
+                    wire_id,
+                    size_bytes: out.size_bytes,
+                });
+                continue;
+            }
+            // Receiver side: the copy reaches the target's switch port at
+            // `at_port`; ingress and CPU occupancy happen when that event
+            // fires, so per-resource queueing is FIFO in true arrival
+            // order (crucial when hosts have heterogeneous uplink delays).
+            let at_port = at_switch + self.hosts[target.index()].config.uplink_delay;
+            let packet = Packet {
+                src: from,
+                dst,
+                size_bytes: out.size_bytes,
+                tag: out.tag,
+                cost: out.cost,
+                payload: out.payload.clone(),
+                wire_id,
+            };
+            self.queue.schedule(
+                at_port,
+                EventKind::Ingress {
+                    node: target,
+                    packet,
+                },
+            );
+        }
+    }
+
+    /// Receiver half of the delivery pipeline, run at switch-port arrival
+    /// time: ingress serialization, then CPU, then agent delivery.
+    fn ingress(&mut self, target: NodeId, packet: Packet) {
+        let host = &mut self.hosts[target.index()];
+        let ingress_done = host.occupy_ingress(self.now, packet.size_bytes);
+        let rx_cost = packet.cost.rx.scale(host.config.cpu_scale());
+        let rx_done = host.occupy_cpu(ingress_done, packet.cost.rx);
+        self.cpu_busy[target.index()] += rx_cost;
+        self.stats
+            .record_delivery(target, packet.tag, packet.size_bytes, rx_done);
+        self.trace.record(TraceEvent {
+            time: rx_done,
+            kind: TraceKind::Delivered,
+            node: target,
+            tag: packet.tag,
+            wire_id: packet.wire_id,
+            size_bytes: packet.size_bytes,
+        });
+        self.queue.schedule(
+            rx_done,
+            EventKind::Deliver {
+                node: target,
+                packet,
+            },
+        );
+    }
+
+    /// Removes the agent from `node`, simulating a host crash: packets in
+    /// flight to it are silently discarded on delivery and its timers never
+    /// fire into agent code again.
+    pub fn crash_node(&mut self, node: NodeId) -> Option<Box<dyn Agent>> {
+        self.agents[node.index()].take()
+    }
+}
+
+enum AgentCall {
+    Start,
+    Packet(Packet),
+    Timer(TimerId, u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bandwidth, MachineClass};
+    use std::any::Any;
+
+    /// Records arrival times of every packet it sees.
+    struct Recorder {
+        arrivals: Vec<(SimTime, u64)>,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            Recorder {
+                arrivals: Vec::new(),
+            }
+        }
+    }
+
+    impl Agent for Recorder {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            self.arrivals.push((ctx.now(), pkt.wire_id));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends `count` packets of `size` to `dst` at start.
+    struct Blaster {
+        dst: Destination,
+        count: u32,
+        size: u32,
+        cost: crate::ProcessingCost,
+    }
+
+    impl Agent for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for _ in 0..self.count {
+                ctx.send(
+                    self.dst,
+                    OutPacket::new(self.size, ()).cost(self.cost),
+                );
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn gbit_host() -> HostConfig {
+        HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1)
+    }
+
+    #[test]
+    fn unicast_latency_matches_pipeline_math() {
+        let mut sim = Simulation::new(1).with_network(NetworkConfig {
+            propagation: SimDuration::from_micros(50),
+            loss: LossModel::NONE,
+        });
+        let rx = sim.add_node(gbit_host(), Recorder::new());
+        let _tx = sim.add_node(
+            gbit_host(),
+            Blaster {
+                dst: rx.into(),
+                count: 1,
+                size: 1_250, // 10 µs at 1 Gb/s
+                cost: crate::ProcessingCost::FREE,
+            },
+        );
+        sim.run();
+        let arrivals = &sim.agent::<Recorder>(rx).unwrap().arrivals;
+        // egress 10 µs + propagation 50 µs + ingress 10 µs = 70 µs.
+        assert_eq!(arrivals, &vec![(SimTime::from_micros(70), 0)]);
+    }
+
+    #[test]
+    fn cpu_cost_scales_latency_on_slow_machine() {
+        let run = |machine: MachineClass| {
+            let mut sim = Simulation::new(1);
+            let rx = sim.add_node(
+                HostConfig::new(machine, Bandwidth::GBPS_1),
+                Recorder::new(),
+            );
+            let _tx = sim.add_node(
+                gbit_host(),
+                Blaster {
+                    dst: rx.into(),
+                    count: 1,
+                    size: 125,
+                    cost: crate::ProcessingCost::new(
+                        SimDuration::ZERO,
+                        SimDuration::from_micros(100),
+                    ),
+                },
+            );
+            sim.run();
+            sim.agent::<Recorder>(rx).unwrap().arrivals[0].0
+        };
+        let fast = run(MachineClass::Pc3000);
+        let slow = run(MachineClass::Pc850);
+        assert_eq!(
+            slow.as_nanos() - fast.as_nanos(),
+            // 100 µs scaled ×3.5 minus ×1.0 → 250 µs extra.
+            SimDuration::from_micros(250).as_nanos()
+        );
+    }
+
+    #[test]
+    fn back_to_back_sends_queue_at_egress() {
+        let mut sim = Simulation::new(1);
+        let slow_net = HostConfig::new(MachineClass::Pc3000, Bandwidth::MBPS_10);
+        let rx = sim.add_node(slow_net, Recorder::new());
+        let _tx = sim.add_node(
+            slow_net,
+            Blaster {
+                dst: rx.into(),
+                count: 3,
+                size: 1_250, // 1 ms each at 10 Mb/s
+                cost: crate::ProcessingCost::FREE,
+            },
+        );
+        sim.run();
+        let arrivals = &sim.agent::<Recorder>(rx).unwrap().arrivals;
+        assert_eq!(arrivals.len(), 3);
+        // Ingress is also 1 ms per packet, but egress spacing dominates and
+        // packets arrive exactly 1 ms apart.
+        let gaps: Vec<u64> = arrivals
+            .windows(2)
+            .map(|w| (w[1].0 - w[0].0).as_nanos())
+            .collect();
+        assert_eq!(gaps, vec![1_000_000, 1_000_000]);
+    }
+
+    #[test]
+    fn multicast_reaches_all_members_except_sender() {
+        let mut sim = Simulation::new(1);
+        let cfg = gbit_host();
+        let r1 = sim.add_node(cfg, Recorder::new());
+        let r2 = sim.add_node(cfg, Recorder::new());
+        let r3 = sim.add_node(cfg, Recorder::new());
+        let tx = sim.add_node(cfg, Recorder::new());
+        let group = sim.create_group(&[r1, r2, r3, tx]);
+        // Replace the sender with a blaster targeting the group.
+        sim.agents[tx.index()] = Some(Box::new(Blaster {
+            dst: group.into(),
+            count: 1,
+            size: 100,
+            cost: crate::ProcessingCost::FREE,
+        }));
+        sim.run();
+        for r in [r1, r2, r3] {
+            assert_eq!(sim.agent::<Recorder>(r).unwrap().arrivals.len(), 1);
+        }
+        // Sender did not deliver to itself.
+        assert_eq!(sim.stats().tag(0).deliveries, 3);
+        assert_eq!(sim.stats().tag(0).sends, 1);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_runs() {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(seed).with_network(NetworkConfig {
+                propagation: SimDuration::from_micros(50),
+                loss: LossModel::Bernoulli(0.3),
+            });
+            let rx = sim.add_node(gbit_host(), Recorder::new());
+            let _tx = sim.add_node(
+                gbit_host(),
+                Blaster {
+                    dst: rx.into(),
+                    count: 50,
+                    size: 100,
+                    cost: crate::ProcessingCost::FREE,
+                },
+            );
+            sim.run();
+            sim.agent::<Recorder>(rx).unwrap().arrivals.clone()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn link_loss_drops_copies() {
+        let mut sim = Simulation::new(42).with_network(NetworkConfig {
+            propagation: SimDuration::from_micros(50),
+            loss: LossModel::Bernoulli(0.5),
+        });
+        let rx = sim.add_node(gbit_host(), Recorder::new());
+        let _tx = sim.add_node(
+            gbit_host(),
+            Blaster {
+                dst: rx.into(),
+                count: 1_000,
+                size: 100,
+                cost: crate::ProcessingCost::FREE,
+            },
+        );
+        sim.run();
+        let got = sim.agent::<Recorder>(rx).unwrap().arrivals.len();
+        assert!(got > 350 && got < 650, "got {got}, expected ~500");
+        assert_eq!(sim.stats().tag(0).link_drops as usize, 1_000 - got);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerUser {
+            fired: Vec<u64>,
+        }
+        impl Agent for TimerUser {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(1), 1);
+                let cancel_me = ctx.set_timer(SimDuration::from_millis(2), 2);
+                ctx.set_timer(SimDuration::from_millis(3), 3);
+                ctx.cancel_timer(cancel_me);
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _id: TimerId, tag: u64) {
+                self.fired.push(tag);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let n = sim.add_node(gbit_host(), TimerUser { fired: vec![] });
+        sim.run();
+        assert_eq!(sim.agent::<TimerUser>(n).unwrap().fired, vec![1, 3]);
+        assert_eq!(sim.now(), SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        struct Periodic;
+        impl Agent for Periodic {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, _tag: u64) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new(1);
+        sim.add_node(gbit_host(), Periodic);
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+        // Start + timers at 1..=10 ms.
+        assert_eq!(sim.events_processed(), 11);
+        sim.run_for(SimDuration::from_millis(5));
+        assert_eq!(sim.now(), SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn event_limit_halts_runaway() {
+        struct Loop;
+        impl Agent for Loop {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::ZERO, 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, _tag: u64) {
+                ctx.set_timer(SimDuration::ZERO, 0);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new(1).with_event_limit(100);
+        sim.add_node(gbit_host(), Loop);
+        sim.run();
+        assert_eq!(sim.events_processed(), 100);
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing() {
+        let mut sim = Simulation::new(1);
+        let rx = sim.add_node(gbit_host(), Recorder::new());
+        let _tx = sim.add_node(
+            gbit_host(),
+            Blaster {
+                dst: rx.into(),
+                count: 5,
+                size: 100,
+                cost: crate::ProcessingCost::FREE,
+            },
+        );
+        let taken = sim.crash_node(rx);
+        assert!(taken.is_some());
+        sim.run();
+        assert!(sim.agent::<Recorder>(rx).is_none());
+    }
+
+    #[test]
+    fn group_membership_changes() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_node(gbit_host(), Recorder::new());
+        let b = sim.add_node(gbit_host(), Recorder::new());
+        let g = sim.create_group(&[a]);
+        sim.join_group(g, b);
+        sim.join_group(g, b); // idempotent
+        assert_eq!(sim.group_members(g), &[a, b]);
+        sim.leave_group(g, a);
+        assert_eq!(sim.group_members(g), &[b]);
+    }
+}

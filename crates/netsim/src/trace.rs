@@ -1,0 +1,148 @@
+//! Optional packet-level tracing: a bounded ring of wire events for
+//! debugging protocols and asserting on traffic in tests.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::packet::NodeId;
+use crate::time::SimTime;
+
+/// What happened to a packet copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A transmission left a sender (one per `send`, before fan-out).
+    Sent,
+    /// A copy was delivered to a receiving agent.
+    Delivered,
+    /// A copy was dropped by the network loss model.
+    LinkDropped,
+}
+
+/// One traced wire event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the event was recorded (send time for `Sent`, delivery time
+    /// for `Delivered`, send time for `LinkDropped`).
+    pub time: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+    /// The node concerned (sender for `Sent`, receiver otherwise).
+    pub node: NodeId,
+    /// The packet's statistics tag.
+    pub tag: u16,
+    /// Engine-assigned transmission id (shared by all copies of one send).
+    pub wire_id: u64,
+    /// Wire size in bytes.
+    pub size_bytes: u32,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s. Disabled (capacity 0) by
+/// default; enable with
+/// [`Simulation::with_trace_capacity`](crate::Simulation::with_trace_capacity).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped_events: u64,
+}
+
+impl Trace {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Trace {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4_096)),
+            dropped_events: 0,
+        }
+    }
+
+    /// Whether tracing is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped_events += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were evicted because the ring was full.
+    pub fn evicted(&self) -> u64 {
+        self.dropped_events
+    }
+
+    /// Events matching a tag, oldest first.
+    pub fn with_tag(&self, tag: u16) -> Vec<TraceEvent> {
+        self.events.iter().filter(|e| e.tag == tag).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(wire_id: u64) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_micros(wire_id),
+            kind: TraceKind::Sent,
+            node: NodeId::from_index(0),
+            tag: 1,
+            wire_id,
+            size_bytes: 10,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(0);
+        assert!(!t.is_enabled());
+        t.record(event(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.record(event(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.evicted(), 2);
+        let ids: Vec<u64> = t.events().map(|e| e.wire_id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn tag_filter() {
+        let mut t = Trace::new(10);
+        t.record(event(1));
+        t.record(TraceEvent {
+            tag: 9,
+            ..event(2)
+        });
+        assert_eq!(t.with_tag(9).len(), 1);
+        assert_eq!(t.with_tag(1).len(), 1);
+        assert_eq!(t.with_tag(7).len(), 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The ANT (Adaptive Network Transports) framework: builds a complete
+//! pub/sub transport session — sender, receivers, multicast group — from a
+//! [`TransportConfig`], and collects QoS results afterwards.
+//!
+//! This is the configuration seam ADAMANT drives: the machine-learning
+//! selector picks a [`ProtocolKind`]; `install` composes the corresponding
+//! protocol properties into concrete agents on simulated hosts.
+
+use adamant_metrics::QosReport;
+use adamant_netsim::{GroupId, HostConfig, NodeId, Simulation};
+use serde::{Deserialize, Serialize};
+
+use crate::ackcast::{AckcastReceiver, AckcastSender};
+use crate::config::{ProtocolKind, TransportConfig};
+use crate::nakcast::{NakcastReceiver, NakcastSender};
+use crate::profile::{AppSpec, StackProfile};
+use crate::receiver::DataReader;
+use crate::ricochet::{RicochetReceiver, RicochetSender};
+use crate::slingshot::{SlingshotReceiver, SlingshotSender};
+use crate::tags;
+use crate::udp::{UdpReceiver, UdpSender};
+
+/// Everything needed to set up one experiment session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Transport protocol and tuning.
+    pub transport: TransportConfig,
+    /// Publication workload.
+    pub app: AppSpec,
+    /// Middleware stack contribution (from the DDS profile).
+    pub stack: StackProfile,
+    /// Host running the data writer.
+    pub sender_host: HostConfig,
+    /// Hosts running the data readers (one reader per host).
+    pub receiver_hosts: Vec<HostConfig>,
+    /// End-host drop probability applied to data packets at each reader.
+    pub drop_probability: f64,
+}
+
+/// Node handles of an installed session.
+#[derive(Debug, Clone)]
+pub struct SessionHandles {
+    /// The protocol that was installed.
+    pub kind: ProtocolKind,
+    /// The data-writer node.
+    pub sender: NodeId,
+    /// The data-reader nodes.
+    pub receivers: Vec<NodeId>,
+    /// The multicast group connecting them.
+    pub group: GroupId,
+    /// Samples the writer will publish.
+    pub expected_samples: u64,
+}
+
+/// Installs a complete session described by `spec` into `sim`.
+///
+/// Creates the sender host, one host per receiver, the multicast group, and
+/// the protocol agents for `spec.transport.kind`.
+pub fn install(sim: &mut Simulation, spec: &SessionSpec) -> SessionHandles {
+    tags::register_all(sim);
+    let group = sim.create_group(&[]);
+    let tuning = spec.transport.tuning;
+    let app = spec.app;
+    let stack = spec.stack;
+
+    let sender = match spec.transport.kind {
+        ProtocolKind::Udp => sim.add_node(
+            spec.sender_host,
+            UdpSender::new(app, stack, tuning, group),
+        ),
+        ProtocolKind::Nakcast { .. } => sim.add_node(
+            spec.sender_host,
+            NakcastSender::new(app, stack, tuning, group),
+        ),
+        ProtocolKind::Ricochet { .. } => sim.add_node(
+            spec.sender_host,
+            RicochetSender::new(app, stack, tuning, group),
+        ),
+        ProtocolKind::Ackcast { .. } => sim.add_node(
+            spec.sender_host,
+            AckcastSender::new(app, stack, tuning, group),
+        ),
+        ProtocolKind::Slingshot { .. } => sim.add_node(
+            spec.sender_host,
+            SlingshotSender::new(app, stack, tuning, group),
+        ),
+    };
+    sim.join_group(group, sender);
+
+    let mut receivers = Vec::with_capacity(spec.receiver_hosts.len());
+    for &host in &spec.receiver_hosts {
+        let node = match spec.transport.kind {
+            ProtocolKind::Udp => sim.add_node(
+                host,
+                UdpReceiver::new(app.total_samples, spec.drop_probability),
+            ),
+            ProtocolKind::Nakcast { timeout } => sim.add_node(
+                host,
+                NakcastReceiver::new(
+                    sender,
+                    app.total_samples,
+                    timeout,
+                    tuning,
+                    spec.drop_probability,
+                ),
+            ),
+            ProtocolKind::Ricochet { r, c } => sim.add_node(
+                host,
+                RicochetReceiver::new(
+                    sender,
+                    group,
+                    app.total_samples,
+                    app.payload_bytes,
+                    r,
+                    c,
+                    tuning,
+                    spec.drop_probability,
+                ),
+            ),
+            ProtocolKind::Ackcast { rto } => sim.add_node(
+                host,
+                AckcastReceiver::new(
+                    sender,
+                    app.total_samples,
+                    rto,
+                    tuning,
+                    spec.drop_probability,
+                ),
+            ),
+            ProtocolKind::Slingshot { c } => sim.add_node(
+                host,
+                SlingshotReceiver::new(
+                    sender,
+                    group,
+                    app.total_samples,
+                    app.payload_bytes,
+                    c,
+                    tuning,
+                    spec.drop_probability,
+                ),
+            ),
+        };
+        sim.join_group(group, node);
+        receivers.push(node);
+    }
+
+    SessionHandles {
+        kind: spec.transport.kind,
+        sender,
+        receivers,
+        group,
+        expected_samples: app.total_samples,
+    }
+}
+
+/// Returns the [`DataReader`] view of receiver `node` in an installed
+/// session.
+///
+/// # Panics
+///
+/// Panics if `node` is not a receiver of `handles`' protocol kind (e.g. a
+/// crashed/removed node).
+pub fn reader<'a>(
+    sim: &'a Simulation,
+    handles: &SessionHandles,
+    node: NodeId,
+) -> &'a dyn DataReader {
+    fn get<T: DataReader + 'static>(sim: &Simulation, node: NodeId) -> &dyn DataReader {
+        sim.agent::<T>(node)
+            .expect("node is not a receiver of this session") as &dyn DataReader
+    }
+    match handles.kind {
+        ProtocolKind::Udp => get::<UdpReceiver>(sim, node),
+        ProtocolKind::Nakcast { .. } => get::<NakcastReceiver>(sim, node),
+        ProtocolKind::Ricochet { .. } => get::<RicochetReceiver>(sim, node),
+        ProtocolKind::Ackcast { .. } => get::<AckcastReceiver>(sim, node),
+        ProtocolKind::Slingshot { .. } => get::<SlingshotReceiver>(sim, node),
+    }
+}
+
+/// Collects every receiver's unified protocol counters (aligned with
+/// `handles.receivers`).
+pub fn collect_protocol_stats(
+    sim: &Simulation,
+    handles: &SessionHandles,
+) -> Vec<crate::ProtocolStats> {
+    handles
+        .receivers
+        .iter()
+        .map(|&node| reader(sim, handles, node).protocol_stats())
+        .collect()
+}
+
+/// Builds the pooled [`QosReport`] for a finished session.
+pub fn collect_report(sim: &Simulation, handles: &SessionHandles) -> QosReport {
+    let mut builder = QosReport::builder(
+        handles.expected_samples,
+        handles.receivers.len() as u32,
+    );
+    for &node in &handles.receivers {
+        let r = reader(sim, handles, node);
+        builder.add_receiver(r.log().deliveries(), r.duplicates());
+    }
+    builder
+        .wire(
+            sim.stats().bytes_per_second(),
+            sim.stats().total_bytes_delivered(),
+        )
+        .duration_secs(sim.now().as_secs_f64());
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamant_netsim::{Bandwidth, MachineClass, SimDuration, SimTime};
+
+    fn spec(kind: ProtocolKind) -> SessionSpec {
+        let host = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+        SessionSpec {
+            transport: TransportConfig::new(kind),
+            app: AppSpec::at_rate(500, 100.0, 12),
+            stack: StackProfile::new(20.0, 48),
+            sender_host: host,
+            receiver_hosts: vec![host; 3],
+            drop_probability: 0.05,
+        }
+    }
+
+    fn run(kind: ProtocolKind, seed: u64) -> QosReport {
+        let mut sim = Simulation::new(seed);
+        let handles = install(&mut sim, &spec(kind));
+        sim.run_until(SimTime::from_secs(10));
+        collect_report(&sim, &handles)
+    }
+
+    #[test]
+    fn installs_and_runs_every_protocol() {
+        for kind in [
+            ProtocolKind::Udp,
+            ProtocolKind::Nakcast {
+                timeout: SimDuration::from_millis(1),
+            },
+            ProtocolKind::Ricochet { r: 4, c: 3 },
+            ProtocolKind::Ackcast {
+                rto: SimDuration::from_millis(20),
+            },
+        ] {
+            let report = run(kind, 3);
+            assert_eq!(report.receivers, 3);
+            assert!(
+                report.reliability() > 0.9,
+                "{kind}: reliability {}",
+                report.reliability()
+            );
+            assert!(report.avg_latency_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn reliability_ordering_matches_protocol_guarantees() {
+        let udp = run(ProtocolKind::Udp, 5);
+        let nak = run(
+            ProtocolKind::Nakcast {
+                timeout: SimDuration::from_millis(1),
+            },
+            5,
+        );
+        let ric = run(ProtocolKind::Ricochet { r: 4, c: 3 }, 5);
+        assert!(nak.reliability() >= ric.reliability());
+        assert!(nak.reliability() > 0.9999);
+        assert!(ric.reliability() > udp.reliability());
+        assert!((udp.reliability() - 0.95).abs() < 0.02);
+    }
+
+    #[test]
+    fn wire_stats_flow_into_report() {
+        let report = run(ProtocolKind::Ricochet { r: 4, c: 3 }, 9);
+        assert!(report.wire_bytes > 0);
+        assert!(report.avg_bandwidth_bytes_per_sec > 0.0);
+        assert!(report.duration_secs > 0.0);
+    }
+
+    #[test]
+    fn protocol_stats_reflect_each_protocol_mechanism() {
+        let nak = {
+            let mut sim = Simulation::new(5);
+            let handles = install(
+                &mut sim,
+                &spec(ProtocolKind::Nakcast {
+                    timeout: SimDuration::from_millis(1),
+                }),
+            );
+            sim.run_until(SimTime::from_secs(10));
+            collect_protocol_stats(&sim, &handles)
+        };
+        assert_eq!(nak.len(), 3);
+        for s in &nak {
+            assert!(s.naks_sent > 0, "NAKcast should have NAKed: {s:?}");
+            assert!(s.recovered > 0);
+            assert_eq!(s.repairs_sent, 0);
+        }
+
+        let ric = {
+            let mut sim = Simulation::new(5);
+            let handles = install(&mut sim, &spec(ProtocolKind::Ricochet { r: 4, c: 3 }));
+            sim.run_until(SimTime::from_secs(10));
+            collect_protocol_stats(&sim, &handles)
+        };
+        for s in &ric {
+            assert!(s.repairs_sent > 0, "Ricochet should have repaired: {s:?}");
+            assert!(s.repairs_received > 0);
+            assert_eq!(s.naks_sent, 0);
+        }
+
+        let udp = {
+            let mut sim = Simulation::new(5);
+            let handles = install(&mut sim, &spec(ProtocolKind::Udp));
+            sim.run_until(SimTime::from_secs(10));
+            collect_protocol_stats(&sim, &handles)
+        };
+        for s in &udp {
+            assert_eq!(s.naks_sent, 0);
+            assert_eq!(s.repairs_sent, 0);
+            assert_eq!(s.recovered, 0);
+            assert!(s.dropped > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let a = run(ProtocolKind::Nakcast { timeout: SimDuration::from_millis(10) }, 11);
+        let b = run(ProtocolKind::Nakcast { timeout: SimDuration::from_millis(10) }, 11);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,559 @@
+//! NAKcast: NAK-based reliable *ordered* multicast with a tunable NAK
+//! timeout, as evaluated in the paper.
+//!
+//! The sender multicasts data and short session heartbeats advertising the
+//! highest sequence sent; receivers detect gaps from later packets or
+//! heartbeats, wait `timeout` (the protocol's tunable parameter — 50, 25,
+//! 10, or 1 ms in the paper), then NAK the sender, which retransmits via
+//! unicast. Delivery to the application is in publication order: a missing
+//! packet holds back its successors until it is recovered or abandoned,
+//! which is where NAKcast pays latency and jitter under loss.
+
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+
+use adamant_metrics::{Delivery, DenseReceptionLog};
+use adamant_netsim::{
+    Agent, Ctx, GroupId, NodeId, OutPacket, Packet, ProcessingCost, SimDuration, SimTime, TimerId,
+};
+
+use crate::config::Tuning;
+use crate::profile::{AppSpec, StackProfile};
+use crate::publisher::PublisherCore;
+use crate::receiver::DataReader;
+use crate::tags::{FRAMING_BYTES, NAK_BASE_BYTES, NAK_PER_SEQ_BYTES, TAG_NAK};
+use crate::wire::{DataMsg, FinMsg, HeartbeatMsg, NakMsg};
+
+/// Timer tag for the receiver's NAK scan.
+const TIMER_SCAN: u64 = 10;
+
+/// Base wait after a NAK before re-NAKing the same sequence (covers the
+/// LAN retransmission round trip); doubles with each retry up to
+/// [`RENAK_MAX`], so high-RTT paths (e.g. a satellite hop) do not trigger
+/// duplicate-retransmission storms while the first answer is in flight.
+const RENAK_EXTRA: SimDuration = SimDuration::from_millis(5);
+/// Upper bound of the exponential re-NAK backoff.
+const RENAK_MAX: SimDuration = SimDuration::from_secs(2);
+
+/// The re-NAK backoff after `retries` attempts.
+fn renak_backoff(retries: u32) -> SimDuration {
+    let doubled = RENAK_EXTRA * 2u64.saturating_pow(retries.min(16));
+    doubled.min(RENAK_MAX)
+}
+
+/// Sender side of NAKcast: publishes, heartbeats, and answers NAKs with
+/// unicast retransmissions.
+#[derive(Debug)]
+pub struct NakcastSender {
+    core: PublisherCore,
+    retransmissions_sent: u64,
+}
+
+impl NakcastSender {
+    /// Creates a sender publishing `app` into `group`.
+    pub fn new(app: AppSpec, profile: StackProfile, tuning: Tuning, group: GroupId) -> Self {
+        NakcastSender {
+            core: PublisherCore::new(app, profile, tuning, group, true, true),
+            retransmissions_sent: 0,
+        }
+    }
+
+    /// Unicast retransmissions sent in response to NAKs.
+    pub fn retransmissions_sent(&self) -> u64 {
+        self.retransmissions_sent
+    }
+}
+
+impl Agent for NakcastSender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.core.start(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
+        self.core.handle_timer(ctx, tag);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        if let Some(nak) = packet.payload_as::<NakMsg>() {
+            for &seq in &nak.seqs {
+                if self.core.retransmit(ctx, packet.src, seq) {
+                    self.retransmissions_sent += 1;
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingSample {
+    published_at: SimTime,
+    recovered: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MissingState {
+    nak_at: SimTime,
+    retries: u32,
+}
+
+/// Receiver side of NAKcast.
+#[derive(Debug)]
+pub struct NakcastReceiver {
+    sender: NodeId,
+    timeout: SimDuration,
+    tuning: Tuning,
+    drop_probability: f64,
+    log: DenseReceptionLog,
+    dropped: u64,
+    duplicates: u64,
+    next_deliver: u64,
+    buffer: BTreeMap<u64, PendingSample>,
+    missing: BTreeMap<u64, MissingState>,
+    abandoned: BTreeSet<u64>,
+    highest_advertised: Option<u64>,
+    scan_timer: Option<(TimerId, SimTime)>,
+    naks_sent: u64,
+    give_ups: u64,
+}
+
+impl NakcastReceiver {
+    /// Creates a receiver expecting `expected` samples from `sender`,
+    /// NAKing after `timeout`, with end-host drop probability
+    /// `drop_probability`.
+    pub fn new(
+        sender: NodeId,
+        expected: u64,
+        timeout: SimDuration,
+        tuning: Tuning,
+        drop_probability: f64,
+    ) -> Self {
+        NakcastReceiver {
+            sender,
+            timeout,
+            tuning,
+            drop_probability,
+            log: DenseReceptionLog::with_capacity(expected),
+            dropped: 0,
+            duplicates: 0,
+            next_deliver: 0,
+            buffer: BTreeMap::new(),
+            missing: BTreeMap::new(),
+            abandoned: BTreeSet::new(),
+            highest_advertised: None,
+            scan_timer: None,
+            naks_sent: 0,
+            give_ups: 0,
+        }
+    }
+
+    /// NAK packets sent.
+    pub fn naks_sent(&self) -> u64 {
+        self.naks_sent
+    }
+
+    /// Sequences abandoned after exhausting NAK retries.
+    pub fn give_ups(&self) -> u64 {
+        self.give_ups
+    }
+
+    /// Duplicate data copies discarded.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates + self.log.duplicate_count()
+    }
+
+    fn is_known(&self, seq: u64) -> bool {
+        self.log.contains(seq)
+            || self.buffer.contains_key(&seq)
+            || self.abandoned.contains(&seq)
+            || self.missing.contains_key(&seq)
+    }
+
+    /// Marks every unseen sequence `<= upto` missing and advances the
+    /// advertised high-water mark.
+    fn note_advertised_upto(&mut self, now: SimTime, upto: u64) {
+        let start = match self.highest_advertised {
+            Some(h) if h >= upto => return,
+            Some(h) => h + 1,
+            None => 0,
+        };
+        for seq in start..=upto {
+            if !self.is_known(seq) {
+                self.missing.insert(
+                    seq,
+                    MissingState {
+                        nak_at: now + self.timeout,
+                        retries: 0,
+                    },
+                );
+            }
+        }
+        self.highest_advertised = Some(upto);
+    }
+
+    /// Delivers the contiguous prefix available in the hold-back buffer,
+    /// skipping abandoned sequences.
+    fn try_deliver(&mut self, now: SimTime) {
+        loop {
+            if self.abandoned.contains(&self.next_deliver) {
+                self.next_deliver += 1;
+                continue;
+            }
+            let Some(sample) = self.buffer.remove(&self.next_deliver) else {
+                break;
+            };
+            self.log.record(Delivery {
+                seq: self.next_deliver,
+                published_at: sample.published_at,
+                delivered_at: now,
+                recovered: sample.recovered,
+            });
+            self.next_deliver += 1;
+        }
+    }
+
+    /// (Re-)arms the scan timer for the earliest pending NAK deadline.
+    fn reschedule_scan(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(min_at) = self.missing.values().map(|m| m.nak_at).min() else {
+            return;
+        };
+        if let Some((id, at)) = self.scan_timer {
+            if at <= min_at {
+                return;
+            }
+            ctx.cancel_timer(id);
+        }
+        let delay = min_at.saturating_since(ctx.now());
+        let id = ctx.set_timer(delay, TIMER_SCAN);
+        self.scan_timer = Some((id, min_at));
+    }
+
+    fn on_scan(&mut self, ctx: &mut Ctx<'_>) {
+        self.scan_timer = None;
+        let now = ctx.now();
+        let mut due = Vec::new();
+        let mut exhausted = Vec::new();
+        for (&seq, state) in &self.missing {
+            if state.nak_at <= now {
+                if state.retries >= self.tuning.nak_max_retries {
+                    exhausted.push(seq);
+                } else {
+                    due.push(seq);
+                }
+            }
+        }
+        for seq in exhausted {
+            self.missing.remove(&seq);
+            self.abandoned.insert(seq);
+            self.give_ups += 1;
+        }
+        if !due.is_empty() {
+            let size = FRAMING_BYTES
+                + NAK_BASE_BYTES
+                + NAK_PER_SEQ_BYTES * due.len() as u32;
+            let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
+            ctx.send(
+                self.sender,
+                OutPacket::new(size, NakMsg { seqs: due.clone() })
+                    .tag(TAG_NAK)
+                    .cost(ProcessingCost::symmetric(os)),
+            );
+            self.naks_sent += 1;
+            for seq in due {
+                if let Some(state) = self.missing.get_mut(&seq) {
+                    state.nak_at = now + self.timeout + renak_backoff(state.retries);
+                    state.retries += 1;
+                }
+            }
+        }
+        self.try_deliver(now);
+        self.reschedule_scan(ctx);
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, data: &DataMsg) {
+        if ctx.rng().bernoulli(self.drop_probability) {
+            self.dropped += 1;
+            return;
+        }
+        let now = ctx.now();
+        if data.seq > 0 {
+            self.note_advertised_upto(now, data.seq - 1);
+        }
+        self.highest_advertised =
+            Some(self.highest_advertised.map_or(data.seq, |h| h.max(data.seq)));
+        self.missing.remove(&data.seq);
+        if self.abandoned.remove(&data.seq) {
+            // Late arrival of an abandoned sequence: deliver out of order
+            // rather than discard, so reliability reflects it.
+            self.log.record(Delivery {
+                seq: data.seq,
+                published_at: data.published_at,
+                delivered_at: now,
+                recovered: true,
+            });
+        } else if self.log.contains(data.seq) || self.buffer.contains_key(&data.seq) {
+            self.duplicates += 1;
+        } else {
+            self.buffer.insert(
+                data.seq,
+                PendingSample {
+                    published_at: data.published_at,
+                    recovered: data.retransmission,
+                },
+            );
+        }
+        self.try_deliver(now);
+        self.reschedule_scan(ctx);
+    }
+}
+
+impl DataReader for NakcastReceiver {
+    fn log(&self) -> &DenseReceptionLog {
+        &self.log
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn duplicates(&self) -> u64 {
+        NakcastReceiver::duplicates(self)
+    }
+
+    fn protocol_stats(&self) -> crate::ProtocolStats {
+        crate::ProtocolStats {
+            naks_sent: self.naks_sent,
+            recovered: self.log.recovered_count(),
+            give_ups: self.give_ups,
+            duplicates: NakcastReceiver::duplicates(self),
+            dropped: self.dropped,
+            ..crate::ProtocolStats::default()
+        }
+    }
+}
+
+impl Agent for NakcastReceiver {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        if let Some(data) = packet.payload_as::<DataMsg>() {
+            let data = *data;
+            self.on_data(ctx, &data);
+        } else if let Some(hb) = packet.payload_as::<HeartbeatMsg>() {
+            if let Some(high) = hb.highest_seq {
+                self.note_advertised_upto(ctx.now(), high);
+                self.reschedule_scan(ctx);
+            }
+        } else if let Some(fin) = packet.payload_as::<FinMsg>() {
+            if fin.total > 0 {
+                self.note_advertised_upto(ctx.now(), fin.total - 1);
+                self.reschedule_scan(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
+        if tag == TIMER_SCAN {
+            self.on_scan(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, Simulation};
+
+    fn cfg() -> HostConfig {
+        HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1)
+    }
+
+    fn run_session(
+        samples: u64,
+        rate_hz: f64,
+        receivers: usize,
+        drop_probability: f64,
+        timeout: SimDuration,
+        seed: u64,
+    ) -> (Simulation, Vec<NodeId>) {
+        let mut sim = Simulation::new(seed);
+        let app = AppSpec::at_rate(samples, rate_hz, 12);
+        let profile = StackProfile::new(10.0, 48);
+        let tuning = Tuning::default();
+        let group = sim.create_group(&[]);
+        let tx = sim.add_node(cfg(), NakcastSender::new(app, profile, tuning, group));
+        sim.join_group(group, tx);
+        let mut rx_nodes = Vec::new();
+        for _ in 0..receivers {
+            let rx = sim.add_node(
+                cfg(),
+                NakcastReceiver::new(tx, samples, timeout, tuning, drop_probability),
+            );
+            sim.join_group(group, rx);
+            rx_nodes.push(rx);
+        }
+        sim.run_until(adamant_netsim::SimTime::from_secs(
+            (samples as f64 / rate_hz) as u64 + 5,
+        ));
+        (sim, rx_nodes)
+    }
+
+    #[test]
+    fn lossless_run_delivers_everything_in_order() {
+        let (sim, rxs) = run_session(200, 100.0, 2, 0.0, SimDuration::from_millis(1), 7);
+        for rx in rxs {
+            let r = sim.agent::<NakcastReceiver>(rx).unwrap();
+            assert_eq!(r.log().delivered_count(), 200);
+            assert_eq!(r.naks_sent(), 0);
+            // In-order delivery: sequence numbers ascend.
+            let seqs: Vec<u64> = r.log().deliveries().iter().map(|d| d.seq).collect();
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            assert_eq!(seqs, sorted);
+        }
+    }
+
+    #[test]
+    fn lossy_run_recovers_to_full_reliability() {
+        let (sim, rxs) = run_session(500, 100.0, 3, 0.05, SimDuration::from_millis(1), 13);
+        for rx in rxs {
+            let r = sim.agent::<NakcastReceiver>(rx).unwrap();
+            assert_eq!(
+                r.log().delivered_count(),
+                500,
+                "NAKcast should recover all losses (dropped={}, naks={}, give_ups={})",
+                r.dropped(),
+                r.naks_sent(),
+                r.give_ups()
+            );
+            assert!(r.dropped() > 0, "loss injection should have fired");
+            assert!(r.naks_sent() > 0);
+            assert!(r.log().recovered_count() > 0);
+        }
+    }
+
+    #[test]
+    fn recovered_packets_pay_recovery_latency() {
+        let (sim, rxs) = run_session(500, 100.0, 1, 0.05, SimDuration::from_millis(1), 17);
+        let r = sim.agent::<NakcastReceiver>(rxs[0]).unwrap();
+        let (rec, orig): (Vec<_>, Vec<_>) = r
+            .log()
+            .deliveries()
+            .iter()
+            .partition(|d| d.recovered);
+        assert!(!rec.is_empty());
+        let avg = |v: &[&Delivery]| {
+            v.iter().map(|d| d.latency().as_micros_f64()).sum::<f64>() / v.len() as f64
+        };
+        let orig_refs: Vec<&Delivery> = orig.to_vec();
+        let rec_refs: Vec<&Delivery> = rec.to_vec();
+        assert!(
+            avg(&rec_refs) > 5.0 * avg(&orig_refs),
+            "recovery should cost detection + timeout + RTT: rec {} vs orig {}",
+            avg(&rec_refs),
+            avg(&orig_refs)
+        );
+    }
+
+    #[test]
+    fn larger_timeout_means_slower_recovery() {
+        let avg_latency = |timeout_ms: u64| {
+            let (sim, rxs) = run_session(
+                500,
+                100.0,
+                1,
+                0.05,
+                SimDuration::from_millis(timeout_ms),
+                23,
+            );
+            let r = sim.agent::<NakcastReceiver>(rxs[0]).unwrap();
+            let lat = r.log().latencies_us();
+            lat.iter().sum::<f64>() / lat.len() as f64
+        };
+        let fast = avg_latency(1);
+        let slow = avg_latency(50);
+        assert!(
+            slow > fast + 500.0,
+            "50 ms timeout should be visibly slower: {slow} vs {fast}"
+        );
+    }
+
+    #[test]
+    fn renak_backoff_is_exponential_and_capped() {
+        assert_eq!(renak_backoff(0), SimDuration::from_millis(5));
+        assert_eq!(renak_backoff(1), SimDuration::from_millis(10));
+        assert_eq!(renak_backoff(3), SimDuration::from_millis(40));
+        assert_eq!(renak_backoff(16), SimDuration::from_secs(2));
+        assert_eq!(renak_backoff(60), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn satellite_rtt_does_not_storm_naks() {
+        // A 250 ms uplink makes the NAK→retransmission round trip ~500 ms;
+        // with exponential backoff the duplicate-NAK amplification stays
+        // bounded and reliability still converges.
+        let mut sim = Simulation::new(7);
+        let dc = cfg();
+        let ground = cfg().with_uplink_delay(SimDuration::from_millis(250));
+        let app = AppSpec::at_rate(300, 50.0, 12);
+        let tuning = Tuning::default();
+        let group = sim.create_group(&[]);
+        let tx = sim.add_node(
+            ground,
+            NakcastSender::new(app, StackProfile::new(10.0, 48), tuning, group),
+        );
+        sim.join_group(group, tx);
+        let rx = sim.add_node(
+            dc,
+            NakcastReceiver::new(tx, 300, SimDuration::from_millis(1), tuning, 0.1),
+        );
+        sim.join_group(group, rx);
+        sim.run_until(adamant_netsim::SimTime::from_secs(30));
+        let r = sim.agent::<NakcastReceiver>(rx).unwrap();
+        assert_eq!(r.log().delivered_count(), 300);
+        // ~30 losses × ~8 backoff attempts before the 500 ms round trip
+        // completes ≈ 200 NAKs. Without backoff the fixed 6 ms re-NAK
+        // cycle would send ~80 NAKs per loss (~2500 total).
+        assert!(
+            r.naks_sent() < 350,
+            "NAK amplification too high: {}",
+            r.naks_sent()
+        );
+        let s = sim.agent::<NakcastSender>(tx).unwrap();
+        assert!(
+            s.retransmissions_sent() < 350,
+            "retransmission amplification too high: {}",
+            s.retransmissions_sent()
+        );
+    }
+
+    #[test]
+    fn tail_loss_recovered_via_fin() {
+        // Tiny stream at low rate: losses in the tail can only be detected
+        // through heartbeat/FIN advertisement.
+        let (sim, rxs) = run_session(20, 10.0, 1, 0.3, SimDuration::from_millis(1), 29);
+        let r = sim.agent::<NakcastReceiver>(rxs[0]).unwrap();
+        assert_eq!(r.log().delivered_count(), 20);
+    }
+
+    #[test]
+    fn sender_counts_retransmissions() {
+        let (sim, _) = run_session(500, 100.0, 2, 0.05, SimDuration::from_millis(1), 31);
+        let tx_node = NodeId::from_index(0);
+        let s = sim.agent::<NakcastSender>(tx_node).unwrap();
+        assert!(s.retransmissions_sent() > 0);
+    }
+}

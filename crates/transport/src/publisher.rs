@@ -1,0 +1,339 @@
+//! Shared sender-side machinery: periodic publication, session heartbeats,
+//! end-of-stream marking, and retransmission history.
+
+use adamant_netsim::{Ctx, GroupId, NodeId, OutPacket, ProcessingCost, SimDuration, SimTime};
+
+use crate::config::Tuning;
+use crate::profile::{AppSpec, StackProfile};
+use crate::tags::{
+    CONTROL_BYTES, DATA_HEADER_BYTES, FRAMING_BYTES, TAG_DATA, TAG_FIN, TAG_HEARTBEAT,
+    TAG_RETRANSMIT,
+};
+use crate::wire::{DataMsg, FinMsg, HeartbeatMsg};
+
+/// Timer tag for the next publication tick.
+pub(crate) const TIMER_PUBLISH: u64 = 1;
+/// Timer tag for the next session heartbeat.
+pub(crate) const TIMER_HEARTBEAT: u64 = 2;
+
+/// The sender-side core shared by every protocol: publishes `app.total_samples`
+/// data samples at the configured rate into a multicast group, optionally
+/// emitting session heartbeats (for NAK/ACK gap detection) and a FIN marker.
+///
+/// Protocol senders embed one of these and forward their timer callbacks to
+/// [`PublisherCore::handle_timer`].
+#[derive(Debug)]
+pub(crate) struct PublisherCore {
+    app: AppSpec,
+    profile: StackProfile,
+    tuning: Tuning,
+    group: GroupId,
+    heartbeats: bool,
+    send_fin: bool,
+    extra_data_rx: SimDuration,
+    next_seq: u64,
+    history: Vec<SimTime>,
+    finished: bool,
+}
+
+impl PublisherCore {
+    pub fn new(
+        app: AppSpec,
+        profile: StackProfile,
+        tuning: Tuning,
+        group: GroupId,
+        heartbeats: bool,
+        send_fin: bool,
+    ) -> Self {
+        PublisherCore {
+            app,
+            profile,
+            tuning,
+            group,
+            heartbeats,
+            send_fin,
+            extra_data_rx: SimDuration::ZERO,
+            next_seq: 0,
+            history: Vec::with_capacity(app.total_samples as usize),
+            finished: false,
+        }
+    }
+
+    /// Declares extra receiver-side CPU work per data packet (protocol
+    /// bookkeeping such as Ricochet's XOR-buffer maintenance).
+    pub fn with_extra_data_rx(mut self, extra: SimDuration) -> Self {
+        self.extra_data_rx = extra;
+        self
+    }
+
+    /// Wire size of one data packet.
+    pub fn data_packet_bytes(&self) -> u32 {
+        FRAMING_BYTES + DATA_HEADER_BYTES + self.profile.header_bytes + self.app.payload_bytes
+    }
+
+    /// Processing cost of one data packet (OS + middleware + protocol).
+    pub fn data_cost(&self) -> ProcessingCost {
+        let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
+        ProcessingCost::new(os, os + self.extra_data_rx)
+            .plus(self.profile.per_packet)
+    }
+
+    /// Processing cost of a small control packet (OS path only).
+    pub fn control_cost(&self) -> ProcessingCost {
+        let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
+        ProcessingCost::symmetric(os)
+    }
+
+    /// Sequence numbers published so far.
+    pub fn published(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The publication time of `seq`, if already published.
+    pub fn published_at(&self, seq: u64) -> Option<SimTime> {
+        self.history.get(seq as usize).copied()
+    }
+
+    /// Must be called from the embedding agent's `on_start`.
+    pub fn start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::ZERO, TIMER_PUBLISH);
+        if self.heartbeats {
+            // Desynchronise the heartbeat grid from the publication grid:
+            // a random phase keeps gap-detection delay realistic instead of
+            // letting aligned timers detect losses instantly.
+            let interval = self.tuning.heartbeat_interval.as_nanos();
+            let phase = SimDuration::from_nanos(ctx.rng().next_below(interval.max(1)));
+            ctx.set_timer(phase, TIMER_HEARTBEAT);
+        }
+    }
+
+    /// Handles publisher timers. Returns `true` if the tag belonged to the
+    /// core (so protocol senders can route their own timers otherwise).
+    pub fn handle_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) -> bool {
+        match tag {
+            TIMER_PUBLISH => {
+                self.publish_one(ctx);
+                true
+            }
+            TIMER_HEARTBEAT => {
+                if !self.finished {
+                    self.send_heartbeat(ctx);
+                    ctx.set_timer(self.tuning.heartbeat_interval, TIMER_HEARTBEAT);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn publish_one(&mut self, ctx: &mut Ctx<'_>) {
+        if self.next_seq >= self.app.total_samples {
+            return;
+        }
+        let seq = self.next_seq;
+        let now = ctx.now();
+        self.history.push(now);
+        self.next_seq += 1;
+        ctx.send(
+            self.group,
+            OutPacket::new(
+                self.data_packet_bytes(),
+                DataMsg {
+                    seq,
+                    published_at: now,
+                    retransmission: false,
+                },
+            )
+            .tag(TAG_DATA)
+            .cost(self.data_cost()),
+        );
+        if self.next_seq < self.app.total_samples {
+            ctx.set_timer(self.app.interval, TIMER_PUBLISH);
+        } else {
+            self.finished = true;
+            if self.send_fin {
+                ctx.send(
+                    self.group,
+                    OutPacket::new(
+                        FRAMING_BYTES + CONTROL_BYTES,
+                        FinMsg {
+                            total: self.app.total_samples,
+                        },
+                    )
+                    .tag(TAG_FIN)
+                    .cost(self.control_cost()),
+                );
+            }
+        }
+    }
+
+    fn send_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send(
+            self.group,
+            OutPacket::new(
+                FRAMING_BYTES + CONTROL_BYTES,
+                HeartbeatMsg {
+                    highest_seq: self.next_seq.checked_sub(1),
+                },
+            )
+            .tag(TAG_HEARTBEAT)
+            .cost(self.control_cost()),
+        );
+    }
+
+    /// Unicasts a retransmission of `seq` to `to`. Returns `false` if `seq`
+    /// has not been published yet.
+    pub fn retransmit(&mut self, ctx: &mut Ctx<'_>, to: NodeId, seq: u64) -> bool {
+        let Some(published_at) = self.published_at(seq) else {
+            return false;
+        };
+        ctx.send(
+            to,
+            OutPacket::new(
+                self.data_packet_bytes(),
+                DataMsg {
+                    seq,
+                    published_at,
+                    retransmission: true,
+                },
+            )
+            .tag(TAG_RETRANSMIT)
+            .cost(self.data_cost()),
+        );
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamant_netsim::{
+        Agent, Bandwidth, HostConfig, MachineClass, Packet, Simulation,
+    };
+    use std::any::Any;
+
+    struct CoreSender {
+        core: PublisherCore,
+    }
+
+    impl Agent for CoreSender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.core.start(ctx);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: adamant_netsim::TimerId, tag: u64) {
+            self.core.handle_timer(ctx, tag);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Sink {
+        data: Vec<DataMsg>,
+        heartbeats: u32,
+        fins: u32,
+    }
+
+    impl Agent for Sink {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, pkt: Packet) {
+            if let Some(d) = pkt.payload_as::<DataMsg>() {
+                self.data.push(*d);
+            } else if pkt.payload_as::<HeartbeatMsg>().is_some() {
+                self.heartbeats += 1;
+            } else if pkt.payload_as::<FinMsg>().is_some() {
+                self.fins += 1;
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn build(heartbeats: bool, fin: bool) -> (Simulation, adamant_netsim::NodeId) {
+        let mut sim = Simulation::new(3);
+        let cfg = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+        let rx = sim.add_node(
+            cfg,
+            Sink {
+                data: vec![],
+                heartbeats: 0,
+                fins: 0,
+            },
+        );
+        let group = sim.create_group(&[rx]);
+        let app = AppSpec::at_rate(10, 100.0, 12);
+        let core = PublisherCore::new(
+            app,
+            StackProfile::new(10.0, 48),
+            Tuning::default(),
+            group,
+            heartbeats,
+            fin,
+        );
+        let tx = sim.add_node(cfg, CoreSender { core });
+        sim.join_group(group, tx);
+        (sim, rx)
+    }
+
+    #[test]
+    fn publishes_all_samples_in_order_at_rate() {
+        let (mut sim, rx) = build(false, false);
+        sim.run();
+        let sink = sim.agent::<Sink>(rx).unwrap();
+        assert_eq!(sink.data.len(), 10);
+        let seqs: Vec<u64> = sink.data.iter().map(|d| d.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+        // Publications are 10 ms apart.
+        let gap = sink.data[1].published_at - sink.data[0].published_at;
+        assert_eq!(gap, SimDuration::from_millis(10));
+        assert_eq!(sink.fins, 0);
+        assert_eq!(sink.heartbeats, 0);
+    }
+
+    #[test]
+    fn fin_follows_last_sample() {
+        let (mut sim, rx) = build(false, true);
+        sim.run();
+        let sink = sim.agent::<Sink>(rx).unwrap();
+        assert_eq!(sink.fins, 1);
+    }
+
+    #[test]
+    fn heartbeats_flow_until_finished() {
+        let (mut sim, rx) = build(true, false);
+        sim.run();
+        let sink = sim.agent::<Sink>(rx).unwrap();
+        // 10 samples at 100 Hz = 90 ms of publishing; heartbeats every
+        // 30 ms (default tuning, random phase) fire ~3 times before the
+        // stream finishes.
+        assert!(
+            (1..=5).contains(&sink.heartbeats),
+            "got {} heartbeats",
+            sink.heartbeats
+        );
+    }
+
+    #[test]
+    fn packet_sizing_and_costs() {
+        let app = AppSpec::at_rate(1, 10.0, 12);
+        let core = PublisherCore::new(
+            app,
+            StackProfile::new(25.0, 48),
+            Tuning::default(),
+            adamant_netsim::Simulation::new(0).create_group(&[]),
+            false,
+            false,
+        );
+        assert_eq!(core.data_packet_bytes(), 42 + 16 + 48 + 12);
+        let cost = core.data_cost();
+        // 15 µs OS + 25 µs middleware on each side.
+        assert_eq!(cost.tx, SimDuration::from_micros(40));
+        assert_eq!(cost.rx, SimDuration::from_micros(40));
+    }
+}

@@ -1,0 +1,52 @@
+//! Receiver-side shared vocabulary.
+
+use adamant_metrics::DenseReceptionLog;
+use serde::{Deserialize, Serialize};
+
+/// Per-receiver protocol activity counters, unified across protocols so
+/// harnesses can report recovery behaviour without downcasting. Fields a
+/// protocol does not use stay zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProtocolStats {
+    /// NAK packets sent (NAKcast).
+    pub naks_sent: u64,
+    /// ACK packets sent (ACKcast).
+    pub acks_sent: u64,
+    /// Repair/copy packets sent to peers (Ricochet, Slingshot).
+    pub repairs_sent: u64,
+    /// Repair/copy packets received from peers (Ricochet, Slingshot).
+    pub repairs_received: u64,
+    /// Samples delivered through a recovery path.
+    pub recovered: u64,
+    /// Sequences abandoned after exhausting retries (NAK/ACK protocols).
+    pub give_ups: u64,
+    /// Duplicate data copies discarded.
+    pub duplicates: u64,
+    /// Data packets discarded by the end-host loss stage.
+    pub dropped: u64,
+}
+
+/// Common read-out interface of every protocol's receiving agent, used by
+/// the experiment harness to collect results after a run.
+pub trait DataReader {
+    /// The samples this reader delivered to the application.
+    fn log(&self) -> &DenseReceptionLog;
+
+    /// How many incoming data packets the end-host loss stage discarded.
+    fn dropped(&self) -> u64;
+
+    /// Duplicate data copies discarded by the protocol.
+    fn duplicates(&self) -> u64 {
+        self.log().duplicate_count()
+    }
+
+    /// Unified protocol activity counters.
+    fn protocol_stats(&self) -> ProtocolStats {
+        ProtocolStats {
+            recovered: self.log().recovered_count(),
+            duplicates: self.duplicates(),
+            dropped: self.dropped(),
+            ..ProtocolStats::default()
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Slingshot: time-critical multicast with proactive unicast replication,
+//! after Balakrishnan, Pleisch, and Birman (NCA 2005) — the predecessor of
+//! Ricochet that the paper cites for its end-host loss observation.
+//!
+//! Where Ricochet XORs `R` packets into one repair, Slingshot receivers
+//! simply forward a *copy* of each received packet to `c` randomly chosen
+//! peers. Recovery latency is even lower (no window to fill, no decode
+//! dependency), paid for with `c×` repair bandwidth and no coding gain —
+//! the trade Ricochet's LEC was invented to improve. Included as an ANT
+//! baseline; it is not one of the paper's six ANN candidates.
+
+use std::any::Any;
+
+use adamant_metrics::{Delivery, DenseReceptionLog};
+use adamant_netsim::{
+    Agent, Ctx, GroupId, NodeId, OutPacket, Packet, ProcessingCost, SimDuration, TimerId,
+};
+
+use crate::config::Tuning;
+use crate::profile::{AppSpec, StackProfile};
+use crate::publisher::PublisherCore;
+use crate::receiver::DataReader;
+use crate::tags::{DATA_HEADER_BYTES, FRAMING_BYTES, TAG_REPAIR};
+use crate::wire::DataMsg;
+
+/// Marker payload wrapping a forwarded copy (so receivers can tell copies
+/// from originals for statistics; the wire contents are identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForwardedCopy(pub DataMsg);
+
+/// Sender side of Slingshot: publish-only, like Ricochet's sender.
+#[derive(Debug)]
+pub struct SlingshotSender {
+    core: PublisherCore,
+}
+
+impl SlingshotSender {
+    /// Creates a sender publishing `app` into `group`.
+    pub fn new(app: AppSpec, profile: StackProfile, tuning: Tuning, group: GroupId) -> Self {
+        SlingshotSender {
+            core: PublisherCore::new(app, profile, tuning, group, false, true),
+        }
+    }
+}
+
+impl Agent for SlingshotSender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.core.start(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
+        self.core.handle_timer(ctx, tag);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Receiver side of Slingshot: deliver immediately, forward a copy of each
+/// received packet to `c` random peers.
+#[derive(Debug)]
+pub struct SlingshotReceiver {
+    sender: NodeId,
+    group: GroupId,
+    c: usize,
+    tuning: Tuning,
+    drop_probability: f64,
+    payload_bytes: u32,
+    log: DenseReceptionLog,
+    dropped: u64,
+    duplicates: u64,
+    copies_sent: u64,
+    copies_received: u64,
+    recovered_via_copy: u64,
+}
+
+impl SlingshotReceiver {
+    /// Creates a receiver expecting `expected` samples of `payload_bytes`
+    /// from `sender` in `group`, forwarding each packet to `c` peers.
+    pub fn new(
+        sender: NodeId,
+        group: GroupId,
+        expected: u64,
+        payload_bytes: u32,
+        c: u8,
+        tuning: Tuning,
+        drop_probability: f64,
+    ) -> Self {
+        SlingshotReceiver {
+            sender,
+            group,
+            c: c.max(1) as usize,
+            tuning,
+            drop_probability,
+            payload_bytes,
+            log: DenseReceptionLog::with_capacity(expected),
+            dropped: 0,
+            duplicates: 0,
+            copies_sent: 0,
+            copies_received: 0,
+            recovered_via_copy: 0,
+        }
+    }
+
+    /// Copies forwarded to peers.
+    pub fn copies_sent(&self) -> u64 {
+        self.copies_sent
+    }
+
+    /// Copies received from peers.
+    pub fn copies_received(&self) -> u64 {
+        self.copies_received
+    }
+
+    /// Samples whose only delivery came through a forwarded copy.
+    pub fn recovered_via_copy(&self) -> u64 {
+        self.recovered_via_copy
+    }
+
+    /// Duplicate data copies discarded.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    fn forward(&mut self, ctx: &mut Ctx<'_>, data: DataMsg) {
+        let me = ctx.node();
+        let peers: Vec<NodeId> = ctx
+            .members(self.group)
+            .iter()
+            .copied()
+            .filter(|&n| n != me && n != self.sender)
+            .collect();
+        if peers.is_empty() {
+            return;
+        }
+        let chosen = ctx.rng().sample_indices(peers.len(), self.c);
+        let size = FRAMING_BYTES + DATA_HEADER_BYTES + self.payload_bytes;
+        let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
+        for &peer_idx in &chosen {
+            ctx.send(
+                peers[peer_idx],
+                OutPacket::new(size, ForwardedCopy(data))
+                    .tag(TAG_REPAIR)
+                    .cost(ProcessingCost::symmetric(os)),
+            );
+            self.copies_sent += 1;
+        }
+    }
+
+    fn learn(&mut self, ctx: &mut Ctx<'_>, data: DataMsg, via_copy: bool) {
+        if self.log.contains(data.seq) {
+            self.duplicates += 1;
+            return;
+        }
+        self.log.record(Delivery {
+            seq: data.seq,
+            published_at: data.published_at,
+            delivered_at: ctx.now(),
+            recovered: via_copy,
+        });
+        if via_copy {
+            self.recovered_via_copy += 1;
+        }
+    }
+}
+
+impl DataReader for SlingshotReceiver {
+    fn log(&self) -> &DenseReceptionLog {
+        &self.log
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn duplicates(&self) -> u64 {
+        SlingshotReceiver::duplicates(self)
+    }
+
+    fn protocol_stats(&self) -> crate::ProtocolStats {
+        crate::ProtocolStats {
+            repairs_sent: self.copies_sent,
+            repairs_received: self.copies_received,
+            recovered: self.recovered_via_copy,
+            duplicates: SlingshotReceiver::duplicates(self),
+            dropped: self.dropped,
+            ..crate::ProtocolStats::default()
+        }
+    }
+}
+
+impl Agent for SlingshotReceiver {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        if let Some(data) = packet.payload_as::<DataMsg>() {
+            let data = *data;
+            if ctx.rng().bernoulli(self.drop_probability) {
+                self.dropped += 1;
+                return;
+            }
+            self.learn(ctx, data, false);
+            self.forward(ctx, data);
+        } else if let Some(copy) = packet.payload_as::<ForwardedCopy>() {
+            let data = copy.0;
+            self.copies_received += 1;
+            self.learn(ctx, data, true);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, SimTime, Simulation};
+
+    fn run_session(
+        samples: u64,
+        receivers: usize,
+        drop: f64,
+        c: u8,
+        seed: u64,
+    ) -> (Simulation, Vec<NodeId>) {
+        let mut sim = Simulation::new(seed);
+        let cfg = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+        let app = AppSpec::at_rate(samples, 200.0, 12);
+        let tuning = Tuning::default();
+        let group = sim.create_group(&[]);
+        let tx = sim.add_node(
+            cfg,
+            SlingshotSender::new(app, StackProfile::new(10.0, 48), tuning, group),
+        );
+        sim.join_group(group, tx);
+        let mut rxs = Vec::new();
+        for _ in 0..receivers {
+            let rx = sim.add_node(
+                cfg,
+                SlingshotReceiver::new(tx, group, samples, 12, c, tuning, drop),
+            );
+            sim.join_group(group, rx);
+            rxs.push(rx);
+        }
+        sim.run_until(SimTime::from_secs(samples / 200 + 5));
+        (sim, rxs)
+    }
+
+    #[test]
+    fn lossless_run_forwards_but_recovers_nothing() {
+        let (sim, rxs) = run_session(300, 3, 0.0, 2, 3);
+        for rx in rxs {
+            let r = sim.agent::<SlingshotReceiver>(rx).unwrap();
+            assert_eq!(r.log().delivered_count(), 300);
+            assert_eq!(r.recovered_via_copy(), 0);
+            assert!(r.copies_sent() > 0);
+            assert!(r.duplicates() > 0, "copies of already-held packets");
+        }
+    }
+
+    #[test]
+    fn lossy_run_recovers_via_copies_quickly() {
+        let (sim, rxs) = run_session(1_000, 4, 0.05, 2, 7);
+        for rx in rxs {
+            let r = sim.agent::<SlingshotReceiver>(rx).unwrap();
+            let reliability = r.log().delivered_count() as f64 / 1_000.0;
+            assert!(reliability > 0.985, "reliability {reliability}");
+            assert!(r.recovered_via_copy() > 0);
+            // Recovery is one forward hop: microseconds, not milliseconds.
+            let rec: Vec<f64> = r
+                .log()
+                .deliveries()
+                .iter()
+                .filter(|d| d.recovered)
+                .map(|d| d.latency().as_micros_f64())
+                .collect();
+            let avg = rec.iter().sum::<f64>() / rec.len() as f64;
+            assert!(avg < 2_000.0, "copy recovery too slow: {avg} µs");
+        }
+    }
+
+    #[test]
+    fn bandwidth_cost_scales_with_c() {
+        let copies = |c: u8| {
+            let (sim, rxs) = run_session(500, 4, 0.0, c, 11);
+            let r = sim.agent::<SlingshotReceiver>(rxs[0]).unwrap();
+            r.copies_sent()
+        };
+        let one = copies(1);
+        let three = copies(3);
+        assert!(
+            (2.8..=3.2).contains(&(three as f64 / one as f64)),
+            "c=3 should forward ~3× c=1: {three} vs {one}"
+        );
+    }
+
+    #[test]
+    fn faster_than_ricochet_recovery_but_heavier_on_the_wire() {
+        use crate::ricochet::{RicochetReceiver, RicochetSender};
+        // Same workload over both protocols; compare recovered-packet
+        // latency and repair bytes.
+        let samples = 2_000u64;
+        let drop = 0.05;
+
+        let (sling_sim, sling_rxs) = run_session(samples, 4, drop, 3, 13);
+        let sling = sling_sim
+            .agent::<SlingshotReceiver>(sling_rxs[0])
+            .unwrap();
+        let sling_rec_avg = {
+            let rec: Vec<f64> = sling
+                .log()
+                .deliveries()
+                .iter()
+                .filter(|d| d.recovered)
+                .map(|d| d.latency().as_micros_f64())
+                .collect();
+            rec.iter().sum::<f64>() / rec.len() as f64
+        };
+        let sling_repair_bytes = sling_sim.stats().tag(TAG_REPAIR).bytes_sent;
+
+        let mut ric_sim = Simulation::new(13);
+        let cfg = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+        let app = AppSpec::at_rate(samples, 200.0, 12);
+        let tuning = Tuning::default();
+        let group = ric_sim.create_group(&[]);
+        let tx = ric_sim.add_node(
+            cfg,
+            RicochetSender::new(app, StackProfile::new(10.0, 48), tuning, group),
+        );
+        ric_sim.join_group(group, tx);
+        let mut ric_rx = None;
+        for _ in 0..4 {
+            let rx = ric_sim.add_node(
+                cfg,
+                RicochetReceiver::new(tx, group, samples, 12, 4, 3, tuning, drop),
+            );
+            ric_sim.join_group(group, rx);
+            ric_rx.get_or_insert(rx);
+        }
+        ric_sim.run_until(SimTime::from_secs(samples / 200 + 5));
+        let ric = ric_sim
+            .agent::<RicochetReceiver>(ric_rx.unwrap())
+            .unwrap();
+        let ric_rec_avg = {
+            let rec: Vec<f64> = ric
+                .log()
+                .deliveries()
+                .iter()
+                .filter(|d| d.recovered)
+                .map(|d| d.latency().as_micros_f64())
+                .collect();
+            rec.iter().sum::<f64>() / rec.len() as f64
+        };
+
+        assert!(
+            sling_rec_avg < ric_rec_avg,
+            "Slingshot's one-hop copies ({sling_rec_avg} µs) should beat \
+             Ricochet's windowed repairs ({ric_rec_avg} µs)"
+        );
+        // And the price: every packet forwarded c times, far more repair
+        // traffic than one XOR per window.
+        assert!(sling_repair_bytes > 0);
+    }
+}

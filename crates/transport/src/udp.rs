@@ -1,0 +1,163 @@
+//! Best-effort UDP multicast: the no-recovery baseline.
+
+use std::any::Any;
+
+use adamant_metrics::{Delivery, DenseReceptionLog};
+use adamant_netsim::{Agent, Ctx, GroupId, Packet, TimerId};
+
+use crate::config::Tuning;
+use crate::profile::{AppSpec, StackProfile};
+use crate::publisher::PublisherCore;
+use crate::receiver::DataReader;
+use crate::wire::DataMsg;
+
+/// Sender side of plain UDP multicast: publishes and nothing else.
+#[derive(Debug)]
+pub struct UdpSender {
+    core: PublisherCore,
+}
+
+impl UdpSender {
+    /// Creates a sender publishing `app` into `group`.
+    pub fn new(app: AppSpec, profile: StackProfile, tuning: Tuning, group: GroupId) -> Self {
+        UdpSender {
+            core: PublisherCore::new(app, profile, tuning, group, false, false),
+        }
+    }
+
+    /// Samples published so far.
+    pub fn published(&self) -> u64 {
+        self.core.published()
+    }
+}
+
+impl Agent for UdpSender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.core.start(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
+        self.core.handle_timer(ctx, tag);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Receiver side of plain UDP multicast: records whatever arrives and
+/// survives the end-host drop stage.
+#[derive(Debug)]
+pub struct UdpReceiver {
+    log: DenseReceptionLog,
+    drop_probability: f64,
+    dropped: u64,
+}
+
+impl UdpReceiver {
+    /// Creates a receiver expecting `expected` samples, dropping incoming
+    /// data with probability `drop_probability` (the paper's end-host loss
+    /// injection).
+    pub fn new(expected: u64, drop_probability: f64) -> Self {
+        UdpReceiver {
+            log: DenseReceptionLog::with_capacity(expected),
+            drop_probability,
+            dropped: 0,
+        }
+    }
+}
+
+impl DataReader for UdpReceiver {
+    fn log(&self) -> &DenseReceptionLog {
+        &self.log
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Agent for UdpReceiver {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        let Some(data) = packet.payload_as::<DataMsg>() else {
+            return;
+        };
+        if ctx.rng().bernoulli(self.drop_probability) {
+            self.dropped += 1;
+            return;
+        }
+        self.log.record(Delivery {
+            seq: data.seq,
+            published_at: data.published_at,
+            delivered_at: ctx.now(),
+            recovered: false,
+        });
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::DataReader;
+    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, Simulation};
+
+    fn run(drop_probability: f64) -> (u64, u64) {
+        let mut sim = Simulation::new(11);
+        let cfg = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+        let rx = sim.add_node(cfg, UdpReceiver::new(1_000, drop_probability));
+        let group = sim.create_group(&[rx]);
+        let app = AppSpec::at_rate(1_000, 1_000.0, 12);
+        let tx = sim.add_node(
+            cfg,
+            UdpSender::new(app, StackProfile::new(10.0, 48), Tuning::default(), group),
+        );
+        sim.join_group(group, tx);
+        sim.run();
+        let r = sim.agent::<UdpReceiver>(rx).unwrap();
+        (r.log().delivered_count(), r.dropped())
+    }
+
+    #[test]
+    fn lossless_delivers_everything() {
+        let (delivered, dropped) = run(0.0);
+        assert_eq!(delivered, 1_000);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn drop_stage_loses_about_p() {
+        let (delivered, dropped) = run(0.05);
+        assert_eq!(delivered + dropped, 1_000);
+        assert!((30..=70).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn sender_reports_published() {
+        let mut sim = Simulation::new(1);
+        let cfg = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+        let group = sim.create_group(&[]);
+        let tx = sim.add_node(
+            cfg,
+            UdpSender::new(
+                AppSpec::at_rate(5, 100.0, 12),
+                StackProfile::default(),
+                Tuning::default(),
+                group,
+            ),
+        );
+        sim.run();
+        assert_eq!(sim.agent::<UdpSender>(tx).unwrap().published(), 5);
+    }
+}

@@ -1,0 +1,97 @@
+//! Quickstart: the full ADAMANT control loop in one file.
+//!
+//! 1. Measure a small training set on the simulated cloud (which transport
+//!    wins which environment).
+//! 2. Train the ANN knowledge base.
+//! 3. Probe a freshly provisioned cloud environment.
+//! 4. Let ADAMANT pick the transport protocol (in microseconds).
+//! 5. Run the configured DDS pub/sub session end to end and report QoS.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adamant::{
+    Adamant, AppParams, BandwidthClass, Environment, LabeledDataset, ProtocolSelector, Scenario,
+    SelectorConfig, SimulatedCloud,
+};
+use adamant_dds::DdsImplementation;
+use adamant_metrics::MetricKind;
+use adamant_netsim::MachineClass;
+use adamant_transport::TransportConfig;
+
+fn main() {
+    // ── 1. Measure which transport wins where ────────────────────────────
+    // A compact slice of the paper's Table 1 × Table 2 space: both machine
+    // classes, the fast and slow LANs, a few loss rates.
+    println!("measuring training configurations (simulated cloud)...");
+    let mut configs = Vec::new();
+    for machine in MachineClass::all() {
+        for bandwidth in [BandwidthClass::Gbps1, BandwidthClass::Mbps100] {
+            for loss in [1u8, 3, 5] {
+                let env =
+                    Environment::new(machine, bandwidth, DdsImplementation::OpenSplice, loss);
+                configs.push((env, AppParams::new(3, 25)));
+                configs.push((env, AppParams::new(15, 10)));
+            }
+        }
+    }
+    let dataset = LabeledDataset::measure(&configs, 600, 2);
+    println!(
+        "  {} labelled rows; winners per protocol class: {:?}",
+        dataset.len(),
+        dataset.class_histogram()
+    );
+
+    // ── 2. Train the knowledge base ──────────────────────────────────────
+    let (selector, outcome) = ProtocolSelector::train_from(&dataset, &SelectorConfig::default());
+    println!(
+        "trained 7-24-6 ANN: {} epochs, final MSE {:.5}, training recall {:.1}%",
+        outcome.epochs,
+        outcome.final_mse,
+        selector.evaluate_on(&dataset).accuracy() * 100.0
+    );
+    let adamant = Adamant::new(selector);
+
+    // ── 3–4. Probe the provisioned cloud and configure ───────────────────
+    // The cloud hands us a pc3000-class node on a gigabit LAN; the service
+    // agreement specifies OpenSplice and up to 5% end-host loss.
+    let provisioned = Environment::new(
+        MachineClass::Pc3000,
+        BandwidthClass::Gbps1,
+        DdsImplementation::OpenSplice,
+        5,
+    );
+    let cloud = SimulatedCloud::new(provisioned);
+    let app = AppParams::new(3, 25);
+    let config = adamant
+        .configure(&cloud, DdsImplementation::OpenSplice, 5, app, MetricKind::ReLate2)
+        .expect("simulated cloud probe cannot fail");
+    println!(
+        "\nprobed environment: {}\nselected transport:  {}   (query took {:?})",
+        config.environment,
+        config.selection.protocol,
+        config.selection.elapsed
+    );
+
+    // ── 5. Run the configured session ────────────────────────────────────
+    let report = Scenario::paper(config.environment, app, 42)
+        .with_samples(2_000)
+        .run(config.transport());
+    println!("\nsession QoS ({} samples to {} readers):", report.samples_sent, report.receivers);
+    println!("  reliability:  {:.3}%", report.reliability() * 100.0);
+    println!("  avg latency:  {:.1} µs", report.avg_latency_us);
+    println!("  jitter:       {:.1} µs", report.jitter_us);
+    println!("  ReLate2:      {:.1}", MetricKind::ReLate2.score(&report));
+
+    // Contrast with the worst candidate to show the decision mattered.
+    let worst = Scenario::paper(config.environment, app, 42)
+        .with_samples(2_000)
+        .run(TransportConfig::new(adamant_transport::ProtocolKind::Nakcast {
+            timeout: adamant_netsim::SimDuration::from_millis(50),
+        }));
+    println!(
+        "  (for contrast, NAKcast 50 ms would score ReLate2 = {:.1})",
+        MetricKind::ReLate2.score(&worst)
+    );
+}

@@ -1,0 +1,3 @@
+//! Meta-crate for the ADAMANT reproduction workspace; see README.md.
+#![forbid(unsafe_code)]
+pub use adamant;

@@ -1,0 +1,144 @@
+//! Integration of the runtime-adaptation loop with the DDS status model.
+
+use adamant::{
+    AdaptiveController, AdaptiveTimeline, AppParams, BandwidthClass, Environment, LabeledDataset,
+    Phase, ProtocolSelector, SelectorConfig,
+};
+use adamant_dds::{DdsImplementation, DomainParticipant, QosProfile, ReaderStatuses};
+use adamant_metrics::MetricKind;
+use adamant_netsim::{MachineClass, SimDuration, SimTime, Simulation};
+use adamant_transport::{ant, AppSpec, ProtocolKind, TransportConfig};
+
+fn fast() -> Environment {
+    Environment::new(
+        MachineClass::Pc3000,
+        BandwidthClass::Gbps1,
+        DdsImplementation::OpenSplice,
+        5,
+    )
+}
+
+fn slow() -> Environment {
+    Environment::new(
+        MachineClass::Pc850,
+        BandwidthClass::Mbps100,
+        DdsImplementation::OpenSplice,
+        5,
+    )
+}
+
+fn trained_controller() -> AdaptiveController {
+    let configs = vec![
+        (fast(), AppParams::new(3, 25)),
+        (slow(), AppParams::new(3, 25)),
+        (
+            Environment::new(
+                MachineClass::Pc3000,
+                BandwidthClass::Mbps100,
+                DdsImplementation::OpenSplice,
+                5,
+            ),
+            AppParams::new(3, 25),
+        ),
+        (
+            Environment::new(
+                MachineClass::Pc850,
+                BandwidthClass::Gbps1,
+                DdsImplementation::OpenSplice,
+                5,
+            ),
+            AppParams::new(3, 25),
+        ),
+    ];
+    // 4 repetitions: NAKcast's recovery latency depends on the per-run
+    // heartbeat phase, so 2-rep labels would be phase-lottery noise.
+    let dataset = LabeledDataset::measure(&configs, 500, 4);
+    let (selector, _) = ProtocolSelector::train_from(&dataset, &SelectorConfig::default());
+    AdaptiveController::new(selector, MetricKind::ReLate2)
+}
+
+#[test]
+fn adaptation_follows_the_measured_winners() {
+    let controller = trained_controller();
+    let phases = [
+        Phase {
+            env: fast(),
+            app: AppParams::new(3, 25),
+            samples: 400,
+        },
+        Phase {
+            env: slow(),
+            app: AppParams::new(3, 25),
+            samples: 400,
+        },
+    ];
+    let (outcomes, controller) = AdaptiveTimeline::new(controller, 3).run(&phases);
+    // Fast hardware → Ricochet; slow hardware → a NAKcast variant.
+    assert!(matches!(
+        outcomes[0].decision.active_protocol(),
+        ProtocolKind::Ricochet { .. }
+    ));
+    assert!(matches!(
+        outcomes[1].decision.active_protocol(),
+        ProtocolKind::Nakcast { .. }
+    ));
+    assert_eq!(controller.switches(), 1);
+    for o in &outcomes {
+        assert!(o.report.reliability() > 0.97);
+    }
+}
+
+#[test]
+fn reader_statuses_reflect_protocol_semantics() {
+    // Run the same lossy stream over NAKcast (ordered, reliable) and
+    // Ricochet (unordered, probabilistic) and compare the DDS statuses.
+    let run = |kind: ProtocolKind| {
+        let env = fast();
+        let mut participant = DomainParticipant::new(0, env.dds);
+        let qos = match kind {
+            ProtocolKind::Nakcast { .. } => QosProfile::reliable(),
+            _ => QosProfile::time_critical(),
+        };
+        let topic = participant
+            .create_topic::<[u8; 12]>("status/stream", qos)
+            .unwrap();
+        participant
+            .create_data_writer(topic, qos, AppSpec::at_rate(2_000, 500.0, 12), env.host_config())
+            .unwrap();
+        for _ in 0..3 {
+            participant
+                .create_data_reader(topic, qos, env.host_config(), env.drop_probability())
+                .unwrap();
+        }
+        let mut sim = Simulation::new(17).with_network(env.network_config());
+        let handles = participant
+            .install(&mut sim, topic, TransportConfig::new(kind))
+            .unwrap();
+        sim.run_until(SimTime::from_secs(25));
+        let reader = ant::reader(&sim, &handles, handles.receivers[0]);
+        ReaderStatuses::from_log(
+            reader.log(),
+            2_000,
+            reader.duplicates(),
+            Some(SimDuration::from_millis(100)),
+        )
+    };
+
+    let nak = run(ProtocolKind::Nakcast {
+        timeout: SimDuration::from_millis(1),
+    });
+    let ric = run(ProtocolKind::Ricochet { r: 4, c: 3 });
+
+    // NAKcast: nothing lost, nothing out of order.
+    assert_eq!(nak.sample_lost.total_count, 0);
+    assert_eq!(nak.order_violations.total_count, 0);
+
+    // Ricochet: a little residual loss and out-of-order recoveries.
+    assert!(ric.sample_lost.total_count > 0);
+    assert!(ric.order_violations.total_count > 0);
+    assert!(!ric.is_clean());
+
+    // Both keep the 100 ms deadline comfortably at 500 Hz.
+    assert_eq!(nak.deadline_missed.total_count, 0);
+    assert_eq!(ric.deadline_missed.total_count, 0);
+}

@@ -1,0 +1,150 @@
+//! End-to-end integration: the complete ADAMANT pipeline across every
+//! crate — measure → train → probe → select → configure → run.
+
+use adamant::{
+    Adamant, AppParams, BandwidthClass, Environment, LabeledDataset, ProtocolSelector, Scenario,
+    SelectorConfig, SimulatedCloud,
+};
+use adamant_dds::DdsImplementation;
+use adamant_metrics::MetricKind;
+use adamant_netsim::MachineClass;
+use adamant_transport::{ProtocolKind, TransportConfig};
+
+/// A compact measured dataset covering both machine classes on the fast
+/// and slow LANs (the paper's headline axis).
+fn measured_dataset() -> LabeledDataset {
+    let mut configs = Vec::new();
+    for machine in MachineClass::all() {
+        for bandwidth in [BandwidthClass::Gbps1, BandwidthClass::Mbps100] {
+            for loss in [3u8, 5] {
+                let env =
+                    Environment::new(machine, bandwidth, DdsImplementation::OpenSplice, loss);
+                configs.push((env, AppParams::new(3, 25)));
+            }
+        }
+    }
+    LabeledDataset::measure(&configs, 500, 2)
+}
+
+#[test]
+fn measured_labels_show_the_paper_pattern() {
+    let dataset = measured_dataset();
+    assert_eq!(dataset.len(), 16); // 8 configs × 2 metrics
+
+    // At 5% loss the paper's headline: Ricochet wins ReLate2 on
+    // pc3000+1Gb, NAKcast 1 ms on pc850+100Mb.
+    let find = |machine: MachineClass, bandwidth: BandwidthClass| {
+        dataset
+            .rows
+            .iter()
+            .find(|r| {
+                r.env.machine == machine
+                    && r.env.bandwidth == bandwidth
+                    && r.env.loss_percent == 5
+                    && r.metric == MetricKind::ReLate2
+            })
+            .expect("config present")
+    };
+    let fast = find(MachineClass::Pc3000, BandwidthClass::Gbps1);
+    assert!(
+        matches!(fast.best_protocol(), ProtocolKind::Ricochet { .. }),
+        "pc3000/1Gb should favour Ricochet, got {}",
+        fast.best_protocol()
+    );
+    let slow = find(MachineClass::Pc850, BandwidthClass::Mbps100);
+    assert!(
+        matches!(
+            slow.best_protocol(),
+            ProtocolKind::Nakcast { .. }
+        ),
+        "pc850/100Mb should favour NAKcast, got {}",
+        slow.best_protocol()
+    );
+}
+
+#[test]
+fn full_pipeline_probe_select_run() {
+    let dataset = measured_dataset();
+    let (selector, _) = ProtocolSelector::train_from(&dataset, &SelectorConfig::default());
+    // Training recall should be near-perfect on a measured set of this size.
+    let recall = selector.evaluate_on(&dataset).accuracy();
+    assert!(recall >= 0.9, "training recall {recall}");
+
+    let adamant = Adamant::new(selector);
+    let provisioned = Environment::new(
+        MachineClass::Pc3000,
+        BandwidthClass::Gbps1,
+        DdsImplementation::OpenSplice,
+        5,
+    );
+    let config = adamant
+        .configure(
+            &SimulatedCloud::new(provisioned),
+            DdsImplementation::OpenSplice,
+            5,
+            AppParams::new(3, 25),
+            MetricKind::ReLate2,
+        )
+        .expect("probe succeeds");
+
+    // The probed environment must round-trip exactly.
+    assert_eq!(config.environment, provisioned);
+    // The decision is fast (generously bounded; typically microseconds).
+    assert!(config.selection.elapsed.as_millis() < 10);
+
+    // The configured session actually runs and meets basic QoS.
+    let report = Scenario::paper(provisioned, AppParams::new(3, 25), 5)
+        .with_samples(500)
+        .run(config.transport());
+    assert!(report.reliability() > 0.97);
+    assert!(report.avg_latency_us > 0.0);
+}
+
+#[test]
+fn selected_protocol_beats_the_worst_candidate() {
+    let dataset = measured_dataset();
+    let (selector, _) = ProtocolSelector::train_from(&dataset, &SelectorConfig::default());
+    let env = Environment::new(
+        MachineClass::Pc3000,
+        BandwidthClass::Gbps1,
+        DdsImplementation::OpenSplice,
+        5,
+    );
+    let app = AppParams::new(3, 25);
+    let selection = selector.select(&env, &app, MetricKind::ReLate2);
+
+    let scenario = Scenario::paper(env, app, 11).with_samples(800);
+    let chosen = scenario.run(TransportConfig::new(selection.protocol));
+    let worst = scenario.run(TransportConfig::new(ProtocolKind::Nakcast {
+        timeout: adamant_netsim::SimDuration::from_millis(50),
+    }));
+    assert!(
+        MetricKind::ReLate2.score(&chosen) < MetricKind::ReLate2.score(&worst),
+        "the ANN's choice should beat NAKcast 50 ms on fast hardware"
+    );
+}
+
+#[test]
+fn table_selector_agrees_with_ann_on_known_environments() {
+    let dataset = measured_dataset();
+    let (ann, _) = ProtocolSelector::train_from(&dataset, &SelectorConfig::default());
+    let table = adamant::TableSelector::from_dataset(&dataset);
+    let mut agreements = 0;
+    for row in &dataset.rows {
+        let a = ann.select(&row.env, &row.app, row.metric).protocol;
+        let t = table.select(&row.env, &row.app, row.metric).protocol;
+        assert_eq!(
+            t,
+            row.best_protocol(),
+            "table lookup must be exact on known configurations"
+        );
+        if a == t {
+            agreements += 1;
+        }
+    }
+    assert!(
+        agreements * 10 >= dataset.len() * 9,
+        "ANN and table should mostly agree on training configurations: {agreements}/{}",
+        dataset.len()
+    );
+}

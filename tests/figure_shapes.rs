@@ -1,0 +1,57 @@
+//! Reduced-scale assertions of the paper's figure shapes. The full-scale
+//! regeneration lives in `adamant-experiments` (`figures` binary); these
+//! tests keep the qualitative claims true at CI scale.
+
+use adamant_experiments::figures::{
+    check_shapes, fifteen_receiver_figures, three_receiver_figures, FigureScale,
+};
+
+fn ci_scale() -> FigureScale {
+    FigureScale {
+        // Large enough that the thin pc850 margins (Figs 9/13/15) are
+        // stable; runs are deterministic, so this is a fixed outcome, not
+        // a flaky one.
+        samples: 6_000,
+        repetitions: 3,
+        ann_restarts: 1,
+        cv_restarts: 1,
+        max_epochs: 50,
+        timing_experiments: 1,
+    }
+}
+
+#[test]
+fn three_receiver_figures_match_paper_shapes() {
+    let scale = ci_scale();
+    let mut figs = three_receiver_figures(true, scale);
+    figs.extend(three_receiver_figures(false, scale));
+    let checks = check_shapes(&figs);
+    assert!(!checks.is_empty());
+    let failures: Vec<&String> = checks
+        .iter()
+        .filter(|(_, ok)| !ok)
+        .map(|(name, _)| name)
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "paper-shape checks failed: {failures:?}"
+    );
+}
+
+#[test]
+fn fifteen_receiver_figures_match_paper_shapes() {
+    let scale = ci_scale();
+    let mut figs = fifteen_receiver_figures(true, scale);
+    figs.extend(fifteen_receiver_figures(false, scale));
+    let checks = check_shapes(&figs);
+    assert!(!checks.is_empty());
+    let failures: Vec<&String> = checks
+        .iter()
+        .filter(|(_, ok)| !ok)
+        .map(|(name, _)| name)
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "paper-shape checks failed: {failures:?}"
+    );
+}
