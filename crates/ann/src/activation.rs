@@ -1,9 +1,9 @@
 //! Neuron activation functions (the FANN-style subset used here).
 
-use serde::{Deserialize, Serialize};
+use adamant_json::{FromJson, Json, JsonError, ToJson};
 
 /// Activation applied to a layer's weighted sums.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Activation {
     /// Logistic sigmoid `1 / (1 + e^(-2sx))` with steepness `s` (FANN's
     /// default output squashing; outputs in `(0, 1)`).
@@ -54,9 +54,63 @@ impl Activation {
     }
 }
 
+// Externally tagged, matching the serde derive layout the persisted
+// selector artifacts were written with: struct variants are
+// `{"Variant": {..fields..}}`, unit variants are `"Variant"`.
+impl ToJson for Activation {
+    fn to_json(&self) -> Json {
+        match self {
+            Activation::Sigmoid { steepness } => Json::Obj(vec![(
+                "Sigmoid".to_owned(),
+                Json::Obj(vec![("steepness".to_owned(), steepness.to_json())]),
+            )]),
+            Activation::SymmetricSigmoid { steepness } => Json::Obj(vec![(
+                "SymmetricSigmoid".to_owned(),
+                Json::Obj(vec![("steepness".to_owned(), steepness.to_json())]),
+            )]),
+            Activation::Linear => Json::Str("Linear".to_owned()),
+        }
+    }
+}
+
+impl FromJson for Activation {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Json::Str(s) = v {
+            return match s.as_str() {
+                "Linear" => Ok(Activation::Linear),
+                other => Err(JsonError(format!("unknown Activation variant `{other}`"))),
+            };
+        }
+        if let Some(body) = v.get("Sigmoid") {
+            return Ok(Activation::Sigmoid {
+                steepness: body.field("steepness")?,
+            });
+        }
+        if let Some(body) = v.get("SymmetricSigmoid") {
+            return Ok(Activation::SymmetricSigmoid {
+                steepness: body.field("steepness")?,
+            });
+        }
+        Err(JsonError(format!("invalid Activation: {}", v.kind())))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_round_trip_matches_serde_layout() {
+        let a = Activation::Sigmoid { steepness: 0.5 };
+        let text = adamant_json::to_string(&a);
+        assert_eq!(text, r#"{"Sigmoid":{"steepness":0.5}}"#);
+        assert_eq!(adamant_json::from_str::<Activation>(&text).unwrap(), a);
+        assert_eq!(adamant_json::to_string(&Activation::Linear), "\"Linear\"");
+        assert_eq!(
+            adamant_json::from_str::<Activation>("\"Linear\"").unwrap(),
+            Activation::Linear
+        );
+    }
 
     #[test]
     fn sigmoid_shape() {

@@ -1,8 +1,6 @@
 //! Classification on top of the network: one-hot targets, argmax
 //! prediction, accuracy, and confusion matrices.
 
-use serde::{Deserialize, Serialize};
-
 use crate::network::NeuralNetwork;
 use crate::train::TrainingData;
 
@@ -34,7 +32,7 @@ pub fn argmax(output: &[f64]) -> Option<usize> {
 }
 
 /// Classification quality of a network over a labelled dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Evaluation {
     /// Correct predictions.
     pub correct: usize,
@@ -145,11 +143,20 @@ mod tests {
     #[test]
     fn trained_classifier_reaches_perfect_training_accuracy() {
         // Three separable classes on one input dimension.
-        let inputs: Vec<Vec<f64>> = (0..30)
-            .map(|i| vec![i as f64 / 30.0])
-            .collect();
+        let inputs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 30.0]).collect();
         let targets: Vec<Vec<f64>> = (0..30)
-            .map(|i| one_hot(if i < 10 { 0 } else if i < 20 { 1 } else { 2 }, 3))
+            .map(|i| {
+                one_hot(
+                    if i < 10 {
+                        0
+                    } else if i < 20 {
+                        1
+                    } else {
+                        2
+                    },
+                    3,
+                )
+            })
             .collect();
         let data = TrainingData::new(inputs, targets);
         let mut net = NeuralNetwork::new(&[1, 8, 3], Activation::fann_default(), 3);

@@ -1,8 +1,6 @@
 //! n-fold cross-validation (the paper's §4.4 methodology for accuracy on
 //! environments "unknown until runtime").
 
-use serde::{Deserialize, Serialize};
-
 use crate::classify::evaluate;
 use crate::network::NeuralNetwork;
 use crate::rng::InitRng;
@@ -32,7 +30,7 @@ pub fn fold_assignment(n: usize, k: usize, seed: u64) -> Vec<usize> {
 }
 
 /// Result of one cross-validation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrossValidation {
     /// Held-out accuracy per fold.
     pub fold_accuracies: Vec<f64>,
@@ -115,9 +113,7 @@ mod tests {
     fn cross_validation_on_separable_data_scores_high() {
         // Two linearly separable classes.
         let inputs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
-        let targets: Vec<Vec<f64>> = (0..40)
-            .map(|i| one_hot(usize::from(i >= 20), 2))
-            .collect();
+        let targets: Vec<Vec<f64>> = (0..40).map(|i| one_hot(usize::from(i >= 20), 2)).collect();
         let data = TrainingData::new(inputs, targets);
         let cv = cross_validate(
             &[1, 6, 2],

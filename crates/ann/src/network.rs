@@ -1,13 +1,13 @@
 //! The feedforward network: dense layers, forward pass, and an operation
 //! count for analytic timing models.
 
-use serde::{Deserialize, Serialize};
+use adamant_json::impl_json_struct;
 
 use crate::activation::Activation;
 use crate::rng::InitRng;
 
 /// One fully connected layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Layer {
     pub inputs: usize,
     pub outputs: usize,
@@ -24,7 +24,9 @@ impl Layer {
         Layer {
             inputs,
             outputs,
-            weights: (0..inputs * outputs).map(|_| rng.uniform(half_range)).collect(),
+            weights: (0..inputs * outputs)
+                .map(|_| rng.uniform(half_range))
+                .collect(),
             biases: (0..outputs).map(|_| rng.uniform(half_range)).collect(),
             activation,
         }
@@ -43,6 +45,14 @@ impl Layer {
     }
 }
 
+impl_json_struct!(Layer {
+    inputs,
+    outputs,
+    weights,
+    biases,
+    activation,
+});
+
 /// A fully connected feedforward neural network (FANN-style).
 ///
 /// # Examples
@@ -55,7 +65,7 @@ impl Layer {
 /// assert_eq!(out.len(), 1);
 /// assert!((0.0..=1.0).contains(&out[0]));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NeuralNetwork {
     pub(crate) layers: Vec<Layer>,
 }
@@ -175,6 +185,8 @@ impl NeuralNetwork {
     }
 }
 
+impl_json_struct!(NeuralNetwork { layers });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,15 +251,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let net = NeuralNetwork::new(&[3, 4, 2], Activation::fann_default(), 5);
-        let json = serde_json::to_string(&net).unwrap();
-        let back: NeuralNetwork = serde_json::from_str(&json).unwrap();
-        // JSON may lose the last ULP of a float; compare behaviourally.
-        assert_eq!(net.layer_sizes(), back.layer_sizes());
+        let json = adamant_json::to_string(&net);
+        let back: NeuralNetwork = adamant_json::from_str(&json).unwrap();
+        // The printer is shortest-round-trip, so weights survive exactly.
+        assert_eq!(net, back);
         let input = [0.2, -0.4, 0.9];
-        for (a, b) in net.run(&input).iter().zip(back.run(&input)) {
-            assert!((a - b).abs() < 1e-12);
-        }
+        assert_eq!(net.run(&input), back.run(&input));
     }
 }

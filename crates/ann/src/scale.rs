@@ -1,7 +1,7 @@
 //! Min-max feature scaling: maps each input dimension to `[0, 1]` so the
 //! sigmoid network sees comparable magnitudes.
 
-use serde::{Deserialize, Serialize};
+use adamant_json::impl_json_struct;
 
 /// A fitted per-dimension min-max scaler.
 ///
@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// let scaler = MinMaxScaler::fit(&rows);
 /// assert_eq!(scaler.transform_row(&[2.0, 20.0]), vec![0.5, 0.5]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MinMaxScaler {
     mins: Vec<f64>,
     maxs: Vec<f64>,
@@ -73,6 +73,8 @@ impl MinMaxScaler {
     }
 }
 
+impl_json_struct!(MinMaxScaler { mins, maxs });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,10 +106,7 @@ mod tests {
     fn transform_whole_dataset() {
         let rows = vec![vec![0.0], vec![2.0], vec![4.0]];
         let s = MinMaxScaler::fit(&rows);
-        assert_eq!(
-            s.transform(&rows),
-            vec![vec![0.0], vec![0.5], vec![1.0]]
-        );
+        assert_eq!(s.transform(&rows), vec![vec![0.0], vec![0.5], vec![1.0]]);
     }
 
     #[test]
@@ -117,10 +116,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let s = MinMaxScaler::fit(&[vec![0.0, 1.0], vec![2.0, 3.0]]);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: MinMaxScaler = serde_json::from_str(&json).unwrap();
+        let json = adamant_json::to_string(&s);
+        let back: MinMaxScaler = adamant_json::from_str(&json).unwrap();
         assert_eq!(s, back);
     }
 }

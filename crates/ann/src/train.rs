@@ -1,13 +1,11 @@
 //! Training: batch backpropagation gradients with iRPROP− or plain online
 //! gradient descent, driven to a target MSE (FANN's "stopping error").
 
-use serde::{Deserialize, Serialize};
-
 use crate::network::NeuralNetwork;
 use crate::rng::InitRng;
 
 /// A supervised training set.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TrainingData {
     inputs: Vec<Vec<f64>>,
     targets: Vec<Vec<f64>>,
@@ -89,7 +87,7 @@ impl TrainingData {
 }
 
 /// Which optimisation algorithm drives training.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Algorithm {
     /// iRPROP− — FANN's default: per-weight adaptive steps from gradient
     /// signs only. Fast and insensitive to learning-rate choice.
@@ -113,7 +111,7 @@ pub enum Algorithm {
 }
 
 /// Training configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainParams {
     /// Optimiser.
     pub algorithm: Algorithm,
@@ -137,7 +135,7 @@ impl Default for TrainParams {
 }
 
 /// What training achieved.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainOutcome {
     /// Epochs actually run.
     pub epochs: u32,
@@ -165,16 +163,8 @@ const RPROP_STEP_INIT: f64 = 0.1;
 ///
 /// Panics if the data dimensions do not match the network.
 pub fn train(net: &mut NeuralNetwork, data: &TrainingData, params: &TrainParams) -> TrainOutcome {
-    assert_eq!(
-        data.input_dim(),
-        net.input_size(),
-        "input dim mismatch"
-    );
-    assert_eq!(
-        data.target_dim(),
-        net.output_size(),
-        "target dim mismatch"
-    );
+    assert_eq!(data.input_dim(), net.input_size(), "input dim mismatch");
+    assert_eq!(data.target_dim(), net.output_size(), "target dim mismatch");
     match params.algorithm {
         Algorithm::Rprop => train_rprop(net, data, params),
         Algorithm::Incremental {
@@ -306,9 +296,7 @@ fn accumulate_example(
     let mut delta: Vec<f64> = output
         .iter()
         .zip(target)
-        .map(|(&y, &t)| {
-            (y - t) * net.layers[depth - 1].activation.derivative_from_output(y)
-        })
+        .map(|(&y, &t)| (y - t) * net.layers[depth - 1].activation.derivative_from_output(y))
         .collect();
     for l in (0..depth).rev() {
         let layer = &net.layers[l];
@@ -327,8 +315,8 @@ fn accumulate_example(
             let mut next_delta = vec![0.0; layer.inputs];
             for (i, nd) in next_delta.iter_mut().enumerate() {
                 let mut sum = 0.0;
-                for o in 0..layer.outputs {
-                    sum += delta[o] * layer.weights[o * layer.inputs + i];
+                for (o, d) in delta.iter().enumerate() {
+                    sum += d * layer.weights[o * layer.inputs + i];
                 }
                 *nd = sum * below.activation.derivative_from_output(activations[l][i]);
             }
@@ -461,7 +449,7 @@ fn train_incremental(
 }
 
 /// Outcome of [`train_with_validation`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ValidatedOutcome {
     /// The inner training outcome of the final round.
     pub train: TrainOutcome,

@@ -7,10 +7,10 @@
 //! short chain of comparisons — also constant-bounded, like the ANN's
 //! forward pass.
 
-use serde::{Deserialize, Serialize};
+use adamant_json::{impl_json_struct, FromJson, Json, JsonError, ToJson};
 
 /// Training limits for [`DecisionTree::fit`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecisionTreeParams {
     /// Maximum tree depth (root = depth 0).
     pub max_depth: usize,
@@ -27,7 +27,7 @@ impl Default for DecisionTreeParams {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Leaf {
         class: usize,
@@ -38,6 +38,57 @@ enum Node {
         left: Box<Node>,
         right: Box<Node>,
     },
+}
+
+impl_json_struct!(DecisionTreeParams {
+    max_depth,
+    min_samples_split,
+});
+
+// Externally tagged like the serde derive layout: `{"Leaf":{"class":n}}` /
+// `{"Split":{...}}`.
+impl ToJson for Node {
+    fn to_json(&self) -> Json {
+        match self {
+            Node::Leaf { class } => Json::Obj(vec![(
+                "Leaf".to_owned(),
+                Json::Obj(vec![("class".to_owned(), class.to_json())]),
+            )]),
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => Json::Obj(vec![(
+                "Split".to_owned(),
+                Json::Obj(vec![
+                    ("feature".to_owned(), feature.to_json()),
+                    ("threshold".to_owned(), threshold.to_json()),
+                    ("left".to_owned(), left.to_json()),
+                    ("right".to_owned(), right.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Node {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(body) = v.get("Leaf") {
+            return Ok(Node::Leaf {
+                class: body.field("class")?,
+            });
+        }
+        if let Some(body) = v.get("Split") {
+            return Ok(Node::Split {
+                feature: body.field("feature")?,
+                threshold: body.field("threshold")?,
+                left: body.field("left")?,
+                right: body.field("right")?,
+            });
+        }
+        Err(JsonError(format!("invalid tree Node: {}", v.kind())))
+    }
 }
 
 /// A trained decision tree over dense `f64` features.
@@ -53,12 +104,18 @@ enum Node {
 /// assert_eq!(tree.predict(&[0.15]), 0);
 /// assert_eq!(tree.predict(&[0.85]), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTree {
     root: Node,
     classes: usize,
     features: usize,
 }
+
+impl_json_struct!(DecisionTree {
+    root,
+    classes,
+    features,
+});
 
 fn gini(counts: &[usize], total: usize) -> f64 {
     if total == 0 {
@@ -104,10 +161,7 @@ impl DecisionTree {
             inputs.iter().all(|r| r.len() == features),
             "ragged input rows"
         );
-        assert!(
-            labels.iter().all(|&l| l < classes),
-            "label out of range"
-        );
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
         let indices: Vec<usize> = (0..inputs.len()).collect();
         let root = Self::build(inputs, labels, classes, &indices, 0, &params);
         DecisionTree {
@@ -130,9 +184,7 @@ impl DecisionTree {
             counts[labels[i]] += 1;
         }
         let node_gini = gini(&counts, indices.len());
-        if node_gini == 0.0
-            || depth >= params.max_depth
-            || indices.len() < params.min_samples_split
+        if node_gini == 0.0 || depth >= params.max_depth || indices.len() < params.min_samples_split
         {
             return Node::Leaf {
                 class: majority(&counts),
@@ -143,6 +195,7 @@ impl DecisionTree {
         // examples and evaluate every midpoint between distinct values.
         let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
         let features = inputs[indices[0]].len();
+        #[allow(clippy::needless_range_loop)] // `feature` indexes a column across many rows
         for feature in 0..features {
             let mut order: Vec<usize> = indices.to_vec();
             order.sort_by(|&a, &b| inputs[a][feature].total_cmp(&inputs[b][feature]));
@@ -190,10 +243,20 @@ impl DecisionTree {
             feature,
             threshold,
             left: Box::new(Self::build(
-                inputs, labels, classes, &left_idx, depth + 1, params,
+                inputs,
+                labels,
+                classes,
+                &left_idx,
+                depth + 1,
+                params,
             )),
             right: Box::new(Self::build(
-                inputs, labels, classes, &right_idx, depth + 1, params,
+                inputs,
+                labels,
+                classes,
+                &right_idx,
+                depth + 1,
+                params,
             )),
         }
     }
@@ -333,12 +396,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let inputs = vec![vec![0.0], vec![1.0]];
         let labels = vec![0, 1];
         let tree = DecisionTree::fit(&inputs, &labels, 2, DecisionTreeParams::default());
-        let json = serde_json::to_string(&tree).unwrap();
-        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        let json = adamant_json::to_string(&tree);
+        let back: DecisionTree = adamant_json::from_str(&json).unwrap();
         assert_eq!(tree, back);
     }
 

@@ -9,24 +9,21 @@
 
 use adamant::{AppParams, ProtocolSelector, SelectorConfig, TableSelector};
 use adamant_ann::{Activation, NeuralNetwork, TrainParams};
-use adamant_bench::synthetic_dataset;
+use adamant_bench::{bench, synthetic_dataset};
 use adamant_metrics::MetricKind;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_forward_pass(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig20_ann_forward_pass");
+fn bench_forward_pass() {
     for hidden in [8usize, 24, 32] {
         let net = NeuralNetwork::new(&[7, hidden, 6], Activation::fann_default(), 42);
         let input = [0.3, 0.7, 1.0, 0.4, 0.25, 0.1, 0.0];
-        group.bench_with_input(BenchmarkId::from_parameter(hidden), &net, |b, net| {
-            b.iter(|| black_box(net.run(black_box(&input))));
+        bench(&format!("fig20_ann_forward_pass/{hidden}"), || {
+            black_box(net.run(black_box(&input)))
         });
     }
-    group.finish();
 }
 
-fn bench_selector(c: &mut Criterion) {
+fn bench_selector() {
     let dataset = synthetic_dataset();
     let config = SelectorConfig {
         train: TrainParams {
@@ -39,20 +36,20 @@ fn bench_selector(c: &mut Criterion) {
     let env = dataset.rows[0].env;
     let app = AppParams::new(3, 25);
 
-    let mut group = c.benchmark_group("fig20_end_to_end_selection");
-    group.bench_function("ann_selector", |b| {
-        b.iter(|| black_box(selector.select(black_box(&env), &app, MetricKind::ReLate2)));
+    bench("fig20_end_to_end_selection/ann_selector", || {
+        black_box(selector.select(black_box(&env), &app, MetricKind::ReLate2))
     });
 
     // Ablation: the manual lookup-table alternative scans every measured
     // configuration; its cost grows with the table while the ANN stays
     // constant.
     let table = TableSelector::from_dataset(&dataset);
-    group.bench_function("table_selector", |b| {
-        b.iter(|| black_box(table.select(black_box(&env), &app, MetricKind::ReLate2)));
+    bench("fig20_end_to_end_selection/table_selector", || {
+        black_box(table.select(black_box(&env), &app, MetricKind::ReLate2))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_forward_pass, bench_selector);
-criterion_main!(benches);
+fn main() {
+    bench_forward_pass();
+    bench_selector();
+}

@@ -2,11 +2,11 @@
 //! and ANN training epochs.
 
 use adamant_ann::{train, Activation, NeuralNetwork, TrainParams, TrainingData};
+use adamant_bench::bench;
 use adamant_metrics::{Delivery, MetricKind, QosReport};
 use adamant_netsim::{
     Agent, Bandwidth, Ctx, HostConfig, MachineClass, OutPacket, Packet, SimTime, Simulation,
 };
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::any::Any;
 use std::hint::black_box;
 
@@ -46,30 +46,25 @@ impl Agent for Ping {
     }
 }
 
-fn bench_event_loop(c: &mut Criterion) {
+fn bench_event_loop() {
     const ROUND_TRIPS: u32 = 1_000;
-    let mut group = c.benchmark_group("netsim_event_loop");
-    group.throughput(Throughput::Elements(ROUND_TRIPS as u64 * 2));
-    group.bench_function("ping_pong_1000", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new(1);
-            let cfg = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
-            let pong = sim.add_node(cfg, Pong);
-            sim.add_node(
-                cfg,
-                Ping {
-                    peer: pong,
-                    remaining: ROUND_TRIPS,
-                },
-            );
-            sim.run();
-            black_box(sim.events_processed())
-        });
+    bench("netsim_event_loop/ping_pong_1000", || {
+        let mut sim = Simulation::new(1);
+        let cfg = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+        let pong = sim.add_node(cfg, Pong);
+        sim.add_node(
+            cfg,
+            Ping {
+                peer: pong,
+                remaining: ROUND_TRIPS,
+            },
+        );
+        sim.run();
+        black_box(sim.events_processed())
     });
-    group.finish();
 }
 
-fn bench_metrics(c: &mut Criterion) {
+fn bench_metrics() {
     let deliveries: Vec<Delivery> = (0..10_000u64)
         .map(|seq| Delivery {
             seq,
@@ -78,25 +73,20 @@ fn bench_metrics(c: &mut Criterion) {
             recovered: seq % 20 == 0,
         })
         .collect();
-    let mut group = c.benchmark_group("metrics");
-    group.throughput(Throughput::Elements(deliveries.len() as u64));
-    group.bench_function("report_build_10k", |b| {
-        b.iter(|| {
-            let mut builder = QosReport::builder(10_000, 1);
-            builder.add_receiver(black_box(&deliveries), 0);
-            black_box(builder.finish())
-        });
+    bench("metrics/report_build_10k", || {
+        let mut builder = QosReport::builder(10_000, 1);
+        builder.add_receiver(black_box(&deliveries), 0);
+        black_box(builder.finish())
     });
     let mut builder = QosReport::builder(10_000, 1);
     builder.add_receiver(&deliveries, 0);
     let report = builder.finish();
-    group.bench_function("relate2jit_score", |b| {
-        b.iter(|| black_box(MetricKind::ReLate2Jit.score(black_box(&report))));
+    bench("metrics/relate2jit_score", || {
+        black_box(MetricKind::ReLate2Jit.score(black_box(&report)))
     });
-    group.finish();
 }
 
-fn bench_training(c: &mut Criterion) {
+fn bench_training() {
     // One RPROP epoch over a 394-row, 7-feature dataset (the paper's
     // training-set scale).
     let inputs: Vec<Vec<f64>> = (0..394)
@@ -110,24 +100,22 @@ fn bench_training(c: &mut Criterion) {
         })
         .collect();
     let data = TrainingData::new(inputs, targets);
-    let mut group = c.benchmark_group("ann_training");
-    group.sample_size(20);
-    group.bench_function("rprop_10_epochs_394rows", |b| {
-        b.iter(|| {
-            let mut net = NeuralNetwork::new(&[7, 24, 6], Activation::fann_default(), 7);
-            black_box(train(
-                &mut net,
-                &data,
-                &TrainParams {
-                    stopping_mse: 0.0,
-                    max_epochs: 10,
-                    ..TrainParams::default()
-                },
-            ))
-        });
+    bench("ann_training/rprop_10_epochs_394rows", || {
+        let mut net = NeuralNetwork::new(&[7, 24, 6], Activation::fann_default(), 7);
+        black_box(train(
+            &mut net,
+            &data,
+            &TrainParams {
+                stopping_mse: 0.0,
+                max_epochs: 10,
+                ..TrainParams::default()
+            },
+        ))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_event_loop, bench_metrics, bench_training);
-criterion_main!(benches);
+fn main() {
+    bench_event_loop();
+    bench_metrics();
+    bench_training();
+}

@@ -1,7 +1,8 @@
 //! # adamant-bench
 //!
-//! Criterion benchmarks for the ADAMANT reproduction. The benches map onto
-//! the paper's evaluation:
+//! Benchmarks for the ADAMANT reproduction, run by the self-contained
+//! timing harness in [`bench`] (the build environment has no registry
+//! access, so no criterion). The benches map onto the paper's evaluation:
 //!
 //! * `ann_query` — Figures 20–21: ANN query latency and its spread, per
 //!   hidden-layer size, plus the lookup-table baseline ablation.
@@ -15,10 +16,34 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::time::{Duration, Instant};
+
 use adamant::{AppParams, BandwidthClass, DatasetRow, Environment, LabeledDataset};
 use adamant_dds::DdsImplementation;
 use adamant_metrics::MetricKind;
 use adamant_netsim::MachineClass;
+
+/// Times `f` and prints one result line: warms up briefly, sizes the
+/// measured batch to roughly [`BENCH_TARGET`], and reports the mean
+/// per-iteration wall time.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up: one call to page everything in, then estimate cost.
+    std::hint::black_box(f());
+    let probe_start = Instant::now();
+    std::hint::black_box(f());
+    let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+    let iters = (BENCH_TARGET.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed();
+    let per_iter = total / u32::try_from(iters).expect("iters fits in u32");
+    println!("{name:<50} {per_iter:>12.2?}/iter  ({iters} iters in {total:.2?})");
+}
+
+/// Wall-clock budget for one [`bench`] measurement batch.
+pub const BENCH_TARGET: Duration = Duration::from_millis(300);
 
 /// A synthetic labelled dataset with the paper's headline pattern (fast
 /// hardware → Ricochet, slow hardware → NAKcast 1 ms), sized like the real

@@ -114,7 +114,11 @@ mod tests {
                         ),
                         app: AppParams::new(3, 25),
                         metric: MetricKind::ReLate2,
-                        best_class: if machine == MachineClass::Pc3000 { 4 } else { 3 },
+                        best_class: if machine == MachineClass::Pc3000 {
+                            4
+                        } else {
+                            3
+                        },
                         scores: vec![0.0; 6],
                     });
                 }

@@ -13,7 +13,6 @@
 
 use adamant_metrics::{MetricKind, QosReport};
 use adamant_transport::{ProtocolKind, TransportConfig};
-use serde::{Deserialize, Serialize};
 
 use crate::env::{AppParams, Environment};
 use crate::runner::Scenario;
@@ -163,7 +162,7 @@ impl AdaptiveController {
 
 /// One phase of an adaptive run: an environment that holds for a stretch
 /// of operation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Phase {
     /// The environment during this phase.
     pub env: Environment,
@@ -217,7 +216,7 @@ impl AdaptiveTimeline {
 }
 
 /// Alarm thresholds for [`QosMonitor`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonitorThresholds {
     /// Alarm when window reliability falls below this fraction.
     pub min_reliability: f64,
@@ -315,7 +314,11 @@ mod tests {
                         ),
                         app: AppParams::new(3, 25),
                         metric: MetricKind::ReLate2,
-                        best_class: if machine == MachineClass::Pc3000 { 4 } else { 3 },
+                        best_class: if machine == MachineClass::Pc3000 {
+                            4
+                        } else {
+                            3
+                        },
                         scores: vec![0.0; 6],
                     });
                 }
@@ -441,8 +444,8 @@ mod tests {
             DdsImplementation::OpenSplice,
             5,
         );
-        let scenario = crate::Scenario::paper(report_env, AppParams::new(1, 100), 3)
-            .with_samples(400);
+        let scenario =
+            crate::Scenario::paper(report_env, AppParams::new(1, 100), 3).with_samples(400);
         let report = scenario.run(adamant_transport::TransportConfig::new(
             adamant_transport::ProtocolKind::Udp,
         ));
@@ -464,7 +467,11 @@ mod tests {
         sim.run_until(adamant_netsim::SimTime::from_secs(6));
         let reader = ant::reader(&sim, &handles, handles.receivers[0]);
         let schedule = constant_rate_schedule(100.0, SimDuration::from_secs(1), 4);
-        let windows = windowed_qos(reader.log().deliveries(), &schedule, SimDuration::from_secs(1));
+        let windows = windowed_qos(
+            reader.log().deliveries(),
+            &schedule,
+            SimDuration::from_secs(1),
+        );
         let mut monitor = QosMonitor::new(MonitorThresholds {
             min_reliability: 0.95,
             max_avg_latency_us: 1e9,

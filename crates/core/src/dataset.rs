@@ -4,7 +4,6 @@
 
 use adamant_metrics::MetricKind;
 use adamant_transport::ProtocolKind;
-use serde::{Deserialize, Serialize};
 
 use adamant_ann::{one_hot, MinMaxScaler, TrainingData};
 
@@ -40,7 +39,7 @@ pub fn best_class_with_margin(scores: &[f64], margin: f64) -> usize {
 pub const LABEL_MARGIN: f64 = 0.03;
 
 /// One labelled example.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetRow {
     /// The environment configuration.
     pub env: Environment,
@@ -55,6 +54,14 @@ pub struct DatasetRow {
     pub scores: Vec<f64>,
 }
 
+adamant_json::impl_json_struct!(DatasetRow {
+    env,
+    app,
+    metric,
+    best_class,
+    scores,
+});
+
 impl DatasetRow {
     /// The winning protocol.
     pub fn best_protocol(&self) -> ProtocolKind {
@@ -63,11 +70,13 @@ impl DatasetRow {
 }
 
 /// A labelled dataset (the paper's 394 training inputs).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct LabeledDataset {
     /// The examples.
     pub rows: Vec<DatasetRow>,
 }
+
+adamant_json::impl_json_struct!(LabeledDataset { rows });
 
 impl LabeledDataset {
     /// Number of examples.
@@ -125,8 +134,8 @@ impl LabeledDataset {
         let candidates = candidate_protocols();
         let mut rows = Vec::with_capacity(configs.len() * 2);
         for (i, &(env, app)) in configs.iter().enumerate() {
-            let scenario = Scenario::paper(env, app, 0x5EED ^ (i as u64) << 8)
-                .with_samples(samples);
+            let scenario =
+                Scenario::paper(env, app, 0x5EED ^ (i as u64) << 8).with_samples(samples);
             let per_candidate: Vec<Vec<adamant_metrics::QosReport>> = candidates
                 .iter()
                 .map(|&kind| scenario.run_repeated(TransportConfig::new(kind), repetitions))
@@ -135,8 +144,7 @@ impl LabeledDataset {
                 let scores: Vec<f64> = per_candidate
                     .iter()
                     .map(|reports| {
-                        reports.iter().map(|r| metric.score(r)).sum::<f64>()
-                            / reports.len() as f64
+                        reports.iter().map(|r| metric.score(r)).sum::<f64>() / reports.len() as f64
                     })
                     .collect();
                 let best_class = best_class_with_margin(&scores, LABEL_MARGIN);
@@ -219,12 +227,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let ds = LabeledDataset {
             rows: vec![row(1, 2)],
         };
-        let json = serde_json::to_string(&ds).unwrap();
-        let back: LabeledDataset = serde_json::from_str(&json).unwrap();
+        let json = adamant_json::to_string(&ds);
+        let back: LabeledDataset = adamant_json::from_str(&json).unwrap();
         assert_eq!(ds, back);
     }
 }

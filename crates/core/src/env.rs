@@ -3,10 +3,9 @@
 
 use adamant_dds::DdsImplementation;
 use adamant_netsim::{Bandwidth, HostConfig, LossModel, MachineClass, NetworkConfig, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// The network bandwidth classes of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BandwidthClass {
     /// 1 Gb/s LAN.
     Gbps1,
@@ -15,6 +14,12 @@ pub enum BandwidthClass {
     /// 10 Mb/s LAN.
     Mbps10,
 }
+
+adamant_json::impl_json_unit_enum!(BandwidthClass {
+    Gbps1,
+    Mbps100,
+    Mbps10
+});
 
 impl BandwidthClass {
     /// All classes, Table 1 order (fastest first).
@@ -62,7 +67,7 @@ impl std::fmt::Display for BandwidthClass {
 }
 
 /// One cloud environment configuration (a row of Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Environment {
     /// Machine type: pc850 or pc3000.
     pub machine: MachineClass,
@@ -73,6 +78,13 @@ pub struct Environment {
     /// Percent end-host network loss (1–5 in the paper).
     pub loss_percent: u8,
 }
+
+adamant_json::impl_json_struct!(Environment {
+    machine,
+    bandwidth,
+    dds,
+    loss_percent,
+});
 
 impl Environment {
     /// Creates an environment, validating the loss range.
@@ -147,13 +159,15 @@ impl std::fmt::Display for Environment {
 }
 
 /// One application configuration (a row of Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AppParams {
     /// Number of receiving data readers (3–15 in the paper).
     pub receivers: u32,
     /// Sending rate in Hz (10, 25, 50, or 100 in the paper).
     pub rate_hz: u32,
 }
+
+adamant_json::impl_json_struct!(AppParams { receivers, rate_hz });
 
 impl AppParams {
     /// Creates application parameters.

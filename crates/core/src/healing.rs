@@ -1,0 +1,808 @@
+//! Self-healing sessions: the closed adaptation loop under injected
+//! faults.
+//!
+//! [`crate::adaptive`] supplies the pieces the paper's conclusion sketches
+//! — a [`QosMonitor`] watching windowed QoS and a selector answering
+//! "which transport fits this environment?". This module closes the loop
+//! *in simulation*: a [`SelfHealingSession`] runs a live pub/sub session
+//! while a fault plan (loss spikes, bandwidth downgrades, CPU contention —
+//! see [`adamant_netsim::FaultPlan`]) degrades it mid-stream. Each window
+//! the session folds the delivery stream into a [`WindowQos`]; when the
+//! monitor alarms, the session re-probes the (now degraded) environment,
+//! asks a [`ResilientSelector`] for a protocol, and — subject to a
+//! [`SwitchBackoff`] hysteresis policy that prevents flapping — swaps the
+//! running transport over mid-stream through
+//! [`DomainParticipant::reinstall`].
+//!
+//! The selector itself degrades gracefully: a trained ANN answers only
+//! when its output margin clears a confidence floor, a decision-tree
+//! fallback answers otherwise, and with no models at all the session falls
+//! back to the safest candidate (NAKcast with a 1 ms timeout — reliable
+//! under every environment of the paper's evaluation, if not optimal).
+
+use adamant_dds::{DomainParticipant, QosProfile};
+use adamant_metrics::{windowed_qos, Delivery, MetricKind, QosReport, WindowQos};
+use adamant_netsim::{Bandwidth, FaultPlan, SimDuration, SimTime, Simulation};
+use adamant_transport::{ant, AppSpec, ProtocolKind, SessionHandles, TransportConfig};
+
+use crate::adaptive::{MonitorThresholds, QosMonitor};
+use crate::env::{AppParams, BandwidthClass, Environment};
+use crate::selector::{ProtocolSelector, TreeSelector};
+
+/// Which stage of the fallback chain produced a protocol choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectorSource {
+    /// The ANN answered with sufficient output margin.
+    Ann,
+    /// The ANN was absent or unsure; the decision tree answered.
+    Tree,
+    /// No model could answer; the safe default was used.
+    Default,
+}
+
+/// One answer from a [`ResilientSelector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilientChoice {
+    /// The chosen transport protocol.
+    pub protocol: ProtocolKind,
+    /// Which fallback stage produced it.
+    pub source: SelectorSource,
+    /// The ANN's output margin (top score minus runner-up) when the ANN
+    /// answered; `1.0` for the tree (its answer is categorical) and `0.0`
+    /// for the default.
+    pub confidence: f64,
+}
+
+/// A protocol selector that never fails to answer: ANN with a confidence
+/// floor, then a decision tree, then a safe default.
+#[derive(Debug, Clone)]
+pub struct ResilientSelector {
+    ann: Option<(ProtocolSelector, f64)>,
+    tree: Option<TreeSelector>,
+    metric: MetricKind,
+}
+
+impl ResilientSelector {
+    /// Creates a selector chain optimising `metric` with no models yet:
+    /// every query answers [`ResilientSelector::fallback_protocol`].
+    pub fn new(metric: MetricKind) -> Self {
+        ResilientSelector {
+            ann: None,
+            tree: None,
+            metric,
+        }
+    }
+
+    /// Adds a trained ANN whose answer is trusted only when the margin
+    /// between its top two output scores reaches `confidence_floor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence_floor` is negative or not finite.
+    pub fn with_ann(mut self, selector: ProtocolSelector, confidence_floor: f64) -> Self {
+        assert!(
+            confidence_floor.is_finite() && confidence_floor >= 0.0,
+            "confidence floor must be finite and non-negative"
+        );
+        self.ann = Some((selector, confidence_floor));
+        self
+    }
+
+    /// Adds the decision-tree fallback consulted when the ANN is absent
+    /// or unsure.
+    pub fn with_tree(mut self, tree: TreeSelector) -> Self {
+        self.tree = Some(tree);
+        self
+    }
+
+    /// The metric the chain optimises.
+    pub fn metric(&self) -> MetricKind {
+        self.metric
+    }
+
+    /// The last-resort choice when no model can answer: NAKcast with a
+    /// 1 ms timeout, the candidate that stays reliable across the paper's
+    /// whole environment space.
+    pub fn fallback_protocol() -> ProtocolKind {
+        ProtocolKind::Nakcast {
+            timeout: SimDuration::from_millis(1),
+        }
+    }
+
+    /// Answers a selection query, walking the fallback chain.
+    pub fn select(&self, env: &Environment, app: &AppParams) -> ResilientChoice {
+        if let Some((ann, floor)) = &self.ann {
+            let selection = ann.select(env, app, self.metric);
+            let margin = top_two_margin(&selection.scores);
+            if margin >= *floor {
+                return ResilientChoice {
+                    protocol: selection.protocol,
+                    source: SelectorSource::Ann,
+                    confidence: margin,
+                };
+            }
+        }
+        if let Some(tree) = &self.tree {
+            let selection = tree.select(env, app, self.metric);
+            return ResilientChoice {
+                protocol: selection.protocol,
+                source: SelectorSource::Tree,
+                confidence: 1.0,
+            };
+        }
+        ResilientChoice {
+            protocol: Self::fallback_protocol(),
+            source: SelectorSource::Default,
+            confidence: 0.0,
+        }
+    }
+}
+
+/// Margin between the largest and second-largest score (the ANN's
+/// confidence proxy). A single-output network's margin is its sole score.
+fn top_two_margin(scores: &[f64]) -> f64 {
+    let mut top = f64::NEG_INFINITY;
+    let mut second = f64::NEG_INFINITY;
+    for &s in scores {
+        if s > top {
+            second = top;
+            top = s;
+        } else if s > second {
+            second = s;
+        }
+    }
+    if second == f64::NEG_INFINITY {
+        top
+    } else {
+        top - second
+    }
+}
+
+/// Anti-flapping policy for mid-stream protocol switches: a minimum dwell
+/// time after every switch, doubling (up to a cap) while switches keep
+/// happening, so a session oscillating at a decision boundary settles
+/// instead of thrashing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchBackoff {
+    min_dwell: SimDuration,
+    max_backoff: SimDuration,
+    current: SimDuration,
+    next_allowed: SimTime,
+}
+
+impl SwitchBackoff {
+    /// Creates a policy with the given initial dwell and backoff cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_dwell` is zero or exceeds `max_backoff`.
+    pub fn new(min_dwell: SimDuration, max_backoff: SimDuration) -> Self {
+        assert!(!min_dwell.is_zero(), "dwell time must be positive");
+        assert!(max_backoff >= min_dwell, "backoff cap below initial dwell");
+        SwitchBackoff {
+            min_dwell,
+            max_backoff,
+            current: min_dwell,
+            next_allowed: SimTime::ZERO,
+        }
+    }
+
+    /// Whether a switch is currently allowed.
+    pub fn may_switch(&self, now: SimTime) -> bool {
+        now >= self.next_allowed
+    }
+
+    /// Records a switch at `now`, starting the next dwell period and
+    /// doubling it for the one after.
+    pub fn record_switch(&mut self, now: SimTime) {
+        self.next_allowed = now + self.current;
+        self.current = (self.current * 2).min(self.max_backoff);
+    }
+
+    /// The dwell the *next* switch will impose.
+    pub fn current_dwell(&self) -> SimDuration {
+        self.current
+    }
+
+    /// Re-arms the policy to its initial dwell (for callers that consider
+    /// the system to have settled).
+    pub fn reset(&mut self) {
+        self.current = self.min_dwell;
+    }
+}
+
+/// Configuration of one self-healing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealingConfig {
+    /// The provisioned environment the session starts in (faults may move
+    /// the *actual* conditions away from it mid-run).
+    pub env: Environment,
+    /// Application parameters.
+    pub app: AppParams,
+    /// Samples the writer publishes over the whole session, switches
+    /// included.
+    pub samples: u64,
+    /// Payload bytes per sample.
+    pub payload_bytes: u32,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Monitoring window length.
+    pub window: SimDuration,
+    /// Degradation-alarm thresholds.
+    pub thresholds: MonitorThresholds,
+    /// Minimum dwell after a switch.
+    pub min_dwell: SimDuration,
+    /// Cap on the exponential switch backoff.
+    pub max_backoff: SimDuration,
+    /// Extra windows after the last publication, for tail recovery.
+    pub grace: SimDuration,
+}
+
+impl HealingConfig {
+    /// A configuration with sensible defaults: 12-byte payloads, 1 s
+    /// windows, default thresholds, 2 s dwell backing off to 16 s, 3 s
+    /// grace.
+    pub fn new(env: Environment, app: AppParams, samples: u64, seed: u64) -> Self {
+        HealingConfig {
+            env,
+            app,
+            samples,
+            payload_bytes: 12,
+            seed,
+            window: SimDuration::from_secs(1),
+            thresholds: MonitorThresholds::default(),
+            min_dwell: SimDuration::from_secs(2),
+            max_backoff: SimDuration::from_secs(16),
+            grace: SimDuration::from_secs(3),
+        }
+    }
+
+    /// Overrides the monitoring window length.
+    pub fn with_window(mut self, window: SimDuration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Overrides the alarm thresholds.
+    pub fn with_thresholds(mut self, thresholds: MonitorThresholds) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Overrides the switch dwell and backoff cap.
+    pub fn with_dwell(mut self, min_dwell: SimDuration, max_backoff: SimDuration) -> Self {
+        self.min_dwell = min_dwell;
+        self.max_backoff = max_backoff;
+        self
+    }
+}
+
+/// One committed mid-stream protocol switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchRecord {
+    /// When the switch happened.
+    pub at: SimTime,
+    /// The protocol being replaced.
+    pub from: ProtocolKind,
+    /// The protocol switched to.
+    pub to: ProtocolKind,
+    /// Which fallback stage chose it.
+    pub source: SelectorSource,
+    /// The re-probed environment the choice was made for.
+    pub probed: Environment,
+}
+
+/// The full record of one self-healing run. Two runs with identical
+/// configuration, selector, and fault plan compare equal — the loop is
+/// bit-for-bit deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealingOutcome {
+    /// Pooled per-window QoS (all receivers, all protocol incarnations).
+    pub windows: Vec<WindowQos>,
+    /// Degradation alarms raised by the monitor.
+    pub alarms: u64,
+    /// Committed protocol switches, in order.
+    pub switches: Vec<SwitchRecord>,
+    /// Alarms that proposed a switch the backoff policy suppressed.
+    pub suppressed_switches: u64,
+    /// The protocol the session started on.
+    pub initial_protocol: ProtocolKind,
+    /// The protocol in force at the end.
+    pub final_protocol: ProtocolKind,
+    /// Pooled whole-run QoS across every incarnation.
+    pub report: QosReport,
+}
+
+impl HealingOutcome {
+    /// Per-window ReLate2 (average latency × (percent loss + 1)) — the
+    /// windowed form of the paper's headline composite metric. Windows
+    /// with no publications score zero.
+    pub fn window_relate2(&self) -> Vec<f64> {
+        self.windows
+            .iter()
+            .map(|w| w.avg_latency_us * ((1.0 - w.reliability()) * 100.0 + 1.0))
+            .collect()
+    }
+
+    /// Mean windowed ReLate2 over `range` (publishing windows only).
+    ///
+    /// Returns zero when the range holds no publishing window.
+    pub fn mean_relate2(&self, range: std::ops::Range<usize>) -> f64 {
+        let relate2 = self.window_relate2();
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for i in range {
+            if let Some(w) = self.windows.get(i) {
+                if w.published > 0 {
+                    sum += relate2[i];
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Time from `fault_at` until windowed QoS settles back within
+    /// `tolerance × baseline` ReLate2 for the rest of the stream.
+    ///
+    /// Returns `SimDuration::ZERO` when no window at or after the fault
+    /// ever violated the bound, and `None` when QoS never settled (the
+    /// last publishing window still violates it).
+    pub fn time_to_recover(
+        &self,
+        fault_at: SimTime,
+        baseline: f64,
+        tolerance: f64,
+    ) -> Option<SimDuration> {
+        let relate2 = self.window_relate2();
+        let mut last_bad: Option<usize> = None;
+        for (i, w) in self.windows.iter().enumerate() {
+            if w.start + w.length <= fault_at {
+                continue;
+            }
+            if w.published > 0 && relate2[i] > tolerance * baseline {
+                last_bad = Some(i);
+            }
+        }
+        match last_bad {
+            None => Some(SimDuration::ZERO),
+            Some(i) => {
+                let settled_after = self.windows[i].start + self.windows[i].length;
+                let published_later = self.windows.iter().skip(i + 1).any(|w| w.published > 0);
+                if published_later {
+                    Some(settled_after.saturating_since(fault_at))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// A live pub/sub session wrapped in the monitor → probe → select →
+/// reconfigure loop, run against a fault plan.
+#[derive(Debug, Clone)]
+pub struct SelfHealingSession {
+    config: HealingConfig,
+    selector: ResilientSelector,
+}
+
+impl SelfHealingSession {
+    /// Creates a session runner.
+    pub fn new(config: HealingConfig, selector: ResilientSelector) -> Self {
+        SelfHealingSession { config, selector }
+    }
+
+    /// Runs the session on `initial`, applying `plan`'s faults at their
+    /// scheduled instants, until the stream completes (plus grace).
+    ///
+    /// The topic uses the time-critical QoS profile, which every candidate
+    /// protocol satisfies — a healing switch must never be vetoed by QoS
+    /// validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` cannot carry a time-critical topic (e.g. plain
+    /// UDP), or if a fault crashes the session's *sender* (warm-standby
+    /// failover lives in `adamant-transport`, not in this loop).
+    pub fn run(&self, initial: TransportConfig, mut plan: FaultPlan) -> HealingOutcome {
+        let cfg = self.config;
+        let qos = QosProfile::time_critical();
+        let mut participant = DomainParticipant::new(0, cfg.env.dds);
+        let topic = participant
+            .create_topic::<[u8; 12]>("adamant/self-healing", qos)
+            .expect("fresh participant has no topics");
+        let host = cfg.env.host_config();
+        participant
+            .create_data_writer(
+                topic,
+                qos,
+                AppSpec::at_rate(cfg.samples, cfg.app.rate_hz as f64, cfg.payload_bytes),
+                host,
+            )
+            .expect("topic has no writer yet");
+        for _ in 0..cfg.app.receivers {
+            participant
+                .create_data_reader(topic, qos, host, cfg.env.drop_probability())
+                .expect("reader creation is infallible here");
+        }
+
+        let mut sim = Simulation::new(cfg.seed).with_network(cfg.env.network_config());
+        let mut handles = participant
+            .install(&mut sim, topic, initial)
+            .expect("initial transport must satisfy time-critical qos");
+
+        let receiver_count = handles.receivers.len() as u64;
+        let mut monitor = QosMonitor::new(cfg.thresholds);
+        let mut backoff = SwitchBackoff::new(cfg.min_dwell, cfg.max_backoff);
+        let mut current = initial.kind;
+        // Reception logs die with their agents on a switch; everything a
+        // dead incarnation delivered is harvested here first, per reader.
+        let mut harvested: Vec<(Vec<Delivery>, u64)> =
+            vec![(Vec::new(), 0); handles.receivers.len()];
+        let mut published_before = 0u64;
+        let mut schedule: Vec<u64> = Vec::new();
+        let mut last_published_total = 0u64;
+        let mut windows: Vec<WindowQos> = Vec::new();
+        let mut switches: Vec<SwitchRecord> = Vec::new();
+        let mut suppressed_switches = 0u64;
+
+        let per_window = (cfg.app.rate_hz as f64 * cfg.window.as_secs_f64()).max(1.0);
+        let publish_windows = (cfg.samples as f64 / per_window).ceil() as usize + 1;
+        let grace_windows = cfg.grace.as_nanos().div_ceil(cfg.window.as_nanos()) as usize;
+        // Switches stretch the stream, but never unboundedly: cap the loop
+        // well past any legitimate completion.
+        let max_windows = 4 * (publish_windows + grace_windows) + 8;
+        let mut publish_done_at: Option<usize> = None;
+
+        for i in 0..max_windows {
+            // Windows are [start, end): measure just shy of the boundary
+            // so an event landing exactly on it is accounted — by both the
+            // publication schedule and the delivery fold — to the next
+            // window, matching `windowed_qos`'s assignment.
+            let window_end = SimTime::ZERO + cfg.window * (i as u64 + 1);
+            let measure_at = SimTime::from_nanos(window_end.as_nanos() - 1);
+            plan.run_until(&mut sim, measure_at);
+
+            let published_total = published_before + ant::published_count(&sim, &handles);
+            schedule.push((published_total - last_published_total) * receiver_count);
+            last_published_total = published_total;
+
+            let pooled = pooled_deliveries(&sim, &handles, &harvested);
+            let window = windowed_qos(&pooled, &schedule, cfg.window)[i];
+            windows.push(window);
+
+            // Grace windows publish nothing and would read as zero
+            // reliability; only live windows feed the monitor.
+            if window.published > 0 && monitor.observe_window(&window) {
+                let remaining = cfg.samples.saturating_sub(published_total);
+                let probed = self.probe(&sim, &handles, &pooled, &window);
+                let choice = self.selector.select(&probed, &cfg.app);
+                if choice.protocol != current && remaining > 0 {
+                    if backoff.may_switch(sim.now()) {
+                        for (slot, &node) in harvested.iter_mut().zip(&handles.receivers) {
+                            if !sim.is_crashed(node) {
+                                let r = ant::reader(&sim, &handles, node);
+                                slot.0.extend_from_slice(r.log().deliveries());
+                                slot.1 += r.duplicates();
+                            }
+                        }
+                        published_before = published_total;
+                        let from = current;
+                        handles = participant
+                            .reinstall(
+                                &mut sim,
+                                topic,
+                                &handles,
+                                TransportConfig::new(choice.protocol),
+                                remaining,
+                            )
+                            .expect("candidate protocols satisfy time-critical qos");
+                        current = choice.protocol;
+                        backoff.record_switch(sim.now());
+                        switches.push(SwitchRecord {
+                            at: sim.now(),
+                            from,
+                            to: current,
+                            source: choice.source,
+                            probed,
+                        });
+                    } else {
+                        suppressed_switches += 1;
+                    }
+                }
+            }
+
+            if publish_done_at.is_none() && published_total >= cfg.samples {
+                publish_done_at = Some(i);
+            }
+            if let Some(done) = publish_done_at {
+                if i - done >= grace_windows {
+                    break;
+                }
+            }
+        }
+
+        for (slot, &node) in harvested.iter_mut().zip(&handles.receivers) {
+            if !sim.is_crashed(node) {
+                let r = ant::reader(&sim, &handles, node);
+                slot.0.extend_from_slice(r.log().deliveries());
+                slot.1 += r.duplicates();
+            }
+        }
+        let mut builder = QosReport::builder(cfg.samples, handles.receivers.len() as u32);
+        for (deliveries, duplicates) in &harvested {
+            builder.add_receiver(deliveries, *duplicates);
+        }
+        builder
+            .wire(
+                sim.stats().bytes_per_second(),
+                sim.stats().total_bytes_delivered(),
+            )
+            .duration_secs(sim.now().as_secs_f64());
+
+        HealingOutcome {
+            windows,
+            alarms: monitor.alarms(),
+            switches,
+            suppressed_switches,
+            initial_protocol: initial.kind,
+            final_protocol: current,
+            report: builder.finish(),
+        }
+    }
+
+    /// Re-probes the environment after an alarm: machine and bandwidth
+    /// from the (possibly fault-mutated) host the writer runs on, loss
+    /// from the alarming window's own wire evidence — samples that needed
+    /// recovery or are still missing — floored at the provisioned rate.
+    fn probe(
+        &self,
+        sim: &Simulation,
+        handles: &SessionHandles,
+        pooled: &[Delivery],
+        window: &WindowQos,
+    ) -> Environment {
+        let host = sim.host_config(handles.sender);
+        let start = window.start;
+        let end = window.start + window.length;
+        let recovered = pooled
+            .iter()
+            .filter(|d| d.published_at >= start && d.published_at < end && d.recovered)
+            .count() as u64;
+        let expected = window.published;
+        let missing = expected.saturating_sub(window.delivered);
+        let fraction = if expected == 0 {
+            0.0
+        } else {
+            (recovered + missing) as f64 / expected as f64
+        };
+        let observed = (fraction * 100.0).round().clamp(0.0, 100.0) as u8;
+        Environment::new(
+            host.machine,
+            nearest_bandwidth_class(host.bandwidth),
+            self.config.env.dds,
+            observed.max(self.config.env.loss_percent),
+        )
+    }
+}
+
+/// Everything every reader has delivered so far: harvested logs of dead
+/// incarnations plus the live agents' logs, in stable receiver order.
+fn pooled_deliveries(
+    sim: &Simulation,
+    handles: &SessionHandles,
+    harvested: &[(Vec<Delivery>, u64)],
+) -> Vec<Delivery> {
+    let mut pooled: Vec<Delivery> = Vec::new();
+    for (past, _) in harvested {
+        pooled.extend_from_slice(past);
+    }
+    for &node in &handles.receivers {
+        if !sim.is_crashed(node) {
+            pooled.extend_from_slice(ant::reader(sim, handles, node).log().deliveries());
+        }
+    }
+    pooled
+}
+
+/// The Table 1 bandwidth class nearest (in log space) to a raw link
+/// bandwidth — the probe's quantisation step.
+fn nearest_bandwidth_class(bandwidth: Bandwidth) -> BandwidthClass {
+    let mbps = bandwidth.mbps();
+    if mbps <= 0.0 {
+        return BandwidthClass::Mbps10;
+    }
+    let mut best = BandwidthClass::Gbps1;
+    let mut best_err = f64::INFINITY;
+    for class in BandwidthClass::all() {
+        let err = (class.mbps().ln() - mbps.ln()).abs();
+        if err < best_err {
+            best = class;
+            best_err = err;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetRow, LabeledDataset};
+    use crate::selector::SelectorConfig;
+    use adamant_dds::DdsImplementation;
+    use adamant_netsim::MachineClass;
+
+    /// Loss ≤ 3 % → NAKcast 50 ms (class 0); above → NAKcast 1 ms
+    /// (class 3). The timeout trade-off the healing loop exploits.
+    fn loss_dataset() -> LabeledDataset {
+        let mut rows = Vec::new();
+        for bandwidth in BandwidthClass::all() {
+            for loss in 1..=10u8 {
+                rows.push(DatasetRow {
+                    env: Environment::new(
+                        MachineClass::Pc3000,
+                        bandwidth,
+                        DdsImplementation::OpenSplice,
+                        loss,
+                    ),
+                    app: AppParams::new(2, 100),
+                    metric: MetricKind::ReLate2,
+                    best_class: if loss <= 3 { 0 } else { 3 },
+                    scores: vec![0.0; 6],
+                });
+            }
+        }
+        LabeledDataset { rows }
+    }
+
+    fn lossy_env(loss: u8) -> Environment {
+        Environment::new(
+            MachineClass::Pc3000,
+            BandwidthClass::Gbps1,
+            DdsImplementation::OpenSplice,
+            loss,
+        )
+    }
+
+    #[test]
+    fn confident_ann_answers_first() {
+        let ds = loss_dataset();
+        let (ann, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
+        let tree = TreeSelector::from_dataset(&ds, adamant_ann::DecisionTreeParams::default());
+        let chain = ResilientSelector::new(MetricKind::ReLate2)
+            .with_ann(ann, 0.1)
+            .with_tree(tree);
+        let choice = chain.select(&lossy_env(8), &AppParams::new(2, 100));
+        assert_eq!(choice.source, SelectorSource::Ann);
+        assert_eq!(choice.protocol, ResilientSelector::fallback_protocol());
+        assert!(choice.confidence >= 0.1);
+        let calm = chain.select(&lossy_env(1), &AppParams::new(2, 100));
+        assert_eq!(
+            calm.protocol,
+            ProtocolKind::Nakcast {
+                timeout: SimDuration::from_millis(50)
+            }
+        );
+    }
+
+    #[test]
+    fn unsure_ann_falls_back_to_tree() {
+        let ds = loss_dataset();
+        let (ann, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
+        let tree = TreeSelector::from_dataset(&ds, adamant_ann::DecisionTreeParams::default());
+        // An unreachable floor: no ANN margin can hit 1000.
+        let chain = ResilientSelector::new(MetricKind::ReLate2)
+            .with_ann(ann, 1_000.0)
+            .with_tree(tree);
+        let choice = chain.select(&lossy_env(8), &AppParams::new(2, 100));
+        assert_eq!(choice.source, SelectorSource::Tree);
+        assert_eq!(choice.protocol, ResilientSelector::fallback_protocol());
+        assert_eq!(choice.confidence, 1.0);
+    }
+
+    #[test]
+    fn empty_chain_answers_the_safe_default() {
+        let chain = ResilientSelector::new(MetricKind::ReLate2);
+        let choice = chain.select(&lossy_env(5), &AppParams::new(2, 100));
+        assert_eq!(choice.source, SelectorSource::Default);
+        assert_eq!(choice.protocol, ResilientSelector::fallback_protocol());
+        assert_eq!(choice.confidence, 0.0);
+        assert_eq!(chain.metric(), MetricKind::ReLate2);
+    }
+
+    #[test]
+    fn margin_of_scores() {
+        assert_eq!(top_two_margin(&[0.9, 0.1, 0.05]), 0.8);
+        assert_eq!(top_two_margin(&[0.5]), 0.5);
+        assert_eq!(top_two_margin(&[0.4, 0.4]), 0.0);
+    }
+
+    #[test]
+    fn backoff_enforces_dwell_and_doubles() {
+        let mut b = SwitchBackoff::new(SimDuration::from_secs(2), SimDuration::from_secs(8));
+        assert!(b.may_switch(SimTime::ZERO));
+        b.record_switch(SimTime::from_secs(1));
+        assert!(!b.may_switch(SimTime::from_millis(2_999)));
+        assert!(b.may_switch(SimTime::from_secs(3)));
+        assert_eq!(b.current_dwell(), SimDuration::from_secs(4));
+        b.record_switch(SimTime::from_secs(3));
+        assert!(!b.may_switch(SimTime::from_millis(6_999)));
+        assert_eq!(b.current_dwell(), SimDuration::from_secs(8));
+        b.record_switch(SimTime::from_secs(10));
+        // Capped: never exceeds the maximum.
+        assert_eq!(b.current_dwell(), SimDuration::from_secs(8));
+        b.reset();
+        assert_eq!(b.current_dwell(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "dwell time")]
+    fn zero_dwell_rejected() {
+        SwitchBackoff::new(SimDuration::ZERO, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn bandwidth_probe_quantises_to_nearest_class() {
+        assert_eq!(
+            nearest_bandwidth_class(Bandwidth::GBPS_1),
+            BandwidthClass::Gbps1
+        );
+        assert_eq!(
+            nearest_bandwidth_class(Bandwidth::MBPS_100),
+            BandwidthClass::Mbps100
+        );
+        assert_eq!(
+            nearest_bandwidth_class(Bandwidth::MBPS_10),
+            BandwidthClass::Mbps10
+        );
+        assert_eq!(
+            nearest_bandwidth_class(Bandwidth::from_bps(250_000_000)),
+            BandwidthClass::Mbps100
+        );
+    }
+
+    #[test]
+    fn time_to_recover_reads_the_window_sequence() {
+        let window = |start_s: u64, published: u64, lat: f64| WindowQos {
+            start: SimTime::from_secs(start_s),
+            length: SimDuration::from_secs(1),
+            published,
+            delivered: published,
+            avg_latency_us: lat,
+            jitter_us: 0.0,
+        };
+        let outcome = HealingOutcome {
+            windows: vec![
+                window(0, 100, 1_000.0),
+                window(1, 100, 1_000.0),
+                window(2, 100, 9_000.0), // fault lands here
+                window(3, 100, 9_000.0),
+                window(4, 100, 1_050.0), // healed
+                window(5, 100, 1_050.0),
+                window(6, 0, 0.0), // grace
+            ],
+            alarms: 1,
+            switches: Vec::new(),
+            suppressed_switches: 0,
+            initial_protocol: ResilientSelector::fallback_protocol(),
+            final_protocol: ResilientSelector::fallback_protocol(),
+            report: QosReport::builder(600, 1).finish(),
+        };
+        let baseline = outcome.mean_relate2(0..2);
+        assert!((baseline - 1_000.0).abs() < 1e-9);
+        let ttr = outcome
+            .time_to_recover(SimTime::from_secs(2), baseline, 1.2)
+            .unwrap();
+        assert_eq!(ttr, SimDuration::from_secs(2));
+        // Never-degraded stream recovers instantly.
+        assert_eq!(
+            outcome.time_to_recover(SimTime::from_secs(4), baseline, 1.2),
+            Some(SimDuration::ZERO)
+        );
+    }
+}

@@ -79,6 +79,7 @@ pub mod adaptive;
 pub mod dataset;
 mod env;
 pub mod features;
+mod healing;
 pub mod probe;
 mod runner;
 mod selector;
@@ -91,6 +92,10 @@ pub use adaptive::{
 };
 pub use dataset::{best_class_with_margin, DatasetRow, LabeledDataset, LABEL_MARGIN};
 pub use env::{AppParams, BandwidthClass, Environment};
+pub use healing::{
+    HealingConfig, HealingOutcome, ResilientChoice, ResilientSelector, SelectorSource,
+    SelfHealingSession, SwitchBackoff, SwitchRecord,
+};
 pub use probe::{LinuxProcProbe, ProbedResources, ResourceProbe, SimulatedCloud};
 pub use runner::Scenario;
 pub use selector::{ProtocolSelector, Selection, SelectorConfig, TableSelector, TreeSelector};

@@ -7,12 +7,11 @@
 //! plays the role of the cloud's provisioning answer.
 
 use adamant_netsim::MachineClass;
-use serde::{Deserialize, Serialize};
 
 use crate::env::{BandwidthClass, Environment};
 
 /// What a probe learned about the platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProbedResources {
     /// CPU clock in MHz.
     pub cpu_mhz: f64,
@@ -83,14 +82,12 @@ impl LinuxProcProbe {
             let value = value.trim();
             match key {
                 "processor" => cpus += 1,
-                "cpu MHz"
-                    if cpu_mhz.is_none() => {
-                        cpu_mhz = value.parse::<f64>().ok();
-                    }
-                "model name"
-                    if model.is_none() => {
-                        model = Some(value.to_owned());
-                    }
+                "cpu MHz" if cpu_mhz.is_none() => {
+                    cpu_mhz = value.parse::<f64>().ok();
+                }
+                "model name" if model.is_none() => {
+                    model = Some(value.to_owned());
+                }
                 _ => {}
             }
         }

@@ -6,13 +6,12 @@ use adamant_dds::{DomainParticipant, QosProfile};
 use adamant_metrics::QosReport;
 use adamant_netsim::{SimDuration, Simulation};
 use adamant_transport::{ant, AppSpec, ProtocolKind, TransportConfig};
-use serde::{Deserialize, Serialize};
 
 use crate::env::{AppParams, Environment};
 
 /// One experiment configuration: environment, application parameters, and
 /// workload scale.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario {
     /// The cloud environment (Table 1 row).
     pub env: Environment,
@@ -121,10 +120,10 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::env::BandwidthClass;
     use adamant_dds::DdsImplementation;
     use adamant_metrics::MetricKind;
     use adamant_netsim::MachineClass;
-    use crate::env::BandwidthClass;
 
     fn fast_env() -> Environment {
         Environment::new(

@@ -9,14 +9,13 @@ use adamant_ann::{
 };
 use adamant_metrics::MetricKind;
 use adamant_transport::ProtocolKind;
-use serde::{Deserialize, Serialize};
 
 use crate::dataset::LabeledDataset;
 use crate::env::{AppParams, Environment};
 use crate::features::{candidate_protocols, raw_features, FEATURE_DIM};
 
 /// Architecture and training configuration for the selector's ANN.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SelectorConfig {
     /// Hidden-node count (the paper's best network uses 24).
     pub hidden_nodes: usize,
@@ -49,7 +48,7 @@ pub struct Selection {
 
 /// ADAMANT's trained knowledge base: encodes a configuration, runs the
 /// ANN, and returns the winning transport protocol.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolSelector {
     network: NeuralNetwork,
     scaler: MinMaxScaler,
@@ -64,7 +63,11 @@ impl ProtocolSelector {
     pub fn train_from(dataset: &LabeledDataset, config: &SelectorConfig) -> (Self, TrainOutcome) {
         let (data, scaler) = dataset.to_training_data();
         let mut network = NeuralNetwork::new(
-            &[FEATURE_DIM, config.hidden_nodes, candidate_protocols().len()],
+            &[
+                FEATURE_DIM,
+                config.hidden_nodes,
+                candidate_protocols().len(),
+            ],
             Activation::fann_default(),
             config.seed,
         );
@@ -125,13 +128,15 @@ impl ProtocolSelector {
     }
 }
 
+adamant_json::impl_json_struct!(ProtocolSelector { network, scaler });
+
 /// The manual alternative to the ANN: a lookup table of every measured
 /// configuration, answered by nearest neighbour in scaled feature space.
 ///
 /// Exact for environments known *a priori*, but its query time grows with
 /// the table (versus the ANN's constant-time pass), and its handling of
 /// unseen environments has no notion of generalisation beyond distance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableSelector {
     scaler: MinMaxScaler,
     entries: Vec<(Vec<f64>, usize)>,
@@ -195,7 +200,7 @@ impl TableSelector {
 /// A decision-tree alternative to the ANN (the paper's "other machine
 /// learning techniques" future-work comparator). Training is deterministic
 /// and querying is a bounded chain of comparisons.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeSelector {
     scaler: MinMaxScaler,
     tree: DecisionTree,
@@ -351,7 +356,11 @@ mod tests {
     fn tree_selector_recalls_and_generalises_the_pattern() {
         let ds = synthetic_dataset();
         let tree = TreeSelector::from_dataset(&ds, adamant_ann::DecisionTreeParams::default());
-        assert!(tree.evaluate_on(&ds) > 0.99, "recall {}", tree.evaluate_on(&ds));
+        assert!(
+            tree.evaluate_on(&ds) > 0.99,
+            "recall {}",
+            tree.evaluate_on(&ds)
+        );
         let fast = Environment::new(
             MachineClass::Pc3000,
             BandwidthClass::Gbps1,

@@ -11,10 +11,9 @@
 
 use adamant_ann::NeuralNetwork;
 use adamant_netsim::MachineClass;
-use serde::{Deserialize, Serialize};
 
 /// Cycle-count model for one ANN query.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryCostModel {
     /// Fixed per-call overhead in cycles (call, marshalling, cache warmup).
     pub fixed_cycles: f64,

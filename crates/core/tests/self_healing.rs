@@ -1,0 +1,229 @@
+//! Acceptance test for the self-healing loop: a scripted chaos scenario —
+//! a link-loss spike plus a bandwidth downgrade landing mid-stream — must
+//! trip the QoS alarm, cause exactly one backoff-bounded protocol switch,
+//! and settle windowed ReLate2 back within 20 % of the pre-fault baseline.
+//! The whole trajectory is bit-for-bit deterministic under a fixed seed.
+
+use adamant::dataset::{DatasetRow, LabeledDataset};
+use adamant::{
+    AppParams, BandwidthClass, Environment, HealingConfig, HealingOutcome, MonitorThresholds,
+    ProtocolSelector, ResilientSelector, SelectorConfig, SelectorSource, SelfHealingSession,
+    TreeSelector,
+};
+use adamant_dds::DdsImplementation;
+use adamant_metrics::MetricKind;
+use adamant_netsim::{
+    Bandwidth, FaultPlan, LossModel, MachineClass, NetworkConfig, NodeId, SimDuration, SimTime,
+};
+use adamant_transport::{ProtocolKind, TransportConfig};
+
+/// The NAK-timeout trade-off as training data: calm links (loss ≤ 3 %)
+/// prefer the lazy 50 ms timeout (class 0), lossy links the aggressive
+/// 1 ms timeout (class 3).
+fn loss_dataset() -> LabeledDataset {
+    let mut rows = Vec::new();
+    for bandwidth in BandwidthClass::all() {
+        for loss in 1..=10u8 {
+            rows.push(DatasetRow {
+                env: Environment::new(
+                    MachineClass::Pc3000,
+                    bandwidth,
+                    DdsImplementation::OpenSplice,
+                    loss,
+                ),
+                app: AppParams::new(2, 100),
+                metric: MetricKind::ReLate2,
+                best_class: if loss <= 3 { 0 } else { 3 },
+                scores: vec![0.0; 6],
+            });
+        }
+    }
+    LabeledDataset { rows }
+}
+
+fn selector_chain() -> ResilientSelector {
+    let ds = loss_dataset();
+    let (ann, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
+    let tree = TreeSelector::from_dataset(&ds, adamant_ann::DecisionTreeParams::default());
+    ResilientSelector::new(MetricKind::ReLate2)
+        .with_ann(ann, 0.1)
+        .with_tree(tree)
+}
+
+const FAULT_AT: SimTime = SimTime::from_secs(3);
+
+/// Loss spike (8 % Bernoulli on every link, so repair traffic suffers
+/// too) plus a 1 Gb → 100 Mb downgrade of every host's NIC.
+fn chaos_plan() -> FaultPlan {
+    let mut plan = FaultPlan::new().set_network_at(
+        FAULT_AT,
+        NetworkConfig {
+            propagation: BandwidthClass::Mbps100.propagation(),
+            loss: LossModel::Bernoulli(0.08),
+        },
+    );
+    for node in 0..3 {
+        plan = plan.set_bandwidth_at(FAULT_AT, NodeId::from_index(node), Bandwidth::MBPS_100);
+    }
+    plan
+}
+
+fn run_chaos(selector: &ResilientSelector) -> HealingOutcome {
+    let env = Environment::new(
+        MachineClass::Pc3000,
+        BandwidthClass::Gbps1,
+        DdsImplementation::OpenSplice,
+        2,
+    );
+    let config = HealingConfig::new(env, AppParams::new(2, 100), 1_200, 77)
+        .with_thresholds(MonitorThresholds {
+            min_reliability: 0.90,
+            max_avg_latency_us: 8_000.0,
+            consecutive_windows: 2,
+        })
+        .with_dwell(SimDuration::from_secs(2), SimDuration::from_secs(16));
+    let session = SelfHealingSession::new(config, selector.clone());
+    session.run(
+        TransportConfig::new(ProtocolKind::Nakcast {
+            timeout: SimDuration::from_millis(50),
+        }),
+        chaos_plan(),
+    )
+}
+
+#[test]
+fn chaos_scenario_self_heals_with_one_switch() {
+    let selector = selector_chain();
+    let outcome = run_chaos(&selector);
+
+    let relate2 = outcome.window_relate2();
+    for (i, w) in outcome.windows.iter().enumerate() {
+        eprintln!(
+            "window {i}: published={} delivered={} rel={:.4} lat={:.0}us relate2={:.0}",
+            w.published,
+            w.delivered,
+            w.reliability(),
+            w.avg_latency_us,
+            relate2[i]
+        );
+    }
+    eprintln!(
+        "alarms={} switches={:?} suppressed={} final={}",
+        outcome.alarms, outcome.switches, outcome.suppressed_switches, outcome.final_protocol
+    );
+
+    // The degradation tripped the monitor.
+    assert!(outcome.alarms >= 1, "no QoS alarm fired");
+
+    // Exactly one switch, bounded by the backoff policy.
+    assert_eq!(outcome.switches.len(), 1, "{:?}", outcome.switches);
+    let switch = outcome.switches[0];
+    assert_eq!(
+        switch.from,
+        ProtocolKind::Nakcast {
+            timeout: SimDuration::from_millis(50)
+        }
+    );
+    assert_eq!(
+        switch.to,
+        ProtocolKind::Nakcast {
+            timeout: SimDuration::from_millis(1)
+        }
+    );
+    assert_eq!(switch.source, SelectorSource::Ann);
+    assert!(
+        switch.at > FAULT_AT && switch.at < SimTime::from_secs(8),
+        "switch at {:?}",
+        switch.at
+    );
+    assert_eq!(outcome.final_protocol, switch.to);
+    // The re-probe saw the degraded wire, not the provisioned spec.
+    assert!(switch.probed.loss_percent >= 4, "{:?}", switch.probed);
+    assert_eq!(switch.probed.bandwidth, BandwidthClass::Mbps100);
+
+    // Post-recovery windowed ReLate2 settles within 20 % of the pre-fault
+    // baseline (windows 1–2; window 0 carries session warm-up).
+    let baseline = outcome.mean_relate2(1..3);
+    assert!(baseline > 0.0);
+    let switch_window = (switch.at.as_nanos() / SimDuration::from_secs(1).as_nanos()) as usize;
+    let last_publishing = outcome
+        .windows
+        .iter()
+        .rposition(|w| w.published > 0)
+        .unwrap();
+    let recovered = outcome.mean_relate2(switch_window + 1..last_publishing + 1);
+    assert!(
+        recovered <= 1.2 * baseline,
+        "post-recovery ReLate2 {recovered:.0} vs baseline {baseline:.0}"
+    );
+    let ttr = outcome
+        .time_to_recover(FAULT_AT, baseline, 1.2)
+        .expect("qos must settle before the stream ends");
+    assert!(
+        !ttr.is_zero() && ttr <= SimDuration::from_secs(5),
+        "time to recover {ttr:?}"
+    );
+
+    // Nearly every sample reached every reader: the only permissible gap
+    // is the handful of recoveries in flight when the swap tore down the
+    // old incarnation.
+    assert_eq!(outcome.report.samples_sent, 1_200);
+    assert!(
+        outcome.report.reliability() > 0.99,
+        "end-to-end reliability {}",
+        outcome.report.reliability()
+    );
+}
+
+#[test]
+fn chaos_scenario_is_bit_for_bit_deterministic() {
+    let selector = selector_chain();
+    let first = run_chaos(&selector);
+    let second = run_chaos(&selector);
+    assert_eq!(first, second);
+}
+
+#[test]
+fn empty_selector_heals_with_the_safe_default() {
+    // Graceful degradation: with no trained models at all, the loop still
+    // reacts to the alarm — switching to the safe default protocol.
+    let selector = ResilientSelector::new(MetricKind::ReLate2);
+    let outcome = run_chaos(&selector);
+    assert_eq!(outcome.switches.len(), 1, "{:?}", outcome.switches);
+    assert_eq!(outcome.switches[0].source, SelectorSource::Default);
+    assert_eq!(
+        outcome.final_protocol,
+        ResilientSelector::fallback_protocol()
+    );
+    assert!(outcome.report.reliability() > 0.99);
+}
+
+#[test]
+fn healthy_run_never_switches() {
+    // No faults: the monitor stays quiet and the initial protocol serves
+    // the whole stream.
+    let selector = selector_chain();
+    let env = Environment::new(
+        MachineClass::Pc3000,
+        BandwidthClass::Gbps1,
+        DdsImplementation::OpenSplice,
+        2,
+    );
+    let config = HealingConfig::new(env, AppParams::new(2, 100), 600, 5).with_thresholds(
+        MonitorThresholds {
+            min_reliability: 0.90,
+            max_avg_latency_us: 8_000.0,
+            consecutive_windows: 2,
+        },
+    );
+    let outcome = SelfHealingSession::new(config, selector).run(
+        TransportConfig::new(ProtocolKind::Nakcast {
+            timeout: SimDuration::from_millis(50),
+        }),
+        FaultPlan::new(),
+    );
+    assert_eq!(outcome.alarms, 0);
+    assert!(outcome.switches.is_empty());
+    assert_eq!(outcome.initial_protocol, outcome.final_protocol);
+    assert!(outcome.report.reliability() > 0.999);
+}

@@ -14,7 +14,6 @@ use std::collections::BTreeMap;
 use adamant_netsim::{
     Agent, Ctx, GroupId, OutPacket, Packet, ProcessingCost, SimDuration, SimTime, TimerId,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::qos::QosProfile;
 
@@ -22,7 +21,7 @@ use crate::qos::QosProfile;
 pub const TAG_DISCOVERY: u16 = 16;
 
 /// One endpoint advertised by a participant.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EndpointInfo {
     /// Topic name.
     pub topic: String,
@@ -293,17 +292,17 @@ mod tests {
             vec![endpoint("b", false, QosProfile::best_effort())],
         ]);
         for &node in &nodes {
-            assert!(sim.agent::<DiscoveryAgent>(node).unwrap().matches().is_empty());
+            assert!(sim
+                .agent::<DiscoveryAgent>(node)
+                .unwrap()
+                .matches()
+                .is_empty());
         }
     }
 
     #[test]
     fn announcements_stop_after_window() {
-        let (sim, nodes) = run_discovery(vec![vec![endpoint(
-            "t",
-            true,
-            QosProfile::reliable(),
-        )]]);
+        let (sim, nodes) = run_discovery(vec![vec![endpoint("t", true, QosProfile::reliable())]]);
         let agent = sim.agent::<DiscoveryAgent>(nodes[0]).unwrap();
         // ~5 s window at 100 ms intervals → ~50 announcements, then quiet.
         assert!(

@@ -247,7 +247,10 @@ impl DomainParticipant {
 
     /// Number of readers currently attached to `topic`.
     pub fn reader_count(&self, topic: Topic) -> usize {
-        self.readers.iter().filter(|r| r.topic == topic.index).count()
+        self.readers
+            .iter()
+            .filter(|r| r.topic == topic.index)
+            .count()
     }
 
     /// The manual QoS→transport mapping a developer would hand-code (the
@@ -260,9 +263,7 @@ impl DomainParticipant {
             (Reliability::Reliable, Ordering::SourceOrdered) => ProtocolKind::Nakcast {
                 timeout: adamant_netsim::SimDuration::from_millis(10),
             },
-            (Reliability::Reliable, Ordering::Unordered) => {
-                ProtocolKind::Ricochet { r: 4, c: 3 }
-            }
+            (Reliability::Reliable, Ordering::Unordered) => ProtocolKind::Ricochet { r: 4, c: 3 },
         }
     }
 
@@ -284,10 +285,48 @@ impl DomainParticipant {
         topic: Topic,
         transport: TransportConfig,
     ) -> Result<SessionHandles, DdsError> {
+        let spec = self.validated_spec(topic, transport)?;
+        Ok(ant::install(sim, &spec))
+    }
+
+    /// Re-validates QoS against `transport` and swaps a live session over
+    /// to it mid-stream — the self-healing protocol switch. The session
+    /// keeps its nodes, hosts, and multicast group; the new sender
+    /// publishes `remaining_samples` fresh samples (numbered from zero).
+    ///
+    /// Reception logs of the old protocol's agents are destroyed by the
+    /// swap: callers must harvest deliveries *before* switching.
+    ///
+    /// # Errors
+    ///
+    /// The same validation as [`install`](Self::install); in particular a
+    /// transport that cannot honour the topic's QoS is refused, so a
+    /// mis-trained selector cannot downgrade a reliable session to UDP.
+    pub fn reinstall(
+        &self,
+        sim: &mut Simulation,
+        topic: Topic,
+        handles: &SessionHandles,
+        transport: TransportConfig,
+        remaining_samples: u64,
+    ) -> Result<SessionHandles, DdsError> {
+        let mut spec = self.validated_spec(topic, transport)?;
+        spec.app.total_samples = remaining_samples;
+        Ok(ant::reinstall(sim, &spec, handles))
+    }
+
+    /// Runs the full install-time validation and builds the session spec.
+    fn validated_spec(
+        &self,
+        topic: Topic,
+        transport: TransportConfig,
+    ) -> Result<SessionSpec, DdsError> {
         let name = self.topic_name(topic).to_owned();
         let writer = {
             let mut writers = self.writers.iter().filter(|w| w.topic == topic.index);
-            let first = writers.next().ok_or_else(|| DdsError::NoWriter(name.clone()))?;
+            let first = writers
+                .next()
+                .ok_or_else(|| DdsError::NoWriter(name.clone()))?;
             if writers.next().is_some() {
                 return Err(DdsError::MultipleWriters(name.clone()));
             }
@@ -318,15 +357,14 @@ impl DomainParticipant {
             return Err(DdsError::HeterogeneousLoss(name.clone()));
         }
         self.check_transport(&name, writer.qos, &readers, transport.kind)?;
-        let spec = SessionSpec {
+        Ok(SessionSpec {
             transport,
             app: writer.app,
             stack: self.implementation.stack_profile(),
             sender_host: writer.host,
             receiver_hosts: readers.iter().map(|r| r.host).collect(),
             drop_probability,
-        };
-        Ok(ant::install(sim, &spec))
+        })
     }
 
     fn check_transport(
@@ -401,7 +439,9 @@ mod tests {
     #[test]
     fn topic_metadata_accessible() {
         let mut p = DomainParticipant::new(7, DdsImplementation::OpenDds);
-        let t = p.create_topic::<u64>("b", QosProfile::best_effort()).unwrap();
+        let t = p
+            .create_topic::<u64>("b", QosProfile::best_effort())
+            .unwrap();
         assert_eq!(p.domain_id(), 7);
         assert_eq!(p.topic_name(t), "b");
         assert_eq!(p.topic_type(t), "u64");
@@ -438,6 +478,75 @@ mod tests {
         let report = ant::collect_report(&sim, &handles);
         assert_eq!(report.receivers, 2);
         assert!(report.reliability() > 0.99);
+    }
+
+    #[test]
+    fn reinstall_switches_protocol_mid_stream() {
+        // Start 400 samples over Ricochet on a time-critical topic, switch
+        // to NAKcast for the remainder at t=2s, and require the second leg
+        // to finish the stream on the same nodes and group.
+        let mut p = DomainParticipant::new(0, DdsImplementation::OpenSplice);
+        let t = p
+            .create_topic::<[u8; 12]>("sar/video", QosProfile::time_critical())
+            .unwrap();
+        p.create_data_writer(
+            t,
+            QosProfile::time_critical(),
+            AppSpec::at_rate(400, 100.0, 12),
+            host(),
+        )
+        .unwrap();
+        p.create_data_reader(t, QosProfile::time_critical(), host(), 0.02)
+            .unwrap();
+        p.create_data_reader(t, QosProfile::time_critical(), host(), 0.02)
+            .unwrap();
+        let mut sim = Simulation::new(9);
+        let first = p
+            .install(
+                &mut sim,
+                t,
+                TransportConfig::new(ProtocolKind::Ricochet { r: 4, c: 3 }),
+            )
+            .unwrap();
+        sim.run_until(SimTime::from_secs(2));
+        let published = ant::published_count(&sim, &first);
+        assert!((150..=210).contains(&published), "published {published}");
+        let first_leg = ant::collect_report(&sim, &first);
+
+        let remaining = 400 - published;
+        let second = p
+            .reinstall(
+                &mut sim,
+                t,
+                &first,
+                TransportConfig::new(ProtocolKind::Nakcast {
+                    timeout: SimDuration::from_millis(1),
+                }),
+                remaining,
+            )
+            .unwrap();
+        assert_eq!(second.sender, first.sender);
+        assert_eq!(second.receivers, first.receivers);
+        assert_eq!(second.group, first.group);
+        sim.run_until(SimTime::from_secs(8));
+        let second_leg = ant::collect_report(&sim, &second);
+        assert_eq!(second_leg.samples_sent, remaining);
+        assert!(second_leg.reliability() > 0.999);
+        // The first leg delivered (nearly) everything published before the
+        // switch, across both receivers.
+        assert!(first_leg.delivered as f64 > 0.9 * (published * 2) as f64);
+
+        // A switch to an unsuitable transport is still refused.
+        let err = p
+            .reinstall(
+                &mut sim,
+                t,
+                &second,
+                TransportConfig::new(ProtocolKind::Udp),
+                10,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DdsError::TransportUnsuitable { .. }));
     }
 
     #[test]
@@ -481,7 +590,9 @@ mod tests {
     #[test]
     fn missing_writer_or_readers_reported() {
         let mut p = DomainParticipant::new(0, DdsImplementation::OpenDds);
-        let t = p.create_topic::<u32>("lonely", QosProfile::reliable()).unwrap();
+        let t = p
+            .create_topic::<u32>("lonely", QosProfile::reliable())
+            .unwrap();
         let mut sim = Simulation::new(1);
         assert_eq!(
             p.install(&mut sim, t, TransportConfig::new(ProtocolKind::Udp))
@@ -505,7 +616,9 @@ mod tests {
     #[test]
     fn heterogeneous_loss_rejected() {
         let mut p = DomainParticipant::new(0, DdsImplementation::OpenDds);
-        let t = p.create_topic::<u32>("t", QosProfile::best_effort()).unwrap();
+        let t = p
+            .create_topic::<u32>("t", QosProfile::best_effort())
+            .unwrap();
         p.create_data_writer(
             t,
             QosProfile::best_effort(),
@@ -532,7 +645,9 @@ mod tests {
         let timely = p
             .create_topic::<u32>("t", QosProfile::time_critical())
             .unwrap();
-        let lossy = p.create_topic::<u32>("l", QosProfile::best_effort()).unwrap();
+        let lossy = p
+            .create_topic::<u32>("l", QosProfile::best_effort())
+            .unwrap();
         assert!(matches!(
             p.manual_transport_for(ordered),
             ProtocolKind::Nakcast { .. }

@@ -4,7 +4,6 @@
 use std::fmt;
 
 use adamant_transport::StackProfile;
-use serde::{Deserialize, Serialize};
 
 /// Which DDS implementation the middleware stack emulates.
 ///
@@ -15,13 +14,18 @@ use serde::{Deserialize, Serialize};
 /// are calibrated relative costs, not vendor benchmarks: OpenSplice's
 /// shared-memory architecture gives it the lighter per-sample path of the
 /// two in the paper's era.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DdsImplementation {
     /// OpenDDS 1.2.1 (OCI): CORBA-heritage, heavier marshalling path.
     OpenDds,
     /// OpenSplice 3.4.2 (PrismTech): shared-memory, lighter per-sample path.
     OpenSplice,
 }
+
+adamant_json::impl_json_unit_enum!(DdsImplementation {
+    OpenDds,
+    OpenSplice
+});
 
 impl DdsImplementation {
     /// Both implementations, in Table 1 order.

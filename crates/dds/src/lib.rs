@@ -60,6 +60,6 @@ pub use domain::{DataReader, DataWriter, DdsError, DomainParticipant, Topic};
 pub use implementation::DdsImplementation;
 pub use qos::{Durability, History, Ordering, QosMismatch, QosProfile, Reliability};
 pub use status::{
-    per_instance_statuses, OrderViolationStatus, ReaderStatuses,
-    RequestedDeadlineMissedStatus, SampleLostStatus, SampleRejectedStatus,
+    per_instance_statuses, OrderViolationStatus, ReaderStatuses, RequestedDeadlineMissedStatus,
+    SampleLostStatus, SampleRejectedStatus,
 };

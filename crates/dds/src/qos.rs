@@ -2,10 +2,9 @@
 //! specification) with requested-vs-offered compatibility checking.
 
 use adamant_netsim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// RELIABILITY QoS policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Reliability {
     /// Samples may be lost; no recovery machinery engaged.
     BestEffort,
@@ -14,7 +13,7 @@ pub enum Reliability {
 }
 
 /// HISTORY QoS policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum History {
     /// Retain only the most recent `depth` samples per instance.
     KeepLast(u32),
@@ -23,7 +22,7 @@ pub enum History {
 }
 
 /// DURABILITY QoS policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Durability {
     /// Samples exist only while in transit.
     Volatile,
@@ -33,7 +32,7 @@ pub enum Durability {
 
 /// Ordering guarantee requested by the application (DESTINATION_ORDER
 /// crossed with presentation, collapsed to what the transports provide).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ordering {
     /// Samples may be delivered in any order.
     Unordered,
@@ -51,7 +50,7 @@ pub enum Ordering {
 /// let qos = QosProfile::reliable();
 /// assert!(qos.compatible_with(&QosProfile::best_effort()).is_ok());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QosProfile {
     /// Delivery guarantee.
     pub reliability: Reliability,
@@ -127,9 +126,7 @@ impl QosProfile {
             return Err(QosMismatch::Ordering);
         }
         match (self.deadline, requested.deadline) {
-            (Some(offered), Some(asked)) if offered > asked => {
-                return Err(QosMismatch::Deadline)
-            }
+            (Some(offered), Some(asked)) if offered > asked => return Err(QosMismatch::Deadline),
             (None, Some(_)) => return Err(QosMismatch::Deadline),
             _ => {}
         }
@@ -180,7 +177,7 @@ impl Default for QosProfile {
 }
 
 /// Why a reader's requested QoS cannot be served by a writer's offered QoS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QosMismatch {
     /// Reader requests Reliable, writer offers BestEffort.
     Reliability,

@@ -9,10 +9,9 @@
 
 use adamant_metrics::DenseReceptionLog;
 use adamant_netsim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// SAMPLE_LOST: samples that never reached this reader.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SampleLostStatus {
     /// Cumulative count of lost samples.
     pub total_count: u64,
@@ -20,14 +19,14 @@ pub struct SampleLostStatus {
 
 /// REQUESTED_DEADLINE_MISSED: gaps between consecutive deliveries that
 /// exceeded the reader's deadline period.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RequestedDeadlineMissedStatus {
     /// Cumulative count of deadline misses.
     pub total_count: u64,
 }
 
 /// SAMPLE_REJECTED stands in here for duplicate copies the reader refused.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SampleRejectedStatus {
     /// Cumulative count of rejected (duplicate) samples.
     pub total_count: u64,
@@ -35,7 +34,7 @@ pub struct SampleRejectedStatus {
 
 /// Out-of-source-order deliveries observed (relevant for transports
 /// without ordered delivery).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OrderViolationStatus {
     /// Cumulative count of deliveries whose sequence number was below an
     /// earlier-delivered one.
@@ -43,7 +42,7 @@ pub struct OrderViolationStatus {
 }
 
 /// The reader-side status set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ReaderStatuses {
     /// SAMPLE_LOST.
     pub sample_lost: SampleLostStatus,
@@ -80,7 +79,8 @@ impl ReaderStatuses {
                 for pair in times.windows(2) {
                     let gap = pair[1].saturating_since(pair[0]);
                     if gap > period {
-                        deadline_missed += gap.as_nanos() / period.as_nanos() - u64::from(gap.as_nanos() % period.as_nanos() == 0);
+                        deadline_missed += gap.as_nanos() / period.as_nanos()
+                            - u64::from(gap.as_nanos() % period.as_nanos() == 0);
                     }
                 }
             }
@@ -147,8 +147,8 @@ pub fn per_instance_statuses(
                     });
                 }
             }
-            let expected = expected_total / instances
-                + u64::from(instance < expected_total % instances);
+            let expected =
+                expected_total / instances + u64::from(instance < expected_total % instances);
             ReaderStatuses::from_log(&sub, expected, 0, deadline)
         })
         .collect()
@@ -229,8 +229,7 @@ mod tests {
             entries.push((i, 10 * i));
         }
         let log = log_from(&entries);
-        let aggregate =
-            ReaderStatuses::from_log(&log, 20, 0, Some(SimDuration::from_millis(25)));
+        let aggregate = ReaderStatuses::from_log(&log, 20, 0, Some(SimDuration::from_millis(25)));
         assert_eq!(aggregate.deadline_missed.total_count, 0);
 
         let per = per_instance_statuses(&log, 20, 2, Some(SimDuration::from_millis(25)));

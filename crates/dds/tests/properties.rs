@@ -1,82 +1,92 @@
-//! Property-based tests of the DDS entity layer: random QoS combinations
-//! and entity topologies must always be validated consistently.
+//! Property-style tests of the DDS entity layer: enumerated QoS
+//! combinations and entity topologies must always be validated
+//! consistently (deterministic sweeps over the QoS lattice).
 
 use adamant_dds::{
     DdsImplementation, DomainParticipant, Durability, History, Ordering, QosProfile, Reliability,
 };
 use adamant_netsim::{Bandwidth, HostConfig, MachineClass, SimDuration, Simulation};
 use adamant_transport::{AppSpec, ProtocolKind, TransportConfig};
-use proptest::prelude::*;
 
-fn arb_qos() -> impl Strategy<Value = QosProfile> {
-    (
-        prop_oneof![Just(Reliability::BestEffort), Just(Reliability::Reliable)],
-        prop_oneof![
-            Just(History::KeepAll),
-            (1u32..64).prop_map(History::KeepLast)
-        ],
-        prop_oneof![Just(Durability::Volatile), Just(Durability::TransientLocal)],
-        prop_oneof![Just(Ordering::Unordered), Just(Ordering::SourceOrdered)],
-        prop_oneof![Just(None), (1u64..1_000).prop_map(|ms| Some(SimDuration::from_millis(ms)))],
-    )
-        .prop_map(|(reliability, history, durability, ordering, deadline)| QosProfile {
-            reliability,
-            history,
-            durability,
-            ordering,
-            deadline,
-            latency_budget: SimDuration::ZERO,
-        })
+/// A representative sweep over the QoS lattice (both poles of every
+/// policy plus a bounded-history / deadline-bearing middle point).
+fn qos_cases() -> Vec<QosProfile> {
+    let mut cases = Vec::new();
+    for reliability in [Reliability::BestEffort, Reliability::Reliable] {
+        for history in [
+            History::KeepAll,
+            History::KeepLast(1),
+            History::KeepLast(32),
+        ] {
+            for durability in [Durability::Volatile, Durability::TransientLocal] {
+                for ordering in [Ordering::Unordered, Ordering::SourceOrdered] {
+                    for deadline in [None, Some(SimDuration::from_millis(5))] {
+                        cases.push(QosProfile {
+                            reliability,
+                            history,
+                            durability,
+                            ordering,
+                            deadline,
+                            latency_budget: SimDuration::ZERO,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    cases
 }
 
-fn arb_protocol() -> impl Strategy<Value = ProtocolKind> {
-    prop_oneof![
-        Just(ProtocolKind::Udp),
-        (1u64..50).prop_map(|ms| ProtocolKind::Nakcast {
-            timeout: SimDuration::from_millis(ms)
-        }),
-        (2u8..8, 1u8..4).prop_map(|(r, c)| ProtocolKind::Ricochet { r, c }),
-        (5u64..50).prop_map(|ms| ProtocolKind::Ackcast {
-            rto: SimDuration::from_millis(ms)
-        }),
+fn protocol_cases() -> Vec<ProtocolKind> {
+    vec![
+        ProtocolKind::Udp,
+        ProtocolKind::Nakcast {
+            timeout: SimDuration::from_millis(5),
+        },
+        ProtocolKind::Ricochet { r: 4, c: 3 },
+        ProtocolKind::Ackcast {
+            rto: SimDuration::from_millis(20),
+        },
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// QoS compatibility is reflexive: any profile can serve itself.
-    #[test]
-    fn compatibility_is_reflexive(qos in arb_qos()) {
-        prop_assert!(qos.compatible_with(&qos).is_ok());
+/// QoS compatibility is reflexive: any profile can serve itself.
+#[test]
+fn compatibility_is_reflexive() {
+    for qos in qos_cases() {
+        assert!(qos.compatible_with(&qos).is_ok(), "{qos:?}");
     }
+}
 
-    /// The strongest offer (reliable, transient-local, ordered, tightest
-    /// deadline) satisfies every request with an equal-or-looser deadline.
-    #[test]
-    fn strongest_offer_satisfies_all(requested in arb_qos()) {
-        let offered = QosProfile {
-            reliability: Reliability::Reliable,
-            history: History::KeepAll,
-            durability: Durability::TransientLocal,
-            ordering: Ordering::SourceOrdered,
-            deadline: Some(SimDuration::from_nanos(1)),
-            latency_budget: SimDuration::ZERO,
-        };
-        prop_assert!(offered.compatible_with(&requested).is_ok());
+/// The strongest offer (reliable, transient-local, ordered, tightest
+/// deadline) satisfies every request with an equal-or-looser deadline.
+#[test]
+fn strongest_offer_satisfies_all() {
+    let offered = QosProfile {
+        reliability: Reliability::Reliable,
+        history: History::KeepAll,
+        durability: Durability::TransientLocal,
+        ordering: Ordering::SourceOrdered,
+        deadline: Some(SimDuration::from_nanos(1)),
+        latency_budget: SimDuration::ZERO,
+    };
+    for requested in qos_cases() {
+        assert!(offered.compatible_with(&requested).is_ok(), "{requested:?}");
     }
+}
 
-    /// `install` never panics for arbitrary QoS/protocol combinations: it
-    /// either installs a coherent session or returns a typed error — and
-    /// when it succeeds, every reader's QoS was compatible and the
-    /// transport satisfies the session's needs.
-    #[test]
-    fn install_is_total_and_sound(
-        writer_qos in arb_qos(),
-        reader_qos in arb_qos(),
-        protocol in arb_protocol(),
-        readers in 1usize..4,
-    ) {
+/// `install` never panics for arbitrary QoS/protocol combinations: it
+/// either installs a coherent session or returns a typed error — and
+/// when it succeeds, every reader's QoS was compatible and the
+/// transport satisfies the session's needs.
+#[test]
+fn install_is_total_and_sound() {
+    let qos = qos_cases();
+    // Pair up distant points of the lattice for writer/reader combinations.
+    for (i, &writer_qos) in qos.iter().enumerate().step_by(7) {
+        let reader_qos = qos[(i * 13 + 5) % qos.len()];
+        let protocol = protocol_cases()[i % 4];
+        let readers = 1 + i % 3;
         let mut participant = DomainParticipant::new(0, DdsImplementation::OpenSplice);
         let topic = participant.create_topic::<u32>("t", writer_qos).unwrap();
         let host = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
@@ -91,25 +101,29 @@ proptest! {
         let mut sim = Simulation::new(1);
         match participant.install(&mut sim, topic, TransportConfig::new(protocol)) {
             Ok(handles) => {
-                prop_assert_eq!(handles.receivers.len(), readers);
-                prop_assert!(writer_qos.compatible_with(&reader_qos).is_ok());
+                assert_eq!(handles.receivers.len(), readers);
+                assert!(writer_qos.compatible_with(&reader_qos).is_ok());
                 // The session actually runs to completion.
                 sim.run_until(adamant_netsim::SimTime::from_secs(3));
                 let report = adamant_transport::ant::collect_report(&sim, &handles);
-                prop_assert!(report.reliability() > 0.5);
+                assert!(report.reliability() > 0.5);
             }
             Err(e) => {
                 // Errors are typed and displayable.
-                prop_assert!(!e.to_string().is_empty());
+                assert!(!e.to_string().is_empty());
             }
         }
     }
+}
 
-    /// Topic names are unique per participant regardless of QoS.
-    #[test]
-    fn duplicate_topics_always_rejected(a in arb_qos(), b in arb_qos()) {
+/// Topic names are unique per participant regardless of QoS.
+#[test]
+fn duplicate_topics_always_rejected() {
+    let qos = qos_cases();
+    for (i, &a) in qos.iter().enumerate().step_by(11) {
+        let b = qos[(i + 17) % qos.len()];
         let mut participant = DomainParticipant::new(0, DdsImplementation::OpenDds);
         participant.create_topic::<u32>("same", a).unwrap();
-        prop_assert!(participant.create_topic::<u64>("same", b).is_err());
+        assert!(participant.create_topic::<u64>("same", b).is_err());
     }
 }

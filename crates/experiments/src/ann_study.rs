@@ -279,7 +279,11 @@ mod tests {
                         ),
                         app: AppParams::new(receivers, 10),
                         metric: MetricKind::ReLate2,
-                        best_class: if machine == MachineClass::Pc3000 { 4 } else { 3 },
+                        best_class: if machine == MachineClass::Pc3000 {
+                            4
+                        } else {
+                            3
+                        },
                         scores: vec![0.0; 6],
                     });
                 }

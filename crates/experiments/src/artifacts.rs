@@ -4,7 +4,7 @@
 
 use std::path::{Path, PathBuf};
 
-use serde::{de::DeserializeOwned, Serialize};
+use adamant_json::{FromJson, ToJson};
 
 /// The artifact directory: `$ADAMANT_ARTIFACTS` or `./artifacts`.
 pub fn artifacts_dir() -> PathBuf {
@@ -19,11 +19,11 @@ pub fn artifacts_dir() -> PathBuf {
 ///
 /// Returns an error message when the directory cannot be created or the
 /// file cannot be written.
-pub fn save<T: Serialize>(name: &str, value: &T) -> Result<PathBuf, String> {
+pub fn save<T: ToJson>(name: &str, value: &T) -> Result<PathBuf, String> {
     let dir = artifacts_dir();
     std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
     let path = dir.join(name);
-    let json = serde_json::to_string_pretty(value).map_err(|e| format!("serialise: {e}"))?;
+    let json = adamant_json::to_string_pretty(value);
     std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
     Ok(path)
 }
@@ -33,7 +33,7 @@ pub fn save<T: Serialize>(name: &str, value: &T) -> Result<PathBuf, String> {
 /// # Errors
 ///
 /// Returns an error message when the file is missing or malformed.
-pub fn load<T: DeserializeOwned>(name: &str) -> Result<T, String> {
+pub fn load<T: FromJson>(name: &str) -> Result<T, String> {
     load_from(&artifacts_dir().join(name))
 }
 
@@ -42,10 +42,10 @@ pub fn load<T: DeserializeOwned>(name: &str) -> Result<T, String> {
 /// # Errors
 ///
 /// Returns an error message when the file is missing or malformed.
-pub fn load_from<T: DeserializeOwned>(path: &Path) -> Result<T, String> {
-    let json = std::fs::read_to_string(path)
-        .map_err(|e| format!("read {}: {e}", path.display()))?;
-    serde_json::from_str(&json).map_err(|e| format!("parse {}: {e}", path.display()))
+pub fn load_from<T: FromJson>(path: &Path) -> Result<T, String> {
+    let json =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    adamant_json::from_str(&json).map_err(|e| format!("parse {}: {}", path.display(), e.0))
 }
 
 #[cfg(test)]

@@ -67,8 +67,7 @@ fn duel(
             .into_iter()
             .map(|r| r.report)
             .collect();
-        scores
-            .push(reports.iter().map(|r| metric.score(r)).sum::<f64>() / reports.len() as f64);
+        scores.push(reports.iter().map(|r| metric.score(r)).sum::<f64>() / reports.len() as f64);
     }
     (scores[0], scores[1])
 }
@@ -114,7 +113,10 @@ fn main() {
     }
 
     println!("\n── ablation 2: heartbeat interval vs the Fig 4 ReLate2 winner ──");
-    println!("{:>10} | {:>12} | {:>12} | winner (paper: Ricochet)", "interval", "NAKcast", "Ricochet");
+    println!(
+        "{:>10} | {:>12} | {:>12} | winner (paper: Ricochet)",
+        "interval", "NAKcast", "Ricochet"
+    );
     for ms in [5u64, 15, 30, 60] {
         let tuning = Tuning {
             heartbeat_interval: SimDuration::from_millis(ms),
@@ -125,13 +127,23 @@ fn main() {
     }
 
     println!("\n── ablation 3: LEC maintenance stall vs the Fig 11 ReLate2Jit winner ──");
-    println!("{:>10} | {:>14} | {:>14} | winner (paper: NAKcast)", "stall", "NAKcast", "Ricochet");
+    println!(
+        "{:>10} | {:>14} | {:>14} | winner (paper: NAKcast)",
+        "stall", "NAKcast", "Ricochet"
+    );
     for stall_us in [0.0, 4_000.0, 12_000.0, 24_000.0] {
         let tuning = Tuning {
             fec_maintenance_cost_us: stall_us,
             ..Tuning::default()
         };
-        let (n, r) = duel(slow_env(), app15, samples, reps, tuning, MetricKind::ReLate2Jit);
+        let (n, r) = duel(
+            slow_env(),
+            app15,
+            samples,
+            reps,
+            tuning,
+            MetricKind::ReLate2Jit,
+        );
         println!(
             "{:>8.0}µs | {:>14.0} | {:>14.0} | {}",
             stall_us,
@@ -142,7 +154,10 @@ fn main() {
     }
 
     println!("\n── ablation 4: the full composite-metric family per environment ──");
-    println!("{:>14} | {:>12} | {:>12}", "metric", "pc3000/1Gb", "pc850/100Mb");
+    println!(
+        "{:>14} | {:>12} | {:>12}",
+        "metric", "pc3000/1Gb", "pc850/100Mb"
+    );
     for metric in MetricKind::all() {
         let (nf, rf) = duel(fast_env(), app3, samples, reps, Tuning::default(), metric);
         let (ns, rs) = duel(slow_env(), app3, samples, reps, Tuning::default(), metric);

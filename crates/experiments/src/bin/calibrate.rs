@@ -19,18 +19,58 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
     let protocols = [
-        ProtocolKind::Nakcast { timeout: SimDuration::from_millis(1) },
+        ProtocolKind::Nakcast {
+            timeout: SimDuration::from_millis(1),
+        },
         ProtocolKind::Ricochet { r: 4, c: 3 },
         ProtocolKind::Ricochet { r: 8, c: 3 },
-        ProtocolKind::Nakcast { timeout: SimDuration::from_millis(50) },
+        ProtocolKind::Nakcast {
+            timeout: SimDuration::from_millis(50),
+        },
     ];
     let configs = [
-        ("fig4-ish pc3000/1Gb 3rcv", MachineClass::Pc3000, BandwidthClass::Gbps1, 3u32, 10u32),
-        ("fig4-ish pc3000/1Gb 3rcv", MachineClass::Pc3000, BandwidthClass::Gbps1, 3, 25),
-        ("fig5-ish pc850/100Mb 3rcv", MachineClass::Pc850, BandwidthClass::Mbps100, 3, 10),
-        ("fig5-ish pc850/100Mb 3rcv", MachineClass::Pc850, BandwidthClass::Mbps100, 3, 25),
-        ("fig10-ish pc3000/1Gb 15rcv", MachineClass::Pc3000, BandwidthClass::Gbps1, 15, 10),
-        ("fig11-ish pc850/100Mb 15rcv", MachineClass::Pc850, BandwidthClass::Mbps100, 15, 10),
+        (
+            "fig4-ish pc3000/1Gb 3rcv",
+            MachineClass::Pc3000,
+            BandwidthClass::Gbps1,
+            3u32,
+            10u32,
+        ),
+        (
+            "fig4-ish pc3000/1Gb 3rcv",
+            MachineClass::Pc3000,
+            BandwidthClass::Gbps1,
+            3,
+            25,
+        ),
+        (
+            "fig5-ish pc850/100Mb 3rcv",
+            MachineClass::Pc850,
+            BandwidthClass::Mbps100,
+            3,
+            10,
+        ),
+        (
+            "fig5-ish pc850/100Mb 3rcv",
+            MachineClass::Pc850,
+            BandwidthClass::Mbps100,
+            3,
+            25,
+        ),
+        (
+            "fig10-ish pc3000/1Gb 15rcv",
+            MachineClass::Pc3000,
+            BandwidthClass::Gbps1,
+            15,
+            10,
+        ),
+        (
+            "fig11-ish pc850/100Mb 15rcv",
+            MachineClass::Pc850,
+            BandwidthClass::Mbps100,
+            15,
+            10,
+        ),
     ];
 
     for (label, machine, bw, receivers, rate) in configs {
@@ -52,14 +92,18 @@ fn main() {
                 })
                 .collect();
             let results = run_all(&specs, Tuning::default());
-            let reports: Vec<QosReport> =
-                results.iter().map(|r| r.report.clone()).collect();
+            let reports: Vec<QosReport> = results.iter().map(|r| r.report.clone()).collect();
             let avg = Averaged::over(&reports);
-            let relate2: f64 = reports.iter().map(|r| MetricKind::ReLate2.score(r)).sum::<f64>()
+            let relate2: f64 = reports
+                .iter()
+                .map(|r| MetricKind::ReLate2.score(r))
+                .sum::<f64>()
                 / reports.len() as f64;
-            let relate2jit: f64 =
-                reports.iter().map(|r| MetricKind::ReLate2Jit.score(r)).sum::<f64>()
-                    / reports.len() as f64;
+            let relate2jit: f64 = reports
+                .iter()
+                .map(|r| MetricKind::ReLate2Jit.score(r))
+                .sum::<f64>()
+                / reports.len() as f64;
             println!(
                 "{:<22} {:>9.5} {:>10.1} {:>10.1} {:>12.1} {:>14.0}",
                 protocol.label(),

@@ -1,0 +1,249 @@
+//! Chaos harness: scripted fault scenarios against a self-healing session,
+//! reporting the QoS trajectory and the time to recover.
+//!
+//! ```text
+//! chaos [scenario] [seed]     scenario ∈ loss-spike | bandwidth-drop |
+//!                             cpu-contention | all (default: all)
+//! ```
+//!
+//! Each scenario runs a 1 200-sample, 100 Hz, 2-reader session on NAKcast
+//! with a lazy 50 ms timeout, injects its fault at t = 3 s through a
+//! [`FaultPlan`], and lets the [`SelfHealingSession`] loop — windowed QoS
+//! monitor → environment re-probe → ANN (with decision-tree and safe-default
+//! fallbacks) → mid-stream protocol switch under exponential backoff — fight
+//! back. The report shows each window's QoS, where the alarm fired, what the
+//! selector chose, and how long QoS took to settle back within 20 % of the
+//! pre-fault baseline.
+
+use adamant::dataset::{DatasetRow, LabeledDataset};
+use adamant::{
+    AppParams, BandwidthClass, Environment, HealingConfig, HealingOutcome, MonitorThresholds,
+    ProtocolSelector, ResilientSelector, SelectorConfig, SelfHealingSession, TreeSelector,
+};
+use adamant_dds::DdsImplementation;
+use adamant_metrics::MetricKind;
+use adamant_netsim::{
+    Bandwidth, FaultPlan, LossModel, MachineClass, NetworkConfig, NodeId, SimDuration, SimTime,
+};
+use adamant_transport::{ProtocolKind, TransportConfig};
+
+const FAULT_AT: SimTime = SimTime::from_secs(3);
+const SAMPLES: u64 = 1_200;
+/// Sender plus two readers — node ids are assigned sequentially.
+const NODES: usize = 3;
+
+/// NAK-timeout training data: calm links (≤ 3 % loss) prefer the lazy
+/// 50 ms timeout, lossy links the aggressive 1 ms one.
+fn loss_dataset() -> LabeledDataset {
+    let mut rows = Vec::new();
+    for bandwidth in BandwidthClass::all() {
+        for loss in 1..=10u8 {
+            rows.push(DatasetRow {
+                env: Environment::new(
+                    MachineClass::Pc3000,
+                    bandwidth,
+                    DdsImplementation::OpenSplice,
+                    loss,
+                ),
+                app: AppParams::new(2, 100),
+                metric: MetricKind::ReLate2,
+                best_class: if loss <= 3 { 0 } else { 3 },
+                scores: vec![0.0; 6],
+            });
+        }
+    }
+    LabeledDataset { rows }
+}
+
+struct Scenario {
+    name: &'static str,
+    description: &'static str,
+    plan: fn() -> FaultPlan,
+}
+
+fn loss_spike() -> FaultPlan {
+    let mut plan = FaultPlan::new().set_network_at(
+        FAULT_AT,
+        NetworkConfig {
+            propagation: BandwidthClass::Mbps100.propagation(),
+            loss: LossModel::Bernoulli(0.08),
+        },
+    );
+    for node in 0..NODES {
+        plan = plan.set_bandwidth_at(FAULT_AT, NodeId::from_index(node), Bandwidth::MBPS_100);
+    }
+    plan
+}
+
+fn bandwidth_drop() -> FaultPlan {
+    let mut plan = FaultPlan::new().set_network_at(
+        FAULT_AT,
+        NetworkConfig {
+            propagation: BandwidthClass::Mbps10.propagation(),
+            loss: LossModel::Bernoulli(0.05),
+        },
+    );
+    for node in 0..NODES {
+        plan = plan.set_bandwidth_at(FAULT_AT, NodeId::from_index(node), Bandwidth::MBPS_10);
+    }
+    plan
+}
+
+fn cpu_contention() -> FaultPlan {
+    let mut plan = FaultPlan::new().set_network_at(
+        FAULT_AT,
+        NetworkConfig {
+            propagation: BandwidthClass::Gbps1.propagation(),
+            loss: LossModel::Bernoulli(0.06),
+        },
+    );
+    for node in 0..NODES {
+        plan = plan.cpu_contention_at(FAULT_AT, NodeId::from_index(node), 8.0);
+    }
+    plan
+}
+
+const SCENARIOS: [Scenario; 3] = [
+    Scenario {
+        name: "loss-spike",
+        description: "8% link loss on every path + 1Gb -> 100Mb NIC downgrade",
+        plan: loss_spike,
+    },
+    Scenario {
+        name: "bandwidth-drop",
+        description: "5% link loss + 1Gb -> 10Mb NIC downgrade (500us propagation)",
+        plan: bandwidth_drop,
+    },
+    Scenario {
+        name: "cpu-contention",
+        description: "6% link loss + 8x CPU contention on every host",
+        plan: cpu_contention,
+    },
+];
+
+fn run_scenario(scenario: &Scenario, selector: &ResilientSelector, seed: u64) {
+    let env = Environment::new(
+        MachineClass::Pc3000,
+        BandwidthClass::Gbps1,
+        DdsImplementation::OpenSplice,
+        2,
+    );
+    let config = HealingConfig::new(env, AppParams::new(2, 100), SAMPLES, seed)
+        .with_thresholds(MonitorThresholds {
+            min_reliability: 0.90,
+            max_avg_latency_us: 8_000.0,
+            consecutive_windows: 2,
+        })
+        .with_dwell(SimDuration::from_secs(2), SimDuration::from_secs(16));
+    let initial = TransportConfig::new(ProtocolKind::Nakcast {
+        timeout: SimDuration::from_millis(50),
+    });
+    let outcome = SelfHealingSession::new(config, selector.clone()).run(initial, (scenario.plan)());
+
+    println!("== {} (seed {seed}) ==", scenario.name);
+    println!("   {}", scenario.description);
+    println!(
+        "   fault at {:.1}s into a {SAMPLES}-sample 100 Hz stream",
+        FAULT_AT.as_secs_f64()
+    );
+    print_windows(&outcome);
+    print_summary(&outcome);
+    println!();
+}
+
+fn print_windows(outcome: &HealingOutcome) {
+    let relate2 = outcome.window_relate2();
+    println!("   win    pub    dlv    rel     lat(us)   ReLate2");
+    for (i, w) in outcome.windows.iter().enumerate() {
+        if w.published == 0 {
+            continue;
+        }
+        let mut marks = String::new();
+        if w.start <= FAULT_AT && FAULT_AT < w.start + w.length {
+            marks.push_str("  <- fault");
+        }
+        for s in &outcome.switches {
+            if w.start <= s.at && s.at < w.start + w.length {
+                marks.push_str("  <- switch");
+            }
+        }
+        println!(
+            "   {i:>3} {:>6} {:>6}   {:.3} {:>10.0} {:>9.0}{marks}",
+            w.published,
+            w.delivered,
+            w.reliability(),
+            w.avg_latency_us,
+            relate2[i],
+        );
+    }
+}
+
+fn print_summary(outcome: &HealingOutcome) {
+    println!(
+        "   alarms: {}   switches: {}   suppressed by backoff: {}",
+        outcome.alarms,
+        outcome.switches.len(),
+        outcome.suppressed_switches
+    );
+    for s in &outcome.switches {
+        println!(
+            "   switch @ {:.2}s: {} -> {} ({:?}, probed {})",
+            s.at.as_secs_f64(),
+            s.from,
+            s.to,
+            s.source,
+            s.probed
+        );
+    }
+    let baseline = outcome.mean_relate2(1..3);
+    match outcome.time_to_recover(FAULT_AT, baseline, 1.2) {
+        Some(ttr) if ttr.is_zero() => {
+            println!("   QoS never left 1.2x the pre-fault baseline (ReLate2 {baseline:.0})")
+        }
+        Some(ttr) => println!(
+            "   time to recover QoS: {:.1}s (back within 1.2x baseline ReLate2 {baseline:.0})",
+            ttr.as_secs_f64()
+        ),
+        None => println!(
+            "   QoS did not settle back within 1.2x baseline ReLate2 {baseline:.0} before the stream ended"
+        ),
+    }
+    println!(
+        "   whole-run: reliability {:.4}, avg latency {:.0}us, protocol {} -> {}",
+        outcome.report.reliability(),
+        outcome.report.avg_latency_us,
+        outcome.initial_protocol,
+        outcome.final_protocol
+    );
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(77);
+
+    if which != "all" && !SCENARIOS.iter().any(|s| s.name == which) {
+        eprintln!("unknown scenario `{which}`; pick one of:");
+        for s in &SCENARIOS {
+            eprintln!("  {:<16} {}", s.name, s.description);
+        }
+        eprintln!("  {:<16} every scenario in sequence", "all");
+        std::process::exit(1);
+    }
+
+    let ds = loss_dataset();
+    let (ann, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
+    let tree = TreeSelector::from_dataset(&ds, adamant_ann::DecisionTreeParams::default());
+    let selector = ResilientSelector::new(MetricKind::ReLate2)
+        .with_ann(ann, 0.1)
+        .with_tree(tree);
+
+    for scenario in SCENARIOS
+        .iter()
+        .filter(|s| which == "all" || s.name == which)
+    {
+        run_scenario(scenario, &selector, seed);
+    }
+}

@@ -14,9 +14,7 @@
 
 use std::time::Instant;
 
-use adamant::{
-    LabeledDataset, ProtocolSelector, SelectorConfig, TableSelector, TreeSelector,
-};
+use adamant::{LabeledDataset, ProtocolSelector, SelectorConfig, TableSelector, TreeSelector};
 use adamant_ann::{fold_assignment, DecisionTreeParams, TrainParams};
 use adamant_experiments::artifacts;
 

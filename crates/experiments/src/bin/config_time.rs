@@ -22,7 +22,8 @@ use adamant_metrics::MetricKind;
 use adamant_netsim::Simulation;
 use adamant_transport::{AppSpec, ProtocolKind, TransportConfig};
 
-const CPUINFO: &str = "processor\t: 0\nmodel name\t: Intel(R) Xeon(TM) CPU 3.00GHz\ncpu MHz\t\t: 2992.689\n";
+const CPUINFO: &str =
+    "processor\t: 0\nmodel name\t: Intel(R) Xeon(TM) CPU 3.00GHz\ncpu MHz\t\t: 2992.689\n";
 
 fn main() {
     let iterations: u32 = std::env::args()
@@ -69,9 +70,16 @@ fn main() {
             ProtocolKind::Udp => QosProfile::best_effort(),
             _ => QosProfile::time_critical(),
         };
-        let topic = participant.create_topic::<[u8; 12]>("t", qos).expect("topic");
+        let topic = participant
+            .create_topic::<[u8; 12]>("t", qos)
+            .expect("topic");
         participant
-            .create_data_writer(topic, qos, AppSpec::at_rate(100, 25.0, 12), env.host_config())
+            .create_data_writer(
+                topic,
+                qos,
+                AppSpec::at_rate(100, 25.0, 12),
+                env.host_config(),
+            )
             .expect("writer");
         for _ in 0..app.receivers {
             participant
@@ -90,7 +98,10 @@ fn main() {
     println!("  1. probe parse (cpuinfo):        {probe_us:>9.2} µs");
     println!("  2. feature encode + ANN query:   {query_us:>9.2} µs");
     println!("  3. DDS entities + ANT install:   {install_us:>9.2} µs");
-    println!("  total:                           {:>9.2} µs", probe_us + query_us + install_us);
+    println!(
+        "  total:                           {:>9.2} µs",
+        probe_us + query_us + install_us
+    );
     println!("  selected protocol: {selected}");
     println!(
         "\nthe decision step the paper bounds (stage 2) is a vanishing share of\n\

@@ -25,7 +25,9 @@ fn main() {
     let kind = if proto == "ric" {
         ProtocolKind::Ricochet { r: 4, c: 3 }
     } else {
-        ProtocolKind::Nakcast { timeout: SimDuration::from_millis(1) }
+        ProtocolKind::Nakcast {
+            timeout: SimDuration::from_millis(1),
+        }
     };
     let mut tuning = adamant_transport::Tuning::default();
     if args.iter().any(|a| a == "nomaint") {
@@ -55,12 +57,17 @@ fn main() {
         let r = ant::reader(&sim, &handles, node);
         let (rec, orig): (Vec<_>, Vec<_>) = r.log().deliveries().iter().partition(|d| d.recovered);
         let avg = |v: &[&adamant_metrics::Delivery]| {
-            if v.is_empty() { return 0.0 }
+            if v.is_empty() {
+                return 0.0;
+            }
             v.iter().map(|d| d.latency().as_micros_f64()).sum::<f64>() / v.len() as f64
         };
         let rec_refs: Vec<&adamant_metrics::Delivery> = rec.to_vec();
         let orig_refs: Vec<&adamant_metrics::Delivery> = orig.to_vec();
-        let mut rec_lats: Vec<f64> = rec_refs.iter().map(|d| d.latency().as_micros_f64()).collect();
+        let mut rec_lats: Vec<f64> = rec_refs
+            .iter()
+            .map(|d| d.latency().as_micros_f64())
+            .collect();
         rec_lats.sort_by(f64::total_cmp);
         println!(
             "reader {node}: delivered {} recovered {} dropped {} avg_orig {:.1} avg_rec {:.1} rec_p50 {:.1} rec_max {:.1}",

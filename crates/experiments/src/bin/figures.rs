@@ -56,9 +56,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!(
-                "usage: figures [--quick] [all|tables|protocol|ann|dataset|shapes|extended]"
-            );
+            eprintln!("usage: figures [--quick] [all|tables|protocol|ann|dataset|shapes|extended]");
             std::process::exit(2);
         }
     }
@@ -70,13 +68,19 @@ fn print_tables() {
 }
 
 fn build_dataset(quick: bool) {
-    println!("building labelled dataset ({} configurations × 2 metrics)...",
-        dataset_gen::CONFIGS_PER_METRIC);
+    println!(
+        "building labelled dataset ({} configurations × 2 metrics)...",
+        dataset_gen::CONFIGS_PER_METRIC
+    );
     let started = std::time::Instant::now();
-    let (samples, reps) = if quick { (400, 2) } else {
+    let (samples, reps) = if quick {
+        (400, 2)
+    } else {
         (dataset_gen::LABEL_SAMPLES, dataset_gen::REPETITIONS)
     };
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut last_printed = 0usize;
     let dataset = dataset_gen::generate(
         samples,
@@ -85,13 +89,19 @@ fn build_dataset(quick: bool) {
         adamant_transport::Tuning::default(),
         &mut |done, total| {
             if done >= last_printed + 20 || done == total {
-                println!("  {done}/{total} configurations ({:.0?})", started.elapsed());
+                println!(
+                    "  {done}/{total} configurations ({:.0?})",
+                    started.elapsed()
+                );
                 last_printed = done;
             }
         },
     );
     let hist = dataset.class_histogram();
-    println!("dataset: {} rows; winners per class: {hist:?}", dataset.len());
+    println!(
+        "dataset: {} rows; winners per class: {hist:?}",
+        dataset.len()
+    );
     for (i, kind) in adamant::features::candidate_protocols().iter().enumerate() {
         println!("  class {i}: {:<18} won {} times", kind.label(), hist[i]);
     }
@@ -131,8 +141,7 @@ fn protocol_figures(scale: FigureScale) {
         println!("{}", fig.render());
     }
     // Merge with any previously saved figures (e.g. ANN ones).
-    let mut all: Vec<FigureData> =
-        artifacts::load(FIGURES_ARTIFACT).unwrap_or_default();
+    let mut all: Vec<FigureData> = artifacts::load(FIGURES_ARTIFACT).unwrap_or_default();
     all.retain(|f| !figures.iter().any(|g| g.id == f.id));
     all.extend(figures);
     let path = artifacts::save(FIGURES_ARTIFACT, &all).expect("save figures");
@@ -142,7 +151,11 @@ fn protocol_figures(scale: FigureScale) {
 
 fn ann_figures(scale: FigureScale, quick: bool) {
     let dataset = load_dataset();
-    println!("dataset: {} rows; class histogram {:?}", dataset.len(), dataset.class_histogram());
+    println!(
+        "dataset: {} rows; class histogram {:?}",
+        dataset.len(),
+        dataset.class_histogram()
+    );
     let started = std::time::Instant::now();
     let f18 = fig18(&dataset, scale);
     println!("{}", f18.render());

@@ -78,6 +78,10 @@ fn main() {
     let path = dir.join("report.md");
     std::fs::create_dir_all(&dir).expect("artifact dir");
     std::fs::write(&path, md).expect("write report");
-    println!("wrote {} ({} figures, {passed}/{} checks pass)",
-        path.display(), figures.len(), checks.len());
+    println!(
+        "wrote {} ({} figures, {passed}/{} checks pass)",
+        path.display(),
+        figures.len(),
+        checks.len()
+    );
 }

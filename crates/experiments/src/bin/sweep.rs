@@ -76,7 +76,10 @@ fn main() {
         }
     }
 
-    println!("\nwinner counts over the full {}-configuration grid:", grid.len());
+    println!(
+        "\nwinner counts over the full {}-configuration grid:",
+        grid.len()
+    );
     for (metric, counts) in &winners {
         println!("  {metric}:");
         for (class, count) in counts.iter().enumerate() {

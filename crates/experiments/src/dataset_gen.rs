@@ -11,7 +11,9 @@
 //! paper metrics (ReLate2, ReLate2Jit) that yields exactly 394 labelled
 //! inputs.
 
-use adamant::{best_class_with_margin, AppParams, DatasetRow, Environment, LabeledDataset, LABEL_MARGIN};
+use adamant::{
+    best_class_with_margin, AppParams, DatasetRow, Environment, LabeledDataset, LABEL_MARGIN,
+};
 use adamant_metrics::MetricKind;
 use adamant_transport::Tuning;
 
@@ -86,8 +88,7 @@ pub fn generate(
         // Average per candidate, then label per metric.
         let mut averaged = Vec::with_capacity(candidates.len());
         for (c, _) in candidates.iter().enumerate() {
-            let reports: Vec<_> = results
-                [c * repetitions as usize..(c + 1) * repetitions as usize]
+            let reports: Vec<_> = results[c * repetitions as usize..(c + 1) * repetitions as usize]
                 .iter()
                 .map(|r| r.report.clone())
                 .collect();
@@ -97,8 +98,7 @@ pub fn generate(
             let scores: Vec<f64> = averaged
                 .iter()
                 .map(|(_, reports)| {
-                    reports.iter().map(|r| metric.score(r)).sum::<f64>()
-                        / reports.len() as f64
+                    reports.iter().map(|r| metric.score(r)).sum::<f64>() / reports.len() as f64
                 })
                 .collect();
             let best_class = best_class_with_margin(&scores, LABEL_MARGIN);
@@ -120,7 +120,13 @@ pub fn generate_default(progress: &mut dyn FnMut(usize, usize)) -> LabeledDatase
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    generate(LABEL_SAMPLES, REPETITIONS, threads, Tuning::default(), progress)
+    generate(
+        LABEL_SAMPLES,
+        REPETITIONS,
+        threads,
+        Tuning::default(),
+        progress,
+    )
 }
 
 #[cfg(test)]

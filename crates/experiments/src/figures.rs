@@ -10,14 +10,13 @@ use adamant_dds::DdsImplementation;
 use adamant_metrics::{MetricKind, QosReport};
 use adamant_netsim::{MachineClass, SimDuration};
 use adamant_transport::{ProtocolKind, Tuning};
-use serde::{Deserialize, Serialize};
 
 use adamant::BandwidthClass;
 
 use crate::sweep::{run_all, RunSpec};
 
 /// One point of a series (x is categorical in the paper's figures).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Point {
     /// Category label (e.g. `"run 3"`, `"24 hidden"`).
     pub x: String,
@@ -26,13 +25,17 @@ pub struct Point {
 }
 
 /// One labelled series of a figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label (e.g. `"Ricochet R4 C3 @ 10Hz"`).
     pub label: String,
     /// The data points.
     pub points: Vec<Point>,
 }
+
+adamant_json::impl_json_struct!(Point { x, y });
+
+adamant_json::impl_json_struct!(Series { label, points });
 
 impl Series {
     /// Mean of the series' values.
@@ -45,7 +48,7 @@ impl Series {
 }
 
 /// A regenerated figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureData {
     /// Paper figure id (e.g. `"fig4"`).
     pub id: String,
@@ -58,6 +61,14 @@ pub struct FigureData {
     /// The shape the paper reports for this figure.
     pub paper_shape: String,
 }
+
+adamant_json::impl_json_struct!(FigureData {
+    id,
+    title,
+    y_axis,
+    series,
+    paper_shape,
+});
 
 impl FigureData {
     /// Returns the series whose label starts with `prefix`.
@@ -84,7 +95,7 @@ impl FigureData {
 }
 
 /// Workload scale for figure regeneration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FigureScale {
     /// Samples per protocol run (paper: 20 000).
     pub samples: u64,
@@ -160,7 +171,7 @@ pub fn slow_environment() -> Environment {
 }
 
 /// Raw run results backing one environment's figure group.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GroupRuns {
     /// (protocol label, rate, per-repetition reports).
     pub cells: Vec<(String, u32, Vec<QosReport>)>,
@@ -189,10 +200,7 @@ fn run_group(env: Environment, receivers: u32, rates: &[u32], scale: FigureScale
     GroupRuns { cells }
 }
 
-fn per_run_series(
-    runs: &GroupRuns,
-    value: impl Fn(&QosReport) -> f64,
-) -> Vec<Series> {
+fn per_run_series(runs: &GroupRuns, value: impl Fn(&QosReport) -> f64) -> Vec<Series> {
     runs.cells
         .iter()
         .map(|(label, rate, reports)| Series {
@@ -229,9 +237,17 @@ fn figure(
 /// 7, and 9 (slow environment) from one shared run set.
 pub fn three_receiver_figures(fast: bool, scale: FigureScale) -> Vec<FigureData> {
     let (env, ids, env_label) = if fast {
-        (fast_environment(), ["fig4", "fig6", "fig8"], "pc3000, 1Gb LAN")
+        (
+            fast_environment(),
+            ["fig4", "fig6", "fig8"],
+            "pc3000, 1Gb LAN",
+        )
     } else {
-        (slow_environment(), ["fig5", "fig7", "fig9"], "pc850, 100Mb LAN")
+        (
+            slow_environment(),
+            ["fig5", "fig7", "fig9"],
+            "pc850, 100Mb LAN",
+        )
     };
     let runs = run_group(env, 3, &[10, 25], scale);
     let relate2 = per_run_series(&runs, |r| MetricKind::ReLate2.score(r));
@@ -369,9 +385,8 @@ pub fn extended_metric_figures(scale: FigureScale) -> Vec<FigureData> {
 
 /// Renders Table 1 (environment variables).
 pub fn table1() -> String {
-    let mut out = String::from(
-        "[table1] Environment variables\n  Machine type:       pc850, pc3000\n",
-    );
+    let mut out =
+        String::from("[table1] Environment variables\n  Machine type:       pc850, pc3000\n");
     out.push_str("  Network bandwidth:  1Gb, 100Mb, 10Mb\n");
     out.push_str("  DDS implementation: OpenDDS, OpenSplice\n");
     out.push_str("  End-host loss:      1–5 %\n");
@@ -395,9 +410,8 @@ pub fn table2() -> String {
 pub fn check_shapes(figures: &[FigureData]) -> Vec<(String, bool)> {
     let mut checks = Vec::new();
     let by_id = |id: &str| figures.iter().find(|f| f.id == id);
-    let mean_of = |fig: &FigureData, prefix: &str| {
-        fig.series_starting_with(prefix).map(|s| s.mean())
-    };
+    let mean_of =
+        |fig: &FigureData, prefix: &str| fig.series_starting_with(prefix).map(|s| s.mean());
 
     let mut claim = |name: &str, ok: Option<bool>| {
         if let Some(ok) = ok {
@@ -475,19 +489,44 @@ pub fn check_shapes(figures: &[FigureData]) -> Vec<(String, bool)> {
     }
     // Figs 12–17 orderings.
     for (id, name, nak_higher) in [
-        ("fig12", "fig12: Ricochet latency lower (pc3000, 15 rcv)", true),
-        ("fig13", "fig13: Ricochet latency lower (pc850, 15 rcv)", true),
-        ("fig14", "fig14: Ricochet jitter lower (pc3000, 15 rcv)", true),
-        ("fig15", "fig15: Ricochet jitter lower (pc850, 15 rcv)", true),
-        ("fig16", "fig16: NAKcast reliability higher (pc3000, 15 rcv)", true),
-        ("fig17", "fig17: NAKcast reliability higher (pc850, 15 rcv)", true),
+        (
+            "fig12",
+            "fig12: Ricochet latency lower (pc3000, 15 rcv)",
+            true,
+        ),
+        (
+            "fig13",
+            "fig13: Ricochet latency lower (pc850, 15 rcv)",
+            true,
+        ),
+        (
+            "fig14",
+            "fig14: Ricochet jitter lower (pc3000, 15 rcv)",
+            true,
+        ),
+        (
+            "fig15",
+            "fig15: Ricochet jitter lower (pc850, 15 rcv)",
+            true,
+        ),
+        (
+            "fig16",
+            "fig16: NAKcast reliability higher (pc3000, 15 rcv)",
+            true,
+        ),
+        (
+            "fig17",
+            "fig17: NAKcast reliability higher (pc850, 15 rcv)",
+            true,
+        ),
     ] {
         if let Some(f) = by_id(id) {
             let nak = mean_of(f, "nakcast");
             let ric = mean_of(f, "ricochet");
             claim(
                 name,
-                nak.zip(ric).map(|(n, r)| if nak_higher { n > r } else { n < r }),
+                nak.zip(ric)
+                    .map(|(n, r)| if nak_higher { n > r } else { n < r }),
             );
         }
     }
@@ -515,7 +554,10 @@ mod tests {
             "units",
             vec![Series {
                 label: "a".into(),
-                points: vec![Point { x: "run 1".into(), y: 2.0 }],
+                points: vec![Point {
+                    x: "run 1".into(),
+                    y: 2.0,
+                }],
             }],
             "shape",
         );

@@ -4,10 +4,9 @@
 use adamant::{AppParams, Environment, Scenario};
 use adamant_metrics::QosReport;
 use adamant_transport::{ProtocolKind, TransportConfig, Tuning};
-use serde::{Deserialize, Serialize};
 
 /// One unit of sweep work.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunSpec {
     /// Environment (Table 1 row).
     pub env: Environment,
@@ -38,14 +37,13 @@ impl RunSpec {
 
     /// Executes the run.
     pub fn execute(&self, tuning: Tuning) -> QosReport {
-        let scenario = Scenario::paper(self.env, self.app, self.seed())
-            .with_samples(self.samples);
+        let scenario = Scenario::paper(self.env, self.app, self.seed()).with_samples(self.samples);
         scenario.run(TransportConfig::new(self.protocol).with_tuning(tuning))
     }
 }
 
 /// A completed run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// What was run.
     pub spec: RunSpec,
@@ -68,31 +66,34 @@ pub fn run_all_with_threads(specs: &[RunSpec], tuning: Tuning, threads: usize) -
     }
     let threads = threads.clamp(1, specs.len());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<RunResult>>> =
-        specs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
-    crossbeam::scope(|scope| {
+    let results: Vec<std::sync::Mutex<Option<RunResult>>> =
+        specs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= specs.len() {
                     break;
                 }
                 let spec = specs[i];
                 let report = spec.execute(tuning);
-                *results[i].lock() = Some(RunResult { spec, report });
+                *results[i].lock().expect("sweep lock poisoned") = Some(RunResult { spec, report });
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("every slot filled"))
+        .map(|m| {
+            m.into_inner()
+                .expect("sweep lock poisoned")
+                .expect("every slot filled")
+        })
         .collect()
 }
 
 /// Averages a metric-relevant summary over repetitions of the same
 /// configuration (the paper reports 5-run averages).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Averaged {
     /// Mean reliability over repetitions.
     pub reliability: f64,

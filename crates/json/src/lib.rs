@@ -1,0 +1,520 @@
+//! Dependency-free JSON for artifact persistence.
+//!
+//! The reproduction's build environment has no network access to a crate
+//! registry, so artifact serialization is implemented in-repo: a [`Json`]
+//! value model, a strict parser, compact/pretty printers, and the
+//! [`ToJson`]/[`FromJson`] traits each crate implements for the types it
+//! persists. The wire format matches what `serde_json` would produce for
+//! plain derives (objects keyed by field name, unit enum variants as
+//! strings, struct variants externally tagged), so artifacts written by
+//! earlier builds remain loadable.
+
+mod parse;
+mod print;
+
+pub use parse::parse;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed or buildable JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved for readable output.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A serialization or deserialization failure, carrying a human-readable
+/// path-and-reason message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl JsonError {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        JsonError(m.into())
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Renders compact JSON (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        print::compact(self)
+    }
+
+    /// Renders human-readable JSON with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        print::pretty(self)
+    }
+
+    /// Short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Looks up an object member.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Decodes the member `key` of an object into `T`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `self` is not an object, the member is missing, or the
+    /// member fails to decode.
+    pub fn field<T: FromJson>(&self, key: &str) -> Result<T, JsonError> {
+        let v = self
+            .get(key)
+            .ok_or_else(|| JsonError(format!("missing field `{key}` in {}", self.kind())))?;
+        T::from_json(v).map_err(|e| JsonError(format!("field `{key}`: {e}")))
+    }
+
+    /// The value as `f64`, if it is a number.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value is not a number.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            Json::Null => Ok(f64::NAN), // non-finite values are written as null
+            other => Err(JsonError(format!("expected number, got {}", other.kind()))),
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value is not a string.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError(format!("expected string, got {}", other.kind()))),
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value is not an array.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+/// Types that can render themselves as a [`Json`] value.
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can rebuild themselves from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Decodes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value has the wrong shape.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+/// Serializes `value` as pretty JSON text.
+pub fn to_string_pretty<T: ToJson>(value: &T) -> String {
+    value.to_json().to_string_pretty()
+}
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: ToJson>(value: &T) -> String {
+    value.to_json().to_string_compact()
+}
+
+/// Parses `text` and decodes it into `T`.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a shape mismatch.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&parse(text)?)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive implementations
+// ---------------------------------------------------------------------------
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        if self.is_finite() {
+            Json::Num(*self)
+        } else {
+            Json::Null
+        }
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64()
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        (*self as f64).to_json()
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+macro_rules! impl_json_int {
+    ($($ty:ty),+) => {
+        $(
+            impl ToJson for $ty {
+                fn to_json(&self) -> Json {
+                    Json::Num(*self as f64)
+                }
+            }
+            impl FromJson for $ty {
+                fn from_json(v: &Json) -> Result<Self, JsonError> {
+                    let n = v.as_f64()?;
+                    if !n.is_finite() || n.fract() != 0.0 {
+                        return Err(JsonError(format!("expected integer, got {n}")));
+                    }
+                    Ok(n as $ty)
+                }
+            }
+        )+
+    };
+}
+
+impl_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.as_str()?.to_owned())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_owned())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_arr()?
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| JsonError(format!("index {i}: {e}"))))
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: FromJson> FromJson for Box<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let items = v.as_arr()?;
+        if items.len() != 2 {
+            return Err(JsonError(format!(
+                "expected 2-tuple, got {} items",
+                items.len()
+            )));
+        }
+        Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let items = v.as_arr()?;
+        if items.len() != 3 {
+            return Err(JsonError(format!(
+                "expected 3-tuple, got {} items",
+                items.len()
+            )));
+        }
+        Ok((
+            A::from_json(&items[0])?,
+            B::from_json(&items[1])?,
+            C::from_json(&items[2])?,
+        ))
+    }
+}
+
+impl<K: Ord + ToJson + fmt::Display, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Implementation macros for user types
+// ---------------------------------------------------------------------------
+
+/// Implements [`ToJson`]/[`FromJson`] for a struct with named fields,
+/// serialized as an object keyed by field name (the `serde` derive layout).
+///
+/// The macro constructs the struct literally from the listed fields, so a
+/// missing or extra field is a compile error — the field list cannot drift
+/// from the definition.
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_owned(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                Ok(Self {
+                    $($field: v.field(stringify!($field))?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a fieldless enum, serialized as
+/// the variant name string (the `serde` derive layout).
+#[macro_export]
+macro_rules! impl_json_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Str(
+                    match self {
+                        $($ty::$variant => stringify!($variant),)+
+                    }
+                    .to_owned(),
+                )
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                match v.as_str()? {
+                    $(s if s == stringify!($variant) => Ok($ty::$variant),)+
+                    other => Err($crate::JsonError(format!(
+                        "unknown {} variant `{other}`",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        a: u32,
+        b: Vec<f64>,
+        c: Option<String>,
+    }
+    impl_json_struct!(Demo { a, b, c });
+
+    #[derive(Debug, PartialEq)]
+    enum Color {
+        Red,
+        Green,
+    }
+    impl_json_unit_enum!(Color { Red, Green });
+
+    #[test]
+    fn struct_round_trip() {
+        let demo = Demo {
+            a: 7,
+            b: vec![1.5, -2.25, 1e-9],
+            c: Some("hi".into()),
+        };
+        let text = to_string_pretty(&demo);
+        let back: Demo = from_str(&text).unwrap();
+        assert_eq!(back, demo);
+    }
+
+    #[test]
+    fn none_round_trips_as_null() {
+        let demo = Demo {
+            a: 0,
+            b: vec![],
+            c: None,
+        };
+        let back: Demo = from_str(&to_string(&demo)).unwrap();
+        assert_eq!(back, demo);
+    }
+
+    #[test]
+    fn unit_enum_round_trip() {
+        assert_eq!(to_string(&Color::Red), "\"Red\"");
+        assert_eq!(from_str::<Color>("\"Green\"").unwrap(), Color::Green);
+        assert!(from_str::<Color>("\"Blue\"").is_err());
+    }
+
+    #[test]
+    fn missing_field_reports_its_name() {
+        let err = from_str::<Demo>("{\"a\": 1, \"b\": []}").unwrap_err();
+        assert!(err.0.contains("`c`"), "{err}");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.7976931348623157e308,
+            -0.0,
+            12345.678901234567,
+        ] {
+            let text = to_string(&x);
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let v = vec![("x".to_owned(), 3u32, vec![1.0f64])];
+        let back: Vec<(String, u32, Vec<f64>)> = from_str(&to_string(&v)).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integer_rejects_fraction() {
+        assert!(from_str::<u32>("1.5").is_err());
+        assert_eq!(from_str::<u32>("12").unwrap(), 12);
+    }
+}

@@ -1,0 +1,271 @@
+//! A strict recursive-descent JSON parser.
+
+use crate::{Json, JsonError};
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or trailing non-whitespace input.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(members)),
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let first = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&first) {
+                            // High surrogate: require the paired low half.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("unpaired surrogate"));
+                            }
+                            let second = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&second) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                        } else {
+                            first
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(b) => {
+                    // Re-decode multi-byte UTF-8 from the source slice.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = utf8_width(b).ok_or_else(|| self.err("invalid UTF-8"))?;
+                        let end = start + width;
+                        let slice = self
+                            .bytes
+                            .get(start..end)
+                            .ok_or_else(|| self.err("truncated UTF-8"))?;
+                        let s =
+                            std::str::from_utf8(slice).map_err(|_| self.err("invalid UTF-8"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .bump()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| self.err("expected 4 hex digits"))?;
+            code = code * 16 + d;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+fn utf8_width(first: u8) -> Option<usize> {
+    match first {
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": null, "d": true}, "e": "x"}"#).unwrap();
+        assert_eq!(v.field::<Vec<f64>>("a").unwrap(), vec![1.0, 2.5, -300.0]);
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert_eq!(v.field::<String>("e").unwrap(), "x");
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = parse(r#""a\n\t\"\\ \u00e9 \ud83d\ude00 é""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "a\n\t\"\\ é 😀 é");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"\\q\"", ""] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(parse("{}").unwrap(), Json::Obj(vec![]));
+        assert_eq!(parse(" [ ] ").unwrap(), Json::Arr(vec![]));
+    }
+}

@@ -1,0 +1,139 @@
+//! Compact and pretty JSON printers.
+
+use crate::Json;
+use std::fmt::Write;
+
+/// Renders `v` with no whitespace.
+pub fn compact(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+/// Renders `v` with two-space indentation, matching `serde_json`'s pretty
+/// layout so regenerated artifacts diff cleanly against old ones.
+pub fn pretty(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some("  "), 0);
+    out
+}
+
+fn write_value(out: &mut String, v: &Json, indent: Option<&str>, depth: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(out, *n),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline(out, indent, depth);
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, value, indent, depth + 1);
+            }
+            newline(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if n.is_finite() {
+        // Rust's float Display is shortest-round-trip, so values survive
+        // a print/parse cycle bit-for-bit.
+        let _ = write!(out, "{n}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_has_no_whitespace() {
+        let v = parse(r#"{ "a": [1, 2], "b": "x" }"#).unwrap();
+        assert_eq!(compact(&v), r#"{"a":[1,2],"b":"x"}"#);
+    }
+
+    #[test]
+    fn pretty_matches_serde_layout() {
+        let v = parse(r#"{"a":[1,2],"b":{},"c":[]}"#).unwrap();
+        assert_eq!(
+            pretty(&v),
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {},\n  \"c\": []\n}"
+        );
+    }
+
+    #[test]
+    fn strings_escape_controls() {
+        let v = Json::Str("a\"b\\c\n\u{0001}".into());
+        assert_eq!(compact(&v), "\"a\\\"b\\\\c\\n\\u0001\"");
+        assert_eq!(parse(&compact(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn integral_floats_print_without_decimal_point() {
+        assert_eq!(compact(&Json::Num(20000.0)), "20000");
+        assert_eq!(compact(&Json::Num(-3.5)), "-3.5");
+    }
+}

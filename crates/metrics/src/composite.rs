@@ -9,12 +9,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::report::QosReport;
 
 /// A composite QoS metric. Lower scores are better.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum MetricKind {
     /// Average latency × (1 + lost fraction): a mild loss penalty.
     ReLate,
@@ -29,6 +27,14 @@ pub enum MetricKind {
     /// cost.
     ReLate2Net,
 }
+
+adamant_json::impl_json_unit_enum!(MetricKind {
+    ReLate,
+    ReLate2,
+    ReLate2Jit,
+    ReLate2Burst,
+    ReLate2Net,
+});
 
 impl MetricKind {
     /// The two metrics the paper trains and evaluates the ANN on.
@@ -70,15 +76,11 @@ impl MetricKind {
     pub fn score(self, report: &QosReport) -> f64 {
         let relate2 = report.avg_latency_us * (report.percent_loss() + 1.0);
         match self {
-            MetricKind::ReLate => {
-                report.avg_latency_us * (1.0 + (1.0 - report.reliability()))
-            }
+            MetricKind::ReLate => report.avg_latency_us * (1.0 + (1.0 - report.reliability())),
             MetricKind::ReLate2 => relate2,
             MetricKind::ReLate2Jit => relate2 * report.jitter_us,
             MetricKind::ReLate2Burst => relate2 * report.burstiness,
-            MetricKind::ReLate2Net => {
-                relate2 * (report.avg_bandwidth_bytes_per_sec / 1024.0)
-            }
+            MetricKind::ReLate2Net => relate2 * (report.avg_bandwidth_bytes_per_sec / 1024.0),
         }
     }
 

@@ -7,8 +7,6 @@
 //! histogram buckets latencies geometrically (~2.4 % relative resolution)
 //! and answers percentile queries with bounded error.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometric bucket growth factor (each bucket is ~4.7% wider; quantile
 /// estimates are accurate to about half that).
 const GROWTH: f64 = 1.047;
@@ -29,7 +27,7 @@ const MIN_US: f64 = 0.5;
 /// let p50 = h.percentile(0.5).unwrap();
 /// assert!((190.0..=310.0).contains(&p50), "p50 {p50}");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     total: u64,

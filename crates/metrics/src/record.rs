@@ -1,10 +1,9 @@
 //! Per-receiver reception logs: the raw material of every QoS metric.
 
 use adamant_netsim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One sample delivered to one receiver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Delivery {
     /// The publisher-assigned sample sequence number.
     pub seq: u64,
@@ -31,7 +30,7 @@ impl Delivery {
 /// the metrics layer consumes it afterwards. Duplicate deliveries of the
 /// same sequence number are recorded but flagged, and only the first copy
 /// counts toward reliability.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ReceptionLog {
     deliveries: Vec<Delivery>,
     duplicates: u64,
@@ -98,7 +97,7 @@ impl ReceptionLog {
 /// duplicates by scanning); `DenseReceptionLog` tracks delivered sequence
 /// numbers in a bitset and is O(1) per record. Use this for the 20 000
 /// samples-per-run experiment workloads.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DenseReceptionLog {
     deliveries: Vec<Delivery>,
     seen: Vec<u64>, // bitset, one bit per sequence number
@@ -234,7 +233,10 @@ mod tests {
         let mut simple = ReceptionLog::new();
         let mut dense = DenseReceptionLog::with_capacity(16);
         for (seq, sent, recv) in [(0, 0, 5), (2, 10, 30), (0, 0, 40), (7, 20, 21)] {
-            assert_eq!(simple.record(d(seq, sent, recv)), dense.record(d(seq, sent, recv)));
+            assert_eq!(
+                simple.record(d(seq, sent, recv)),
+                dense.record(d(seq, sent, recv))
+            );
         }
         assert_eq!(simple.delivered_count(), dense.delivered_count());
         assert_eq!(simple.duplicate_count(), dense.duplicate_count());

@@ -1,7 +1,6 @@
 //! Aggregated QoS reports for a complete experiment run.
 
 use adamant_netsim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::histogram::LatencyHistogram;
 use crate::record::Delivery;
@@ -15,7 +14,7 @@ use crate::stats::Welford;
 /// delivery from every receiver; jitter is the standard deviation of packet
 /// latency, and burstiness is the standard deviation of per-second delivered
 /// bandwidth.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QosReport {
     /// Samples the writer published.
     pub samples_sent: u64,
@@ -214,7 +213,11 @@ mod tests {
     fn percentiles_come_from_the_histogram() {
         let mut b = QosReport::builder(3, 1);
         b.add_receiver(
-            &[d(0, 0, 100, false), d(1, 0, 200, false), d(2, 0, 400, false)],
+            &[
+                d(0, 0, 100, false),
+                d(1, 0, 200, false),
+                d(2, 0, 400, false),
+            ],
             0,
         );
         let r = b.finish();
@@ -222,7 +225,10 @@ mod tests {
         let p100 = r.latency_percentile_us(1.0).unwrap();
         assert!((95.0..=105.0).contains(&p0), "p0 {p0}");
         assert!((380.0..=420.0).contains(&p100), "p100 {p100}");
-        assert_eq!(QosReport::builder(1, 1).finish().latency_percentile_us(0.5), None);
+        assert_eq!(
+            QosReport::builder(1, 1).finish().latency_percentile_us(0.5),
+            None
+        );
     }
 
     #[test]

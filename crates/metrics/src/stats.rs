@@ -1,7 +1,5 @@
 //! Small statistics helpers: online mean/variance and percentiles.
 
-use serde::{Deserialize, Serialize};
-
 /// Online mean and variance accumulator (Welford's algorithm).
 ///
 /// Numerically stable for long latency streams; used for latency, jitter,
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(w.mean(), 5.0);
 /// assert_eq!(w.population_stddev(), 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Welford {
     count: u64,
     mean: f64,
@@ -98,8 +96,8 @@ impl Welford {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
     }
@@ -168,7 +166,9 @@ mod tests {
 
     #[test]
     fn known_dataset() {
-        let w: Welford = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let w: Welford = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(w.count(), 8);
         assert!((w.mean() - 5.0).abs() < 1e-12);
         assert!((w.population_stddev() - 2.0).abs() < 1e-12);

@@ -8,13 +8,12 @@
 //! the window where it started, not smeared over the whole run.
 
 use adamant_netsim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::record::Delivery;
 use crate::stats::Welford;
 
 /// QoS of the samples published during one window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowQos {
     /// Window start (inclusive).
     pub start: SimTime,

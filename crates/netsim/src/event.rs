@@ -36,6 +36,11 @@ pub(crate) enum EventKind {
 pub(crate) struct Event {
     pub time: SimTime,
     pub seq: u64,
+    /// The target node's incarnation epoch at scheduling time. The engine
+    /// drops the event if the node has crashed (and possibly restarted)
+    /// since: a rebooted host must not receive its predecessor's timers or
+    /// half-delivered packets.
+    pub epoch: u32,
     pub kind: EventKind,
 }
 
@@ -79,11 +84,17 @@ impl EventQueue {
         }
     }
 
-    /// Schedules `kind` at `time`. Returns the tie-break sequence number.
-    pub fn schedule(&mut self, time: SimTime, kind: EventKind) -> u64 {
+    /// Schedules `kind` at `time` for a target currently in incarnation
+    /// `epoch`. Returns the tie-break sequence number.
+    pub fn schedule(&mut self, time: SimTime, epoch: u32, kind: EventKind) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        self.heap.push(Event {
+            time,
+            seq,
+            epoch,
+            kind,
+        });
         seq
     }
 
@@ -114,17 +125,15 @@ mod tests {
     use super::*;
 
     fn start(node: u32) -> EventKind {
-        EventKind::Start {
-            node: NodeId(node),
-        }
+        EventKind::Start { node: NodeId(node) }
     }
 
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_micros(30), start(0));
-        q.schedule(SimTime::from_micros(10), start(1));
-        q.schedule(SimTime::from_micros(20), start(2));
+        q.schedule(SimTime::from_micros(30), 0, start(0));
+        q.schedule(SimTime::from_micros(10), 0, start(1));
+        q.schedule(SimTime::from_micros(20), 0, start(2));
         let times: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
         assert_eq!(
             times,
@@ -141,7 +150,7 @@ mod tests {
         let mut q = EventQueue::new();
         let t = SimTime::from_micros(5);
         for node in 0..5 {
-            q.schedule(t, start(node));
+            q.schedule(t, 0, start(node));
         }
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
@@ -156,8 +165,8 @@ mod tests {
     fn peek_matches_pop() {
         let mut q = EventQueue::new();
         assert!(q.peek_time().is_none());
-        q.schedule(SimTime::from_micros(8), start(0));
-        q.schedule(SimTime::from_micros(3), start(1));
+        q.schedule(SimTime::from_micros(8), 0, start(0));
+        q.schedule(SimTime::from_micros(3), 0, start(1));
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(3)));
         assert_eq!(q.len(), 2);
         q.pop();

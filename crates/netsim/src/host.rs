@@ -3,8 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{SimDuration, SimTime};
 
 /// The Emulab hardware classes used in the paper's evaluation.
@@ -13,13 +11,15 @@ use crate::time::{SimDuration, SimTime};
 /// pc3000 is a 3 GHz 64-bit Xeon with 2 GB RAM. The simulator captures the
 /// difference as a scalar factor applied to every reference CPU cost: code
 /// that takes `t` on a pc3000 takes `cpu_scale() * t` on the given class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MachineClass {
     /// 850 MHz Pentium III, 256 MB RAM (slow class).
     Pc850,
     /// 3 GHz Xeon, 2 GB RAM (fast class, the reference machine).
     Pc3000,
 }
+
+adamant_json::impl_json_unit_enum!(MachineClass { Pc850, Pc3000 });
 
 impl MachineClass {
     /// Multiplier applied to reference CPU costs on this machine.
@@ -65,7 +65,7 @@ impl fmt::Display for MachineClass {
 ///
 /// Stored as bits per second. The three constants cover the paper's Emulab
 /// configurations (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bandwidth(u64);
 
 impl Bandwidth {
@@ -116,7 +116,7 @@ impl fmt::Display for Bandwidth {
 }
 
 /// Static configuration of a simulated host.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HostConfig {
     /// Hardware class, which scales all CPU costs on this host.
     pub machine: MachineClass,

@@ -66,6 +66,7 @@
 
 mod agent;
 mod event;
+mod fault;
 mod host;
 mod loss;
 mod packet;
@@ -77,11 +78,12 @@ mod trace;
 
 pub use agent::{Agent, Ctx};
 pub use event::TimerId;
+pub use fault::{Fault, FaultPlan};
 pub use host::{Bandwidth, HostConfig, MachineClass};
 pub use loss::LossModel;
 pub use packet::{Destination, GroupId, NodeId, OutPacket, Packet, Payload, ProcessingCost};
 pub use rng::SimRng;
 pub use sim::{NetworkConfig, Simulation};
 pub use stats::{TagCounters, WireStats};
-pub use trace::{Trace, TraceEvent, TraceKind};
 pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent, TraceKind};

@@ -5,12 +5,10 @@
 //! injection beyond the paper's envelope: uniform random drops and the
 //! classic two-state Gilbert–Elliott bursty channel.
 
-use serde::{Deserialize, Serialize};
-
 use crate::rng::SimRng;
 
 /// How the network drops packet copies in flight.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LossModel {
     /// Drop each copy independently with probability `p`.
     Bernoulli(f64),
@@ -96,7 +94,11 @@ impl ChannelState {
                 } else if rng.bernoulli(p_enter_bad) {
                     self.in_bad_state = true;
                 }
-                let p = if self.in_bad_state { loss_bad } else { loss_good };
+                let p = if self.in_bad_state {
+                    loss_bad
+                } else {
+                    loss_good
+                };
                 p > 0.0 && rng.bernoulli(p)
             }
         }
@@ -193,6 +195,49 @@ mod tests {
             ge_run > 1.3 * uniform_run,
             "GE runs ({ge_run:.2}) should exceed uniform runs ({uniform_run:.2})"
         );
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_rate_matches_stationary_distribution() {
+        // Property test across seeds and parameterisations: the empirical
+        // long-run loss rate of the two-state chain must converge to the
+        // analytic stationary mixture within a tolerance scaled to the
+        // binomial standard error of the sample.
+        let params = [
+            (0.02, 0.2, 0.0, 0.5),
+            (0.01, 0.05, 0.005, 0.3),
+            (0.1, 0.1, 0.01, 0.8),
+            (0.002, 0.08, 0.0, 1.0),
+            (0.05, 0.5, 0.02, 0.25),
+        ];
+        let n = 300_000u64;
+        for (case, &(p_enter_bad, p_exit_bad, loss_good, loss_bad)) in params.iter().enumerate() {
+            let model = LossModel::GilbertElliott {
+                p_enter_bad,
+                p_exit_bad,
+                loss_good,
+                loss_bad,
+            };
+            let expected = model.steady_state_loss();
+            for seed in 0..4u64 {
+                let mut state = ChannelState::default();
+                let mut rng = SimRng::seed_from_u64(seed * 1_000 + case as u64);
+                let drops = (0..n)
+                    .filter(|_| state.should_drop(&model, &mut rng))
+                    .count();
+                let rate = drops as f64 / n as f64;
+                // Drops are positively correlated across the bad-state
+                // sojourn, so allow several binomial standard errors plus
+                // an absolute floor.
+                let se = (expected * (1.0 - expected) / n as f64).sqrt();
+                let tolerance = (8.0 * se).max(0.004);
+                assert!(
+                    (rate - expected).abs() < tolerance,
+                    "case {case} seed {seed}: empirical {rate:.5} vs stationary \
+                     {expected:.5} (tolerance {tolerance:.5})"
+                );
+            }
+        }
     }
 
     #[test]

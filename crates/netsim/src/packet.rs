@@ -4,12 +4,10 @@ use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimDuration;
 
 /// Identifies a simulated host (and the agent running on it).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -34,7 +32,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifies a multicast group within a simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GroupId(pub(crate) u32);
 
 impl GroupId {
@@ -78,7 +76,7 @@ impl From<GroupId> for Destination {
 /// same protocol code several times slower than a pc3000), then runs them
 /// through the host's serial CPU queue. This is how the reproduction carries
 /// the paper's observation that CPU speed shifts protocol trade-offs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ProcessingCost {
     /// Reference CPU time consumed at the sender before the packet reaches
     /// the NIC.

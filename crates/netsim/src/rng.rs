@@ -6,8 +6,6 @@
 //! configuration and seed. The generator is xoshiro256++, seeded through
 //! SplitMix64 per the reference recommendation.
 
-use serde::{Deserialize, Serialize};
-
 /// A seedable, deterministic pseudo-random number generator (xoshiro256++).
 ///
 /// # Examples
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let mut b = SimRng::seed_from_u64(42);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
     s: [u64; 4],
 }
@@ -63,10 +61,7 @@ impl SimRng {
     /// Returns the next 64 uniformly random bits.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -124,7 +119,7 @@ impl SimRng {
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
     pub fn bernoulli(&mut self, p: f64) -> bool {
-        if !(p > 0.0) {
+        if p.is_nan() || p <= 0.0 {
             return false;
         }
         if p >= 1.0 {

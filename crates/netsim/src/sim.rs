@@ -4,7 +4,7 @@ use std::collections::HashSet;
 
 use crate::agent::{Agent, Command, Ctx};
 use crate::event::{EventKind, EventQueue, TimerId};
-use crate::host::{HostConfig, HostState};
+use crate::host::{Bandwidth, HostConfig, HostState};
 use crate::loss::{ChannelState, LossModel};
 use crate::packet::{Destination, GroupId, NodeId, OutPacket, Packet};
 use crate::rng::SimRng;
@@ -86,6 +86,17 @@ pub struct Simulation {
     node_rngs: Vec<SimRng>,
     hosts: Vec<HostState>,
     agents: Vec<Option<Box<dyn Agent>>>,
+    /// Per-node incarnation counter, bumped on crash. Events carry the
+    /// epoch current when they were scheduled; a mismatch at dispatch time
+    /// means the event belongs to a dead incarnation and must not fire.
+    epochs: Vec<u32>,
+    /// Per-node partition island id; `None` means fully connected. Nodes
+    /// in different islands cannot exchange packets.
+    partition: Option<Vec<u32>>,
+    /// Per-node CPU contention multiplier (1.0 = uncontended). Models
+    /// noisy-neighbour load in a virtualised cloud host: every CPU cost on
+    /// the node is stretched by this factor on top of its machine class.
+    cpu_contention: Vec<f64>,
     groups: Vec<Vec<NodeId>>,
     stats: WireStats,
     network: NetworkConfig,
@@ -124,6 +135,9 @@ impl Simulation {
             node_rngs: Vec::new(),
             hosts: Vec::new(),
             agents: Vec::new(),
+            epochs: Vec::new(),
+            partition: None,
+            cpu_contention: Vec::new(),
             groups: Vec::new(),
             stats: WireStats::new(),
             network: NetworkConfig::default(),
@@ -167,14 +181,24 @@ impl Simulation {
     /// Adds a host running `agent` and returns its id. The agent's
     /// `on_start` fires at the current simulation time.
     pub fn add_node<A: Agent + 'static>(&mut self, config: HostConfig, agent: A) -> NodeId {
+        self.add_boxed_node(config, Box::new(agent))
+    }
+
+    /// [`add_node`](Self::add_node) for an already-boxed agent (useful when
+    /// the concrete agent type is chosen at runtime, e.g. by a fault plan
+    /// or a protocol factory).
+    pub fn add_boxed_node(&mut self, config: HostConfig, agent: Box<dyn Agent>) -> NodeId {
         let id = NodeId(self.hosts.len() as u32);
         self.hosts.push(HostState::new(config));
-        self.agents.push(Some(Box::new(agent)));
+        self.agents.push(Some(agent));
+        self.epochs.push(0);
+        self.cpu_contention.push(1.0);
         let stream = id.0 as u64;
         self.node_rngs.push(self.engine_rng.fork(stream));
         self.channel_states.push(ChannelState::default());
         self.cpu_busy.push(SimDuration::ZERO);
-        self.queue.schedule(self.now, EventKind::Start { node: id });
+        self.queue
+            .schedule(self.now, 0, EventKind::Start { node: id });
         id
     }
 
@@ -304,12 +328,34 @@ impl Simulation {
         debug_assert!(event.time >= self.now, "time went backwards");
         self.now = event.time;
         self.events_processed += 1;
+        let target = match event.kind {
+            EventKind::Start { node }
+            | EventKind::Ingress { node, .. }
+            | EventKind::Deliver { node, .. }
+            | EventKind::Timer { node, .. } => node,
+        };
+        if event.epoch != self.epochs[target.index()] {
+            // The target crashed (and possibly restarted) after this event
+            // was scheduled: it belongs to a dead incarnation. A packet
+            // copy still counts as traffic that hit a downed NIC; timers
+            // and deliveries of the old incarnation vanish silently.
+            if let EventKind::Ingress { node, packet } = &event.kind {
+                self.stats.record_crash_drop(packet.tag);
+                self.trace.record(TraceEvent {
+                    time: self.now,
+                    kind: TraceKind::CrashDropped,
+                    node: *node,
+                    tag: packet.tag,
+                    wire_id: packet.wire_id,
+                    size_bytes: packet.size_bytes,
+                });
+            }
+            return true;
+        }
         match event.kind {
             EventKind::Start { node } => self.dispatch(node, AgentCall::Start),
             EventKind::Ingress { node, packet } => self.ingress(node, packet),
-            EventKind::Deliver { node, packet } => {
-                self.dispatch(node, AgentCall::Packet(packet))
-            }
+            EventKind::Deliver { node, packet } => self.dispatch(node, AgentCall::Packet(packet)),
             EventKind::Timer { node, timer, tag } => {
                 if self.cancelled_timers.remove(&timer) {
                     return true;
@@ -356,6 +402,7 @@ impl Simulation {
             Command::SetTimer { id, fire_at, tag } => {
                 self.queue.schedule(
                     fire_at,
+                    self.epochs[from.index()],
                     EventKind::Timer {
                         node: from,
                         timer: id,
@@ -385,14 +432,16 @@ impl Simulation {
         });
 
         // Sender side: CPU, then egress serialization (once, even for
-        // multicast — the switch replicates).
-        let tx_cost = out.cost.tx.scale(self.hosts[from.index()].config.cpu_scale());
+        // multicast — the switch replicates). CPU contention stretches the
+        // reference cost before the machine-class scaling in `occupy_cpu`.
+        let contention = self.cpu_contention[from.index()];
+        let contended_tx = out.cost.tx.scale(contention);
+        let tx_cost = contended_tx.scale(self.hosts[from.index()].config.cpu_scale());
         self.cpu_busy[from.index()] += tx_cost;
-        let cpu_done = self.hosts[from.index()].occupy_cpu(self.now, out.cost.tx);
+        let cpu_done = self.hosts[from.index()].occupy_cpu(self.now, contended_tx);
         let egress_done = self.hosts[from.index()].occupy_egress(cpu_done, out.size_bytes);
-        let at_switch = egress_done
-            + self.network.propagation
-            + self.hosts[from.index()].config.uplink_delay;
+        let at_switch =
+            egress_done + self.network.propagation + self.hosts[from.index()].config.uplink_delay;
 
         let targets: Vec<NodeId> = match dst {
             Destination::Node(n) => vec![n],
@@ -404,6 +453,33 @@ impl Simulation {
         };
 
         for target in targets {
+            // Crash and partition filters come before the loss roll so that
+            // they consume no randomness: injecting a fault never perturbs
+            // the loss pattern seen by unaffected links.
+            if self.agents[target.index()].is_none() {
+                self.stats.record_crash_drop(out.tag);
+                self.trace.record(TraceEvent {
+                    time: self.now,
+                    kind: TraceKind::CrashDropped,
+                    node: target,
+                    tag: out.tag,
+                    wire_id,
+                    size_bytes: out.size_bytes,
+                });
+                continue;
+            }
+            if !self.reachable(from, target) {
+                self.stats.record_partition_drop(out.tag);
+                self.trace.record(TraceEvent {
+                    time: self.now,
+                    kind: TraceKind::Partitioned,
+                    node: target,
+                    tag: out.tag,
+                    wire_id,
+                    size_bytes: out.size_bytes,
+                });
+                continue;
+            }
             if self.network.loss.can_drop()
                 && self.channel_states[target.index()]
                     .should_drop(&self.network.loss, &mut self.engine_rng)
@@ -435,6 +511,7 @@ impl Simulation {
             };
             self.queue.schedule(
                 at_port,
+                self.epochs[target.index()],
                 EventKind::Ingress {
                     node: target,
                     packet,
@@ -446,10 +523,12 @@ impl Simulation {
     /// Receiver half of the delivery pipeline, run at switch-port arrival
     /// time: ingress serialization, then CPU, then agent delivery.
     fn ingress(&mut self, target: NodeId, packet: Packet) {
+        let contention = self.cpu_contention[target.index()];
+        let contended_rx = packet.cost.rx.scale(contention);
         let host = &mut self.hosts[target.index()];
         let ingress_done = host.occupy_ingress(self.now, packet.size_bytes);
-        let rx_cost = packet.cost.rx.scale(host.config.cpu_scale());
-        let rx_done = host.occupy_cpu(ingress_done, packet.cost.rx);
+        let rx_cost = contended_rx.scale(host.config.cpu_scale());
+        let rx_done = host.occupy_cpu(ingress_done, contended_rx);
         self.cpu_busy[target.index()] += rx_cost;
         self.stats
             .record_delivery(target, packet.tag, packet.size_bytes, rx_done);
@@ -463,6 +542,7 @@ impl Simulation {
         });
         self.queue.schedule(
             rx_done,
+            self.epochs[target.index()],
             EventKind::Deliver {
                 node: target,
                 packet,
@@ -470,11 +550,137 @@ impl Simulation {
         );
     }
 
-    /// Removes the agent from `node`, simulating a host crash: packets in
-    /// flight to it are silently discarded on delivery and its timers never
-    /// fire into agent code again.
+    /// Removes the agent from `node`, simulating a host crash. The node's
+    /// incarnation epoch is bumped so everything already in flight to it —
+    /// packet copies, pending deliveries, timers — is discarded instead of
+    /// consuming host resources, and new sends bounce off the downed NIC
+    /// (counted as [`crash_drops`](crate::TagCounters::crash_drops)).
+    ///
+    /// The returned agent is the crashed incarnation's final state, useful
+    /// for post-mortem inspection in tests. [`restart_node`](Self::restart_node)
+    /// brings the host back with a fresh agent.
     pub fn crash_node(&mut self, node: NodeId) -> Option<Box<dyn Agent>> {
-        self.agents[node.index()].take()
+        let agent = self.agents[node.index()].take();
+        if agent.is_some() {
+            self.epochs[node.index()] += 1;
+        }
+        agent
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.agents[node.index()].is_none()
+    }
+
+    /// Restarts a crashed host with a fresh `agent`, keeping its [`NodeId`],
+    /// host configuration, and group memberships. The new incarnation's
+    /// `on_start` fires at the current simulation time; nothing addressed to
+    /// the previous incarnation can reach it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not crashed.
+    pub fn restart_node(&mut self, node: NodeId, agent: Box<dyn Agent>) {
+        assert!(
+            self.agents[node.index()].is_none(),
+            "restart_node: node {node:?} is not crashed"
+        );
+        self.agents[node.index()] = Some(agent);
+        // A reboot clears NIC queues and any bursty-loss channel state.
+        self.channel_states[node.index()] = ChannelState::default();
+        let host = &mut self.hosts[node.index()];
+        host.cpu_free_at = self.now;
+        host.egress_free_at = self.now;
+        host.ingress_free_at = self.now;
+        self.queue.schedule(
+            self.now,
+            self.epochs[node.index()],
+            EventKind::Start { node },
+        );
+    }
+
+    /// Replaces the network configuration mid-run: the new propagation
+    /// delay and loss model apply to every transmission from now on
+    /// (copies already in flight keep their old timing).
+    pub fn set_network(&mut self, network: NetworkConfig) {
+        self.network = network;
+    }
+
+    /// The current network configuration.
+    pub fn network(&self) -> NetworkConfig {
+        self.network
+    }
+
+    /// Changes one host's NIC bandwidth mid-run (e.g. a cloud provider
+    /// throttling a tenant). Applies to transmissions from now on.
+    pub fn set_host_bandwidth(&mut self, node: NodeId, bandwidth: Bandwidth) {
+        self.hosts[node.index()].config.bandwidth = bandwidth;
+    }
+
+    /// Sets the CPU contention multiplier of `node` (1.0 = uncontended).
+    /// Every subsequent CPU cost on the node is stretched by `factor`,
+    /// modelling noisy-neighbour interference on a shared cloud host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn set_cpu_contention(&mut self, node: NodeId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "contention factor must be finite and positive, got {factor}"
+        );
+        self.cpu_contention[node.index()] = factor;
+    }
+
+    /// The current CPU contention multiplier of `node`.
+    pub fn cpu_contention(&self, node: NodeId) -> f64 {
+        self.cpu_contention[node.index()]
+    }
+
+    /// Partitions the network into islands: nodes in different islands
+    /// cannot exchange packets (copies are counted as
+    /// [`partition_drops`](crate::TagCounters::partition_drops)). Nodes not
+    /// listed in any island form one implicit island of their own.
+    /// Replaces any partition already in effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node appears in more than one island.
+    pub fn set_partition(&mut self, islands: &[Vec<NodeId>]) {
+        let mut assignment = vec![0u32; self.hosts.len()];
+        for (i, island) in islands.iter().enumerate() {
+            for &node in island {
+                assert_eq!(
+                    assignment[node.index()],
+                    0,
+                    "set_partition: {node:?} appears in more than one island"
+                );
+                assignment[node.index()] = (i + 1) as u32;
+            }
+        }
+        self.partition = Some(assignment);
+    }
+
+    /// Removes any partition; all hosts can reach each other again.
+    pub fn heal_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// Whether a partition is currently in effect.
+    pub fn is_partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Whether packets from `a` can currently reach `b` (ignoring crashes
+    /// and loss — purely the partition topology).
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        match &self.partition {
+            None => true,
+            Some(islands) => {
+                let of = |n: NodeId| islands.get(n.index()).copied().unwrap_or(0);
+                of(a) == of(b)
+            }
+        }
     }
 }
 
@@ -526,10 +732,7 @@ mod tests {
     impl Agent for Blaster {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             for _ in 0..self.count {
-                ctx.send(
-                    self.dst,
-                    OutPacket::new(self.size, ()).cost(self.cost),
-                );
+                ctx.send(self.dst, OutPacket::new(self.size, ()).cost(self.cost));
             }
         }
         fn as_any(&self) -> &dyn Any {
@@ -570,10 +773,7 @@ mod tests {
     fn cpu_cost_scales_latency_on_slow_machine() {
         let run = |machine: MachineClass| {
             let mut sim = Simulation::new(1);
-            let rx = sim.add_node(
-                HostConfig::new(machine, Bandwidth::GBPS_1),
-                Recorder::new(),
-            );
+            let rx = sim.add_node(HostConfig::new(machine, Bandwidth::GBPS_1), Recorder::new());
             let _tx = sim.add_node(
                 gbit_host(),
                 Blaster {
@@ -789,8 +989,158 @@ mod tests {
         );
         let taken = sim.crash_node(rx);
         assert!(taken.is_some());
+        assert!(sim.is_crashed(rx));
         sim.run();
         assert!(sim.agent::<Recorder>(rx).is_none());
+        // Sends bounced off the downed NIC: counted, never delivered.
+        assert_eq!(sim.stats().tag(0).crash_drops, 5);
+        assert_eq!(sim.stats().tag(0).deliveries, 0);
+    }
+
+    #[test]
+    fn crash_discards_in_flight_events() {
+        // Regression: copies already in flight to a node when it crashes
+        // must be dropped at its NIC, not delivered to (or counted for) the
+        // dead host.
+        let mut sim = Simulation::new(1);
+        let rx = sim.add_node(gbit_host(), Recorder::new());
+        let _tx = sim.add_node(
+            gbit_host(),
+            Blaster {
+                dst: rx.into(),
+                count: 5,
+                size: 100,
+                cost: crate::ProcessingCost::FREE,
+            },
+        );
+        // All five sends happen at t=0; copies are now in flight (ingress
+        // at ~51 µs). Crash the receiver before any arrives.
+        sim.run_until(SimTime::from_micros(10));
+        sim.crash_node(rx);
+        sim.run();
+        let s = sim.stats().tag(0);
+        assert_eq!(s.sends, 5);
+        assert_eq!(s.deliveries, 0, "in-flight copies reached a dead host");
+        assert_eq!(s.crash_drops, 5);
+    }
+
+    #[test]
+    fn restart_does_not_leak_old_incarnation_timers() {
+        struct Ticker {
+            ticks: u32,
+        }
+        impl Agent for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: TimerId, _tag: u64) {
+                self.ticks += 1;
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let n = sim.add_node(gbit_host(), Ticker { ticks: 0 });
+        sim.run_until(SimTime::from_millis(10));
+        sim.crash_node(n);
+        sim.restart_node(n, Box::new(Ticker { ticks: 0 }));
+        sim.run_until(SimTime::from_millis(20));
+        // Exactly the new incarnation's ticks: one per ms for 10 ms. If the
+        // old incarnation's pending timer leaked through, there'd be 11+.
+        assert_eq!(sim.agent::<Ticker>(n).unwrap().ticks, 10);
+    }
+
+    #[test]
+    fn cpu_contention_stretches_processing() {
+        let run = |factor: f64| {
+            let mut sim = Simulation::new(1);
+            let rx = sim.add_node(gbit_host(), Recorder::new());
+            sim.set_cpu_contention(rx, factor);
+            let _tx = sim.add_node(
+                gbit_host(),
+                Blaster {
+                    dst: rx.into(),
+                    count: 1,
+                    size: 125,
+                    cost: crate::ProcessingCost::new(
+                        SimDuration::ZERO,
+                        SimDuration::from_micros(100),
+                    ),
+                },
+            );
+            sim.run();
+            (
+                sim.agent::<Recorder>(rx).unwrap().arrivals[0].0,
+                sim.cpu_busy(rx),
+            )
+        };
+        let (base, base_busy) = run(1.0);
+        let (contended, contended_busy) = run(4.0);
+        // 100 µs rx cost stretched ×4 → 300 µs extra latency and busy time.
+        assert_eq!(
+            contended.as_nanos() - base.as_nanos(),
+            SimDuration::from_micros(300).as_nanos()
+        );
+        assert_eq!(
+            contended_busy.as_nanos() - base_busy.as_nanos(),
+            SimDuration::from_micros(300).as_nanos()
+        );
+    }
+
+    #[test]
+    fn bandwidth_downgrade_slows_serialization() {
+        let mut sim = Simulation::new(1);
+        let rx = sim.add_node(gbit_host(), Recorder::new());
+        let tx = sim.add_node(
+            gbit_host(),
+            Blaster {
+                dst: rx.into(),
+                count: 1,
+                size: 1_250, // 10 µs at 1 Gb/s, 1 ms at 10 Mb/s
+                cost: crate::ProcessingCost::FREE,
+            },
+        );
+        sim.set_host_bandwidth(tx, Bandwidth::MBPS_10);
+        sim.run();
+        let arrival = sim.agent::<Recorder>(rx).unwrap().arrivals[0].0;
+        // egress 1 ms + propagation 50 µs + ingress 10 µs.
+        assert_eq!(arrival, SimTime::from_micros(1_060));
+    }
+
+    #[test]
+    fn partition_respects_islands_and_default_island() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_node(gbit_host(), Recorder::new());
+        let b = sim.add_node(gbit_host(), Recorder::new());
+        let c = sim.add_node(gbit_host(), Recorder::new());
+        sim.set_partition(&[vec![a], vec![b]]);
+        assert!(sim.is_partitioned());
+        assert!(!sim.reachable(a, b));
+        assert!(!sim.reachable(a, c)); // c is in the implicit island
+        assert!(sim.reachable(a, a));
+        sim.heal_partition();
+        assert!(sim.reachable(a, b));
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one island")]
+    fn overlapping_islands_rejected() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_node(gbit_host(), Recorder::new());
+        sim.set_partition(&[vec![a], vec![a]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not crashed")]
+    fn restart_of_live_node_rejected() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_node(gbit_host(), Recorder::new());
+        sim.restart_node(a, Box::new(Recorder::new()));
     }
 
     #[test]

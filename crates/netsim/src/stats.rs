@@ -6,13 +6,11 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::packet::NodeId;
 use crate::time::SimTime;
 
 /// Per-tag transmission counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TagCounters {
     /// Transmissions initiated (one per `send`, regardless of fan-out).
     pub sends: u64,
@@ -20,6 +18,10 @@ pub struct TagCounters {
     pub deliveries: u64,
     /// Copies dropped by the link-loss model.
     pub link_drops: u64,
+    /// Copies discarded because the target host was crashed (NIC down).
+    pub crash_drops: u64,
+    /// Copies discarded because a network partition separated the hosts.
+    pub partition_drops: u64,
     /// Bytes clocked onto receiver links (deliveries × size).
     pub bytes_delivered: u64,
     /// Bytes clocked out of sender NICs (sends × size).
@@ -27,7 +29,7 @@ pub struct TagCounters {
 }
 
 /// Wire statistics for a completed (or in-progress) simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct WireStats {
     per_tag: BTreeMap<u16, TagCounters>,
     labels: BTreeMap<u16, String>,
@@ -67,6 +69,14 @@ impl WireStats {
 
     pub(crate) fn record_link_drop(&mut self, tag: u16) {
         self.per_tag.entry(tag).or_default().link_drops += 1;
+    }
+
+    pub(crate) fn record_crash_drop(&mut self, tag: u16) {
+        self.per_tag.entry(tag).or_default().crash_drops += 1;
+    }
+
+    pub(crate) fn record_partition_drop(&mut self, tag: u16) {
+        self.per_tag.entry(tag).or_default().partition_drops += 1;
     }
 
     /// Counters for one tag (zeroes if the tag never appeared).

@@ -3,13 +3,11 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use crate::packet::NodeId;
 use crate::time::SimTime;
 
 /// What happened to a packet copy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
     /// A transmission left a sender (one per `send`, before fan-out).
     Sent,
@@ -17,10 +15,14 @@ pub enum TraceKind {
     Delivered,
     /// A copy was dropped by the network loss model.
     LinkDropped,
+    /// A copy was discarded because the target host was crashed.
+    CrashDropped,
+    /// A copy was discarded because a partition separated the hosts.
+    Partitioned,
 }
 
 /// One traced wire event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// When the event was recorded (send time for `Sent`, delivery time
     /// for `Delivered`, send time for `LinkDropped`).
@@ -94,7 +96,11 @@ impl Trace {
 
     /// Events matching a tag, oldest first.
     pub fn with_tag(&self, tag: u16) -> Vec<TraceEvent> {
-        self.events.iter().filter(|e| e.tag == tag).copied().collect()
+        self.events
+            .iter()
+            .filter(|e| e.tag == tag)
+            .copied()
+            .collect()
     }
 }
 
@@ -137,10 +143,7 @@ mod tests {
     fn tag_filter() {
         let mut t = Trace::new(10);
         t.record(event(1));
-        t.record(TraceEvent {
-            tag: 9,
-            ..event(2)
-        });
+        t.record(TraceEvent { tag: 9, ..event(2) });
         assert_eq!(t.with_tag(9).len(), 1);
         assert_eq!(t.with_tag(1).len(), 1);
         assert_eq!(t.with_tag(7).len(), 0);

@@ -1,4 +1,5 @@
-//! Property-based tests of the simulation engine's invariants.
+//! Property-style tests of the simulation engine's invariants, driven by
+//! deterministic seeded sweeps.
 
 use std::any::Any;
 
@@ -6,7 +7,6 @@ use adamant_netsim::{
     Agent, Bandwidth, Ctx, HostConfig, MachineClass, OutPacket, Packet, ProcessingCost,
     SimDuration, SimTime, Simulation, TimerId,
 };
-use proptest::prelude::*;
 
 /// Records every packet arrival instant.
 struct Recorder {
@@ -53,6 +53,30 @@ impl Agent for Blaster {
     }
 }
 
+/// Splitmix-style case generator.
+struct CaseRng(u64);
+
+impl CaseRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn sizes(&mut self, max_len: u64, max_size: u64) -> Vec<u32> {
+        let len = self.range_u64(1, max_len);
+        (0..len)
+            .map(|_| self.range_u64(1, max_size) as u32)
+            .collect()
+    }
+}
+
 fn run_stream(
     seed: u64,
     sizes: Vec<u32>,
@@ -84,17 +108,15 @@ fn run_stream(
     arrivals
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Deliveries happen in send order and never travel back in time.
-    #[test]
-    fn arrivals_are_monotone(
-        sizes in prop::collection::vec(1u32..2_000, 1..40),
-        interval_us in 1u64..5_000,
-        tx_us in 0u64..200,
-        rx_us in 0u64..200,
-    ) {
+/// Deliveries happen in send order and never travel back in time.
+#[test]
+fn arrivals_are_monotone() {
+    let mut rng = CaseRng(11);
+    for _ in 0..64 {
+        let sizes = rng.sizes(40, 2_000);
+        let interval_us = rng.range_u64(1, 5_000);
+        let tx_us = rng.range_u64(0, 200);
+        let rx_us = rng.range_u64(0, 200);
         let arrivals = run_stream(
             7,
             sizes,
@@ -104,68 +126,116 @@ proptest! {
             Bandwidth::GBPS_1,
         );
         for pair in arrivals.windows(2) {
-            prop_assert!(pair[0] <= pair[1]);
+            assert!(pair[0] <= pair[1]);
         }
-        prop_assert!(arrivals[0] > SimTime::ZERO);
+        assert!(arrivals[0] > SimTime::ZERO);
     }
+}
 
-    /// A slower machine never delivers earlier than a faster one for the
-    /// same stream, and a slower link never beats a faster one.
-    #[test]
-    fn slower_resources_never_deliver_earlier(
-        sizes in prop::collection::vec(1u32..2_000, 1..25),
-        interval_us in 100u64..5_000,
-        rx_us in 1u64..150,
-    ) {
-        let fast = run_stream(3, sizes.clone(), interval_us, (5, rx_us), MachineClass::Pc3000, Bandwidth::GBPS_1);
-        let slow_cpu = run_stream(3, sizes.clone(), interval_us, (5, rx_us), MachineClass::Pc850, Bandwidth::GBPS_1);
-        let slow_net = run_stream(3, sizes, interval_us, (5, rx_us), MachineClass::Pc3000, Bandwidth::MBPS_10);
+/// A slower machine never delivers earlier than a faster one for the
+/// same stream, and a slower link never beats a faster one.
+#[test]
+fn slower_resources_never_deliver_earlier() {
+    let mut rng = CaseRng(12);
+    for _ in 0..32 {
+        let sizes = rng.sizes(25, 2_000);
+        let interval_us = rng.range_u64(100, 5_000);
+        let rx_us = rng.range_u64(1, 150);
+        let fast = run_stream(
+            3,
+            sizes.clone(),
+            interval_us,
+            (5, rx_us),
+            MachineClass::Pc3000,
+            Bandwidth::GBPS_1,
+        );
+        let slow_cpu = run_stream(
+            3,
+            sizes.clone(),
+            interval_us,
+            (5, rx_us),
+            MachineClass::Pc850,
+            Bandwidth::GBPS_1,
+        );
+        let slow_net = run_stream(
+            3,
+            sizes,
+            interval_us,
+            (5, rx_us),
+            MachineClass::Pc3000,
+            Bandwidth::MBPS_10,
+        );
         for ((f, sc), sn) in fast.iter().zip(&slow_cpu).zip(&slow_net) {
-            prop_assert!(sc >= f);
-            prop_assert!(sn >= f);
+            assert!(sc >= f);
+            assert!(sn >= f);
         }
     }
+}
 
-    /// Identical seeds and construction produce identical traces;
-    /// regardless of seed, lossless delivery count is exact.
-    #[test]
-    fn seed_determinism(
-        seed in 0u64..1_000,
-        sizes in prop::collection::vec(1u32..500, 1..20),
-    ) {
-        let a = run_stream(seed, sizes.clone(), 100, (1, 1), MachineClass::Pc850, Bandwidth::MBPS_100);
-        let b = run_stream(seed, sizes, 100, (1, 1), MachineClass::Pc850, Bandwidth::MBPS_100);
-        prop_assert_eq!(a, b);
+/// Identical seeds and construction produce identical traces.
+#[test]
+fn seed_determinism() {
+    let mut rng = CaseRng(13);
+    for _ in 0..32 {
+        let seed = rng.range_u64(0, 1_000);
+        let sizes = rng.sizes(20, 500);
+        let a = run_stream(
+            seed,
+            sizes.clone(),
+            100,
+            (1, 1),
+            MachineClass::Pc850,
+            Bandwidth::MBPS_100,
+        );
+        let b = run_stream(
+            seed,
+            sizes,
+            100,
+            (1, 1),
+            MachineClass::Pc850,
+            Bandwidth::MBPS_100,
+        );
+        assert_eq!(a, b);
     }
+}
 
-    /// SimDuration arithmetic: scaling by the machine factor is monotone
-    /// and proportional.
-    #[test]
-    fn duration_scaling_is_monotone(us in 0u64..1_000_000, factor in 0.0f64..10.0) {
+/// SimDuration arithmetic: scaling by the machine factor is monotone
+/// and proportional.
+#[test]
+fn duration_scaling_is_monotone() {
+    let mut rng = CaseRng(14);
+    for _ in 0..256 {
+        let us = rng.range_u64(0, 1_000_000);
+        let factor = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 10.0;
         let d = SimDuration::from_micros(us);
         let scaled = d.scale(factor);
         if factor >= 1.0 {
-            prop_assert!(scaled >= d);
+            assert!(scaled >= d);
         } else {
-            prop_assert!(scaled <= d);
+            assert!(scaled <= d);
         }
     }
+}
 
-    /// Serialization time is additive in bytes (within rounding).
-    #[test]
-    fn serialization_time_additivity(a in 1u32..100_000, b in 1u32..100_000) {
+/// Serialization time is additive in bytes (within rounding).
+#[test]
+fn serialization_time_additivity() {
+    let mut rng = CaseRng(15);
+    for _ in 0..256 {
+        let a = rng.range_u64(1, 100_000) as u32;
+        let b = rng.range_u64(1, 100_000) as u32;
         let bw = Bandwidth::MBPS_100;
         let ta = bw.serialization_time(a).as_nanos() as i128;
         let tb = bw.serialization_time(b).as_nanos() as i128;
         let tab = bw.serialization_time(a + b).as_nanos() as i128;
-        prop_assert!((ta + tb - tab).abs() <= 1);
+        assert!((ta + tb - tab).abs() <= 1);
     }
 }
 
 /// Tracing and CPU accounting integration (deterministic cases).
 mod trace_and_cpu {
     use super::*;
-    use adamant_netsim::{TraceKind, LossModel, NetworkConfig};
+    use adamant_netsim::{LossModel, NetworkConfig, TraceKind};
 
     #[test]
     fn trace_records_send_and_delivery() {

@@ -46,6 +46,11 @@ impl AckcastSender {
         }
     }
 
+    /// Samples published so far.
+    pub fn published(&self) -> u64 {
+        self.core.published()
+    }
+
     /// Unicast retransmissions sent in response to ACK gap reports.
     pub fn retransmissions_sent(&self) -> u64 {
         self.retransmissions_sent
@@ -184,9 +189,7 @@ impl AckcastReceiver {
             self.give_ups += 1;
         }
         let below = self.highest_advertised.map_or(0, |h| h + 1);
-        let size = FRAMING_BYTES
-            + NAK_BASE_BYTES
-            + NAK_PER_SEQ_BYTES * report.len() as u32;
+        let size = FRAMING_BYTES + NAK_BASE_BYTES + NAK_PER_SEQ_BYTES * report.len() as u32;
         let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
         ctx.send(
             self.sender,
@@ -216,8 +219,10 @@ impl AckcastReceiver {
         if data.seq > 0 {
             self.note_advertised_upto(data.seq - 1);
         }
-        self.highest_advertised =
-            Some(self.highest_advertised.map_or(data.seq, |h| h.max(data.seq)));
+        self.highest_advertised = Some(
+            self.highest_advertised
+                .map_or(data.seq, |h| h.max(data.seq)),
+        );
         self.missing.remove(&data.seq);
         let fresh = self.log.record(Delivery {
             seq: data.seq,
@@ -309,11 +314,7 @@ mod tests {
     use super::*;
     use adamant_netsim::{Bandwidth, HostConfig, MachineClass, Simulation};
 
-    fn run_session(
-        samples: u64,
-        drop_probability: f64,
-        seed: u64,
-    ) -> (Simulation, Vec<NodeId>) {
+    fn run_session(samples: u64, drop_probability: f64, seed: u64) -> (Simulation, Vec<NodeId>) {
         let mut sim = Simulation::new(seed);
         let cfg = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
         let app = AppSpec::at_rate(samples, 100.0, 12);

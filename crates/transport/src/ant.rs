@@ -7,11 +7,11 @@
 //! protocol properties into concrete agents on simulated hosts.
 
 use adamant_metrics::QosReport;
-use adamant_netsim::{GroupId, HostConfig, NodeId, Simulation};
-use serde::{Deserialize, Serialize};
+use adamant_netsim::{Agent, GroupId, HostConfig, NodeId, SimDuration, Simulation};
 
 use crate::ackcast::{AckcastReceiver, AckcastSender};
 use crate::config::{ProtocolKind, TransportConfig};
+use crate::failover::NakcastStandby;
 use crate::nakcast::{NakcastReceiver, NakcastSender};
 use crate::profile::{AppSpec, StackProfile};
 use crate::receiver::DataReader;
@@ -21,7 +21,7 @@ use crate::tags;
 use crate::udp::{UdpReceiver, UdpSender};
 
 /// Everything needed to set up one experiment session.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionSpec {
     /// Transport protocol and tuning.
     pub transport: TransportConfig,
@@ -52,6 +52,63 @@ pub struct SessionHandles {
     pub expected_samples: u64,
 }
 
+/// Builds the sender agent for `spec`'s protocol, publishing into `group`.
+fn sender_agent(spec: &SessionSpec, group: GroupId) -> Box<dyn Agent> {
+    let tuning = spec.transport.tuning;
+    let app = spec.app;
+    let stack = spec.stack;
+    match spec.transport.kind {
+        ProtocolKind::Udp => Box::new(UdpSender::new(app, stack, tuning, group)),
+        ProtocolKind::Nakcast { .. } => Box::new(NakcastSender::new(app, stack, tuning, group)),
+        ProtocolKind::Ricochet { .. } => Box::new(RicochetSender::new(app, stack, tuning, group)),
+        ProtocolKind::Ackcast { .. } => Box::new(AckcastSender::new(app, stack, tuning, group)),
+        ProtocolKind::Slingshot { .. } => Box::new(SlingshotSender::new(app, stack, tuning, group)),
+    }
+}
+
+/// Builds a receiver agent for `spec`'s protocol, expecting the stream
+/// from `sender` on `group`.
+fn receiver_agent(spec: &SessionSpec, sender: NodeId, group: GroupId) -> Box<dyn Agent> {
+    let tuning = spec.transport.tuning;
+    let app = spec.app;
+    match spec.transport.kind {
+        ProtocolKind::Udp => Box::new(UdpReceiver::new(app.total_samples, spec.drop_probability)),
+        ProtocolKind::Nakcast { timeout } => Box::new(NakcastReceiver::new(
+            sender,
+            app.total_samples,
+            timeout,
+            tuning,
+            spec.drop_probability,
+        )),
+        ProtocolKind::Ricochet { r, c } => Box::new(RicochetReceiver::new(
+            sender,
+            group,
+            app.total_samples,
+            app.payload_bytes,
+            r,
+            c,
+            tuning,
+            spec.drop_probability,
+        )),
+        ProtocolKind::Ackcast { rto } => Box::new(AckcastReceiver::new(
+            sender,
+            app.total_samples,
+            rto,
+            tuning,
+            spec.drop_probability,
+        )),
+        ProtocolKind::Slingshot { c } => Box::new(SlingshotReceiver::new(
+            sender,
+            group,
+            app.total_samples,
+            app.payload_bytes,
+            c,
+            tuning,
+            spec.drop_probability,
+        )),
+    }
+}
+
 /// Installs a complete session described by `spec` into `sim`.
 ///
 /// Creates the sender host, one host per receiver, the multicast group, and
@@ -59,87 +116,15 @@ pub struct SessionHandles {
 pub fn install(sim: &mut Simulation, spec: &SessionSpec) -> SessionHandles {
     tags::register_all(sim);
     let group = sim.create_group(&[]);
-    let tuning = spec.transport.tuning;
-    let app = spec.app;
-    let stack = spec.stack;
 
-    let sender = match spec.transport.kind {
-        ProtocolKind::Udp => sim.add_node(
-            spec.sender_host,
-            UdpSender::new(app, stack, tuning, group),
-        ),
-        ProtocolKind::Nakcast { .. } => sim.add_node(
-            spec.sender_host,
-            NakcastSender::new(app, stack, tuning, group),
-        ),
-        ProtocolKind::Ricochet { .. } => sim.add_node(
-            spec.sender_host,
-            RicochetSender::new(app, stack, tuning, group),
-        ),
-        ProtocolKind::Ackcast { .. } => sim.add_node(
-            spec.sender_host,
-            AckcastSender::new(app, stack, tuning, group),
-        ),
-        ProtocolKind::Slingshot { .. } => sim.add_node(
-            spec.sender_host,
-            SlingshotSender::new(app, stack, tuning, group),
-        ),
-    };
+    // Node ids are assigned sequentially, so the sender's id is known
+    // before its agent (which doesn't need it) is built.
+    let sender = sim.add_boxed_node(spec.sender_host, sender_agent(spec, group));
     sim.join_group(group, sender);
 
     let mut receivers = Vec::with_capacity(spec.receiver_hosts.len());
     for &host in &spec.receiver_hosts {
-        let node = match spec.transport.kind {
-            ProtocolKind::Udp => sim.add_node(
-                host,
-                UdpReceiver::new(app.total_samples, spec.drop_probability),
-            ),
-            ProtocolKind::Nakcast { timeout } => sim.add_node(
-                host,
-                NakcastReceiver::new(
-                    sender,
-                    app.total_samples,
-                    timeout,
-                    tuning,
-                    spec.drop_probability,
-                ),
-            ),
-            ProtocolKind::Ricochet { r, c } => sim.add_node(
-                host,
-                RicochetReceiver::new(
-                    sender,
-                    group,
-                    app.total_samples,
-                    app.payload_bytes,
-                    r,
-                    c,
-                    tuning,
-                    spec.drop_probability,
-                ),
-            ),
-            ProtocolKind::Ackcast { rto } => sim.add_node(
-                host,
-                AckcastReceiver::new(
-                    sender,
-                    app.total_samples,
-                    rto,
-                    tuning,
-                    spec.drop_probability,
-                ),
-            ),
-            ProtocolKind::Slingshot { c } => sim.add_node(
-                host,
-                SlingshotReceiver::new(
-                    sender,
-                    group,
-                    app.total_samples,
-                    app.payload_bytes,
-                    c,
-                    tuning,
-                    spec.drop_probability,
-                ),
-            ),
-        };
+        let node = sim.add_boxed_node(host, receiver_agent(spec, sender, group));
         sim.join_group(group, node);
         receivers.push(node);
     }
@@ -149,7 +134,126 @@ pub fn install(sim: &mut Simulation, spec: &SessionSpec) -> SessionHandles {
         sender,
         receivers,
         group,
-        expected_samples: app.total_samples,
+        expected_samples: spec.app.total_samples,
+    }
+}
+
+/// Restarts receiver `index` of an installed session after a crash, with a
+/// fresh agent of the session's protocol (same node id, host, and group
+/// membership). The new incarnation starts with an empty reception log and
+/// catches up on the stream through the protocol's own recovery machinery
+/// (e.g. NAKcast's heartbeat-advertised high-water mark).
+///
+/// # Panics
+///
+/// Panics if the receiver is not currently crashed.
+pub fn rejoin_receiver(
+    sim: &mut Simulation,
+    spec: &SessionSpec,
+    handles: &SessionHandles,
+    index: usize,
+) {
+    let node = handles.receivers[index];
+    let agent = receiver_agent(spec, handles.sender, handles.group);
+    sim.restart_node(node, agent);
+    sim.join_group(handles.group, node);
+}
+
+/// Adds a warm-standby sender to an installed NAKcast session on `host`.
+/// The standby overhears the group, detects primary silence after
+/// `detect_timeout`, and promotes itself to continue the stream.
+///
+/// # Panics
+///
+/// Panics if the session's protocol is not NAKcast (other protocols have
+/// no standby implementation).
+pub fn install_standby(
+    sim: &mut Simulation,
+    spec: &SessionSpec,
+    handles: &SessionHandles,
+    host: HostConfig,
+    detect_timeout: SimDuration,
+) -> NodeId {
+    assert!(
+        matches!(spec.transport.kind, ProtocolKind::Nakcast { .. }),
+        "warm standby is only implemented for NAKcast, not {}",
+        spec.transport.kind
+    );
+    let standby = sim.add_node(
+        host,
+        NakcastStandby::new(
+            spec.app,
+            spec.stack,
+            spec.transport.tuning,
+            handles.group,
+            detect_timeout,
+        ),
+    );
+    sim.join_group(handles.group, standby);
+    standby
+}
+
+/// Tears down a running session's agents and installs `spec`'s protocol on
+/// the same nodes and group — a live mid-stream protocol switch. Every
+/// node keeps its id, host configuration, and group membership; the old
+/// agents' reception logs are discarded, so callers that need continuity
+/// must harvest deliveries *before* switching (see the self-healing layer
+/// in `adamant-core`).
+///
+/// `spec.app.total_samples` should be the *remaining* sample count; the
+/// new sender starts a fresh stream numbered from zero.
+pub fn reinstall(
+    sim: &mut Simulation,
+    spec: &SessionSpec,
+    handles: &SessionHandles,
+) -> SessionHandles {
+    let sender = handles.sender;
+    if !sim.is_crashed(sender) {
+        sim.crash_node(sender);
+    }
+    sim.restart_node(sender, sender_agent(spec, handles.group));
+    for &node in &handles.receivers {
+        if !sim.is_crashed(node) {
+            sim.crash_node(node);
+        }
+        sim.restart_node(node, receiver_agent(spec, sender, handles.group));
+        sim.join_group(handles.group, node);
+    }
+    SessionHandles {
+        kind: spec.transport.kind,
+        sender,
+        receivers: handles.receivers.clone(),
+        group: handles.group,
+        expected_samples: spec.app.total_samples,
+    }
+}
+
+/// Samples published so far by an installed session's sender.
+///
+/// # Panics
+///
+/// Panics if the sender node does not carry `handles`' protocol (e.g. it
+/// crashed or was reinstalled under different handles).
+pub fn published_count(sim: &Simulation, handles: &SessionHandles) -> u64 {
+    let node = handles.sender;
+    match handles.kind {
+        ProtocolKind::Udp => sim.agent::<UdpSender>(node).expect("sender").published(),
+        ProtocolKind::Nakcast { .. } => sim
+            .agent::<NakcastSender>(node)
+            .expect("sender")
+            .published(),
+        ProtocolKind::Ricochet { .. } => sim
+            .agent::<RicochetSender>(node)
+            .expect("sender")
+            .published(),
+        ProtocolKind::Ackcast { .. } => sim
+            .agent::<AckcastSender>(node)
+            .expect("sender")
+            .published(),
+        ProtocolKind::Slingshot { .. } => sim
+            .agent::<SlingshotSender>(node)
+            .expect("sender")
+            .published(),
     }
 }
 
@@ -193,10 +297,7 @@ pub fn collect_protocol_stats(
 
 /// Builds the pooled [`QosReport`] for a finished session.
 pub fn collect_report(sim: &Simulation, handles: &SessionHandles) -> QosReport {
-    let mut builder = QosReport::builder(
-        handles.expected_samples,
-        handles.receivers.len() as u32,
-    );
+    let mut builder = QosReport::builder(handles.expected_samples, handles.receivers.len() as u32);
     for &node in &handles.receivers {
         let r = reader(sim, handles, node);
         builder.add_receiver(r.log().deliveries(), r.duplicates());
@@ -329,8 +430,18 @@ mod tests {
 
     #[test]
     fn deterministic_across_identical_runs() {
-        let a = run(ProtocolKind::Nakcast { timeout: SimDuration::from_millis(10) }, 11);
-        let b = run(ProtocolKind::Nakcast { timeout: SimDuration::from_millis(10) }, 11);
+        let a = run(
+            ProtocolKind::Nakcast {
+                timeout: SimDuration::from_millis(10),
+            },
+            11,
+        );
+        let b = run(
+            ProtocolKind::Nakcast {
+                timeout: SimDuration::from_millis(10),
+            },
+            11,
+        );
         assert_eq!(a, b);
     }
 }

@@ -4,14 +4,13 @@
 use std::fmt;
 
 use adamant_netsim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Which transport protocol a pub/sub session uses, with its parameters.
 ///
 /// These are the QoS mechanisms the ADAMANT paper evaluates: NAKcast with
 /// four NAK-timeout settings and Ricochet with two `(R, C)` settings, plus
 /// plain UDP multicast and an ACK-based reliable multicast as baselines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// Best-effort UDP multicast: no recovery at all.
     Udp,
@@ -141,7 +140,7 @@ impl fmt::Display for ProtocolKind {
 /// The transport-property vocabulary of the ANT framework (§3.1 of the
 /// paper): orthogonal capabilities that protocols compose at configuration
 /// time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ProtocolProperties {
     /// Uses IP-multicast-style fan-out.
     pub multicast: bool,
@@ -168,7 +167,7 @@ pub struct ProtocolProperties {
 /// Defaults are calibrated so the simulated protocols reproduce the
 /// *relative* behaviour measured in the paper (see DESIGN.md §3); every
 /// value is overridable for ablation studies.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Tuning {
     /// Interval between sender session heartbeats (carrying the highest
     /// sequence sent) that bound NAKcast/ACKcast gap-detection delay.
@@ -246,7 +245,7 @@ impl Default for Tuning {
 }
 
 /// A complete transport configuration: protocol choice plus tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransportConfig {
     /// The protocol and its parameters.
     pub kind: ProtocolKind,

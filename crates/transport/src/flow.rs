@@ -6,7 +6,6 @@
 //! and egress link.
 
 use adamant_netsim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A deterministic token bucket over simulated time.
 ///
@@ -27,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// // 100 ms later one token has refilled.
 /// assert!(bucket.admit(SimTime::from_millis(100)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TokenBucket {
     burst: f64,
     rate_per_sec: f64,
@@ -60,8 +59,7 @@ impl TokenBucket {
 
     fn refill(&mut self, now: SimTime) {
         let elapsed = now.saturating_since(self.last_refill);
-        self.tokens =
-            (self.tokens + elapsed.as_secs_f64() * self.rate_per_sec).min(self.burst);
+        self.tokens = (self.tokens + elapsed.as_secs_f64() * self.rate_per_sec).min(self.burst);
         self.last_refill = self.last_refill.max(now);
     }
 

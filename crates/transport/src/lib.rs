@@ -47,9 +47,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod ant;
 mod ackcast;
+pub mod ant;
 mod config;
+mod failover;
 mod flow;
 mod nakcast;
 mod profile;
@@ -64,8 +65,9 @@ pub mod wire;
 pub use ackcast::{AckcastReceiver, AckcastSender};
 pub use ant::{SessionHandles, SessionSpec};
 pub use config::{ProtocolKind, ProtocolProperties, TransportConfig, Tuning};
-pub use nakcast::{NakcastReceiver, NakcastSender};
+pub use failover::NakcastStandby;
 pub use flow::TokenBucket;
+pub use nakcast::{NakcastReceiver, NakcastSender};
 pub use profile::{AppSpec, StackProfile};
 pub use receiver::{DataReader, ProtocolStats};
 pub use ricochet::{RicochetReceiver, RicochetSender};

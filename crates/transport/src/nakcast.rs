@@ -62,6 +62,11 @@ impl NakcastSender {
     pub fn retransmissions_sent(&self) -> u64 {
         self.retransmissions_sent
     }
+
+    /// Sequence numbers published so far.
+    pub fn published(&self) -> u64 {
+        self.core.published()
+    }
 }
 
 impl Agent for NakcastSender {
@@ -122,6 +127,7 @@ pub struct NakcastReceiver {
     scan_timer: Option<(TimerId, SimTime)>,
     naks_sent: u64,
     give_ups: u64,
+    sender_changes: u64,
 }
 
 impl NakcastReceiver {
@@ -151,7 +157,29 @@ impl NakcastReceiver {
             scan_timer: None,
             naks_sent: 0,
             give_ups: 0,
+            sender_changes: 0,
         }
+    }
+
+    /// Re-targets NAKs at whoever is currently speaking for the stream:
+    /// hearing session traffic from a new source means a standby was
+    /// promoted after a sender failover.
+    fn note_sender(&mut self, src: NodeId) {
+        if src != self.sender {
+            self.sender = src;
+            self.sender_changes += 1;
+        }
+    }
+
+    /// The node this receiver currently NAKs (the original sender, or the
+    /// promoted standby after a failover).
+    pub fn sender(&self) -> NodeId {
+        self.sender
+    }
+
+    /// How many times the receiver re-targeted to a different sender.
+    pub fn sender_changes(&self) -> u64 {
+        self.sender_changes
     }
 
     /// NAK packets sent.
@@ -255,9 +283,7 @@ impl NakcastReceiver {
             self.give_ups += 1;
         }
         if !due.is_empty() {
-            let size = FRAMING_BYTES
-                + NAK_BASE_BYTES
-                + NAK_PER_SEQ_BYTES * due.len() as u32;
+            let size = FRAMING_BYTES + NAK_BASE_BYTES + NAK_PER_SEQ_BYTES * due.len() as u32;
             let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
             ctx.send(
                 self.sender,
@@ -286,8 +312,10 @@ impl NakcastReceiver {
         if data.seq > 0 {
             self.note_advertised_upto(now, data.seq - 1);
         }
-        self.highest_advertised =
-            Some(self.highest_advertised.map_or(data.seq, |h| h.max(data.seq)));
+        self.highest_advertised = Some(
+            self.highest_advertised
+                .map_or(data.seq, |h| h.max(data.seq)),
+        );
         self.missing.remove(&data.seq);
         if self.abandoned.remove(&data.seq) {
             // Late arrival of an abandoned sequence: deliver out of order
@@ -343,13 +371,16 @@ impl Agent for NakcastReceiver {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
         if let Some(data) = packet.payload_as::<DataMsg>() {
             let data = *data;
+            self.note_sender(packet.src);
             self.on_data(ctx, &data);
         } else if let Some(hb) = packet.payload_as::<HeartbeatMsg>() {
+            self.note_sender(packet.src);
             if let Some(high) = hb.highest_seq {
                 self.note_advertised_upto(ctx.now(), high);
                 self.reschedule_scan(ctx);
             }
         } else if let Some(fin) = packet.payload_as::<FinMsg>() {
+            self.note_sender(packet.src);
             if fin.total > 0 {
                 self.note_advertised_upto(ctx.now(), fin.total - 1);
                 self.reschedule_scan(ctx);
@@ -449,11 +480,7 @@ mod tests {
     fn recovered_packets_pay_recovery_latency() {
         let (sim, rxs) = run_session(500, 100.0, 1, 0.05, SimDuration::from_millis(1), 17);
         let r = sim.agent::<NakcastReceiver>(rxs[0]).unwrap();
-        let (rec, orig): (Vec<_>, Vec<_>) = r
-            .log()
-            .deliveries()
-            .iter()
-            .partition(|d| d.recovered);
+        let (rec, orig): (Vec<_>, Vec<_>) = r.log().deliveries().iter().partition(|d| d.recovered);
         assert!(!rec.is_empty());
         let avg = |v: &[&Delivery]| {
             v.iter().map(|d| d.latency().as_micros_f64()).sum::<f64>() / v.len() as f64
@@ -547,6 +574,61 @@ mod tests {
         let (sim, rxs) = run_session(20, 10.0, 1, 0.3, SimDuration::from_millis(1), 29);
         let r = sim.agent::<NakcastReceiver>(rxs[0]).unwrap();
         assert_eq!(r.log().delivered_count(), 20);
+    }
+
+    #[test]
+    fn partitioned_receiver_reconverges_after_heal() {
+        // Partition one receiver away from the sender mid-stream, heal
+        // before the stream ends, and require NAK recovery to reconverge
+        // to full reliability — the blackout window's losses are repaired
+        // through the heartbeat-advertised high-water mark.
+        let mut sim = Simulation::new(19);
+        let samples = 400u64;
+        let app = AppSpec::at_rate(samples, 100.0, 12);
+        let tuning = Tuning::default();
+        let group = sim.create_group(&[]);
+        let tx = sim.add_node(
+            cfg(),
+            NakcastSender::new(app, StackProfile::new(10.0, 48), tuning, group),
+        );
+        sim.join_group(group, tx);
+        let near = sim.add_node(
+            cfg(),
+            NakcastReceiver::new(tx, samples, SimDuration::from_millis(1), tuning, 0.0),
+        );
+        sim.join_group(group, near);
+        let far = sim.add_node(
+            cfg(),
+            NakcastReceiver::new(tx, samples, SimDuration::from_millis(1), tuning, 0.0),
+        );
+        sim.join_group(group, far);
+
+        let mut plan = adamant_netsim::FaultPlan::new()
+            .partition_at(
+                adamant_netsim::SimTime::from_secs(1),
+                vec![vec![tx, near], vec![far]],
+            )
+            .heal_at(adamant_netsim::SimTime::from_secs(2));
+        plan.run_until(&mut sim, adamant_netsim::SimTime::from_secs(10));
+
+        assert!(
+            sim.stats().tag(crate::tags::TAG_DATA).partition_drops > 50,
+            "the partition should have blacked out ~100 data packets"
+        );
+        for (name, rx) in [("near", near), ("far", far)] {
+            let r = sim.agent::<NakcastReceiver>(rx).unwrap();
+            assert_eq!(
+                r.log().delivered_count(),
+                samples,
+                "{name} receiver failed to reconverge (naks={}, give_ups={})",
+                r.naks_sent(),
+                r.give_ups()
+            );
+        }
+        // The far receiver did the recovering.
+        let far_r = sim.agent::<NakcastReceiver>(far).unwrap();
+        assert!(far_r.naks_sent() > 0);
+        assert!(far_r.log().recovered_count() > 50);
     }
 
     #[test]

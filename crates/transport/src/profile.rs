@@ -2,12 +2,11 @@
 //! middleware stack profile and the application's traffic specification.
 
 use adamant_netsim::{ProcessingCost, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Per-packet contribution of the middleware stack above the transport
 /// (marshalling cost and header bytes). The DDS layer supplies one of these
 /// per DDS implementation profile.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StackProfile {
     /// Reference CPU cost (pc3000) the middleware adds on each side of
     /// every data packet.
@@ -29,7 +28,7 @@ impl StackProfile {
 
 /// The application traffic of one experiment run: a single data writer
 /// publishing fixed-size samples at a fixed rate (§4.2 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppSpec {
     /// Number of samples to publish.
     pub total_samples: u64,
@@ -49,7 +48,10 @@ impl AppSpec {
     /// empty stream would leave session timers re-arming forever).
     pub fn at_rate(total_samples: u64, rate_hz: f64, payload_bytes: u32) -> Self {
         assert!(rate_hz > 0.0, "sending rate must be positive");
-        assert!(total_samples > 0, "a stream must contain at least one sample");
+        assert!(
+            total_samples > 0,
+            "a stream must contain at least one sample"
+        );
         AppSpec {
             total_samples,
             interval: SimDuration::from_secs_f64(1.0 / rate_hz),

@@ -74,8 +74,7 @@ impl PublisherCore {
     /// Processing cost of one data packet (OS + middleware + protocol).
     pub fn data_cost(&self) -> ProcessingCost {
         let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
-        ProcessingCost::new(os, os + self.extra_data_rx)
-            .plus(self.profile.per_packet)
+        ProcessingCost::new(os, os + self.extra_data_rx).plus(self.profile.per_packet)
     }
 
     /// Processing cost of a small control packet (OS path only).
@@ -92,6 +91,22 @@ impl PublisherCore {
     /// The publication time of `seq`, if already published.
     pub fn published_at(&self, seq: u64) -> Option<SimTime> {
         self.history.get(seq as usize).copied()
+    }
+
+    /// Whether the final sample has been published.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Adopts a predecessor's publication history so this core continues
+    /// the stream where the predecessor stopped: the next publication uses
+    /// sequence `history.len()`, and retransmission requests for earlier
+    /// sequences are answered from the adopted history. Used by warm
+    /// standbys promoting after a sender crash.
+    pub fn resume_from(&mut self, history: Vec<SimTime>) {
+        self.next_seq = history.len() as u64;
+        self.finished = self.next_seq >= self.app.total_samples;
+        self.history = history;
     }
 
     /// Must be called from the embedding agent's `on_start`.
@@ -152,19 +167,26 @@ impl PublisherCore {
         } else {
             self.finished = true;
             if self.send_fin {
-                ctx.send(
-                    self.group,
-                    OutPacket::new(
-                        FRAMING_BYTES + CONTROL_BYTES,
-                        FinMsg {
-                            total: self.app.total_samples,
-                        },
-                    )
-                    .tag(TAG_FIN)
-                    .cost(self.control_cost()),
-                );
+                self.announce_fin(ctx);
             }
         }
+    }
+
+    /// Multicasts the end-of-stream marker. Called automatically after the
+    /// last publication; standbys promoting into an already-complete
+    /// stream call it directly so receivers can close their gap detection.
+    pub fn announce_fin(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send(
+            self.group,
+            OutPacket::new(
+                FRAMING_BYTES + CONTROL_BYTES,
+                FinMsg {
+                    total: self.app.total_samples,
+                },
+            )
+            .tag(TAG_FIN)
+            .cost(self.control_cost()),
+        );
     }
 
     fn send_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
@@ -207,9 +229,7 @@ impl PublisherCore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adamant_netsim::{
-        Agent, Bandwidth, HostConfig, MachineClass, Packet, Simulation,
-    };
+    use adamant_netsim::{Agent, Bandwidth, HostConfig, MachineClass, Packet, Simulation};
     use std::any::Any;
 
     struct CoreSender {

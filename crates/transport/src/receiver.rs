@@ -1,12 +1,11 @@
 //! Receiver-side shared vocabulary.
 
 use adamant_metrics::DenseReceptionLog;
-use serde::{Deserialize, Serialize};
 
 /// Per-receiver protocol activity counters, unified across protocols so
 /// harnesses can report recovery behaviour without downcasting. Fields a
 /// protocol does not use stay zero.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ProtocolStats {
     /// NAK packets sent (NAKcast).
     pub naks_sent: u64,

@@ -180,8 +180,7 @@ impl RicochetReceiver {
 
     /// Whether `peer` is currently believed alive by the failure detector.
     fn peer_alive(&self, peer: NodeId, now: SimTime) -> bool {
-        let grace =
-            self.tuning.membership_interval * self.tuning.membership_timeout_factor as u64;
+        let grace = self.tuning.membership_interval * self.tuning.membership_timeout_factor as u64;
         match self.last_seen.get(&peer) {
             Some(&t) => now.saturating_since(t) < grace,
             // Never heard from: alive during the initial grace period.
@@ -315,7 +314,9 @@ impl RicochetReceiver {
         // the application as delayed delivery.
         let mut now = ctx.now();
         if self.tuning.fec_maintenance_every > 0
-            && self.data_packets.is_multiple_of(self.tuning.fec_maintenance_every)
+            && self
+                .data_packets
+                .is_multiple_of(self.tuning.fec_maintenance_every)
         {
             let stall = SimDuration::from_micros_f64(self.tuning.fec_maintenance_cost_us)
                 .scale(ctx.machine().cpu_scale());
@@ -427,20 +428,19 @@ impl Agent for RicochetReceiver {
                 self.flush_timer = None;
                 self.flush_window(ctx);
             }
-            TIMER_MEMBERSHIP
-                if self.stream_active => {
-                    self.epoch += 1;
-                    ctx.send(
-                        self.group,
-                        OutPacket::new(
-                            FRAMING_BYTES + CONTROL_BYTES,
-                            MembershipMsg { epoch: self.epoch },
-                        )
-                        .tag(TAG_MEMBERSHIP)
-                        .cost(self.control_cost()),
-                    );
-                    ctx.set_timer(self.tuning.membership_interval, TIMER_MEMBERSHIP);
-                }
+            TIMER_MEMBERSHIP if self.stream_active => {
+                self.epoch += 1;
+                ctx.send(
+                    self.group,
+                    OutPacket::new(
+                        FRAMING_BYTES + CONTROL_BYTES,
+                        MembershipMsg { epoch: self.epoch },
+                    )
+                    .tag(TAG_MEMBERSHIP)
+                    .cost(self.control_cost()),
+                );
+                ctx.set_timer(self.tuning.membership_interval, TIMER_MEMBERSHIP);
+            }
             _ => {}
         }
     }

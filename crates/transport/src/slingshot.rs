@@ -41,6 +41,11 @@ impl SlingshotSender {
             core: PublisherCore::new(app, profile, tuning, group, false, true),
         }
     }
+
+    /// Samples published so far.
+    pub fn published(&self) -> u64 {
+        self.core.published()
+    }
 }
 
 impl Agent for SlingshotSender {
@@ -312,9 +317,7 @@ mod tests {
         let drop = 0.05;
 
         let (sling_sim, sling_rxs) = run_session(samples, 4, drop, 3, 13);
-        let sling = sling_sim
-            .agent::<SlingshotReceiver>(sling_rxs[0])
-            .unwrap();
+        let sling = sling_sim.agent::<SlingshotReceiver>(sling_rxs[0]).unwrap();
         let sling_rec_avg = {
             let rec: Vec<f64> = sling
                 .log()
@@ -347,9 +350,7 @@ mod tests {
             ric_rx.get_or_insert(rx);
         }
         ric_sim.run_until(SimTime::from_secs(samples / 200 + 5));
-        let ric = ric_sim
-            .agent::<RicochetReceiver>(ric_rx.unwrap())
-            .unwrap();
+        let ric = ric_sim.agent::<RicochetReceiver>(ric_rx.unwrap()).unwrap();
         let ric_rec_avg = {
             let rec: Vec<f64> = ric
                 .log()

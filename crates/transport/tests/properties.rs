@@ -1,10 +1,30 @@
-//! Property-based tests of protocol invariants under randomized
+//! Property-style tests of protocol invariants under seeded randomized
 //! workloads and loss rates.
 
 use adamant_metrics::QosReport;
 use adamant_netsim::{Bandwidth, HostConfig, MachineClass, SimDuration, SimTime, Simulation};
 use adamant_transport::{ant, AppSpec, ProtocolKind, SessionSpec, StackProfile, TransportConfig};
-use proptest::prelude::*;
+
+/// Splitmix-style case generator.
+struct CaseRng(u64);
+
+impl CaseRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
 
 fn run(
     kind: ProtocolKind,
@@ -30,36 +50,42 @@ fn run(
     ant::collect_report(&sim, &handles)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// NAKcast recovers to full (or near-full) reliability for any loss
-    /// rate in a wide band, and never delivers more than was sent.
-    #[test]
-    fn nakcast_reliability_invariant(
-        drop in 0.0f64..0.25,
-        receivers in 1usize..5,
-        seed in 0u64..100,
-    ) {
+/// NAKcast recovers to full (or near-full) reliability for any loss
+/// rate in a wide band, and never delivers more than was sent.
+#[test]
+fn nakcast_reliability_invariant() {
+    let mut rng = CaseRng(31);
+    for _ in 0..12 {
+        let drop = rng.unit() * 0.25;
+        let receivers = rng.range_u64(1, 5) as usize;
+        let seed = rng.range_u64(0, 100);
         let report = run(
-            ProtocolKind::Nakcast { timeout: SimDuration::from_millis(1) },
+            ProtocolKind::Nakcast {
+                timeout: SimDuration::from_millis(1),
+            },
             300,
             100.0,
             receivers,
             drop,
             seed,
         );
-        prop_assert!(report.reliability() > 0.999, "reliability {}", report.reliability());
-        prop_assert!(report.delivered <= report.samples_sent * report.receivers as u64);
+        assert!(
+            report.reliability() > 0.999,
+            "reliability {}",
+            report.reliability()
+        );
+        assert!(report.delivered <= report.samples_sent * report.receivers as u64);
     }
+}
 
-    /// Ricochet reliability is never below the raw no-recovery floor
-    /// `(1 - p)` (repairs only add deliveries) and never above 1.
-    #[test]
-    fn ricochet_reliability_bounds(
-        drop in 0.0f64..0.2,
-        seed in 0u64..100,
-    ) {
+/// Ricochet reliability is never below the raw no-recovery floor
+/// `(1 - p)` (repairs only add deliveries) and never above 1.
+#[test]
+fn ricochet_reliability_bounds() {
+    let mut rng = CaseRng(32);
+    for _ in 0..12 {
+        let drop = rng.unit() * 0.2;
+        let seed = rng.range_u64(0, 100);
         let report = run(
             ProtocolKind::Ricochet { r: 4, c: 3 },
             400,
@@ -70,48 +96,64 @@ proptest! {
         );
         // Allow binomial slack below the mean floor.
         let floor = (1.0 - drop) - 3.0 * (drop * (1.0 - drop) / 1200.0).sqrt() - 0.01;
-        prop_assert!(report.reliability() >= floor.max(0.0),
-            "reliability {} below floor {} at p={}", report.reliability(), floor, drop);
-        prop_assert!(report.reliability() <= 1.0);
-    }
-
-    /// UDP reliability tracks (1 - p) within statistical error, and its
-    /// latency is unaffected by the loss rate.
-    #[test]
-    fn udp_matches_bernoulli_loss(drop in 0.0f64..0.5, seed in 0u64..50) {
-        let report = run(ProtocolKind::Udp, 500, 200.0, 2, drop, seed);
-        let n = 1_000.0;
-        let sigma = (drop * (1.0 - drop) / n).sqrt();
-        prop_assert!((report.reliability() - (1.0 - drop)).abs() < 4.0 * sigma + 0.01);
-        prop_assert_eq!(report.recovered, 0);
-    }
-
-    /// Every protocol's report is internally consistent.
-    #[test]
-    fn report_consistency(
-        kind_idx in 0usize..4,
-        drop in 0.0f64..0.1,
-        seed in 0u64..50,
-    ) {
-        let kind = [
-            ProtocolKind::Udp,
-            ProtocolKind::Nakcast { timeout: SimDuration::from_millis(10) },
-            ProtocolKind::Ricochet { r: 4, c: 3 },
-            ProtocolKind::Ackcast { rto: SimDuration::from_millis(20) },
-        ][kind_idx];
-        let report = run(kind, 200, 100.0, 3, drop, seed);
-        prop_assert_eq!(report.samples_sent, 200);
-        prop_assert_eq!(report.receivers, 3);
-        prop_assert!(report.delivered <= 600);
-        prop_assert!(report.recovered <= report.delivered);
-        prop_assert!(report.avg_latency_us >= 0.0);
-        prop_assert!(report.jitter_us >= 0.0);
-        if report.delivered > 0 {
-            prop_assert!(report.avg_latency_us > 0.0, "latency must be positive");
-        }
+        assert!(
+            report.reliability() >= floor.max(0.0),
+            "reliability {} below floor {} at p={}",
+            report.reliability(),
+            floor,
+            drop
+        );
+        assert!(report.reliability() <= 1.0);
     }
 }
 
+/// UDP reliability tracks (1 - p) within statistical error, and its
+/// latency is unaffected by the loss rate.
+#[test]
+fn udp_matches_bernoulli_loss() {
+    let mut rng = CaseRng(33);
+    for _ in 0..12 {
+        let drop = rng.unit() * 0.5;
+        let seed = rng.range_u64(0, 50);
+        let report = run(ProtocolKind::Udp, 500, 200.0, 2, drop, seed);
+        let n = 1_000.0;
+        let sigma = (drop * (1.0 - drop) / n).sqrt();
+        assert!((report.reliability() - (1.0 - drop)).abs() < 4.0 * sigma + 0.01);
+        assert_eq!(report.recovered, 0);
+    }
+}
+
+/// Every protocol's report is internally consistent.
+#[test]
+fn report_consistency() {
+    let mut rng = CaseRng(34);
+    for kind_idx in 0usize..4 {
+        for _ in 0..3 {
+            let drop = rng.unit() * 0.1;
+            let seed = rng.range_u64(0, 50);
+            let kind = [
+                ProtocolKind::Udp,
+                ProtocolKind::Nakcast {
+                    timeout: SimDuration::from_millis(10),
+                },
+                ProtocolKind::Ricochet { r: 4, c: 3 },
+                ProtocolKind::Ackcast {
+                    rto: SimDuration::from_millis(20),
+                },
+            ][kind_idx];
+            let report = run(kind, 200, 100.0, 3, drop, seed);
+            assert_eq!(report.samples_sent, 200);
+            assert_eq!(report.receivers, 3);
+            assert!(report.delivered <= 600);
+            assert!(report.recovered <= report.delivered);
+            assert!(report.avg_latency_us >= 0.0);
+            assert!(report.jitter_us >= 0.0);
+            if report.delivered > 0 {
+                assert!(report.avg_latency_us > 0.0, "latency must be positive");
+            }
+        }
+    }
+}
 /// Ricochet delivers each sequence at most once per receiver, whatever the
 /// loss pattern (deterministic seeds, several cases).
 #[test]
@@ -131,8 +173,7 @@ fn ricochet_no_duplicate_deliveries() {
         sim.run_until(SimTime::from_secs(10));
         for &node in &handles.receivers {
             let reader = ant::reader(&sim, &handles, node);
-            let mut seqs: Vec<u64> =
-                reader.log().deliveries().iter().map(|d| d.seq).collect();
+            let mut seqs: Vec<u64> = reader.log().deliveries().iter().map(|d| d.seq).collect();
             let before = seqs.len();
             seqs.sort_unstable();
             seqs.dedup();

@@ -27,8 +27,7 @@ fn main() {
     for machine in MachineClass::all() {
         for bandwidth in [BandwidthClass::Gbps1, BandwidthClass::Mbps100] {
             for loss in [2u8, 5] {
-                let env =
-                    Environment::new(machine, bandwidth, DdsImplementation::OpenSplice, loss);
+                let env = Environment::new(machine, bandwidth, DdsImplementation::OpenSplice, loss);
                 configs.push((env, AppParams::new(3, 25)));
             }
         }
@@ -87,9 +86,7 @@ fn main() {
         // phase's transport on the new environment.
         if let Some(stale) = previous {
             if stale.kind != config.transport().kind {
-                let unadapted = Scenario::paper(env, app, 99)
-                    .with_samples(1_500)
-                    .run(stale);
+                let unadapted = Scenario::paper(env, app, 99).with_samples(1_500).run(stale);
                 println!(
                     "  stale protocol ({}): ReLate2 {:.0}  ← what we avoided by adapting",
                     stale.kind,

@@ -59,12 +59,14 @@ fn main() {
     for kind in &protocols {
         let reports = scenario.run_repeated(TransportConfig::new(*kind), 3);
         let n = reports.len() as f64;
-        let reliability =
-            reports.iter().map(|r| r.reliability()).sum::<f64>() / n * 100.0;
+        let reliability = reports.iter().map(|r| r.reliability()).sum::<f64>() / n * 100.0;
         let latency = reports.iter().map(|r| r.avg_latency_us).sum::<f64>() / n;
         let jitter = reports.iter().map(|r| r.jitter_us).sum::<f64>() / n;
-        let relate2 =
-            reports.iter().map(|r| MetricKind::ReLate2.score(r)).sum::<f64>() / n;
+        let relate2 = reports
+            .iter()
+            .map(|r| MetricKind::ReLate2.score(r))
+            .sum::<f64>()
+            / n;
         let relate2jit = reports
             .iter()
             .map(|r| MetricKind::ReLate2Jit.score(r))

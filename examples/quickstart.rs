@@ -29,8 +29,7 @@ fn main() {
     for machine in MachineClass::all() {
         for bandwidth in [BandwidthClass::Gbps1, BandwidthClass::Mbps100] {
             for loss in [1u8, 3, 5] {
-                let env =
-                    Environment::new(machine, bandwidth, DdsImplementation::OpenSplice, loss);
+                let env = Environment::new(machine, bandwidth, DdsImplementation::OpenSplice, loss);
                 configs.push((env, AppParams::new(3, 25)));
                 configs.push((env, AppParams::new(15, 10)));
             }
@@ -65,20 +64,27 @@ fn main() {
     let cloud = SimulatedCloud::new(provisioned);
     let app = AppParams::new(3, 25);
     let config = adamant
-        .configure(&cloud, DdsImplementation::OpenSplice, 5, app, MetricKind::ReLate2)
+        .configure(
+            &cloud,
+            DdsImplementation::OpenSplice,
+            5,
+            app,
+            MetricKind::ReLate2,
+        )
         .expect("simulated cloud probe cannot fail");
     println!(
         "\nprobed environment: {}\nselected transport:  {}   (query took {:?})",
-        config.environment,
-        config.selection.protocol,
-        config.selection.elapsed
+        config.environment, config.selection.protocol, config.selection.elapsed
     );
 
     // ── 5. Run the configured session ────────────────────────────────────
     let report = Scenario::paper(config.environment, app, 42)
         .with_samples(2_000)
         .run(config.transport());
-    println!("\nsession QoS ({} samples to {} readers):", report.samples_sent, report.receivers);
+    println!(
+        "\nsession QoS ({} samples to {} readers):",
+        report.samples_sent, report.receivers
+    );
     println!("  reliability:  {:.3}%", report.reliability() * 100.0);
     println!("  avg latency:  {:.1} µs", report.avg_latency_us);
     println!("  jitter:       {:.1} µs", report.jitter_us);
@@ -87,9 +93,11 @@ fn main() {
     // Contrast with the worst candidate to show the decision mattered.
     let worst = Scenario::paper(config.environment, app, 42)
         .with_samples(2_000)
-        .run(TransportConfig::new(adamant_transport::ProtocolKind::Nakcast {
-            timeout: adamant_netsim::SimDuration::from_millis(50),
-        }));
+        .run(TransportConfig::new(
+            adamant_transport::ProtocolKind::Nakcast {
+                timeout: adamant_netsim::SimDuration::from_millis(50),
+            },
+        ));
     println!(
         "  (for contrast, NAKcast 50 ms would score ReLate2 = {:.1})",
         MetricKind::ReLate2.score(&worst)

@@ -34,8 +34,7 @@ fn train_adamant() -> Adamant {
     for machine in MachineClass::all() {
         for bandwidth in [BandwidthClass::Gbps1, BandwidthClass::Mbps100] {
             for loss in [2u8, 5] {
-                let env =
-                    Environment::new(machine, bandwidth, DdsImplementation::OpenSplice, loss);
+                let env = Environment::new(machine, bandwidth, DdsImplementation::OpenSplice, loss);
                 configs.push((env, AppParams::new(3, 25)));
                 configs.push((env, AppParams::new(15, 10)));
             }
@@ -82,10 +81,14 @@ fn main() {
             MetricKind::ReLate2Jit,
         )
         .expect("probe");
-    println!("UAV infrared scans  → {}  (decided in {:?})",
-        infrared.selection.protocol, infrared.selection.elapsed);
-    println!("camera video feeds  → {}  (decided in {:?})\n",
-        video.selection.protocol, video.selection.elapsed);
+    println!(
+        "UAV infrared scans  → {}  (decided in {:?})",
+        infrared.selection.protocol, infrared.selection.elapsed
+    );
+    println!(
+        "camera video feeds  → {}  (decided in {:?})\n",
+        video.selection.protocol, video.selection.elapsed
+    );
 
     // Build both DDS sessions in ONE simulated datacenter.
     let env = infrared.environment;
@@ -97,12 +100,7 @@ fn main() {
         .create_topic::<[u8; 12]>("sar/uav/infrared", qos)
         .expect("fresh topic");
     participant
-        .create_data_writer(
-            infrared_topic,
-            qos,
-            AppSpec::at_rate(3_000, 25.0, 12),
-            host,
-        )
+        .create_data_writer(infrared_topic, qos, AppSpec::at_rate(3_000, 25.0, 12), host)
         .expect("writer");
     for _ in 0..infrared_app.receivers {
         participant

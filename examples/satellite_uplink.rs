@@ -33,7 +33,12 @@ fn run(kind: ProtocolKind) -> adamant_metrics::QosReport {
         .create_topic::<[u8; 12]>("uav/infrared", qos)
         .expect("fresh topic");
     participant
-        .create_data_writer(topic, qos, AppSpec::at_rate(2_000, 50.0, 12), ground_station)
+        .create_data_writer(
+            topic,
+            qos,
+            AppSpec::at_rate(2_000, 50.0, 12),
+            ground_station,
+        )
         .expect("writer");
     for _ in 0..5 {
         participant

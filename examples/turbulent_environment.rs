@@ -28,8 +28,7 @@ fn main() {
     for machine in MachineClass::all() {
         for bandwidth in [BandwidthClass::Gbps1, BandwidthClass::Mbps100] {
             for loss in [2u8, 5] {
-                let env =
-                    Environment::new(machine, bandwidth, DdsImplementation::OpenSplice, loss);
+                let env = Environment::new(machine, bandwidth, DdsImplementation::OpenSplice, loss);
                 configs.push((env, AppParams::new(3, 25)));
             }
         }
@@ -39,8 +38,7 @@ fn main() {
 
     // Two confirmations required before switching: transients shorter than
     // two monitoring periods do not cause reconfiguration churn.
-    let controller =
-        AdaptiveController::new(selector, MetricKind::ReLate2).with_confirmations(2);
+    let controller = AdaptiveController::new(selector, MetricKind::ReLate2).with_confirmations(2);
 
     let fast = Environment::new(
         MachineClass::Pc3000,

@@ -103,7 +103,12 @@ fn reader_statuses_reflect_protocol_semantics() {
             .create_topic::<[u8; 12]>("status/stream", qos)
             .unwrap();
         participant
-            .create_data_writer(topic, qos, AppSpec::at_rate(2_000, 500.0, 12), env.host_config())
+            .create_data_writer(
+                topic,
+                qos,
+                AppSpec::at_rate(2_000, 500.0, 12),
+                env.host_config(),
+            )
             .unwrap();
         for _ in 0..3 {
             participant

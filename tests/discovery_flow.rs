@@ -141,6 +141,10 @@ fn qos_incompatible_readers_are_never_wired() {
         .unwrap();
     let mut data_sim = Simulation::new(1);
     assert!(participant
-        .install(&mut data_sim, topic, TransportConfig::new(ProtocolKind::Udp))
+        .install(
+            &mut data_sim,
+            topic,
+            TransportConfig::new(ProtocolKind::Udp)
+        )
         .is_err());
 }

@@ -17,8 +17,7 @@ fn measured_dataset() -> LabeledDataset {
     for machine in MachineClass::all() {
         for bandwidth in [BandwidthClass::Gbps1, BandwidthClass::Mbps100] {
             for loss in [3u8, 5] {
-                let env =
-                    Environment::new(machine, bandwidth, DdsImplementation::OpenSplice, loss);
+                let env = Environment::new(machine, bandwidth, DdsImplementation::OpenSplice, loss);
                 configs.push((env, AppParams::new(3, 25)));
             }
         }
@@ -53,10 +52,7 @@ fn measured_labels_show_the_paper_pattern() {
     );
     let slow = find(MachineClass::Pc850, BandwidthClass::Mbps100);
     assert!(
-        matches!(
-            slow.best_protocol(),
-            ProtocolKind::Nakcast { .. }
-        ),
+        matches!(slow.best_protocol(), ProtocolKind::Nakcast { .. }),
         "pc850/100Mb should favour NAKcast, got {}",
         slow.best_protocol()
     );

@@ -3,8 +3,7 @@
 
 use adamant_dds::{DdsImplementation, DomainParticipant, QosProfile};
 use adamant_netsim::{
-    Bandwidth, HostConfig, LossModel, MachineClass, NetworkConfig, SimDuration, SimTime,
-    Simulation,
+    Bandwidth, HostConfig, LossModel, MachineClass, NetworkConfig, SimDuration, SimTime, Simulation,
 };
 use adamant_transport::{ant, AppSpec, ProtocolKind, TransportConfig};
 
