@@ -1,14 +1,22 @@
 //! Substrate hot paths: simulator event processing, metric computation,
 //! and ANN training epochs.
+//!
+//! Besides printing per-iteration timings, this bench writes a
+//! machine-readable perf report (`BENCH_netsim.json` at the repo root, or
+//! `$ADAMANT_BENCH_OUT`) carrying raw simulator events/sec — with and
+//! without a trace sink attached — and per-phase wall-clock, so CI can
+//! archive engine throughput and watch the observability overhead.
 
 use adamant_ann::{train, Activation, NeuralNetwork, TrainParams, TrainingData};
-use adamant_bench::bench;
+use adamant_bench::{measure, write_perf_report, PerfReport, PhaseProfiler};
 use adamant_metrics::{Delivery, MetricKind, QosReport};
 use adamant_netsim::{
-    Agent, Bandwidth, Ctx, HostConfig, MachineClass, OutPacket, Packet, SimTime, Simulation,
+    Agent, Bandwidth, Ctx, HostConfig, MachineClass, MemorySink, OutPacket, Packet, SimTime,
+    Simulation,
 };
 use std::any::Any;
 use std::hint::black_box;
+use std::time::Instant;
 
 /// Minimal ping-pong agents to exercise the raw event loop.
 struct Pong;
@@ -46,25 +54,56 @@ impl Agent for Ping {
     }
 }
 
-fn bench_event_loop() {
-    const ROUND_TRIPS: u32 = 1_000;
-    bench("netsim_event_loop/ping_pong_1000", || {
-        let mut sim = Simulation::new(1);
-        let cfg = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
-        let pong = sim.add_node(cfg, Pong);
-        sim.add_node(
-            cfg,
-            Ping {
-                peer: pong,
-                remaining: ROUND_TRIPS,
-            },
-        );
-        sim.run();
-        black_box(sim.events_processed())
-    });
+fn ping_pong_sim(round_trips: u32) -> Simulation {
+    let mut sim = Simulation::new(1);
+    let cfg = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+    let pong = sim.add_node(cfg, Pong);
+    sim.add_node(
+        cfg,
+        Ping {
+            peer: pong,
+            remaining: round_trips,
+        },
+    );
+    sim
 }
 
-fn bench_metrics() {
+fn bench_event_loop(report: &mut PerfReport) {
+    const ROUND_TRIPS: u32 = 1_000;
+    report
+        .measurements
+        .push(measure("netsim_event_loop/ping_pong_1000", || {
+            let mut sim = ping_pong_sim(ROUND_TRIPS);
+            sim.run();
+            black_box(sim.events_processed())
+        }));
+}
+
+/// Raw dispatch throughput over a long run, untraced and traced with a
+/// retaining sink — the observability layer's whole-pipeline overhead.
+fn events_per_sec(report: &mut PerfReport) {
+    const ROUND_TRIPS: u32 = 200_000;
+    let run = |traced: bool| {
+        let mut sim = ping_pong_sim(ROUND_TRIPS);
+        if traced {
+            sim.set_obs_sink(MemorySink::new());
+        }
+        let start = Instant::now();
+        sim.run();
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        sim.events_processed() as f64 / secs
+    };
+    // Warm both paths once before measuring.
+    black_box(run(false));
+    report.events_per_sec = run(false);
+    report.events_per_sec_traced = run(true);
+    println!(
+        "netsim_event_loop/events_per_sec                   {:>12.0} untraced, {:>12.0} traced",
+        report.events_per_sec, report.events_per_sec_traced
+    );
+}
+
+fn bench_metrics(report: &mut PerfReport) {
     let deliveries: Vec<Delivery> = (0..10_000u64)
         .map(|seq| Delivery {
             seq,
@@ -73,20 +112,24 @@ fn bench_metrics() {
             recovered: seq % 20 == 0,
         })
         .collect();
-    bench("metrics/report_build_10k", || {
-        let mut builder = QosReport::builder(10_000, 1);
-        builder.add_receiver(black_box(&deliveries), 0);
-        black_box(builder.finish())
-    });
+    report
+        .measurements
+        .push(measure("metrics/report_build_10k", || {
+            let mut builder = QosReport::builder(10_000, 1);
+            builder.add_receiver(black_box(&deliveries), 0);
+            black_box(builder.finish())
+        }));
     let mut builder = QosReport::builder(10_000, 1);
     builder.add_receiver(&deliveries, 0);
-    let report = builder.finish();
-    bench("metrics/relate2jit_score", || {
-        black_box(MetricKind::ReLate2Jit.score(black_box(&report)))
-    });
+    let built = builder.finish();
+    report
+        .measurements
+        .push(measure("metrics/relate2jit_score", || {
+            black_box(MetricKind::ReLate2Jit.score(black_box(&built)))
+        }));
 }
 
-fn bench_training() {
+fn bench_training(report: &mut PerfReport) {
     // One RPROP epoch over a 394-row, 7-feature dataset (the paper's
     // training-set scale).
     let inputs: Vec<Vec<f64>> = (0..394)
@@ -100,22 +143,41 @@ fn bench_training() {
         })
         .collect();
     let data = TrainingData::new(inputs, targets);
-    bench("ann_training/rprop_10_epochs_394rows", || {
-        let mut net = NeuralNetwork::new(&[7, 24, 6], Activation::fann_default(), 7);
-        black_box(train(
-            &mut net,
-            &data,
-            &TrainParams {
-                stopping_mse: 0.0,
-                max_epochs: 10,
-                ..TrainParams::default()
-            },
-        ))
-    });
+    report
+        .measurements
+        .push(measure("ann_training/rprop_10_epochs_394rows", || {
+            let mut net = NeuralNetwork::new(&[7, 24, 6], Activation::fann_default(), 7);
+            black_box(train(
+                &mut net,
+                &data,
+                &TrainParams {
+                    stopping_mse: 0.0,
+                    max_epochs: 10,
+                    ..TrainParams::default()
+                },
+            ))
+        }));
 }
 
 fn main() {
-    bench_event_loop();
-    bench_metrics();
-    bench_training();
+    let mut profiler = PhaseProfiler::new();
+    let mut report = PerfReport {
+        bench: "engine".to_owned(),
+        events_per_sec: 0.0,
+        events_per_sec_traced: 0.0,
+        measurements: Vec::new(),
+        phases: Vec::new(),
+    };
+    profiler.phase("event_loop", || bench_event_loop(&mut report));
+    profiler.phase("events_per_sec", || events_per_sec(&mut report));
+    profiler.phase("metrics", || bench_metrics(&mut report));
+    profiler.phase("ann_training", || bench_training(&mut report));
+    report.phases = profiler.phases().to_vec();
+    match write_perf_report(&report) {
+        Ok(path) => println!("perf report: {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write perf report: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -16,17 +16,46 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use adamant::{AppParams, BandwidthClass, DatasetRow, Environment, LabeledDataset};
 use adamant_dds::DdsImplementation;
+use adamant_json::{Json, ToJson};
 use adamant_metrics::MetricKind;
 use adamant_netsim::MachineClass;
+
+/// One completed [`measure`] batch: the mean per-iteration wall time and
+/// how many iterations it averaged over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchMeasurement {
+    /// Bench name (`group/case`).
+    pub name: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub per_iter_ns: u64,
+    /// Iterations in the measured batch.
+    pub iters: u64,
+}
+
+impl ToJson for BenchMeasurement {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            ("per_iter_ns".to_owned(), Json::Num(self.per_iter_ns as f64)),
+            ("iters".to_owned(), Json::Num(self.iters as f64)),
+        ])
+    }
+}
 
 /// Times `f` and prints one result line: warms up briefly, sizes the
 /// measured batch to roughly [`BENCH_TARGET`], and reports the mean
 /// per-iteration wall time.
-pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+pub fn bench<T>(name: &str, f: impl FnMut() -> T) {
+    measure(name, f);
+}
+
+/// Like [`bench`], but also returns the measurement for report assembly.
+pub fn measure<T>(name: &str, mut f: impl FnMut() -> T) -> BenchMeasurement {
     // Warm-up: one call to page everything in, then estimate cost.
     std::hint::black_box(f());
     let probe_start = Instant::now();
@@ -40,6 +69,113 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     let total = start.elapsed();
     let per_iter = total / u32::try_from(iters).expect("iters fits in u32");
     println!("{name:<50} {per_iter:>12.2?}/iter  ({iters} iters in {total:.2?})");
+    BenchMeasurement {
+        name: name.to_owned(),
+        per_iter_ns: u64::try_from(per_iter.as_nanos()).unwrap_or(u64::MAX),
+        iters,
+    }
+}
+
+/// Wall-clock profiler over named phases of a bench run.
+///
+/// Each [`phase`](PhaseProfiler::phase) call times one closure; the
+/// collected spans land in the [`PerfReport`] as per-phase wall-clock.
+#[derive(Debug, Default)]
+pub struct PhaseProfiler {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseProfiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        PhaseProfiler::default()
+    }
+
+    /// Runs `f` as the named phase, recording its wall-clock span.
+    pub fn phase<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.phases.push((name.to_owned(), start.elapsed()));
+        out
+    }
+
+    /// The recorded phases, in execution order.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// Total wall-clock across every recorded phase.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+/// A machine-readable perf report for one bench binary run, written as
+/// `BENCH_netsim.json` so CI can archive and diff engine throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// What produced the report (bench binary name).
+    pub bench: String,
+    /// Raw simulator throughput: events dispatched per wall-clock second.
+    pub events_per_sec: f64,
+    /// Throughput with a trace sink attached (same workload), for
+    /// observability-overhead tracking; zero when not measured.
+    pub events_per_sec_traced: f64,
+    /// Every per-iteration measurement taken.
+    pub measurements: Vec<BenchMeasurement>,
+    /// Per-phase wall-clock, in execution order.
+    pub phases: Vec<(String, Duration)>,
+}
+
+impl ToJson for PerfReport {
+    fn to_json(&self) -> Json {
+        let phases = Json::Obj(
+            self.phases
+                .iter()
+                .map(|(name, span)| {
+                    (
+                        name.clone(),
+                        Json::Num(u64::try_from(span.as_nanos()).unwrap_or(u64::MAX) as f64),
+                    )
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("bench".to_owned(), Json::Str(self.bench.clone())),
+            ("events_per_sec".to_owned(), Json::Num(self.events_per_sec)),
+            (
+                "events_per_sec_traced".to_owned(),
+                Json::Num(self.events_per_sec_traced),
+            ),
+            ("measurements".to_owned(), self.measurements.to_json()),
+            ("phase_wall_ns".to_owned(), phases),
+        ])
+    }
+}
+
+/// Where the engine bench writes its perf report: `$ADAMANT_BENCH_OUT`, or
+/// `BENCH_netsim.json` at the repository root.
+pub fn bench_report_path() -> PathBuf {
+    std::env::var_os("ADAMANT_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("BENCH_netsim.json")
+        })
+}
+
+/// Writes `report` as pretty JSON to [`bench_report_path`].
+///
+/// # Errors
+///
+/// Returns an error message when the file cannot be written.
+pub fn write_perf_report(report: &PerfReport) -> Result<PathBuf, String> {
+    let path = bench_report_path();
+    std::fs::write(&path, adamant_json::to_string_pretty(report))
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
 }
 
 /// Wall-clock budget for one [`bench`] measurement batch.
@@ -113,5 +249,41 @@ mod tests {
     #[test]
     fn figure_environments_differ() {
         assert_ne!(figure_environment(true), figure_environment(false));
+    }
+
+    #[test]
+    fn profiler_records_phases_in_order() {
+        let mut profiler = PhaseProfiler::new();
+        let out = profiler.phase("a", || 41 + 1);
+        assert_eq!(out, 42);
+        profiler.phase("b", || std::thread::sleep(Duration::from_millis(1)));
+        let phases = profiler.phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].0, "a");
+        assert!(phases[1].1 >= Duration::from_millis(1));
+        assert!(profiler.total() >= phases[1].1);
+    }
+
+    #[test]
+    fn perf_report_serializes() {
+        let report = PerfReport {
+            bench: "engine".to_owned(),
+            events_per_sec: 1_000_000.0,
+            events_per_sec_traced: 900_000.0,
+            measurements: vec![BenchMeasurement {
+                name: "x/y".to_owned(),
+                per_iter_ns: 1_500,
+                iters: 10,
+            }],
+            phases: vec![("warm".to_owned(), Duration::from_micros(3))],
+        };
+        let json = report.to_json();
+        assert_eq!(json.field::<f64>("events_per_sec"), Ok(1_000_000.0));
+        assert_eq!(
+            json.get("phase_wall_ns").unwrap().field::<u64>("warm"),
+            Ok(3_000)
+        );
+        let arr = json.get("measurements").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].field::<u64>("per_iter_ns"), Ok(1_500));
     }
 }

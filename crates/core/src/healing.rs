@@ -22,7 +22,9 @@
 
 use adamant_dds::{DomainParticipant, QosProfile};
 use adamant_metrics::{windowed_qos, Delivery, MetricKind, QosReport, WindowQos};
-use adamant_netsim::{Bandwidth, FaultPlan, SimDuration, SimTime, Simulation};
+use adamant_netsim::{
+    Bandwidth, FaultPlan, MemorySink, ObsEvent, SimDuration, SimTime, Simulation, TracedEvent,
+};
 use adamant_transport::{ant, AppSpec, ProtocolKind, SessionHandles, TransportConfig};
 
 use crate::adaptive::{MonitorThresholds, QosMonitor};
@@ -38,6 +40,18 @@ pub enum SelectorSource {
     Tree,
     /// No model could answer; the safe default was used.
     Default,
+}
+
+impl SelectorSource {
+    /// Stable integer encoding used by [`ObsEvent::HealDecision`] and
+    /// [`ObsEvent::HealSwitch`] trace events.
+    pub fn code(self) -> u8 {
+        match self {
+            SelectorSource::Ann => 0,
+            SelectorSource::Tree => 1,
+            SelectorSource::Default => 2,
+        }
+    }
 }
 
 /// One answer from a [`ResilientSelector`].
@@ -236,6 +250,10 @@ pub struct HealingConfig {
     pub max_backoff: SimDuration,
     /// Extra windows after the last publication, for tail recovery.
     pub grace: SimDuration,
+    /// Whether to attach a trace sink and capture a structured
+    /// observability trace of the run (off by default; the engine then
+    /// pays only a disabled-branch per hook site).
+    pub observe: bool,
 }
 
 impl HealingConfig {
@@ -254,7 +272,15 @@ impl HealingConfig {
             min_dwell: SimDuration::from_secs(2),
             max_backoff: SimDuration::from_secs(16),
             grace: SimDuration::from_secs(3),
+            observe: false,
         }
+    }
+
+    /// Enables structured trace capture for the run; the captured events
+    /// come back in [`HealingOutcome::trace`].
+    pub fn with_observation(mut self) -> Self {
+        self.observe = true;
+        self
     }
 
     /// Overrides the monitoring window length.
@@ -311,6 +337,9 @@ pub struct HealingOutcome {
     pub final_protocol: ProtocolKind,
     /// Pooled whole-run QoS across every incarnation.
     pub report: QosReport,
+    /// The structured observability trace, when the run was configured
+    /// with [`HealingConfig::with_observation`]; empty otherwise.
+    pub trace: Vec<TracedEvent>,
 }
 
 impl HealingOutcome {
@@ -432,6 +461,9 @@ impl SelfHealingSession {
         }
 
         let mut sim = Simulation::new(cfg.seed).with_network(cfg.env.network_config());
+        if cfg.observe {
+            sim.set_obs_sink(MemorySink::new());
+        }
         let mut handles = participant
             .install(&mut sim, topic, initial)
             .expect("initial transport must satisfy time-critical qos");
@@ -479,9 +511,17 @@ impl SelfHealingSession {
             // Grace windows publish nothing and would read as zero
             // reliability; only live windows feed the monitor.
             if window.published > 0 && monitor.observe_window(&window) {
+                sim.emit(ObsEvent::HealAlarm { window: i as u32 });
                 let remaining = cfg.samples.saturating_sub(published_total);
                 let probed = self.probe(&sim, &handles, &pooled, &window);
+                sim.emit(ObsEvent::HealProbe {
+                    loss_percent: probed.loss_percent,
+                });
                 let choice = self.selector.select(&probed, &cfg.app);
+                sim.emit(ObsEvent::HealDecision {
+                    source: choice.source.code(),
+                    protocol: choice.protocol.code(),
+                });
                 if choice.protocol != current && remaining > 0 {
                     if backoff.may_switch(sim.now()) {
                         for (slot, &node) in harvested.iter_mut().zip(&handles.receivers) {
@@ -504,6 +544,11 @@ impl SelfHealingSession {
                             .expect("candidate protocols satisfy time-critical qos");
                         current = choice.protocol;
                         backoff.record_switch(sim.now());
+                        sim.emit(ObsEvent::HealSwitch {
+                            from: from.code(),
+                            to: current.code(),
+                            source: choice.source.code(),
+                        });
                         switches.push(SwitchRecord {
                             at: sim.now(),
                             from,
@@ -513,6 +558,9 @@ impl SelfHealingSession {
                         });
                     } else {
                         suppressed_switches += 1;
+                        sim.emit(ObsEvent::HealSuppressed {
+                            want: choice.protocol.code(),
+                        });
                     }
                 }
             }
@@ -553,6 +601,7 @@ impl SelfHealingSession {
             initial_protocol: initial.kind,
             final_protocol: current,
             report: builder.finish(),
+            trace: sim.take_obs_events(),
         }
     }
 
@@ -792,6 +841,7 @@ mod tests {
             initial_protocol: ResilientSelector::fallback_protocol(),
             final_protocol: ResilientSelector::fallback_protocol(),
             report: QosReport::builder(600, 1).finish(),
+            trace: Vec::new(),
         };
         let baseline = outcome.mean_relate2(0..2);
         assert!((baseline - 1_000.0).abs() < 1e-9);

@@ -2,143 +2,35 @@
 //! reporting the QoS trajectory and the time to recover.
 //!
 //! ```text
-//! chaos [scenario] [seed]     scenario ∈ loss-spike | bandwidth-drop |
-//!                             cpu-contention | all (default: all)
+//! chaos [scenario] [seed] [--trace]
+//!        scenario ∈ loss-spike | bandwidth-drop | cpu-contention | all
+//!        (default: all, seed 77)
 //! ```
 //!
-//! Each scenario runs a 1 200-sample, 100 Hz, 2-reader session on NAKcast
-//! with a lazy 50 ms timeout, injects its fault at t = 3 s through a
-//! [`FaultPlan`], and lets the [`SelfHealingSession`] loop — windowed QoS
-//! monitor → environment re-probe → ANN (with decision-tree and safe-default
-//! fallbacks) → mid-stream protocol switch under exponential backoff — fight
-//! back. The report shows each window's QoS, where the alarm fired, what the
-//! selector chose, and how long QoS took to settle back within 20 % of the
-//! pre-fault baseline.
+//! The scenarios themselves live in [`adamant_experiments::chaos`]; this
+//! binary renders the per-window QoS trajectory, the alarm/switch history,
+//! and the time-to-recover summary. With `--trace` each run additionally
+//! captures a structured observability trace, replays it through the
+//! runtime-verification checker (crash hygiene, at-most-once delivery, the
+//! NAKcast recovery-latency schedule, ReLate2 trace/report consistency),
+//! folds it into a per-protocol × node metrics registry, and writes a
+//! `chaos_<scenario>.json` report artifact. Any invariant violation makes
+//! the process exit non-zero — this is the CI entry point for trace-driven
+//! verification.
 
-use adamant::dataset::{DatasetRow, LabeledDataset};
-use adamant::{
-    AppParams, BandwidthClass, Environment, HealingConfig, HealingOutcome, MonitorThresholds,
-    ProtocolSelector, ResilientSelector, SelectorConfig, SelfHealingSession, TreeSelector,
-};
-use adamant_dds::DdsImplementation;
-use adamant_metrics::MetricKind;
-use adamant_netsim::{
-    Bandwidth, FaultPlan, LossModel, MachineClass, NetworkConfig, NodeId, SimDuration, SimTime,
-};
-use adamant_transport::{ProtocolKind, TransportConfig};
+use adamant::HealingOutcome;
+use adamant_experiments::artifacts;
+use adamant_experiments::chaos::{self, ChaosScenario, FAULT_AT, SAMPLES, SCENARIOS};
+use adamant_json::{Json, ToJson};
+use adamant_metrics::{registry_from_trace, verify_trace};
 
-const FAULT_AT: SimTime = SimTime::from_secs(3);
-const SAMPLES: u64 = 1_200;
-/// Sender plus two readers — node ids are assigned sequentially.
-const NODES: usize = 3;
-
-/// NAK-timeout training data: calm links (≤ 3 % loss) prefer the lazy
-/// 50 ms timeout, lossy links the aggressive 1 ms one.
-fn loss_dataset() -> LabeledDataset {
-    let mut rows = Vec::new();
-    for bandwidth in BandwidthClass::all() {
-        for loss in 1..=10u8 {
-            rows.push(DatasetRow {
-                env: Environment::new(
-                    MachineClass::Pc3000,
-                    bandwidth,
-                    DdsImplementation::OpenSplice,
-                    loss,
-                ),
-                app: AppParams::new(2, 100),
-                metric: MetricKind::ReLate2,
-                best_class: if loss <= 3 { 0 } else { 3 },
-                scores: vec![0.0; 6],
-            });
-        }
-    }
-    LabeledDataset { rows }
-}
-
-struct Scenario {
-    name: &'static str,
-    description: &'static str,
-    plan: fn() -> FaultPlan,
-}
-
-fn loss_spike() -> FaultPlan {
-    let mut plan = FaultPlan::new().set_network_at(
-        FAULT_AT,
-        NetworkConfig {
-            propagation: BandwidthClass::Mbps100.propagation(),
-            loss: LossModel::Bernoulli(0.08),
-        },
-    );
-    for node in 0..NODES {
-        plan = plan.set_bandwidth_at(FAULT_AT, NodeId::from_index(node), Bandwidth::MBPS_100);
-    }
-    plan
-}
-
-fn bandwidth_drop() -> FaultPlan {
-    let mut plan = FaultPlan::new().set_network_at(
-        FAULT_AT,
-        NetworkConfig {
-            propagation: BandwidthClass::Mbps10.propagation(),
-            loss: LossModel::Bernoulli(0.05),
-        },
-    );
-    for node in 0..NODES {
-        plan = plan.set_bandwidth_at(FAULT_AT, NodeId::from_index(node), Bandwidth::MBPS_10);
-    }
-    plan
-}
-
-fn cpu_contention() -> FaultPlan {
-    let mut plan = FaultPlan::new().set_network_at(
-        FAULT_AT,
-        NetworkConfig {
-            propagation: BandwidthClass::Gbps1.propagation(),
-            loss: LossModel::Bernoulli(0.06),
-        },
-    );
-    for node in 0..NODES {
-        plan = plan.cpu_contention_at(FAULT_AT, NodeId::from_index(node), 8.0);
-    }
-    plan
-}
-
-const SCENARIOS: [Scenario; 3] = [
-    Scenario {
-        name: "loss-spike",
-        description: "8% link loss on every path + 1Gb -> 100Mb NIC downgrade",
-        plan: loss_spike,
-    },
-    Scenario {
-        name: "bandwidth-drop",
-        description: "5% link loss + 1Gb -> 10Mb NIC downgrade (500us propagation)",
-        plan: bandwidth_drop,
-    },
-    Scenario {
-        name: "cpu-contention",
-        description: "6% link loss + 8x CPU contention on every host",
-        plan: cpu_contention,
-    },
-];
-
-fn run_scenario(scenario: &Scenario, selector: &ResilientSelector, seed: u64) {
-    let env = Environment::new(
-        MachineClass::Pc3000,
-        BandwidthClass::Gbps1,
-        DdsImplementation::OpenSplice,
-        2,
-    );
-    let config = HealingConfig::new(env, AppParams::new(2, 100), SAMPLES, seed)
-        .with_thresholds(MonitorThresholds {
-            min_reliability: 0.90,
-            max_avg_latency_us: 8_000.0,
-            consecutive_windows: 2,
-        })
-        .with_dwell(SimDuration::from_secs(2), SimDuration::from_secs(16));
-    let initial = TransportConfig::new(ProtocolKind::Nakcast {
-        timeout: SimDuration::from_millis(50),
-    });
-    let outcome = SelfHealingSession::new(config, selector.clone()).run(initial, (scenario.plan)());
+fn run_scenario(
+    scenario: &ChaosScenario,
+    selector: &adamant::ResilientSelector,
+    seed: u64,
+    trace_mode: bool,
+) -> bool {
+    let outcome = chaos::run_chaos(scenario, selector, seed, trace_mode);
 
     println!("== {} (seed {seed}) ==", scenario.name);
     println!("   {}", scenario.description);
@@ -148,7 +40,52 @@ fn run_scenario(scenario: &Scenario, selector: &ResilientSelector, seed: u64) {
     );
     print_windows(&outcome);
     print_summary(&outcome);
+    let ok = if trace_mode {
+        verify_and_save(scenario, seed, &outcome)
+    } else {
+        true
+    };
     println!();
+    ok
+}
+
+/// Replays the captured trace against the invariants, folds it into the
+/// metrics registry, and persists both as the scenario's report artifact.
+/// Returns whether the trace was clean and the artifact written.
+fn verify_and_save(scenario: &ChaosScenario, seed: u64, outcome: &HealingOutcome) -> bool {
+    let spec = chaos::chaos_verify_spec(outcome);
+    let verify = verify_trace(&outcome.trace, &spec);
+    let registry = registry_from_trace(scenario.name, &outcome.trace);
+    println!(
+        "   trace: {} events, {} accepted ({} recovered), recomputed ReLate2 {:.1}",
+        verify.events, verify.accepted, verify.recovered, verify.recomputed_relate2
+    );
+    let mut ok = true;
+    if verify.is_clean() {
+        println!("   invariants: all clean");
+    } else {
+        for v in &verify.violations {
+            eprintln!(
+                "   VIOLATION [{}] t={}ns: {}",
+                v.invariant, v.time_ns, v.detail
+            );
+        }
+        ok = false;
+    }
+    let artifact = Json::Obj(vec![
+        ("scenario".to_owned(), Json::Str(scenario.name.to_owned())),
+        ("seed".to_owned(), Json::Num(seed as f64)),
+        ("verify".to_owned(), verify.to_json()),
+        ("registry".to_owned(), registry.to_json()),
+    ]);
+    match artifacts::save(&format!("chaos_{}.json", scenario.name), &artifact) {
+        Ok(path) => println!("   report artifact: {}", path.display()),
+        Err(e) => {
+            eprintln!("   failed to write report artifact: {e}");
+            ok = false;
+        }
+    }
+    ok
 }
 
 fn print_windows(outcome: &HealingOutcome) {
@@ -218,13 +155,13 @@ fn print_summary(outcome: &HealingOutcome) {
 }
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
-    let seed: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(77);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_mode = args.iter().any(|a| a == "--trace");
+    args.retain(|a| a != "--trace");
+    let which = args.first().cloned().unwrap_or_else(|| "all".to_owned());
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(77);
 
-    if which != "all" && !SCENARIOS.iter().any(|s| s.name == which) {
+    if which != "all" && chaos::scenario(&which).is_none() {
         eprintln!("unknown scenario `{which}`; pick one of:");
         for s in &SCENARIOS {
             eprintln!("  {:<16} {}", s.name, s.description);
@@ -233,17 +170,15 @@ fn main() {
         std::process::exit(1);
     }
 
-    let ds = loss_dataset();
-    let (ann, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
-    let tree = TreeSelector::from_dataset(&ds, adamant_ann::DecisionTreeParams::default());
-    let selector = ResilientSelector::new(MetricKind::ReLate2)
-        .with_ann(ann, 0.1)
-        .with_tree(tree);
-
+    let selector = chaos::build_selector();
+    let mut clean = true;
     for scenario in SCENARIOS
         .iter()
         .filter(|s| which == "all" || s.name == which)
     {
-        run_scenario(scenario, &selector, seed);
+        clean &= run_scenario(scenario, &selector, seed, trace_mode);
+    }
+    if !clean {
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,224 @@
+//! Scripted chaos scenarios against a self-healing session — the shared
+//! harness behind the `chaos` binary and the trace-driven invariant tests.
+//!
+//! Each scenario runs a 1 200-sample, 100 Hz, 2-reader session on NAKcast
+//! with a lazy 50 ms timeout, injects a compound fault at t = 3 s through a
+//! [`FaultPlan`], and lets the [`SelfHealingSession`] loop fight back. With
+//! [`run_chaos`]'s `observe` flag the run captures a structured
+//! observability trace, and [`chaos_verify_spec`] builds the matching
+//! [`VerifySpec`] so the trace can be replayed against the runtime
+//! invariants (crash hygiene, at-most-once, the NAKcast recovery-latency
+//! schedule, and ReLate2 trace/report consistency).
+
+use adamant::dataset::{DatasetRow, LabeledDataset};
+use adamant::{
+    AppParams, BandwidthClass, Environment, HealingConfig, HealingOutcome, MonitorThresholds,
+    ProtocolSelector, ResilientSelector, SelectorConfig, SelfHealingSession, TreeSelector,
+};
+use adamant_dds::DdsImplementation;
+use adamant_metrics::{MetricKind, VerifySpec};
+use adamant_netsim::{
+    Bandwidth, FaultPlan, LossModel, MachineClass, NetworkConfig, NodeId, SimDuration, SimTime,
+};
+use adamant_transport::{nakcast_recovery_bound, ProtocolKind, TransportConfig, Tuning};
+
+/// When every scenario's fault lands.
+pub const FAULT_AT: SimTime = SimTime::from_secs(3);
+/// Samples the writer publishes across the whole session.
+pub const SAMPLES: u64 = 1_200;
+/// Data readers in the session.
+pub const RECEIVERS: u32 = 2;
+/// Sender plus two readers — node ids are assigned sequentially.
+pub const NODES: usize = 3;
+/// The lazy NAK timeout every scenario starts on.
+pub const INITIAL_NAK_TIMEOUT: SimDuration = SimDuration::from_millis(50);
+
+/// NAK-timeout training data: calm links (≤ 3 % loss) prefer the lazy
+/// 50 ms timeout, lossy links the aggressive 1 ms one.
+pub fn loss_dataset() -> LabeledDataset {
+    let mut rows = Vec::new();
+    for bandwidth in BandwidthClass::all() {
+        for loss in 1..=10u8 {
+            rows.push(DatasetRow {
+                env: Environment::new(
+                    MachineClass::Pc3000,
+                    bandwidth,
+                    DdsImplementation::OpenSplice,
+                    loss,
+                ),
+                app: AppParams::new(2, 100),
+                metric: MetricKind::ReLate2,
+                best_class: if loss <= 3 { 0 } else { 3 },
+                scores: vec![0.0; 6],
+            });
+        }
+    }
+    LabeledDataset { rows }
+}
+
+/// One scripted fault scenario.
+pub struct ChaosScenario {
+    /// Stable scenario name (CLI argument and artifact key).
+    pub name: &'static str,
+    /// Human-readable fault description.
+    pub description: &'static str,
+    /// Builds the scenario's fault plan.
+    pub plan: fn() -> FaultPlan,
+}
+
+fn loss_spike() -> FaultPlan {
+    let mut plan = FaultPlan::new().set_network_at(
+        FAULT_AT,
+        NetworkConfig {
+            propagation: BandwidthClass::Mbps100.propagation(),
+            loss: LossModel::Bernoulli(0.08),
+        },
+    );
+    for node in 0..NODES {
+        plan = plan.set_bandwidth_at(FAULT_AT, NodeId::from_index(node), Bandwidth::MBPS_100);
+    }
+    plan
+}
+
+fn bandwidth_drop() -> FaultPlan {
+    let mut plan = FaultPlan::new().set_network_at(
+        FAULT_AT,
+        NetworkConfig {
+            propagation: BandwidthClass::Mbps10.propagation(),
+            loss: LossModel::Bernoulli(0.05),
+        },
+    );
+    for node in 0..NODES {
+        plan = plan.set_bandwidth_at(FAULT_AT, NodeId::from_index(node), Bandwidth::MBPS_10);
+    }
+    plan
+}
+
+fn cpu_contention() -> FaultPlan {
+    let mut plan = FaultPlan::new().set_network_at(
+        FAULT_AT,
+        NetworkConfig {
+            propagation: BandwidthClass::Gbps1.propagation(),
+            loss: LossModel::Bernoulli(0.06),
+        },
+    );
+    for node in 0..NODES {
+        plan = plan.cpu_contention_at(FAULT_AT, NodeId::from_index(node), 8.0);
+    }
+    plan
+}
+
+/// The three scripted scenarios.
+pub const SCENARIOS: [ChaosScenario; 3] = [
+    ChaosScenario {
+        name: "loss-spike",
+        description: "8% link loss on every path + 1Gb -> 100Mb NIC downgrade",
+        plan: loss_spike,
+    },
+    ChaosScenario {
+        name: "bandwidth-drop",
+        description: "5% link loss + 1Gb -> 10Mb NIC downgrade (500us propagation)",
+        plan: bandwidth_drop,
+    },
+    ChaosScenario {
+        name: "cpu-contention",
+        description: "6% link loss + 8x CPU contention on every host",
+        plan: cpu_contention,
+    },
+];
+
+/// Looks a scenario up by name.
+pub fn scenario(name: &str) -> Option<&'static ChaosScenario> {
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+/// Trains the standard selector chain for the chaos scenarios: the
+/// loss-dataset ANN with a 0.1 confidence floor, decision-tree fallback.
+pub fn build_selector() -> ResilientSelector {
+    let ds = loss_dataset();
+    let (ann, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
+    let tree = TreeSelector::from_dataset(&ds, adamant_ann::DecisionTreeParams::default());
+    ResilientSelector::new(MetricKind::ReLate2)
+        .with_ann(ann, 0.1)
+        .with_tree(tree)
+}
+
+/// The healing configuration every scenario runs under.
+pub fn healing_config(seed: u64) -> HealingConfig {
+    let env = Environment::new(
+        MachineClass::Pc3000,
+        BandwidthClass::Gbps1,
+        DdsImplementation::OpenSplice,
+        2,
+    );
+    HealingConfig::new(env, AppParams::new(RECEIVERS, 100), SAMPLES, seed)
+        .with_thresholds(MonitorThresholds {
+            min_reliability: 0.90,
+            max_avg_latency_us: 8_000.0,
+            consecutive_windows: 2,
+        })
+        .with_dwell(SimDuration::from_secs(2), SimDuration::from_secs(16))
+}
+
+/// The transport every scenario starts on.
+pub fn initial_transport() -> TransportConfig {
+    TransportConfig::new(ProtocolKind::Nakcast {
+        timeout: INITIAL_NAK_TIMEOUT,
+    })
+}
+
+/// Runs one scenario to completion. With `observe`, the outcome carries
+/// the structured trace of the whole run.
+pub fn run_chaos(
+    scenario: &ChaosScenario,
+    selector: &ResilientSelector,
+    seed: u64,
+    observe: bool,
+) -> HealingOutcome {
+    let mut config = healing_config(seed);
+    if observe {
+        config = config.with_observation();
+    }
+    SelfHealingSession::new(config, selector.clone()).run(initial_transport(), (scenario.plan)())
+}
+
+/// The [`VerifySpec`] matching a chaos run: structural invariants plus the
+/// NAKcast recovery-latency schedule of the lazy initial timeout (the
+/// loosest schedule any in-play protocol imposes) and ReLate2 consistency
+/// against the engine's own report.
+///
+/// The ReLate2 tolerance is exact in principle — the checker replays
+/// latencies in the report's own pooling order — but allowed a hair of
+/// absolute slack for the arithmetic itself.
+pub fn chaos_verify_spec(outcome: &HealingOutcome) -> VerifySpec {
+    let reported = MetricKind::ReLate2.score(&outcome.report);
+    VerifySpec::new(SAMPLES, RECEIVERS)
+        .with_reported_relate2(reported)
+        .with_recovery_bound(nakcast_recovery_bound(
+            INITIAL_NAK_TIMEOUT,
+            &Tuning::default(),
+        ))
+        .with_tolerance(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_lookup_and_coverage() {
+        assert_eq!(SCENARIOS.len(), 3);
+        assert!(scenario("loss-spike").is_some());
+        assert!(scenario("bandwidth-drop").is_some());
+        assert!(scenario("cpu-contention").is_some());
+        assert!(scenario("nope").is_none());
+    }
+
+    #[test]
+    fn unobserved_run_has_no_trace() {
+        let selector = build_selector();
+        let outcome = run_chaos(scenario("loss-spike").unwrap(), &selector, 5, false);
+        assert!(outcome.trace.is_empty());
+        assert!(outcome.report.delivered > 0);
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`ann_study`] — Figures 18–21: ANN accuracy (training recall and
 //!   10-fold cross-validation) and query timing.
 //! * [`artifacts`] — JSON persistence of datasets and figure series.
+//! * [`chaos`] — scripted fault scenarios for the self-healing loop, with
+//!   structured trace capture and runtime-verification specs.
 //!
 //! See `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
 //! paper-vs-measured results. The `figures` binary drives everything:
@@ -24,6 +26,7 @@
 
 pub mod ann_study;
 pub mod artifacts;
+pub mod chaos;
 pub mod dataset_gen;
 pub mod figures;
 pub mod sweep;

@@ -14,6 +14,14 @@
 //! * **Composite metrics** — [`MetricKind`]: the ReLate2 family, which
 //!   collapses a report into one comparable score (lower is better).
 //!
+//! On top of those, the crate consumes structured observability traces from
+//! `adamant-netsim`: [`MetricsRegistry`] / [`registry_from_trace`] fold a
+//! trace into counters, gauges, and latency histograms keyed by
+//! `protocol × node` (rendered to JSON run reports), and [`verify_trace`]
+//! replays a trace against runtime invariants — crash-epoch delivery
+//! hygiene, at-most-once acceptance, recovery-latency bounds, and ReLate2
+//! consistency between trace and engine report.
+//!
 //! ## Example
 //!
 //! ```
@@ -41,13 +49,17 @@
 mod composite;
 mod histogram;
 mod record;
+mod registry;
 mod report;
 mod stats;
+mod verify;
 mod windowed;
 
 pub use composite::MetricKind;
 pub use histogram::LatencyHistogram;
 pub use record::{Delivery, DenseReceptionLog, ReceptionLog};
+pub use registry::{registry_from_trace, MetricsRegistry};
 pub use report::{QosReport, QosReportBuilder};
 pub use stats::{percentile, Welford};
+pub use verify::{verify_trace, InvariantKind, VerifyReport, VerifySpec, Violation};
 pub use windowed::{constant_rate_schedule, windowed_qos, WindowQos};

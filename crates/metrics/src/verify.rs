@@ -1,0 +1,410 @@
+//! Runtime verification: replay a captured observability trace against the
+//! invariants the protocols and engine are supposed to uphold.
+//!
+//! The checker is deliberately independent of the engine — it sees only the
+//! flat event stream a [`TraceSink`](adamant_netsim::TraceSink) captured,
+//! so a bug that corrupts both the engine state *and* its own report still
+//! trips here unless it also forges a self-consistent trace.
+//!
+//! Invariants checked:
+//!
+//! 1. **No delivery after crash** — no packet or sample reaches a node
+//!    between its `NodeCrashed` and the next `NodeRestarted`.
+//! 2. **At-most-once** — each (receiver, incarnation, sequence) is accepted
+//!    at most once; the reception logs suppress duplicates, so a second
+//!    `SampleAccepted` is a transport bug.
+//! 3. **Recovery latency bound** — every recovered delivery lands within
+//!    the configured bound (for NAKcast, derive it from
+//!    `nakcast_recovery_bound` in `adamant-transport`).
+//! 4. **ReLate2 consistency** — ReLate2 recomputed from the trace's
+//!    accepted samples equals the engine-reported value within tolerance.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use adamant_json::{Json, ToJson};
+use adamant_netsim::{ObsEvent, SimDuration, TracedEvent};
+
+use crate::stats::Welford;
+
+/// Which invariant a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantKind {
+    /// Delivery to a node currently in a crash epoch.
+    NoDeliveryAfterCrash,
+    /// Second acceptance of the same (receiver, incarnation, sequence).
+    AtMostOnce,
+    /// Recovered delivery slower than the recovery schedule allows.
+    RecoveryLatencyBound,
+    /// Trace-recomputed ReLate2 disagrees with the engine's report.
+    Relate2Consistency,
+}
+
+adamant_json::impl_json_unit_enum!(InvariantKind {
+    NoDeliveryAfterCrash,
+    AtMostOnce,
+    RecoveryLatencyBound,
+    Relate2Consistency,
+});
+
+impl std::fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            InvariantKind::NoDeliveryAfterCrash => "no-delivery-after-crash",
+            InvariantKind::AtMostOnce => "at-most-once",
+            InvariantKind::RecoveryLatencyBound => "recovery-latency-bound",
+            InvariantKind::Relate2Consistency => "relate2-consistency",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One invariant violation found in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The invariant that failed.
+    pub invariant: InvariantKind,
+    /// Trace time of the offending event (nanoseconds; 0 for run-level
+    /// violations).
+    pub time_ns: u64,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+}
+
+impl ToJson for Violation {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("invariant".to_owned(), self.invariant.to_json()),
+            ("time_ns".to_owned(), Json::Num(self.time_ns as f64)),
+            ("detail".to_owned(), Json::Str(self.detail.clone())),
+        ])
+    }
+}
+
+/// What the checker needs to know about the run beyond the trace itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifySpec {
+    /// Samples the writer published.
+    pub samples_sent: u64,
+    /// Number of data readers.
+    pub receivers: u32,
+    /// The engine's reported ReLate2, when checking consistency.
+    pub reported_relate2: Option<f64>,
+    /// Upper bound on recovered-delivery latency, when checking recovery.
+    pub recovery_bound: Option<SimDuration>,
+    /// Absolute tolerance for the ReLate2 comparison.
+    pub tolerance: f64,
+}
+
+impl VerifySpec {
+    /// A spec checking only the structural invariants (crash hygiene and
+    /// at-most-once) for a run of `samples_sent × receivers`.
+    pub fn new(samples_sent: u64, receivers: u32) -> Self {
+        VerifySpec {
+            samples_sent,
+            receivers,
+            reported_relate2: None,
+            recovery_bound: None,
+            tolerance: 1e-9,
+        }
+    }
+
+    /// Also check the trace-recomputed ReLate2 against `reported`.
+    pub fn with_reported_relate2(mut self, reported: f64) -> Self {
+        self.reported_relate2 = Some(reported);
+        self
+    }
+
+    /// Also bound recovered-delivery latency by `bound`.
+    pub fn with_recovery_bound(mut self, bound: SimDuration) -> Self {
+        self.recovery_bound = Some(bound);
+        self
+    }
+
+    /// Overrides the ReLate2 comparison tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+}
+
+/// The checker's result: violations plus the quantities it recomputed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Events examined.
+    pub events: usize,
+    /// Unique samples accepted across receivers.
+    pub accepted: u64,
+    /// Of those, how many arrived through a recovery path.
+    pub recovered: u64,
+    /// ReLate2 recomputed from the trace alone.
+    pub recomputed_relate2: f64,
+    /// Every invariant violation, in trace order.
+    pub violations: Vec<Violation>,
+}
+
+impl VerifyReport {
+    /// Whether the trace satisfied every checked invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations of one particular invariant.
+    pub fn violations_of(&self, kind: InvariantKind) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.invariant == kind)
+            .count()
+    }
+}
+
+impl ToJson for VerifyReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("events".to_owned(), Json::Num(self.events as f64)),
+            ("accepted".to_owned(), Json::Num(self.accepted as f64)),
+            ("recovered".to_owned(), Json::Num(self.recovered as f64)),
+            (
+                "recomputed_relate2".to_owned(),
+                Json::Num(self.recomputed_relate2),
+            ),
+            ("violations".to_owned(), self.violations.to_json()),
+        ])
+    }
+}
+
+/// Replays `events` against the declared invariants.
+///
+/// The ReLate2 recomputation mirrors the engine exactly: latencies pool
+/// into one Welford accumulator per run, grouped by receiver in node order
+/// (the order `ant::collect_report` visits readers), preserving each
+/// receiver's acceptance order — so with a faithful trace the recomputed
+/// value is bit-identical, not merely close.
+pub fn verify_trace(events: &[TracedEvent], spec: &VerifySpec) -> VerifyReport {
+    let mut crashed: BTreeSet<usize> = BTreeSet::new();
+    let mut incarnation: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut seen: BTreeSet<(usize, u64, u64)> = BTreeSet::new();
+    let mut latencies: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+    let mut violations = Vec::new();
+    let mut accepted = 0u64;
+    let mut recovered_count = 0u64;
+
+    for te in events {
+        let time_ns = te.time.as_nanos();
+        match te.event {
+            ObsEvent::NodeCrashed { node, .. } => {
+                crashed.insert(node.index());
+            }
+            ObsEvent::NodeRestarted { node, .. } => {
+                crashed.remove(&node.index());
+                *incarnation.entry(node.index()).or_insert(0) += 1;
+            }
+            ObsEvent::PacketDelivered { node, wire_id, .. } if crashed.contains(&node.index()) => {
+                violations.push(Violation {
+                    invariant: InvariantKind::NoDeliveryAfterCrash,
+                    time_ns,
+                    detail: format!("packet {wire_id} delivered to crashed {node}"),
+                });
+            }
+            ObsEvent::SampleAccepted {
+                node,
+                seq,
+                published_ns,
+                delivered_ns,
+                recovered,
+            } => {
+                let idx = node.index();
+                if crashed.contains(&idx) {
+                    violations.push(Violation {
+                        invariant: InvariantKind::NoDeliveryAfterCrash,
+                        time_ns,
+                        detail: format!("sample {seq} accepted by crashed {node}"),
+                    });
+                }
+                let inc = incarnation.get(&idx).copied().unwrap_or(0);
+                if !seen.insert((idx, inc, seq)) {
+                    violations.push(Violation {
+                        invariant: InvariantKind::AtMostOnce,
+                        time_ns,
+                        detail: format!("sample {seq} accepted twice by {node} (epoch {inc})"),
+                    });
+                    continue;
+                }
+                accepted += 1;
+                let latency_ns = delivered_ns.saturating_sub(published_ns);
+                latencies
+                    .entry(idx)
+                    .or_default()
+                    .push(latency_ns as f64 / 1_000.0);
+                if recovered {
+                    recovered_count += 1;
+                    if let Some(bound) = spec.recovery_bound {
+                        if latency_ns > bound.as_nanos() {
+                            violations.push(Violation {
+                                invariant: InvariantKind::RecoveryLatencyBound,
+                                time_ns,
+                                detail: format!(
+                                    "sample {seq} recovered by {node} after {latency_ns} ns \
+                                     (bound {} ns)",
+                                    bound.as_nanos()
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut welford = Welford::new();
+    for lat in latencies.values().flatten() {
+        welford.push(*lat);
+    }
+    let expected = spec.samples_sent.saturating_mul(u64::from(spec.receivers));
+    let reliability = if expected == 0 {
+        0.0
+    } else {
+        accepted as f64 / expected as f64
+    };
+    let recomputed_relate2 = welford.mean() * ((1.0 - reliability) * 100.0 + 1.0);
+    if let Some(reported) = spec.reported_relate2 {
+        if (recomputed_relate2 - reported).abs() > spec.tolerance {
+            violations.push(Violation {
+                invariant: InvariantKind::Relate2Consistency,
+                time_ns: events.last().map_or(0, |e| e.time.as_nanos()),
+                detail: format!(
+                    "trace ReLate2 {recomputed_relate2} vs reported {reported} \
+                     (tolerance {})",
+                    spec.tolerance
+                ),
+            });
+        }
+    }
+
+    VerifyReport {
+        events: events.len(),
+        accepted,
+        recovered: recovered_count,
+        recomputed_relate2,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamant_netsim::{NodeId, SimTime};
+
+    fn ev(time_us: u64, event: ObsEvent) -> TracedEvent {
+        TracedEvent {
+            time: SimTime::from_micros(time_us),
+            event,
+        }
+    }
+
+    fn accept(time_us: u64, node: usize, seq: u64, recovered: bool) -> TracedEvent {
+        ev(
+            time_us,
+            ObsEvent::SampleAccepted {
+                node: NodeId::from_index(node),
+                seq,
+                published_ns: 0,
+                delivered_ns: time_us * 1_000,
+                recovered,
+            },
+        )
+    }
+
+    #[test]
+    fn clean_trace_passes_and_recomputes_relate2() {
+        // 2 samples × 1 receiver, both delivered at 1000 µs → ReLate2 1000.
+        let trace = vec![accept(1_000, 1, 0, false), accept(1_000, 1, 1, false)];
+        let spec = VerifySpec::new(2, 1).with_reported_relate2(1_000.0);
+        let report = verify_trace(&trace, &spec);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.recomputed_relate2, 1_000.0);
+    }
+
+    #[test]
+    fn double_acceptance_is_flagged() {
+        let trace = vec![accept(10, 1, 0, false), accept(20, 1, 0, false)];
+        let report = verify_trace(&trace, &VerifySpec::new(2, 1));
+        assert_eq!(report.violations_of(InvariantKind::AtMostOnce), 1);
+        assert_eq!(report.accepted, 1, "duplicate must not count as accepted");
+    }
+
+    #[test]
+    fn restart_opens_a_new_incarnation() {
+        let node = NodeId::from_index(1);
+        let trace = vec![
+            accept(10, 1, 0, false),
+            ev(20, ObsEvent::NodeCrashed { node, epoch: 1 }),
+            ev(30, ObsEvent::NodeRestarted { node, epoch: 2 }),
+            accept(40, 1, 0, false), // fresh incarnation may re-accept seq 0
+        ];
+        let report = verify_trace(&trace, &VerifySpec::new(1, 1));
+        assert_eq!(report.violations_of(InvariantKind::AtMostOnce), 0);
+    }
+
+    #[test]
+    fn delivery_during_crash_epoch_is_flagged() {
+        let node = NodeId::from_index(1);
+        let trace = vec![
+            ev(10, ObsEvent::NodeCrashed { node, epoch: 1 }),
+            accept(20, 1, 0, false),
+            ev(
+                25,
+                ObsEvent::PacketDelivered {
+                    node,
+                    tag: 1,
+                    wire_id: 7,
+                    size_bytes: 60,
+                },
+            ),
+            ev(30, ObsEvent::NodeRestarted { node, epoch: 2 }),
+            accept(40, 1, 1, false),
+        ];
+        let report = verify_trace(&trace, &VerifySpec::new(2, 1));
+        assert_eq!(report.violations_of(InvariantKind::NoDeliveryAfterCrash), 2);
+    }
+
+    #[test]
+    fn slow_recovery_breaks_the_bound() {
+        let trace = vec![accept(5_000, 1, 0, true)];
+        let spec = VerifySpec::new(1, 1).with_recovery_bound(SimDuration::from_millis(1));
+        let report = verify_trace(&trace, &spec);
+        assert_eq!(report.violations_of(InvariantKind::RecoveryLatencyBound), 1);
+        assert_eq!(report.recovered, 1);
+        let fast = verify_trace(
+            &[accept(500, 1, 0, true)],
+            &VerifySpec::new(1, 1).with_recovery_bound(SimDuration::from_millis(1)),
+        );
+        assert!(fast.is_clean());
+    }
+
+    #[test]
+    fn relate2_mismatch_is_flagged() {
+        let trace = vec![accept(1_000, 1, 0, false)];
+        // One of two samples → 50% loss → 1000 × 51 = 51_000.
+        let spec = VerifySpec::new(2, 1).with_reported_relate2(51_000.0);
+        assert!(verify_trace(&trace, &spec).is_clean());
+        let wrong = VerifySpec::new(2, 1).with_reported_relate2(50_000.0);
+        let report = verify_trace(&trace, &wrong);
+        assert_eq!(report.violations_of(InvariantKind::Relate2Consistency), 1);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let trace = vec![accept(10, 1, 0, false), accept(20, 1, 0, false)];
+        let report = verify_trace(&trace, &VerifySpec::new(2, 1));
+        let json = report.to_json();
+        assert_eq!(json.field::<u64>("accepted"), Ok(1));
+        let viols = json.get("violations").unwrap().as_arr().unwrap();
+        assert_eq!(viols.len(), 1);
+        assert_eq!(
+            viols[0].field::<String>("invariant"),
+            Ok("AtMostOnce".to_owned())
+        );
+    }
+}

@@ -5,6 +5,7 @@ use std::any::Any;
 
 use crate::event::TimerId;
 use crate::host::MachineClass;
+use crate::obs::ObsEvent;
 use crate::packet::{Destination, GroupId, NodeId, OutPacket, Packet};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -50,6 +51,9 @@ pub(crate) enum Command {
     CancelTimer {
         id: TimerId,
     },
+    Emit {
+        event: ObsEvent,
+    },
 }
 
 /// The execution context handed to agent callbacks.
@@ -66,6 +70,9 @@ pub struct Ctx<'a> {
     pub(crate) groups: &'a [Vec<NodeId>],
     pub(crate) commands: Vec<Command>,
     pub(crate) next_timer_id: &'a mut u64,
+    /// Whether a structured-trace sink is installed on the simulation;
+    /// when false, [`Ctx::emit`] never even constructs its event.
+    pub(crate) obs: bool,
 }
 
 impl<'a> Ctx<'a> {
@@ -130,6 +137,22 @@ impl<'a> Ctx<'a> {
     pub fn cancel_timer(&mut self, id: TimerId) {
         self.commands.push(Command::CancelTimer { id });
     }
+
+    /// Whether a structured-trace sink is installed. Protocol code can use
+    /// this to skip expensive event preparation when nobody is listening.
+    pub fn observed(&self) -> bool {
+        self.obs
+    }
+
+    /// Emits a structured [`ObsEvent`] into the simulation's trace sink.
+    ///
+    /// The closure is only invoked when a sink is installed, so call sites
+    /// pay one branch (and no event construction) in unobserved runs.
+    pub fn emit(&mut self, event: impl FnOnce() -> ObsEvent) {
+        if self.obs {
+            self.commands.push(Command::Emit { event: event() });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +172,7 @@ mod tests {
             groups,
             commands: Vec::new(),
             next_timer_id,
+            obs: true,
         }
     }
 
@@ -180,6 +204,26 @@ mod tests {
         ctx.send(GroupId(0), OutPacket::new(20, ()));
         assert_eq!(ctx.commands.len(), 2);
         assert_eq!(ctx.members(GroupId(0)), &[NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn emit_is_gated_on_observation() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let groups = vec![];
+        let mut next = 0;
+        let mut ctx = make_ctx(&mut rng, &groups, &mut next);
+        assert!(ctx.observed());
+        ctx.emit(|| ObsEvent::EpochDropped { node: NodeId(0) });
+        assert_eq!(ctx.commands.len(), 1);
+
+        ctx.obs = false;
+        let mut constructed = false;
+        ctx.emit(|| {
+            constructed = true;
+            ObsEvent::EpochDropped { node: NodeId(0) }
+        });
+        assert!(!constructed, "event built despite no sink");
+        assert_eq!(ctx.commands.len(), 1);
     }
 
     #[test]

@@ -69,6 +69,7 @@ mod event;
 mod fault;
 mod host;
 mod loss;
+mod obs;
 mod packet;
 mod rng;
 mod sim;
@@ -81,6 +82,7 @@ pub use event::TimerId;
 pub use fault::{Fault, FaultPlan};
 pub use host::{Bandwidth, HostConfig, MachineClass};
 pub use loss::LossModel;
+pub use obs::{DropReason, MemorySink, ObsEvent, TraceSink, TracedEvent};
 pub use packet::{Destination, GroupId, NodeId, OutPacket, Packet, Payload, ProcessingCost};
 pub use rng::SimRng;
 pub use sim::{NetworkConfig, Simulation};

@@ -1,11 +1,12 @@
 //! The discrete-event simulation engine.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 use crate::agent::{Agent, Command, Ctx};
 use crate::event::{EventKind, EventQueue, TimerId};
 use crate::host::{Bandwidth, HostConfig, HostState};
 use crate::loss::{ChannelState, LossModel};
+use crate::obs::{DropReason, MemorySink, ObsEvent, TraceSink, TracedEvent};
 use crate::packet::{Destination, GroupId, NodeId, OutPacket, Packet};
 use crate::rng::SimRng;
 use crate::stats::WireStats;
@@ -101,9 +102,16 @@ pub struct Simulation {
     stats: WireStats,
     network: NetworkConfig,
     next_timer_id: u64,
-    cancelled_timers: HashSet<TimerId>,
+    /// Tombstones for cancelled timers whose events are still queued,
+    /// keyed by the owning node so a crash can prune them (a dead
+    /// incarnation's queued timer events are discarded by the epoch check
+    /// and would otherwise never consume their tombstones).
+    cancelled_timers: HashMap<TimerId, NodeId>,
     channel_states: Vec<ChannelState>,
     trace: Trace,
+    /// Structured observability sink; `None` (the default) makes every
+    /// hook site a single branch.
+    obs: Option<Box<dyn TraceSink>>,
     cpu_busy: Vec<SimDuration>,
     next_wire_id: u64,
     events_processed: u64,
@@ -142,9 +150,10 @@ impl Simulation {
             stats: WireStats::new(),
             network: NetworkConfig::default(),
             next_timer_id: 0,
-            cancelled_timers: HashSet::new(),
+            cancelled_timers: HashMap::new(),
             channel_states: Vec::new(),
             trace: Trace::new(0),
+            obs: None,
             cpu_busy: Vec::new(),
             next_wire_id: 0,
             events_processed: 0,
@@ -170,6 +179,57 @@ impl Simulation {
     pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
         self.trace = Trace::new(capacity);
         self
+    }
+
+    /// Installs a structured observability sink (builder-style); see
+    /// [`TraceSink`]. Disabled by default.
+    pub fn with_obs_sink(mut self, sink: impl TraceSink + 'static) -> Self {
+        self.obs = Some(Box::new(sink));
+        self
+    }
+
+    /// Installs (or replaces) the structured observability sink mid-build.
+    pub fn set_obs_sink(&mut self, sink: impl TraceSink + 'static) {
+        self.obs = Some(Box::new(sink));
+    }
+
+    /// Removes and returns the installed sink, if any.
+    pub fn take_obs_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.obs.take()
+    }
+
+    /// Removes the installed sink and, when it is a [`MemorySink`],
+    /// returns its captured events.
+    pub fn take_obs_events(&mut self) -> Vec<TracedEvent> {
+        self.obs
+            .take()
+            .and_then(|mut sink| {
+                sink.as_any_mut()
+                    .downcast_mut::<MemorySink>()
+                    .map(MemorySink::take_events)
+            })
+            .unwrap_or_default()
+    }
+
+    /// Whether a structured observability sink is installed.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Records `event` at the current simulated time. A no-op without a
+    /// sink; external drivers (fault plans, healing loops) use this to
+    /// interleave their own events with the engine's.
+    pub fn emit(&mut self, event: ObsEvent) {
+        self.obs_emit(self.now, || event);
+    }
+
+    /// Runs `event` and records its result at `time` — only when a sink
+    /// is installed, so hook sites never build events nobody consumes.
+    #[inline]
+    fn obs_emit(&mut self, time: SimTime, event: impl FnOnce() -> ObsEvent) {
+        if let Some(sink) = self.obs.as_mut() {
+            sink.record(time, event());
+        }
     }
 
     /// Registers a human-readable label for a packet tag in the wire
@@ -349,6 +409,15 @@ impl Simulation {
                     wire_id: packet.wire_id,
                     size_bytes: packet.size_bytes,
                 });
+                let (node, tag, wire_id) = (*node, packet.tag, packet.wire_id);
+                self.obs_emit(self.now, || ObsEvent::PacketDropped {
+                    node,
+                    tag,
+                    wire_id,
+                    reason: DropReason::Crash,
+                });
+            } else {
+                self.obs_emit(self.now, || ObsEvent::EpochDropped { node: target });
             }
             return true;
         }
@@ -357,7 +426,7 @@ impl Simulation {
             EventKind::Ingress { node, packet } => self.ingress(node, packet),
             EventKind::Deliver { node, packet } => self.dispatch(node, AgentCall::Packet(packet)),
             EventKind::Timer { node, timer, tag } => {
-                if self.cancelled_timers.remove(&timer) {
+                if self.cancelled_timers.remove(&timer).is_some() {
                     return true;
                 }
                 self.dispatch(node, AgentCall::Timer(timer, tag));
@@ -382,6 +451,7 @@ impl Simulation {
                 groups: &self.groups,
                 commands: Vec::new(),
                 next_timer_id: &mut self.next_timer_id,
+                obs: self.obs.is_some(),
             };
             match call {
                 AgentCall::Start => agent.on_start(&mut ctx),
@@ -411,8 +481,9 @@ impl Simulation {
                 );
             }
             Command::CancelTimer { id } => {
-                self.cancelled_timers.insert(id);
+                self.cancelled_timers.insert(id, from);
             }
+            Command::Emit { event } => self.obs_emit(self.now, || event),
         }
     }
 
@@ -425,6 +496,12 @@ impl Simulation {
         self.trace.record(TraceEvent {
             time: self.now,
             kind: TraceKind::Sent,
+            node: from,
+            tag: out.tag,
+            wire_id,
+            size_bytes: out.size_bytes,
+        });
+        self.obs_emit(self.now, || ObsEvent::PacketSent {
             node: from,
             tag: out.tag,
             wire_id,
@@ -466,6 +543,12 @@ impl Simulation {
                     wire_id,
                     size_bytes: out.size_bytes,
                 });
+                self.obs_emit(self.now, || ObsEvent::PacketDropped {
+                    node: target,
+                    tag: out.tag,
+                    wire_id,
+                    reason: DropReason::Crash,
+                });
                 continue;
             }
             if !self.reachable(from, target) {
@@ -477,6 +560,12 @@ impl Simulation {
                     tag: out.tag,
                     wire_id,
                     size_bytes: out.size_bytes,
+                });
+                self.obs_emit(self.now, || ObsEvent::PacketDropped {
+                    node: target,
+                    tag: out.tag,
+                    wire_id,
+                    reason: DropReason::Partition,
                 });
                 continue;
             }
@@ -492,6 +581,12 @@ impl Simulation {
                     tag: out.tag,
                     wire_id,
                     size_bytes: out.size_bytes,
+                });
+                self.obs_emit(self.now, || ObsEvent::PacketDropped {
+                    node: target,
+                    tag: out.tag,
+                    wire_id,
+                    reason: DropReason::Link,
                 });
                 continue;
             }
@@ -509,6 +604,11 @@ impl Simulation {
                 payload: out.payload.clone(),
                 wire_id,
             };
+            self.obs_emit(self.now, || ObsEvent::PacketEnqueued {
+                node: target,
+                tag: out.tag,
+                wire_id,
+            });
             self.queue.schedule(
                 at_port,
                 self.epochs[target.index()],
@@ -540,6 +640,12 @@ impl Simulation {
             wire_id: packet.wire_id,
             size_bytes: packet.size_bytes,
         });
+        self.obs_emit(rx_done, || ObsEvent::PacketDelivered {
+            node: target,
+            tag: packet.tag,
+            wire_id: packet.wire_id,
+            size_bytes: packet.size_bytes,
+        });
         self.queue.schedule(
             rx_done,
             self.epochs[target.index()],
@@ -563,6 +669,12 @@ impl Simulation {
         let agent = self.agents[node.index()].take();
         if agent.is_some() {
             self.epochs[node.index()] += 1;
+            // The dead incarnation's queued timer events are discarded by
+            // the epoch check without consulting tombstones, so cancelled
+            // timers owned by this node would otherwise leak forever.
+            self.cancelled_timers.retain(|_, owner| *owner != node);
+            let epoch = self.epochs[node.index()];
+            self.obs_emit(self.now, || ObsEvent::NodeCrashed { node, epoch });
         }
         agent
     }
@@ -597,6 +709,8 @@ impl Simulation {
             self.epochs[node.index()],
             EventKind::Start { node },
         );
+        let epoch = self.epochs[node.index()];
+        self.obs_emit(self.now, || ObsEvent::NodeRestarted { node, epoch });
     }
 
     /// Replaces the network configuration mid-run: the new propagation
@@ -604,6 +718,10 @@ impl Simulation {
     /// (copies already in flight keep their old timing).
     pub fn set_network(&mut self, network: NetworkConfig) {
         self.network = network;
+        self.obs_emit(self.now, || ObsEvent::NetworkChanged {
+            propagation_ns: network.propagation.as_nanos(),
+            lossy: network.loss.can_drop(),
+        });
     }
 
     /// The current network configuration.
@@ -615,6 +733,10 @@ impl Simulation {
     /// throttling a tenant). Applies to transmissions from now on.
     pub fn set_host_bandwidth(&mut self, node: NodeId, bandwidth: Bandwidth) {
         self.hosts[node.index()].config.bandwidth = bandwidth;
+        self.obs_emit(self.now, || ObsEvent::BandwidthChanged {
+            node,
+            bps: bandwidth.bps(),
+        });
     }
 
     /// Sets the CPU contention multiplier of `node` (1.0 = uncontended).
@@ -630,6 +752,10 @@ impl Simulation {
             "contention factor must be finite and positive, got {factor}"
         );
         self.cpu_contention[node.index()] = factor;
+        self.obs_emit(self.now, || ObsEvent::ContentionChanged {
+            node,
+            factor_milli: (factor * 1_000.0).round() as u64,
+        });
     }
 
     /// The current CPU contention multiplier of `node`.
@@ -659,11 +785,15 @@ impl Simulation {
             }
         }
         self.partition = Some(assignment);
+        self.obs_emit(self.now, || ObsEvent::PartitionChanged {
+            islands: islands.len() as u32,
+        });
     }
 
     /// Removes any partition; all hosts can reach each other again.
     pub fn heal_partition(&mut self) {
         self.partition = None;
+        self.obs_emit(self.now, || ObsEvent::PartitionChanged { islands: 0 });
     }
 
     /// Whether a partition is currently in effect.
@@ -1141,6 +1271,125 @@ mod tests {
         let mut sim = Simulation::new(1);
         let a = sim.add_node(gbit_host(), Recorder::new());
         sim.restart_node(a, Box::new(Recorder::new()));
+    }
+
+    #[test]
+    fn crash_prunes_cancelled_timer_tombstones() {
+        // Regression: tombstones in `cancelled_timers` were only consumed
+        // when their timer event fired on a live incarnation. A crashed
+        // node's queued timer events are discarded by the epoch check, so
+        // its tombstones accumulated forever.
+        struct Canceller;
+        impl Agent for Canceller {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let t = ctx.set_timer(SimDuration::from_secs(1), 0);
+                ctx.cancel_timer(t);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let a = sim.add_node(gbit_host(), Canceller);
+        let b = sim.add_node(gbit_host(), Canceller);
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(sim.cancelled_timers.len(), 2);
+        sim.crash_node(a);
+        // a's tombstone is pruned immediately; b's stays armed.
+        assert_eq!(sim.cancelled_timers.len(), 1);
+        assert!(sim.cancelled_timers.values().all(|&owner| owner == b));
+        sim.run();
+        // b's cancelled timer event consumed its tombstone on the live path.
+        assert!(sim.cancelled_timers.is_empty());
+    }
+
+    #[test]
+    fn obs_sink_sees_packet_lifecycle_and_faults() {
+        let mut sim = Simulation::new(1).with_obs_sink(MemorySink::new());
+        assert!(sim.obs_enabled());
+        let rx = sim.add_node(gbit_host(), Recorder::new());
+        let tx = sim.add_node(
+            gbit_host(),
+            Blaster {
+                dst: rx.into(),
+                count: 2,
+                size: 100,
+                cost: crate::ProcessingCost::FREE,
+            },
+        );
+        sim.run();
+        sim.set_cpu_contention(rx, 2.0);
+        sim.crash_node(rx);
+        sim.restart_node(rx, Box::new(Recorder::new()));
+        let _ = tx;
+        let events = sim.take_obs_events();
+        assert!(!sim.obs_enabled());
+        let count =
+            |pred: &dyn Fn(&ObsEvent) -> bool| events.iter().filter(|e| pred(&e.event)).count();
+        assert_eq!(count(&|e| matches!(e, ObsEvent::PacketSent { .. })), 2);
+        assert_eq!(count(&|e| matches!(e, ObsEvent::PacketEnqueued { .. })), 2);
+        assert_eq!(count(&|e| matches!(e, ObsEvent::PacketDelivered { .. })), 2);
+        assert_eq!(
+            count(&|e| matches!(
+                e,
+                ObsEvent::ContentionChanged {
+                    factor_milli: 2_000,
+                    ..
+                }
+            )),
+            1
+        );
+        assert_eq!(
+            count(&|e| matches!(e, ObsEvent::NodeCrashed { epoch: 1, .. })),
+            1
+        );
+        assert_eq!(
+            count(&|e| matches!(e, ObsEvent::NodeRestarted { epoch: 1, .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn obs_drops_are_classified() {
+        let mut sim = Simulation::new(42)
+            .with_network(NetworkConfig {
+                propagation: SimDuration::from_micros(50),
+                loss: LossModel::Bernoulli(0.5),
+            })
+            .with_obs_sink(MemorySink::new());
+        let rx = sim.add_node(gbit_host(), Recorder::new());
+        let _tx = sim.add_node(
+            gbit_host(),
+            Blaster {
+                dst: rx.into(),
+                count: 100,
+                size: 100,
+                cost: crate::ProcessingCost::FREE,
+            },
+        );
+        sim.run();
+        let events = sim.take_obs_events();
+        let link_drops = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    ObsEvent::PacketDropped {
+                        reason: DropReason::Link,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(link_drops as u64, sim.stats().tag(0).link_drops);
+        let enqueued = events
+            .iter()
+            .filter(|e| matches!(e.event, ObsEvent::PacketEnqueued { .. }))
+            .count();
+        assert_eq!(enqueued + link_drops, 100);
     }
 
     #[test]

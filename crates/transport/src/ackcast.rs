@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use adamant_metrics::{Delivery, DenseReceptionLog};
 use adamant_netsim::{
-    Agent, Ctx, GroupId, NodeId, OutPacket, Packet, ProcessingCost, SimDuration, TimerId,
+    Agent, Ctx, GroupId, NodeId, ObsEvent, OutPacket, Packet, ProcessingCost, SimDuration, TimerId,
 };
 
 use crate::config::Tuning;
@@ -74,6 +74,7 @@ impl Agent for AckcastSender {
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
         if let Some(ack) = packet.payload_as::<AckMsg>() {
+            let node = ctx.node();
             for &seq in &ack.missing {
                 // Flow control: a long missing list must not turn into a
                 // retransmission storm; deferred gaps come back on the
@@ -84,6 +85,7 @@ impl Agent for AckcastSender {
                 }
                 if self.core.retransmit(ctx, packet.src, seq) {
                     self.retransmissions_sent += 1;
+                    ctx.emit(|| ObsEvent::Retransmitted { node, seq });
                 }
             }
         }
@@ -184,12 +186,15 @@ impl AckcastReceiver {
                 report.push(seq);
             }
         }
+        let node = ctx.node();
         for seq in exhausted {
             self.missing.remove(&seq);
             self.give_ups += 1;
+            ctx.emit(|| ObsEvent::NakGiveUp { node, seq });
         }
         let below = self.highest_advertised.map_or(0, |h| h + 1);
-        let size = FRAMING_BYTES + NAK_BASE_BYTES + NAK_PER_SEQ_BYTES * report.len() as u32;
+        let missing_count = report.len() as u32;
+        let size = FRAMING_BYTES + NAK_BASE_BYTES + NAK_PER_SEQ_BYTES * missing_count;
         let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
         ctx.send(
             self.sender,
@@ -204,6 +209,10 @@ impl AckcastReceiver {
             .cost(ProcessingCost::symmetric(os)),
         );
         self.acks_sent += 1;
+        ctx.emit(|| ObsEvent::NakSent {
+            node,
+            count: missing_count,
+        });
         self.since_last_ack = 0;
         if !self.missing.is_empty() && !self.ack_timer_armed {
             ctx.set_timer(self.rto, TIMER_ACK);
@@ -224,14 +233,26 @@ impl AckcastReceiver {
                 .map_or(data.seq, |h| h.max(data.seq)),
         );
         self.missing.remove(&data.seq);
-        let fresh = self.log.record(Delivery {
+        let delivery = Delivery {
             seq: data.seq,
             published_at: data.published_at,
             delivered_at: ctx.now(),
             recovered: data.retransmission,
-        });
-        if !fresh {
+        };
+        let fresh = self.log.record(delivery);
+        let node = ctx.node();
+        if fresh {
+            ctx.emit(|| ObsEvent::SampleAccepted {
+                node,
+                seq: delivery.seq,
+                published_ns: delivery.published_at.as_nanos(),
+                delivered_ns: delivery.delivered_at.as_nanos(),
+                recovered: delivery.recovered,
+            });
+        } else {
             self.duplicates += 1;
+            let seq = data.seq;
+            ctx.emit(|| ObsEvent::SampleDuplicate { node, seq });
         }
         self.since_last_ack += 1;
         if self.since_last_ack >= self.tuning.ack_window && !self.missing.is_empty() {

@@ -81,6 +81,45 @@ impl ProtocolKind {
         }
     }
 
+    /// Packs this configuration into a single integer for trace events.
+    ///
+    /// The top byte discriminates the protocol family; the low 56 bits
+    /// carry its parameters (nanosecond timeouts fit comfortably — the
+    /// paper's settings are all under a second). The encoding is stable so
+    /// golden traces survive refactors, and [`ProtocolKind::from_code`]
+    /// round-trips it.
+    pub fn code(&self) -> u64 {
+        match self {
+            ProtocolKind::Udp => 0,
+            ProtocolKind::Nakcast { timeout } => (1 << 56) | timeout.as_nanos(),
+            ProtocolKind::Ricochet { r, c } => (2 << 56) | (u64::from(*r) << 8) | u64::from(*c),
+            ProtocolKind::Ackcast { rto } => (3 << 56) | rto.as_nanos(),
+            ProtocolKind::Slingshot { c } => (4 << 56) | u64::from(*c),
+        }
+    }
+
+    /// Inverse of [`ProtocolKind::code`]; `None` for unknown encodings.
+    pub fn from_code(code: u64) -> Option<ProtocolKind> {
+        let payload = code & ((1 << 56) - 1);
+        match code >> 56 {
+            0 if payload == 0 => Some(ProtocolKind::Udp),
+            1 => Some(ProtocolKind::Nakcast {
+                timeout: SimDuration::from_nanos(payload),
+            }),
+            2 => Some(ProtocolKind::Ricochet {
+                r: ((payload >> 8) & 0xff) as u8,
+                c: (payload & 0xff) as u8,
+            }),
+            3 => Some(ProtocolKind::Ackcast {
+                rto: SimDuration::from_nanos(payload),
+            }),
+            4 => Some(ProtocolKind::Slingshot {
+                c: (payload & 0xff) as u8,
+            }),
+            _ => None,
+        }
+    }
+
     /// The ANT protocol properties this configuration composes.
     pub fn properties(&self) -> ProtocolProperties {
         match self {
@@ -340,6 +379,29 @@ mod tests {
         }
         .properties();
         assert!(ack.ack_reliability && ack.flow_control);
+    }
+
+    #[test]
+    fn code_round_trips_every_kind() {
+        let kinds = [
+            ProtocolKind::Udp,
+            ProtocolKind::Nakcast {
+                timeout: SimDuration::from_millis(25),
+            },
+            ProtocolKind::Ricochet { r: 8, c: 3 },
+            ProtocolKind::Ackcast {
+                rto: SimDuration::from_millis(20),
+            },
+            ProtocolKind::Slingshot { c: 2 },
+        ];
+        let mut codes: Vec<u64> = kinds.iter().map(|k| k.code()).collect();
+        for kind in kinds {
+            assert_eq!(ProtocolKind::from_code(kind.code()), Some(kind));
+        }
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 5, "codes must be distinct");
+        assert_eq!(ProtocolKind::from_code(99 << 56), None);
     }
 
     #[test]

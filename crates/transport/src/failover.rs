@@ -14,7 +14,7 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 
-use adamant_netsim::{Agent, Ctx, GroupId, Packet, SimDuration, SimTime, TimerId};
+use adamant_netsim::{Agent, Ctx, GroupId, ObsEvent, Packet, SimDuration, SimTime, TimerId};
 
 use crate::config::Tuning;
 use crate::profile::{AppSpec, StackProfile};
@@ -110,6 +110,8 @@ impl NakcastStandby {
     fn promote(&mut self, ctx: &mut Ctx<'_>) {
         self.promoted = true;
         self.promoted_at = Some(ctx.now());
+        let node = ctx.node();
+        ctx.emit(|| ObsEvent::FailoverPromoted { node });
         let high = match (self.observed.keys().next_back(), self.highest_advertised) {
             (Some(&o), Some(a)) => Some(o.max(a)),
             (Some(&o), None) => Some(o),
@@ -154,9 +156,11 @@ impl Agent for NakcastStandby {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
         if self.promoted {
             if let Some(nak) = packet.payload_as::<NakMsg>() {
+                let node = ctx.node();
                 for &seq in &nak.seqs {
                     if self.core.retransmit(ctx, packet.src, seq) {
                         self.retransmissions_sent += 1;
+                        ctx.emit(|| ObsEvent::Retransmitted { node, seq });
                     }
                 }
             }

@@ -67,7 +67,7 @@ pub use ant::{SessionHandles, SessionSpec};
 pub use config::{ProtocolKind, ProtocolProperties, TransportConfig, Tuning};
 pub use failover::NakcastStandby;
 pub use flow::TokenBucket;
-pub use nakcast::{NakcastReceiver, NakcastSender};
+pub use nakcast::{nakcast_recovery_bound, NakcastReceiver, NakcastSender};
 pub use profile::{AppSpec, StackProfile};
 pub use receiver::{DataReader, ProtocolStats};
 pub use ricochet::{RicochetReceiver, RicochetSender};

@@ -14,7 +14,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use adamant_metrics::{Delivery, DenseReceptionLog};
 use adamant_netsim::{
-    Agent, Ctx, GroupId, NodeId, OutPacket, Packet, ProcessingCost, SimDuration, SimTime, TimerId,
+    Agent, Ctx, GroupId, NodeId, ObsEvent, OutPacket, Packet, ProcessingCost, SimDuration, SimTime,
+    TimerId,
 };
 
 use crate::config::Tuning;
@@ -39,6 +40,21 @@ const RENAK_MAX: SimDuration = SimDuration::from_secs(2);
 fn renak_backoff(retries: u32) -> SimDuration {
     let doubled = RENAK_EXTRA * 2u64.saturating_pow(retries.min(16));
     doubled.min(RENAK_MAX)
+}
+
+/// A conservative upper bound on how long a NAKcast receiver can take to
+/// deliver a recovered sample after its publication: one heartbeat interval
+/// to detect the gap, then the full NAK retry schedule (`timeout` plus the
+/// exponential re-NAK backoff, for every permitted retry). Any recovered
+/// delivery slower than this means the receiver kept waiting on a sequence
+/// it should have abandoned — the invariant the runtime-verification
+/// checker enforces.
+pub fn nakcast_recovery_bound(timeout: SimDuration, tuning: &Tuning) -> SimDuration {
+    let mut bound = tuning.heartbeat_interval;
+    for retries in 0..=tuning.nak_max_retries {
+        bound = bound + timeout + renak_backoff(retries);
+    }
+    bound
 }
 
 /// Sender side of NAKcast: publishes, heartbeats, and answers NAKs with
@@ -80,9 +96,11 @@ impl Agent for NakcastSender {
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
         if let Some(nak) = packet.payload_as::<NakMsg>() {
+            let node = ctx.node();
             for &seq in &nak.seqs {
                 if self.core.retransmit(ctx, packet.src, seq) {
                     self.retransmissions_sent += 1;
+                    ctx.emit(|| ObsEvent::Retransmitted { node, seq });
                 }
             }
         }
@@ -228,7 +246,9 @@ impl NakcastReceiver {
 
     /// Delivers the contiguous prefix available in the hold-back buffer,
     /// skipping abandoned sequences.
-    fn try_deliver(&mut self, now: SimTime) {
+    fn try_deliver(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let node = ctx.node();
         loop {
             if self.abandoned.contains(&self.next_deliver) {
                 self.next_deliver += 1;
@@ -237,12 +257,21 @@ impl NakcastReceiver {
             let Some(sample) = self.buffer.remove(&self.next_deliver) else {
                 break;
             };
-            self.log.record(Delivery {
+            let delivery = Delivery {
                 seq: self.next_deliver,
                 published_at: sample.published_at,
                 delivered_at: now,
                 recovered: sample.recovered,
-            });
+            };
+            if self.log.record(delivery) {
+                ctx.emit(|| ObsEvent::SampleAccepted {
+                    node,
+                    seq: delivery.seq,
+                    published_ns: delivery.published_at.as_nanos(),
+                    delivered_ns: delivery.delivered_at.as_nanos(),
+                    recovered: delivery.recovered,
+                });
+            }
             self.next_deliver += 1;
         }
     }
@@ -277,10 +306,12 @@ impl NakcastReceiver {
                 }
             }
         }
+        let node = ctx.node();
         for seq in exhausted {
             self.missing.remove(&seq);
             self.abandoned.insert(seq);
             self.give_ups += 1;
+            ctx.emit(|| ObsEvent::NakGiveUp { node, seq });
         }
         if !due.is_empty() {
             let size = FRAMING_BYTES + NAK_BASE_BYTES + NAK_PER_SEQ_BYTES * due.len() as u32;
@@ -292,6 +323,10 @@ impl NakcastReceiver {
                     .cost(ProcessingCost::symmetric(os)),
             );
             self.naks_sent += 1;
+            ctx.emit(|| ObsEvent::NakSent {
+                node,
+                count: due.len() as u32,
+            });
             for seq in due {
                 if let Some(state) = self.missing.get_mut(&seq) {
                     state.nak_at = now + self.timeout + renak_backoff(state.retries);
@@ -299,7 +334,7 @@ impl NakcastReceiver {
                 }
             }
         }
-        self.try_deliver(now);
+        self.try_deliver(ctx);
         self.reschedule_scan(ctx);
     }
 
@@ -320,14 +355,27 @@ impl NakcastReceiver {
         if self.abandoned.remove(&data.seq) {
             // Late arrival of an abandoned sequence: deliver out of order
             // rather than discard, so reliability reflects it.
-            self.log.record(Delivery {
+            let delivery = Delivery {
                 seq: data.seq,
                 published_at: data.published_at,
                 delivered_at: now,
                 recovered: true,
-            });
+            };
+            if self.log.record(delivery) {
+                let node = ctx.node();
+                ctx.emit(|| ObsEvent::SampleAccepted {
+                    node,
+                    seq: delivery.seq,
+                    published_ns: delivery.published_at.as_nanos(),
+                    delivered_ns: delivery.delivered_at.as_nanos(),
+                    recovered: true,
+                });
+            }
         } else if self.log.contains(data.seq) || self.buffer.contains_key(&data.seq) {
             self.duplicates += 1;
+            let node = ctx.node();
+            let seq = data.seq;
+            ctx.emit(|| ObsEvent::SampleDuplicate { node, seq });
         } else {
             self.buffer.insert(
                 data.seq,
@@ -337,7 +385,7 @@ impl NakcastReceiver {
                 },
             );
         }
-        self.try_deliver(now);
+        self.try_deliver(ctx);
         self.reschedule_scan(ctx);
     }
 }
@@ -525,6 +573,18 @@ mod tests {
         assert_eq!(renak_backoff(3), SimDuration::from_millis(40));
         assert_eq!(renak_backoff(16), SimDuration::from_secs(2));
         assert_eq!(renak_backoff(60), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn recovery_bound_covers_full_retry_schedule() {
+        let tuning = Tuning::default();
+        let lazy = nakcast_recovery_bound(SimDuration::from_millis(50), &tuning);
+        let eager = nakcast_recovery_bound(SimDuration::from_millis(1), &tuning);
+        assert!(eager < lazy);
+        // 21 rounds of timeout + exponential backoff capped at 2 s: the
+        // bound is loose but finite.
+        assert!(lazy > SimDuration::from_secs(10));
+        assert!(lazy < SimDuration::from_secs(60));
     }
 
     #[test]

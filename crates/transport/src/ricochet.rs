@@ -22,7 +22,8 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use adamant_metrics::{Delivery, DenseReceptionLog};
 use adamant_netsim::{
-    Agent, Ctx, GroupId, NodeId, OutPacket, Packet, ProcessingCost, SimDuration, SimTime, TimerId,
+    Agent, Ctx, GroupId, NodeId, ObsEvent, OutPacket, Packet, ProcessingCost, SimDuration, SimTime,
+    TimerId,
 };
 
 use crate::config::Tuning;
@@ -221,6 +222,8 @@ impl RicochetReceiver {
         let construct = SimDuration::from_micros_f64(self.tuning.fec_repair_tx_cost_us);
         let decode = SimDuration::from_micros_f64(self.tuning.fec_repair_rx_cost_us);
         let msg = RepairMsg { entries };
+        let span = msg.entries.len() as u32;
+        let copies = chosen.len() as u32;
         for (i, &peer_idx) in chosen.iter().enumerate() {
             // XOR construction happens once; the extra copies pay only the
             // OS send path.
@@ -233,21 +236,45 @@ impl RicochetReceiver {
             );
             self.repairs_sent += 1;
         }
+        ctx.emit(|| ObsEvent::RepairSent {
+            node: me,
+            copies,
+            span,
+        });
     }
 
     /// Registers a newly available packet and re-runs pending repairs to a
     /// fixpoint (iterative decoding).
-    fn learn(&mut self, now: SimTime, seq: u64, published_at: SimTime, recovered: bool) {
+    fn learn(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        now: SimTime,
+        seq: u64,
+        published_at: SimTime,
+        recovered: bool,
+    ) {
         if self.log.contains(seq) {
             self.store.insert(seq, published_at);
             return;
         }
-        self.log.record(Delivery {
+        if self.log.record(Delivery {
             seq,
             published_at,
             delivered_at: now,
             recovered,
-        });
+        }) {
+            let node = ctx.node();
+            ctx.emit(|| ObsEvent::SampleAccepted {
+                node,
+                seq,
+                published_ns: published_at.as_nanos(),
+                delivered_ns: now.as_nanos(),
+                recovered,
+            });
+            if recovered {
+                ctx.emit(|| ObsEvent::RepairDecoded { node, seq });
+            }
+        }
         if recovered {
             self.recovered_via_repair += 1;
         }
@@ -263,7 +290,7 @@ impl RicochetReceiver {
                 match self.try_decode(&repair) {
                     DecodeOutcome::Recovered(seq, published_at) => {
                         if ctx.rng().bernoulli(self.tuning.repair_efficacy) {
-                            self.learn(now, seq, published_at, true);
+                            self.learn(ctx, now, seq, published_at, true);
                         }
                         // Decoded or collided: either way this repair is
                         // spent.
@@ -306,6 +333,9 @@ impl RicochetReceiver {
         }
         if self.log.contains(data.seq) {
             self.duplicates += 1;
+            let node = ctx.node();
+            let seq = data.seq;
+            ctx.emit(|| ObsEvent::SampleDuplicate { node, seq });
             return;
         }
         self.data_packets += 1;
@@ -322,7 +352,7 @@ impl RicochetReceiver {
                 .scale(ctx.machine().cpu_scale());
             now += stall;
         }
-        self.learn(now, data.seq, data.published_at, false);
+        self.learn(ctx, now, data.seq, data.published_at, false);
         self.window.push((data.seq, data.published_at));
         self.decode_pending(ctx, now);
         if self.window.len() >= self.r {
@@ -345,7 +375,7 @@ impl RicochetReceiver {
                 // losses and receive-buffer slot reuse, which the
                 // simplified single-group decoder does not otherwise see.
                 if ctx.rng().bernoulli(self.tuning.repair_efficacy) {
-                    self.learn(now, seq, published_at, true);
+                    self.learn(ctx, now, seq, published_at, true);
                     self.decode_pending(ctx, now);
                 }
             }

@@ -13,7 +13,7 @@ use std::any::Any;
 
 use adamant_metrics::{Delivery, DenseReceptionLog};
 use adamant_netsim::{
-    Agent, Ctx, GroupId, NodeId, OutPacket, Packet, ProcessingCost, SimDuration, TimerId,
+    Agent, Ctx, GroupId, NodeId, ObsEvent, OutPacket, Packet, ProcessingCost, SimDuration, TimerId,
 };
 
 use crate::config::Tuning;
@@ -146,6 +146,7 @@ impl SlingshotReceiver {
         let chosen = ctx.rng().sample_indices(peers.len(), self.c);
         let size = FRAMING_BYTES + DATA_HEADER_BYTES + self.payload_bytes;
         let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
+        let copies = chosen.len() as u32;
         for &peer_idx in &chosen {
             ctx.send(
                 peers[peer_idx],
@@ -155,19 +156,36 @@ impl SlingshotReceiver {
             );
             self.copies_sent += 1;
         }
+        ctx.emit(|| ObsEvent::RepairSent {
+            node: me,
+            copies,
+            span: 1,
+        });
     }
 
     fn learn(&mut self, ctx: &mut Ctx<'_>, data: DataMsg, via_copy: bool) {
+        let node = ctx.node();
         if self.log.contains(data.seq) {
             self.duplicates += 1;
+            let seq = data.seq;
+            ctx.emit(|| ObsEvent::SampleDuplicate { node, seq });
             return;
         }
-        self.log.record(Delivery {
+        let delivery = Delivery {
             seq: data.seq,
             published_at: data.published_at,
             delivered_at: ctx.now(),
             recovered: via_copy,
-        });
+        };
+        if self.log.record(delivery) {
+            ctx.emit(|| ObsEvent::SampleAccepted {
+                node,
+                seq: delivery.seq,
+                published_ns: delivery.published_at.as_nanos(),
+                delivered_ns: delivery.delivered_at.as_nanos(),
+                recovered: via_copy,
+            });
+        }
         if via_copy {
             self.recovered_via_copy += 1;
         }

@@ -3,7 +3,7 @@
 use std::any::Any;
 
 use adamant_metrics::{Delivery, DenseReceptionLog};
-use adamant_netsim::{Agent, Ctx, GroupId, Packet, TimerId};
+use adamant_netsim::{Agent, Ctx, GroupId, ObsEvent, Packet, TimerId};
 
 use crate::config::Tuning;
 use crate::profile::{AppSpec, StackProfile};
@@ -90,12 +90,26 @@ impl Agent for UdpReceiver {
             self.dropped += 1;
             return;
         }
-        self.log.record(Delivery {
+        let delivery = Delivery {
             seq: data.seq,
             published_at: data.published_at,
             delivered_at: ctx.now(),
             recovered: false,
-        });
+        };
+        if self.log.record(delivery) {
+            let node = ctx.node();
+            ctx.emit(|| ObsEvent::SampleAccepted {
+                node,
+                seq: delivery.seq,
+                published_ns: delivery.published_at.as_nanos(),
+                delivered_ns: delivery.delivered_at.as_nanos(),
+                recovered: false,
+            });
+        } else {
+            let node = ctx.node();
+            let seq = data.seq;
+            ctx.emit(|| ObsEvent::SampleDuplicate { node, seq });
+        }
     }
 
     fn as_any(&self) -> &dyn Any {
