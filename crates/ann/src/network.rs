@@ -153,21 +153,39 @@ impl NeuralNetwork {
         current
     }
 
-    /// Forward pass that also returns every layer's activations (used by
-    /// backpropagation). Index 0 is the input itself.
-    pub(crate) fn run_full(&self, input: &[f64]) -> Vec<Vec<f64>> {
-        let mut activations = Vec::with_capacity(self.layers.len() + 1);
-        activations.push(input.to_vec());
-        for layer in &self.layers {
-            let mut out = Vec::new();
-            layer.forward_into(activations.last().expect("nonempty"), &mut out);
-            activations.push(out);
+    /// Forward pass recording every layer's activations into `activations`
+    /// (used by backpropagation). Index 0 is the input itself.
+    ///
+    /// The caller's buffers are reused in place: after the first example,
+    /// a whole training epoch's forward passes allocate nothing.
+    pub(crate) fn run_full_into(&self, input: &[f64], activations: &mut Vec<Vec<f64>>) {
+        activations.resize_with(self.layers.len() + 1, Vec::new);
+        activations[0].clear();
+        activations[0].extend_from_slice(input);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = activations.split_at_mut(i + 1);
+            layer.forward_into(&done[i], &mut rest[0]);
         }
-        activations
     }
 
     /// Mean squared error over a dataset (FANN's stopping criterion).
     pub fn mse(&self, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
+        let mut current = Vec::new();
+        let mut next = Vec::new();
+        self.mse_scratch(inputs, targets, &mut current, &mut next)
+    }
+
+    /// [`mse`](Self::mse) with caller-provided forward-pass buffers, so hot
+    /// loops (the incremental trainer's per-epoch stopping check) can
+    /// evaluate the error without allocating. Bit-identical to `mse`: the
+    /// arithmetic and accumulation order are the same.
+    pub(crate) fn mse_scratch(
+        &self,
+        inputs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        current: &mut Vec<f64>,
+        next: &mut Vec<f64>,
+    ) -> f64 {
         assert_eq!(inputs.len(), targets.len());
         if inputs.is_empty() {
             return 0.0;
@@ -175,8 +193,18 @@ impl NeuralNetwork {
         let mut total = 0.0;
         let mut count = 0usize;
         for (input, target) in inputs.iter().zip(targets) {
-            let out = self.run(input);
-            for (o, t) in out.iter().zip(target) {
+            assert_eq!(
+                input.len(),
+                self.input_size(),
+                "input length must match the input layer"
+            );
+            current.clear();
+            current.extend_from_slice(input);
+            for layer in &self.layers {
+                layer.forward_into(current, next);
+                std::mem::swap(current, next);
+            }
+            for (o, t) in current.iter().zip(target) {
                 total += (o - t) * (o - t);
                 count += 1;
             }

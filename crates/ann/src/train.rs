@@ -242,9 +242,10 @@ fn train_quickprop(
             )
         })
         .collect();
+    let mut scratch = GradScratch::new(net);
     let mut epochs = 0;
     loop {
-        let mse = net.mse(data.inputs(), data.targets());
+        let mse = batch_gradients_into(net, data, &mut scratch);
         if mse <= params.stopping_mse {
             return TrainOutcome {
                 epochs,
@@ -259,51 +260,100 @@ fn train_quickprop(
                 reached_target: false,
             };
         }
-        let grads = batch_gradients(net, data);
-        for (l, (gw, gb)) in grads.into_iter().enumerate() {
+        for (l, (gw, gb)) in scratch.grads.iter().enumerate() {
             let (wstate, bstate) = &mut states[l];
-            quickprop_update(&mut net.layers[l].weights, &gw, wstate, learning_rate, mu);
-            quickprop_update(&mut net.layers[l].biases, &gb, bstate, learning_rate, mu);
+            quickprop_update(&mut net.layers[l].weights, gw, wstate, learning_rate, mu);
+            quickprop_update(&mut net.layers[l].biases, gb, bstate, learning_rate, mu);
         }
         epochs += 1;
     }
 }
 
-/// Computes batch gradients (dE/dw, dE/db per layer) for squared error.
-fn batch_gradients(net: &NeuralNetwork, data: &TrainingData) -> Vec<(Vec<f64>, Vec<f64>)> {
-    let mut grads: Vec<(Vec<f64>, Vec<f64>)> = net
-        .layers
-        .iter()
-        .map(|l| (vec![0.0; l.weights.len()], vec![0.0; l.biases.len()]))
-        .collect();
-    for (input, target) in data.inputs().iter().zip(data.targets()) {
-        accumulate_example(net, input, target, &mut grads);
-    }
-    grads
+/// Preallocated training buffers, reused across every example and epoch so
+/// a warmed-up epoch performs zero heap allocations.
+struct GradScratch {
+    /// Per-layer `(dE/dw, dE/db)` accumulators, zeroed in place per batch.
+    grads: Vec<(Vec<f64>, Vec<f64>)>,
+    /// Per-layer activations of the current example (index 0 = the input).
+    activations: Vec<Vec<f64>>,
+    /// Backpropagated error terms for the layer being processed.
+    delta: Vec<f64>,
+    /// Error terms under construction for the layer below.
+    next_delta: Vec<f64>,
 }
 
-/// Adds one example's gradients into `grads` (standard backprop).
-fn accumulate_example(
+impl GradScratch {
+    fn new(net: &NeuralNetwork) -> Self {
+        let widest = net.layer_sizes().into_iter().max().unwrap_or(0);
+        GradScratch {
+            grads: net
+                .layers
+                .iter()
+                .map(|l| (vec![0.0; l.weights.len()], vec![0.0; l.biases.len()]))
+                .collect(),
+            activations: vec![Vec::with_capacity(widest); net.layers.len() + 1],
+            delta: Vec::with_capacity(widest),
+            next_delta: Vec::with_capacity(widest),
+        }
+    }
+
+    fn zero_grads(&mut self) {
+        for (gw, gb) in &mut self.grads {
+            gw.fill(0.0);
+            gb.fill(0.0);
+        }
+    }
+}
+
+/// One fused pass over the dataset: accumulates batch gradients into
+/// `scratch.grads` and returns the MSE of the *current* weights.
+///
+/// The error accumulates per output in example order — the exact arithmetic
+/// and association [`NeuralNetwork::mse`] uses — so fusing the stopping
+/// check into the gradient sweep is bit-exact while halving the forward
+/// passes per epoch.
+fn batch_gradients_into(
+    net: &NeuralNetwork,
+    data: &TrainingData,
+    scratch: &mut GradScratch,
+) -> f64 {
+    scratch.zero_grads();
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (input, target) in data.inputs().iter().zip(data.targets()) {
+        accumulate_example_into(net, input, target, scratch, &mut total, &mut count);
+    }
+    total / count as f64
+}
+
+/// Adds one example's gradients into `scratch.grads` (standard backprop)
+/// and its per-output squared errors into `total`/`count`.
+fn accumulate_example_into(
     net: &NeuralNetwork,
     input: &[f64],
     target: &[f64],
-    grads: &mut [(Vec<f64>, Vec<f64>)],
+    scratch: &mut GradScratch,
+    total: &mut f64,
+    count: &mut usize,
 ) {
-    let activations = net.run_full(input);
+    net.run_full_into(input, &mut scratch.activations);
     let depth = net.layers.len();
     // Output-layer delta: (y - t) * f'(y).
-    let output = &activations[depth];
-    let mut delta: Vec<f64> = output
-        .iter()
-        .zip(target)
-        .map(|(&y, &t)| (y - t) * net.layers[depth - 1].activation.derivative_from_output(y))
-        .collect();
+    let output = &scratch.activations[depth];
+    scratch.delta.clear();
+    for (&y, &t) in output.iter().zip(target) {
+        *total += (y - t) * (y - t);
+        *count += 1;
+        scratch
+            .delta
+            .push((y - t) * net.layers[depth - 1].activation.derivative_from_output(y));
+    }
     for l in (0..depth).rev() {
         let layer = &net.layers[l];
-        let prev = &activations[l];
-        let (gw, gb) = &mut grads[l];
+        let prev = &scratch.activations[l];
+        let (gw, gb) = &mut scratch.grads[l];
         for o in 0..layer.outputs {
-            let d = delta[o];
+            let d = scratch.delta[o];
             gb[o] += d;
             let row = &mut gw[o * layer.inputs..(o + 1) * layer.inputs];
             for (g, &x) in row.iter_mut().zip(prev) {
@@ -312,17 +362,31 @@ fn accumulate_example(
         }
         if l > 0 {
             let below = &net.layers[l - 1];
-            let mut next_delta = vec![0.0; layer.inputs];
-            for (i, nd) in next_delta.iter_mut().enumerate() {
+            scratch.next_delta.clear();
+            scratch.next_delta.resize(layer.inputs, 0.0);
+            for (i, nd) in scratch.next_delta.iter_mut().enumerate() {
                 let mut sum = 0.0;
-                for (o, d) in delta.iter().enumerate() {
+                for (o, d) in scratch.delta.iter().enumerate() {
                     sum += d * layer.weights[o * layer.inputs + i];
                 }
-                *nd = sum * below.activation.derivative_from_output(activations[l][i]);
+                *nd = sum
+                    * below
+                        .activation
+                        .derivative_from_output(scratch.activations[l][i]);
             }
-            delta = next_delta;
+            std::mem::swap(&mut scratch.delta, &mut scratch.next_delta);
         }
     }
+}
+
+/// Computes batch gradients (dE/dw, dE/db per layer) for squared error.
+/// Allocating convenience wrapper around the scratch-based sweep, used by
+/// the numeric-gradient test.
+#[cfg(test)]
+fn batch_gradients(net: &NeuralNetwork, data: &TrainingData) -> Vec<(Vec<f64>, Vec<f64>)> {
+    let mut scratch = GradScratch::new(net);
+    batch_gradients_into(net, data, &mut scratch);
+    scratch.grads
 }
 
 fn train_rprop(net: &mut NeuralNetwork, data: &TrainingData, params: &TrainParams) -> TrainOutcome {
@@ -343,9 +407,10 @@ fn train_rprop(net: &mut NeuralNetwork, data: &TrainingData, params: &TrainParam
         })
         .collect();
 
+    let mut scratch = GradScratch::new(net);
     let mut epochs = 0;
     loop {
-        let mse = net.mse(data.inputs(), data.targets());
+        let mse = batch_gradients_into(net, data, &mut scratch);
         if mse <= params.stopping_mse {
             return TrainOutcome {
                 epochs,
@@ -360,11 +425,10 @@ fn train_rprop(net: &mut NeuralNetwork, data: &TrainingData, params: &TrainParam
                 reached_target: false,
             };
         }
-        let grads = batch_gradients(net, data);
-        for (l, (gw, gb)) in grads.into_iter().enumerate() {
+        for (l, (gw, gb)) in scratch.grads.iter().enumerate() {
             let (wstate, bstate) = &mut states[l];
-            rprop_update(&mut net.layers[l].weights, &gw, wstate);
-            rprop_update(&mut net.layers[l].biases, &gb, bstate);
+            rprop_update(&mut net.layers[l].weights, gw, wstate);
+            rprop_update(&mut net.layers[l].biases, gb, bstate);
         }
         epochs += 1;
     }
@@ -403,9 +467,15 @@ fn train_incremental(
         .map(|l| (vec![0.0; l.weights.len()], vec![0.0; l.biases.len()]))
         .collect();
     let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut scratch = GradScratch::new(net);
     let mut epochs = 0;
     loop {
-        let mse = net.mse(data.inputs(), data.targets());
+        let mse = net.mse_scratch(
+            data.inputs(),
+            data.targets(),
+            &mut scratch.delta,
+            &mut scratch.next_delta,
+        );
         if mse <= params.stopping_mse {
             return TrainOutcome {
                 epochs,
@@ -426,13 +496,17 @@ fn train_incremental(
             order.swap(i, j);
         }
         for &idx in &order {
-            let mut grads: Vec<(Vec<f64>, Vec<f64>)> = net
-                .layers
-                .iter()
-                .map(|l| (vec![0.0; l.weights.len()], vec![0.0; l.biases.len()]))
-                .collect();
-            accumulate_example(net, &data.inputs()[idx], &data.targets()[idx], &mut grads);
-            for (l, (gw, gb)) in grads.into_iter().enumerate() {
+            scratch.zero_grads();
+            let (mut total, mut count) = (0.0, 0usize);
+            accumulate_example_into(
+                net,
+                &data.inputs()[idx],
+                &data.targets()[idx],
+                &mut scratch,
+                &mut total,
+                &mut count,
+            );
+            for (l, (gw, gb)) in scratch.grads.iter().enumerate() {
                 let (vw, vb) = &mut velocity[l];
                 for i in 0..gw.len() {
                     vw[i] = momentum * vw[i] - learning_rate * gw[i];

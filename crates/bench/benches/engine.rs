@@ -11,18 +11,53 @@ use adamant_ann::{train, Activation, NeuralNetwork, TrainParams, TrainingData};
 use adamant_bench::{measure, write_perf_report, PerfReport, PhaseProfiler};
 use adamant_metrics::{Delivery, MetricKind, QosReport};
 use adamant_netsim::{
-    Agent, Bandwidth, Ctx, HostConfig, MachineClass, MemorySink, OutPacket, Packet, SimTime,
-    Simulation,
+    Agent, Bandwidth, CalendarQueue, Ctx, HostConfig, LossModel, MachineClass, MemorySink,
+    NetworkConfig, OutPacket, Packet, SimDuration, SimTime, Simulation,
 };
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::any::Any;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Minimal ping-pong agents to exercise the raw event loop.
+/// A counting wrapper around the system allocator, installed only in this
+/// bench binary so the steady-state alloc measurements observe every heap
+/// allocation the hot paths make. `alloc` and `realloc` both count — a
+/// growing `Vec` is exactly the kind of hidden churn we are hunting.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Minimal ping-pong agents to exercise the raw event loop. Packets use
+/// the shared empty payload, so sending is allocation-free.
 struct Pong;
 impl Agent for Pong {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
-        ctx.send(pkt.src, OutPacket::new(64, ()));
+        ctx.send(pkt.src, OutPacket::empty(64));
     }
     fn as_any(&self) -> &dyn Any {
         self
@@ -38,12 +73,12 @@ struct Ping {
 }
 impl Agent for Ping {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.send(self.peer, OutPacket::new(64, ()));
+        ctx.send(self.peer, OutPacket::empty(64));
     }
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _pkt: Packet) {
         if self.remaining > 0 {
             self.remaining -= 1;
-            ctx.send(self.peer, OutPacket::new(64, ()));
+            ctx.send(self.peer, OutPacket::empty(64));
         }
     }
     fn as_any(&self) -> &dyn Any {
@@ -103,6 +138,98 @@ fn events_per_sec(report: &mut PerfReport) {
     );
 }
 
+/// Raw calendar-queue throughput: sustained push+pop churn over a large
+/// live set, times drawn from a cheap inline LCG so the generator itself
+/// is negligible.
+fn bench_queue(report: &mut PerfReport) {
+    const LIVE: u64 = 4_096;
+    const PAIRS: u64 = 1 << 21;
+    let churn = || {
+        let mut queue: CalendarQueue<u64> = CalendarQueue::new();
+        let mut lcg: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut clock = 0u64;
+        for i in 0..LIVE {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            queue.push(lcg >> 44, i);
+        }
+        for i in 0..PAIRS {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            queue.push(clock + (lcg >> 44), i);
+            let (t, _, item) = queue.pop().expect("queue populated");
+            clock = t;
+            black_box(item);
+        }
+        while let Some(e) = queue.pop() {
+            black_box(e);
+        }
+    };
+    churn();
+    let start = Instant::now();
+    churn();
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    // One push and one pop per pair.
+    report.queue_ops_per_sec = (2 * PAIRS) as f64 / secs;
+    println!(
+        "calendar_queue/push_pop_ops_per_sec                {:>12.0}",
+        report.queue_ops_per_sec
+    );
+}
+
+/// Counts heap allocations across a steady-state window of the event loop
+/// and across warmed-up training epochs. Both are designed to be zero:
+/// every buffer the hot paths touch is recycled after warm-up.
+fn bench_allocations(report: &mut PerfReport) {
+    // Short propagation keeps the whole window inside simulated second 0,
+    // so even the per-second bandwidth histogram stays at its warm size.
+    let network = NetworkConfig {
+        propagation: SimDuration::from_nanos(500),
+        loss: LossModel::NONE,
+    };
+    // Warm-up must exceed one full calendar-ring cycle (1024 buckets ×
+    // 262 µs ≈ 268 ms of simulated time) so every bucket slot has rotated
+    // storage before counting begins.
+    let mut sim = ping_pong_sim(u32::MAX).with_network(network);
+    sim.run_until(SimTime::from_millis(300));
+    let warmed_events = sim.events_processed();
+    let before = allocations();
+    sim.run_until(SimTime::from_millis(700));
+    report.event_loop_steady_allocs = allocations() - before;
+    let window_events = sim.events_processed() - warmed_events;
+    println!(
+        "netsim_event_loop/steady_state_allocs              {:>12} (over {} events)",
+        report.event_loop_steady_allocs, window_events
+    );
+
+    // Training: identical runs at 1 and 11 epochs; the difference isolates
+    // ten warmed-up epochs from one-time scratch/state construction.
+    let data = training_data();
+    let epochs_allocs = |max_epochs: u32| {
+        let mut net = NeuralNetwork::new(&[7, 24, 6], Activation::fann_default(), 7);
+        let before = allocations();
+        black_box(train(
+            &mut net,
+            &data,
+            &TrainParams {
+                stopping_mse: 0.0,
+                max_epochs,
+                ..TrainParams::default()
+            },
+        ));
+        allocations() - before
+    };
+    let one = epochs_allocs(1);
+    let eleven = epochs_allocs(11);
+    report.training_epoch_allocs = eleven.saturating_sub(one) / 10;
+    println!(
+        "ann_training/steady_state_allocs_per_epoch         {:>12}",
+        report.training_epoch_allocs
+    );
+}
+
 fn bench_metrics(report: &mut PerfReport) {
     let deliveries: Vec<Delivery> = (0..10_000u64)
         .map(|seq| Delivery {
@@ -129,9 +256,8 @@ fn bench_metrics(report: &mut PerfReport) {
         }));
 }
 
-fn bench_training(report: &mut PerfReport) {
-    // One RPROP epoch over a 394-row, 7-feature dataset (the paper's
-    // training-set scale).
+/// A 394-row, 7-feature dataset (the paper's training-set scale).
+fn training_data() -> TrainingData {
     let inputs: Vec<Vec<f64>> = (0..394)
         .map(|i| (0..7).map(|d| ((i * 7 + d) % 97) as f64 / 97.0).collect())
         .collect();
@@ -142,7 +268,12 @@ fn bench_training(report: &mut PerfReport) {
             t
         })
         .collect();
-    let data = TrainingData::new(inputs, targets);
+    TrainingData::new(inputs, targets)
+}
+
+fn bench_training(report: &mut PerfReport) {
+    // Ten RPROP epochs over the paper-scale dataset.
+    let data = training_data();
     report
         .measurements
         .push(measure("ann_training/rprop_10_epochs_394rows", || {
@@ -165,11 +296,16 @@ fn main() {
         bench: "engine".to_owned(),
         events_per_sec: 0.0,
         events_per_sec_traced: 0.0,
+        queue_ops_per_sec: 0.0,
+        event_loop_steady_allocs: 0,
+        training_epoch_allocs: 0,
         measurements: Vec::new(),
         phases: Vec::new(),
     };
     profiler.phase("event_loop", || bench_event_loop(&mut report));
     profiler.phase("events_per_sec", || events_per_sec(&mut report));
+    profiler.phase("calendar_queue", || bench_queue(&mut report));
+    profiler.phase("allocations", || bench_allocations(&mut report));
     profiler.phase("metrics", || bench_metrics(&mut report));
     profiler.phase("ann_training", || bench_training(&mut report));
     report.phases = profiler.phases().to_vec();

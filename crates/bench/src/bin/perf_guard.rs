@@ -1,0 +1,66 @@
+//! CI perf-regression guard.
+//!
+//! Compares a freshly measured engine perf report against the committed
+//! baseline (`BENCH_netsim.json`) and fails when raw simulator throughput
+//! regressed by more than the allowed fraction:
+//!
+//! ```text
+//! perf_guard <baseline.json> <candidate.json>
+//! ```
+//!
+//! Exit codes: 0 = within budget, 1 = regression, 2 = usage/parse error.
+//! The threshold is deliberately loose (25%) because CI runners are noisy;
+//! it exists to catch structural regressions (an accidentally quadratic
+//! queue, a per-event allocation), not scheduling jitter.
+
+use adamant_json::Json;
+
+/// Allowed fractional drop in `events_per_sec` before the guard fails.
+const MAX_REGRESSION: f64 = 0.25;
+
+fn events_per_sec(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let json: Json = adamant_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    json.field::<f64>("events_per_sec")
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(baseline_path: &str, candidate_path: &str) -> Result<bool, String> {
+    let baseline = events_per_sec(baseline_path)?;
+    let candidate = events_per_sec(candidate_path)?;
+    if baseline <= 0.0 {
+        return Err(format!(
+            "baseline events_per_sec must be positive, got {baseline}"
+        ));
+    }
+    let floor = baseline * (1.0 - MAX_REGRESSION);
+    let ratio = candidate / baseline;
+    println!(
+        "perf guard: events_per_sec baseline {baseline:.0}, candidate {candidate:.0} \
+         ({ratio:.2}x, floor {floor:.0})"
+    );
+    Ok(candidate >= floor)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, candidate_path] = args.as_slice() else {
+        eprintln!("usage: perf_guard <baseline.json> <candidate.json>");
+        std::process::exit(2);
+    };
+    match run(baseline_path, candidate_path) {
+        Ok(true) => {}
+        Ok(false) => {
+            eprintln!(
+                "perf guard FAILED: events_per_sec regressed more than \
+                 {}% against the committed baseline",
+                (MAX_REGRESSION * 100.0) as u32
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("perf guard error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

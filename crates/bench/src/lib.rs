@@ -121,6 +121,13 @@ pub struct PerfReport {
     /// Throughput with a trace sink attached (same workload), for
     /// observability-overhead tracking; zero when not measured.
     pub events_per_sec_traced: f64,
+    /// Raw calendar-queue throughput: push+pop pairs per wall-clock second.
+    pub queue_ops_per_sec: f64,
+    /// Heap allocations observed during a steady-state window of the event
+    /// loop (after warm-up). The allocation-free hot path keeps this at 0.
+    pub event_loop_steady_allocs: u64,
+    /// Heap allocations per warmed-up ANN training epoch.
+    pub training_epoch_allocs: u64,
     /// Every per-iteration measurement taken.
     pub measurements: Vec<BenchMeasurement>,
     /// Per-phase wall-clock, in execution order.
@@ -146,6 +153,18 @@ impl ToJson for PerfReport {
             (
                 "events_per_sec_traced".to_owned(),
                 Json::Num(self.events_per_sec_traced),
+            ),
+            (
+                "queue_ops_per_sec".to_owned(),
+                Json::Num(self.queue_ops_per_sec),
+            ),
+            (
+                "event_loop_steady_allocs".to_owned(),
+                Json::Num(self.event_loop_steady_allocs as f64),
+            ),
+            (
+                "training_epoch_allocs".to_owned(),
+                Json::Num(self.training_epoch_allocs as f64),
             ),
             ("measurements".to_owned(), self.measurements.to_json()),
             ("phase_wall_ns".to_owned(), phases),
@@ -173,6 +192,9 @@ pub fn bench_report_path() -> PathBuf {
 /// Returns an error message when the file cannot be written.
 pub fn write_perf_report(report: &PerfReport) -> Result<PathBuf, String> {
     let path = bench_report_path();
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+    }
     std::fs::write(&path, adamant_json::to_string_pretty(report))
         .map_err(|e| format!("write {}: {e}", path.display()))?;
     Ok(path)
@@ -270,6 +292,9 @@ mod tests {
             bench: "engine".to_owned(),
             events_per_sec: 1_000_000.0,
             events_per_sec_traced: 900_000.0,
+            queue_ops_per_sec: 50_000_000.0,
+            event_loop_steady_allocs: 0,
+            training_epoch_allocs: 0,
             measurements: vec![BenchMeasurement {
                 name: "x/y".to_owned(),
                 per_iter_ns: 1_500,
@@ -279,6 +304,9 @@ mod tests {
         };
         let json = report.to_json();
         assert_eq!(json.field::<f64>("events_per_sec"), Ok(1_000_000.0));
+        assert_eq!(json.field::<f64>("queue_ops_per_sec"), Ok(50_000_000.0));
+        assert_eq!(json.field::<u64>("event_loop_steady_allocs"), Ok(0));
+        assert_eq!(json.field::<u64>("training_epoch_allocs"), Ok(0));
         assert_eq!(
             json.get("phase_wall_ns").unwrap().field::<u64>("warm"),
             Ok(3_000)

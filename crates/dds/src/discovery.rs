@@ -10,9 +10,10 @@
 
 use std::any::Any;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use adamant_netsim::{
-    Agent, Ctx, GroupId, OutPacket, Packet, ProcessingCost, SimDuration, SimTime, TimerId,
+    Agent, Ctx, GroupId, OutPacket, Packet, Payload, ProcessingCost, SimDuration, SimTime, TimerId,
 };
 
 use crate::qos::QosProfile;
@@ -29,6 +30,19 @@ pub struct EndpointInfo {
     pub is_writer: bool,
     /// Offered (writer) or requested (reader) QoS.
     pub qos: QosProfile,
+}
+
+impl EndpointInfo {
+    /// Creates an endpoint description. Accepts anything convertible to a
+    /// topic `String` (`&str`, `String`, `Cow<str>`), so call sites and
+    /// tests need no `.to_owned()` boilerplate.
+    pub fn new(topic: impl Into<String>, is_writer: bool, qos: QosProfile) -> Self {
+        EndpointInfo {
+            topic: topic.into(),
+            is_writer,
+            qos,
+        }
+    }
 }
 
 /// A periodic participant announcement.
@@ -79,6 +93,10 @@ pub struct DiscoveryAgent {
     participant_id: u32,
     group: GroupId,
     endpoints: Vec<EndpointInfo>,
+    /// The announcement payload, built once: the contents never change, so
+    /// every periodic announce shares this allocation instead of cloning
+    /// the endpoint list.
+    announcement: Payload,
     config: DiscoveryConfig,
     started_at: SimTime,
     /// Remote participants seen (id → last announcement time).
@@ -98,10 +116,15 @@ impl DiscoveryAgent {
         endpoints: Vec<EndpointInfo>,
         config: DiscoveryConfig,
     ) -> Self {
+        let announcement: Payload = Arc::new(ParticipantAnnouncement {
+            participant_id,
+            endpoints: endpoints.clone(),
+        });
         DiscoveryAgent {
             participant_id,
             group,
             endpoints,
+            announcement,
             config,
             started_at: SimTime::ZERO,
             seen: BTreeMap::new(),
@@ -137,15 +160,9 @@ impl DiscoveryAgent {
         let size = 48 + 64 * self.endpoints.len() as u32;
         ctx.send(
             self.group,
-            OutPacket::new(
-                size,
-                ParticipantAnnouncement {
-                    participant_id: self.participant_id,
-                    endpoints: self.endpoints.clone(),
-                },
-            )
-            .tag(TAG_DISCOVERY)
-            .cost(ProcessingCost::symmetric(SimDuration::from_micros(20))),
+            OutPacket::from_shared(size, Arc::clone(&self.announcement))
+                .tag(TAG_DISCOVERY)
+                .cost(ProcessingCost::symmetric(SimDuration::from_micros(20))),
         );
         self.announcements_sent += 1;
     }
@@ -220,11 +237,7 @@ mod tests {
     use adamant_netsim::{Bandwidth, HostConfig, MachineClass, Simulation};
 
     fn endpoint(topic: &str, is_writer: bool, qos: QosProfile) -> EndpointInfo {
-        EndpointInfo {
-            topic: topic.to_owned(),
-            is_writer,
-            qos,
-        }
+        EndpointInfo::new(topic, is_writer, qos)
     }
 
     fn run_discovery(

@@ -66,28 +66,39 @@ pub fn run_all_with_threads(specs: &[RunSpec], tuning: Tuning, threads: usize) -
     }
     let threads = threads.clamp(1, specs.len());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<RunResult>>> =
-        specs.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
-                }
-                let spec = specs[i];
-                let report = spec.execute(tuning);
-                *results[i].lock().expect("sweep lock poisoned") = Some(RunResult { spec, report });
-            });
-        }
+    // Lock-free work stealing: the atomic counter hands out spec indices,
+    // each worker keeps its results local, and the single merge at join
+    // time restores order. No per-slot mutexes, no contention on the
+    // results while runs execute.
+    let mut results: Vec<Option<RunResult>> = specs.iter().map(|_| None).collect();
+    let completed = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= specs.len() {
+                            return local;
+                        }
+                        let spec = specs[i];
+                        let report = spec.execute(tuning);
+                        local.push((i, RunResult { spec, report }));
+                    }
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("sweep worker panicked"))
+            .collect::<Vec<_>>()
     });
+    for (i, result) in completed {
+        results[i] = Some(result);
+    }
     results
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("sweep lock poisoned")
-                .expect("every slot filled")
-        })
+        .map(|slot| slot.expect("every slot filled"))
         .collect()
 }
 

@@ -3,7 +3,7 @@
 
 use std::any::Any;
 
-use crate::event::TimerId;
+use crate::event::{TimerId, TimerTable};
 use crate::host::MachineClass;
 use crate::obs::ObsEvent;
 use crate::packet::{Destination, GroupId, NodeId, OutPacket, Packet};
@@ -68,8 +68,10 @@ pub struct Ctx<'a> {
     pub(crate) machine: MachineClass,
     pub(crate) rng: &'a mut SimRng,
     pub(crate) groups: &'a [Vec<NodeId>],
-    pub(crate) commands: Vec<Command>,
-    pub(crate) next_timer_id: &'a mut u64,
+    /// Borrowed from the engine and reused across callbacks, so buffering
+    /// commands allocates nothing once the capacity is warm.
+    pub(crate) commands: &'a mut Vec<Command>,
+    pub(crate) timers: &'a mut TimerTable,
     /// Whether a structured-trace sink is installed on the simulation;
     /// when false, [`Ctx::emit`] never even constructs its event.
     pub(crate) obs: bool,
@@ -122,8 +124,7 @@ impl<'a> Ctx<'a> {
     /// [`Agent::on_timer`]. Returns a handle usable with
     /// [`Ctx::cancel_timer`].
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
-        let id = TimerId(*self.next_timer_id);
-        *self.next_timer_id += 1;
+        let id = self.timers.arm();
         self.commands.push(Command::SetTimer {
             id,
             fire_at: self.now + delay,
@@ -162,7 +163,8 @@ mod tests {
     fn make_ctx<'a>(
         rng: &'a mut SimRng,
         groups: &'a [Vec<NodeId>],
-        next_timer_id: &'a mut u64,
+        commands: &'a mut Vec<Command>,
+        timers: &'a mut TimerTable,
     ) -> Ctx<'a> {
         Ctx {
             now: SimTime::from_micros(100),
@@ -170,8 +172,8 @@ mod tests {
             machine: MachineClass::Pc3000,
             rng,
             groups,
-            commands: Vec::new(),
-            next_timer_id,
+            commands,
+            timers,
             obs: true,
         }
     }
@@ -180,8 +182,9 @@ mod tests {
     fn set_timer_assigns_unique_ids_and_absolute_time() {
         let mut rng = SimRng::seed_from_u64(1);
         let groups = vec![];
-        let mut next = 0;
-        let mut ctx = make_ctx(&mut rng, &groups, &mut next);
+        let mut commands = Vec::new();
+        let mut timers = TimerTable::new();
+        let mut ctx = make_ctx(&mut rng, &groups, &mut commands, &mut timers);
         let a = ctx.set_timer(SimDuration::from_micros(5), 7);
         let b = ctx.set_timer(SimDuration::from_micros(9), 8);
         assert_ne!(a, b);
@@ -198,8 +201,9 @@ mod tests {
     fn send_buffers_command() {
         let mut rng = SimRng::seed_from_u64(1);
         let groups = vec![vec![NodeId(0), NodeId(1)]];
-        let mut next = 0;
-        let mut ctx = make_ctx(&mut rng, &groups, &mut next);
+        let mut commands = Vec::new();
+        let mut timers = TimerTable::new();
+        let mut ctx = make_ctx(&mut rng, &groups, &mut commands, &mut timers);
         ctx.send(NodeId(1), OutPacket::new(10, ()));
         ctx.send(GroupId(0), OutPacket::new(20, ()));
         assert_eq!(ctx.commands.len(), 2);
@@ -210,8 +214,9 @@ mod tests {
     fn emit_is_gated_on_observation() {
         let mut rng = SimRng::seed_from_u64(1);
         let groups = vec![];
-        let mut next = 0;
-        let mut ctx = make_ctx(&mut rng, &groups, &mut next);
+        let mut commands = Vec::new();
+        let mut timers = TimerTable::new();
+        let mut ctx = make_ctx(&mut rng, &groups, &mut commands, &mut timers);
         assert!(ctx.observed());
         ctx.emit(|| ObsEvent::EpochDropped { node: NodeId(0) });
         assert_eq!(ctx.commands.len(), 1);
@@ -230,8 +235,9 @@ mod tests {
     fn accessors_reflect_construction() {
         let mut rng = SimRng::seed_from_u64(1);
         let groups = vec![];
-        let mut next = 0;
-        let mut ctx = make_ctx(&mut rng, &groups, &mut next);
+        let mut commands = Vec::new();
+        let mut timers = TimerTable::new();
+        let mut ctx = make_ctx(&mut rng, &groups, &mut commands, &mut timers);
         assert_eq!(ctx.now(), SimTime::from_micros(100));
         assert_eq!(ctx.node(), NodeId(0));
         assert_eq!(ctx.machine(), MachineClass::Pc3000);

@@ -2,15 +2,25 @@
 //!
 //! Events are ordered by `(time, sequence)`: ties on simulated time break in
 //! scheduling order, which makes every run fully deterministic.
+//!
+//! The queue is a hierarchical *calendar queue* (a ring of fixed-width time
+//! buckets plus an overflow heap for the far future) rather than a binary
+//! heap: pushes and pops into the current simulation window are O(1)
+//! amortized, and — crucially for the allocation-free hot path — the bucket
+//! storage is recycled, so a warmed-up simulation schedules and fires events
+//! without touching the allocator.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::packet::{NodeId, Packet};
 use crate::time::SimTime;
 
 /// A timer handle returned by [`Ctx::set_timer`](crate::Ctx::set_timer),
 /// usable to cancel the timer before it fires.
+///
+/// Internally encodes a slot index and a generation counter in the engine's
+/// timer table, which is what makes cancellation O(1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub(crate) u64);
 
@@ -35,7 +45,6 @@ pub(crate) enum EventKind {
 #[derive(Debug)]
 pub(crate) struct Event {
     pub time: SimTime,
-    pub seq: u64,
     /// The target node's incarnation epoch at scheduling time. The engine
     /// drops the event if the node has crashed (and possibly restarted)
     /// since: a rebooted host must not receive its predecessor's timers or
@@ -44,79 +53,383 @@ pub(crate) struct Event {
     pub kind: EventKind,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+/// One queued entry: a payload with its `(time, seq)` priority key.
+#[derive(Debug)]
+struct Entry<T> {
+    time: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> Entry<T> {
+    #[inline]
+    fn key(&self) -> (u64, u64) {
+        (self.time, self.seq)
     }
 }
 
-impl Eq for Event {}
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
 
-impl PartialOrd for Event {
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for Event {
+impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event is popped
-        // first, with scheduling order breaking ties.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        self.key().cmp(&other.key())
     }
 }
 
-/// A deterministic min-priority queue of simulation events.
+/// Default bucket width: 2^18 ns ≈ 262 µs per bucket — wide enough that
+/// LAN-scale hops (tens of µs) mostly stay within the cursor's bucket,
+/// keeping bucket loads rare, while cohorts stay small enough to sort
+/// cheaply.
+const DEFAULT_BUCKET_SHIFT: u32 = 18;
+/// Default ring size: 1024 buckets ≈ a 268 ms "year" before overflow.
+const DEFAULT_BUCKETS: usize = 1024;
+
+/// A deterministic min-priority calendar queue keyed on `u64` timestamps.
+///
+/// Entries pop in ascending `(time, seq)` order, where `seq` is the
+/// push-order sequence number assigned by the queue — so entries scheduled
+/// for the same instant pop in FIFO order. This is the exact ordering
+/// contract the simulation engine's determinism rests on.
+///
+/// # Structure
+///
+/// Three tiers, by distance from the drain cursor:
+///
+/// 1. **`active`** — the bucket currently being drained, kept sorted; pops
+///    are O(1) from its front, and late entries that land at or before the
+///    cursor are merged in by binary search.
+/// 2. **ring buckets** — `buckets` fixed-width windows of `2^shift` ns
+///    each, unsorted until their turn comes (one `sort_unstable` per bucket
+///    per drain).
+/// 3. **`overflow`** — a binary heap for entries beyond the ring's horizon,
+///    migrated into the ring as the cursor advances.
+///
+/// All bucket storage is recycled between drains: once warmed up, a
+/// steady-state push/pop workload performs **zero heap allocations**.
+#[derive(Debug)]
+pub struct CalendarQueue<T> {
+    /// log2 of the bucket width in timestamp units.
+    shift: u32,
+    /// `buckets.len() - 1`; bucket count is a power of two.
+    mask: u64,
+    /// Absolute index (time >> shift) of the bucket drained into `active`.
+    cursor: u64,
+    /// The current bucket's entries, sorted ascending by `(time, seq)`.
+    active: VecDeque<Entry<T>>,
+    /// The ring: bucket for absolute index `b` lives at `b & mask`.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// Total entries across all ring buckets (excluding `active`).
+    ring_len: usize,
+    /// Entries at least a full ring beyond the cursor.
+    overflow: BinaryHeap<std::cmp::Reverse<Entry<T>>>,
+    /// Recycled bucket storage, swapped into a bucket when it is drained.
+    spare: Vec<Entry<T>>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// Creates a queue with the default geometry (1024 buckets of
+    /// 2^18 = 262 144 timestamp units each).
+    pub fn new() -> Self {
+        Self::with_geometry(DEFAULT_BUCKET_SHIFT, DEFAULT_BUCKETS)
+    }
+
+    /// Creates a queue with `buckets` ring buckets (a power of two, at
+    /// least 2) each spanning `2^shift` timestamp units. Smaller
+    /// geometries exercise the overflow and year-wrap paths; the defaults
+    /// suit nanosecond simulation timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is not a power of two ≥ 2 or `shift` ≥ 64.
+    pub fn with_geometry(shift: u32, buckets: usize) -> Self {
+        assert!(
+            buckets.is_power_of_two() && buckets >= 2,
+            "bucket count must be a power of two >= 2, got {buckets}"
+        );
+        assert!(shift < 64, "bucket shift must be < 64, got {shift}");
+        CalendarQueue {
+            shift,
+            mask: (buckets - 1) as u64,
+            cursor: 0,
+            active: VecDeque::new(),
+            buckets: std::iter::repeat_with(Vec::new).take(buckets).collect(),
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            spare: Vec::new(),
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of ring buckets.
+    #[inline]
+    fn ring_size(&self) -> u64 {
+        self.mask + 1
+    }
+
+    /// Schedules `item` at `time`. Returns the tie-break sequence number:
+    /// strictly increasing across pushes, so same-time entries pop in push
+    /// order.
+    pub fn push(&mut self, time: u64, item: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Entry { time, seq, item };
+        let abs = time >> self.shift;
+        if abs <= self.cursor {
+            // At or before the bucket being drained (zero-delay timers,
+            // same-window sends): merge into the sorted active run. The new
+            // entry's seq exceeds every queued one, so same-time entries
+            // keep FIFO order.
+            let idx = self.active.partition_point(|e| e.key() < (time, seq));
+            self.active.insert(idx, entry);
+        } else if abs - self.cursor <= self.mask {
+            self.buckets[(abs & self.mask) as usize].push(entry);
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(std::cmp::Reverse(entry));
+        }
+        self.len += 1;
+        seq
+    }
+
+    /// Removes and returns the earliest entry as `(time, seq, item)`.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        self.prepare_front();
+        let entry = self.active.pop_front()?;
+        self.len -= 1;
+        Some((entry.time, entry.seq, entry.item))
+    }
+
+    /// The timestamp of the earliest pending entry. Takes `&mut self`
+    /// because it may advance the drain cursor to find it.
+    pub fn peek_time(&mut self) -> Option<u64> {
+        self.prepare_front();
+        self.active.front().map(|e| e.time)
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ensures the earliest pending entry (if any) sits at the front of
+    /// `active`, advancing the cursor across empty buckets and migrating
+    /// overflow entries that come within the ring's horizon.
+    fn prepare_front(&mut self) {
+        while self.active.is_empty() && self.len > 0 {
+            if self.ring_len == 0 {
+                // Everything pending is in the overflow heap: jump the
+                // cursor straight to the earliest entry's bucket instead of
+                // scanning a whole empty ring.
+                let earliest = self
+                    .overflow
+                    .peek()
+                    .expect("len > 0 with empty ring and active")
+                    .0
+                    .time
+                    >> self.shift;
+                debug_assert!(earliest > self.cursor);
+                self.cursor = earliest;
+            } else {
+                self.cursor += 1;
+            }
+            self.migrate_overflow();
+            let slot = (self.cursor & self.mask) as usize;
+            if !self.buckets[slot].is_empty() {
+                self.load(slot);
+            }
+        }
+    }
+
+    /// Moves overflow entries that now fall within the ring's horizon into
+    /// their ring buckets. Called after every cursor change, which keeps
+    /// the invariant that overflow entries are at least a full ring away.
+    fn migrate_overflow(&mut self) {
+        let horizon = self.cursor + self.ring_size();
+        while let Some(std::cmp::Reverse(e)) = self.overflow.peek() {
+            let abs = e.time >> self.shift;
+            if abs >= horizon {
+                break;
+            }
+            debug_assert!(abs >= self.cursor);
+            let std::cmp::Reverse(entry) = self.overflow.pop().expect("peeked entry");
+            self.buckets[(abs & self.mask) as usize].push(entry);
+            self.ring_len += 1;
+        }
+    }
+
+    /// Sorts ring bucket `slot` and makes it the active drain run, rotating
+    /// the freed storage back into the ring so no buffer is ever dropped.
+    fn load(&mut self, slot: usize) {
+        debug_assert!(self.active.is_empty());
+        let drained = std::mem::take(&mut self.active);
+        let refill = std::mem::take(&mut self.spare);
+        let mut entries = std::mem::replace(&mut self.buckets[slot], refill);
+        self.ring_len -= entries.len();
+        // Keys are unique (seq is), so unstable sort is deterministic.
+        entries.sort_unstable();
+        self.active = VecDeque::from(entries);
+        self.spare = Vec::from(drained);
+    }
+}
+
+/// A deterministic min-priority queue of simulation events, backed by a
+/// [`CalendarQueue`] keyed on nanosecond timestamps.
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Event>,
-    next_seq: u64,
+    calendar: CalendarQueue<(u32, EventKind)>,
 }
 
 impl EventQueue {
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            calendar: CalendarQueue::new(),
         }
     }
 
     /// Schedules `kind` at `time` for a target currently in incarnation
     /// `epoch`. Returns the tie-break sequence number.
     pub fn schedule(&mut self, time: SimTime, epoch: u32, kind: EventKind) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Event {
-            time,
-            seq,
-            epoch,
-            kind,
-        });
-        seq
+        self.calendar.push(time.as_nanos(), (epoch, kind))
     }
 
-    /// Removes and returns the earliest event, if any.
+    /// Removes and returns the earliest event, if any. The tie-break
+    /// sequence number is consumed here: the calendar already ordered by
+    /// `(time, seq)`, so the engine only needs the time.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        self.calendar
+            .pop()
+            .map(|(time, _seq, (epoch, kind))| Event {
+                time: SimTime::from_nanos(time),
+                epoch,
+                kind,
+            })
     }
 
-    /// The time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    /// The time of the earliest pending event. `&mut` because finding it
+    /// may advance the calendar cursor.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.calendar.peek_time().map(SimTime::from_nanos)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.calendar.len()
     }
 
     /// Whether no events are pending.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.calendar.is_empty()
+    }
+}
+
+/// Slot-indexed timer registry with O(1) arm, cancel, and fire.
+///
+/// A [`TimerId`] encodes `(generation << 32) | slot`. Cancelling sets a
+/// flag in the slot; when the timer's queued event pops (live or belonging
+/// to a dead incarnation), the slot is released and its generation bumped,
+/// so stale ids can never touch a reused slot. This replaces the previous
+/// tombstone `HashMap` — no per-cancel allocation, no crash-time pruning
+/// scan, no hashing on the hot path.
+#[derive(Debug, Default)]
+pub(crate) struct TimerTable {
+    slots: Vec<TimerSlot>,
+    free: Vec<u32>,
+}
+
+#[derive(Debug)]
+struct TimerSlot {
+    generation: u32,
+    cancelled: bool,
+}
+
+impl TimerTable {
+    pub fn new() -> Self {
+        TimerTable::default()
+    }
+
+    /// Claims a slot for a newly set timer and returns its handle.
+    pub fn arm(&mut self) -> TimerId {
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                assert!(self.slots.len() < u32::MAX as usize, "timer table full");
+                self.slots.push(TimerSlot {
+                    generation: 0,
+                    cancelled: false,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let state = &mut self.slots[slot as usize];
+        state.cancelled = false;
+        TimerId(((state.generation as u64) << 32) | slot as u64)
+    }
+
+    /// Marks a timer as cancelled. A no-op for already-fired (released)
+    /// timers: their slot generation no longer matches.
+    pub fn cancel(&mut self, id: TimerId) {
+        let (generation, slot) = Self::decode(id);
+        if let Some(state) = self.slots.get_mut(slot) {
+            if state.generation == generation {
+                state.cancelled = true;
+            }
+        }
+    }
+
+    /// Releases the slot backing `id` when its queued event pops, returning
+    /// whether the timer should actually fire (armed and not cancelled).
+    /// Events of dead incarnations release through here too, which is what
+    /// keeps crashed nodes from leaking slots.
+    pub fn fire(&mut self, id: TimerId) -> bool {
+        let (generation, slot) = Self::decode(id);
+        match self.slots.get_mut(slot) {
+            Some(state) if state.generation == generation => {
+                let live = !state.cancelled;
+                state.generation = state.generation.wrapping_add(1);
+                state.cancelled = false;
+                self.free.push(slot as u32);
+                live
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of timers currently armed (set and not yet popped). Cancelled
+    /// timers count until their queued event pops and releases the slot.
+    pub fn armed(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    #[inline]
+    fn decode(id: TimerId) -> (u32, usize) {
+        ((id.0 >> 32) as u32, (id.0 & u32::MAX as u64) as usize)
     }
 }
 
@@ -173,5 +486,103 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(8)));
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_route_through_overflow() {
+        let mut q = EventQueue::new();
+        // Hours apart: far beyond the 268 ms ring year.
+        q.schedule(SimTime::from_secs(7_200), 0, start(0));
+        q.schedule(SimTime::from_secs(3_600), 0, start(1));
+        q.schedule(SimTime::from_micros(1), 0, start(2));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(
+            order,
+            vec![
+                SimTime::from_micros(1),
+                SimTime::from_secs(3_600),
+                SimTime::from_secs(7_200)
+            ]
+        );
+    }
+
+    #[test]
+    fn push_at_or_before_cursor_stays_ordered() {
+        // Drain to a late bucket, then schedule at the current instant —
+        // the pattern of a zero-delay timer rearming itself.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(500), 0, start(0));
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, SimTime::from_millis(500));
+        q.schedule(SimTime::from_millis(500), 0, start(1));
+        q.schedule(SimTime::from_millis(501), 0, start(2));
+        q.schedule(SimTime::from_millis(500), 0, start(3));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Start { node } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn tiny_geometry_wraps_the_ring() {
+        // 4 buckets of 2 units each: an 8-unit year, so this exercises
+        // bucket aliasing and overflow migration heavily.
+        let mut q = CalendarQueue::with_geometry(1, 4);
+        let times = [37u64, 2, 9, 8, 40, 3, 2, 25, 14, 0];
+        for &t in &times {
+            q.push(t, t);
+        }
+        let mut sorted = times.to_vec();
+        sorted.sort_unstable();
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _, _)| t).collect();
+        assert_eq!(popped, sorted);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn calendar_seq_breaks_ties_fifo() {
+        let mut q = CalendarQueue::with_geometry(4, 8);
+        for item in 0..10u32 {
+            q.push(100, item);
+        }
+        let items: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, _, i)| i).collect();
+        assert_eq!(items, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timer_table_arm_fire_cycle() {
+        let mut t = TimerTable::new();
+        let a = t.arm();
+        let b = t.arm();
+        assert_ne!(a, b);
+        assert_eq!(t.armed(), 2);
+        assert!(t.fire(a), "uncancelled timer fires");
+        assert_eq!(t.armed(), 1);
+        assert!(!t.fire(a), "released id is dead");
+        assert!(t.fire(b));
+        assert_eq!(t.armed(), 0);
+    }
+
+    #[test]
+    fn timer_table_cancel_suppresses_fire() {
+        let mut t = TimerTable::new();
+        let a = t.arm();
+        t.cancel(a);
+        assert_eq!(t.armed(), 1, "cancelled timer holds its slot until pop");
+        assert!(!t.fire(a), "cancelled timer must not fire");
+        assert_eq!(t.armed(), 0);
+    }
+
+    #[test]
+    fn timer_table_stale_id_cannot_touch_reused_slot() {
+        let mut t = TimerTable::new();
+        let a = t.arm();
+        assert!(t.fire(a));
+        let b = t.arm(); // reuses a's slot with a bumped generation
+        t.cancel(a); // stale handle: must be a no-op
+        assert!(t.fire(b), "stale cancel must not hit the new occupant");
     }
 }

@@ -99,9 +99,13 @@ impl Bandwidth {
     /// Time to clock `bytes` onto the wire at this rate.
     pub fn serialization_time(self, bytes: u32) -> SimDuration {
         let bits = bytes as u64 * 8;
-        // nanos = bits / bps * 1e9, computed in u128 to avoid overflow.
-        let nanos = (bits as u128 * 1_000_000_000u128) / self.0 as u128;
-        SimDuration::from_nanos(nanos as u64)
+        // nanos = bits / bps * 1e9; stay in u64 when the product fits
+        // (every packet below ~2 GB) and widen to u128 only on overflow.
+        let nanos = match bits.checked_mul(1_000_000_000) {
+            Some(product) => product / self.0,
+            None => ((bits as u128 * 1_000_000_000u128) / self.0 as u128) as u64,
+        };
+        SimDuration::from_nanos(nanos)
     }
 }
 
@@ -174,6 +178,11 @@ pub(crate) struct HostState {
     pub cpu_free_at: SimTime,
     pub egress_free_at: SimTime,
     pub ingress_free_at: SimTime,
+    /// Memoized `(bytes, serialization_time(bytes))` of the last packet.
+    /// Traffic is dominated by repeated sizes, so this turns the wide
+    /// division in [`Bandwidth::serialization_time`] into a compare.
+    /// `(0, ZERO)` is a correct seed: zero bytes serialize instantly.
+    last_serialization: (u32, SimDuration),
 }
 
 impl HostState {
@@ -183,14 +192,30 @@ impl HostState {
             cpu_free_at: SimTime::ZERO,
             egress_free_at: SimTime::ZERO,
             ingress_free_at: SimTime::ZERO,
+            last_serialization: (0, SimDuration::ZERO),
         }
+    }
+
+    fn serialization_cached(&mut self, bytes: u32) -> SimDuration {
+        if self.last_serialization.0 != bytes {
+            self.last_serialization = (bytes, self.config.bandwidth.serialization_time(bytes));
+        }
+        self.last_serialization.1
     }
 
     /// Occupies the CPU for `ref_cost` (a reference-duration cost, scaled by
     /// this host's CPU factor) starting no earlier than `now`, and returns
     /// the completion instant.
+    #[cfg(test)]
     pub fn occupy_cpu(&mut self, now: SimTime, ref_cost: SimDuration) -> SimTime {
         let cost = ref_cost.scale(self.config.cpu_scale());
+        self.occupy_cpu_scaled(now, cost)
+    }
+
+    /// Occupies the CPU for an already machine-scaled cost, for callers
+    /// that computed the scaled value anyway (the engine tracks it for
+    /// utilization accounting).
+    pub fn occupy_cpu_scaled(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
         let start = now.max(self.cpu_free_at);
         let done = start + cost;
         self.cpu_free_at = done;
@@ -200,7 +225,7 @@ impl HostState {
     /// Serializes `bytes` out of the egress NIC starting no earlier than
     /// `now`, and returns the instant the last bit leaves.
     pub fn occupy_egress(&mut self, now: SimTime, bytes: u32) -> SimTime {
-        let tx = self.config.bandwidth.serialization_time(bytes);
+        let tx = self.serialization_cached(bytes);
         let start = now.max(self.egress_free_at);
         let done = start + tx;
         self.egress_free_at = done;
@@ -210,7 +235,7 @@ impl HostState {
     /// Serializes `bytes` into the ingress NIC starting no earlier than
     /// `now`, and returns the instant the packet is fully received.
     pub fn occupy_ingress(&mut self, now: SimTime, bytes: u32) -> SimTime {
-        let rx = self.config.bandwidth.serialization_time(bytes);
+        let rx = self.serialization_cached(bytes);
         let start = now.max(self.ingress_free_at);
         let done = start + rx;
         self.ingress_free_at = done;

@@ -78,12 +78,15 @@ mod time;
 mod trace;
 
 pub use agent::{Agent, Ctx};
-pub use event::TimerId;
+pub use event::{CalendarQueue, TimerId};
 pub use fault::{Fault, FaultPlan};
 pub use host::{Bandwidth, HostConfig, MachineClass};
 pub use loss::LossModel;
 pub use obs::{DropReason, MemorySink, ObsEvent, TraceSink, TracedEvent};
-pub use packet::{Destination, GroupId, NodeId, OutPacket, Packet, Payload, ProcessingCost};
+pub use packet::{
+    empty_payload, Destination, GroupId, NodeId, OutPacket, Packet, PacketArena, Payload,
+    ProcessingCost,
+};
 pub use rng::SimRng;
 pub use sim::{NetworkConfig, Simulation};
 pub use stats::{TagCounters, WireStats};

@@ -1,8 +1,9 @@
 //! Packets, addressing, and per-packet processing-cost declarations.
 
 use std::any::Any;
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::time::SimDuration;
 
@@ -144,6 +145,21 @@ pub struct Packet {
 }
 
 impl Packet {
+    /// Builds the in-flight copy of an outgoing packet. Clones only the
+    /// payload *handle* (an `Arc`), so multicast fan-out shares one payload
+    /// among every copy.
+    pub fn from_out(out: &OutPacket, src: NodeId, dst: Destination, wire_id: u64) -> Self {
+        Packet {
+            src,
+            dst,
+            size_bytes: out.size_bytes,
+            tag: out.tag,
+            cost: out.cost,
+            payload: out.payload.clone(),
+            wire_id,
+        }
+    }
+
     /// Downcasts the payload to a concrete message type.
     pub fn payload_as<T: 'static>(&self) -> Option<&T> {
         self.payload.downcast_ref::<T>()
@@ -210,6 +226,15 @@ impl OutPacket {
         }
     }
 
+    /// Creates a packet of `size_bytes` with no meaningful payload.
+    ///
+    /// All empty packets share one process-wide `Arc<()>`, so building one
+    /// performs no heap allocation — use this in hot loops (probes, acks,
+    /// synthetic benchmark traffic) where the body carries no data.
+    pub fn empty(size_bytes: u32) -> Self {
+        Self::from_shared(size_bytes, empty_payload())
+    }
+
     /// Sets the statistics tag.
     pub fn tag(mut self, tag: u16) -> Self {
         self.tag = tag;
@@ -229,6 +254,94 @@ impl fmt::Debug for OutPacket {
             .field("size_bytes", &self.size_bytes)
             .field("tag", &self.tag)
             .finish_non_exhaustive()
+    }
+}
+
+/// The process-wide shared payload behind [`OutPacket::empty`]. Cloning it
+/// is a refcount bump, never an allocation.
+pub fn empty_payload() -> Payload {
+    static EMPTY: OnceLock<Payload> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(())).clone()
+}
+
+/// A free-list pool of typed payloads.
+///
+/// `alloc` hands out a [`Payload`] backed by a recycled `Arc<T>` whenever
+/// the pool's oldest lease has been fully released (every in-flight packet
+/// copy dropped its handle), and only falls back to a fresh allocation when
+/// all pooled payloads are still referenced. In steady state — a protocol
+/// sending bounded-in-flight traffic — every payload allocation after
+/// warm-up is a pool hit, i.e. free.
+///
+/// The pool checks leases in FIFO order, so the payload most likely to be
+/// free (the oldest) is probed first; one probe per `alloc` keeps the hot
+/// path O(1).
+///
+/// # Examples
+///
+/// ```
+/// use adamant_netsim::{OutPacket, PacketArena};
+///
+/// let mut arena = PacketArena::<u64>::new();
+/// let pkt = OutPacket::from_shared(64, arena.alloc(42));
+/// assert_eq!(pkt.payload.downcast_ref::<u64>(), Some(&42));
+/// ```
+#[derive(Debug)]
+pub struct PacketArena<T: Any + Send + Sync> {
+    pool: VecDeque<Arc<T>>,
+    capacity: usize,
+}
+
+impl<T: Any + Send + Sync> Default for PacketArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Any + Send + Sync> PacketArena<T> {
+    /// Default number of payloads the pool retains.
+    const DEFAULT_CAPACITY: usize = 64;
+
+    /// Creates a pool retaining up to 64 payloads.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a pool retaining up to `capacity` payloads. The capacity
+    /// bounds pool memory; allocations beyond it still succeed but are not
+    /// recycled.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PacketArena {
+            pool: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Returns a payload containing `value`, reusing a pooled allocation
+    /// when the oldest lease is no longer referenced anywhere else.
+    pub fn alloc(&mut self, value: T) -> Payload {
+        if let Some(front) = self.pool.front_mut() {
+            if let Some(slot) = Arc::get_mut(front) {
+                // Sole owner: every packet copy from the previous lease has
+                // been dropped, so the storage can be reused in place.
+                *slot = value;
+                let arc = self.pool.pop_front().expect("probed front exists");
+                let payload: Payload = arc.clone();
+                self.pool.push_back(arc);
+                return payload;
+            }
+        }
+        let arc = Arc::new(value);
+        let payload: Payload = arc.clone();
+        if self.pool.len() < self.capacity {
+            self.pool.push_back(arc);
+        }
+        payload
+    }
+
+    /// Number of payloads currently retained by the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
     }
 }
 
@@ -273,16 +386,61 @@ mod tests {
     #[test]
     fn payload_downcast_via_packet() {
         let out = OutPacket::new(10, String::from("msg"));
-        let pkt = Packet {
-            src: NodeId(0),
-            dst: Destination::Node(NodeId(1)),
-            size_bytes: out.size_bytes,
-            tag: out.tag,
-            cost: out.cost,
-            payload: out.payload,
-            wire_id: 1,
-        };
+        let pkt = Packet::from_out(&out, NodeId(0), Destination::Node(NodeId(1)), 1);
         assert_eq!(pkt.payload_as::<String>().unwrap(), "msg");
         assert!(pkt.payload_as::<u64>().is_none());
+    }
+
+    #[test]
+    fn from_out_copies_metadata_and_shares_payload() {
+        let out = OutPacket::new(100, 7u32)
+            .tag(3)
+            .cost(ProcessingCost::symmetric(SimDuration::from_micros(2)));
+        let a = Packet::from_out(&out, NodeId(0), Destination::Node(NodeId(1)), 9);
+        let b = Packet::from_out(&out, NodeId(0), Destination::Node(NodeId(2)), 9);
+        assert_eq!(a.size_bytes, 100);
+        assert_eq!(a.tag, 3);
+        assert_eq!(a.cost, out.cost);
+        assert_eq!(a.wire_id, 9);
+        assert!(
+            Arc::ptr_eq(&a.payload, &b.payload),
+            "copies must share one payload allocation"
+        );
+    }
+
+    #[test]
+    fn empty_packets_share_one_payload() {
+        let a = OutPacket::empty(64);
+        let b = OutPacket::empty(1_500);
+        assert!(Arc::ptr_eq(&a.payload, &b.payload));
+        assert!(a.payload.downcast_ref::<()>().is_some());
+    }
+
+    #[test]
+    fn arena_recycles_released_payloads() {
+        let mut arena = PacketArena::<u64>::with_capacity(4);
+        let first = arena.alloc(1);
+        let first_ptr = Arc::as_ptr(&first) as *const u64;
+        assert_eq!(arena.pooled(), 1);
+        // Still leased: the next alloc cannot reuse it.
+        let second = arena.alloc(2);
+        assert_ne!(Arc::as_ptr(&second) as *const u64, first_ptr);
+        drop(first);
+        drop(second);
+        // Both leases released: the oldest slot is reused in place.
+        let third = arena.alloc(3);
+        assert_eq!(Arc::as_ptr(&third) as *const u64, first_ptr);
+        assert_eq!(third.downcast_ref::<u64>(), Some(&3));
+        assert_eq!(arena.pooled(), 2, "reuse must not grow the pool");
+    }
+
+    #[test]
+    fn arena_capacity_bounds_pool_growth() {
+        let mut arena = PacketArena::<u64>::with_capacity(2);
+        let leases: Vec<_> = (0..5).map(|i| arena.alloc(i)).collect();
+        assert_eq!(arena.pooled(), 2);
+        drop(leases);
+        let reused = arena.alloc(99);
+        assert_eq!(reused.downcast_ref::<u64>(), Some(&99));
     }
 }

@@ -1,9 +1,7 @@
 //! The discrete-event simulation engine.
 
-use std::collections::HashMap;
-
 use crate::agent::{Agent, Command, Ctx};
-use crate::event::{EventKind, EventQueue, TimerId};
+use crate::event::{EventKind, EventQueue, TimerId, TimerTable};
 use crate::host::{Bandwidth, HostConfig, HostState};
 use crate::loss::{ChannelState, LossModel};
 use crate::obs::{DropReason, MemorySink, ObsEvent, TraceSink, TracedEvent};
@@ -101,12 +99,15 @@ pub struct Simulation {
     groups: Vec<Vec<NodeId>>,
     stats: WireStats,
     network: NetworkConfig,
-    next_timer_id: u64,
-    /// Tombstones for cancelled timers whose events are still queued,
-    /// keyed by the owning node so a crash can prune them (a dead
-    /// incarnation's queued timer events are discarded by the epoch check
-    /// and would otherwise never consume their tombstones).
-    cancelled_timers: HashMap<TimerId, NodeId>,
+    /// Slot-indexed timer registry: O(1) arm/cancel/fire, with slots
+    /// released lazily when the timer's queued event pops (live or dead
+    /// incarnation alike), so crashes need no pruning scan.
+    timers: TimerTable,
+    /// Reused across dispatches so steady-state agent callbacks append
+    /// into warm capacity instead of allocating a fresh command vector.
+    command_buf: Vec<Command>,
+    /// Reused across transmissions for the multicast fan-out target list.
+    fanout_buf: Vec<NodeId>,
     channel_states: Vec<ChannelState>,
     trace: Trace,
     /// Structured observability sink; `None` (the default) makes every
@@ -149,8 +150,9 @@ impl Simulation {
             groups: Vec::new(),
             stats: WireStats::new(),
             network: NetworkConfig::default(),
-            next_timer_id: 0,
-            cancelled_timers: HashMap::new(),
+            timers: TimerTable::new(),
+            command_buf: Vec::new(),
+            fanout_buf: Vec::new(),
             channel_states: Vec::new(),
             trace: Trace::new(0),
             obs: None,
@@ -305,6 +307,13 @@ impl Simulation {
         self.events_processed
     }
 
+    /// Number of timer slots currently held (set and not yet popped).
+    /// Cancelled timers hold their slot until their queued event pops and
+    /// releases it — the slots are recycled lazily, with no pruning scans.
+    pub fn armed_timers(&self) -> usize {
+        self.timers.armed()
+    }
+
     /// The host configuration of `node`.
     pub fn host_config(&self, node: NodeId) -> HostConfig {
         self.hosts[node.index()].config
@@ -399,6 +408,11 @@ impl Simulation {
             // was scheduled: it belongs to a dead incarnation. A packet
             // copy still counts as traffic that hit a downed NIC; timers
             // and deliveries of the old incarnation vanish silently.
+            if let EventKind::Timer { timer, .. } = &event.kind {
+                // Release the dead incarnation's slot so crashed nodes
+                // never leak timer-table entries.
+                self.timers.fire(*timer);
+            }
             if let EventKind::Ingress { node, packet } = &event.kind {
                 self.stats.record_crash_drop(packet.tag);
                 self.trace.record(TraceEvent {
@@ -426,10 +440,9 @@ impl Simulation {
             EventKind::Ingress { node, packet } => self.ingress(node, packet),
             EventKind::Deliver { node, packet } => self.dispatch(node, AgentCall::Packet(packet)),
             EventKind::Timer { node, timer, tag } => {
-                if self.cancelled_timers.remove(&timer).is_some() {
-                    return true;
+                if self.timers.fire(timer) {
+                    self.dispatch(node, AgentCall::Timer(timer, tag));
                 }
-                self.dispatch(node, AgentCall::Timer(timer, tag));
             }
         }
         true
@@ -441,7 +454,11 @@ impl Simulation {
             None => return, // agent removed (crashed host in failure tests)
         };
         let machine = self.hosts[node.index()].config.machine;
-        let mut commands = Vec::new();
+        // Lend the engine's reusable command buffer to the callback; agent
+        // commands never re-enter dispatch (they only schedule queue
+        // events), so the buffer is free again by the time we return it.
+        let mut commands = std::mem::take(&mut self.command_buf);
+        debug_assert!(commands.is_empty());
         {
             let mut ctx = Ctx {
                 now: self.now,
@@ -449,8 +466,8 @@ impl Simulation {
                 machine,
                 rng: &mut self.node_rngs[node.index()],
                 groups: &self.groups,
-                commands: Vec::new(),
-                next_timer_id: &mut self.next_timer_id,
+                commands: &mut commands,
+                timers: &mut self.timers,
                 obs: self.obs.is_some(),
             };
             match call {
@@ -458,12 +475,12 @@ impl Simulation {
                 AgentCall::Packet(pkt) => agent.on_packet(&mut ctx, pkt),
                 AgentCall::Timer(id, tag) => agent.on_timer(&mut ctx, id, tag),
             }
-            commands.append(&mut ctx.commands);
         }
         self.agents[node.index()] = Some(agent);
-        for command in commands {
+        for command in commands.drain(..) {
             self.apply(node, command);
         }
+        self.command_buf = commands;
     }
 
     fn apply(&mut self, from: NodeId, command: Command) {
@@ -480,9 +497,7 @@ impl Simulation {
                     },
                 );
             }
-            Command::CancelTimer { id } => {
-                self.cancelled_timers.insert(id, from);
-            }
+            Command::CancelTimer { id } => self.timers.cancel(id),
             Command::Emit { event } => self.obs_emit(self.now, || event),
         }
     }
@@ -515,21 +530,25 @@ impl Simulation {
         let contended_tx = out.cost.tx.scale(contention);
         let tx_cost = contended_tx.scale(self.hosts[from.index()].config.cpu_scale());
         self.cpu_busy[from.index()] += tx_cost;
-        let cpu_done = self.hosts[from.index()].occupy_cpu(self.now, contended_tx);
+        let cpu_done = self.hosts[from.index()].occupy_cpu_scaled(self.now, tx_cost);
         let egress_done = self.hosts[from.index()].occupy_egress(cpu_done, out.size_bytes);
         let at_switch =
             egress_done + self.network.propagation + self.hosts[from.index()].config.uplink_delay;
 
-        let targets: Vec<NodeId> = match dst {
-            Destination::Node(n) => vec![n],
-            Destination::Group(g) => self.groups[g.index()]
-                .iter()
-                .copied()
-                .filter(|&n| n != from)
-                .collect(),
-        };
+        // Fan-out targets go into a buffer reused across transmissions.
+        let mut targets = std::mem::take(&mut self.fanout_buf);
+        debug_assert!(targets.is_empty());
+        match dst {
+            Destination::Node(n) => targets.push(n),
+            Destination::Group(g) => targets.extend(
+                self.groups[g.index()]
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != from),
+            ),
+        }
 
-        for target in targets {
+        for &target in &targets {
             // Crash and partition filters come before the loss roll so that
             // they consume no randomness: injecting a fault never perturbs
             // the loss pattern seen by unaffected links.
@@ -595,15 +614,9 @@ impl Simulation {
             // fires, so per-resource queueing is FIFO in true arrival
             // order (crucial when hosts have heterogeneous uplink delays).
             let at_port = at_switch + self.hosts[target.index()].config.uplink_delay;
-            let packet = Packet {
-                src: from,
-                dst,
-                size_bytes: out.size_bytes,
-                tag: out.tag,
-                cost: out.cost,
-                payload: out.payload.clone(),
-                wire_id,
-            };
+            // Each copy clones the payload handle (an `Arc`), never the
+            // payload bytes — multicast fan-out is O(targets) refcounts.
+            let packet = Packet::from_out(&out, from, dst, wire_id);
             self.obs_emit(self.now, || ObsEvent::PacketEnqueued {
                 node: target,
                 tag: out.tag,
@@ -618,6 +631,8 @@ impl Simulation {
                 },
             );
         }
+        targets.clear();
+        self.fanout_buf = targets;
     }
 
     /// Receiver half of the delivery pipeline, run at switch-port arrival
@@ -628,7 +643,7 @@ impl Simulation {
         let host = &mut self.hosts[target.index()];
         let ingress_done = host.occupy_ingress(self.now, packet.size_bytes);
         let rx_cost = contended_rx.scale(host.config.cpu_scale());
-        let rx_done = host.occupy_cpu(ingress_done, contended_rx);
+        let rx_done = host.occupy_cpu_scaled(ingress_done, rx_cost);
         self.cpu_busy[target.index()] += rx_cost;
         self.stats
             .record_delivery(target, packet.tag, packet.size_bytes, rx_done);
@@ -669,10 +684,9 @@ impl Simulation {
         let agent = self.agents[node.index()].take();
         if agent.is_some() {
             self.epochs[node.index()] += 1;
-            // The dead incarnation's queued timer events are discarded by
-            // the epoch check without consulting tombstones, so cancelled
-            // timers owned by this node would otherwise leak forever.
-            self.cancelled_timers.retain(|_, owner| *owner != node);
+            // No timer cleanup needed here: the dead incarnation's queued
+            // timer events release their slots lazily when they pop and
+            // fail the epoch check.
             let epoch = self.epochs[node.index()];
             self.obs_emit(self.now, || ObsEvent::NodeCrashed { node, epoch });
         }
@@ -1274,11 +1288,11 @@ mod tests {
     }
 
     #[test]
-    fn crash_prunes_cancelled_timer_tombstones() {
-        // Regression: tombstones in `cancelled_timers` were only consumed
-        // when their timer event fired on a live incarnation. A crashed
-        // node's queued timer events are discarded by the epoch check, so
-        // its tombstones accumulated forever.
+    fn crashed_and_cancelled_timer_slots_are_reclaimed() {
+        // Regression (formerly for the tombstone map, now for the slot
+        // table): cancelled timers of both live and crashed nodes must
+        // release their slots once their queued events pop — a crashed
+        // node's timer events fail the epoch check but still free slots.
         struct Canceller;
         impl Agent for Canceller {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1294,16 +1308,17 @@ mod tests {
         }
         let mut sim = Simulation::new(1);
         let a = sim.add_node(gbit_host(), Canceller);
-        let b = sim.add_node(gbit_host(), Canceller);
+        let _b = sim.add_node(gbit_host(), Canceller);
         sim.run_until(SimTime::from_millis(1));
-        assert_eq!(sim.cancelled_timers.len(), 2);
+        // Both cancelled timers hold their slots until their events pop.
+        assert_eq!(sim.armed_timers(), 2);
         sim.crash_node(a);
-        // a's tombstone is pruned immediately; b's stays armed.
-        assert_eq!(sim.cancelled_timers.len(), 1);
-        assert!(sim.cancelled_timers.values().all(|&owner| owner == b));
+        // Lazy release: the crash itself does no timer bookkeeping.
+        assert_eq!(sim.armed_timers(), 2);
         sim.run();
-        // b's cancelled timer event consumed its tombstone on the live path.
-        assert!(sim.cancelled_timers.is_empty());
+        // b's event released on the live (cancelled) path, a's on the
+        // dead-epoch path. No slot leaks either way.
+        assert_eq!(sim.armed_timers(), 0);
     }
 
     #[test]

@@ -29,14 +29,20 @@ pub struct TagCounters {
 }
 
 /// Wire statistics for a completed (or in-progress) simulation run.
+///
+/// The recording paths run once or more per packet copy, so storage is
+/// flat: tags live in a first-seen-ordered vector (runs use a handful of
+/// tags, and the hot tag is almost always the first probed), node counters
+/// in dense node-indexed vectors. After the first packet of each kind,
+/// recording touches no allocator and chases no tree pointers.
 #[derive(Debug, Clone, Default)]
 pub struct WireStats {
-    per_tag: BTreeMap<u16, TagCounters>,
+    per_tag: Vec<(u16, TagCounters)>,
     labels: BTreeMap<u16, String>,
     /// Bytes delivered per whole simulated second, for burstiness metrics.
     bytes_per_second: Vec<u64>,
-    per_node_sent: BTreeMap<u32, u64>,
-    per_node_received: BTreeMap<u32, u64>,
+    per_node_sent: Vec<u64>,
+    per_node_received: Vec<u64>,
 }
 
 impl WireStats {
@@ -48,19 +54,36 @@ impl WireStats {
         self.labels.insert(tag, label.to_owned());
     }
 
+    fn tag_mut(&mut self, tag: u16) -> &mut TagCounters {
+        match self.per_tag.iter().position(|&(t, _)| t == tag) {
+            Some(i) => &mut self.per_tag[i].1,
+            None => {
+                self.per_tag.push((tag, TagCounters::default()));
+                &mut self.per_tag.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    fn bump(counters: &mut Vec<u64>, index: usize) {
+        if counters.len() <= index {
+            counters.resize(index + 1, 0);
+        }
+        counters[index] += 1;
+    }
+
     pub(crate) fn record_send(&mut self, node: NodeId, tag: u16, bytes: u32) {
-        let c = self.per_tag.entry(tag).or_default();
+        let c = self.tag_mut(tag);
         c.sends += 1;
         c.bytes_sent += bytes as u64;
-        *self.per_node_sent.entry(node.0).or_default() += 1;
+        Self::bump(&mut self.per_node_sent, node.0 as usize);
     }
 
     pub(crate) fn record_delivery(&mut self, node: NodeId, tag: u16, bytes: u32, at: SimTime) {
-        let c = self.per_tag.entry(tag).or_default();
+        let c = self.tag_mut(tag);
         c.deliveries += 1;
         c.bytes_delivered += bytes as u64;
-        *self.per_node_received.entry(node.0).or_default() += 1;
-        let second = at.as_secs_f64() as usize;
+        Self::bump(&mut self.per_node_received, node.0 as usize);
+        let second = (at.as_nanos() / 1_000_000_000) as usize;
         if self.bytes_per_second.len() <= second {
             self.bytes_per_second.resize(second + 1, 0);
         }
@@ -68,20 +91,24 @@ impl WireStats {
     }
 
     pub(crate) fn record_link_drop(&mut self, tag: u16) {
-        self.per_tag.entry(tag).or_default().link_drops += 1;
+        self.tag_mut(tag).link_drops += 1;
     }
 
     pub(crate) fn record_crash_drop(&mut self, tag: u16) {
-        self.per_tag.entry(tag).or_default().crash_drops += 1;
+        self.tag_mut(tag).crash_drops += 1;
     }
 
     pub(crate) fn record_partition_drop(&mut self, tag: u16) {
-        self.per_tag.entry(tag).or_default().partition_drops += 1;
+        self.tag_mut(tag).partition_drops += 1;
     }
 
     /// Counters for one tag (zeroes if the tag never appeared).
     pub fn tag(&self, tag: u16) -> TagCounters {
-        self.per_tag.get(&tag).copied().unwrap_or_default()
+        self.per_tag
+            .iter()
+            .find(|&&(t, _)| t == tag)
+            .map(|&(_, c)| c)
+            .unwrap_or_default()
     }
 
     /// The human-readable label registered for `tag`, if any.
@@ -93,9 +120,9 @@ impl WireStats {
     pub fn tags(&self) -> Vec<u16> {
         let mut tags: Vec<u16> = self
             .per_tag
-            .keys()
-            .chain(self.labels.keys())
-            .copied()
+            .iter()
+            .map(|&(t, _)| t)
+            .chain(self.labels.keys().copied())
             .collect();
         tags.sort_unstable();
         tags.dedup();
@@ -104,17 +131,17 @@ impl WireStats {
 
     /// Total bytes delivered to receivers across all tags.
     pub fn total_bytes_delivered(&self) -> u64 {
-        self.per_tag.values().map(|c| c.bytes_delivered).sum()
+        self.per_tag.iter().map(|(_, c)| c.bytes_delivered).sum()
     }
 
     /// Total transmissions initiated across all tags.
     pub fn total_sends(&self) -> u64 {
-        self.per_tag.values().map(|c| c.sends).sum()
+        self.per_tag.iter().map(|(_, c)| c.sends).sum()
     }
 
     /// Total copies delivered across all tags.
     pub fn total_deliveries(&self) -> u64 {
-        self.per_tag.values().map(|c| c.deliveries).sum()
+        self.per_tag.iter().map(|(_, c)| c.deliveries).sum()
     }
 
     /// Bytes delivered in each whole simulated second (index = second).
@@ -126,12 +153,18 @@ impl WireStats {
 
     /// Packets sent by one node.
     pub fn sent_by(&self, node: NodeId) -> u64 {
-        self.per_node_sent.get(&node.0).copied().unwrap_or(0)
+        self.per_node_sent
+            .get(node.0 as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Packet copies delivered to one node.
     pub fn received_by(&self, node: NodeId) -> u64 {
-        self.per_node_received.get(&node.0).copied().unwrap_or(0)
+        self.per_node_received
+            .get(node.0 as usize)
+            .copied()
+            .unwrap_or(0)
     }
 }
 

@@ -179,6 +179,11 @@ impl SimDuration {
         if !factor.is_finite() || factor <= 0.0 {
             return SimDuration::ZERO;
         }
+        // Identity scaling is exact and common (unit CPU scale, no
+        // contention): skip the float round-trip on the hot path.
+        if self.0 == 0 || factor == 1.0 {
+            return self;
+        }
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 

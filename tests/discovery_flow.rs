@@ -20,11 +20,7 @@ fn discovery_then_data_end_to_end() {
         DiscoveryAgent::new(
             0,
             group,
-            vec![EndpointInfo {
-                topic: "sar/stream".into(),
-                is_writer: true,
-                qos,
-            }],
+            vec![EndpointInfo::new("sar/stream", true, qos)],
             DiscoveryConfig::default(),
         ),
     );
@@ -36,11 +32,7 @@ fn discovery_then_data_end_to_end() {
             DiscoveryAgent::new(
                 id,
                 group,
-                vec![EndpointInfo {
-                    topic: "sar/stream".into(),
-                    is_writer: false,
-                    qos,
-                }],
+                vec![EndpointInfo::new("sar/stream", false, qos)],
                 DiscoveryConfig::default(),
             ),
         );
@@ -105,11 +97,7 @@ fn qos_incompatible_readers_are_never_wired() {
         DiscoveryAgent::new(
             0,
             group,
-            vec![EndpointInfo {
-                topic: "t".into(),
-                is_writer: true,
-                qos: offered,
-            }],
+            vec![EndpointInfo::new("t", true, offered)],
             DiscoveryConfig::default(),
         ),
     );
@@ -119,11 +107,7 @@ fn qos_incompatible_readers_are_never_wired() {
         DiscoveryAgent::new(
             1,
             group,
-            vec![EndpointInfo {
-                topic: "t".into(),
-                is_writer: false,
-                qos: requested,
-            }],
+            vec![EndpointInfo::new("t", false, requested)],
             DiscoveryConfig::default(),
         ),
     );
