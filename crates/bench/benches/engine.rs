@@ -14,6 +14,9 @@ use adamant_netsim::{
     Agent, Bandwidth, CalendarQueue, Ctx, HostConfig, LossModel, MachineClass, MemorySink,
     NetworkConfig, OutPacket, Packet, SimDuration, SimTime, Simulation,
 };
+use adamant_proto::wire::DataMsg;
+use adamant_proto::{EnvHost, Input, NodeId, Span, TimePoint, WireMsg};
+use adamant_transport::{NakcastReceiver, Tuning};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::any::Any;
 use std::hint::black_box;
@@ -179,6 +182,57 @@ fn bench_queue(report: &mut PerfReport) {
     );
 }
 
+/// Sans-I/O protocol-engine throughput: effects per second out of a
+/// warmed NAKcast receiver core stepped directly through `EnvHost` with
+/// an in-order data stream — no simulator, no sockets, just the state
+/// machine. This is the ceiling any driver (netsim or real UDP) steps
+/// against, kept in the report so driver work has a baseline.
+fn bench_proto_step(report: &mut PerfReport) {
+    const PACKETS: u64 = 200_000;
+    let sender = NodeId(0);
+    let run = || {
+        let mut core = NakcastReceiver::new(
+            sender,
+            PACKETS,
+            Span::from_millis(1),
+            Tuning::default(),
+            0.0,
+        );
+        let mut host = EnvHost::new(NodeId(1), 1);
+        let mut effects = Vec::new();
+        let mut total = 0u64;
+        let start = Instant::now();
+        for seq in 0..PACKETS {
+            let msg = WireMsg::Data(DataMsg {
+                seq,
+                published_at: TimePoint::from_micros(seq * 10),
+                retransmission: false,
+            });
+            host.step_into(
+                &mut core,
+                TimePoint::from_micros(seq * 10 + 5),
+                Input::PacketIn {
+                    src: sender,
+                    msg: &msg,
+                },
+                &mut effects,
+            );
+            total += effects.len() as u64;
+            effects.clear();
+        }
+        (total, start.elapsed())
+    };
+    // One full pass warms the core's reception log and the host buffers.
+    black_box(run());
+    let (total, elapsed) = run();
+    assert!(total >= PACKETS, "every in-order packet must deliver");
+    report.proto_effects_per_sec = total as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "proto_step/nakcast_effects_per_sec                 {:>12.0} ({total} effects)",
+        report.proto_effects_per_sec
+    );
+}
+
 /// Counts heap allocations across a steady-state window of the event loop
 /// and across warmed-up training epochs. Both are designed to be zero:
 /// every buffer the hot paths touch is recycled after warm-up.
@@ -297,6 +351,7 @@ fn main() {
         events_per_sec: 0.0,
         events_per_sec_traced: 0.0,
         queue_ops_per_sec: 0.0,
+        proto_effects_per_sec: 0.0,
         event_loop_steady_allocs: 0,
         training_epoch_allocs: 0,
         measurements: Vec::new(),
@@ -305,6 +360,7 @@ fn main() {
     profiler.phase("event_loop", || bench_event_loop(&mut report));
     profiler.phase("events_per_sec", || events_per_sec(&mut report));
     profiler.phase("calendar_queue", || bench_queue(&mut report));
+    profiler.phase("proto_step", || bench_proto_step(&mut report));
     profiler.phase("allocations", || bench_allocations(&mut report));
     profiler.phase("metrics", || bench_metrics(&mut report));
     profiler.phase("ann_training", || bench_training(&mut report));

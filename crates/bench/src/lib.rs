@@ -123,6 +123,10 @@ pub struct PerfReport {
     pub events_per_sec_traced: f64,
     /// Raw calendar-queue throughput: push+pop pairs per wall-clock second.
     pub queue_ops_per_sec: f64,
+    /// Sans-I/O core stepping rate: effects emitted per wall-clock second
+    /// by a warmed NAKcast receiver fed an in-order data stream through
+    /// `EnvHost` — the driver-independent protocol-engine baseline.
+    pub proto_effects_per_sec: f64,
     /// Heap allocations observed during a steady-state window of the event
     /// loop (after warm-up). The allocation-free hot path keeps this at 0.
     pub event_loop_steady_allocs: u64,
@@ -157,6 +161,10 @@ impl ToJson for PerfReport {
             (
                 "queue_ops_per_sec".to_owned(),
                 Json::Num(self.queue_ops_per_sec),
+            ),
+            (
+                "proto_effects_per_sec".to_owned(),
+                Json::Num(self.proto_effects_per_sec),
             ),
             (
                 "event_loop_steady_allocs".to_owned(),
@@ -293,6 +301,7 @@ mod tests {
             events_per_sec: 1_000_000.0,
             events_per_sec_traced: 900_000.0,
             queue_ops_per_sec: 50_000_000.0,
+            proto_effects_per_sec: 30_000_000.0,
             event_loop_steady_allocs: 0,
             training_epoch_allocs: 0,
             measurements: vec![BenchMeasurement {
@@ -305,6 +314,7 @@ mod tests {
         let json = report.to_json();
         assert_eq!(json.field::<f64>("events_per_sec"), Ok(1_000_000.0));
         assert_eq!(json.field::<f64>("queue_ops_per_sec"), Ok(50_000_000.0));
+        assert_eq!(json.field::<f64>("proto_effects_per_sec"), Ok(30_000_000.0));
         assert_eq!(json.field::<u64>("event_loop_steady_allocs"), Ok(0));
         assert_eq!(json.field::<u64>("training_epoch_allocs"), Ok(0));
         assert_eq!(

@@ -4,17 +4,19 @@
 //! Real DDS implementations discover each other before any data flows:
 //! participants multicast periodic announcements describing their
 //! endpoints, and writers match readers with compatible topic + QoS. This
-//! module reproduces that startup phase on the simulator, so experiments
-//! can account for middleware bring-up time (part of the paper's "timely
-//! configuration" concern) and tests can assert on matching semantics.
+//! module reproduces that startup phase as a sans-I/O [`ProtocolCore`], so
+//! experiments can account for middleware bring-up time (part of the
+//! paper's "timely configuration" concern), tests can assert on matching
+//! semantics, and the same state machine announces over the simulator or
+//! over real UDP (`adamant-rt`). QoS travels on the wire as the stable
+//! [`QosProfile::code`] inside [`EndpointAd`].
 
-use std::any::Any;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use adamant_netsim::{
-    Agent, Ctx, GroupId, OutPacket, Packet, Payload, ProcessingCost, SimDuration, SimTime, TimerId,
-};
+use adamant_netsim::{GroupId, SimDuration, SimTime};
+use adamant_proto::wire::{DiscoveryMsg, EndpointAd};
+use adamant_proto::{Env, Input, ProcessingCost, ProtocolCore, WireMsg};
 
 use crate::qos::QosProfile;
 
@@ -43,15 +45,6 @@ impl EndpointInfo {
             qos,
         }
     }
-}
-
-/// A periodic participant announcement.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ParticipantAnnouncement {
-    /// The announcing participant's id.
-    pub participant_id: u32,
-    /// The endpoints it hosts.
-    pub endpoints: Vec<EndpointInfo>,
 }
 
 /// Discovery timing constants.
@@ -86,17 +79,21 @@ pub struct Match {
     pub matched_at: SimTime,
 }
 
-/// The discovery agent: announces its own endpoints and matches remote
-/// announcements against them.
+const TIMER_ANNOUNCE: u64 = 40;
+
+/// The discovery state machine: announces its own endpoints and matches
+/// remote announcements against them. Runs under any [`ProtocolCore`]
+/// driver — mount it on the simulator with `SimDriver` or on a real socket
+/// with `adamant_rt::Endpoint`.
 #[derive(Debug)]
-pub struct DiscoveryAgent {
+pub struct DiscoveryCore {
     participant_id: u32,
     group: GroupId,
     endpoints: Vec<EndpointInfo>,
-    /// The announcement payload, built once: the contents never change, so
+    /// The announcement message, built once: the contents never change, so
     /// every periodic announce shares this allocation instead of cloning
     /// the endpoint list.
-    announcement: Payload,
+    announcement: Arc<DiscoveryMsg>,
     config: DiscoveryConfig,
     started_at: SimTime,
     /// Remote participants seen (id → last announcement time).
@@ -105,10 +102,8 @@ pub struct DiscoveryAgent {
     announcements_sent: u64,
 }
 
-const TIMER_ANNOUNCE: u64 = 40;
-
-impl DiscoveryAgent {
-    /// Creates a discovery agent for participant `participant_id`
+impl DiscoveryCore {
+    /// Creates a discovery core for participant `participant_id`
     /// announcing `endpoints` on `group`.
     pub fn new(
         participant_id: u32,
@@ -116,11 +111,18 @@ impl DiscoveryAgent {
         endpoints: Vec<EndpointInfo>,
         config: DiscoveryConfig,
     ) -> Self {
-        let announcement: Payload = Arc::new(ParticipantAnnouncement {
+        let announcement = Arc::new(DiscoveryMsg {
             participant_id,
-            endpoints: endpoints.clone(),
+            endpoints: endpoints
+                .iter()
+                .map(|e| EndpointAd {
+                    topic: e.topic.clone(),
+                    is_writer: e.is_writer,
+                    qos_code: e.qos.code(),
+                })
+                .collect(),
         });
-        DiscoveryAgent {
+        DiscoveryCore {
             participant_id,
             group,
             endpoints,
@@ -143,7 +145,7 @@ impl DiscoveryAgent {
         self.seen.len()
     }
 
-    /// Announcements this agent multicast.
+    /// Announcements this participant multicast.
     pub fn announcements_sent(&self) -> u64 {
         self.announcements_sent
     }
@@ -155,19 +157,20 @@ impl DiscoveryAgent {
             .map(|m| m.matched_at.saturating_since(self.started_at))
     }
 
-    fn announce(&mut self, ctx: &mut Ctx<'_>) {
+    fn announce(&mut self, env: &mut Env<'_>) {
         // ~48 B header + ~64 B per endpoint entry, SPDP-ish.
         let size = 48 + 64 * self.endpoints.len() as u32;
-        ctx.send(
+        env.send(
             self.group,
-            OutPacket::from_shared(size, Arc::clone(&self.announcement))
-                .tag(TAG_DISCOVERY)
-                .cost(ProcessingCost::symmetric(SimDuration::from_micros(20))),
+            size,
+            TAG_DISCOVERY,
+            ProcessingCost::symmetric(SimDuration::from_micros(20)),
+            WireMsg::Discovery(Arc::clone(&self.announcement)),
         );
         self.announcements_sent += 1;
     }
 
-    fn consider(&mut self, now: SimTime, remote: &ParticipantAnnouncement) {
+    fn consider(&mut self, now: SimTime, remote: &DiscoveryMsg) {
         let first_time = !self.seen.contains_key(&remote.participant_id);
         self.seen.insert(remote.participant_id, now);
         if !first_time {
@@ -178,12 +181,23 @@ impl DiscoveryAgent {
                 if local.topic != other.topic || local.is_writer == other.is_writer {
                     continue;
                 }
-                let (writer, reader, wp, rp) = if local.is_writer {
-                    (local, other, self.participant_id, remote.participant_id)
+                let other_qos = QosProfile::from_code(other.qos_code);
+                let (writer_qos, reader_qos, wp, rp) = if local.is_writer {
+                    (
+                        &local.qos,
+                        &other_qos,
+                        self.participant_id,
+                        remote.participant_id,
+                    )
                 } else {
-                    (other, local, remote.participant_id, self.participant_id)
+                    (
+                        &other_qos,
+                        &local.qos,
+                        remote.participant_id,
+                        self.participant_id,
+                    )
                 };
-                if writer.qos.compatible_with(&reader.qos).is_ok() {
+                if writer_qos.compatible_with(reader_qos).is_ok() {
                     self.matches.push(Match {
                         topic: local.topic.clone(),
                         writer_participant: wp,
@@ -196,37 +210,32 @@ impl DiscoveryAgent {
     }
 }
 
-impl Agent for DiscoveryAgent {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        self.started_at = ctx.now();
-        // Random phase, like every periodic protocol in this workspace.
-        let interval = self.config.announce_interval.as_nanos();
-        let phase = SimDuration::from_nanos(ctx.rng().next_below(interval.max(1)));
-        ctx.set_timer(phase, TIMER_ANNOUNCE);
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
-        if tag == TIMER_ANNOUNCE {
-            self.announce(ctx);
-            if ctx.now().saturating_since(self.started_at) < self.config.announce_for {
-                ctx.set_timer(self.config.announce_interval, TIMER_ANNOUNCE);
+impl ProtocolCore for DiscoveryCore {
+    fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+        match input {
+            Input::Start => {
+                self.started_at = env.now();
+                // Random phase, like every periodic protocol in this
+                // workspace.
+                let interval = self.config.announce_interval.as_nanos();
+                let phase = SimDuration::from_nanos(env.rng().next_below(interval.max(1)));
+                env.set_timer(phase, TIMER_ANNOUNCE);
             }
+            Input::TimerFired { tag, .. } if tag == TIMER_ANNOUNCE => {
+                self.announce(env);
+                if env.now().saturating_since(self.started_at) < self.config.announce_for {
+                    env.set_timer(self.config.announce_interval, TIMER_ANNOUNCE);
+                }
+            }
+            Input::PacketIn {
+                msg: WireMsg::Discovery(remote),
+                ..
+            } => {
+                let remote = Arc::clone(remote);
+                self.consider(env.now(), &remote);
+            }
+            _ => {}
         }
-    }
-
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
-        if let Some(announcement) = packet.payload_as::<ParticipantAnnouncement>() {
-            let announcement = announcement.clone();
-            self.consider(ctx.now(), &announcement);
-        }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 
@@ -234,7 +243,7 @@ impl Agent for DiscoveryAgent {
 mod tests {
     use super::*;
     use crate::qos::QosProfile;
-    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, Simulation};
+    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, SimDriver, Simulation};
 
     fn endpoint(topic: &str, is_writer: bool, qos: QosProfile) -> EndpointInfo {
         EndpointInfo::new(topic, is_writer, qos)
@@ -250,7 +259,12 @@ mod tests {
         for (i, endpoints) in participants.into_iter().enumerate() {
             let node = sim.add_node(
                 cfg,
-                DiscoveryAgent::new(i as u32, group, endpoints, DiscoveryConfig::default()),
+                SimDriver::new(DiscoveryCore::new(
+                    i as u32,
+                    group,
+                    endpoints,
+                    DiscoveryConfig::default(),
+                )),
             );
             sim.join_group(group, node);
             nodes.push(node);
@@ -267,12 +281,12 @@ mod tests {
             vec![endpoint("sensors", false, QosProfile::reliable())],
         ]);
         // The writer sees both readers.
-        let writer = sim.agent::<DiscoveryAgent>(nodes[0]).unwrap();
+        let writer = sim.agent::<DiscoveryCore>(nodes[0]).unwrap();
         assert_eq!(writer.matches().len(), 2);
         assert_eq!(writer.participants_seen(), 2);
         // Each reader sees the writer.
         for &node in &nodes[1..] {
-            let reader = sim.agent::<DiscoveryAgent>(node).unwrap();
+            let reader = sim.agent::<DiscoveryCore>(node).unwrap();
             assert_eq!(reader.matches().len(), 1);
             assert_eq!(reader.matches()[0].writer_participant, 0);
             // Matching completes within a couple of announce intervals.
@@ -292,7 +306,7 @@ mod tests {
             vec![endpoint("video", false, QosProfile::reliable())],
         ]);
         for &node in &nodes {
-            let agent = sim.agent::<DiscoveryAgent>(node).unwrap();
+            let agent = sim.agent::<DiscoveryCore>(node).unwrap();
             assert_eq!(agent.matches().len(), 0);
             assert_eq!(agent.participants_seen(), 1, "they still see each other");
         }
@@ -306,7 +320,7 @@ mod tests {
         ]);
         for &node in &nodes {
             assert!(sim
-                .agent::<DiscoveryAgent>(node)
+                .agent::<DiscoveryCore>(node)
                 .unwrap()
                 .matches()
                 .is_empty());
@@ -316,7 +330,7 @@ mod tests {
     #[test]
     fn announcements_stop_after_window() {
         let (sim, nodes) = run_discovery(vec![vec![endpoint("t", true, QosProfile::reliable())]]);
-        let agent = sim.agent::<DiscoveryAgent>(nodes[0]).unwrap();
+        let agent = sim.agent::<DiscoveryCore>(nodes[0]).unwrap();
         // ~5 s window at 100 ms intervals → ~50 announcements, then quiet.
         assert!(
             (45..=55).contains(&agent.announcements_sent()),
@@ -337,9 +351,76 @@ mod tests {
                 endpoint("down", true, QosProfile::reliable()),
             ],
         ]);
-        let a = sim.agent::<DiscoveryAgent>(nodes[0]).unwrap();
+        let a = sim.agent::<DiscoveryCore>(nodes[0]).unwrap();
         let topics: Vec<&str> = a.matches().iter().map(|m| m.topic.as_str()).collect();
         assert!(topics.contains(&"up"));
         assert!(topics.contains(&"down"));
+    }
+
+    #[test]
+    fn discovery_runs_over_real_udp_loopback() {
+        use adamant_proto::NodeId;
+        use adamant_rt::{Endpoint, MonotonicClock, RtConfig};
+        use std::time::Duration;
+
+        let clock = MonotonicClock::start();
+        let nodes = [NodeId(0), NodeId(1)];
+        let mut cores = [
+            DiscoveryCore::new(
+                0,
+                GroupId(0),
+                vec![endpoint("sensors", true, QosProfile::reliable())],
+                DiscoveryConfig {
+                    announce_interval: SimDuration::from_millis(5),
+                    announce_for: SimDuration::from_secs(1),
+                },
+            ),
+            DiscoveryCore::new(
+                1,
+                GroupId(0),
+                vec![endpoint("sensors", false, QosProfile::reliable())],
+                DiscoveryConfig {
+                    announce_interval: SimDuration::from_millis(5),
+                    announce_for: SimDuration::from_secs(1),
+                },
+            ),
+        ];
+        let mut endpoints: Vec<Endpoint> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                Endpoint::bind(n, "127.0.0.1:0", RtConfig::new(i as u64).with_clock(clock)).unwrap()
+            })
+            .collect();
+        let addrs: Vec<_> = endpoints.iter().map(|e| e.local_addr().unwrap()).collect();
+        for (i, ep) in endpoints.iter_mut().enumerate() {
+            for (j, &n) in nodes.iter().enumerate() {
+                if i != j {
+                    ep.add_peer(n, addrs[j]);
+                }
+            }
+            ep.set_groups(vec![nodes.to_vec()]);
+        }
+        let mut iter = cores.iter_mut();
+        let (writer_core, reader_core) = (iter.next().unwrap(), iter.next().unwrap());
+        let (mut writer_ep, mut reader_ep) = {
+            let mut it = endpoints.into_iter();
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                writer_ep
+                    .run_for(writer_core, Duration::from_millis(120))
+                    .unwrap();
+            });
+            s.spawn(|| {
+                reader_ep
+                    .run_for(reader_core, Duration::from_millis(120))
+                    .unwrap();
+            });
+        });
+        assert_eq!(cores[0].matches().len(), 1, "writer matched the reader");
+        assert_eq!(cores[1].matches().len(), 1, "reader matched the writer");
+        assert_eq!(cores[1].matches()[0].writer_participant, 0);
     }
 }

@@ -170,6 +170,87 @@ impl QosProfile {
     }
 }
 
+/// `code()` marker for a missing deadline (all-ones in the 16-bit field).
+const CODE_NO_DEADLINE: u64 = 0xFFFF;
+
+impl QosProfile {
+    /// Packs the profile into a stable `u64` for the discovery wire format
+    /// (`adamant_proto::wire::EndpointAd::qos_code`).
+    ///
+    /// Durations are quantized to whole milliseconds and saturated to 16
+    /// bits (deadlines above ~65 s travel as 0xFFFE ms; `None` is 0xFFFF),
+    /// and `KeepLast` depths saturate at 4095. Every profile the workspace
+    /// actually uses — the canonical constructors plus millisecond-scale
+    /// deadlines and budgets — round-trips exactly through
+    /// [`from_code`](QosProfile::from_code); matching semantics
+    /// ([`compatible_with`](QosProfile::compatible_with)) are preserved for
+    /// any profile whose deadline is a whole number of milliseconds.
+    ///
+    /// Layout (LSB first): bit 0 reliability, bit 1 durability, bit 2
+    /// ordering, bit 3 history-is-keep-all, bits 4–15 history depth, bits
+    /// 16–31 deadline ms, bits 32–47 latency budget ms.
+    pub fn code(&self) -> u64 {
+        let mut code = 0u64;
+        if self.reliability == Reliability::Reliable {
+            code |= 1;
+        }
+        if self.durability == Durability::TransientLocal {
+            code |= 1 << 1;
+        }
+        if self.ordering == Ordering::SourceOrdered {
+            code |= 1 << 2;
+        }
+        match self.history {
+            History::KeepAll => code |= 1 << 3,
+            History::KeepLast(depth) => code |= u64::from(depth.min(4095)) << 4,
+        }
+        let deadline_ms = match self.deadline {
+            None => CODE_NO_DEADLINE,
+            Some(d) => (d.as_nanos() / 1_000_000).min(CODE_NO_DEADLINE - 1),
+        };
+        code |= deadline_ms << 16;
+        let budget_ms = (self.latency_budget.as_nanos() / 1_000_000).min(0xFFFF);
+        code |= budget_ms << 32;
+        code
+    }
+
+    /// Reconstructs a profile from its [`code`](QosProfile::code).
+    /// Unknown high bits are ignored, so codes from newer encoders still
+    /// decode to their policy subset.
+    pub fn from_code(code: u64) -> Self {
+        let history = if code & (1 << 3) != 0 {
+            History::KeepAll
+        } else {
+            History::KeepLast(((code >> 4) & 0xFFF) as u32)
+        };
+        let deadline_ms = (code >> 16) & 0xFFFF;
+        QosProfile {
+            reliability: if code & 1 != 0 {
+                Reliability::Reliable
+            } else {
+                Reliability::BestEffort
+            },
+            durability: if code & (1 << 1) != 0 {
+                Durability::TransientLocal
+            } else {
+                Durability::Volatile
+            },
+            ordering: if code & (1 << 2) != 0 {
+                Ordering::SourceOrdered
+            } else {
+                Ordering::Unordered
+            },
+            history,
+            deadline: if deadline_ms == CODE_NO_DEADLINE {
+                None
+            } else {
+                Some(SimDuration::from_millis(deadline_ms))
+            },
+            latency_budget: SimDuration::from_millis((code >> 32) & 0xFFFF),
+        }
+    }
+}
+
 impl Default for QosProfile {
     fn default() -> Self {
         QosProfile::reliable()
@@ -281,6 +362,46 @@ mod tests {
         assert_eq!(qos.history, History::KeepLast(8));
         assert_eq!(qos.durability, Durability::TransientLocal);
         assert_eq!(qos.reliability, Reliability::BestEffort);
+    }
+
+    #[test]
+    fn code_round_trips_canonical_and_tuned_profiles() {
+        let profiles = [
+            QosProfile::reliable(),
+            QosProfile::best_effort(),
+            QosProfile::time_critical(),
+            QosProfile::reliable().with_deadline(SimDuration::from_millis(100)),
+            QosProfile::best_effort()
+                .with_deadline(SimDuration::from_millis(50))
+                .with_latency_budget(SimDuration::from_millis(5))
+                .with_history(History::KeepLast(8))
+                .with_durability(Durability::TransientLocal),
+        ];
+        for p in profiles {
+            assert_eq!(QosProfile::from_code(p.code()), p, "code {:#x}", p.code());
+        }
+    }
+
+    #[test]
+    fn code_preserves_matching_semantics() {
+        // RxO compatibility over decoded profiles must agree with the
+        // originals for everything the discovery path announces.
+        let pool = [
+            QosProfile::reliable(),
+            QosProfile::best_effort(),
+            QosProfile::time_critical(),
+            QosProfile::reliable().with_deadline(SimDuration::from_millis(20)),
+            QosProfile::reliable().with_deadline(SimDuration::from_millis(10)),
+        ];
+        for offered in pool {
+            for requested in pool {
+                let direct = offered.compatible_with(&requested).is_ok();
+                let coded = QosProfile::from_code(offered.code())
+                    .compatible_with(&QosProfile::from_code(requested.code()))
+                    .is_ok();
+                assert_eq!(direct, coded, "offered {offered:?} requested {requested:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,21 +1,146 @@
 //! The operator's tool: probe *this* machine, consult the trained
-//! knowledge base, and print the transport ADAMANT would configure.
+//! knowledge base, and print the transport ADAMANT would configure — or
+//! run an actual protocol session over real UDP sockets.
 //!
 //! ```text
 //! adamant_cli [dds] [loss%] [receivers] [rate_hz] [relate2|relate2jit]
+//! adamant_cli udp [loss%] [receivers] [rate_hz] [samples]
 //! ```
 //!
-//! Requires `artifacts/selector.json` (produce it with `train`). This is
-//! the paper's Figure 3 control flow pointed at the real host: the probe
-//! reads `/proc/cpuinfo`; bandwidth defaults to 1 Gb/s when unknown.
+//! The selector path requires `artifacts/selector.json` (produce it with
+//! `train`). This is the paper's Figure 3 control flow pointed at the real
+//! host: the probe reads `/proc/cpuinfo`; bandwidth defaults to 1 Gb/s
+//! when unknown.
+//!
+//! The `udp` mode needs no artifacts: it mounts the same sans-I/O NAKcast
+//! cores the simulator runs onto `adamant-rt` endpoints bound to
+//! `127.0.0.1`, injects the requested end-host loss at each receiver, and
+//! reports what the wire actually did.
 
 use adamant::{AppParams, Environment, LinuxProcProbe, ProtocolSelector, ResourceProbe};
 use adamant_dds::DdsImplementation;
 use adamant_experiments::artifacts;
 use adamant_metrics::MetricKind;
 
+/// Runs a NAKcast session over real UDP on localhost and prints per-node
+/// statistics. Arguments: `[loss%] [receivers] [rate_hz] [samples]`.
+fn run_udp_session(args: &[String]) {
+    use adamant_proto::{GroupId, NodeId, Span};
+    use adamant_rt::{Endpoint, MonotonicClock, RtConfig};
+    use adamant_transport::{
+        AppSpec, DataReader, NakcastReceiver, NakcastSender, StackProfile, Tuning,
+    };
+    use std::time::Duration;
+
+    let loss: f64 = args
+        .first()
+        .and_then(|s| s.trim_end_matches('%').parse::<f64>().ok())
+        .unwrap_or(5.0)
+        / 100.0;
+    let receivers: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let rate: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let samples: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(500);
+
+    let tuning = Tuning::default();
+    let group = GroupId(0);
+    let nodes: Vec<NodeId> = (0..=receivers as u32).map(NodeId).collect();
+    let clock = MonotonicClock::start();
+
+    let mut endpoints: Vec<Endpoint> = nodes
+        .iter()
+        .map(|&n| {
+            Endpoint::bind(
+                n,
+                "127.0.0.1:0",
+                RtConfig::new(u64::from(n.0) + 1).with_clock(clock),
+            )
+            .expect("bind 127.0.0.1")
+        })
+        .collect();
+    let addrs: Vec<_> = endpoints
+        .iter()
+        .map(|e| e.local_addr().expect("local addr"))
+        .collect();
+    for (i, ep) in endpoints.iter_mut().enumerate() {
+        for (j, &node) in nodes.iter().enumerate() {
+            if i != j {
+                ep.add_peer(node, addrs[j]);
+            }
+        }
+        ep.set_groups(vec![nodes.clone()]);
+    }
+    for (node, addr) in nodes.iter().zip(&addrs) {
+        let role = if node.0 == 0 { "writer" } else { "reader" };
+        println!("node {:>2} ({role}) on udp://{addr}", node.0);
+    }
+
+    let mut sender = NakcastSender::new(
+        AppSpec::at_rate(samples, rate, 12),
+        StackProfile::new(10.0, 48),
+        tuning,
+        group,
+    );
+    let mut readers: Vec<NakcastReceiver> = (0..receivers)
+        .map(|_| NakcastReceiver::new(nodes[0], samples, Span::from_millis(2), tuning, loss))
+        .collect();
+
+    let publish_secs = samples as f64 / rate.max(1.0);
+    let wall = Duration::from_secs_f64(publish_secs + 2.0);
+    println!(
+        "publishing {samples} samples at {rate} Hz to {receivers} receiver(s), \
+         {:.0}% injected loss, running {:.1}s…",
+        loss * 100.0,
+        wall.as_secs_f64()
+    );
+
+    std::thread::scope(|s| {
+        let mut eps = endpoints.iter_mut();
+        let sender_ep = eps.next().expect("sender endpoint");
+        s.spawn(|| {
+            sender_ep.run_for(&mut sender, wall).expect("sender loop");
+        });
+        for (ep, reader) in eps.zip(readers.iter_mut()) {
+            s.spawn(move || {
+                ep.run_for(reader, wall).expect("receiver loop");
+            });
+        }
+    });
+
+    println!(
+        "\nwriter: published {} samples, {} datagrams out",
+        sender.published(),
+        endpoints[0].report().datagrams_sent
+    );
+    for (i, reader) in readers.iter().enumerate() {
+        let log = reader.log();
+        println!(
+            "reader {}: delivered {}/{} (recovered {}, naks {}, give-ups {}, dropped {})",
+            i + 1,
+            log.delivered_count(),
+            samples,
+            log.recovered_count(),
+            reader.naks_sent(),
+            reader.give_ups(),
+            reader.dropped(),
+        );
+    }
+    let complete = readers.iter().all(|r| r.log().delivered_count() == samples);
+    println!(
+        "\n{}",
+        if complete {
+            "all receivers delivered the full stream"
+        } else {
+            "WARNING: incomplete delivery (try a longer run or lower loss)"
+        }
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("udp") {
+        run_udp_session(&args[1..]);
+        return;
+    }
     let dds = match args.first().map(String::as_str) {
         Some("opendds") => DdsImplementation::OpenDds,
         _ => DdsImplementation::OpenSplice,

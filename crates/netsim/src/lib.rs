@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod agent;
+mod driver;
 mod event;
 mod fault;
 mod host;
@@ -78,6 +79,7 @@ mod time;
 mod trace;
 
 pub use agent::{Agent, Ctx};
+pub use driver::SimDriver;
 pub use event::{CalendarQueue, TimerId};
 pub use fault::{Fault, FaultPlan};
 pub use host::{Bandwidth, HostConfig, MachineClass};

@@ -1,117 +1,17 @@
 //! Packets, addressing, and per-packet processing-cost declarations.
+//!
+//! Addressing ([`NodeId`], [`GroupId`], [`Destination`]) and the CPU cost
+//! declaration ([`ProcessingCost`]) live in `adamant-proto`, shared with
+//! every driver of the sans-I/O protocol cores; this module re-exports
+//! them and adds the simulator's in-flight packet representation, whose
+//! payloads are in-memory `Arc`s rather than wire bytes.
 
 use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
-use crate::time::SimDuration;
-
-/// Identifies a simulated host (and the agent running on it).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeId(pub(crate) u32);
-
-impl NodeId {
-    /// The raw index of this node within its simulation.
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-
-    /// Builds a `NodeId` from a raw index.
-    ///
-    /// Only meaningful for indices previously handed out by the same
-    /// [`Simulation`](crate::Simulation); mainly useful in tests.
-    pub fn from_index(index: usize) -> Self {
-        NodeId(index as u32)
-    }
-}
-
-impl fmt::Display for NodeId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "n{}", self.0)
-    }
-}
-
-/// Identifies a multicast group within a simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct GroupId(pub(crate) u32);
-
-impl GroupId {
-    /// The raw index of this group within its simulation.
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
-
-impl fmt::Display for GroupId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "g{}", self.0)
-    }
-}
-
-/// Where a packet is headed: a single host or a multicast group.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Destination {
-    /// Deliver to one host.
-    Node(NodeId),
-    /// Deliver to every member of the group except the sender.
-    Group(GroupId),
-}
-
-impl From<NodeId> for Destination {
-    fn from(node: NodeId) -> Self {
-        Destination::Node(node)
-    }
-}
-
-impl From<GroupId> for Destination {
-    fn from(group: GroupId) -> Self {
-        Destination::Group(group)
-    }
-}
-
-/// CPU work a packet requires at the sender and at each receiver, expressed
-/// as *reference* durations on the fastest machine class.
-///
-/// The host model scales these by the machine's CPU factor (a pc850 runs the
-/// same protocol code several times slower than a pc3000), then runs them
-/// through the host's serial CPU queue. This is how the reproduction carries
-/// the paper's observation that CPU speed shifts protocol trade-offs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct ProcessingCost {
-    /// Reference CPU time consumed at the sender before the packet reaches
-    /// the NIC.
-    pub tx: SimDuration,
-    /// Reference CPU time consumed at each receiver after the packet leaves
-    /// the NIC and before the agent sees it.
-    pub rx: SimDuration,
-}
-
-impl ProcessingCost {
-    /// No CPU cost on either side.
-    pub const FREE: ProcessingCost = ProcessingCost {
-        tx: SimDuration::ZERO,
-        rx: SimDuration::ZERO,
-    };
-
-    /// Creates a cost with the given reference send and receive durations.
-    pub const fn new(tx: SimDuration, rx: SimDuration) -> Self {
-        ProcessingCost { tx, rx }
-    }
-
-    /// Creates a symmetric cost (same work on both sides).
-    pub const fn symmetric(each: SimDuration) -> Self {
-        ProcessingCost { tx: each, rx: each }
-    }
-
-    /// Adds another cost component-wise.
-    pub fn plus(self, other: ProcessingCost) -> ProcessingCost {
-        ProcessingCost {
-            tx: self.tx + other.tx,
-            rx: self.rx + other.rx,
-        }
-    }
-}
+pub use adamant_proto::{Destination, GroupId, NodeId, ProcessingCost};
 
 /// An opaque, cheaply clonable message body.
 ///
@@ -348,30 +248,7 @@ impl<T: Any + Send + Sync> PacketArena<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn node_and_group_display() {
-        assert_eq!(NodeId(4).to_string(), "n4");
-        assert_eq!(GroupId(2).to_string(), "g2");
-        assert_eq!(NodeId::from_index(7).index(), 7);
-    }
-
-    #[test]
-    fn destination_conversions() {
-        let n = NodeId(1);
-        let g = GroupId(0);
-        assert_eq!(Destination::from(n), Destination::Node(n));
-        assert_eq!(Destination::from(g), Destination::Group(g));
-    }
-
-    #[test]
-    fn processing_cost_addition() {
-        let a = ProcessingCost::new(SimDuration::from_micros(1), SimDuration::from_micros(2));
-        let b = ProcessingCost::symmetric(SimDuration::from_micros(3));
-        let sum = a.plus(b);
-        assert_eq!(sum.tx, SimDuration::from_micros(4));
-        assert_eq!(sum.rx, SimDuration::from_micros(5));
-    }
+    use adamant_proto::Span as SimDuration;
 
     #[test]
     fn out_packet_builder() {

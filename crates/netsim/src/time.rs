@@ -1,389 +1,10 @@
 //! Virtual time for the discrete-event simulator.
 //!
-//! Simulated time is kept as unsigned nanoseconds since simulation start.
-//! All experiment latencies in the paper are reported in microseconds, so
-//! nanosecond resolution leaves plenty of headroom for sub-microsecond
-//! protocol costs while `u64` still covers ~584 years of simulated time.
+//! The concrete representation lives in `adamant-proto` (the sans-I/O
+//! protocol core shares it across drivers); this module re-exports it under
+//! the simulator's historical names. `SimTime` *is* `TimePoint` and
+//! `SimDuration` *is* `Span` — the aliases exist so simulator-facing code
+//! keeps reading naturally and nothing downstream had to change when the
+//! types moved.
 
-use std::fmt;
-use std::iter::Sum;
-use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
-
-/// An instant on the simulation clock, in nanoseconds since simulation start.
-///
-/// `SimTime` is a monotonically non-decreasing clock: the simulation engine
-/// never delivers an event timestamped before the current instant.
-///
-/// # Examples
-///
-/// ```
-/// use adamant_netsim::{SimDuration, SimTime};
-///
-/// let t = SimTime::ZERO + SimDuration::from_millis(5);
-/// assert_eq!(t.as_micros_f64(), 5_000.0);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct SimTime(u64);
-
-/// A span of simulated time, in nanoseconds.
-///
-/// # Examples
-///
-/// ```
-/// use adamant_netsim::SimDuration;
-///
-/// let d = SimDuration::from_micros(250) * 4;
-/// assert_eq!(d, SimDuration::from_millis(1));
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct SimDuration(u64);
-
-impl SimTime {
-    /// The simulation epoch (t = 0).
-    pub const ZERO: SimTime = SimTime(0);
-    /// The far future; no event is ever scheduled at or after this instant.
-    pub const MAX: SimTime = SimTime(u64::MAX);
-
-    /// Creates an instant `nanos` nanoseconds after simulation start.
-    pub const fn from_nanos(nanos: u64) -> Self {
-        SimTime(nanos)
-    }
-
-    /// Creates an instant `micros` microseconds after simulation start.
-    pub const fn from_micros(micros: u64) -> Self {
-        SimTime(micros * 1_000)
-    }
-
-    /// Creates an instant `millis` milliseconds after simulation start.
-    pub const fn from_millis(millis: u64) -> Self {
-        SimTime(millis * 1_000_000)
-    }
-
-    /// Creates an instant `secs` seconds after simulation start.
-    pub const fn from_secs(secs: u64) -> Self {
-        SimTime(secs * 1_000_000_000)
-    }
-
-    /// Nanoseconds since simulation start.
-    pub const fn as_nanos(self) -> u64 {
-        self.0
-    }
-
-    /// Microseconds since simulation start, as a float (lossless below ~2^53 ns).
-    pub fn as_micros_f64(self) -> f64 {
-        self.0 as f64 / 1_000.0
-    }
-
-    /// Milliseconds since simulation start, as a float.
-    pub fn as_millis_f64(self) -> f64 {
-        self.0 as f64 / 1_000_000.0
-    }
-
-    /// Seconds since simulation start, as a float.
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1_000_000_000.0
-    }
-
-    /// Time elapsed since `earlier`, saturating to zero if `earlier` is later.
-    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(self.0.saturating_sub(earlier.0))
-    }
-
-    /// Returns the later of `self` and `other`.
-    pub fn max(self, other: SimTime) -> SimTime {
-        if self.0 >= other.0 {
-            self
-        } else {
-            other
-        }
-    }
-}
-
-impl SimDuration {
-    /// The zero-length duration.
-    pub const ZERO: SimDuration = SimDuration(0);
-    /// The maximum representable duration.
-    pub const MAX: SimDuration = SimDuration(u64::MAX);
-
-    /// Creates a duration of `nanos` nanoseconds.
-    pub const fn from_nanos(nanos: u64) -> Self {
-        SimDuration(nanos)
-    }
-
-    /// Creates a duration of `micros` microseconds.
-    pub const fn from_micros(micros: u64) -> Self {
-        SimDuration(micros * 1_000)
-    }
-
-    /// Creates a duration of `millis` milliseconds.
-    pub const fn from_millis(millis: u64) -> Self {
-        SimDuration(millis * 1_000_000)
-    }
-
-    /// Creates a duration of `secs` seconds.
-    pub const fn from_secs(secs: u64) -> Self {
-        SimDuration(secs * 1_000_000_000)
-    }
-
-    /// Creates a duration from a fractional count of microseconds.
-    ///
-    /// Negative and non-finite inputs are clamped to zero; this keeps
-    /// cost-model arithmetic (which can round below zero) well defined.
-    pub fn from_micros_f64(micros: f64) -> Self {
-        if !micros.is_finite() || micros <= 0.0 {
-            return SimDuration::ZERO;
-        }
-        SimDuration((micros * 1_000.0).round() as u64)
-    }
-
-    /// Creates a duration from a fractional count of seconds.
-    ///
-    /// Negative and non-finite inputs are clamped to zero.
-    pub fn from_secs_f64(secs: f64) -> Self {
-        if !secs.is_finite() || secs <= 0.0 {
-            return SimDuration::ZERO;
-        }
-        SimDuration((secs * 1_000_000_000.0).round() as u64)
-    }
-
-    /// Length in whole nanoseconds.
-    pub const fn as_nanos(self) -> u64 {
-        self.0
-    }
-
-    /// Length in microseconds, as a float.
-    pub fn as_micros_f64(self) -> f64 {
-        self.0 as f64 / 1_000.0
-    }
-
-    /// Length in milliseconds, as a float.
-    pub fn as_millis_f64(self) -> f64 {
-        self.0 as f64 / 1_000_000.0
-    }
-
-    /// Length in seconds, as a float.
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1_000_000_000.0
-    }
-
-    /// Whether this is the zero duration.
-    pub const fn is_zero(self) -> bool {
-        self.0 == 0
-    }
-
-    /// Multiplies by a non-negative float scale, rounding to nanoseconds.
-    ///
-    /// Used by the host model to scale reference CPU costs by machine class.
-    /// Negative or non-finite scales are treated as zero.
-    pub fn scale(self, factor: f64) -> SimDuration {
-        if !factor.is_finite() || factor <= 0.0 {
-            return SimDuration::ZERO;
-        }
-        // Identity scaling is exact and common (unit CPU scale, no
-        // contention): skip the float round-trip on the hot path.
-        if self.0 == 0 || factor == 1.0 {
-            return self;
-        }
-        SimDuration((self.0 as f64 * factor).round() as u64)
-    }
-
-    /// Saturating subtraction.
-    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
-        SimDuration(self.0.saturating_sub(other.0))
-    }
-}
-
-impl Add<SimDuration> for SimTime {
-    type Output = SimTime;
-
-    fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.saturating_add(rhs.0))
-    }
-}
-
-impl AddAssign<SimDuration> for SimTime {
-    fn add_assign(&mut self, rhs: SimDuration) {
-        *self = *self + rhs;
-    }
-}
-
-impl Sub<SimDuration> for SimTime {
-    type Output = SimTime;
-
-    fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.saturating_sub(rhs.0))
-    }
-}
-
-impl Sub<SimTime> for SimTime {
-    type Output = SimDuration;
-
-    /// Elapsed time between two instants.
-    ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `rhs` is later than `self`; use
-    /// [`SimTime::saturating_since`] when ordering is not guaranteed.
-    fn sub(self, rhs: SimTime) -> SimDuration {
-        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
-        SimDuration(self.0.saturating_sub(rhs.0))
-    }
-}
-
-impl Add for SimDuration {
-    type Output = SimDuration;
-
-    fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.saturating_add(rhs.0))
-    }
-}
-
-impl AddAssign for SimDuration {
-    fn add_assign(&mut self, rhs: SimDuration) {
-        *self = *self + rhs;
-    }
-}
-
-impl Sub for SimDuration {
-    type Output = SimDuration;
-
-    fn sub(self, rhs: SimDuration) -> SimDuration {
-        debug_assert!(self.0 >= rhs.0, "SimDuration subtraction underflow");
-        SimDuration(self.0.saturating_sub(rhs.0))
-    }
-}
-
-impl SubAssign for SimDuration {
-    fn sub_assign(&mut self, rhs: SimDuration) {
-        *self = *self - rhs;
-    }
-}
-
-impl Mul<u64> for SimDuration {
-    type Output = SimDuration;
-
-    fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0.saturating_mul(rhs))
-    }
-}
-
-impl Div<u64> for SimDuration {
-    type Output = SimDuration;
-
-    /// # Panics
-    ///
-    /// Panics if `rhs` is zero.
-    fn div(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0 / rhs)
-    }
-}
-
-impl Sum for SimDuration {
-    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
-        iter.fold(SimDuration::ZERO, Add::add)
-    }
-}
-
-impl fmt::Display for SimTime {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.3}ms", self.as_millis_f64())
-    }
-}
-
-impl fmt::Display for SimDuration {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000 {
-            write!(f, "{:.3}ms", self.as_millis_f64())
-        } else {
-            write!(f, "{:.3}us", self.as_micros_f64())
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn time_constructors_agree() {
-        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
-        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
-        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
-    }
-
-    #[test]
-    fn duration_constructors_agree() {
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
-        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
-        assert_eq!(SimDuration::from_micros(7), SimDuration::from_nanos(7_000));
-    }
-
-    #[test]
-    fn arithmetic_round_trips() {
-        let t0 = SimTime::from_micros(100);
-        let d = SimDuration::from_micros(40);
-        let t1 = t0 + d;
-        assert_eq!(t1 - t0, d);
-        assert_eq!(t1 - d, t0);
-    }
-
-    #[test]
-    fn saturating_since_clamps() {
-        let early = SimTime::from_micros(10);
-        let late = SimTime::from_micros(30);
-        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
-        assert_eq!(late.saturating_since(early), SimDuration::from_micros(20));
-    }
-
-    #[test]
-    fn scale_rounds_and_clamps() {
-        let d = SimDuration::from_micros(10);
-        assert_eq!(d.scale(3.5), SimDuration::from_micros(35));
-        assert_eq!(d.scale(0.0), SimDuration::ZERO);
-        assert_eq!(d.scale(-1.0), SimDuration::ZERO);
-        assert_eq!(d.scale(f64::NAN), SimDuration::ZERO);
-    }
-
-    #[test]
-    fn from_float_clamps_negative_and_nan() {
-        assert_eq!(SimDuration::from_micros_f64(-5.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_micros_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(
-            SimDuration::from_micros_f64(1.5),
-            SimDuration::from_nanos(1_500)
-        );
-        assert_eq!(
-            SimDuration::from_secs_f64(0.25),
-            SimDuration::from_millis(250)
-        );
-    }
-
-    #[test]
-    fn float_accessors() {
-        let d = SimDuration::from_millis(1);
-        assert_eq!(d.as_micros_f64(), 1_000.0);
-        assert_eq!(d.as_millis_f64(), 1.0);
-        assert_eq!(d.as_secs_f64(), 0.001);
-    }
-
-    #[test]
-    fn display_picks_unit() {
-        assert_eq!(SimDuration::from_micros(12).to_string(), "12.000us");
-        assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
-        assert_eq!(SimTime::from_millis(5).to_string(), "5.000ms");
-    }
-
-    #[test]
-    fn sum_of_durations() {
-        let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
-        assert_eq!(total, SimDuration::from_micros(10));
-    }
-
-    #[test]
-    fn max_of_times() {
-        let a = SimTime::from_micros(3);
-        let b = SimTime::from_micros(9);
-        assert_eq!(a.max(b), b);
-        assert_eq!(b.max(a), b);
-    }
-}
+pub use adamant_proto::{Span as SimDuration, TimePoint as SimTime};

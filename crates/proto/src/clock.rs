@@ -1,0 +1,53 @@
+//! The clock abstraction separating protocol cores from wall time.
+//!
+//! Cores never read a clock themselves — every input they receive is
+//! timestamped by the driver, and every delay they want is expressed as a
+//! [`SetTimer`](crate::Effect::SetTimer) effect. [`Clock`] exists for the
+//! drivers: the simulator's clock is its event-queue head, while the
+//! real-UDP runtime anchors a monotonic [`std::time::Instant`] at startup.
+
+use crate::time::TimePoint;
+
+/// A source of monotonically non-decreasing instants.
+pub trait Clock {
+    /// The current instant on this clock.
+    fn now(&self) -> TimePoint;
+}
+
+/// A manually advanced clock, useful in tests and single-threaded harnesses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ManualClock {
+    now: TimePoint,
+}
+
+impl ManualClock {
+    /// A clock starting at its epoch.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Advances the clock to `now` (ignored if it would move backwards).
+    pub fn advance_to(&mut self, now: TimePoint) {
+        self.now = self.now.max(now);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> TimePoint {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_monotone() {
+        let mut c = ManualClock::new();
+        assert_eq!(c.now(), TimePoint::ZERO);
+        c.advance_to(TimePoint::from_micros(10));
+        c.advance_to(TimePoint::from_micros(5));
+        assert_eq!(c.now(), TimePoint::from_micros(10));
+    }
+}

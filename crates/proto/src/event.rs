@@ -1,0 +1,63 @@
+//! Protocol-level trace events emitted by the cores.
+//!
+//! These mirror the protocol-behaviour slice of the simulator's `ObsEvent`
+//! taxonomy, minus the node field: a core does not know which endpoint it
+//! runs on, so the driver stamps the node when it lifts a
+//! [`Trace`](crate::Effect::Trace) effect into its own observability
+//! pipeline. Fields are integers only, keeping the events `Eq`-comparable
+//! so effect streams can be diffed exactly.
+
+/// One protocol-behaviour event, as emitted by a [`ProtocolCore`](crate::ProtocolCore).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoEvent {
+    /// The receiver's reception log accepted a sample for the first time.
+    /// This is the verification anchor: exactly one per (receiver,
+    /// incarnation, seq), carrying the same timestamps the QoS report is
+    /// built from.
+    SampleAccepted {
+        /// Application sequence number.
+        seq: u64,
+        /// Publication time in nanoseconds since the driver epoch.
+        published_ns: u64,
+        /// Delivery time in nanoseconds (includes protocol stalls).
+        delivered_ns: u64,
+        /// Whether the sample arrived through a recovery path.
+        recovered: bool,
+    },
+    /// The receiver saw a sample it had already accepted.
+    SampleDuplicate {
+        /// Application sequence number.
+        seq: u64,
+    },
+    /// A NAKcast/ACKcast receiver sent a NAK round.
+    NakSent {
+        /// Missing sequences requested in this round.
+        count: u32,
+    },
+    /// The receiver abandoned recovery of a sequence after exhausting its
+    /// NAK retries.
+    NakGiveUp {
+        /// The abandoned sequence.
+        seq: u64,
+    },
+    /// A sender (or promoted standby) retransmitted a sample.
+    Retransmitted {
+        /// The retransmitted sequence.
+        seq: u64,
+    },
+    /// A Ricochet receiver flushed an XOR repair window (or a Slingshot
+    /// receiver forwarded proactive copies).
+    RepairSent {
+        /// Peers the repair was sent to.
+        copies: u32,
+        /// Packets XORed into the repair (1 for Slingshot copies).
+        span: u32,
+    },
+    /// A Ricochet receiver reconstructed a missing packet from a repair.
+    RepairDecoded {
+        /// The reconstructed sequence.
+        seq: u64,
+    },
+    /// A warm standby promoted itself to session sender.
+    FailoverPromoted,
+}

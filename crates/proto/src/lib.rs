@@ -1,0 +1,40 @@
+//! # adamant-proto
+//!
+//! The sans-I/O protocol core of the ADAMANT reproduction.
+//!
+//! The ANT transports (UDP, NAKcast, ACKcast, Ricochet, Slingshot) are
+//! written against this crate as pure state machines: they implement
+//! [`ProtocolCore`], consuming typed [`Input`]s and emitting typed
+//! [`Effect`]s through an [`Env`]. Everything runtime-specific — sockets,
+//! clocks, timer wheels, randomness sources — lives in a *driver*:
+//!
+//! * `adamant-netsim` drives cores inside the deterministic discrete-event
+//!   simulator (via its `SimDriver` adapter), and
+//! * `adamant-rt` drives the same cores over real UDP sockets with a
+//!   monotonic clock.
+//!
+//! Time is abstracted as [`TimePoint`]/[`Span`] (plain nanosecond
+//! counters), randomness behind the [`Entropy`] trait, and wall clocks
+//! behind [`Clock`]. A core is a pure function of its inputs and entropy
+//! stream: the same schedule replayed twice yields a bit-identical effect
+//! stream, which is what lets the simulator's golden traces vouch for the
+//! code that later runs on real sockets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod core;
+mod event;
+mod ids;
+mod rng;
+mod time;
+pub mod wire;
+
+pub use clock::{Clock, ManualClock};
+pub use core::{Effect, Env, EnvHost, Input, Membership, ProtocolCore, TimerToken};
+pub use event::ProtoEvent;
+pub use ids::{Destination, GroupId, NodeId, ProcessingCost};
+pub use rng::{DetRng, Entropy};
+pub use time::{Span, TimePoint};
+pub use wire::WireMsg;

@@ -1,0 +1,384 @@
+//! Runtime-agnostic time for the protocol cores.
+//!
+//! Time is kept as unsigned nanoseconds since an arbitrary epoch chosen by
+//! the driver: simulation start under `adamant-netsim`, process start under
+//! `adamant-rt`. All experiment latencies in the paper are reported in
+//! microseconds, so nanosecond resolution leaves plenty of headroom for
+//! sub-microsecond protocol costs while `u64` still covers ~584 years.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the driver's clock, in nanoseconds since its epoch.
+///
+/// `TimePoint` is a monotonically non-decreasing clock: drivers never hand
+/// a protocol core an input timestamped before the previous one.
+///
+/// # Examples
+///
+/// ```
+/// use adamant_proto::{Span, TimePoint};
+///
+/// let t = TimePoint::ZERO + Span::from_millis(5);
+/// assert_eq!(t.as_micros_f64(), 5_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimePoint(u64);
+
+/// A span of time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use adamant_proto::Span;
+///
+/// let d = Span::from_micros(250) * 4;
+/// assert_eq!(d, Span::from_millis(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span(u64);
+
+impl TimePoint {
+    /// The clock epoch (t = 0).
+    pub const ZERO: TimePoint = TimePoint(0);
+    /// The far future; no event is ever scheduled at or after this instant.
+    pub const MAX: TimePoint = TimePoint(u64::MAX);
+
+    /// Creates an instant `nanos` nanoseconds after the epoch.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        TimePoint(nanos)
+    }
+
+    /// Creates an instant `micros` microseconds after the epoch.
+    pub const fn from_micros(micros: u64) -> Self {
+        TimePoint(micros * 1_000)
+    }
+
+    /// Creates an instant `millis` milliseconds after the epoch.
+    pub const fn from_millis(millis: u64) -> Self {
+        TimePoint(millis * 1_000_000)
+    }
+
+    /// Creates an instant `secs` seconds after the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        TimePoint(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the epoch, as a float (lossless below ~2^53 ns).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Milliseconds since the epoch, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Seconds since the epoch, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: TimePoint) -> Span {
+        Span(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of `self` and `other`.
+    pub fn max(self, other: TimePoint) -> TimePoint {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Span {
+    /// The zero-length span.
+    pub const ZERO: Span = Span(0);
+    /// The maximum representable span.
+    pub const MAX: Span = Span(u64::MAX);
+
+    /// Creates a span of `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Span(nanos)
+    }
+
+    /// Creates a span of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Span(micros * 1_000)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Span(millis * 1_000_000)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Span(secs * 1_000_000_000)
+    }
+
+    /// Creates a span from a fractional count of microseconds.
+    ///
+    /// Negative and non-finite inputs are clamped to zero; this keeps
+    /// cost-model arithmetic (which can round below zero) well defined.
+    pub fn from_micros_f64(micros: f64) -> Self {
+        if !micros.is_finite() || micros <= 0.0 {
+            return Span::ZERO;
+        }
+        Span((micros * 1_000.0).round() as u64)
+    }
+
+    /// Creates a span from a fractional count of seconds.
+    ///
+    /// Negative and non-finite inputs are clamped to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Span::ZERO;
+        }
+        Span((secs * 1_000_000_000.0).round() as u64)
+    }
+
+    /// Length in whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length in microseconds, as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Length in milliseconds, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Length in seconds, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Whether this is the zero span.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies by a non-negative float scale, rounding to nanoseconds.
+    ///
+    /// Used by the host model to scale reference CPU costs by machine class.
+    /// Negative or non-finite scales are treated as zero.
+    pub fn scale(self, factor: f64) -> Span {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Span::ZERO;
+        }
+        // Identity scaling is exact and common (unit CPU scale, no
+        // contention): skip the float round-trip on the hot path.
+        if self.0 == 0 || factor == 1.0 {
+            return self;
+        }
+        Span((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Span) -> Span {
+        Span(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Span> for TimePoint {
+    type Output = TimePoint;
+
+    fn add(self, rhs: Span) -> TimePoint {
+        TimePoint(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Span> for TimePoint {
+    fn add_assign(&mut self, rhs: Span) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Span> for TimePoint {
+    type Output = TimePoint;
+
+    fn sub(self, rhs: Span) -> TimePoint {
+        TimePoint(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<TimePoint> for TimePoint {
+    type Output = Span;
+
+    /// Elapsed time between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`TimePoint::saturating_since`] when ordering is not guaranteed.
+    fn sub(self, rhs: TimePoint) -> Span {
+        debug_assert!(self.0 >= rhs.0, "TimePoint subtraction underflow");
+        Span(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Span {
+    type Output = Span;
+
+    fn add(self, rhs: Span) -> Span {
+        Span(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Span {
+    fn add_assign(&mut self, rhs: Span) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Span {
+    type Output = Span;
+
+    fn sub(self, rhs: Span) -> Span {
+        debug_assert!(self.0 >= rhs.0, "Span subtraction underflow");
+        Span(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Span {
+    fn sub_assign(&mut self, rhs: Span) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Span {
+    type Output = Span;
+
+    fn mul(self, rhs: u64) -> Span {
+        Span(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Span {
+    type Output = Span;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: u64) -> Span {
+        Span(self.0 / rhs)
+    }
+}
+
+impl Sum for Span {
+    fn sum<I: Iterator<Item = Span>>(iter: I) -> Span {
+        iter.fold(Span::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors_agree() {
+        assert_eq!(TimePoint::from_secs(1), TimePoint::from_millis(1_000));
+        assert_eq!(TimePoint::from_millis(1), TimePoint::from_micros(1_000));
+        assert_eq!(TimePoint::from_micros(1), TimePoint::from_nanos(1_000));
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(Span::from_secs(2), Span::from_millis(2_000));
+        assert_eq!(Span::from_millis(3), Span::from_micros(3_000));
+        assert_eq!(Span::from_micros(7), Span::from_nanos(7_000));
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t0 = TimePoint::from_micros(100);
+        let d = Span::from_micros(40);
+        let t1 = t0 + d;
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t1 - d, t0);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = TimePoint::from_micros(10);
+        let late = TimePoint::from_micros(30);
+        assert_eq!(early.saturating_since(late), Span::ZERO);
+        assert_eq!(late.saturating_since(early), Span::from_micros(20));
+    }
+
+    #[test]
+    fn scale_rounds_and_clamps() {
+        let d = Span::from_micros(10);
+        assert_eq!(d.scale(3.5), Span::from_micros(35));
+        assert_eq!(d.scale(0.0), Span::ZERO);
+        assert_eq!(d.scale(-1.0), Span::ZERO);
+        assert_eq!(d.scale(f64::NAN), Span::ZERO);
+    }
+
+    #[test]
+    fn from_float_clamps_negative_and_nan() {
+        assert_eq!(Span::from_micros_f64(-5.0), Span::ZERO);
+        assert_eq!(Span::from_micros_f64(f64::NAN), Span::ZERO);
+        assert_eq!(Span::from_micros_f64(1.5), Span::from_nanos(1_500));
+        assert_eq!(Span::from_secs_f64(0.25), Span::from_millis(250));
+    }
+
+    #[test]
+    fn float_accessors() {
+        let d = Span::from_millis(1);
+        assert_eq!(d.as_micros_f64(), 1_000.0);
+        assert_eq!(d.as_millis_f64(), 1.0);
+        assert_eq!(d.as_secs_f64(), 0.001);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Span::from_micros(12).to_string(), "12.000us");
+        assert_eq!(Span::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(TimePoint::from_millis(5).to_string(), "5.000ms");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Span = (1..=4).map(Span::from_micros).sum();
+        assert_eq!(total, Span::from_micros(10));
+    }
+
+    #[test]
+    fn max_of_times() {
+        let a = TimePoint::from_micros(3);
+        let b = TimePoint::from_micros(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+}

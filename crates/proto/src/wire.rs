@@ -1,0 +1,413 @@
+//! Message payloads exchanged by the transport protocols, the [`WireMsg`]
+//! envelope uniting them, and a compact byte codec for real sockets.
+//!
+//! Inside the simulator messages travel as shared in-memory values (the
+//! engine charges serialization time from the declared packet size, so
+//! nothing needs real bytes). The real-UDP driver in `adamant-rt` encodes
+//! the same values through [`WireMsg::encode`]/[`WireMsg::decode`] — a
+//! little-endian tag-length-value layout, no external dependencies.
+
+use std::sync::Arc;
+
+use crate::time::TimePoint;
+
+/// An application data sample (original multicast or unicast retransmission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataMsg {
+    /// Dense sequence number assigned by the publisher, starting at 0.
+    pub seq: u64,
+    /// When the application published the sample (for latency accounting;
+    /// a real implementation carries this inside the marshalled payload).
+    pub published_at: TimePoint,
+    /// Whether this copy is a recovery retransmission.
+    pub retransmission: bool,
+}
+
+/// A negative acknowledgement listing missing sequence numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NakMsg {
+    /// The sequence numbers the receiver is missing.
+    pub seqs: Vec<u64>,
+}
+
+/// A Ricochet lateral repair packet.
+///
+/// A real repair carries `XOR(payloads of entries)`; a receiver holding all
+/// but one of the covered packets reconstructs the missing one. The
+/// reproduction carries the covered `(seq, published_at)` pairs — exactly
+/// the information a successful XOR reconstruction would yield.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairMsg {
+    /// The packets folded into this repair, as `(seq, published_at)`.
+    pub entries: Vec<(u64, TimePoint)>,
+}
+
+/// A sender session heartbeat advertising the highest sequence sent, which
+/// bounds gap-detection delay for NAK/ACK protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatMsg {
+    /// Highest sequence number published so far, if any.
+    pub highest_seq: Option<u64>,
+}
+
+/// End-of-stream marker: the stream contains sequences `0..total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinMsg {
+    /// Total number of samples in the stream.
+    pub total: u64,
+}
+
+/// A cumulative acknowledgement with an explicit missing list (ACKcast).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AckMsg {
+    /// All sequences below this are delivered except those in `missing`.
+    pub below: u64,
+    /// Sequences below `below` not yet received.
+    pub missing: Vec<u64>,
+}
+
+/// A group-membership heartbeat from a receiver (failure detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipMsg {
+    /// Monotone heartbeat counter.
+    pub epoch: u64,
+}
+
+/// One endpoint advertised in a discovery announcement.
+///
+/// QoS travels as the stable `u64` code of the dds-layer profile
+/// (`QosProfile::code()`), keeping this crate free of the dds types while
+/// the announcement still round-trips losslessly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointAd {
+    /// Topic name.
+    pub topic: String,
+    /// `true` for a data writer, `false` for a data reader.
+    pub is_writer: bool,
+    /// Stable code of the offered (writer) or requested (reader) QoS.
+    pub qos_code: u64,
+}
+
+/// A periodic participant discovery announcement (SPDP/SEDP-flavoured).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveryMsg {
+    /// The announcing participant's id.
+    pub participant_id: u32,
+    /// The endpoints it hosts.
+    pub endpoints: Vec<EndpointAd>,
+}
+
+/// Every message a protocol core can put on the wire.
+///
+/// The discovery variant is behind an `Arc` because announcements repeat
+/// on a timer with identical contents; re-announcing shares one allocation
+/// the same way the pre-refactor agent shared its prebuilt payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// An application data sample.
+    Data(DataMsg),
+    /// A negative acknowledgement (NAKcast).
+    Nak(NakMsg),
+    /// A lateral XOR repair (Ricochet).
+    Repair(RepairMsg),
+    /// A sender heartbeat.
+    Heartbeat(HeartbeatMsg),
+    /// An end-of-stream marker.
+    Fin(FinMsg),
+    /// A cumulative acknowledgement (ACKcast).
+    Ack(AckMsg),
+    /// A receiver membership heartbeat (Ricochet failure detection).
+    Membership(MembershipMsg),
+    /// A proactively forwarded copy of a data sample (Slingshot).
+    Forwarded(DataMsg),
+    /// A participant discovery announcement (dds layer).
+    Discovery(Arc<DiscoveryMsg>),
+}
+
+const KIND_DATA: u8 = 1;
+const KIND_NAK: u8 = 2;
+const KIND_REPAIR: u8 = 3;
+const KIND_HEARTBEAT: u8 = 4;
+const KIND_FIN: u8 = 5;
+const KIND_ACK: u8 = 6;
+const KIND_MEMBERSHIP: u8 = 7;
+const KIND_FORWARDED: u8 = 8;
+const KIND_DISCOVERY: u8 = 9;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A cursor over an incoming datagram; every read is bounds-checked so a
+/// truncated or hostile frame decodes to `None`, never a panic.
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.bytes.len() < n {
+            return None;
+        }
+        let (head, rest) = self.bytes.split_at(n);
+        self.bytes = rest;
+        Some(head)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Largest element count accepted while decoding, preventing a hostile
+/// length prefix from forcing a huge allocation. Far above anything the
+/// protocols produce in a single datagram.
+const MAX_WIRE_ELEMS: u32 = 1 << 20;
+
+fn data_body(buf: &mut Vec<u8>, msg: &DataMsg) {
+    put_u64(buf, msg.seq);
+    put_u64(buf, msg.published_at.as_nanos());
+    buf.push(msg.retransmission as u8);
+}
+
+fn read_data_body(r: &mut Reader<'_>) -> Option<DataMsg> {
+    Some(DataMsg {
+        seq: r.u64()?,
+        published_at: TimePoint::from_nanos(r.u64()?),
+        retransmission: r.u8()? != 0,
+    })
+}
+
+impl WireMsg {
+    /// Serialises the message into `buf` (appended; `buf` is not cleared).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WireMsg::Data(m) => {
+                buf.push(KIND_DATA);
+                data_body(buf, m);
+            }
+            WireMsg::Forwarded(m) => {
+                buf.push(KIND_FORWARDED);
+                data_body(buf, m);
+            }
+            WireMsg::Nak(m) => {
+                buf.push(KIND_NAK);
+                put_u32(buf, m.seqs.len() as u32);
+                for &seq in &m.seqs {
+                    put_u64(buf, seq);
+                }
+            }
+            WireMsg::Repair(m) => {
+                buf.push(KIND_REPAIR);
+                put_u32(buf, m.entries.len() as u32);
+                for &(seq, at) in &m.entries {
+                    put_u64(buf, seq);
+                    put_u64(buf, at.as_nanos());
+                }
+            }
+            WireMsg::Heartbeat(m) => {
+                buf.push(KIND_HEARTBEAT);
+                match m.highest_seq {
+                    Some(seq) => {
+                        buf.push(1);
+                        put_u64(buf, seq);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            WireMsg::Fin(m) => {
+                buf.push(KIND_FIN);
+                put_u64(buf, m.total);
+            }
+            WireMsg::Ack(m) => {
+                buf.push(KIND_ACK);
+                put_u64(buf, m.below);
+                put_u32(buf, m.missing.len() as u32);
+                for &seq in &m.missing {
+                    put_u64(buf, seq);
+                }
+            }
+            WireMsg::Membership(m) => {
+                buf.push(KIND_MEMBERSHIP);
+                put_u64(buf, m.epoch);
+            }
+            WireMsg::Discovery(m) => {
+                buf.push(KIND_DISCOVERY);
+                put_u32(buf, m.participant_id);
+                put_u32(buf, m.endpoints.len() as u32);
+                for ep in &m.endpoints {
+                    put_u32(buf, ep.topic.len() as u32);
+                    buf.extend_from_slice(ep.topic.as_bytes());
+                    buf.push(ep.is_writer as u8);
+                    put_u64(buf, ep.qos_code);
+                }
+            }
+        }
+    }
+
+    /// Serialises the message into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Parses a message from `bytes`; `None` on truncated, trailing, or
+    /// unknown-kind input.
+    pub fn decode(bytes: &[u8]) -> Option<WireMsg> {
+        let mut r = Reader { bytes };
+        let kind = r.u8()?;
+        let msg = match kind {
+            KIND_DATA => WireMsg::Data(read_data_body(&mut r)?),
+            KIND_FORWARDED => WireMsg::Forwarded(read_data_body(&mut r)?),
+            KIND_NAK => {
+                let count = r.u32()?.min(MAX_WIRE_ELEMS);
+                let mut seqs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    seqs.push(r.u64()?);
+                }
+                WireMsg::Nak(NakMsg { seqs })
+            }
+            KIND_REPAIR => {
+                let count = r.u32()?.min(MAX_WIRE_ELEMS);
+                let mut entries = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    entries.push((r.u64()?, TimePoint::from_nanos(r.u64()?)));
+                }
+                WireMsg::Repair(RepairMsg { entries })
+            }
+            KIND_HEARTBEAT => {
+                let highest_seq = match r.u8()? {
+                    0 => None,
+                    _ => Some(r.u64()?),
+                };
+                WireMsg::Heartbeat(HeartbeatMsg { highest_seq })
+            }
+            KIND_FIN => WireMsg::Fin(FinMsg { total: r.u64()? }),
+            KIND_ACK => {
+                let below = r.u64()?;
+                let count = r.u32()?.min(MAX_WIRE_ELEMS);
+                let mut missing = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    missing.push(r.u64()?);
+                }
+                WireMsg::Ack(AckMsg { below, missing })
+            }
+            KIND_MEMBERSHIP => WireMsg::Membership(MembershipMsg { epoch: r.u64()? }),
+            KIND_DISCOVERY => {
+                let participant_id = r.u32()?;
+                let count = r.u32()?.min(MAX_WIRE_ELEMS);
+                let mut endpoints = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let len = r.u32()? as usize;
+                    let topic = std::str::from_utf8(r.take(len)?).ok()?.to_owned();
+                    let is_writer = r.u8()? != 0;
+                    let qos_code = r.u64()?;
+                    endpoints.push(EndpointAd {
+                        topic,
+                        is_writer,
+                        qos_code,
+                    });
+                }
+                WireMsg::Discovery(Arc::new(DiscoveryMsg {
+                    participant_id,
+                    endpoints,
+                }))
+            }
+            _ => return None,
+        };
+        if !r.done() {
+            return None; // trailing garbage: reject the frame
+        }
+        Some(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: WireMsg) {
+        let bytes = msg.to_bytes();
+        let back = WireMsg::decode(&bytes).expect("decodes");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(WireMsg::Data(DataMsg {
+            seq: 9,
+            published_at: TimePoint::from_micros(5),
+            retransmission: true,
+        }));
+        round_trip(WireMsg::Forwarded(DataMsg {
+            seq: 2,
+            published_at: TimePoint::from_micros(1),
+            retransmission: false,
+        }));
+        round_trip(WireMsg::Nak(NakMsg {
+            seqs: vec![1, 5, 9],
+        }));
+        round_trip(WireMsg::Repair(RepairMsg {
+            entries: vec![
+                (1, TimePoint::from_micros(10)),
+                (2, TimePoint::from_micros(20)),
+            ],
+        }));
+        round_trip(WireMsg::Heartbeat(HeartbeatMsg {
+            highest_seq: Some(7),
+        }));
+        round_trip(WireMsg::Heartbeat(HeartbeatMsg { highest_seq: None }));
+        round_trip(WireMsg::Fin(FinMsg { total: 100 }));
+        round_trip(WireMsg::Ack(AckMsg {
+            below: 12,
+            missing: vec![3, 4],
+        }));
+        round_trip(WireMsg::Membership(MembershipMsg { epoch: 42 }));
+        round_trip(WireMsg::Discovery(Arc::new(DiscoveryMsg {
+            participant_id: 3,
+            endpoints: vec![EndpointAd {
+                topic: "sensors".to_owned(),
+                is_writer: true,
+                qos_code: 0xDEAD,
+            }],
+        })));
+    }
+
+    #[test]
+    fn truncated_and_trailing_frames_rejected() {
+        let bytes = WireMsg::Fin(FinMsg { total: 1 }).to_bytes();
+        assert!(WireMsg::decode(&bytes[..bytes.len() - 1]).is_none());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(WireMsg::decode(&extra).is_none());
+        assert!(WireMsg::decode(&[]).is_none());
+        assert!(WireMsg::decode(&[200]).is_none(), "unknown kind");
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_allocate_unbounded() {
+        // A NAK frame claiming u32::MAX sequences but carrying none.
+        let mut bytes = vec![2u8];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(WireMsg::decode(&bytes).is_none());
+    }
+}

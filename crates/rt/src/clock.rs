@@ -1,0 +1,50 @@
+//! Wall-clock time for the real-UDP runtime.
+
+use std::time::Instant;
+
+use adamant_proto::{Clock, TimePoint};
+
+/// A monotonic wall clock anchored at construction.
+///
+/// [`now`](Clock::now) reports the time elapsed since the anchor as a
+/// [`TimePoint`], so a fresh endpoint starts its session near `t = 0` just
+/// like a simulated node — publication timestamps and latency spans are
+/// directly comparable between the two drivers as long as both ends of a
+/// session share one clock (the loopback harness does) or only spans are
+/// compared (cross-host deployments).
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    anchor: Instant,
+}
+
+impl MonotonicClock {
+    /// Starts a clock anchored at the current instant.
+    pub fn start() -> Self {
+        MonotonicClock {
+            anchor: Instant::now(),
+        }
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> TimePoint {
+        // u64 nanoseconds cover ~584 years of uptime; the cast is safe for
+        // any realistic session.
+        TimePoint::from_nanos(self.anchor.elapsed().as_nanos() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone_and_advances() {
+        let clock = MonotonicClock::start();
+        let a = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = clock.now();
+        assert!(b > a);
+        assert!(b.saturating_since(a) >= adamant_proto::Span::from_millis(1));
+    }
+}

@@ -1,0 +1,484 @@
+//! A real-UDP endpoint: one socket, one timer heap, one protocol core.
+//!
+//! [`Endpoint`] is the production counterpart of the simulator's
+//! `SimDriver`: it feeds the same [`Input`]s to a [`ProtocolCore`] and
+//! discharges the same [`Effect`]s, but against a real
+//! [`std::net::UdpSocket`] and the [`MonotonicClock`] instead of the
+//! simulated network and virtual time. Datagrams carry the sender's node
+//! id (4 bytes, little endian) followed by the
+//! [`adamant_proto::wire`] encoding of the message; the declared
+//! `size_bytes`/`cost` of a [`Effect::Send`] are simulation-model inputs
+//! and are ignored here — real packets cost what they cost.
+//!
+//! The event loop is single-threaded and blocking: it fires due timers,
+//! then waits on the socket until the next timer deadline (or a short
+//! cap), stepping the core for every datagram that arrives. Run one
+//! endpoint per thread; a loopback session is two endpoints on
+//! `127.0.0.1` sharing a clock anchor.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::Duration;
+
+use adamant_proto::{
+    Clock, Destination, Effect, EnvHost, Input, NodeId, ProtoEvent, ProtocolCore, TimePoint,
+    TimerToken, WireMsg,
+};
+
+use crate::clock::MonotonicClock;
+
+/// Maximum UDP payload the endpoint will receive (a full 64 KiB datagram).
+const RECV_BUF_BYTES: usize = 65_536;
+
+/// Longest idle sleep between socket polls. The socket is nonblocking and
+/// the loop sleeps with [`std::thread::sleep`] (hrtimer precision) rather
+/// than a socket read timeout, whose kernel rounding to scheduler-tick
+/// granularity would stall millisecond protocol timers.
+const MAX_SLEEP: Duration = Duration::from_millis(1);
+
+/// Configuration for a real-UDP endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct RtConfig {
+    /// Seed for the endpoint's deterministic entropy stream (drop draws,
+    /// jitter phases — the same stream the simulator would feed the core).
+    pub seed: u64,
+    /// Whether the core's trace events are recorded in the report.
+    pub observed: bool,
+    /// The wall clock. Share one value across endpoints of a session so
+    /// their `TimePoint`s are mutually comparable.
+    pub clock: MonotonicClock,
+}
+
+impl RtConfig {
+    /// A config with entropy seeded from `seed`, tracing on, and a clock
+    /// anchored now.
+    pub fn new(seed: u64) -> Self {
+        RtConfig {
+            seed,
+            observed: true,
+            clock: MonotonicClock::start(),
+        }
+    }
+
+    /// Replaces the clock (builder-style) — pass the same clock to every
+    /// endpoint of a co-located session.
+    pub fn with_clock(mut self, clock: MonotonicClock) -> Self {
+        self.clock = clock;
+        self
+    }
+}
+
+/// What an endpoint observed over one or more [`run_for`](Endpoint::run_for)
+/// windows.
+#[derive(Debug, Clone, Default)]
+pub struct EndpointReport {
+    /// Samples the core handed up the stack: `(seq, published_at, recovered)`.
+    pub delivered: Vec<(u64, TimePoint, bool)>,
+    /// Protocol-behaviour trace events (empty unless `observed`).
+    pub events: Vec<ProtoEvent>,
+    /// Datagrams written to the socket.
+    pub datagrams_sent: u64,
+    /// Datagrams read from the socket.
+    pub datagrams_received: u64,
+    /// Datagrams that failed to parse (short header or bad wire encoding).
+    pub decode_errors: u64,
+    /// Send effects addressed to a node with no registered peer address.
+    pub unroutable: u64,
+}
+
+impl EndpointReport {
+    /// The distinct sequence numbers delivered.
+    pub fn delivered_seqs(&self) -> BTreeSet<u64> {
+        self.delivered.iter().map(|&(seq, _, _)| seq).collect()
+    }
+
+    /// Samples that arrived through a recovery path.
+    pub fn recovered_count(&self) -> u64 {
+        self.delivered.iter().filter(|&&(_, _, r)| r).count() as u64
+    }
+
+    /// Retransmissions performed (sender-side trace events).
+    pub fn retransmissions(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ProtoEvent::Retransmitted { .. }))
+            .count() as u64
+    }
+}
+
+/// A pending timer: ordered by deadline, then arming order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct TimerEntry {
+    at: TimePoint,
+    seq: u64,
+    token: TimerToken,
+    tag: u64,
+}
+
+/// One UDP socket driving one protocol core.
+///
+/// The core itself is *not* owned by the endpoint — callers keep it and
+/// pass it to [`run_for`](Endpoint::run_for), mirroring how the simulator
+/// keeps cores inside agents. That keeps the core inspectable between
+/// windows (delivered counts, NAK statistics) without downcasting.
+#[derive(Debug)]
+pub struct Endpoint {
+    node: NodeId,
+    socket: UdpSocket,
+    clock: MonotonicClock,
+    host: EnvHost,
+    peers: HashMap<NodeId, SocketAddr>,
+    timers: std::collections::BinaryHeap<Reverse<TimerEntry>>,
+    timer_seq: u64,
+    cancelled: HashSet<TimerToken>,
+    effects: Vec<Effect>,
+    encode_buf: Vec<u8>,
+    started: bool,
+    report: EndpointReport,
+}
+
+impl Endpoint {
+    /// Binds a UDP socket at `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// loopback port) for protocol endpoint `node`.
+    pub fn bind(node: NodeId, addr: impl ToSocketAddrs, cfg: RtConfig) -> io::Result<Endpoint> {
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_nonblocking(true)?;
+        Ok(Endpoint {
+            node,
+            socket,
+            clock: cfg.clock,
+            host: EnvHost::new(node, cfg.seed).with_observed(cfg.observed),
+            peers: HashMap::new(),
+            timers: std::collections::BinaryHeap::new(),
+            timer_seq: 0,
+            cancelled: HashSet::new(),
+            effects: Vec::new(),
+            encode_buf: Vec::new(),
+            started: false,
+            report: EndpointReport::default(),
+        })
+    }
+
+    /// The socket's bound address (tell it to the other endpoints).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// This endpoint's protocol node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Registers where datagrams for `peer` should be sent.
+    pub fn add_peer(&mut self, peer: NodeId, addr: SocketAddr) {
+        self.peers.insert(peer, addr);
+    }
+
+    /// Replaces the group-membership table used to fan out
+    /// [`Destination::Group`] sends. Index = group id; the local node is
+    /// skipped on fan-out (it already has what it sent), matching the
+    /// simulator's switch model.
+    pub fn set_groups(&mut self, groups: Vec<Vec<NodeId>>) {
+        *self.host.groups_mut() = groups;
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &EndpointReport {
+        &self.report
+    }
+
+    /// Runs the event loop for `wall` of real time, stepping `core` for
+    /// every fired timer and received datagram. The first call feeds the
+    /// core [`Input::Start`]; later calls resume where the previous window
+    /// left off. Returns the report accumulated so far.
+    pub fn run_for<C: ProtocolCore + ?Sized>(
+        &mut self,
+        core: &mut C,
+        wall: Duration,
+    ) -> io::Result<&EndpointReport> {
+        let deadline = self.clock.now() + adamant_proto::Span::from_nanos(wall.as_nanos() as u64);
+        if !self.started {
+            self.started = true;
+            self.step(core, Input::Start)?;
+        }
+        let mut buf = vec![0u8; RECV_BUF_BYTES];
+        loop {
+            self.fire_due_timers(core)?;
+            if self.clock.now() >= deadline {
+                break;
+            }
+            // Drain everything queued on the socket, then sleep until the
+            // next timer deadline (bounded so an arriving datagram is never
+            // left waiting long).
+            let mut drained_any = false;
+            loop {
+                match self.socket.recv_from(&mut buf) {
+                    Ok((len, _from)) => {
+                        drained_any = true;
+                        self.on_datagram(core, &buf[..len])?;
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if !drained_any {
+                let next = self
+                    .timers
+                    .peek()
+                    .map(|Reverse(e)| e.at)
+                    .unwrap_or(TimePoint::MAX)
+                    .min(deadline);
+                let wait = Duration::from_nanos(next.saturating_since(self.clock.now()).as_nanos());
+                if !wait.is_zero() {
+                    std::thread::sleep(wait.min(MAX_SLEEP));
+                }
+            }
+        }
+        Ok(&self.report)
+    }
+
+    /// Decodes one datagram and steps the core with it.
+    fn on_datagram<C: ProtocolCore + ?Sized>(
+        &mut self,
+        core: &mut C,
+        datagram: &[u8],
+    ) -> io::Result<()> {
+        self.report.datagrams_received += 1;
+        let Some((header, body)) = datagram.split_at_checked(4) else {
+            self.report.decode_errors += 1;
+            return Ok(());
+        };
+        let src = NodeId(u32::from_le_bytes(header.try_into().unwrap()));
+        let Some(msg) = WireMsg::decode(body) else {
+            self.report.decode_errors += 1;
+            return Ok(());
+        };
+        self.step(core, Input::PacketIn { src, msg: &msg })
+    }
+
+    /// Fires every timer due at the current instant, in deadline order.
+    fn fire_due_timers<C: ProtocolCore + ?Sized>(&mut self, core: &mut C) -> io::Result<()> {
+        loop {
+            let now = self.clock.now();
+            let Some(&Reverse(entry)) = self.timers.peek() else {
+                return Ok(());
+            };
+            if entry.at > now {
+                return Ok(());
+            }
+            self.timers.pop();
+            if self.cancelled.remove(&entry.token) {
+                continue;
+            }
+            self.step(
+                core,
+                Input::TimerFired {
+                    token: entry.token,
+                    tag: entry.tag,
+                },
+            )?;
+        }
+    }
+
+    /// Steps the core once at the current wall instant and discharges the
+    /// effects it produced.
+    fn step<C: ProtocolCore + ?Sized>(&mut self, core: &mut C, input: Input<'_>) -> io::Result<()> {
+        let now = self.clock.now();
+        let mut effects = std::mem::take(&mut self.effects);
+        self.host.step_into(core, now, input, &mut effects);
+        for effect in effects.drain(..) {
+            match effect {
+                Effect::Send { dst, msg, .. } => self.transmit(now, dst, &msg)?,
+                Effect::SetTimer { token, delay, tag } => {
+                    self.timer_seq += 1;
+                    self.timers.push(Reverse(TimerEntry {
+                        at: now + delay,
+                        seq: self.timer_seq,
+                        token,
+                        tag,
+                    }));
+                }
+                Effect::CancelTimer { token } => {
+                    self.cancelled.insert(token);
+                }
+                Effect::Deliver {
+                    seq,
+                    published_at,
+                    recovered,
+                } => self.report.delivered.push((seq, published_at, recovered)),
+                Effect::Trace(event) => self.report.events.push(event),
+            }
+        }
+        self.effects = effects;
+        Ok(())
+    }
+
+    /// Writes `msg` to every endpoint `dst` resolves to.
+    fn transmit(&mut self, _now: TimePoint, dst: Destination, msg: &WireMsg) -> io::Result<()> {
+        self.encode_buf.clear();
+        self.encode_buf
+            .extend_from_slice(&self.node.0.to_le_bytes());
+        msg.encode(&mut self.encode_buf);
+        match dst {
+            Destination::Node(node) => self.transmit_one(node)?,
+            Destination::Group(group) => {
+                // Group tables are tiny (a handful of nodes); clone the
+                // member list to keep the borrow checker out of the send
+                // loop.
+                let members = self
+                    .host
+                    .groups_mut()
+                    .get(group.index())
+                    .cloned()
+                    .unwrap_or_default();
+                for node in members {
+                    if node != self.node {
+                        self.transmit_one(node)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn transmit_one(&mut self, node: NodeId) -> io::Result<()> {
+        let Some(&addr) = self.peers.get(&node) else {
+            self.report.unroutable += 1;
+            return Ok(());
+        };
+        self.socket.send_to(&self.encode_buf, addr)?;
+        self.report.datagrams_sent += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamant_proto::{Env, GroupId, ProcessingCost, Span};
+
+    /// Publishes `total` sequenced messages into group 0 on a short timer.
+    #[derive(Debug)]
+    struct Beacon {
+        next: u64,
+        total: u64,
+    }
+
+    impl ProtocolCore for Beacon {
+        fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+            match input {
+                Input::Start | Input::TimerFired { .. } if self.next < self.total => {
+                    env.send(
+                        GroupId(0),
+                        64,
+                        1,
+                        ProcessingCost::FREE,
+                        WireMsg::Data(adamant_proto::wire::DataMsg {
+                            seq: self.next,
+                            published_at: env.now(),
+                            retransmission: false,
+                        }),
+                    );
+                    self.next += 1;
+                    env.set_timer(Span::from_millis(1), 1);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Delivers every data message it hears.
+    #[derive(Debug, Default)]
+    struct Listener;
+
+    impl ProtocolCore for Listener {
+        fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+            if let Input::PacketIn {
+                msg: WireMsg::Data(data),
+                ..
+            } = input
+            {
+                env.deliver(data.seq, data.published_at, false);
+            }
+        }
+    }
+
+    #[test]
+    fn two_endpoints_exchange_datagrams_over_loopback() {
+        let clock = MonotonicClock::start();
+        let tx_node = NodeId(0);
+        let rx_node = NodeId(1);
+        let mut tx =
+            Endpoint::bind(tx_node, "127.0.0.1:0", RtConfig::new(1).with_clock(clock)).unwrap();
+        let mut rx =
+            Endpoint::bind(rx_node, "127.0.0.1:0", RtConfig::new(2).with_clock(clock)).unwrap();
+        tx.add_peer(rx_node, rx.local_addr().unwrap());
+        rx.add_peer(tx_node, tx.local_addr().unwrap());
+        let groups = vec![vec![tx_node, rx_node]];
+        tx.set_groups(groups.clone());
+        rx.set_groups(groups);
+
+        let mut beacon = Beacon { next: 0, total: 20 };
+        let mut listener = Listener;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                tx.run_for(&mut beacon, Duration::from_millis(100)).unwrap();
+            });
+            s.spawn(|| {
+                rx.run_for(&mut listener, Duration::from_millis(150))
+                    .unwrap();
+            });
+        });
+        assert_eq!(beacon.next, 20);
+        assert_eq!(tx.report().datagrams_sent, 20);
+        let seqs = rx.report().delivered_seqs();
+        assert_eq!(seqs, (0..20).collect::<BTreeSet<u64>>());
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        /// Arms two timers on start, cancels one, and records what fires.
+        #[derive(Debug, Default)]
+        struct Canceller {
+            fired: Vec<u64>,
+        }
+        impl ProtocolCore for Canceller {
+            fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+                match input {
+                    Input::Start => {
+                        let doomed = env.set_timer(Span::from_millis(1), 7);
+                        env.set_timer(Span::from_millis(2), 8);
+                        env.cancel_timer(doomed);
+                    }
+                    Input::TimerFired { tag, .. } => self.fired.push(tag),
+                    _ => {}
+                }
+            }
+        }
+        let mut ep = Endpoint::bind(NodeId(0), "127.0.0.1:0", RtConfig::new(3)).unwrap();
+        let mut core = Canceller::default();
+        ep.run_for(&mut core, Duration::from_millis(20)).unwrap();
+        assert_eq!(core.fired, vec![8]);
+    }
+
+    #[test]
+    fn malformed_datagrams_are_counted_not_fatal() {
+        let mut ep = Endpoint::bind(NodeId(0), "127.0.0.1:0", RtConfig::new(4)).unwrap();
+        let addr = ep.local_addr().unwrap();
+        let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+        probe.send_to(&[1, 2], addr).unwrap(); // short header
+        probe.send_to(&[1, 2, 3, 4, 250, 0], addr).unwrap(); // bad wire kind
+        let mut core = Listener;
+        ep.run_for(&mut core, Duration::from_millis(30)).unwrap();
+        assert_eq!(ep.report().datagrams_received, 2);
+        assert_eq!(ep.report().decode_errors, 2);
+        assert!(ep.report().delivered.is_empty());
+    }
+}

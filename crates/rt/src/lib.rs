@@ -1,0 +1,19 @@
+//! # adamant-rt
+//!
+//! The real-socket runtime for the sans-I/O protocol cores in
+//! `adamant-proto`: where `adamant-netsim` drives a [`ProtocolCore`]
+//! inside the deterministic simulator, this crate drives the *same* core
+//! over real UDP sockets with a monotonic clock — one socket and one
+//! event-loop thread per endpoint, timers kept in a binary heap, wire
+//! messages carried as the byte encoding from `adamant_proto::wire`.
+//!
+//! [`ProtocolCore`]: adamant_proto::ProtocolCore
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod endpoint;
+
+pub use clock::MonotonicClock;
+pub use endpoint::{Endpoint, EndpointReport, RtConfig};

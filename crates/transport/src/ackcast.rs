@@ -7,12 +7,12 @@
 //! ACK-reliability and flow-control properties; it is not one of the
 //! paper's measured protocols.
 
-use std::any::Any;
 use std::collections::BTreeMap;
 
 use adamant_metrics::{Delivery, DenseReceptionLog};
-use adamant_netsim::{
-    Agent, Ctx, GroupId, NodeId, ObsEvent, OutPacket, Packet, ProcessingCost, SimDuration, TimerId,
+use adamant_proto::wire::{AckMsg, DataMsg};
+use adamant_proto::{
+    Env, GroupId, Input, NodeId, ProcessingCost, ProtoEvent, ProtocolCore, Span, WireMsg,
 };
 
 use crate::config::Tuning;
@@ -21,7 +21,6 @@ use crate::profile::{AppSpec, StackProfile};
 use crate::publisher::PublisherCore;
 use crate::receiver::DataReader;
 use crate::tags::{FRAMING_BYTES, NAK_BASE_BYTES, NAK_PER_SEQ_BYTES, TAG_ACK};
-use crate::wire::{AckMsg, DataMsg, FinMsg, HeartbeatMsg};
 
 /// Timer tag for the receiver's ACK/retry cycle.
 const TIMER_ACK: u64 = 30;
@@ -63,40 +62,33 @@ impl AckcastSender {
     }
 }
 
-impl Agent for AckcastSender {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        self.core.start(ctx);
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
-        self.core.handle_timer(ctx, tag);
-    }
-
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
-        if let Some(ack) = packet.payload_as::<AckMsg>() {
-            let node = ctx.node();
-            for &seq in &ack.missing {
-                // Flow control: a long missing list must not turn into a
-                // retransmission storm; deferred gaps come back on the
-                // receiver's next RTO cycle.
-                if !self.retx_bucket.admit(ctx.now()) {
-                    self.retransmissions_deferred += 1;
-                    continue;
-                }
-                if self.core.retransmit(ctx, packet.src, seq) {
-                    self.retransmissions_sent += 1;
-                    ctx.emit(|| ObsEvent::Retransmitted { node, seq });
+impl ProtocolCore for AckcastSender {
+    fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+        match input {
+            Input::Start => self.core.start(env),
+            Input::TimerFired { tag, .. } => {
+                self.core.handle_timer(env, tag);
+            }
+            Input::PacketIn {
+                src,
+                msg: WireMsg::Ack(ack),
+            } => {
+                for &seq in &ack.missing {
+                    // Flow control: a long missing list must not turn into a
+                    // retransmission storm; deferred gaps come back on the
+                    // receiver's next RTO cycle.
+                    if !self.retx_bucket.admit(env.now()) {
+                        self.retransmissions_deferred += 1;
+                        continue;
+                    }
+                    if self.core.retransmit(env, src, seq) {
+                        self.retransmissions_sent += 1;
+                        env.emit(|| ProtoEvent::Retransmitted { seq });
+                    }
                 }
             }
+            Input::PacketIn { .. } | Input::Tick => {}
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 
@@ -104,7 +96,7 @@ impl Agent for AckcastSender {
 #[derive(Debug)]
 pub struct AckcastReceiver {
     sender: NodeId,
-    rto: SimDuration,
+    rto: Span,
     tuning: Tuning,
     drop_probability: f64,
     log: DenseReceptionLog,
@@ -125,7 +117,7 @@ impl AckcastReceiver {
     pub fn new(
         sender: NodeId,
         expected: u64,
-        rto: SimDuration,
+        rto: Span,
         tuning: Tuning,
         drop_probability: f64,
     ) -> Self {
@@ -175,7 +167,7 @@ impl AckcastReceiver {
         self.highest_advertised = Some(upto);
     }
 
-    fn send_ack(&mut self, ctx: &mut Ctx<'_>) {
+    fn send_ack(&mut self, env: &mut Env<'_>) {
         let mut exhausted = Vec::new();
         let mut report = Vec::new();
         for (&seq, retries) in self.missing.iter_mut() {
@@ -186,42 +178,38 @@ impl AckcastReceiver {
                 report.push(seq);
             }
         }
-        let node = ctx.node();
         for seq in exhausted {
             self.missing.remove(&seq);
             self.give_ups += 1;
-            ctx.emit(|| ObsEvent::NakGiveUp { node, seq });
+            env.emit(|| ProtoEvent::NakGiveUp { seq });
         }
         let below = self.highest_advertised.map_or(0, |h| h + 1);
         let missing_count = report.len() as u32;
         let size = FRAMING_BYTES + NAK_BASE_BYTES + NAK_PER_SEQ_BYTES * missing_count;
-        let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
-        ctx.send(
+        let os = Span::from_micros_f64(self.tuning.os_packet_cost_us);
+        env.send(
             self.sender,
-            OutPacket::new(
-                size,
-                AckMsg {
-                    below,
-                    missing: report,
-                },
-            )
-            .tag(TAG_ACK)
-            .cost(ProcessingCost::symmetric(os)),
+            size,
+            TAG_ACK,
+            ProcessingCost::symmetric(os),
+            WireMsg::Ack(AckMsg {
+                below,
+                missing: report,
+            }),
         );
         self.acks_sent += 1;
-        ctx.emit(|| ObsEvent::NakSent {
-            node,
+        env.emit(|| ProtoEvent::NakSent {
             count: missing_count,
         });
         self.since_last_ack = 0;
         if !self.missing.is_empty() && !self.ack_timer_armed {
-            ctx.set_timer(self.rto, TIMER_ACK);
+            env.set_timer(self.rto, TIMER_ACK);
             self.ack_timer_armed = true;
         }
     }
 
-    fn on_data(&mut self, ctx: &mut Ctx<'_>, data: &DataMsg) {
-        if ctx.rng().bernoulli(self.drop_probability) {
+    fn on_data(&mut self, env: &mut Env<'_>, data: &DataMsg) {
+        if env.rng().bernoulli(self.drop_probability) {
             self.dropped += 1;
             return;
         }
@@ -236,14 +224,13 @@ impl AckcastReceiver {
         let delivery = Delivery {
             seq: data.seq,
             published_at: data.published_at,
-            delivered_at: ctx.now(),
+            delivered_at: env.now(),
             recovered: data.retransmission,
         };
         let fresh = self.log.record(delivery);
-        let node = ctx.node();
         if fresh {
-            ctx.emit(|| ObsEvent::SampleAccepted {
-                node,
+            env.deliver(delivery.seq, delivery.published_at, delivery.recovered);
+            env.emit(|| ProtoEvent::SampleAccepted {
                 seq: delivery.seq,
                 published_ns: delivery.published_at.as_nanos(),
                 delivered_ns: delivery.delivered_at.as_nanos(),
@@ -252,13 +239,13 @@ impl AckcastReceiver {
         } else {
             self.duplicates += 1;
             let seq = data.seq;
-            ctx.emit(|| ObsEvent::SampleDuplicate { node, seq });
+            env.emit(|| ProtoEvent::SampleDuplicate { seq });
         }
         self.since_last_ack += 1;
         if self.since_last_ack >= self.tuning.ack_window && !self.missing.is_empty() {
-            self.send_ack(ctx);
+            self.send_ack(env);
         } else if !self.missing.is_empty() && !self.ack_timer_armed {
-            ctx.set_timer(self.rto, TIMER_ACK);
+            env.set_timer(self.rto, TIMER_ACK);
             self.ack_timer_armed = true;
         }
     }
@@ -289,51 +276,46 @@ impl DataReader for AckcastReceiver {
     }
 }
 
-impl Agent for AckcastReceiver {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
-        if let Some(data) = packet.payload_as::<DataMsg>() {
-            let data = *data;
-            self.on_data(ctx, &data);
-        } else if let Some(hb) = packet.payload_as::<HeartbeatMsg>() {
-            if let Some(high) = hb.highest_seq {
-                self.note_advertised_upto(high);
-                if !self.missing.is_empty() && !self.ack_timer_armed {
-                    ctx.set_timer(self.rto, TIMER_ACK);
-                    self.ack_timer_armed = true;
+impl ProtocolCore for AckcastReceiver {
+    fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+        match input {
+            Input::PacketIn { msg, .. } => match msg {
+                WireMsg::Data(data) => {
+                    let data = *data;
+                    self.on_data(env, &data);
                 }
-            }
-        } else if let Some(fin) = packet.payload_as::<FinMsg>() {
-            if fin.total > 0 {
-                self.note_advertised_upto(fin.total - 1);
+                WireMsg::Heartbeat(hb) => {
+                    if let Some(high) = hb.highest_seq {
+                        self.note_advertised_upto(high);
+                        if !self.missing.is_empty() && !self.ack_timer_armed {
+                            env.set_timer(self.rto, TIMER_ACK);
+                            self.ack_timer_armed = true;
+                        }
+                    }
+                }
+                WireMsg::Fin(fin) if fin.total > 0 => {
+                    self.note_advertised_upto(fin.total - 1);
+                    if !self.missing.is_empty() {
+                        self.send_ack(env);
+                    }
+                }
+                _ => {}
+            },
+            Input::TimerFired { tag: TIMER_ACK, .. } => {
+                self.ack_timer_armed = false;
                 if !self.missing.is_empty() {
-                    self.send_ack(ctx);
+                    self.send_ack(env);
                 }
             }
+            Input::Start | Input::TimerFired { .. } | Input::Tick => {}
         }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
-        if tag == TIMER_ACK {
-            self.ack_timer_armed = false;
-            if !self.missing.is_empty() {
-                self.send_ack(ctx);
-            }
-        }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, Simulation};
+    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, SimDriver, Simulation};
 
     fn run_session(samples: u64, drop_probability: f64, seed: u64) -> (Simulation, Vec<NodeId>) {
         let mut sim = Simulation::new(seed);
@@ -343,20 +325,25 @@ mod tests {
         let group = sim.create_group(&[]);
         let tx = sim.add_node(
             cfg,
-            AckcastSender::new(app, StackProfile::new(10.0, 48), tuning, group),
+            SimDriver::new(AckcastSender::new(
+                app,
+                StackProfile::new(10.0, 48),
+                tuning,
+                group,
+            )),
         );
         sim.join_group(group, tx);
         let mut rxs = Vec::new();
         for _ in 0..3 {
             let rx = sim.add_node(
                 cfg,
-                AckcastReceiver::new(
+                SimDriver::new(AckcastReceiver::new(
                     tx,
                     samples,
-                    SimDuration::from_millis(20),
+                    Span::from_millis(20),
                     tuning,
                     drop_probability,
-                ),
+                )),
             );
             sim.join_group(group, rx);
             rxs.push(rx);
@@ -390,12 +377,23 @@ mod tests {
         let group = sim.create_group(&[]);
         let tx = sim.add_node(
             cfg,
-            AckcastSender::new(app, StackProfile::new(10.0, 48), tuning, group),
+            SimDriver::new(AckcastSender::new(
+                app,
+                StackProfile::new(10.0, 48),
+                tuning,
+                group,
+            )),
         );
         sim.join_group(group, tx);
         let rx = sim.add_node(
             cfg,
-            AckcastReceiver::new(tx, 600, SimDuration::from_millis(20), tuning, 0.2),
+            SimDriver::new(AckcastReceiver::new(
+                tx,
+                600,
+                Span::from_millis(20),
+                tuning,
+                0.2,
+            )),
         );
         sim.join_group(group, rx);
         sim.run_until(adamant_netsim::SimTime::from_secs(30));

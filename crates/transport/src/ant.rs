@@ -7,7 +7,7 @@
 //! protocol properties into concrete agents on simulated hosts.
 
 use adamant_metrics::QosReport;
-use adamant_netsim::{Agent, GroupId, HostConfig, NodeId, SimDuration, Simulation};
+use adamant_netsim::{Agent, GroupId, HostConfig, NodeId, SimDriver, SimDuration, Simulation};
 
 use crate::ackcast::{AckcastReceiver, AckcastSender};
 use crate::config::{ProtocolKind, TransportConfig};
@@ -53,16 +53,27 @@ pub struct SessionHandles {
 }
 
 /// Builds the sender agent for `spec`'s protocol, publishing into `group`.
+/// Protocol cores are sans-I/O state machines; here they are mounted on the
+/// simulator via [`SimDriver`] (the real-UDP runtime mounts the same cores
+/// on sockets instead — see `adamant-rt`).
 fn sender_agent(spec: &SessionSpec, group: GroupId) -> Box<dyn Agent> {
     let tuning = spec.transport.tuning;
     let app = spec.app;
     let stack = spec.stack;
     match spec.transport.kind {
-        ProtocolKind::Udp => Box::new(UdpSender::new(app, stack, tuning, group)),
-        ProtocolKind::Nakcast { .. } => Box::new(NakcastSender::new(app, stack, tuning, group)),
-        ProtocolKind::Ricochet { .. } => Box::new(RicochetSender::new(app, stack, tuning, group)),
-        ProtocolKind::Ackcast { .. } => Box::new(AckcastSender::new(app, stack, tuning, group)),
-        ProtocolKind::Slingshot { .. } => Box::new(SlingshotSender::new(app, stack, tuning, group)),
+        ProtocolKind::Udp => Box::new(SimDriver::new(UdpSender::new(app, stack, tuning, group))),
+        ProtocolKind::Nakcast { .. } => Box::new(SimDriver::new(NakcastSender::new(
+            app, stack, tuning, group,
+        ))),
+        ProtocolKind::Ricochet { .. } => Box::new(SimDriver::new(RicochetSender::new(
+            app, stack, tuning, group,
+        ))),
+        ProtocolKind::Ackcast { .. } => Box::new(SimDriver::new(AckcastSender::new(
+            app, stack, tuning, group,
+        ))),
+        ProtocolKind::Slingshot { .. } => Box::new(SimDriver::new(SlingshotSender::new(
+            app, stack, tuning, group,
+        ))),
     }
 }
 
@@ -72,15 +83,18 @@ fn receiver_agent(spec: &SessionSpec, sender: NodeId, group: GroupId) -> Box<dyn
     let tuning = spec.transport.tuning;
     let app = spec.app;
     match spec.transport.kind {
-        ProtocolKind::Udp => Box::new(UdpReceiver::new(app.total_samples, spec.drop_probability)),
-        ProtocolKind::Nakcast { timeout } => Box::new(NakcastReceiver::new(
+        ProtocolKind::Udp => Box::new(SimDriver::new(UdpReceiver::new(
+            app.total_samples,
+            spec.drop_probability,
+        ))),
+        ProtocolKind::Nakcast { timeout } => Box::new(SimDriver::new(NakcastReceiver::new(
             sender,
             app.total_samples,
             timeout,
             tuning,
             spec.drop_probability,
-        )),
-        ProtocolKind::Ricochet { r, c } => Box::new(RicochetReceiver::new(
+        ))),
+        ProtocolKind::Ricochet { r, c } => Box::new(SimDriver::new(RicochetReceiver::new(
             sender,
             group,
             app.total_samples,
@@ -89,15 +103,15 @@ fn receiver_agent(spec: &SessionSpec, sender: NodeId, group: GroupId) -> Box<dyn
             c,
             tuning,
             spec.drop_probability,
-        )),
-        ProtocolKind::Ackcast { rto } => Box::new(AckcastReceiver::new(
+        ))),
+        ProtocolKind::Ackcast { rto } => Box::new(SimDriver::new(AckcastReceiver::new(
             sender,
             app.total_samples,
             rto,
             tuning,
             spec.drop_probability,
-        )),
-        ProtocolKind::Slingshot { c } => Box::new(SlingshotReceiver::new(
+        ))),
+        ProtocolKind::Slingshot { c } => Box::new(SimDriver::new(SlingshotReceiver::new(
             sender,
             group,
             app.total_samples,
@@ -105,7 +119,7 @@ fn receiver_agent(spec: &SessionSpec, sender: NodeId, group: GroupId) -> Box<dyn
             c,
             tuning,
             spec.drop_probability,
-        )),
+        ))),
     }
 }
 
@@ -181,13 +195,13 @@ pub fn install_standby(
     );
     let standby = sim.add_node(
         host,
-        NakcastStandby::new(
+        SimDriver::new(NakcastStandby::new(
             spec.app,
             spec.stack,
             spec.transport.tuning,
             handles.group,
             detect_timeout,
-        ),
+        )),
     );
     sim.join_group(handles.group, standby);
     standby

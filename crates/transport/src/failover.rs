@@ -11,15 +11,13 @@
 //! when they hear session traffic from the new source (see
 //! [`NakcastReceiver::sender_changes`](crate::NakcastReceiver::sender_changes)).
 
-use std::any::Any;
 use std::collections::BTreeMap;
 
-use adamant_netsim::{Agent, Ctx, GroupId, ObsEvent, Packet, SimDuration, SimTime, TimerId};
+use adamant_proto::{Env, GroupId, Input, ProtoEvent, ProtocolCore, Span, TimePoint, WireMsg};
 
 use crate::config::Tuning;
 use crate::profile::{AppSpec, StackProfile};
 use crate::publisher::PublisherCore;
-use crate::wire::{DataMsg, FinMsg, HeartbeatMsg, NakMsg};
 
 /// Timer tag for the standby's periodic liveness check.
 const TIMER_FAILCHECK: u64 = 40;
@@ -30,18 +28,18 @@ const TIMER_FAILCHECK: u64 = 40;
 pub struct NakcastStandby {
     core: PublisherCore,
     /// Heartbeat silence that counts as a primary failure.
-    detect_timeout: SimDuration,
+    detect_timeout: Span,
     /// How often the standby checks for silence.
-    check_interval: SimDuration,
+    check_interval: Span,
     /// Overheard publications: sequence → publication time.
-    observed: BTreeMap<u64, SimTime>,
+    observed: BTreeMap<u64, TimePoint>,
     /// Highest sequence advertised by heartbeats/FIN (may exceed what the
     /// standby itself received).
     highest_advertised: Option<u64>,
-    last_heard: Option<SimTime>,
-    started_at: SimTime,
+    last_heard: Option<TimePoint>,
+    started_at: TimePoint,
     promoted: bool,
-    promoted_at: Option<SimTime>,
+    promoted_at: Option<TimePoint>,
     retransmissions_sent: u64,
 }
 
@@ -55,9 +53,9 @@ impl NakcastStandby {
         profile: StackProfile,
         tuning: Tuning,
         group: GroupId,
-        detect_timeout: SimDuration,
+        detect_timeout: Span,
     ) -> Self {
-        let check_interval = SimDuration::from_nanos((detect_timeout.as_nanos() / 4).max(1));
+        let check_interval = Span::from_nanos((detect_timeout.as_nanos() / 4).max(1));
         NakcastStandby {
             core: PublisherCore::new(app, profile, tuning, group, true, true),
             detect_timeout,
@@ -65,7 +63,7 @@ impl NakcastStandby {
             observed: BTreeMap::new(),
             highest_advertised: None,
             last_heard: None,
-            started_at: SimTime::ZERO,
+            started_at: TimePoint::ZERO,
             promoted: false,
             promoted_at: None,
             retransmissions_sent: 0,
@@ -78,7 +76,7 @@ impl NakcastStandby {
     }
 
     /// When the standby promoted itself, if it has.
-    pub fn promoted_at(&self) -> Option<SimTime> {
+    pub fn promoted_at(&self) -> Option<TimePoint> {
         self.promoted_at
     }
 
@@ -98,7 +96,7 @@ impl NakcastStandby {
         self.core.published()
     }
 
-    fn note_heard(&mut self, now: SimTime) {
+    fn note_heard(&mut self, now: TimePoint) {
         self.last_heard = Some(now);
     }
 
@@ -107,11 +105,10 @@ impl NakcastStandby {
     }
 
     /// Adopts the overheard history and takes over the stream.
-    fn promote(&mut self, ctx: &mut Ctx<'_>) {
+    fn promote(&mut self, env: &mut Env<'_>) {
         self.promoted = true;
-        self.promoted_at = Some(ctx.now());
-        let node = ctx.node();
-        ctx.emit(|| ObsEvent::FailoverPromoted { node });
+        self.promoted_at = Some(env.now());
+        env.emit(|| ProtoEvent::FailoverPromoted);
         let high = match (self.observed.keys().next_back(), self.highest_advertised) {
             (Some(&o), Some(a)) => Some(o.max(a)),
             (Some(&o), None) => Some(o),
@@ -140,74 +137,73 @@ impl NakcastStandby {
             // The primary died after its last publication: receivers may
             // still be missing the FIN (and tail samples, which they will
             // NAK from us).
-            self.core.announce_fin(ctx);
+            self.core.announce_fin(env);
         } else {
-            self.core.start(ctx);
+            self.core.start(env);
         }
     }
 }
 
-impl Agent for NakcastStandby {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        self.started_at = ctx.now();
-        ctx.set_timer(self.check_interval, TIMER_FAILCHECK);
-    }
-
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
-        if self.promoted {
-            if let Some(nak) = packet.payload_as::<NakMsg>() {
-                let node = ctx.node();
-                for &seq in &nak.seqs {
-                    if self.core.retransmit(ctx, packet.src, seq) {
-                        self.retransmissions_sent += 1;
-                        ctx.emit(|| ObsEvent::Retransmitted { node, seq });
+impl ProtocolCore for NakcastStandby {
+    fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+        match input {
+            Input::Start => {
+                self.started_at = env.now();
+                env.set_timer(self.check_interval, TIMER_FAILCHECK);
+            }
+            Input::PacketIn { src, msg } => {
+                if self.promoted {
+                    if let WireMsg::Nak(nak) = msg {
+                        for &seq in &nak.seqs {
+                            if self.core.retransmit(env, src, seq) {
+                                self.retransmissions_sent += 1;
+                                env.emit(|| ProtoEvent::Retransmitted { seq });
+                            }
+                        }
                     }
+                    return;
+                }
+                let now = env.now();
+                match msg {
+                    WireMsg::Data(data) => {
+                        self.note_heard(now);
+                        self.note_advertised(data.seq);
+                        self.observed.insert(data.seq, data.published_at);
+                    }
+                    WireMsg::Heartbeat(hb) => {
+                        self.note_heard(now);
+                        if let Some(high) = hb.highest_seq {
+                            self.note_advertised(high);
+                        }
+                    }
+                    WireMsg::Fin(fin) => {
+                        self.note_heard(now);
+                        if fin.total > 0 {
+                            self.note_advertised(fin.total - 1);
+                        }
+                    }
+                    _ => {}
                 }
             }
-            return;
-        }
-        let now = ctx.now();
-        if let Some(data) = packet.payload_as::<DataMsg>() {
-            self.note_heard(now);
-            self.note_advertised(data.seq);
-            self.observed.insert(data.seq, data.published_at);
-        } else if let Some(hb) = packet.payload_as::<HeartbeatMsg>() {
-            self.note_heard(now);
-            if let Some(high) = hb.highest_seq {
-                self.note_advertised(high);
+            Input::TimerFired { tag, .. } => {
+                if tag != TIMER_FAILCHECK {
+                    if self.promoted {
+                        self.core.handle_timer(env, tag);
+                    }
+                    return;
+                }
+                if self.promoted {
+                    return;
+                }
+                let silent_since = self.last_heard.unwrap_or(self.started_at);
+                if env.now().saturating_since(silent_since) >= self.detect_timeout {
+                    self.promote(env);
+                } else {
+                    env.set_timer(self.check_interval, TIMER_FAILCHECK);
+                }
             }
-        } else if let Some(fin) = packet.payload_as::<FinMsg>() {
-            self.note_heard(now);
-            if fin.total > 0 {
-                self.note_advertised(fin.total - 1);
-            }
+            Input::Tick => {}
         }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
-        if tag != TIMER_FAILCHECK {
-            if self.promoted {
-                self.core.handle_timer(ctx, tag);
-            }
-            return;
-        }
-        if self.promoted {
-            return;
-        }
-        let silent_since = self.last_heard.unwrap_or(self.started_at);
-        if ctx.now().saturating_since(silent_since) >= self.detect_timeout {
-            self.promote(ctx);
-        } else {
-            ctx.set_timer(self.check_interval, TIMER_FAILCHECK);
-        }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 
@@ -217,7 +213,7 @@ mod tests {
     use crate::nakcast::{NakcastReceiver, NakcastSender};
     use crate::receiver::DataReader;
     use adamant_netsim::{
-        Bandwidth, FaultPlan, HostConfig, MachineClass, NodeId, SimTime, Simulation,
+        Bandwidth, FaultPlan, HostConfig, MachineClass, NodeId, SimDriver, SimTime, Simulation,
     };
 
     fn cfg() -> HostConfig {
@@ -237,18 +233,33 @@ mod tests {
         let profile = StackProfile::new(10.0, 48);
         let tuning = Tuning::default();
         let group = sim.create_group(&[]);
-        let tx = sim.add_node(cfg(), NakcastSender::new(app, profile, tuning, group));
+        let tx = sim.add_node(
+            cfg(),
+            SimDriver::new(NakcastSender::new(app, profile, tuning, group)),
+        );
         sim.join_group(group, tx);
         let standby = sim.add_node(
             cfg(),
-            NakcastStandby::new(app, profile, tuning, group, SimDuration::from_millis(100)),
+            SimDriver::new(NakcastStandby::new(
+                app,
+                profile,
+                tuning,
+                group,
+                Span::from_millis(100),
+            )),
         );
         sim.join_group(group, standby);
         let mut rxs = Vec::new();
         for _ in 0..receivers {
             let rx = sim.add_node(
                 cfg(),
-                NakcastReceiver::new(tx, samples, SimDuration::from_millis(1), tuning, drop_p),
+                SimDriver::new(NakcastReceiver::new(
+                    tx,
+                    samples,
+                    Span::from_millis(1),
+                    tuning,
+                    drop_p,
+                )),
             );
             sim.join_group(group, rx);
             rxs.push(rx);

@@ -8,14 +8,18 @@
 //! unicast. Delivery to the application is in publication order: a missing
 //! packet holds back its successors until it is recovered or abandoned,
 //! which is where NAKcast pays latency and jitter under loss.
+//!
+//! Both sides are sans-I/O [`ProtocolCore`]s: the simulator drives them
+//! through `adamant_netsim::SimDriver`, the real-UDP runtime through
+//! `adamant-rt`.
 
-use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
 
 use adamant_metrics::{Delivery, DenseReceptionLog};
-use adamant_netsim::{
-    Agent, Ctx, GroupId, NodeId, ObsEvent, OutPacket, Packet, ProcessingCost, SimDuration, SimTime,
-    TimerId,
+use adamant_proto::wire::{DataMsg, NakMsg};
+use adamant_proto::{
+    Env, GroupId, Input, NodeId, ProcessingCost, ProtoEvent, ProtocolCore, Span, TimePoint,
+    TimerToken, WireMsg,
 };
 
 use crate::config::Tuning;
@@ -23,7 +27,6 @@ use crate::profile::{AppSpec, StackProfile};
 use crate::publisher::PublisherCore;
 use crate::receiver::DataReader;
 use crate::tags::{FRAMING_BYTES, NAK_BASE_BYTES, NAK_PER_SEQ_BYTES, TAG_NAK};
-use crate::wire::{DataMsg, FinMsg, HeartbeatMsg, NakMsg};
 
 /// Timer tag for the receiver's NAK scan.
 const TIMER_SCAN: u64 = 10;
@@ -32,12 +35,12 @@ const TIMER_SCAN: u64 = 10;
 /// LAN retransmission round trip); doubles with each retry up to
 /// [`RENAK_MAX`], so high-RTT paths (e.g. a satellite hop) do not trigger
 /// duplicate-retransmission storms while the first answer is in flight.
-const RENAK_EXTRA: SimDuration = SimDuration::from_millis(5);
+const RENAK_EXTRA: Span = Span::from_millis(5);
 /// Upper bound of the exponential re-NAK backoff.
-const RENAK_MAX: SimDuration = SimDuration::from_secs(2);
+const RENAK_MAX: Span = Span::from_secs(2);
 
 /// The re-NAK backoff after `retries` attempts.
-fn renak_backoff(retries: u32) -> SimDuration {
+fn renak_backoff(retries: u32) -> Span {
     let doubled = RENAK_EXTRA * 2u64.saturating_pow(retries.min(16));
     doubled.min(RENAK_MAX)
 }
@@ -49,7 +52,7 @@ fn renak_backoff(retries: u32) -> SimDuration {
 /// delivery slower than this means the receiver kept waiting on a sequence
 /// it should have abandoned — the invariant the runtime-verification
 /// checker enforces.
-pub fn nakcast_recovery_bound(timeout: SimDuration, tuning: &Tuning) -> SimDuration {
+pub fn nakcast_recovery_bound(timeout: Span, tuning: &Tuning) -> Span {
     let mut bound = tuning.heartbeat_interval;
     for retries in 0..=tuning.nak_max_retries {
         bound = bound + timeout + renak_backoff(retries);
@@ -85,45 +88,38 @@ impl NakcastSender {
     }
 }
 
-impl Agent for NakcastSender {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        self.core.start(ctx);
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
-        self.core.handle_timer(ctx, tag);
-    }
-
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
-        if let Some(nak) = packet.payload_as::<NakMsg>() {
-            let node = ctx.node();
-            for &seq in &nak.seqs {
-                if self.core.retransmit(ctx, packet.src, seq) {
-                    self.retransmissions_sent += 1;
-                    ctx.emit(|| ObsEvent::Retransmitted { node, seq });
+impl ProtocolCore for NakcastSender {
+    fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+        match input {
+            Input::Start => self.core.start(env),
+            Input::TimerFired { tag, .. } => {
+                self.core.handle_timer(env, tag);
+            }
+            Input::PacketIn {
+                src,
+                msg: WireMsg::Nak(nak),
+            } => {
+                for &seq in &nak.seqs {
+                    if self.core.retransmit(env, src, seq) {
+                        self.retransmissions_sent += 1;
+                        env.emit(|| ProtoEvent::Retransmitted { seq });
+                    }
                 }
             }
+            Input::PacketIn { .. } | Input::Tick => {}
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct PendingSample {
-    published_at: SimTime,
+    published_at: TimePoint,
     recovered: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct MissingState {
-    nak_at: SimTime,
+    nak_at: TimePoint,
     retries: u32,
 }
 
@@ -131,7 +127,7 @@ struct MissingState {
 #[derive(Debug)]
 pub struct NakcastReceiver {
     sender: NodeId,
-    timeout: SimDuration,
+    timeout: Span,
     tuning: Tuning,
     drop_probability: f64,
     log: DenseReceptionLog,
@@ -142,7 +138,7 @@ pub struct NakcastReceiver {
     missing: BTreeMap<u64, MissingState>,
     abandoned: BTreeSet<u64>,
     highest_advertised: Option<u64>,
-    scan_timer: Option<(TimerId, SimTime)>,
+    scan_timer: Option<(TimerToken, TimePoint)>,
     naks_sent: u64,
     give_ups: u64,
     sender_changes: u64,
@@ -155,7 +151,7 @@ impl NakcastReceiver {
     pub fn new(
         sender: NodeId,
         expected: u64,
-        timeout: SimDuration,
+        timeout: Span,
         tuning: Tuning,
         drop_probability: f64,
     ) -> Self {
@@ -224,7 +220,7 @@ impl NakcastReceiver {
 
     /// Marks every unseen sequence `<= upto` missing and advances the
     /// advertised high-water mark.
-    fn note_advertised_upto(&mut self, now: SimTime, upto: u64) {
+    fn note_advertised_upto(&mut self, now: TimePoint, upto: u64) {
         let start = match self.highest_advertised {
             Some(h) if h >= upto => return,
             Some(h) => h + 1,
@@ -246,9 +242,8 @@ impl NakcastReceiver {
 
     /// Delivers the contiguous prefix available in the hold-back buffer,
     /// skipping abandoned sequences.
-    fn try_deliver(&mut self, ctx: &mut Ctx<'_>) {
-        let now = ctx.now();
-        let node = ctx.node();
+    fn try_deliver(&mut self, env: &mut Env<'_>) {
+        let now = env.now();
         loop {
             if self.abandoned.contains(&self.next_deliver) {
                 self.next_deliver += 1;
@@ -264,8 +259,8 @@ impl NakcastReceiver {
                 recovered: sample.recovered,
             };
             if self.log.record(delivery) {
-                ctx.emit(|| ObsEvent::SampleAccepted {
-                    node,
+                env.deliver(delivery.seq, delivery.published_at, delivery.recovered);
+                env.emit(|| ProtoEvent::SampleAccepted {
                     seq: delivery.seq,
                     published_ns: delivery.published_at.as_nanos(),
                     delivered_ns: delivery.delivered_at.as_nanos(),
@@ -277,24 +272,24 @@ impl NakcastReceiver {
     }
 
     /// (Re-)arms the scan timer for the earliest pending NAK deadline.
-    fn reschedule_scan(&mut self, ctx: &mut Ctx<'_>) {
+    fn reschedule_scan(&mut self, env: &mut Env<'_>) {
         let Some(min_at) = self.missing.values().map(|m| m.nak_at).min() else {
             return;
         };
-        if let Some((id, at)) = self.scan_timer {
+        if let Some((token, at)) = self.scan_timer {
             if at <= min_at {
                 return;
             }
-            ctx.cancel_timer(id);
+            env.cancel_timer(token);
         }
-        let delay = min_at.saturating_since(ctx.now());
-        let id = ctx.set_timer(delay, TIMER_SCAN);
-        self.scan_timer = Some((id, min_at));
+        let delay = min_at.saturating_since(env.now());
+        let token = env.set_timer(delay, TIMER_SCAN);
+        self.scan_timer = Some((token, min_at));
     }
 
-    fn on_scan(&mut self, ctx: &mut Ctx<'_>) {
+    fn on_scan(&mut self, env: &mut Env<'_>) {
         self.scan_timer = None;
-        let now = ctx.now();
+        let now = env.now();
         let mut due = Vec::new();
         let mut exhausted = Vec::new();
         for (&seq, state) in &self.missing {
@@ -306,25 +301,24 @@ impl NakcastReceiver {
                 }
             }
         }
-        let node = ctx.node();
         for seq in exhausted {
             self.missing.remove(&seq);
             self.abandoned.insert(seq);
             self.give_ups += 1;
-            ctx.emit(|| ObsEvent::NakGiveUp { node, seq });
+            env.emit(|| ProtoEvent::NakGiveUp { seq });
         }
         if !due.is_empty() {
             let size = FRAMING_BYTES + NAK_BASE_BYTES + NAK_PER_SEQ_BYTES * due.len() as u32;
-            let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
-            ctx.send(
+            let os = Span::from_micros_f64(self.tuning.os_packet_cost_us);
+            env.send(
                 self.sender,
-                OutPacket::new(size, NakMsg { seqs: due.clone() })
-                    .tag(TAG_NAK)
-                    .cost(ProcessingCost::symmetric(os)),
+                size,
+                TAG_NAK,
+                ProcessingCost::symmetric(os),
+                WireMsg::Nak(NakMsg { seqs: due.clone() }),
             );
             self.naks_sent += 1;
-            ctx.emit(|| ObsEvent::NakSent {
-                node,
+            env.emit(|| ProtoEvent::NakSent {
                 count: due.len() as u32,
             });
             for seq in due {
@@ -334,16 +328,16 @@ impl NakcastReceiver {
                 }
             }
         }
-        self.try_deliver(ctx);
-        self.reschedule_scan(ctx);
+        self.try_deliver(env);
+        self.reschedule_scan(env);
     }
 
-    fn on_data(&mut self, ctx: &mut Ctx<'_>, data: &DataMsg) {
-        if ctx.rng().bernoulli(self.drop_probability) {
+    fn on_data(&mut self, env: &mut Env<'_>, data: &DataMsg) {
+        if env.rng().bernoulli(self.drop_probability) {
             self.dropped += 1;
             return;
         }
-        let now = ctx.now();
+        let now = env.now();
         if data.seq > 0 {
             self.note_advertised_upto(now, data.seq - 1);
         }
@@ -362,9 +356,8 @@ impl NakcastReceiver {
                 recovered: true,
             };
             if self.log.record(delivery) {
-                let node = ctx.node();
-                ctx.emit(|| ObsEvent::SampleAccepted {
-                    node,
+                env.deliver(delivery.seq, delivery.published_at, true);
+                env.emit(|| ProtoEvent::SampleAccepted {
                     seq: delivery.seq,
                     published_ns: delivery.published_at.as_nanos(),
                     delivered_ns: delivery.delivered_at.as_nanos(),
@@ -373,9 +366,8 @@ impl NakcastReceiver {
             }
         } else if self.log.contains(data.seq) || self.buffer.contains_key(&data.seq) {
             self.duplicates += 1;
-            let node = ctx.node();
             let seq = data.seq;
-            ctx.emit(|| ObsEvent::SampleDuplicate { node, seq });
+            env.emit(|| ProtoEvent::SampleDuplicate { seq });
         } else {
             self.buffer.insert(
                 data.seq,
@@ -385,8 +377,8 @@ impl NakcastReceiver {
                 },
             );
         }
-        self.try_deliver(ctx);
-        self.reschedule_scan(ctx);
+        self.try_deliver(env);
+        self.reschedule_scan(env);
     }
 }
 
@@ -415,46 +407,43 @@ impl DataReader for NakcastReceiver {
     }
 }
 
-impl Agent for NakcastReceiver {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
-        if let Some(data) = packet.payload_as::<DataMsg>() {
-            let data = *data;
-            self.note_sender(packet.src);
-            self.on_data(ctx, &data);
-        } else if let Some(hb) = packet.payload_as::<HeartbeatMsg>() {
-            self.note_sender(packet.src);
-            if let Some(high) = hb.highest_seq {
-                self.note_advertised_upto(ctx.now(), high);
-                self.reschedule_scan(ctx);
-            }
-        } else if let Some(fin) = packet.payload_as::<FinMsg>() {
-            self.note_sender(packet.src);
-            if fin.total > 0 {
-                self.note_advertised_upto(ctx.now(), fin.total - 1);
-                self.reschedule_scan(ctx);
-            }
+impl ProtocolCore for NakcastReceiver {
+    fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+        match input {
+            Input::PacketIn { src, msg } => match msg {
+                WireMsg::Data(data) => {
+                    let data = *data;
+                    self.note_sender(src);
+                    self.on_data(env, &data);
+                }
+                WireMsg::Heartbeat(hb) => {
+                    self.note_sender(src);
+                    if let Some(high) = hb.highest_seq {
+                        self.note_advertised_upto(env.now(), high);
+                        self.reschedule_scan(env);
+                    }
+                }
+                WireMsg::Fin(fin) => {
+                    self.note_sender(src);
+                    if fin.total > 0 {
+                        self.note_advertised_upto(env.now(), fin.total - 1);
+                        self.reschedule_scan(env);
+                    }
+                }
+                _ => {}
+            },
+            Input::TimerFired {
+                tag: TIMER_SCAN, ..
+            } => self.on_scan(env),
+            Input::Start | Input::TimerFired { .. } | Input::Tick => {}
         }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
-        if tag == TIMER_SCAN {
-            self.on_scan(ctx);
-        }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, Simulation};
+    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, SimDriver, Simulation};
 
     fn cfg() -> HostConfig {
         HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1)
@@ -465,7 +454,7 @@ mod tests {
         rate_hz: f64,
         receivers: usize,
         drop_probability: f64,
-        timeout: SimDuration,
+        timeout: Span,
         seed: u64,
     ) -> (Simulation, Vec<NodeId>) {
         let mut sim = Simulation::new(seed);
@@ -473,13 +462,22 @@ mod tests {
         let profile = StackProfile::new(10.0, 48);
         let tuning = Tuning::default();
         let group = sim.create_group(&[]);
-        let tx = sim.add_node(cfg(), NakcastSender::new(app, profile, tuning, group));
+        let tx = sim.add_node(
+            cfg(),
+            SimDriver::new(NakcastSender::new(app, profile, tuning, group)),
+        );
         sim.join_group(group, tx);
         let mut rx_nodes = Vec::new();
         for _ in 0..receivers {
             let rx = sim.add_node(
                 cfg(),
-                NakcastReceiver::new(tx, samples, timeout, tuning, drop_probability),
+                SimDriver::new(NakcastReceiver::new(
+                    tx,
+                    samples,
+                    timeout,
+                    tuning,
+                    drop_probability,
+                )),
             );
             sim.join_group(group, rx);
             rx_nodes.push(rx);
@@ -492,7 +490,7 @@ mod tests {
 
     #[test]
     fn lossless_run_delivers_everything_in_order() {
-        let (sim, rxs) = run_session(200, 100.0, 2, 0.0, SimDuration::from_millis(1), 7);
+        let (sim, rxs) = run_session(200, 100.0, 2, 0.0, Span::from_millis(1), 7);
         for rx in rxs {
             let r = sim.agent::<NakcastReceiver>(rx).unwrap();
             assert_eq!(r.log().delivered_count(), 200);
@@ -507,7 +505,7 @@ mod tests {
 
     #[test]
     fn lossy_run_recovers_to_full_reliability() {
-        let (sim, rxs) = run_session(500, 100.0, 3, 0.05, SimDuration::from_millis(1), 13);
+        let (sim, rxs) = run_session(500, 100.0, 3, 0.05, Span::from_millis(1), 13);
         for rx in rxs {
             let r = sim.agent::<NakcastReceiver>(rx).unwrap();
             assert_eq!(
@@ -526,7 +524,7 @@ mod tests {
 
     #[test]
     fn recovered_packets_pay_recovery_latency() {
-        let (sim, rxs) = run_session(500, 100.0, 1, 0.05, SimDuration::from_millis(1), 17);
+        let (sim, rxs) = run_session(500, 100.0, 1, 0.05, Span::from_millis(1), 17);
         let r = sim.agent::<NakcastReceiver>(rxs[0]).unwrap();
         let (rec, orig): (Vec<_>, Vec<_>) = r.log().deliveries().iter().partition(|d| d.recovered);
         assert!(!rec.is_empty());
@@ -546,14 +544,7 @@ mod tests {
     #[test]
     fn larger_timeout_means_slower_recovery() {
         let avg_latency = |timeout_ms: u64| {
-            let (sim, rxs) = run_session(
-                500,
-                100.0,
-                1,
-                0.05,
-                SimDuration::from_millis(timeout_ms),
-                23,
-            );
+            let (sim, rxs) = run_session(500, 100.0, 1, 0.05, Span::from_millis(timeout_ms), 23);
             let r = sim.agent::<NakcastReceiver>(rxs[0]).unwrap();
             let lat = r.log().latencies_us();
             lat.iter().sum::<f64>() / lat.len() as f64
@@ -568,23 +559,23 @@ mod tests {
 
     #[test]
     fn renak_backoff_is_exponential_and_capped() {
-        assert_eq!(renak_backoff(0), SimDuration::from_millis(5));
-        assert_eq!(renak_backoff(1), SimDuration::from_millis(10));
-        assert_eq!(renak_backoff(3), SimDuration::from_millis(40));
-        assert_eq!(renak_backoff(16), SimDuration::from_secs(2));
-        assert_eq!(renak_backoff(60), SimDuration::from_secs(2));
+        assert_eq!(renak_backoff(0), Span::from_millis(5));
+        assert_eq!(renak_backoff(1), Span::from_millis(10));
+        assert_eq!(renak_backoff(3), Span::from_millis(40));
+        assert_eq!(renak_backoff(16), Span::from_secs(2));
+        assert_eq!(renak_backoff(60), Span::from_secs(2));
     }
 
     #[test]
     fn recovery_bound_covers_full_retry_schedule() {
         let tuning = Tuning::default();
-        let lazy = nakcast_recovery_bound(SimDuration::from_millis(50), &tuning);
-        let eager = nakcast_recovery_bound(SimDuration::from_millis(1), &tuning);
+        let lazy = nakcast_recovery_bound(Span::from_millis(50), &tuning);
+        let eager = nakcast_recovery_bound(Span::from_millis(1), &tuning);
         assert!(eager < lazy);
         // 21 rounds of timeout + exponential backoff capped at 2 s: the
         // bound is loose but finite.
-        assert!(lazy > SimDuration::from_secs(10));
-        assert!(lazy < SimDuration::from_secs(60));
+        assert!(lazy > Span::from_secs(10));
+        assert!(lazy < Span::from_secs(60));
     }
 
     #[test]
@@ -594,18 +585,29 @@ mod tests {
         // bounded and reliability still converges.
         let mut sim = Simulation::new(7);
         let dc = cfg();
-        let ground = cfg().with_uplink_delay(SimDuration::from_millis(250));
+        let ground = cfg().with_uplink_delay(Span::from_millis(250));
         let app = AppSpec::at_rate(300, 50.0, 12);
         let tuning = Tuning::default();
         let group = sim.create_group(&[]);
         let tx = sim.add_node(
             ground,
-            NakcastSender::new(app, StackProfile::new(10.0, 48), tuning, group),
+            SimDriver::new(NakcastSender::new(
+                app,
+                StackProfile::new(10.0, 48),
+                tuning,
+                group,
+            )),
         );
         sim.join_group(group, tx);
         let rx = sim.add_node(
             dc,
-            NakcastReceiver::new(tx, 300, SimDuration::from_millis(1), tuning, 0.1),
+            SimDriver::new(NakcastReceiver::new(
+                tx,
+                300,
+                Span::from_millis(1),
+                tuning,
+                0.1,
+            )),
         );
         sim.join_group(group, rx);
         sim.run_until(adamant_netsim::SimTime::from_secs(30));
@@ -631,7 +633,7 @@ mod tests {
     fn tail_loss_recovered_via_fin() {
         // Tiny stream at low rate: losses in the tail can only be detected
         // through heartbeat/FIN advertisement.
-        let (sim, rxs) = run_session(20, 10.0, 1, 0.3, SimDuration::from_millis(1), 29);
+        let (sim, rxs) = run_session(20, 10.0, 1, 0.3, Span::from_millis(1), 29);
         let r = sim.agent::<NakcastReceiver>(rxs[0]).unwrap();
         assert_eq!(r.log().delivered_count(), 20);
     }
@@ -649,17 +651,34 @@ mod tests {
         let group = sim.create_group(&[]);
         let tx = sim.add_node(
             cfg(),
-            NakcastSender::new(app, StackProfile::new(10.0, 48), tuning, group),
+            SimDriver::new(NakcastSender::new(
+                app,
+                StackProfile::new(10.0, 48),
+                tuning,
+                group,
+            )),
         );
         sim.join_group(group, tx);
         let near = sim.add_node(
             cfg(),
-            NakcastReceiver::new(tx, samples, SimDuration::from_millis(1), tuning, 0.0),
+            SimDriver::new(NakcastReceiver::new(
+                tx,
+                samples,
+                Span::from_millis(1),
+                tuning,
+                0.0,
+            )),
         );
         sim.join_group(group, near);
         let far = sim.add_node(
             cfg(),
-            NakcastReceiver::new(tx, samples, SimDuration::from_millis(1), tuning, 0.0),
+            SimDriver::new(NakcastReceiver::new(
+                tx,
+                samples,
+                Span::from_millis(1),
+                tuning,
+                0.0,
+            )),
         );
         sim.join_group(group, far);
 
@@ -693,7 +712,7 @@ mod tests {
 
     #[test]
     fn sender_counts_retransmissions() {
-        let (sim, _) = run_session(500, 100.0, 2, 0.05, SimDuration::from_millis(1), 31);
+        let (sim, _) = run_session(500, 100.0, 2, 0.05, Span::from_millis(1), 31);
         let tx_node = NodeId::from_index(0);
         let s = sim.agent::<NakcastSender>(tx_node).unwrap();
         assert!(s.retransmissions_sent() > 0);

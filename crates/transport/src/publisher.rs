@@ -1,7 +1,12 @@
 //! Shared sender-side machinery: periodic publication, session heartbeats,
 //! end-of-stream marking, and retransmission history.
+//!
+//! Runtime-agnostic: everything here speaks the sans-I/O [`Env`] from
+//! `adamant-proto`, so the same publisher drives the simulator and the
+//! real-UDP runtime.
 
-use adamant_netsim::{Ctx, GroupId, NodeId, OutPacket, ProcessingCost, SimDuration, SimTime};
+use adamant_proto::wire::{DataMsg, FinMsg, HeartbeatMsg};
+use adamant_proto::{Env, GroupId, NodeId, ProcessingCost, Span, TimePoint, WireMsg};
 
 use crate::config::Tuning;
 use crate::profile::{AppSpec, StackProfile};
@@ -9,7 +14,6 @@ use crate::tags::{
     CONTROL_BYTES, DATA_HEADER_BYTES, FRAMING_BYTES, TAG_DATA, TAG_FIN, TAG_HEARTBEAT,
     TAG_RETRANSMIT,
 };
-use crate::wire::{DataMsg, FinMsg, HeartbeatMsg};
 
 /// Timer tag for the next publication tick.
 pub(crate) const TIMER_PUBLISH: u64 = 1;
@@ -20,7 +24,7 @@ pub(crate) const TIMER_HEARTBEAT: u64 = 2;
 /// data samples at the configured rate into a multicast group, optionally
 /// emitting session heartbeats (for NAK/ACK gap detection) and a FIN marker.
 ///
-/// Protocol senders embed one of these and forward their timer callbacks to
+/// Protocol senders embed one of these and forward their timer inputs to
 /// [`PublisherCore::handle_timer`].
 #[derive(Debug)]
 pub(crate) struct PublisherCore {
@@ -30,9 +34,9 @@ pub(crate) struct PublisherCore {
     group: GroupId,
     heartbeats: bool,
     send_fin: bool,
-    extra_data_rx: SimDuration,
+    extra_data_rx: Span,
     next_seq: u64,
-    history: Vec<SimTime>,
+    history: Vec<TimePoint>,
     finished: bool,
 }
 
@@ -52,7 +56,7 @@ impl PublisherCore {
             group,
             heartbeats,
             send_fin,
-            extra_data_rx: SimDuration::ZERO,
+            extra_data_rx: Span::ZERO,
             next_seq: 0,
             history: Vec::with_capacity(app.total_samples as usize),
             finished: false,
@@ -61,7 +65,7 @@ impl PublisherCore {
 
     /// Declares extra receiver-side CPU work per data packet (protocol
     /// bookkeeping such as Ricochet's XOR-buffer maintenance).
-    pub fn with_extra_data_rx(mut self, extra: SimDuration) -> Self {
+    pub fn with_extra_data_rx(mut self, extra: Span) -> Self {
         self.extra_data_rx = extra;
         self
     }
@@ -73,13 +77,13 @@ impl PublisherCore {
 
     /// Processing cost of one data packet (OS + middleware + protocol).
     pub fn data_cost(&self) -> ProcessingCost {
-        let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
+        let os = Span::from_micros_f64(self.tuning.os_packet_cost_us);
         ProcessingCost::new(os, os + self.extra_data_rx).plus(self.profile.per_packet)
     }
 
     /// Processing cost of a small control packet (OS path only).
     pub fn control_cost(&self) -> ProcessingCost {
-        let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
+        let os = Span::from_micros_f64(self.tuning.os_packet_cost_us);
         ProcessingCost::symmetric(os)
     }
 
@@ -89,7 +93,7 @@ impl PublisherCore {
     }
 
     /// The publication time of `seq`, if already published.
-    pub fn published_at(&self, seq: u64) -> Option<SimTime> {
+    pub fn published_at(&self, seq: u64) -> Option<TimePoint> {
         self.history.get(seq as usize).copied()
     }
 
@@ -103,37 +107,37 @@ impl PublisherCore {
     /// sequence `history.len()`, and retransmission requests for earlier
     /// sequences are answered from the adopted history. Used by warm
     /// standbys promoting after a sender crash.
-    pub fn resume_from(&mut self, history: Vec<SimTime>) {
+    pub fn resume_from(&mut self, history: Vec<TimePoint>) {
         self.next_seq = history.len() as u64;
         self.finished = self.next_seq >= self.app.total_samples;
         self.history = history;
     }
 
-    /// Must be called from the embedding agent's `on_start`.
-    pub fn start(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.set_timer(SimDuration::ZERO, TIMER_PUBLISH);
+    /// Must be called from the embedding core's `Start` input.
+    pub fn start(&mut self, env: &mut Env<'_>) {
+        env.set_timer(Span::ZERO, TIMER_PUBLISH);
         if self.heartbeats {
             // Desynchronise the heartbeat grid from the publication grid:
             // a random phase keeps gap-detection delay realistic instead of
             // letting aligned timers detect losses instantly.
             let interval = self.tuning.heartbeat_interval.as_nanos();
-            let phase = SimDuration::from_nanos(ctx.rng().next_below(interval.max(1)));
-            ctx.set_timer(phase, TIMER_HEARTBEAT);
+            let phase = Span::from_nanos(env.rng().next_below(interval.max(1)));
+            env.set_timer(phase, TIMER_HEARTBEAT);
         }
     }
 
     /// Handles publisher timers. Returns `true` if the tag belonged to the
     /// core (so protocol senders can route their own timers otherwise).
-    pub fn handle_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) -> bool {
+    pub fn handle_timer(&mut self, env: &mut Env<'_>, tag: u64) -> bool {
         match tag {
             TIMER_PUBLISH => {
-                self.publish_one(ctx);
+                self.publish_one(env);
                 true
             }
             TIMER_HEARTBEAT => {
                 if !self.finished {
-                    self.send_heartbeat(ctx);
-                    ctx.set_timer(self.tuning.heartbeat_interval, TIMER_HEARTBEAT);
+                    self.send_heartbeat(env);
+                    env.set_timer(self.tuning.heartbeat_interval, TIMER_HEARTBEAT);
                 }
                 true
             }
@@ -141,33 +145,31 @@ impl PublisherCore {
         }
     }
 
-    fn publish_one(&mut self, ctx: &mut Ctx<'_>) {
+    fn publish_one(&mut self, env: &mut Env<'_>) {
         if self.next_seq >= self.app.total_samples {
             return;
         }
         let seq = self.next_seq;
-        let now = ctx.now();
+        let now = env.now();
         self.history.push(now);
         self.next_seq += 1;
-        ctx.send(
+        env.send(
             self.group,
-            OutPacket::new(
-                self.data_packet_bytes(),
-                DataMsg {
-                    seq,
-                    published_at: now,
-                    retransmission: false,
-                },
-            )
-            .tag(TAG_DATA)
-            .cost(self.data_cost()),
+            self.data_packet_bytes(),
+            TAG_DATA,
+            self.data_cost(),
+            WireMsg::Data(DataMsg {
+                seq,
+                published_at: now,
+                retransmission: false,
+            }),
         );
         if self.next_seq < self.app.total_samples {
-            ctx.set_timer(self.app.interval, TIMER_PUBLISH);
+            env.set_timer(self.app.interval, TIMER_PUBLISH);
         } else {
             self.finished = true;
             if self.send_fin {
-                self.announce_fin(ctx);
+                self.announce_fin(env);
             }
         }
     }
@@ -175,52 +177,46 @@ impl PublisherCore {
     /// Multicasts the end-of-stream marker. Called automatically after the
     /// last publication; standbys promoting into an already-complete
     /// stream call it directly so receivers can close their gap detection.
-    pub fn announce_fin(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.send(
+    pub fn announce_fin(&mut self, env: &mut Env<'_>) {
+        env.send(
             self.group,
-            OutPacket::new(
-                FRAMING_BYTES + CONTROL_BYTES,
-                FinMsg {
-                    total: self.app.total_samples,
-                },
-            )
-            .tag(TAG_FIN)
-            .cost(self.control_cost()),
+            FRAMING_BYTES + CONTROL_BYTES,
+            TAG_FIN,
+            self.control_cost(),
+            WireMsg::Fin(FinMsg {
+                total: self.app.total_samples,
+            }),
         );
     }
 
-    fn send_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.send(
+    fn send_heartbeat(&mut self, env: &mut Env<'_>) {
+        env.send(
             self.group,
-            OutPacket::new(
-                FRAMING_BYTES + CONTROL_BYTES,
-                HeartbeatMsg {
-                    highest_seq: self.next_seq.checked_sub(1),
-                },
-            )
-            .tag(TAG_HEARTBEAT)
-            .cost(self.control_cost()),
+            FRAMING_BYTES + CONTROL_BYTES,
+            TAG_HEARTBEAT,
+            self.control_cost(),
+            WireMsg::Heartbeat(HeartbeatMsg {
+                highest_seq: self.next_seq.checked_sub(1),
+            }),
         );
     }
 
     /// Unicasts a retransmission of `seq` to `to`. Returns `false` if `seq`
     /// has not been published yet.
-    pub fn retransmit(&mut self, ctx: &mut Ctx<'_>, to: NodeId, seq: u64) -> bool {
+    pub fn retransmit(&mut self, env: &mut Env<'_>, to: NodeId, seq: u64) -> bool {
         let Some(published_at) = self.published_at(seq) else {
             return false;
         };
-        ctx.send(
+        env.send(
             to,
-            OutPacket::new(
-                self.data_packet_bytes(),
-                DataMsg {
-                    seq,
-                    published_at,
-                    retransmission: true,
-                },
-            )
-            .tag(TAG_RETRANSMIT)
-            .cost(self.data_cost()),
+            self.data_packet_bytes(),
+            TAG_RETRANSMIT,
+            self.data_cost(),
+            WireMsg::Data(DataMsg {
+                seq,
+                published_at,
+                retransmission: true,
+            }),
         );
         true
     }
@@ -229,25 +225,26 @@ impl PublisherCore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adamant_netsim::{Agent, Bandwidth, HostConfig, MachineClass, Packet, Simulation};
+    use adamant_netsim::{
+        Agent, Bandwidth, Ctx, HostConfig, MachineClass, Packet, SimDriver, Simulation,
+    };
+    use adamant_proto::{Input, ProtocolCore};
     use std::any::Any;
 
+    /// Minimal protocol core embedding a bare publisher.
     struct CoreSender {
         core: PublisherCore,
     }
 
-    impl Agent for CoreSender {
-        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-            self.core.start(ctx);
-        }
-        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _id: adamant_netsim::TimerId, tag: u64) {
-            self.core.handle_timer(ctx, tag);
-        }
-        fn as_any(&self) -> &dyn Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn Any {
-            self
+    impl ProtocolCore for CoreSender {
+        fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+            match input {
+                Input::Start => self.core.start(env),
+                Input::TimerFired { tag, .. } => {
+                    self.core.handle_timer(env, tag);
+                }
+                _ => {}
+            }
         }
     }
 
@@ -259,12 +256,11 @@ mod tests {
 
     impl Agent for Sink {
         fn on_packet(&mut self, _ctx: &mut Ctx<'_>, pkt: Packet) {
-            if let Some(d) = pkt.payload_as::<DataMsg>() {
-                self.data.push(*d);
-            } else if pkt.payload_as::<HeartbeatMsg>().is_some() {
-                self.heartbeats += 1;
-            } else if pkt.payload_as::<FinMsg>().is_some() {
-                self.fins += 1;
+            match pkt.payload_as::<WireMsg>() {
+                Some(WireMsg::Data(d)) => self.data.push(*d),
+                Some(WireMsg::Heartbeat(_)) => self.heartbeats += 1,
+                Some(WireMsg::Fin(_)) => self.fins += 1,
+                _ => {}
             }
         }
         fn as_any(&self) -> &dyn Any {
@@ -296,7 +292,7 @@ mod tests {
             heartbeats,
             fin,
         );
-        let tx = sim.add_node(cfg, CoreSender { core });
+        let tx = sim.add_node(cfg, SimDriver::new(CoreSender { core }));
         sim.join_group(group, tx);
         (sim, rx)
     }
@@ -311,7 +307,7 @@ mod tests {
         assert_eq!(seqs, (0..10).collect::<Vec<_>>());
         // Publications are 10 ms apart.
         let gap = sink.data[1].published_at - sink.data[0].published_at;
-        assert_eq!(gap, SimDuration::from_millis(10));
+        assert_eq!(gap, Span::from_millis(10));
         assert_eq!(sink.fins, 0);
         assert_eq!(sink.heartbeats, 0);
     }
@@ -353,7 +349,7 @@ mod tests {
         assert_eq!(core.data_packet_bytes(), 42 + 16 + 48 + 12);
         let cost = core.data_cost();
         // 15 µs OS + 25 µs middleware on each side.
-        assert_eq!(cost.tx, SimDuration::from_micros(40));
-        assert_eq!(cost.rx, SimDuration::from_micros(40));
+        assert_eq!(cost.tx, Span::from_micros(40));
+        assert_eq!(cost.rx, Span::from_micros(40));
     }
 }

@@ -17,13 +17,13 @@
 //! compaction cost of the reference implementation, which grows on slower
 //! machines.
 
-use std::any::Any;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use adamant_metrics::{Delivery, DenseReceptionLog};
-use adamant_netsim::{
-    Agent, Ctx, GroupId, NodeId, ObsEvent, OutPacket, Packet, ProcessingCost, SimDuration, SimTime,
-    TimerId,
+use adamant_proto::wire::{DataMsg, MembershipMsg, RepairMsg};
+use adamant_proto::{
+    Env, GroupId, Input, NodeId, ProcessingCost, ProtoEvent, ProtocolCore, Span, TimePoint,
+    TimerToken, WireMsg,
 };
 
 use crate::config::Tuning;
@@ -34,7 +34,6 @@ use crate::tags::{
     CONTROL_BYTES, FRAMING_BYTES, REPAIR_BASE_BYTES, REPAIR_PER_SEQ_BYTES, TAG_MEMBERSHIP,
     TAG_REPAIR,
 };
-use crate::wire::{DataMsg, FinMsg, MembershipMsg, RepairMsg};
 
 /// Timer tag for the repair-window flush.
 const TIMER_FLUSH: u64 = 20;
@@ -51,7 +50,7 @@ pub struct RicochetSender {
 impl RicochetSender {
     /// Creates a sender publishing `app` into `group`.
     pub fn new(app: AppSpec, profile: StackProfile, tuning: Tuning, group: GroupId) -> Self {
-        let fec_rx = SimDuration::from_micros_f64(tuning.fec_data_cost_us);
+        let fec_rx = Span::from_micros_f64(tuning.fec_data_cost_us);
         RicochetSender {
             core: PublisherCore::new(app, profile, tuning, group, false, true)
                 .with_extra_data_rx(fec_rx),
@@ -64,21 +63,15 @@ impl RicochetSender {
     }
 }
 
-impl Agent for RicochetSender {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        self.core.start(ctx);
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
-        self.core.handle_timer(ctx, tag);
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+impl ProtocolCore for RicochetSender {
+    fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+        match input {
+            Input::Start => self.core.start(env),
+            Input::TimerFired { tag, .. } => {
+                self.core.handle_timer(env, tag);
+            }
+            Input::PacketIn { .. } | Input::Tick => {}
+        }
     }
 }
 
@@ -97,15 +90,15 @@ pub struct RicochetReceiver {
     dropped: u64,
     duplicates: u64,
     /// Received/recovered packets retained for XOR reconstruction.
-    store: BTreeMap<u64, SimTime>,
+    store: BTreeMap<u64, TimePoint>,
     /// The repair window currently being accumulated.
-    window: Vec<(u64, SimTime)>,
-    flush_timer: Option<TimerId>,
+    window: Vec<(u64, TimePoint)>,
+    flush_timer: Option<TimerToken>,
     /// Repairs that could not be decoded yet (≥ 2 unknowns).
     pending: VecDeque<RepairMsg>,
     /// Peer liveness from membership heartbeats.
-    last_seen: HashMap<NodeId, SimTime>,
-    started_at: SimTime,
+    last_seen: HashMap<NodeId, TimePoint>,
+    started_at: TimePoint,
     epoch: u64,
     stream_active: bool,
     data_packets: u64,
@@ -145,7 +138,7 @@ impl RicochetReceiver {
             flush_timer: None,
             pending: VecDeque::new(),
             last_seen: HashMap::new(),
-            started_at: SimTime::ZERO,
+            started_at: TimePoint::ZERO,
             epoch: 0,
             stream_active: true,
             data_packets: 0,
@@ -176,11 +169,11 @@ impl RicochetReceiver {
     }
 
     fn control_cost(&self) -> ProcessingCost {
-        ProcessingCost::symmetric(SimDuration::from_micros_f64(self.tuning.os_packet_cost_us))
+        ProcessingCost::symmetric(Span::from_micros_f64(self.tuning.os_packet_cost_us))
     }
 
     /// Whether `peer` is currently believed alive by the failure detector.
-    fn peer_alive(&self, peer: NodeId, now: SimTime) -> bool {
+    fn peer_alive(&self, peer: NodeId, now: TimePoint) -> bool {
         let grace = self.tuning.membership_interval * self.tuning.membership_timeout_factor as u64;
         match self.last_seen.get(&peer) {
             Some(&t) => now.saturating_since(t) < grace,
@@ -197,14 +190,14 @@ impl RicochetReceiver {
     }
 
     /// Sends the current window as a repair packet to `c` live peers.
-    fn flush_window(&mut self, ctx: &mut Ctx<'_>) {
+    fn flush_window(&mut self, env: &mut Env<'_>) {
         if self.window.is_empty() {
             return;
         }
         let entries = std::mem::take(&mut self.window);
-        let now = ctx.now();
-        let me = ctx.node();
-        let peers: Vec<NodeId> = ctx
+        let now = env.now();
+        let me = env.node();
+        let peers: Vec<NodeId> = env
             .members(self.group)
             .iter()
             .copied()
@@ -213,14 +206,14 @@ impl RicochetReceiver {
         if peers.is_empty() {
             return;
         }
-        let chosen = ctx.rng().sample_indices(peers.len(), self.c);
+        let chosen = env.rng().sample_indices(peers.len(), self.c);
         let size = FRAMING_BYTES
             + REPAIR_BASE_BYTES
             + REPAIR_PER_SEQ_BYTES * entries.len() as u32
             + self.payload_bytes;
-        let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
-        let construct = SimDuration::from_micros_f64(self.tuning.fec_repair_tx_cost_us);
-        let decode = SimDuration::from_micros_f64(self.tuning.fec_repair_rx_cost_us);
+        let os = Span::from_micros_f64(self.tuning.os_packet_cost_us);
+        let construct = Span::from_micros_f64(self.tuning.fec_repair_tx_cost_us);
+        let decode = Span::from_micros_f64(self.tuning.fec_repair_rx_cost_us);
         let msg = RepairMsg { entries };
         let span = msg.entries.len() as u32;
         let copies = chosen.len() as u32;
@@ -228,29 +221,26 @@ impl RicochetReceiver {
             // XOR construction happens once; the extra copies pay only the
             // OS send path.
             let tx = if i == 0 { os + construct } else { os };
-            ctx.send(
+            env.send(
                 peers[peer_idx],
-                OutPacket::new(size, msg.clone())
-                    .tag(TAG_REPAIR)
-                    .cost(ProcessingCost::new(tx, os + decode)),
+                size,
+                TAG_REPAIR,
+                ProcessingCost::new(tx, os + decode),
+                WireMsg::Repair(msg.clone()),
             );
             self.repairs_sent += 1;
         }
-        ctx.emit(|| ObsEvent::RepairSent {
-            node: me,
-            copies,
-            span,
-        });
+        env.emit(|| ProtoEvent::RepairSent { copies, span });
     }
 
     /// Registers a newly available packet and re-runs pending repairs to a
     /// fixpoint (iterative decoding).
     fn learn(
         &mut self,
-        ctx: &mut Ctx<'_>,
-        now: SimTime,
+        env: &mut Env<'_>,
+        now: TimePoint,
         seq: u64,
-        published_at: SimTime,
+        published_at: TimePoint,
         recovered: bool,
     ) {
         if self.log.contains(seq) {
@@ -263,16 +253,15 @@ impl RicochetReceiver {
             delivered_at: now,
             recovered,
         }) {
-            let node = ctx.node();
-            ctx.emit(|| ObsEvent::SampleAccepted {
-                node,
+            env.deliver(seq, published_at, recovered);
+            env.emit(|| ProtoEvent::SampleAccepted {
                 seq,
                 published_ns: published_at.as_nanos(),
                 delivered_ns: now.as_nanos(),
                 recovered,
             });
             if recovered {
-                ctx.emit(|| ObsEvent::RepairDecoded { node, seq });
+                env.emit(|| ProtoEvent::RepairDecoded { seq });
             }
         }
         if recovered {
@@ -282,15 +271,15 @@ impl RicochetReceiver {
         self.prune_store();
     }
 
-    fn decode_pending(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
+    fn decode_pending(&mut self, env: &mut Env<'_>, now: TimePoint) {
         loop {
             let mut progress = false;
             let mut remaining = VecDeque::with_capacity(self.pending.len());
             while let Some(repair) = self.pending.pop_front() {
                 match self.try_decode(&repair) {
                     DecodeOutcome::Recovered(seq, published_at) => {
-                        if ctx.rng().bernoulli(self.tuning.repair_efficacy) {
-                            self.learn(ctx, now, seq, published_at, true);
+                        if env.rng().bernoulli(self.tuning.repair_efficacy) {
+                            self.learn(env, now, seq, published_at, true);
                         }
                         // Decoded or collided: either way this repair is
                         // spent.
@@ -311,7 +300,7 @@ impl RicochetReceiver {
     }
 
     fn try_decode(&self, repair: &RepairMsg) -> DecodeOutcome {
-        let mut unknown: Option<(u64, SimTime)> = None;
+        let mut unknown: Option<(u64, TimePoint)> = None;
         for &(seq, published_at) in &repair.entries {
             if !self.store.contains_key(&seq) {
                 if unknown.is_some() {
@@ -326,57 +315,56 @@ impl RicochetReceiver {
         }
     }
 
-    fn on_data(&mut self, ctx: &mut Ctx<'_>, data: &DataMsg) {
-        if ctx.rng().bernoulli(self.drop_probability) {
+    fn on_data(&mut self, env: &mut Env<'_>, data: &DataMsg) {
+        if env.rng().bernoulli(self.drop_probability) {
             self.dropped += 1;
             return;
         }
         if self.log.contains(data.seq) {
             self.duplicates += 1;
-            let node = ctx.node();
             let seq = data.seq;
-            ctx.emit(|| ObsEvent::SampleDuplicate { node, seq });
+            env.emit(|| ProtoEvent::SampleDuplicate { seq });
             return;
         }
         self.data_packets += 1;
         // Periodic LEC packet-store maintenance stalls the receive path;
         // the stall scales with the machine's CPU factor and is visible to
         // the application as delayed delivery.
-        let mut now = ctx.now();
+        let mut now = env.now();
         if self.tuning.fec_maintenance_every > 0
             && self
                 .data_packets
                 .is_multiple_of(self.tuning.fec_maintenance_every)
         {
-            let stall = SimDuration::from_micros_f64(self.tuning.fec_maintenance_cost_us)
-                .scale(ctx.machine().cpu_scale());
+            let stall =
+                Span::from_micros_f64(self.tuning.fec_maintenance_cost_us).scale(env.cpu_scale());
             now += stall;
         }
-        self.learn(ctx, now, data.seq, data.published_at, false);
+        self.learn(env, now, data.seq, data.published_at, false);
         self.window.push((data.seq, data.published_at));
-        self.decode_pending(ctx, now);
+        self.decode_pending(env, now);
         if self.window.len() >= self.r {
-            self.flush_window(ctx);
-            if let Some(id) = self.flush_timer.take() {
-                ctx.cancel_timer(id);
+            self.flush_window(env);
+            if let Some(token) = self.flush_timer.take() {
+                env.cancel_timer(token);
             }
         } else if self.flush_timer.is_none() {
-            self.flush_timer = Some(ctx.set_timer(self.tuning.ricochet_flush, TIMER_FLUSH));
+            self.flush_timer = Some(env.set_timer(self.tuning.ricochet_flush, TIMER_FLUSH));
         }
     }
 
-    fn on_repair(&mut self, ctx: &mut Ctx<'_>, repair: &RepairMsg) {
+    fn on_repair(&mut self, env: &mut Env<'_>, repair: &RepairMsg) {
         self.repairs_received += 1;
-        let now = ctx.now();
+        let now = env.now();
         match self.try_decode(repair) {
             DecodeOutcome::Recovered(seq, published_at) => {
                 // The XOR reconstruction succeeds with `repair_efficacy`
                 // probability: real LEC windows collide with concurrent
                 // losses and receive-buffer slot reuse, which the
                 // simplified single-group decoder does not otherwise see.
-                if ctx.rng().bernoulli(self.tuning.repair_efficacy) {
-                    self.learn(ctx, now, seq, published_at, true);
-                    self.decode_pending(ctx, now);
+                if env.rng().bernoulli(self.tuning.repair_efficacy) {
+                    self.learn(env, now, seq, published_at, true);
+                    self.decode_pending(env, now);
                 }
             }
             DecodeOutcome::Useless => {}
@@ -392,7 +380,7 @@ impl RicochetReceiver {
 
 enum DecodeOutcome {
     /// Exactly one covered packet is unknown: it can be reconstructed.
-    Recovered(u64, SimTime),
+    Recovered(u64, TimePoint),
     /// Everything covered is already held.
     Useless,
     /// Two or more unknowns: keep for iterative decoding.
@@ -424,70 +412,65 @@ impl DataReader for RicochetReceiver {
     }
 }
 
-impl Agent for RicochetReceiver {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        self.started_at = ctx.now();
-        // Random phase: membership heartbeats from different receivers
-        // must not collide in lockstep bursts.
-        let interval = self.tuning.membership_interval.as_nanos();
-        let phase = SimDuration::from_nanos(ctx.rng().next_below(interval.max(1)));
-        ctx.set_timer(phase, TIMER_MEMBERSHIP);
-    }
-
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
-        if let Some(data) = packet.payload_as::<DataMsg>() {
-            let data = *data;
-            self.on_data(ctx, &data);
-        } else if let Some(repair) = packet.payload_as::<RepairMsg>() {
-            let repair = repair.clone();
-            self.on_repair(ctx, &repair);
-        } else if packet.payload_as::<FinMsg>().is_some() {
-            self.stream_active = false;
-            self.flush_window(ctx);
-            if let Some(id) = self.flush_timer.take() {
-                ctx.cancel_timer(id);
+impl ProtocolCore for RicochetReceiver {
+    fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+        match input {
+            Input::Start => {
+                self.started_at = env.now();
+                // Random phase: membership heartbeats from different
+                // receivers must not collide in lockstep bursts.
+                let interval = self.tuning.membership_interval.as_nanos();
+                let phase = Span::from_nanos(env.rng().next_below(interval.max(1)));
+                env.set_timer(phase, TIMER_MEMBERSHIP);
             }
-        } else if packet.payload_as::<MembershipMsg>().is_some() {
-            self.last_seen.insert(packet.src, ctx.now());
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
-        match tag {
-            TIMER_FLUSH => {
-                self.flush_timer = None;
-                self.flush_window(ctx);
-            }
-            TIMER_MEMBERSHIP if self.stream_active => {
-                self.epoch += 1;
-                ctx.send(
-                    self.group,
-                    OutPacket::new(
+            Input::PacketIn { src, msg } => match msg {
+                WireMsg::Data(data) => {
+                    let data = *data;
+                    self.on_data(env, &data);
+                }
+                WireMsg::Repair(repair) => {
+                    let repair = repair.clone();
+                    self.on_repair(env, &repair);
+                }
+                WireMsg::Fin(_) => {
+                    self.stream_active = false;
+                    self.flush_window(env);
+                    if let Some(token) = self.flush_timer.take() {
+                        env.cancel_timer(token);
+                    }
+                }
+                WireMsg::Membership(_) => {
+                    self.last_seen.insert(src, env.now());
+                }
+                _ => {}
+            },
+            Input::TimerFired { tag, .. } => match tag {
+                TIMER_FLUSH => {
+                    self.flush_timer = None;
+                    self.flush_window(env);
+                }
+                TIMER_MEMBERSHIP if self.stream_active => {
+                    self.epoch += 1;
+                    env.send(
+                        self.group,
                         FRAMING_BYTES + CONTROL_BYTES,
-                        MembershipMsg { epoch: self.epoch },
-                    )
-                    .tag(TAG_MEMBERSHIP)
-                    .cost(self.control_cost()),
-                );
-                ctx.set_timer(self.tuning.membership_interval, TIMER_MEMBERSHIP);
-            }
-            _ => {}
+                        TAG_MEMBERSHIP,
+                        self.control_cost(),
+                        WireMsg::Membership(MembershipMsg { epoch: self.epoch }),
+                    );
+                    env.set_timer(self.tuning.membership_interval, TIMER_MEMBERSHIP);
+                }
+                _ => {}
+            },
+            Input::Tick => {}
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, Simulation};
+    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, SimDriver, Simulation};
 
     fn cfg() -> HostConfig {
         HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1)
@@ -507,13 +490,25 @@ mod tests {
         let profile = StackProfile::new(10.0, 48);
         let tuning = Tuning::default();
         let group = sim.create_group(&[]);
-        let tx = sim.add_node(cfg(), RicochetSender::new(app, profile, tuning, group));
+        let tx = sim.add_node(
+            cfg(),
+            SimDriver::new(RicochetSender::new(app, profile, tuning, group)),
+        );
         sim.join_group(group, tx);
         let mut rx_nodes = Vec::new();
         for _ in 0..receivers {
             let rx = sim.add_node(
                 cfg(),
-                RicochetReceiver::new(tx, group, samples, 12, r, c, tuning, drop_probability),
+                SimDriver::new(RicochetReceiver::new(
+                    tx,
+                    group,
+                    samples,
+                    12,
+                    r,
+                    c,
+                    tuning,
+                    drop_probability,
+                )),
             );
             sim.join_group(group, rx);
             rx_nodes.push(rx);
@@ -622,14 +617,21 @@ mod tests {
         let group = sim.create_group(&[]);
         let tx = sim.add_node(
             cfg(),
-            RicochetSender::new(app, StackProfile::new(10.0, 48), tuning, group),
+            SimDriver::new(RicochetSender::new(
+                app,
+                StackProfile::new(10.0, 48),
+                tuning,
+                group,
+            )),
         );
         sim.join_group(group, tx);
         let mut rxs = Vec::new();
         for _ in 0..4 {
             let rx = sim.add_node(
                 cfg(),
-                RicochetReceiver::new(tx, group, 3_000, 12, 4, 2, tuning, 0.05),
+                SimDriver::new(RicochetReceiver::new(
+                    tx, group, 3_000, 12, 4, 2, tuning, 0.05,
+                )),
             );
             sim.join_group(group, rx);
             rxs.push(rx);

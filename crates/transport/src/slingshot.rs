@@ -8,12 +8,15 @@
 //! dependency), paid for with `c×` repair bandwidth and no coding gain —
 //! the trade Ricochet's LEC was invented to improve. Included as an ANT
 //! baseline; it is not one of the paper's six ANN candidates.
-
-use std::any::Any;
+//!
+//! Forwarded copies travel as [`WireMsg::Forwarded`], which keeps them
+//! distinguishable from originals for statistics; the wire contents are
+//! identical to a data packet.
 
 use adamant_metrics::{Delivery, DenseReceptionLog};
-use adamant_netsim::{
-    Agent, Ctx, GroupId, NodeId, ObsEvent, OutPacket, Packet, ProcessingCost, SimDuration, TimerId,
+use adamant_proto::wire::DataMsg;
+use adamant_proto::{
+    Env, GroupId, Input, NodeId, ProcessingCost, ProtoEvent, ProtocolCore, Span, WireMsg,
 };
 
 use crate::config::Tuning;
@@ -21,12 +24,6 @@ use crate::profile::{AppSpec, StackProfile};
 use crate::publisher::PublisherCore;
 use crate::receiver::DataReader;
 use crate::tags::{DATA_HEADER_BYTES, FRAMING_BYTES, TAG_REPAIR};
-use crate::wire::DataMsg;
-
-/// Marker payload wrapping a forwarded copy (so receivers can tell copies
-/// from originals for statistics; the wire contents are identical).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ForwardedCopy(pub DataMsg);
 
 /// Sender side of Slingshot: publish-only, like Ricochet's sender.
 #[derive(Debug)]
@@ -48,21 +45,15 @@ impl SlingshotSender {
     }
 }
 
-impl Agent for SlingshotSender {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        self.core.start(ctx);
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
-        self.core.handle_timer(ctx, tag);
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+impl ProtocolCore for SlingshotSender {
+    fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+        match input {
+            Input::Start => self.core.start(env),
+            Input::TimerFired { tag, .. } => {
+                self.core.handle_timer(env, tag);
+            }
+            Input::PacketIn { .. } | Input::Tick => {}
+        }
     }
 }
 
@@ -132,9 +123,9 @@ impl SlingshotReceiver {
         self.duplicates
     }
 
-    fn forward(&mut self, ctx: &mut Ctx<'_>, data: DataMsg) {
-        let me = ctx.node();
-        let peers: Vec<NodeId> = ctx
+    fn forward(&mut self, env: &mut Env<'_>, data: DataMsg) {
+        let me = env.node();
+        let peers: Vec<NodeId> = env
             .members(self.group)
             .iter()
             .copied()
@@ -143,43 +134,39 @@ impl SlingshotReceiver {
         if peers.is_empty() {
             return;
         }
-        let chosen = ctx.rng().sample_indices(peers.len(), self.c);
+        let chosen = env.rng().sample_indices(peers.len(), self.c);
         let size = FRAMING_BYTES + DATA_HEADER_BYTES + self.payload_bytes;
-        let os = SimDuration::from_micros_f64(self.tuning.os_packet_cost_us);
+        let os = Span::from_micros_f64(self.tuning.os_packet_cost_us);
         let copies = chosen.len() as u32;
         for &peer_idx in &chosen {
-            ctx.send(
+            env.send(
                 peers[peer_idx],
-                OutPacket::new(size, ForwardedCopy(data))
-                    .tag(TAG_REPAIR)
-                    .cost(ProcessingCost::symmetric(os)),
+                size,
+                TAG_REPAIR,
+                ProcessingCost::symmetric(os),
+                WireMsg::Forwarded(data),
             );
             self.copies_sent += 1;
         }
-        ctx.emit(|| ObsEvent::RepairSent {
-            node: me,
-            copies,
-            span: 1,
-        });
+        env.emit(|| ProtoEvent::RepairSent { copies, span: 1 });
     }
 
-    fn learn(&mut self, ctx: &mut Ctx<'_>, data: DataMsg, via_copy: bool) {
-        let node = ctx.node();
+    fn learn(&mut self, env: &mut Env<'_>, data: DataMsg, via_copy: bool) {
         if self.log.contains(data.seq) {
             self.duplicates += 1;
             let seq = data.seq;
-            ctx.emit(|| ObsEvent::SampleDuplicate { node, seq });
+            env.emit(|| ProtoEvent::SampleDuplicate { seq });
             return;
         }
         let delivery = Delivery {
             seq: data.seq,
             published_at: data.published_at,
-            delivered_at: ctx.now(),
+            delivered_at: env.now(),
             recovered: via_copy,
         };
         if self.log.record(delivery) {
-            ctx.emit(|| ObsEvent::SampleAccepted {
-                node,
+            env.deliver(delivery.seq, delivery.published_at, via_copy);
+            env.emit(|| ProtoEvent::SampleAccepted {
                 seq: delivery.seq,
                 published_ns: delivery.published_at.as_nanos(),
                 delivered_ns: delivery.delivered_at.as_nanos(),
@@ -217,36 +204,38 @@ impl DataReader for SlingshotReceiver {
     }
 }
 
-impl Agent for SlingshotReceiver {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
-        if let Some(data) = packet.payload_as::<DataMsg>() {
-            let data = *data;
-            if ctx.rng().bernoulli(self.drop_probability) {
-                self.dropped += 1;
-                return;
+impl ProtocolCore for SlingshotReceiver {
+    fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+        match input {
+            Input::PacketIn {
+                msg: WireMsg::Data(data),
+                ..
+            } => {
+                let data = *data;
+                if env.rng().bernoulli(self.drop_probability) {
+                    self.dropped += 1;
+                    return;
+                }
+                self.learn(env, data, false);
+                self.forward(env, data);
             }
-            self.learn(ctx, data, false);
-            self.forward(ctx, data);
-        } else if let Some(copy) = packet.payload_as::<ForwardedCopy>() {
-            let data = copy.0;
-            self.copies_received += 1;
-            self.learn(ctx, data, true);
+            Input::PacketIn {
+                msg: WireMsg::Forwarded(copy),
+                ..
+            } => {
+                let data = *copy;
+                self.copies_received += 1;
+                self.learn(env, data, true);
+            }
+            Input::Start | Input::PacketIn { .. } | Input::TimerFired { .. } | Input::Tick => {}
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, SimTime, Simulation};
+    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, SimDriver, SimTime, Simulation};
 
     fn run_session(
         samples: u64,
@@ -262,14 +251,21 @@ mod tests {
         let group = sim.create_group(&[]);
         let tx = sim.add_node(
             cfg,
-            SlingshotSender::new(app, StackProfile::new(10.0, 48), tuning, group),
+            SimDriver::new(SlingshotSender::new(
+                app,
+                StackProfile::new(10.0, 48),
+                tuning,
+                group,
+            )),
         );
         sim.join_group(group, tx);
         let mut rxs = Vec::new();
         for _ in 0..receivers {
             let rx = sim.add_node(
                 cfg,
-                SlingshotReceiver::new(tx, group, samples, 12, c, tuning, drop),
+                SimDriver::new(SlingshotReceiver::new(
+                    tx, group, samples, 12, c, tuning, drop,
+                )),
             );
             sim.join_group(group, rx);
             rxs.push(rx);
@@ -355,14 +351,21 @@ mod tests {
         let group = ric_sim.create_group(&[]);
         let tx = ric_sim.add_node(
             cfg,
-            RicochetSender::new(app, StackProfile::new(10.0, 48), tuning, group),
+            SimDriver::new(RicochetSender::new(
+                app,
+                StackProfile::new(10.0, 48),
+                tuning,
+                group,
+            )),
         );
         ric_sim.join_group(group, tx);
         let mut ric_rx = None;
         for _ in 0..4 {
             let rx = ric_sim.add_node(
                 cfg,
-                RicochetReceiver::new(tx, group, samples, 12, 4, 3, tuning, drop),
+                SimDriver::new(RicochetReceiver::new(
+                    tx, group, samples, 12, 4, 3, tuning, drop,
+                )),
             );
             ric_sim.join_group(group, rx);
             ric_rx.get_or_insert(rx);

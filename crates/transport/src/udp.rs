@@ -1,15 +1,12 @@
 //! Best-effort UDP multicast: the no-recovery baseline.
 
-use std::any::Any;
-
 use adamant_metrics::{Delivery, DenseReceptionLog};
-use adamant_netsim::{Agent, Ctx, GroupId, ObsEvent, Packet, TimerId};
+use adamant_proto::{Env, GroupId, Input, ProtoEvent, ProtocolCore, WireMsg};
 
 use crate::config::Tuning;
 use crate::profile::{AppSpec, StackProfile};
 use crate::publisher::PublisherCore;
 use crate::receiver::DataReader;
-use crate::wire::DataMsg;
 
 /// Sender side of plain UDP multicast: publishes and nothing else.
 #[derive(Debug)]
@@ -31,21 +28,15 @@ impl UdpSender {
     }
 }
 
-impl Agent for UdpSender {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        self.core.start(ctx);
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
-        self.core.handle_timer(ctx, tag);
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+impl ProtocolCore for UdpSender {
+    fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+        match input {
+            Input::Start => self.core.start(env),
+            Input::TimerFired { tag, .. } => {
+                self.core.handle_timer(env, tag);
+            }
+            Input::PacketIn { .. } | Input::Tick => {}
+        }
     }
 }
 
@@ -81,43 +72,37 @@ impl DataReader for UdpReceiver {
     }
 }
 
-impl Agent for UdpReceiver {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
-        let Some(data) = packet.payload_as::<DataMsg>() else {
+impl ProtocolCore for UdpReceiver {
+    fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+        let Input::PacketIn {
+            msg: WireMsg::Data(data),
+            ..
+        } = input
+        else {
             return;
         };
-        if ctx.rng().bernoulli(self.drop_probability) {
+        if env.rng().bernoulli(self.drop_probability) {
             self.dropped += 1;
             return;
         }
         let delivery = Delivery {
             seq: data.seq,
             published_at: data.published_at,
-            delivered_at: ctx.now(),
+            delivered_at: env.now(),
             recovered: false,
         };
         if self.log.record(delivery) {
-            let node = ctx.node();
-            ctx.emit(|| ObsEvent::SampleAccepted {
-                node,
+            env.deliver(delivery.seq, delivery.published_at, false);
+            env.emit(|| ProtoEvent::SampleAccepted {
                 seq: delivery.seq,
                 published_ns: delivery.published_at.as_nanos(),
                 delivered_ns: delivery.delivered_at.as_nanos(),
                 recovered: false,
             });
         } else {
-            let node = ctx.node();
             let seq = data.seq;
-            ctx.emit(|| ObsEvent::SampleDuplicate { node, seq });
+            env.emit(|| ProtoEvent::SampleDuplicate { seq });
         }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
     }
 }
 
@@ -125,17 +110,25 @@ impl Agent for UdpReceiver {
 mod tests {
     use super::*;
     use crate::receiver::DataReader;
-    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, Simulation};
+    use adamant_netsim::{Bandwidth, HostConfig, MachineClass, SimDriver, Simulation};
 
     fn run(drop_probability: f64) -> (u64, u64) {
         let mut sim = Simulation::new(11);
         let cfg = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
-        let rx = sim.add_node(cfg, UdpReceiver::new(1_000, drop_probability));
+        let rx = sim.add_node(
+            cfg,
+            SimDriver::new(UdpReceiver::new(1_000, drop_probability)),
+        );
         let group = sim.create_group(&[rx]);
         let app = AppSpec::at_rate(1_000, 1_000.0, 12);
         let tx = sim.add_node(
             cfg,
-            UdpSender::new(app, StackProfile::new(10.0, 48), Tuning::default(), group),
+            SimDriver::new(UdpSender::new(
+                app,
+                StackProfile::new(10.0, 48),
+                Tuning::default(),
+                group,
+            )),
         );
         sim.join_group(group, tx);
         sim.run();
@@ -164,12 +157,12 @@ mod tests {
         let group = sim.create_group(&[]);
         let tx = sim.add_node(
             cfg,
-            UdpSender::new(
+            SimDriver::new(UdpSender::new(
                 AppSpec::at_rate(5, 100.0, 12),
                 StackProfile::default(),
                 Tuning::default(),
                 group,
-            ),
+            )),
         );
         sim.run();
         assert_eq!(sim.agent::<UdpSender>(tx).unwrap().published(), 5);

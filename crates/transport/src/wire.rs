@@ -1,79 +1,25 @@
 //! Message payloads exchanged by the transport protocols.
+//!
+//! The canonical definitions moved to `adamant_proto::wire` when the
+//! protocols became sans-I/O cores (the real-UDP runtime needs the byte
+//! codec that lives there); this module re-exports them so existing
+//! `adamant_transport::wire::DataMsg` paths keep working.
 
-use adamant_netsim::SimTime;
-
-/// An application data sample (original multicast or unicast retransmission).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DataMsg {
-    /// Dense sequence number assigned by the publisher, starting at 0.
-    pub seq: u64,
-    /// When the application published the sample (for latency accounting;
-    /// a real implementation carries this inside the marshalled payload).
-    pub published_at: SimTime,
-    /// Whether this copy is a recovery retransmission.
-    pub retransmission: bool,
-}
-
-/// A negative acknowledgement listing missing sequence numbers.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct NakMsg {
-    /// The sequence numbers the receiver is missing.
-    pub seqs: Vec<u64>,
-}
-
-/// A Ricochet lateral repair packet.
-///
-/// A real repair carries `XOR(payloads of entries)`; a receiver holding all
-/// but one of the covered packets reconstructs the missing one. The
-/// simulation carries the covered `(seq, published_at)` pairs — exactly the
-/// information a successful XOR reconstruction would yield.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RepairMsg {
-    /// The packets folded into this repair, as `(seq, published_at)`.
-    pub entries: Vec<(u64, SimTime)>,
-}
-
-/// A sender session heartbeat advertising the highest sequence sent, which
-/// bounds gap-detection delay for NAK/ACK protocols.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct HeartbeatMsg {
-    /// Highest sequence number published so far, if any.
-    pub highest_seq: Option<u64>,
-}
-
-/// End-of-stream marker: the stream contains sequences `0..total`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FinMsg {
-    /// Total number of samples in the stream.
-    pub total: u64,
-}
-
-/// A cumulative acknowledgement with an explicit missing list (ACKcast).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AckMsg {
-    /// All sequences below this are delivered except those in `missing`.
-    pub below: u64,
-    /// Sequences below `below` not yet received.
-    pub missing: Vec<u64>,
-}
-
-/// A group-membership heartbeat from a receiver (failure detection).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MembershipMsg {
-    /// Monotone heartbeat counter.
-    pub epoch: u64,
-}
+pub use adamant_proto::wire::{
+    AckMsg, DataMsg, FinMsg, HeartbeatMsg, MembershipMsg, NakMsg, RepairMsg,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adamant_proto::TimePoint;
 
     #[test]
     fn payloads_round_trip_through_any() {
         use std::any::Any;
         let msg: Box<dyn Any> = Box::new(DataMsg {
             seq: 9,
-            published_at: SimTime::from_micros(5),
+            published_at: TimePoint::from_micros(5),
             retransmission: false,
         });
         let back = msg.downcast_ref::<DataMsg>().unwrap();
@@ -83,7 +29,10 @@ mod tests {
     #[test]
     fn repair_entries_carry_timestamps() {
         let r = RepairMsg {
-            entries: vec![(1, SimTime::from_micros(10)), (2, SimTime::from_micros(20))],
+            entries: vec![
+                (1, TimePoint::from_micros(10)),
+                (2, TimePoint::from_micros(20)),
+            ],
         };
         assert_eq!(r.entries.len(), 2);
     }

@@ -2,9 +2,11 @@
 //! before the configured session starts flowing — the full middleware
 //! bring-up sequence.
 
-use adamant_dds::discovery::{DiscoveryAgent, DiscoveryConfig, EndpointInfo};
+use adamant_dds::discovery::{DiscoveryConfig, DiscoveryCore, EndpointInfo};
 use adamant_dds::{DdsImplementation, DomainParticipant, QosProfile};
-use adamant_netsim::{Bandwidth, HostConfig, MachineClass, SimDuration, SimTime, Simulation};
+use adamant_netsim::{
+    Bandwidth, HostConfig, MachineClass, SimDriver, SimDuration, SimTime, Simulation,
+};
 use adamant_transport::{ant, AppSpec, ProtocolKind, TransportConfig};
 
 #[test]
@@ -17,24 +19,24 @@ fn discovery_then_data_end_to_end() {
     let group = discovery_sim.create_group(&[]);
     let writer_node = discovery_sim.add_node(
         host,
-        DiscoveryAgent::new(
+        SimDriver::new(DiscoveryCore::new(
             0,
             group,
             vec![EndpointInfo::new("sar/stream", true, qos)],
             DiscoveryConfig::default(),
-        ),
+        )),
     );
     discovery_sim.join_group(group, writer_node);
     let mut reader_nodes = Vec::new();
     for id in 1..=3u32 {
         let node = discovery_sim.add_node(
             host,
-            DiscoveryAgent::new(
+            SimDriver::new(DiscoveryCore::new(
                 id,
                 group,
                 vec![EndpointInfo::new("sar/stream", false, qos)],
                 DiscoveryConfig::default(),
-            ),
+            )),
         );
         discovery_sim.join_group(group, node);
         reader_nodes.push(node);
@@ -42,7 +44,7 @@ fn discovery_then_data_end_to_end() {
     discovery_sim.run_until(SimTime::from_secs(2));
 
     let writer_view = discovery_sim
-        .agent::<DiscoveryAgent>(writer_node)
+        .agent::<DiscoveryCore>(writer_node)
         .expect("writer agent");
     let matched_readers = writer_view.matches().len();
     assert_eq!(matched_readers, 3, "writer must discover all readers");
@@ -94,26 +96,26 @@ fn qos_incompatible_readers_are_never_wired() {
     let group = sim.create_group(&[]);
     let w = sim.add_node(
         host,
-        DiscoveryAgent::new(
+        SimDriver::new(DiscoveryCore::new(
             0,
             group,
             vec![EndpointInfo::new("t", true, offered)],
             DiscoveryConfig::default(),
-        ),
+        )),
     );
     sim.join_group(group, w);
     let r = sim.add_node(
         host,
-        DiscoveryAgent::new(
+        SimDriver::new(DiscoveryCore::new(
             1,
             group,
             vec![EndpointInfo::new("t", false, requested)],
             DiscoveryConfig::default(),
-        ),
+        )),
     );
     sim.join_group(group, r);
     sim.run_until(SimTime::from_secs(2));
-    assert!(sim.agent::<DiscoveryAgent>(w).unwrap().matches().is_empty());
+    assert!(sim.agent::<DiscoveryCore>(w).unwrap().matches().is_empty());
 
     let mut participant = DomainParticipant::new(0, DdsImplementation::OpenDds);
     let topic = participant.create_topic::<u32>("t", offered).unwrap();

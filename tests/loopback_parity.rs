@@ -1,0 +1,145 @@
+//! Driver parity: the same NAKcast cores deliver the same stream whether
+//! they run inside the deterministic simulator or over real UDP sockets
+//! on 127.0.0.1 — the acceptance check for the sans-I/O refactor. Each
+//! receiver injects 5% end-host loss from its own entropy stream, so the
+//! real-socket run exercises genuine NAK/retransmit recovery.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use adamant_netsim::{Bandwidth, HostConfig, MachineClass, NodeId, SimDriver, SimTime, Simulation};
+use adamant_proto::Span;
+use adamant_rt::{Endpoint, MonotonicClock, RtConfig};
+use adamant_transport::{
+    AppSpec, DataReader, NakcastReceiver, NakcastSender, StackProfile, Tuning,
+};
+
+const SAMPLES: u64 = 300;
+const RATE_HZ: f64 = 500.0;
+const DROP_P: f64 = 0.05;
+
+fn sender_core(group: adamant_proto::GroupId) -> NakcastSender {
+    NakcastSender::new(
+        AppSpec::at_rate(SAMPLES, RATE_HZ, 12),
+        StackProfile::new(10.0, 48),
+        Tuning::default(),
+        group,
+    )
+}
+
+fn receiver_core(sender: NodeId) -> NakcastReceiver {
+    NakcastReceiver::new(
+        sender,
+        SAMPLES,
+        Span::from_millis(2),
+        Tuning::default(),
+        DROP_P,
+    )
+}
+
+/// Delivered sequences and recovery counters of one receiver.
+struct RunOutcome {
+    delivered: BTreeSet<u64>,
+    recovered: u64,
+    naks_sent: u64,
+}
+
+fn run_netsim() -> RunOutcome {
+    let mut sim = Simulation::new(42);
+    let host = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+    let group = sim.create_group(&[]);
+    let tx = sim.add_node(host, SimDriver::new(sender_core(group)));
+    sim.join_group(group, tx);
+    let rx = sim.add_node(host, SimDriver::new(receiver_core(tx)));
+    sim.join_group(group, rx);
+    sim.run_until(SimTime::from_secs(5));
+    let r = sim.agent::<NakcastReceiver>(rx).unwrap();
+    RunOutcome {
+        delivered: r.log().deliveries().iter().map(|d| d.seq).collect(),
+        recovered: r.log().recovered_count(),
+        naks_sent: r.naks_sent(),
+    }
+}
+
+fn run_loopback() -> RunOutcome {
+    let clock = MonotonicClock::start();
+    let tx_node = NodeId(0);
+    let rx_node = NodeId(1);
+    let mut tx_ep = Endpoint::bind(tx_node, "127.0.0.1:0", RtConfig::new(7).with_clock(clock))
+        .expect("bind sender");
+    let mut rx_ep = Endpoint::bind(rx_node, "127.0.0.1:0", RtConfig::new(8).with_clock(clock))
+        .expect("bind receiver");
+    tx_ep.add_peer(rx_node, rx_ep.local_addr().unwrap());
+    rx_ep.add_peer(tx_node, tx_ep.local_addr().unwrap());
+    let groups = vec![vec![tx_node, rx_node]];
+    tx_ep.set_groups(groups.clone());
+    rx_ep.set_groups(groups);
+
+    let mut sender = sender_core(adamant_proto::GroupId(0));
+    let mut receiver = receiver_core(tx_node);
+    // Publishing takes SAMPLES / RATE_HZ = 0.6 s; leave generous slack for
+    // tail-loss recovery on loaded CI machines. The sender stays up the
+    // whole window so late NAKs are still answered.
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            tx_ep
+                .run_for(&mut sender, Duration::from_millis(2_500))
+                .expect("sender loop");
+        });
+        s.spawn(|| {
+            rx_ep
+                .run_for(&mut receiver, Duration::from_millis(2_500))
+                .expect("receiver loop");
+        });
+    });
+    assert_eq!(sender.published(), SAMPLES, "sender finished the stream");
+    RunOutcome {
+        delivered: receiver.log().deliveries().iter().map(|d| d.seq).collect(),
+        recovered: receiver.log().recovered_count(),
+        naks_sent: receiver.naks_sent(),
+    }
+}
+
+#[test]
+fn nakcast_delivers_identically_under_both_drivers() {
+    let sim = run_netsim();
+    let rt = run_loopback();
+
+    let expected: BTreeSet<u64> = (0..SAMPLES).collect();
+    assert_eq!(
+        sim.delivered, expected,
+        "netsim NAKcast must deliver every sample"
+    );
+    assert_eq!(
+        rt.delivered, expected,
+        "real-UDP NAKcast must deliver every sample under 5% injected loss \
+         (recovered {} of {} via {} NAKs)",
+        rt.recovered, SAMPLES, rt.naks_sent
+    );
+
+    // Both runs draw independent 5%-loss patterns, so recovery volumes are
+    // stochastic — but with ~15 expected losses each, they must land in
+    // the same ballpark and both must actually exercise the NAK path.
+    assert!(
+        sim.recovered > 0 && rt.recovered > 0,
+        "both drivers must exercise recovery (sim {}, rt {})",
+        sim.recovered,
+        rt.recovered
+    );
+    let (lo, hi) = (
+        sim.recovered.min(rt.recovered),
+        sim.recovered.max(rt.recovered),
+    );
+    assert!(
+        hi <= 4 * lo + 20,
+        "recovery counts implausibly far apart: sim {} vs rt {}",
+        sim.recovered,
+        rt.recovered
+    );
+    assert!(
+        sim.naks_sent > 0 && rt.naks_sent > 0,
+        "both drivers must send NAKs (sim {}, rt {})",
+        sim.naks_sent,
+        rt.naks_sent
+    );
+}
