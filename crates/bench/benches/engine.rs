@@ -15,7 +15,10 @@ use adamant_netsim::{
     NetworkConfig, OutPacket, Packet, SimDuration, SimTime, Simulation,
 };
 use adamant_proto::wire::DataMsg;
-use adamant_proto::{EnvHost, Input, NodeId, Span, TimePoint, WireMsg};
+use adamant_proto::{
+    Env, EnvHost, Input, NodeId, ProcessingCost, ProtocolCore, Span, TimePoint, WireMsg,
+};
+use adamant_rt::{Cluster, ClusterConfig, Endpoint, MonotonicClock, RtConfig};
 use adamant_transport::{NakcastReceiver, Tuning};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::any::Any;
@@ -233,6 +236,116 @@ fn bench_proto_step(report: &mut PerfReport) {
     );
 }
 
+/// A timer-paced publisher that loops datagrams back to its own socket:
+/// every `period` it sends one `Data` message addressed to its own node
+/// (the peer table maps that to its own UDP port) and delivers whatever
+/// arrives. This is the paper's periodic-sender shape reduced to one
+/// endpoint, so a fleet of them measures how many concurrently paced
+/// endpoints a host can sustain — the consolidation question the sharded
+/// cluster exists to answer.
+struct PacedEcho {
+    period: Span,
+    seq: u64,
+}
+
+impl ProtocolCore for PacedEcho {
+    fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+        match input {
+            Input::Start | Input::TimerFired { .. } => {
+                if matches!(input, Input::TimerFired { .. }) {
+                    let msg = WireMsg::Data(DataMsg {
+                        seq: self.seq,
+                        published_at: env.now(),
+                        retransmission: false,
+                    });
+                    self.seq += 1;
+                    let node = env.node();
+                    env.send(node, 64, 0, ProcessingCost::FREE, msg);
+                }
+                env.set_timer(self.period, 0);
+            }
+            Input::PacketIn { msg, .. } => {
+                if let WireMsg::Data(d) = msg {
+                    env.deliver(d.seq, d.published_at, false);
+                }
+            }
+            Input::Tick => {}
+        }
+    }
+}
+
+/// Aggregate delivered-message throughput of 64 timer-paced echo
+/// endpoints, hosted two ways over real UDP sockets:
+///
+/// * **sequential** — one endpoint at a time through single-endpoint
+///   `run_for` loops (the only option before the cluster existed): the
+///   pacing walls serialize, so aggregate throughput is one endpoint's.
+/// * **cluster** — all 64 inside a sharded `Cluster` on 4 workers: every
+///   endpoint's pacing overlaps, bounded only by CPU and socket batching.
+///
+/// The ratio is the consolidation win the sharded runtime is for.
+fn bench_cluster(report: &mut PerfReport) {
+    use std::time::Duration;
+
+    const ENDPOINTS: usize = 64;
+    const WORKERS: usize = 4;
+    const PERIOD: Span = Span::from_micros(250);
+    const WALL: Duration = Duration::from_millis(30);
+
+    let clock = MonotonicClock::start();
+
+    let sequential_start = Instant::now();
+    let mut sequential_delivered = 0u64;
+    for i in 0..ENDPOINTS as u32 {
+        let node = NodeId(i);
+        let mut ep = Endpoint::bind(
+            node,
+            "127.0.0.1:0",
+            RtConfig::new(u64::from(i) + 1).with_clock(clock),
+        )
+        .expect("bind echo endpoint");
+        let addr = ep.local_addr().expect("local addr");
+        ep.add_peer(node, addr);
+        let mut core = PacedEcho {
+            period: PERIOD,
+            seq: 0,
+        };
+        ep.run_for(&mut core, WALL).expect("sequential echo run");
+        sequential_delivered += ep.report().delivered.len() as u64;
+    }
+    let sequential_secs = sequential_start.elapsed().as_secs_f64().max(1e-9);
+    report.sequential_msgs_per_sec = sequential_delivered as f64 / sequential_secs;
+
+    let mut cluster = Cluster::new(ClusterConfig::new(WORKERS).with_clock(clock));
+    for i in 0..ENDPOINTS as u32 {
+        let node = NodeId(i);
+        let id = cluster
+            .add_endpoint(
+                node,
+                "127.0.0.1:0",
+                PacedEcho {
+                    period: PERIOD,
+                    seq: 0,
+                },
+            )
+            .expect("bind cluster echo endpoint");
+        let addr = cluster.local_addr(id).expect("local addr");
+        cluster.add_peer(id, node, addr).expect("self peer route");
+    }
+    let cluster_start = Instant::now();
+    cluster.run_for(WALL).expect("cluster echo run");
+    let cluster_secs = cluster_start.elapsed().as_secs_f64().max(1e-9);
+    report.cluster_msgs_per_sec = cluster.stats().delivered as f64 / cluster_secs;
+
+    println!(
+        "cluster/echo_64ep_msgs_per_sec                     {:>12.0} cluster ({WORKERS} workers), \
+         {:>12.0} sequential ({:.1}x)",
+        report.cluster_msgs_per_sec,
+        report.sequential_msgs_per_sec,
+        report.cluster_msgs_per_sec / report.sequential_msgs_per_sec.max(1e-9),
+    );
+}
+
 /// Counts heap allocations across a steady-state window of the event loop
 /// and across warmed-up training epochs. Both are designed to be zero:
 /// every buffer the hot paths touch is recycled after warm-up.
@@ -352,6 +465,8 @@ fn main() {
         events_per_sec_traced: 0.0,
         queue_ops_per_sec: 0.0,
         proto_effects_per_sec: 0.0,
+        cluster_msgs_per_sec: 0.0,
+        sequential_msgs_per_sec: 0.0,
         event_loop_steady_allocs: 0,
         training_epoch_allocs: 0,
         measurements: Vec::new(),
@@ -361,6 +476,7 @@ fn main() {
     profiler.phase("events_per_sec", || events_per_sec(&mut report));
     profiler.phase("calendar_queue", || bench_queue(&mut report));
     profiler.phase("proto_step", || bench_proto_step(&mut report));
+    profiler.phase("cluster", || bench_cluster(&mut report));
     profiler.phase("allocations", || bench_allocations(&mut report));
     profiler.phase("metrics", || bench_metrics(&mut report));
     profiler.phase("ann_training", || bench_training(&mut report));

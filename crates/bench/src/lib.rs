@@ -1,7 +1,7 @@
 //! # adamant-bench
 //!
 //! Benchmarks for the ADAMANT reproduction, run by the self-contained
-//! timing harness in [`bench`] (the build environment has no registry
+//! timing harness in [`bench()`] (the build environment has no registry
 //! access, so no criterion). The benches map onto the paper's evaluation:
 //!
 //! * `ann_query` — Figures 20–21: ANN query latency and its spread, per
@@ -54,7 +54,7 @@ pub fn bench<T>(name: &str, f: impl FnMut() -> T) {
     measure(name, f);
 }
 
-/// Like [`bench`], but also returns the measurement for report assembly.
+/// Like [`bench()`], but also returns the measurement for report assembly.
 pub fn measure<T>(name: &str, mut f: impl FnMut() -> T) -> BenchMeasurement {
     // Warm-up: one call to page everything in, then estimate cost.
     std::hint::black_box(f());
@@ -127,6 +127,14 @@ pub struct PerfReport {
     /// by a warmed NAKcast receiver fed an in-order data stream through
     /// `EnvHost` — the driver-independent protocol-engine baseline.
     pub proto_effects_per_sec: f64,
+    /// Aggregate delivered-message throughput of a sharded
+    /// [`adamant_rt::Cluster`] hosting many echo endpoints over real UDP
+    /// sockets; zero when not measured.
+    pub cluster_msgs_per_sec: f64,
+    /// The same echo workload run one endpoint at a time through
+    /// single-endpoint `run_for` loops — the baseline the cluster is
+    /// measured against; zero when not measured.
+    pub sequential_msgs_per_sec: f64,
     /// Heap allocations observed during a steady-state window of the event
     /// loop (after warm-up). The allocation-free hot path keeps this at 0.
     pub event_loop_steady_allocs: u64,
@@ -165,6 +173,14 @@ impl ToJson for PerfReport {
             (
                 "proto_effects_per_sec".to_owned(),
                 Json::Num(self.proto_effects_per_sec),
+            ),
+            (
+                "cluster_msgs_per_sec".to_owned(),
+                Json::Num(self.cluster_msgs_per_sec),
+            ),
+            (
+                "sequential_msgs_per_sec".to_owned(),
+                Json::Num(self.sequential_msgs_per_sec),
             ),
             (
                 "event_loop_steady_allocs".to_owned(),
@@ -208,7 +224,7 @@ pub fn write_perf_report(report: &PerfReport) -> Result<PathBuf, String> {
     Ok(path)
 }
 
-/// Wall-clock budget for one [`bench`] measurement batch.
+/// Wall-clock budget for one [`bench()`] measurement batch.
 pub const BENCH_TARGET: Duration = Duration::from_millis(300);
 
 /// A synthetic labelled dataset with the paper's headline pattern (fast
@@ -302,6 +318,8 @@ mod tests {
             events_per_sec_traced: 900_000.0,
             queue_ops_per_sec: 50_000_000.0,
             proto_effects_per_sec: 30_000_000.0,
+            cluster_msgs_per_sec: 400_000.0,
+            sequential_msgs_per_sec: 100_000.0,
             event_loop_steady_allocs: 0,
             training_epoch_allocs: 0,
             measurements: vec![BenchMeasurement {
@@ -315,6 +333,8 @@ mod tests {
         assert_eq!(json.field::<f64>("events_per_sec"), Ok(1_000_000.0));
         assert_eq!(json.field::<f64>("queue_ops_per_sec"), Ok(50_000_000.0));
         assert_eq!(json.field::<f64>("proto_effects_per_sec"), Ok(30_000_000.0));
+        assert_eq!(json.field::<f64>("cluster_msgs_per_sec"), Ok(400_000.0));
+        assert_eq!(json.field::<f64>("sequential_msgs_per_sec"), Ok(100_000.0));
         assert_eq!(json.field::<u64>("event_loop_steady_allocs"), Ok(0));
         assert_eq!(json.field::<u64>("training_epoch_allocs"), Ok(0));
         assert_eq!(

@@ -80,6 +80,7 @@ pub mod dataset;
 mod env;
 pub mod features;
 mod healing;
+pub mod prelude;
 pub mod probe;
 mod runner;
 mod selector;

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! adamant_cli [dds] [loss%] [receivers] [rate_hz] [relate2|relate2jit]
-//! adamant_cli udp [loss%] [receivers] [rate_hz] [samples]
+//! adamant_cli udp [loss%] [receivers] [rate_hz] [samples] [--endpoints N] [--workers W]
 //! ```
 //!
 //! The selector path requires `artifacts/selector.json` (produce it with
@@ -15,7 +15,10 @@
 //! The `udp` mode needs no artifacts: it mounts the same sans-I/O NAKcast
 //! cores the simulator runs onto `adamant-rt` endpoints bound to
 //! `127.0.0.1`, injects the requested end-host loss at each receiver, and
-//! reports what the wire actually did.
+//! reports what the wire actually did. With `--endpoints N` (and
+//! optionally `--workers W`, default 4) the session runs inside a sharded
+//! [`adamant_rt::Cluster`] — one writer plus `N - 1` readers hosted on `W`
+//! worker threads — instead of one OS thread per endpoint.
 
 use adamant::{AppParams, Environment, LinuxProcProbe, ProtocolSelector, ResourceProbe};
 use adamant_dds::DdsImplementation;
@@ -23,7 +26,9 @@ use adamant_experiments::artifacts;
 use adamant_metrics::MetricKind;
 
 /// Runs a NAKcast session over real UDP on localhost and prints per-node
-/// statistics. Arguments: `[loss%] [receivers] [rate_hz] [samples]`.
+/// statistics. Arguments: `[loss%] [receivers] [rate_hz] [samples]`, plus
+/// `--endpoints N` / `--workers W` to host the session in a sharded
+/// cluster instead of a thread per endpoint.
 fn run_udp_session(args: &[String]) {
     use adamant_proto::{GroupId, NodeId, Span};
     use adamant_rt::{Endpoint, MonotonicClock, RtConfig};
@@ -32,14 +37,39 @@ fn run_udp_session(args: &[String]) {
     };
     use std::time::Duration;
 
-    let loss: f64 = args
+    let mut positional: Vec<&String> = Vec::new();
+    let mut endpoints_flag: Option<usize> = None;
+    let mut workers_flag: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--endpoints" => endpoints_flag = it.next().and_then(|s| s.parse().ok()),
+            "--workers" => workers_flag = it.next().and_then(|s| s.parse().ok()),
+            _ => positional.push(arg),
+        }
+    }
+
+    let loss: f64 = positional
         .first()
         .and_then(|s| s.trim_end_matches('%').parse::<f64>().ok())
         .unwrap_or(5.0)
         / 100.0;
-    let receivers: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
-    let rate: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100.0);
-    let samples: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let receivers: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let rate: f64 = positional
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100.0);
+    let samples: u64 = positional
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+
+    if endpoints_flag.is_some() || workers_flag.is_some() {
+        let endpoints = endpoints_flag.unwrap_or(receivers + 1).max(2);
+        let workers = workers_flag.unwrap_or(4).max(1);
+        run_udp_cluster(loss, endpoints, workers, rate, samples);
+        return;
+    }
 
     let tuning = Tuning::default();
     let group = GroupId(0);
@@ -127,6 +157,113 @@ fn run_udp_session(args: &[String]) {
     let complete = readers.iter().all(|r| r.log().delivered_count() == samples);
     println!(
         "\n{}",
+        if complete {
+            "all receivers delivered the full stream"
+        } else {
+            "WARNING: incomplete delivery (try a longer run or lower loss)"
+        }
+    );
+}
+
+/// Hosts the same NAKcast session inside a sharded [`adamant_rt::Cluster`]:
+/// one writer and `endpoints - 1` readers partitioned across `workers`
+/// worker threads, each worker batching socket I/O for its shard.
+fn run_udp_cluster(loss: f64, endpoints: usize, workers: usize, rate: f64, samples: u64) {
+    use adamant_proto::{GroupId, NodeId, Span};
+    use adamant_rt::{Cluster, ClusterConfig, EndpointId, MonotonicClock};
+    use adamant_transport::{
+        AppSpec, DataReader, NakcastReceiver, NakcastSender, StackProfile, Tuning,
+    };
+    use std::time::Duration;
+
+    let tuning = Tuning::default();
+    let group = GroupId(0);
+    let receivers = endpoints - 1;
+    let clock = MonotonicClock::start();
+
+    let mut cluster = Cluster::new(ClusterConfig::new(workers).with_clock(clock));
+    let writer_id = cluster
+        .add_endpoint(
+            NodeId(0),
+            "127.0.0.1:0",
+            NakcastSender::new(
+                AppSpec::at_rate(samples, rate, 12),
+                StackProfile::new(10.0, 48),
+                tuning,
+                group,
+            ),
+        )
+        .expect("bind writer on 127.0.0.1");
+    let reader_ids: Vec<EndpointId> = (1..=receivers as u32)
+        .map(|n| {
+            cluster
+                .add_endpoint(
+                    NodeId(n),
+                    "127.0.0.1:0",
+                    NakcastReceiver::new(NodeId(0), samples, Span::from_millis(2), tuning, loss),
+                )
+                .expect("bind reader on 127.0.0.1")
+        })
+        .collect();
+    cluster.connect_full_mesh().expect("wire cluster mesh");
+
+    for (id, node, _) in cluster.reports() {
+        let role = if node.0 == 0 { "writer" } else { "reader" };
+        let addr = cluster.local_addr(id).expect("local addr");
+        println!(
+            "node {:>2} ({role}) on udp://{addr}  [shard {}]",
+            node.0,
+            cluster.shard_of(id)
+        );
+    }
+
+    let publish_secs = samples as f64 / rate.max(1.0);
+    let wall = Duration::from_secs_f64(publish_secs + 2.0);
+    println!(
+        "publishing {samples} samples at {rate} Hz to {receivers} receiver(s) \
+         on {workers} cluster worker(s), {:.0}% injected loss, running {:.1}s…",
+        loss * 100.0,
+        wall.as_secs_f64()
+    );
+
+    cluster.run_for(wall).expect("cluster run");
+
+    let published = cluster
+        .core::<NakcastSender>(writer_id)
+        .map_or(0, |s| s.published());
+    let writer_sent = cluster.report(writer_id).map_or(0, |r| r.datagrams_sent);
+    println!("\nwriter: published {published} samples, {writer_sent} datagrams out");
+    let mut complete = true;
+    for (i, &id) in reader_ids.iter().enumerate() {
+        let reader = cluster
+            .core::<NakcastReceiver>(id)
+            .expect("reader core survives the run");
+        let log = reader.log();
+        complete &= log.delivered_count() == samples;
+        println!(
+            "reader {}: delivered {}/{} (recovered {}, naks {}, give-ups {}, dropped {})",
+            i + 1,
+            log.delivered_count(),
+            samples,
+            log.recovered_count(),
+            reader.naks_sent(),
+            reader.give_ups(),
+            reader.dropped(),
+        );
+    }
+    let stats = cluster.stats();
+    println!(
+        "\ncluster: {} datagrams out / {} in, {} delivered ({} recovered), \
+         {} backpressure stalls, {} soft I/O errors",
+        stats.datagrams_sent,
+        stats.datagrams_received,
+        stats.delivered,
+        stats.recovered,
+        stats.backpressure_stalls,
+        stats.soft_io_errors,
+    );
+    println!(
+        "{}",
         if complete {
             "all receivers delivered the full stream"
         } else {

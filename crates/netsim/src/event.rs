@@ -3,15 +3,15 @@
 //! Events are ordered by `(time, sequence)`: ties on simulated time break in
 //! scheduling order, which makes every run fully deterministic.
 //!
-//! The queue is a hierarchical *calendar queue* (a ring of fixed-width time
-//! buckets plus an overflow heap for the far future) rather than a binary
-//! heap: pushes and pops into the current simulation window are O(1)
+//! The queue is backed by the hierarchical *calendar queue* shared with the
+//! real-UDP runtime ([`adamant_proto::CalendarQueue`], hoisted out of this
+//! module so the simulator and `adamant-rt` schedule through the same
+//! structure): pushes and pops into the current simulation window are O(1)
 //! amortized, and — crucially for the allocation-free hot path — the bucket
 //! storage is recycled, so a warmed-up simulation schedules and fires events
 //! without touching the allocator.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use adamant_proto::CalendarQueue;
 
 use crate::packet::{NodeId, Packet};
 use crate::time::SimTime;
@@ -51,251 +51,6 @@ pub(crate) struct Event {
     /// half-delivered packets.
     pub epoch: u32,
     pub kind: EventKind,
-}
-
-/// One queued entry: a payload with its `(time, seq)` priority key.
-#[derive(Debug)]
-struct Entry<T> {
-    time: u64,
-    seq: u64,
-    item: T,
-}
-
-impl<T> Entry<T> {
-    #[inline]
-    fn key(&self) -> (u64, u64) {
-        (self.time, self.seq)
-    }
-}
-
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
-    }
-}
-
-impl<T> Eq for Entry<T> {}
-
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.key().cmp(&other.key())
-    }
-}
-
-/// Default bucket width: 2^18 ns ≈ 262 µs per bucket — wide enough that
-/// LAN-scale hops (tens of µs) mostly stay within the cursor's bucket,
-/// keeping bucket loads rare, while cohorts stay small enough to sort
-/// cheaply.
-const DEFAULT_BUCKET_SHIFT: u32 = 18;
-/// Default ring size: 1024 buckets ≈ a 268 ms "year" before overflow.
-const DEFAULT_BUCKETS: usize = 1024;
-
-/// A deterministic min-priority calendar queue keyed on `u64` timestamps.
-///
-/// Entries pop in ascending `(time, seq)` order, where `seq` is the
-/// push-order sequence number assigned by the queue — so entries scheduled
-/// for the same instant pop in FIFO order. This is the exact ordering
-/// contract the simulation engine's determinism rests on.
-///
-/// # Structure
-///
-/// Three tiers, by distance from the drain cursor:
-///
-/// 1. **`active`** — the bucket currently being drained, kept sorted; pops
-///    are O(1) from its front, and late entries that land at or before the
-///    cursor are merged in by binary search.
-/// 2. **ring buckets** — `buckets` fixed-width windows of `2^shift` ns
-///    each, unsorted until their turn comes (one `sort_unstable` per bucket
-///    per drain).
-/// 3. **`overflow`** — a binary heap for entries beyond the ring's horizon,
-///    migrated into the ring as the cursor advances.
-///
-/// All bucket storage is recycled between drains: once warmed up, a
-/// steady-state push/pop workload performs **zero heap allocations**.
-#[derive(Debug)]
-pub struct CalendarQueue<T> {
-    /// log2 of the bucket width in timestamp units.
-    shift: u32,
-    /// `buckets.len() - 1`; bucket count is a power of two.
-    mask: u64,
-    /// Absolute index (time >> shift) of the bucket drained into `active`.
-    cursor: u64,
-    /// The current bucket's entries, sorted ascending by `(time, seq)`.
-    active: VecDeque<Entry<T>>,
-    /// The ring: bucket for absolute index `b` lives at `b & mask`.
-    buckets: Vec<Vec<Entry<T>>>,
-    /// Total entries across all ring buckets (excluding `active`).
-    ring_len: usize,
-    /// Entries at least a full ring beyond the cursor.
-    overflow: BinaryHeap<std::cmp::Reverse<Entry<T>>>,
-    /// Recycled bucket storage, swapped into a bucket when it is drained.
-    spare: Vec<Entry<T>>,
-    next_seq: u64,
-    len: usize,
-}
-
-impl<T> Default for CalendarQueue<T> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<T> CalendarQueue<T> {
-    /// Creates a queue with the default geometry (1024 buckets of
-    /// 2^18 = 262 144 timestamp units each).
-    pub fn new() -> Self {
-        Self::with_geometry(DEFAULT_BUCKET_SHIFT, DEFAULT_BUCKETS)
-    }
-
-    /// Creates a queue with `buckets` ring buckets (a power of two, at
-    /// least 2) each spanning `2^shift` timestamp units. Smaller
-    /// geometries exercise the overflow and year-wrap paths; the defaults
-    /// suit nanosecond simulation timestamps.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `buckets` is not a power of two ≥ 2 or `shift` ≥ 64.
-    pub fn with_geometry(shift: u32, buckets: usize) -> Self {
-        assert!(
-            buckets.is_power_of_two() && buckets >= 2,
-            "bucket count must be a power of two >= 2, got {buckets}"
-        );
-        assert!(shift < 64, "bucket shift must be < 64, got {shift}");
-        CalendarQueue {
-            shift,
-            mask: (buckets - 1) as u64,
-            cursor: 0,
-            active: VecDeque::new(),
-            buckets: std::iter::repeat_with(Vec::new).take(buckets).collect(),
-            ring_len: 0,
-            overflow: BinaryHeap::new(),
-            spare: Vec::new(),
-            next_seq: 0,
-            len: 0,
-        }
-    }
-
-    /// Number of ring buckets.
-    #[inline]
-    fn ring_size(&self) -> u64 {
-        self.mask + 1
-    }
-
-    /// Schedules `item` at `time`. Returns the tie-break sequence number:
-    /// strictly increasing across pushes, so same-time entries pop in push
-    /// order.
-    pub fn push(&mut self, time: u64, item: T) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let entry = Entry { time, seq, item };
-        let abs = time >> self.shift;
-        if abs <= self.cursor {
-            // At or before the bucket being drained (zero-delay timers,
-            // same-window sends): merge into the sorted active run. The new
-            // entry's seq exceeds every queued one, so same-time entries
-            // keep FIFO order.
-            let idx = self.active.partition_point(|e| e.key() < (time, seq));
-            self.active.insert(idx, entry);
-        } else if abs - self.cursor <= self.mask {
-            self.buckets[(abs & self.mask) as usize].push(entry);
-            self.ring_len += 1;
-        } else {
-            self.overflow.push(std::cmp::Reverse(entry));
-        }
-        self.len += 1;
-        seq
-    }
-
-    /// Removes and returns the earliest entry as `(time, seq, item)`.
-    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
-        self.prepare_front();
-        let entry = self.active.pop_front()?;
-        self.len -= 1;
-        Some((entry.time, entry.seq, entry.item))
-    }
-
-    /// The timestamp of the earliest pending entry. Takes `&mut self`
-    /// because it may advance the drain cursor to find it.
-    pub fn peek_time(&mut self) -> Option<u64> {
-        self.prepare_front();
-        self.active.front().map(|e| e.time)
-    }
-
-    /// Number of pending entries.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// Whether no entries are pending.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Ensures the earliest pending entry (if any) sits at the front of
-    /// `active`, advancing the cursor across empty buckets and migrating
-    /// overflow entries that come within the ring's horizon.
-    fn prepare_front(&mut self) {
-        while self.active.is_empty() && self.len > 0 {
-            if self.ring_len == 0 {
-                // Everything pending is in the overflow heap: jump the
-                // cursor straight to the earliest entry's bucket instead of
-                // scanning a whole empty ring.
-                let earliest = self
-                    .overflow
-                    .peek()
-                    .expect("len > 0 with empty ring and active")
-                    .0
-                    .time
-                    >> self.shift;
-                debug_assert!(earliest > self.cursor);
-                self.cursor = earliest;
-            } else {
-                self.cursor += 1;
-            }
-            self.migrate_overflow();
-            let slot = (self.cursor & self.mask) as usize;
-            if !self.buckets[slot].is_empty() {
-                self.load(slot);
-            }
-        }
-    }
-
-    /// Moves overflow entries that now fall within the ring's horizon into
-    /// their ring buckets. Called after every cursor change, which keeps
-    /// the invariant that overflow entries are at least a full ring away.
-    fn migrate_overflow(&mut self) {
-        let horizon = self.cursor + self.ring_size();
-        while let Some(std::cmp::Reverse(e)) = self.overflow.peek() {
-            let abs = e.time >> self.shift;
-            if abs >= horizon {
-                break;
-            }
-            debug_assert!(abs >= self.cursor);
-            let std::cmp::Reverse(entry) = self.overflow.pop().expect("peeked entry");
-            self.buckets[(abs & self.mask) as usize].push(entry);
-            self.ring_len += 1;
-        }
-    }
-
-    /// Sorts ring bucket `slot` and makes it the active drain run, rotating
-    /// the freed storage back into the ring so no buffer is ever dropped.
-    fn load(&mut self, slot: usize) {
-        debug_assert!(self.active.is_empty());
-        let drained = std::mem::take(&mut self.active);
-        let refill = std::mem::take(&mut self.spare);
-        let mut entries = std::mem::replace(&mut self.buckets[slot], refill);
-        self.ring_len -= entries.len();
-        // Keys are unique (seq is), so unstable sort is deterministic.
-        entries.sort_unstable();
-        self.active = VecDeque::from(entries);
-        self.spare = Vec::from(drained);
-    }
 }
 
 /// A deterministic min-priority queue of simulation events, backed by a
@@ -524,32 +279,6 @@ mod tests {
             })
             .collect();
         assert_eq!(order, vec![1, 3, 2]);
-    }
-
-    #[test]
-    fn tiny_geometry_wraps_the_ring() {
-        // 4 buckets of 2 units each: an 8-unit year, so this exercises
-        // bucket aliasing and overflow migration heavily.
-        let mut q = CalendarQueue::with_geometry(1, 4);
-        let times = [37u64, 2, 9, 8, 40, 3, 2, 25, 14, 0];
-        for &t in &times {
-            q.push(t, t);
-        }
-        let mut sorted = times.to_vec();
-        sorted.sort_unstable();
-        let popped: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _, _)| t).collect();
-        assert_eq!(popped, sorted);
-        assert!(q.is_empty());
-    }
-
-    #[test]
-    fn calendar_seq_breaks_ties_fifo() {
-        let mut q = CalendarQueue::with_geometry(4, 8);
-        for item in 0..10u32 {
-            q.push(100, item);
-        }
-        let items: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, _, i)| i).collect();
-        assert_eq!(items, (0..10).collect::<Vec<_>>());
     }
 
     #[test]

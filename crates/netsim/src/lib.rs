@@ -78,9 +78,10 @@ mod stats;
 mod time;
 mod trace;
 
+pub use adamant_proto::CalendarQueue;
 pub use agent::{Agent, Ctx};
 pub use driver::SimDriver;
-pub use event::{CalendarQueue, TimerId};
+pub use event::TimerId;
 pub use fault::{Fault, FaultPlan};
 pub use host::{Bandwidth, HostConfig, MachineClass};
 pub use loss::LossModel;

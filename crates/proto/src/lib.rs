@@ -29,6 +29,7 @@ mod event;
 mod ids;
 mod rng;
 mod time;
+mod timer;
 pub mod wire;
 
 pub use clock::{Clock, ManualClock};
@@ -37,4 +38,5 @@ pub use event::ProtoEvent;
 pub use ids::{Destination, GroupId, NodeId, ProcessingCost};
 pub use rng::{DetRng, Entropy};
 pub use time::{Span, TimePoint};
+pub use timer::{CalendarQueue, TimerFire, TimerWheel};
 pub use wire::WireMsg;

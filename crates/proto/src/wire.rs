@@ -352,6 +352,29 @@ mod tests {
     }
 
     #[test]
+    fn payloads_round_trip_through_any() {
+        use std::any::Any;
+        let msg: Box<dyn Any> = Box::new(DataMsg {
+            seq: 9,
+            published_at: TimePoint::from_micros(5),
+            retransmission: false,
+        });
+        let back = msg.downcast_ref::<DataMsg>().unwrap();
+        assert_eq!(back.seq, 9);
+    }
+
+    #[test]
+    fn repair_entries_carry_timestamps() {
+        let r = RepairMsg {
+            entries: vec![
+                (1, TimePoint::from_micros(10)),
+                (2, TimePoint::from_micros(20)),
+            ],
+        };
+        assert_eq!(r.entries.len(), 2);
+    }
+
+    #[test]
     fn all_variants_round_trip() {
         round_trip(WireMsg::Data(DataMsg {
             seq: 9,

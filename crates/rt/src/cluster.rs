@@ -1,0 +1,703 @@
+//! A sharded multi-endpoint runtime: many protocol cores, few threads.
+//!
+//! [`Cluster`] hosts N [`ProtocolCore`] endpoints in one process,
+//! partitioned across `workers` threads. Endpoint `i` belongs to shard
+//! `i % workers` — a pure function of the add order, so the same
+//! construction sequence always yields the same shard layout (the
+//! shard-determinism tests rely on this). Each worker owns its shard's
+//! sockets outright for the duration of a [`run_for`](Cluster::run_for)
+//! window plus **one timer wheel** (the hierarchical calendar queue shared
+//! with the simulator) carrying every timer of every core in the shard, so
+//! a worker makes one `next_deadline` query per idle sleep no matter how
+//! many endpoints it hosts.
+//!
+//! Per poll iteration a worker fires all due timers across the shard (in
+//! global deadline order), then visits each endpoint once: retry parked
+//! sends, then drain the socket until `WouldBlock`. Sends that hit a
+//! saturated socket are parked in a bounded per-endpoint outbox
+//! (backpressure), preserving per-destination order; only when the outbox
+//! itself fills are datagrams shed, and both conditions are counted in the
+//! endpoint's [`EndpointReport`].
+//!
+//! The cluster owns its cores (unlike [`Endpoint`](crate::Endpoint), which
+//! borrows one per call) because the cores must travel to worker threads;
+//! [`Cluster::core`] downcasts them back for post-run inspection.
+
+use std::any::Any;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::Duration;
+
+use adamant_metrics::MetricsRegistry;
+use adamant_proto::{Clock, Input, NodeId, ProtocolCore, Span, TimePoint, TimerWheel};
+
+use crate::clock::MonotonicClock;
+use crate::endpoint::{EndpointReport, RtConfig, Slot, MAX_SLEEP, RECV_BUF_BYTES};
+use crate::error::RtError;
+
+/// Configuration for a [`Cluster`] (consuming `with_*` builders, same
+/// idiom as [`RtConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Worker threads to shard endpoints across (at least 1).
+    pub workers: usize,
+    /// Base entropy seed; endpoint `i` gets a seed derived from
+    /// `(base, i)`, so one cluster seed determines every core's stream.
+    pub seed: u64,
+    /// Whether cores' trace events are recorded in their reports.
+    pub observed: bool,
+    /// The wall clock shared by every endpoint of the cluster.
+    pub clock: MonotonicClock,
+}
+
+impl ClusterConfig {
+    /// A config for `workers` threads, seed 0, tracing on, and a clock
+    /// anchored now.
+    pub fn new(workers: usize) -> Self {
+        ClusterConfig {
+            workers: workers.max(1),
+            seed: 0,
+            observed: true,
+            clock: MonotonicClock::start(),
+        }
+    }
+
+    /// Replaces the base entropy seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets whether trace events are recorded (builder-style).
+    pub fn with_observed(mut self, observed: bool) -> Self {
+        self.observed = observed;
+        self
+    }
+
+    /// Replaces the shared clock (builder-style).
+    pub fn with_clock(mut self, clock: MonotonicClock) -> Self {
+        self.clock = clock;
+        self
+    }
+}
+
+/// Handle to one endpoint of a [`Cluster`], returned by
+/// [`add_endpoint`](Cluster::add_endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EndpointId(usize);
+
+impl EndpointId {
+    /// The endpoint's index in add order (also determines its shard).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Aggregate counters across every live endpoint of a cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Live endpoints aggregated.
+    pub endpoints: usize,
+    /// Samples delivered up the stack, summed across endpoints.
+    pub delivered: u64,
+    /// Delivered samples that arrived through a recovery path.
+    pub recovered: u64,
+    /// Datagrams written to sockets.
+    pub datagrams_sent: u64,
+    /// Datagrams read from sockets.
+    pub datagrams_received: u64,
+    /// Datagrams that failed to parse.
+    pub decode_errors: u64,
+    /// Sends addressed to nodes with no registered peer address.
+    pub unroutable: u64,
+    /// Sends parked in an outbox because the socket reported `WouldBlock`.
+    pub backpressure_stalls: u64,
+    /// Datagrams shed because an outbox was full.
+    pub backpressure_drops: u64,
+    /// Soft I/O errors absorbed (ICMP-unreachable noise).
+    pub soft_io_errors: u64,
+}
+
+impl ClusterStats {
+    /// Folds these aggregates into `registry` as `<protocol>/cluster/<name>`
+    /// counters, matching the flat key scheme the trace folder uses.
+    pub fn fold_into(&self, protocol: &str, registry: &mut MetricsRegistry) {
+        let key = |name: &str| format!("{protocol}/cluster/{name}");
+        registry.add(key("endpoints"), self.endpoints as u64);
+        registry.add(key("delivered"), self.delivered);
+        registry.add(key("recovered"), self.recovered);
+        registry.add(key("datagrams_sent"), self.datagrams_sent);
+        registry.add(key("datagrams_received"), self.datagrams_received);
+        registry.add(key("decode_errors"), self.decode_errors);
+        registry.add(key("unroutable"), self.unroutable);
+        registry.add(key("backpressure_stalls"), self.backpressure_stalls);
+        registry.add(key("backpressure_drops"), self.backpressure_drops);
+        registry.add(key("soft_io_errors"), self.soft_io_errors);
+    }
+}
+
+/// Object-safe bridge that keeps a boxed core both steppable and
+/// downcastable (`ProtocolCore` is `Send + 'static`, so every sized core
+/// is `Any`; the explicit methods avoid relying on dyn upcasting).
+trait ClusterCore: Send {
+    fn as_core(&mut self) -> &mut dyn ProtocolCore;
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: ProtocolCore> ClusterCore for T {
+    fn as_core(&mut self) -> &mut dyn ProtocolCore {
+        self
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// One endpoint of the cluster: its socket-side slot and its core.
+struct Entry {
+    slot: Slot,
+    core: Box<dyn ClusterCore>,
+}
+
+/// A sharded multi-endpoint runtime (see the module docs for the
+/// architecture).
+///
+/// ```no_run
+/// use adamant_rt::{Cluster, ClusterConfig, RtError};
+/// # use adamant_proto::{Env, Input, NodeId, ProtocolCore};
+/// # #[derive(Debug)] struct MyCore;
+/// # impl ProtocolCore for MyCore {
+/// #     fn step(&mut self, _input: Input<'_>, _env: &mut Env<'_>) {}
+/// # }
+/// # fn main() -> Result<(), RtError> {
+/// let mut cluster = Cluster::new(ClusterConfig::new(4).with_seed(42));
+/// for node in 0..64 {
+///     cluster.add_endpoint(NodeId(node), "127.0.0.1:0", MyCore)?;
+/// }
+/// cluster.connect_full_mesh()?;
+/// cluster.run_for(std::time::Duration::from_secs(1))?;
+/// let stats = cluster.stats();
+/// # let _ = stats;
+/// # Ok(())
+/// # }
+/// ```
+pub struct Cluster {
+    cfg: ClusterConfig,
+    /// `None` only for endpoints whose shard was lost to a worker panic.
+    entries: Vec<Option<Entry>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("cfg", &self.cfg)
+            .field("endpoints", &self.entries.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// An empty cluster; add endpoints, wire them, then run.
+    pub fn new(cfg: ClusterConfig) -> Cluster {
+        Cluster {
+            cfg,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Binds a socket at `addr` for `node` and installs `core` on it. The
+    /// endpoint's entropy seed is derived deterministically from the
+    /// cluster seed and the add index.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Bind`] when the socket cannot be bound.
+    pub fn add_endpoint<C: ProtocolCore>(
+        &mut self,
+        node: NodeId,
+        addr: impl ToSocketAddrs,
+        core: C,
+    ) -> Result<EndpointId, RtError> {
+        let index = self.entries.len();
+        let cfg = RtConfig::new(endpoint_seed(self.cfg.seed, index))
+            .with_observed(self.cfg.observed)
+            .with_clock(self.cfg.clock);
+        let slot = Slot::bind(node, addr, cfg)?;
+        self.entries.push(Some(Entry {
+            slot,
+            core: Box::new(core),
+        }));
+        Ok(EndpointId(index))
+    }
+
+    /// Endpoints added so far (including any lost to a shard panic).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no endpoints have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The worker shard `id` runs on: `index % workers`, a pure function
+    /// of add order and the configured worker count.
+    pub fn shard_of(&self, id: EndpointId) -> usize {
+        id.0 % self.cfg.workers.max(1)
+    }
+
+    /// The bound address of endpoint `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::UnknownEndpoint`] for a dead or out-of-range id,
+    /// [`RtError::Addr`] when the OS refuses to report the address.
+    pub fn local_addr(&self, id: EndpointId) -> Result<SocketAddr, RtError> {
+        self.entry(id)?.slot.local_addr()
+    }
+
+    /// The protocol node id of endpoint `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::UnknownEndpoint`] for a dead or out-of-range id.
+    pub fn node(&self, id: EndpointId) -> Result<NodeId, RtError> {
+        Ok(self.entry(id)?.slot.node)
+    }
+
+    /// Registers where endpoint `id` should send datagrams for `peer`.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::UnknownEndpoint`] for a dead or out-of-range id.
+    pub fn add_peer(
+        &mut self,
+        id: EndpointId,
+        peer: NodeId,
+        addr: SocketAddr,
+    ) -> Result<(), RtError> {
+        self.entry_mut(id)?.slot.peers.insert(peer, addr);
+        Ok(())
+    }
+
+    /// Replaces endpoint `id`'s group-membership table (index = group id).
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::UnknownEndpoint`] for a dead or out-of-range id.
+    pub fn set_groups(&mut self, id: EndpointId, groups: Vec<Vec<NodeId>>) -> Result<(), RtError> {
+        *self.entry_mut(id)?.slot.host.groups_mut() = groups;
+        Ok(())
+    }
+
+    /// Wires every endpoint to every other (peer routes both ways) and
+    /// installs group 0 containing all nodes on each — the all-to-all
+    /// session shape the paper's scenarios use.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Addr`] when a bound address cannot be read.
+    pub fn connect_full_mesh(&mut self) -> Result<(), RtError> {
+        let mut routes = Vec::with_capacity(self.entries.len());
+        let mut all_nodes = Vec::with_capacity(self.entries.len());
+        for entry in self.entries.iter().flatten() {
+            routes.push((entry.slot.node, entry.slot.local_addr()?));
+            all_nodes.push(entry.slot.node);
+        }
+        for entry in self.entries.iter_mut().flatten() {
+            for &(node, addr) in &routes {
+                if node != entry.slot.node {
+                    entry.slot.peers.insert(node, addr);
+                }
+            }
+            *entry.slot.host.groups_mut() = vec![all_nodes.clone()];
+        }
+        Ok(())
+    }
+
+    /// Runs every endpoint's event loop for `wall` of real time across the
+    /// configured worker threads. The first window feeds each core
+    /// [`Input::Start`]; later windows resume. Reports keep accumulating
+    /// across windows.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::ShardPanicked`] when a worker thread panicked (that
+    /// shard's endpoints are lost); otherwise the first hard socket error
+    /// any worker hit. Surviving shards' state is retained either way.
+    pub fn run_for(&mut self, wall: Duration) -> Result<(), RtError> {
+        if self.entries.is_empty() {
+            return Ok(());
+        }
+        let workers = self.cfg.workers.max(1);
+        let clock = self.cfg.clock;
+        let deadline = clock.now() + Span::from_nanos(wall.as_nanos() as u64);
+
+        // Deal the endpoints out to their shards. Workers take their shard
+        // by value (sockets and cores move to the thread) and hand it back
+        // when the window closes.
+        let mut shards: Vec<Vec<(usize, Entry)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (index, cell) in self.entries.iter_mut().enumerate() {
+            if let Some(entry) = cell.take() {
+                shards[index % workers].push((index, entry));
+            }
+        }
+
+        let mut first_error: Option<RtError> = None;
+        let mut panicked: Option<usize> = None;
+        let joined: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|shard| scope.spawn(move || run_shard(shard, clock, deadline)))
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+        for (shard_index, outcome) in joined.into_iter().enumerate() {
+            match outcome {
+                Ok((shard, error)) => {
+                    for (index, entry) in shard {
+                        self.entries[index] = Some(entry);
+                    }
+                    if first_error.is_none() {
+                        first_error = error;
+                    }
+                }
+                Err(_) => panicked = panicked.or(Some(shard_index)),
+            }
+        }
+        if let Some(shard) = panicked {
+            return Err(RtError::ShardPanicked { shard });
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The report of endpoint `id`, if it is still live.
+    pub fn report(&self, id: EndpointId) -> Option<&EndpointReport> {
+        self.entries.get(id.0)?.as_ref().map(|e| &e.slot.report)
+    }
+
+    /// Iterates `(id, node, report)` over every live endpoint, in add
+    /// order.
+    pub fn reports(&self) -> impl Iterator<Item = (EndpointId, NodeId, &EndpointReport)> {
+        self.entries.iter().enumerate().filter_map(|(i, cell)| {
+            cell.as_ref()
+                .map(|e| (EndpointId(i), e.slot.node, &e.slot.report))
+        })
+    }
+
+    /// Downcasts endpoint `id`'s core back to its concrete type for
+    /// post-run inspection (`None` on a dead id or type mismatch).
+    pub fn core<C: ProtocolCore>(&self, id: EndpointId) -> Option<&C> {
+        self.entries
+            .get(id.0)?
+            .as_ref()?
+            .core
+            .as_any()
+            .downcast_ref::<C>()
+    }
+
+    /// Mutable variant of [`core`](Cluster::core).
+    pub fn core_mut<C: ProtocolCore>(&mut self, id: EndpointId) -> Option<&mut C> {
+        self.entries
+            .get_mut(id.0)?
+            .as_mut()?
+            .core
+            .as_any_mut()
+            .downcast_mut::<C>()
+    }
+
+    /// Aggregate counters across every live endpoint.
+    pub fn stats(&self) -> ClusterStats {
+        let mut stats = ClusterStats::default();
+        for (_, _, report) in self.reports() {
+            stats.endpoints += 1;
+            stats.delivered += report.delivered.len() as u64;
+            stats.recovered += report.recovered_count();
+            stats.datagrams_sent += report.datagrams_sent;
+            stats.datagrams_received += report.datagrams_received;
+            stats.decode_errors += report.decode_errors;
+            stats.unroutable += report.unroutable;
+            stats.backpressure_stalls += report.backpressure_stalls;
+            stats.backpressure_drops += report.backpressure_drops;
+            stats.soft_io_errors += report.soft_io_errors;
+        }
+        stats
+    }
+
+    /// Folds per-endpoint counters (`<protocol>/node<i>/<name>`) and the
+    /// [`stats`](Cluster::stats) aggregates (`<protocol>/cluster/<name>`)
+    /// into `registry`, the same flat key scheme `adamant-metrics` uses
+    /// for simulator traces.
+    pub fn fold_metrics(&self, protocol: &str, registry: &mut MetricsRegistry) {
+        for (_, node, report) in self.reports() {
+            let key = |name: &str| MetricsRegistry::node_key(protocol, node, name);
+            registry.add(key("delivered"), report.delivered.len() as u64);
+            registry.add(key("recovered"), report.recovered_count());
+            registry.add(key("datagrams_sent"), report.datagrams_sent);
+            registry.add(key("datagrams_received"), report.datagrams_received);
+            registry.add(key("decode_errors"), report.decode_errors);
+            registry.add(key("unroutable"), report.unroutable);
+            registry.add(key("backpressure_stalls"), report.backpressure_stalls);
+            registry.add(key("backpressure_drops"), report.backpressure_drops);
+        }
+        self.stats().fold_into(protocol, registry);
+    }
+
+    fn entry(&self, id: EndpointId) -> Result<&Entry, RtError> {
+        self.entries
+            .get(id.0)
+            .and_then(Option::as_ref)
+            .ok_or(RtError::UnknownEndpoint { index: id.0 })
+    }
+
+    fn entry_mut(&mut self, id: EndpointId) -> Result<&mut Entry, RtError> {
+        self.entries
+            .get_mut(id.0)
+            .and_then(Option::as_mut)
+            .ok_or(RtError::UnknownEndpoint { index: id.0 })
+    }
+}
+
+/// Deterministic per-endpoint seed: SplitMix64-style stream derivation
+/// from the cluster seed and the add index.
+fn endpoint_seed(base: u64, index: usize) -> u64 {
+    let mut z = base.wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One worker's event loop: drives every endpoint of `shard` against one
+/// shared timer wheel until `deadline`, then returns the shard (errors are
+/// carried out-of-band so the endpoints always come home).
+fn run_shard(
+    mut shard: Vec<(usize, Entry)>,
+    clock: MonotonicClock,
+    deadline: TimePoint,
+) -> (Vec<(usize, Entry)>, Option<RtError>) {
+    let mut wheel = TimerWheel::new();
+    let mut buf = vec![0u8; RECV_BUF_BYTES];
+    let result = drive_shard(&mut shard, &mut wheel, &mut buf, clock, deadline);
+    (shard, result.err())
+}
+
+fn drive_shard(
+    shard: &mut [(usize, Entry)],
+    wheel: &mut TimerWheel,
+    buf: &mut [u8],
+    clock: MonotonicClock,
+    deadline: TimePoint,
+) -> Result<(), RtError> {
+    for (owner, (_, entry)) in shard.iter_mut().enumerate() {
+        let Entry { slot, core } = entry;
+        slot.start(core.as_core(), wheel, owner as u32)?;
+    }
+    loop {
+        // Fire everything due across the shard, in global deadline order.
+        while let Some(fire) = wheel.pop_due(clock.now()) {
+            let (_, entry) = &mut shard[fire.owner as usize];
+            let Entry { slot, core } = entry;
+            slot.step(
+                core.as_core(),
+                Input::TimerFired {
+                    token: fire.token,
+                    tag: fire.tag,
+                },
+                wheel,
+                fire.owner,
+            )?;
+        }
+        if clock.now() >= deadline {
+            break;
+        }
+        // One batched I/O pass over the shard: retry parked sends, then
+        // drain each socket until `WouldBlock`.
+        let mut progressed = false;
+        for (owner, (_, entry)) in shard.iter_mut().enumerate() {
+            let Entry { slot, core } = entry;
+            progressed |= slot.flush_outbox()? > 0;
+            progressed |= slot.drain_socket(core.as_core(), buf, wheel, owner as u32)?;
+        }
+        if !progressed {
+            let next = wheel
+                .next_deadline()
+                .unwrap_or(TimePoint::MAX)
+                .min(deadline);
+            let wait = Duration::from_nanos(next.saturating_since(clock.now()).as_nanos());
+            if !wait.is_zero() {
+                std::thread::sleep(wait.min(MAX_SLEEP));
+            }
+        }
+    }
+    for (_, entry) in shard.iter_mut() {
+        entry.slot.flush_outbox()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamant_proto::{Env, GroupId, ProcessingCost, WireMsg};
+    use std::collections::BTreeSet;
+
+    /// Publishes `total` sequenced messages into group 0 on a short timer.
+    #[derive(Debug)]
+    struct Beacon {
+        next: u64,
+        total: u64,
+    }
+
+    impl ProtocolCore for Beacon {
+        fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+            match input {
+                Input::Start | Input::TimerFired { .. } if self.next < self.total => {
+                    env.send(
+                        GroupId(0),
+                        64,
+                        1,
+                        ProcessingCost::FREE,
+                        WireMsg::Data(adamant_proto::wire::DataMsg {
+                            seq: self.next,
+                            published_at: env.now(),
+                            retransmission: false,
+                        }),
+                    );
+                    self.next += 1;
+                    env.set_timer(Span::from_millis(1), 1);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Delivers every data message it hears.
+    #[derive(Debug, Default)]
+    struct Listener;
+
+    impl ProtocolCore for Listener {
+        fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+            if let Input::PacketIn {
+                msg: WireMsg::Data(data),
+                ..
+            } = input
+            {
+                env.deliver(data.seq, data.published_at, false);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_runs_a_beacon_session_across_workers() {
+        let mut cluster = Cluster::new(ClusterConfig::new(3).with_seed(7));
+        let tx = cluster
+            .add_endpoint(NodeId(0), "127.0.0.1:0", Beacon { next: 0, total: 25 })
+            .unwrap();
+        let mut listeners = Vec::new();
+        for node in 1..8u32 {
+            listeners.push(
+                cluster
+                    .add_endpoint(NodeId(node), "127.0.0.1:0", Listener)
+                    .unwrap(),
+            );
+        }
+        cluster.connect_full_mesh().unwrap();
+        cluster.run_for(Duration::from_millis(150)).unwrap();
+        assert_eq!(cluster.core::<Beacon>(tx).unwrap().next, 25);
+        let want: BTreeSet<u64> = (0..25).collect();
+        for &id in &listeners {
+            assert_eq!(cluster.report(id).unwrap().delivered_seqs(), want);
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats.endpoints, 8);
+        assert_eq!(stats.delivered, 25 * 7);
+        assert_eq!(stats.decode_errors, 0);
+        assert_eq!(stats.unroutable, 0);
+    }
+
+    #[test]
+    fn shard_assignment_is_index_mod_workers() {
+        let mut cluster = Cluster::new(ClusterConfig::new(4));
+        let mut ids = Vec::new();
+        for node in 0..10u32 {
+            ids.push(
+                cluster
+                    .add_endpoint(NodeId(node), "127.0.0.1:0", Listener)
+                    .unwrap(),
+            );
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(cluster.shard_of(id), i % 4);
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_shard_panicked() {
+        #[derive(Debug)]
+        struct Bomb;
+        impl ProtocolCore for Bomb {
+            fn step(&mut self, input: Input<'_>, _env: &mut Env<'_>) {
+                if matches!(input, Input::Start) {
+                    panic!("boom");
+                }
+            }
+        }
+        let mut cluster = Cluster::new(ClusterConfig::new(2));
+        let survivor = cluster
+            .add_endpoint(NodeId(0), "127.0.0.1:0", Listener)
+            .unwrap();
+        let bomb = cluster
+            .add_endpoint(NodeId(1), "127.0.0.1:0", Bomb)
+            .unwrap();
+        let err = cluster.run_for(Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, RtError::ShardPanicked { shard: 1 }));
+        // The surviving shard's endpoint came home; the bomb's did not.
+        assert!(cluster.report(survivor).is_some());
+        assert!(cluster.report(bomb).is_none());
+        assert!(matches!(
+            cluster.local_addr(bomb),
+            Err(RtError::UnknownEndpoint { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn metrics_fold_under_node_and_cluster_keys() {
+        let mut cluster = Cluster::new(ClusterConfig::new(2).with_seed(9));
+        cluster
+            .add_endpoint(NodeId(0), "127.0.0.1:0", Beacon { next: 0, total: 5 })
+            .unwrap();
+        cluster
+            .add_endpoint(NodeId(1), "127.0.0.1:0", Listener)
+            .unwrap();
+        cluster.connect_full_mesh().unwrap();
+        cluster.run_for(Duration::from_millis(60)).unwrap();
+        let mut registry = MetricsRegistry::new();
+        cluster.fold_metrics("udp", &mut registry);
+        assert_eq!(registry.counter("udp/node1/delivered"), 5);
+        assert_eq!(registry.counter("udp/cluster/delivered"), 5);
+        assert_eq!(registry.counter("udp/cluster/endpoints"), 2);
+        assert_eq!(
+            registry.counter("udp/cluster/datagrams_sent"),
+            registry.counter("udp/node0/datagrams_sent")
+                + registry.counter("udp/node1/datagrams_sent")
+        );
+    }
+
+    #[test]
+    fn endpoint_seeds_are_stable_and_distinct() {
+        let seeds: Vec<u64> = (0..16).map(|i| endpoint_seed(42, i)).collect();
+        let distinct: BTreeSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(distinct.len(), seeds.len());
+        assert_eq!(
+            seeds,
+            (0..16).map(|i| endpoint_seed(42, i)).collect::<Vec<_>>()
+        );
+    }
+}

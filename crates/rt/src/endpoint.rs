@@ -1,4 +1,4 @@
-//! A real-UDP endpoint: one socket, one timer heap, one protocol core.
+//! A real-UDP endpoint: one socket, one protocol core, one timer wheel.
 //!
 //! [`Endpoint`] is the production counterpart of the simulator's
 //! `SimDriver`: it feeds the same [`Input`]s to a [`ProtocolCore`] and
@@ -10,33 +10,46 @@
 //! `size_bytes`/`cost` of a [`Effect::Send`] are simulation-model inputs
 //! and are ignored here — real packets cost what they cost.
 //!
-//! The event loop is single-threaded and blocking: it fires due timers,
-//! then waits on the socket until the next timer deadline (or a short
-//! cap), stepping the core for every datagram that arrives. Run one
-//! endpoint per thread; a loopback session is two endpoints on
-//! `127.0.0.1` sharing a clock anchor.
+//! Timers live on the shared [`TimerWheel`] — the same hierarchical
+//! calendar queue the simulator schedules through — rather than a
+//! per-endpoint binary heap. The event loop is single-threaded and
+//! blocking: it fires due timers, then waits on the socket until the next
+//! timer deadline (or a short cap), stepping the core for every datagram
+//! that arrives. Run one endpoint per thread, or host many endpoints on a
+//! few threads with [`Cluster`](crate::Cluster); a loopback session is two
+//! endpoints on `127.0.0.1` sharing a clock anchor.
+//!
+//! All construction follows one idiom: consuming `with_*` builders for
+//! pre-bind configuration ([`RtConfig::with_clock`],
+//! [`RtConfig::with_seed`], …), `set_*`/`add_*` mutators for post-bind
+//! state ([`Endpoint::add_peer`], [`Endpoint::set_groups`]).
 
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::time::Duration;
 
 use adamant_proto::{
     Clock, Destination, Effect, EnvHost, Input, NodeId, ProtoEvent, ProtocolCore, TimePoint,
-    TimerToken, WireMsg,
+    TimerWheel, WireMsg,
 };
 
 use crate::clock::MonotonicClock;
+use crate::error::RtError;
 
 /// Maximum UDP payload the endpoint will receive (a full 64 KiB datagram).
-const RECV_BUF_BYTES: usize = 65_536;
+pub(crate) const RECV_BUF_BYTES: usize = 65_536;
 
 /// Longest idle sleep between socket polls. The socket is nonblocking and
 /// the loop sleeps with [`std::thread::sleep`] (hrtimer precision) rather
 /// than a socket read timeout, whose kernel rounding to scheduler-tick
 /// granularity would stall millisecond protocol timers.
-const MAX_SLEEP: Duration = Duration::from_millis(1);
+pub(crate) const MAX_SLEEP: Duration = Duration::from_millis(1);
+
+/// Most datagrams a slot will queue while its socket reports `WouldBlock`
+/// before it starts shedding new ones (counted as
+/// [`backpressure_drops`](EndpointReport::backpressure_drops)).
+pub(crate) const OUTBOX_MAX: usize = 4096;
 
 /// Configuration for a real-UDP endpoint.
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +73,18 @@ impl RtConfig {
             observed: true,
             clock: MonotonicClock::start(),
         }
+    }
+
+    /// Replaces the entropy seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets whether trace events are recorded (builder-style).
+    pub fn with_observed(mut self, observed: bool) -> Self {
+        self.observed = observed;
+        self
     }
 
     /// Replaces the clock (builder-style) — pass the same clock to every
@@ -86,6 +111,16 @@ pub struct EndpointReport {
     pub decode_errors: u64,
     /// Send effects addressed to a node with no registered peer address.
     pub unroutable: u64,
+    /// Times a send hit `WouldBlock` and the datagram was parked in the
+    /// outbox instead (the socket outran the core's effect stream).
+    pub backpressure_stalls: u64,
+    /// Datagrams shed because the outbox was already at capacity — the
+    /// backpressure rule of last resort (UDP may drop; we count it).
+    pub backpressure_drops: u64,
+    /// Soft I/O errors absorbed without aborting the loop (ICMP
+    /// port-unreachable surfacing as `ConnectionRefused`/`ConnectionReset`
+    /// when a peer's socket is already gone).
+    pub soft_io_errors: u64,
 }
 
 impl EndpointReport {
@@ -108,206 +143,107 @@ impl EndpointReport {
     }
 }
 
-/// A pending timer: ordered by deadline, then arming order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct TimerEntry {
-    at: TimePoint,
-    seq: u64,
-    token: TimerToken,
-    tag: u64,
+/// `WouldBlock`-family kinds: the socket has no data / no buffer space.
+fn is_would_block(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
 }
 
-/// One UDP socket driving one protocol core.
-///
-/// The core itself is *not* owned by the endpoint — callers keep it and
-/// pass it to [`run_for`](Endpoint::run_for), mirroring how the simulator
-/// keeps cores inside agents. That keeps the core inspectable between
-/// windows (delivered counts, NAK statistics) without downcasting.
+/// Soft error kinds the runtime absorbs instead of aborting: on Linux a
+/// UDP socket surfaces queued ICMP port-unreachable as
+/// `ConnectionRefused`/`ConnectionReset` on the *next* send or recv, which
+/// just means some peer's socket closed first.
+fn is_soft_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused | io::ErrorKind::ConnectionReset
+    )
+}
+
+/// The driver-agnostic half of an endpoint: one bound socket, the core's
+/// environment host, peer routing, the outbox, and the report. [`Endpoint`]
+/// pairs one slot with a private [`TimerWheel`]; `Cluster` packs many slots
+/// onto one wheel per worker, which is why every stepping method takes the
+/// wheel and this slot's wheel-local `owner` index as parameters.
 #[derive(Debug)]
-pub struct Endpoint {
-    node: NodeId,
-    socket: UdpSocket,
-    clock: MonotonicClock,
-    host: EnvHost,
-    peers: HashMap<NodeId, SocketAddr>,
-    timers: std::collections::BinaryHeap<Reverse<TimerEntry>>,
-    timer_seq: u64,
-    cancelled: HashSet<TimerToken>,
+pub(crate) struct Slot {
+    pub(crate) node: NodeId,
+    pub(crate) socket: UdpSocket,
+    pub(crate) clock: MonotonicClock,
+    pub(crate) host: EnvHost,
+    pub(crate) peers: HashMap<NodeId, SocketAddr>,
     effects: Vec<Effect>,
     encode_buf: Vec<u8>,
-    started: bool,
-    report: EndpointReport,
+    /// Datagrams waiting out a `WouldBlock`, oldest first. While non-empty,
+    /// new sends append here so per-destination ordering is preserved.
+    outbox: VecDeque<(SocketAddr, Vec<u8>)>,
+    pub(crate) started: bool,
+    pub(crate) report: EndpointReport,
 }
 
-impl Endpoint {
-    /// Binds a UDP socket at `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
-    /// loopback port) for protocol endpoint `node`.
-    pub fn bind(node: NodeId, addr: impl ToSocketAddrs, cfg: RtConfig) -> io::Result<Endpoint> {
-        let socket = UdpSocket::bind(addr)?;
-        socket.set_nonblocking(true)?;
-        Ok(Endpoint {
+impl Slot {
+    /// Binds a nonblocking UDP socket at `addr` for protocol node `node`.
+    pub(crate) fn bind(
+        node: NodeId,
+        addr: impl ToSocketAddrs,
+        cfg: RtConfig,
+    ) -> Result<Slot, RtError> {
+        let socket = UdpSocket::bind(addr).map_err(RtError::Bind)?;
+        socket.set_nonblocking(true).map_err(RtError::Bind)?;
+        Ok(Slot {
             node,
             socket,
             clock: cfg.clock,
             host: EnvHost::new(node, cfg.seed).with_observed(cfg.observed),
             peers: HashMap::new(),
-            timers: std::collections::BinaryHeap::new(),
-            timer_seq: 0,
-            cancelled: HashSet::new(),
             effects: Vec::new(),
             encode_buf: Vec::new(),
+            outbox: VecDeque::new(),
             started: false,
             report: EndpointReport::default(),
         })
     }
 
-    /// The socket's bound address (tell it to the other endpoints).
-    pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.socket.local_addr()
+    pub(crate) fn local_addr(&self) -> Result<SocketAddr, RtError> {
+        self.socket.local_addr().map_err(RtError::Addr)
     }
 
-    /// This endpoint's protocol node id.
-    pub fn node(&self) -> NodeId {
-        self.node
-    }
-
-    /// Registers where datagrams for `peer` should be sent.
-    pub fn add_peer(&mut self, peer: NodeId, addr: SocketAddr) {
-        self.peers.insert(peer, addr);
-    }
-
-    /// Replaces the group-membership table used to fan out
-    /// [`Destination::Group`] sends. Index = group id; the local node is
-    /// skipped on fan-out (it already has what it sent), matching the
-    /// simulator's switch model.
-    pub fn set_groups(&mut self, groups: Vec<Vec<NodeId>>) {
-        *self.host.groups_mut() = groups;
-    }
-
-    /// The report accumulated so far.
-    pub fn report(&self) -> &EndpointReport {
-        &self.report
-    }
-
-    /// Runs the event loop for `wall` of real time, stepping `core` for
-    /// every fired timer and received datagram. The first call feeds the
-    /// core [`Input::Start`]; later calls resume where the previous window
-    /// left off. Returns the report accumulated so far.
-    pub fn run_for<C: ProtocolCore + ?Sized>(
+    /// Feeds [`Input::Start`] on the first call; later calls are no-ops.
+    pub(crate) fn start<C: ProtocolCore + ?Sized>(
         &mut self,
         core: &mut C,
-        wall: Duration,
-    ) -> io::Result<&EndpointReport> {
-        let deadline = self.clock.now() + adamant_proto::Span::from_nanos(wall.as_nanos() as u64);
+        wheel: &mut TimerWheel,
+        owner: u32,
+    ) -> Result<(), RtError> {
         if !self.started {
             self.started = true;
-            self.step(core, Input::Start)?;
+            self.step(core, Input::Start, wheel, owner)?;
         }
-        let mut buf = vec![0u8; RECV_BUF_BYTES];
-        loop {
-            self.fire_due_timers(core)?;
-            if self.clock.now() >= deadline {
-                break;
-            }
-            // Drain everything queued on the socket, then sleep until the
-            // next timer deadline (bounded so an arriving datagram is never
-            // left waiting long).
-            let mut drained_any = false;
-            loop {
-                match self.socket.recv_from(&mut buf) {
-                    Ok((len, _from)) => {
-                        drained_any = true;
-                        self.on_datagram(core, &buf[..len])?;
-                    }
-                    Err(e)
-                        if e.kind() == io::ErrorKind::WouldBlock
-                            || e.kind() == io::ErrorKind::TimedOut =>
-                    {
-                        break;
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            if !drained_any {
-                let next = self
-                    .timers
-                    .peek()
-                    .map(|Reverse(e)| e.at)
-                    .unwrap_or(TimePoint::MAX)
-                    .min(deadline);
-                let wait = Duration::from_nanos(next.saturating_since(self.clock.now()).as_nanos());
-                if !wait.is_zero() {
-                    std::thread::sleep(wait.min(MAX_SLEEP));
-                }
-            }
-        }
-        Ok(&self.report)
-    }
-
-    /// Decodes one datagram and steps the core with it.
-    fn on_datagram<C: ProtocolCore + ?Sized>(
-        &mut self,
-        core: &mut C,
-        datagram: &[u8],
-    ) -> io::Result<()> {
-        self.report.datagrams_received += 1;
-        let Some((header, body)) = datagram.split_at_checked(4) else {
-            self.report.decode_errors += 1;
-            return Ok(());
-        };
-        let src = NodeId(u32::from_le_bytes(header.try_into().unwrap()));
-        let Some(msg) = WireMsg::decode(body) else {
-            self.report.decode_errors += 1;
-            return Ok(());
-        };
-        self.step(core, Input::PacketIn { src, msg: &msg })
-    }
-
-    /// Fires every timer due at the current instant, in deadline order.
-    fn fire_due_timers<C: ProtocolCore + ?Sized>(&mut self, core: &mut C) -> io::Result<()> {
-        loop {
-            let now = self.clock.now();
-            let Some(&Reverse(entry)) = self.timers.peek() else {
-                return Ok(());
-            };
-            if entry.at > now {
-                return Ok(());
-            }
-            self.timers.pop();
-            if self.cancelled.remove(&entry.token) {
-                continue;
-            }
-            self.step(
-                core,
-                Input::TimerFired {
-                    token: entry.token,
-                    tag: entry.tag,
-                },
-            )?;
-        }
+        Ok(())
     }
 
     /// Steps the core once at the current wall instant and discharges the
-    /// effects it produced.
-    fn step<C: ProtocolCore + ?Sized>(&mut self, core: &mut C, input: Input<'_>) -> io::Result<()> {
+    /// effects it produced (sends to the socket or outbox, timers to the
+    /// wheel, deliveries and traces to the report).
+    pub(crate) fn step<C: ProtocolCore + ?Sized>(
+        &mut self,
+        core: &mut C,
+        input: Input<'_>,
+        wheel: &mut TimerWheel,
+        owner: u32,
+    ) -> Result<(), RtError> {
         let now = self.clock.now();
         let mut effects = std::mem::take(&mut self.effects);
         self.host.step_into(core, now, input, &mut effects);
         for effect in effects.drain(..) {
             match effect {
-                Effect::Send { dst, msg, .. } => self.transmit(now, dst, &msg)?,
+                Effect::Send { dst, msg, .. } => self.transmit(dst, &msg)?,
                 Effect::SetTimer { token, delay, tag } => {
-                    self.timer_seq += 1;
-                    self.timers.push(Reverse(TimerEntry {
-                        at: now + delay,
-                        seq: self.timer_seq,
-                        token,
-                        tag,
-                    }));
+                    wheel.arm(now + delay, owner, token, tag);
                 }
-                Effect::CancelTimer { token } => {
-                    self.cancelled.insert(token);
-                }
+                Effect::CancelTimer { token } => wheel.cancel(owner, token),
                 Effect::Deliver {
                     seq,
                     published_at,
@@ -320,8 +256,77 @@ impl Endpoint {
         Ok(())
     }
 
-    /// Writes `msg` to every endpoint `dst` resolves to.
-    fn transmit(&mut self, _now: TimePoint, dst: Destination, msg: &WireMsg) -> io::Result<()> {
+    /// Decodes one datagram and steps the core with it.
+    pub(crate) fn on_datagram<C: ProtocolCore + ?Sized>(
+        &mut self,
+        core: &mut C,
+        datagram: &[u8],
+        wheel: &mut TimerWheel,
+        owner: u32,
+    ) -> Result<(), RtError> {
+        self.report.datagrams_received += 1;
+        let Some((header, body)) = datagram.split_at_checked(4) else {
+            self.report.decode_errors += 1;
+            return Ok(());
+        };
+        let src = NodeId(u32::from_le_bytes(header.try_into().unwrap()));
+        let Some(msg) = WireMsg::decode(body) else {
+            self.report.decode_errors += 1;
+            return Ok(());
+        };
+        self.step(core, Input::PacketIn { src, msg: &msg }, wheel, owner)
+    }
+
+    /// Drains everything queued on the socket (until `WouldBlock`),
+    /// stepping the core for each datagram. Returns whether anything was
+    /// read.
+    pub(crate) fn drain_socket<C: ProtocolCore + ?Sized>(
+        &mut self,
+        core: &mut C,
+        buf: &mut [u8],
+        wheel: &mut TimerWheel,
+        owner: u32,
+    ) -> Result<bool, RtError> {
+        let mut drained_any = false;
+        loop {
+            match self.socket.recv_from(buf) {
+                Ok((len, _from)) => {
+                    drained_any = true;
+                    self.on_datagram(core, &buf[..len], wheel, owner)?;
+                }
+                Err(e) if is_would_block(&e) => break,
+                Err(e) if is_soft_io(&e) => self.report.soft_io_errors += 1,
+                Err(e) => return Err(RtError::Recv(e)),
+            }
+        }
+        Ok(drained_any)
+    }
+
+    /// Retries parked datagrams, oldest first, until the outbox empties or
+    /// the socket blocks again. Returns how many were sent.
+    pub(crate) fn flush_outbox(&mut self) -> Result<usize, RtError> {
+        let mut sent = 0;
+        while let Some((addr, bytes)) = self.outbox.front() {
+            match self.socket.send_to(bytes, *addr) {
+                Ok(_) => {
+                    self.report.datagrams_sent += 1;
+                    sent += 1;
+                    self.outbox.pop_front();
+                }
+                Err(e) if is_would_block(&e) => break,
+                Err(e) if is_soft_io(&e) => {
+                    self.report.soft_io_errors += 1;
+                    self.outbox.pop_front();
+                }
+                Err(e) => return Err(RtError::Send(e)),
+            }
+        }
+        Ok(sent)
+    }
+
+    /// Writes `msg` to every endpoint `dst` resolves to. The message is
+    /// encoded once; group fan-out reuses the same buffer per member.
+    fn transmit(&mut self, dst: Destination, msg: &WireMsg) -> Result<(), RtError> {
         self.encode_buf.clear();
         self.encode_buf
             .extend_from_slice(&self.node.0.to_le_bytes());
@@ -348,14 +353,151 @@ impl Endpoint {
         Ok(())
     }
 
-    fn transmit_one(&mut self, node: NodeId) -> io::Result<()> {
+    fn transmit_one(&mut self, node: NodeId) -> Result<(), RtError> {
         let Some(&addr) = self.peers.get(&node) else {
             self.report.unroutable += 1;
             return Ok(());
         };
-        self.socket.send_to(&self.encode_buf, addr)?;
-        self.report.datagrams_sent += 1;
+        if self.outbox.is_empty() {
+            match self.socket.send_to(&self.encode_buf, addr) {
+                Ok(_) => {
+                    self.report.datagrams_sent += 1;
+                    return Ok(());
+                }
+                Err(e) if is_would_block(&e) => self.report.backpressure_stalls += 1,
+                Err(e) if is_soft_io(&e) => {
+                    self.report.soft_io_errors += 1;
+                    return Ok(());
+                }
+                Err(e) => return Err(RtError::Send(e)),
+            }
+        }
+        // Socket is (or was already) saturated: park the datagram so it
+        // goes out in order once the socket drains, shedding only when the
+        // outbox itself is full.
+        if self.outbox.len() >= OUTBOX_MAX {
+            self.report.backpressure_drops += 1;
+        } else {
+            self.outbox.push_back((addr, self.encode_buf.clone()));
+        }
         Ok(())
+    }
+}
+
+/// One UDP socket driving one protocol core.
+///
+/// The core itself is *not* owned by the endpoint — callers keep it and
+/// pass it to [`run_for`](Endpoint::run_for), mirroring how the simulator
+/// keeps cores inside agents. That keeps the core inspectable between
+/// windows (delivered counts, NAK statistics) without downcasting. To host
+/// many cores on a few threads, use [`Cluster`](crate::Cluster) instead.
+#[derive(Debug)]
+pub struct Endpoint {
+    slot: Slot,
+    wheel: TimerWheel,
+}
+
+impl Endpoint {
+    /// Binds a UDP socket at `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// loopback port) for protocol endpoint `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Bind`] when the socket cannot be bound or switched to
+    /// nonblocking mode.
+    pub fn bind(
+        node: NodeId,
+        addr: impl ToSocketAddrs,
+        cfg: RtConfig,
+    ) -> Result<Endpoint, RtError> {
+        Ok(Endpoint {
+            slot: Slot::bind(node, addr, cfg)?,
+            wheel: TimerWheel::new(),
+        })
+    }
+
+    /// The socket's bound address (tell it to the other endpoints).
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Addr`] when the OS refuses to report the address.
+    pub fn local_addr(&self) -> Result<SocketAddr, RtError> {
+        self.slot.local_addr()
+    }
+
+    /// This endpoint's protocol node id.
+    pub fn node(&self) -> NodeId {
+        self.slot.node
+    }
+
+    /// Registers where datagrams for `peer` should be sent.
+    pub fn add_peer(&mut self, peer: NodeId, addr: SocketAddr) {
+        self.slot.peers.insert(peer, addr);
+    }
+
+    /// Replaces the group-membership table used to fan out
+    /// [`Destination::Group`] sends. Index = group id; the local node is
+    /// skipped on fan-out (it already has what it sent), matching the
+    /// simulator's switch model.
+    pub fn set_groups(&mut self, groups: Vec<Vec<NodeId>>) {
+        *self.slot.host.groups_mut() = groups;
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &EndpointReport {
+        &self.slot.report
+    }
+
+    /// Runs the event loop for `wall` of real time, stepping `core` for
+    /// every fired timer and received datagram. The first call feeds the
+    /// core [`Input::Start`]; later calls resume where the previous window
+    /// left off. Returns the report accumulated so far.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Send`]/[`RtError::Recv`] on hard socket errors (soft
+    /// flow-control and ICMP-unreachable conditions are absorbed and
+    /// counted in the report).
+    pub fn run_for<C: ProtocolCore + ?Sized>(
+        &mut self,
+        core: &mut C,
+        wall: Duration,
+    ) -> Result<&EndpointReport, RtError> {
+        let clock = self.slot.clock;
+        let deadline = clock.now() + adamant_proto::Span::from_nanos(wall.as_nanos() as u64);
+        self.slot.start(core, &mut self.wheel, 0)?;
+        let mut buf = vec![0u8; RECV_BUF_BYTES];
+        loop {
+            while let Some(fire) = self.wheel.pop_due(clock.now()) {
+                self.slot.step(
+                    core,
+                    Input::TimerFired {
+                        token: fire.token,
+                        tag: fire.tag,
+                    },
+                    &mut self.wheel,
+                    0,
+                )?;
+            }
+            if clock.now() >= deadline {
+                break;
+            }
+            let flushed = self.slot.flush_outbox()?;
+            let drained = self.slot.drain_socket(core, &mut buf, &mut self.wheel, 0)?;
+            if !drained && flushed == 0 {
+                let next = self
+                    .wheel
+                    .next_deadline()
+                    .unwrap_or(TimePoint::MAX)
+                    .min(deadline);
+                let wait = Duration::from_nanos(next.saturating_since(clock.now()).as_nanos());
+                if !wait.is_zero() {
+                    std::thread::sleep(wait.min(MAX_SLEEP));
+                }
+            }
+        }
+        self.slot.flush_outbox()?;
+        Ok(&self.slot.report)
     }
 }
 

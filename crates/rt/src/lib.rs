@@ -3,9 +3,23 @@
 //! The real-socket runtime for the sans-I/O protocol cores in
 //! `adamant-proto`: where `adamant-netsim` drives a [`ProtocolCore`]
 //! inside the deterministic simulator, this crate drives the *same* core
-//! over real UDP sockets with a monotonic clock — one socket and one
-//! event-loop thread per endpoint, timers kept in a binary heap, wire
-//! messages carried as the byte encoding from `adamant_proto::wire`.
+//! over real UDP sockets with a monotonic clock.
+//!
+//! Two drivers, one stepping engine:
+//!
+//! * [`Endpoint`] — one socket, one core, one thread; the caller keeps the
+//!   core and lends it per [`run_for`](Endpoint::run_for) window.
+//! * [`Cluster`] — many cores in one process, sharded across N worker
+//!   threads; each worker owns its shard's sockets plus one shared timer
+//!   wheel (the same hierarchical calendar queue the simulator schedules
+//!   through), batches socket reads/writes per poll iteration, and applies
+//!   bounded-outbox backpressure when a core's effect stream outruns its
+//!   socket.
+//!
+//! Every fallible public function returns [`RtError`] (never a bare
+//! [`std::io::Error`]). Construction follows one idiom throughout:
+//! consuming `with_*` builders for pre-bind configuration, `set_*`/`add_*`
+//! mutators for post-bind state.
 //!
 //! [`ProtocolCore`]: adamant_proto::ProtocolCore
 
@@ -13,7 +27,11 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod cluster;
 mod endpoint;
+mod error;
 
 pub use clock::MonotonicClock;
+pub use cluster::{Cluster, ClusterConfig, ClusterStats, EndpointId};
 pub use endpoint::{Endpoint, EndpointReport, RtConfig};
+pub use error::RtError;

@@ -205,7 +205,10 @@ pub struct ProtocolProperties {
 ///
 /// Defaults are calibrated so the simulated protocols reproduce the
 /// *relative* behaviour measured in the paper (see DESIGN.md §3); every
-/// value is overridable for ablation studies.
+/// value is overridable for ablation studies — either through the
+/// consuming `with_*` builders (the repo-wide pre-bind construction
+/// idiom, shared with `RtConfig` and [`TransportConfig`]) or via struct
+/// update syntax on [`Tuning::default()`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Tuning {
     /// Interval between sender session heartbeats (carrying the highest
@@ -256,6 +259,44 @@ pub struct Tuning {
     /// slot reuse of the real LEC implementation, which this simplified
     /// single-group decoder would otherwise not exhibit.
     pub repair_efficacy: f64,
+}
+
+impl Tuning {
+    /// Replaces the sender heartbeat interval (builder-style).
+    pub fn with_heartbeat_interval(mut self, interval: SimDuration) -> Self {
+        self.heartbeat_interval = interval;
+        self
+    }
+
+    /// Replaces the NAK retry give-up bound (builder-style).
+    pub fn with_nak_max_retries(mut self, retries: u32) -> Self {
+        self.nak_max_retries = retries;
+        self
+    }
+
+    /// Replaces the Ricochet partial-window flush delay (builder-style).
+    pub fn with_ricochet_flush(mut self, flush: SimDuration) -> Self {
+        self.ricochet_flush = flush;
+        self
+    }
+
+    /// Replaces the ACKcast window size (builder-style).
+    pub fn with_ack_window(mut self, window: u32) -> Self {
+        self.ack_window = window;
+        self
+    }
+
+    /// Replaces the receiver membership-heartbeat interval (builder-style).
+    pub fn with_membership_interval(mut self, interval: SimDuration) -> Self {
+        self.membership_interval = interval;
+        self
+    }
+
+    /// Replaces the modelled repair efficacy (builder-style).
+    pub fn with_repair_efficacy(mut self, efficacy: f64) -> Self {
+        self.repair_efficacy = efficacy;
+        self
+    }
 }
 
 impl Default for Tuning {

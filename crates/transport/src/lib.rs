@@ -60,7 +60,6 @@ mod ricochet;
 mod slingshot;
 pub mod tags;
 mod udp;
-pub mod wire;
 
 pub use ackcast::{AckcastReceiver, AckcastSender};
 pub use ant::{SessionHandles, SessionSpec};

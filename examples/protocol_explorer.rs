@@ -8,11 +8,7 @@
 //! Defaults to the paper's Figure 5 environment (pc850, 100 Mb, 5% loss,
 //! 3 receivers, 25 Hz).
 
-use adamant::{AppParams, BandwidthClass, Environment, Scenario};
-use adamant_dds::DdsImplementation;
-use adamant_metrics::MetricKind;
-use adamant_netsim::{MachineClass, SimDuration};
-use adamant_transport::{ProtocolKind, TransportConfig};
+use adamant::prelude::*;
 
 fn parse_args() -> (Environment, AppParams) {
     let args: Vec<String> = std::env::args().skip(1).collect();

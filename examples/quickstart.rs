@@ -11,14 +11,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use adamant::{
-    Adamant, AppParams, BandwidthClass, Environment, LabeledDataset, ProtocolSelector, Scenario,
-    SelectorConfig, SimulatedCloud,
-};
-use adamant_dds::DdsImplementation;
-use adamant_metrics::MetricKind;
-use adamant_netsim::MachineClass;
-use adamant_transport::TransportConfig;
+use adamant::prelude::*;
+use adamant::{Adamant, LabeledDataset, SimulatedCloud};
 
 fn main() {
     // ── 1. Measure which transport wins where ────────────────────────────

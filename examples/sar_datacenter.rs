@@ -18,14 +18,9 @@
 //! cargo run --release --example sar_datacenter
 //! ```
 
-use adamant::{
-    Adamant, AppParams, BandwidthClass, Environment, LabeledDataset, ProtocolSelector,
-    SelectorConfig, SimulatedCloud,
-};
-use adamant_dds::{DdsImplementation, DomainParticipant, QosProfile};
-use adamant_metrics::MetricKind;
-use adamant_netsim::{MachineClass, SimTime, Simulation};
-use adamant_transport::{ant, AppSpec};
+use adamant::prelude::*;
+use adamant::{Adamant, LabeledDataset, SimulatedCloud};
+use adamant_transport::ant;
 
 fn train_adamant() -> Adamant {
     // Train on a compact slice of the configuration space (see the

@@ -15,10 +15,8 @@
 //! cargo run --release --example satellite_uplink
 //! ```
 
-use adamant_dds::{DdsImplementation, DomainParticipant, QosProfile};
-use adamant_metrics::MetricKind;
-use adamant_netsim::{Bandwidth, HostConfig, MachineClass, SimDuration, SimTime, Simulation};
-use adamant_transport::{ant, AppSpec, ProtocolKind, TransportConfig};
+use adamant::prelude::*;
+use adamant_transport::ant;
 
 const GEO_ONE_WAY: SimDuration = SimDuration::from_millis(250);
 

@@ -12,13 +12,8 @@
 //! cargo run --release --example turbulent_environment
 //! ```
 
-use adamant::{
-    AdaptiveController, AdaptiveTimeline, AppParams, BandwidthClass, Environment, LabeledDataset,
-    Phase, ProtocolSelector, SelectorConfig,
-};
-use adamant_dds::DdsImplementation;
-use adamant_metrics::MetricKind;
-use adamant_netsim::MachineClass;
+use adamant::prelude::*;
+use adamant::{AdaptiveController, AdaptiveTimeline, LabeledDataset, Phase};
 
 fn main() {
     // Train the knowledge base on a compact measured slice (see the

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use adamant_netsim::{Bandwidth, HostConfig, MachineClass, NodeId, SimDriver, SimTime, Simulation};
 use adamant_proto::Span;
-use adamant_rt::{Endpoint, MonotonicClock, RtConfig};
+use adamant_rt::{Cluster, ClusterConfig, Endpoint, MonotonicClock, RtConfig};
 use adamant_transport::{
     AppSpec, DataReader, NakcastReceiver, NakcastSender, StackProfile, Tuning,
 };
@@ -100,6 +100,90 @@ fn run_loopback() -> RunOutcome {
     }
 }
 
+/// Runs the netsim side of the fleet parity check: one NAKcast sender and
+/// `receivers` lossy receivers inside one simulation.
+fn run_netsim_fleet(receivers: usize) -> Vec<RunOutcome> {
+    let mut sim = Simulation::new(42);
+    let host = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+    let group = sim.create_group(&[]);
+    let tx = sim.add_node(host, SimDriver::new(sender_core(group)));
+    sim.join_group(group, tx);
+    let rx_nodes: Vec<NodeId> = (0..receivers)
+        .map(|_| {
+            let rx = sim.add_node(host, SimDriver::new(receiver_core(tx)));
+            sim.join_group(group, rx);
+            rx
+        })
+        .collect();
+    sim.run_until(SimTime::from_secs(5));
+    rx_nodes
+        .into_iter()
+        .map(|rx| {
+            let r = sim.agent::<NakcastReceiver>(rx).unwrap();
+            RunOutcome {
+                delivered: r.log().deliveries().iter().map(|d| d.seq).collect(),
+                recovered: r.log().recovered_count(),
+                naks_sent: r.naks_sent(),
+            }
+        })
+        .collect()
+}
+
+/// Runs the same fleet inside a sharded [`Cluster`] over real UDP:
+/// returns the shard of every endpoint (sender first), the published
+/// count, and each receiver's outcome.
+fn run_cluster_fleet(
+    receivers: usize,
+    workers: usize,
+    seed: u64,
+    wall: Duration,
+) -> (Vec<usize>, u64, Vec<RunOutcome>) {
+    let clock = MonotonicClock::start();
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(workers)
+            .with_seed(seed)
+            .with_clock(clock),
+    );
+    let tx = cluster
+        .add_endpoint(
+            NodeId(0),
+            "127.0.0.1:0",
+            sender_core(adamant_proto::GroupId(0)),
+        )
+        .expect("bind cluster sender");
+    let rx_ids: Vec<_> = (1..=receivers as u32)
+        .map(|n| {
+            cluster
+                .add_endpoint(NodeId(n), "127.0.0.1:0", receiver_core(NodeId(0)))
+                .expect("bind cluster receiver")
+        })
+        .collect();
+    cluster.connect_full_mesh().expect("wire mesh");
+    let shards: Vec<usize> = std::iter::once(tx)
+        .chain(rx_ids.iter().copied())
+        .map(|id| cluster.shard_of(id))
+        .collect();
+    cluster.run_for(wall).expect("cluster run");
+    let published = cluster
+        .core::<NakcastSender>(tx)
+        .expect("sender core survives")
+        .published();
+    let outcomes = rx_ids
+        .iter()
+        .map(|&id| {
+            let r = cluster
+                .core::<NakcastReceiver>(id)
+                .expect("receiver core survives");
+            RunOutcome {
+                delivered: r.log().deliveries().iter().map(|d| d.seq).collect(),
+                recovered: r.log().recovered_count(),
+                naks_sent: r.naks_sent(),
+            }
+        })
+        .collect();
+    (shards, published, outcomes)
+}
+
 #[test]
 fn nakcast_delivers_identically_under_both_drivers() {
     let sim = run_netsim();
@@ -142,4 +226,82 @@ fn nakcast_delivers_identically_under_both_drivers() {
         sim.naks_sent,
         rt.naks_sent
     );
+}
+
+/// The cluster-scale version of the parity check: the same NAKcast
+/// session over 64 endpoints (one sender, 63 lossy receivers) hosted on
+/// 4 cluster workers must deliver exactly the sequence sets the netsim
+/// run of the same fleet delivers — every receiver, the complete stream.
+#[test]
+fn cluster_nakcast_matches_netsim_across_64_endpoints() {
+    const RECEIVERS: usize = 63;
+    const WORKERS: usize = 4;
+
+    let sim = run_netsim_fleet(RECEIVERS);
+    // Publishing takes 0.6 s; the rest of the wall is recovery slack for
+    // 63 receivers sharing 4 workers on a possibly loaded CI machine.
+    let (shards, published, rt) =
+        run_cluster_fleet(RECEIVERS, WORKERS, 42, Duration::from_millis(3_500));
+
+    assert_eq!(published, SAMPLES, "cluster sender finished the stream");
+    assert_eq!(shards.len(), RECEIVERS + 1);
+    for w in 0..WORKERS {
+        assert!(
+            shards.contains(&w),
+            "every worker must own a shard slice (assignment {shards:?})"
+        );
+    }
+
+    let expected: BTreeSet<u64> = (0..SAMPLES).collect();
+    for (i, o) in sim.iter().enumerate() {
+        assert_eq!(
+            o.delivered, expected,
+            "netsim receiver {i} must deliver every sample"
+        );
+    }
+    let mut recovered_total = 0;
+    for (i, o) in rt.iter().enumerate() {
+        assert_eq!(
+            o.delivered, expected,
+            "cluster receiver {i} must deliver every sample \
+             (recovered {} via {} NAKs)",
+            o.recovered, o.naks_sent
+        );
+        recovered_total += o.recovered;
+    }
+    // 63 receivers × 300 samples × 5% loss ≈ 945 expected drops: the run
+    // must actually exercise the recovery path, not just survive it.
+    assert!(
+        recovered_total > 0,
+        "cluster fleet must exercise NAK recovery"
+    );
+}
+
+/// Same seed + same shard assignment ⇒ the same outcome: two
+/// identically-configured cluster runs place every endpoint on the same
+/// worker (`index % workers`) and deliver identical per-endpoint
+/// sequence sets.
+#[test]
+fn cluster_reruns_are_shard_stable_and_deterministic() {
+    const RECEIVERS: usize = 15;
+    const WORKERS: usize = 3;
+
+    let wall = Duration::from_millis(2_500);
+    let (shards_a, published_a, a) = run_cluster_fleet(RECEIVERS, WORKERS, 11, wall);
+    let (shards_b, published_b, b) = run_cluster_fleet(RECEIVERS, WORKERS, 11, wall);
+
+    assert_eq!(shards_a, shards_b, "shard assignment must be rerun-stable");
+    for (index, &shard) in shards_a.iter().enumerate() {
+        assert_eq!(shard, index % WORKERS, "assignment must be index % workers");
+    }
+    assert_eq!(published_a, SAMPLES);
+    assert_eq!(published_b, SAMPLES);
+    let expected: BTreeSet<u64> = (0..SAMPLES).collect();
+    for (i, (oa, ob)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(
+            oa.delivered, ob.delivered,
+            "receiver {i} must deliver the same sequence set on both runs"
+        );
+        assert_eq!(oa.delivered, expected, "receiver {i} must deliver fully");
+    }
 }
