@@ -88,6 +88,9 @@ const TIMER_ANNOUNCE: u64 = 40;
 #[derive(Debug)]
 pub struct DiscoveryCore {
     participant_id: u32,
+    /// Incarnation of this participant: bumped on restart so peers can
+    /// tell a rebooted process from a delayed duplicate announcement.
+    epoch: u32,
     group: GroupId,
     endpoints: Vec<EndpointInfo>,
     /// The announcement message, built once: the contents never change, so
@@ -96,10 +99,12 @@ pub struct DiscoveryCore {
     announcement: Arc<DiscoveryMsg>,
     config: DiscoveryConfig,
     started_at: SimTime,
-    /// Remote participants seen (id → last announcement time).
-    seen: BTreeMap<u32, SimTime>,
+    /// Remote participants seen (id → current epoch + last announcement
+    /// time).
+    seen: BTreeMap<u32, (u32, SimTime)>,
     matches: Vec<Match>,
     announcements_sent: u64,
+    stale_prunes: u64,
 }
 
 impl DiscoveryCore {
@@ -111,19 +116,10 @@ impl DiscoveryCore {
         endpoints: Vec<EndpointInfo>,
         config: DiscoveryConfig,
     ) -> Self {
-        let announcement = Arc::new(DiscoveryMsg {
-            participant_id,
-            endpoints: endpoints
-                .iter()
-                .map(|e| EndpointAd {
-                    topic: e.topic.clone(),
-                    is_writer: e.is_writer,
-                    qos_code: e.qos.code(),
-                })
-                .collect(),
-        });
+        let announcement = Self::build_announcement(participant_id, 0, &endpoints);
         DiscoveryCore {
             participant_id,
+            epoch: 0,
             group,
             endpoints,
             announcement,
@@ -132,7 +128,36 @@ impl DiscoveryCore {
             seen: BTreeMap::new(),
             matches: Vec::new(),
             announcements_sent: 0,
+            stale_prunes: 0,
         }
+    }
+
+    /// Sets this participant's incarnation epoch (restarted processes
+    /// announce a higher epoch so peers prune state from the previous
+    /// incarnation).
+    pub fn with_epoch(mut self, epoch: u32) -> Self {
+        self.epoch = epoch;
+        self.announcement = Self::build_announcement(self.participant_id, epoch, &self.endpoints);
+        self
+    }
+
+    fn build_announcement(
+        participant_id: u32,
+        epoch: u32,
+        endpoints: &[EndpointInfo],
+    ) -> Arc<DiscoveryMsg> {
+        Arc::new(DiscoveryMsg {
+            participant_id,
+            epoch,
+            endpoints: endpoints
+                .iter()
+                .map(|e| EndpointAd {
+                    topic: e.topic.clone(),
+                    is_writer: e.is_writer,
+                    qos_code: e.qos.code(),
+                })
+                .collect(),
+        })
     }
 
     /// Matches established so far (ordered by discovery time).
@@ -148,6 +173,11 @@ impl DiscoveryCore {
     /// Announcements this participant multicast.
     pub fn announcements_sent(&self) -> u64 {
         self.announcements_sent
+    }
+
+    /// Times a restarted remote participant's stale state was pruned.
+    pub fn stale_prunes(&self) -> u64 {
+        self.stale_prunes
     }
 
     /// Time from start to the first established match, if any.
@@ -171,11 +201,29 @@ impl DiscoveryCore {
     }
 
     fn consider(&mut self, now: SimTime, remote: &DiscoveryMsg) {
-        let first_time = !self.seen.contains_key(&remote.participant_id);
-        self.seen.insert(remote.participant_id, now);
-        if !first_time {
-            return; // matches already evaluated for this participant
+        match self.seen.get(&remote.participant_id) {
+            // A delayed announcement from a dead incarnation: ignore it
+            // entirely, or a restarted participant would flap back to its
+            // stale endpoint set.
+            Some(&(epoch, _)) if remote.epoch < epoch => return,
+            // Same incarnation: refresh liveness, matches already stand.
+            Some(&(epoch, _)) if remote.epoch == epoch => {
+                self.seen.insert(remote.participant_id, (epoch, now));
+                return;
+            }
+            // Higher epoch: the participant crashed and restarted. Its old
+            // endpoints no longer exist, so prune every match involving it
+            // and re-evaluate against the new incarnation's announcement.
+            Some(_) => {
+                let restarted = remote.participant_id;
+                self.matches.retain(|m| {
+                    m.writer_participant != restarted && m.reader_participant != restarted
+                });
+                self.stale_prunes += 1;
+            }
+            None => {}
         }
+        self.seen.insert(remote.participant_id, (remote.epoch, now));
         for local in &self.endpoints {
             for other in &remote.endpoints {
                 if local.topic != other.topic || local.is_writer == other.is_writer {
@@ -325,6 +373,70 @@ mod tests {
                 .matches()
                 .is_empty());
         }
+    }
+
+    #[test]
+    fn higher_epoch_restart_prunes_stale_matches_and_rematches() {
+        let group = Simulation::new(0).create_group(&[]);
+        let mut core = DiscoveryCore::new(
+            0,
+            group,
+            vec![endpoint("t", true, QosProfile::reliable())],
+            DiscoveryConfig::default(),
+        );
+        let reader_ad = EndpointAd {
+            topic: "t".to_owned(),
+            is_writer: false,
+            qos_code: QosProfile::reliable().code(),
+        };
+        let v1 = DiscoveryMsg {
+            participant_id: 7,
+            epoch: 0,
+            endpoints: vec![reader_ad.clone()],
+        };
+        core.consider(SimTime::from_millis(1), &v1);
+        assert_eq!(core.matches().len(), 1);
+
+        // The participant restarts; its new incarnation has no reader yet.
+        let v2 = DiscoveryMsg {
+            participant_id: 7,
+            epoch: 1,
+            endpoints: vec![],
+        };
+        core.consider(SimTime::from_millis(2), &v2);
+        assert!(core.matches().is_empty(), "stale matches pruned");
+        assert_eq!(core.stale_prunes(), 1);
+
+        // A delayed duplicate from the dead incarnation changes nothing.
+        core.consider(SimTime::from_millis(3), &v1);
+        assert!(core.matches().is_empty());
+        assert_eq!(core.stale_prunes(), 1);
+
+        // The next incarnation brings the reader back: fresh match.
+        let v3 = DiscoveryMsg {
+            participant_id: 7,
+            epoch: 2,
+            endpoints: vec![reader_ad],
+        };
+        core.consider(SimTime::from_millis(4), &v3);
+        assert_eq!(core.matches().len(), 1);
+        assert_eq!(core.matches()[0].matched_at, SimTime::from_millis(4));
+        assert_eq!(core.participants_seen(), 1);
+    }
+
+    #[test]
+    fn with_epoch_rebuilds_the_announcement() {
+        let group = Simulation::new(0).create_group(&[]);
+        let core = DiscoveryCore::new(
+            3,
+            group,
+            vec![endpoint("t", true, QosProfile::reliable())],
+            DiscoveryConfig::default(),
+        )
+        .with_epoch(5);
+        assert_eq!(core.announcement.epoch, 5);
+        assert_eq!(core.announcement.participant_id, 3);
+        assert_eq!(core.announcement.endpoints.len(), 1);
     }
 
     #[test]

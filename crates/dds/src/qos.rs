@@ -2,6 +2,7 @@
 //! specification) with requested-vs-offered compatibility checking.
 
 use adamant_netsim::SimDuration;
+use adamant_proto::{DurabilityMode, DurableConfig};
 
 /// RELIABILITY QoS policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +29,16 @@ pub enum Durability {
     Volatile,
     /// Late-joining readers receive the writer's history cache.
     TransientLocal,
+}
+
+impl Durability {
+    /// The transport-layer durability mode implementing this policy.
+    pub fn mode(self) -> DurabilityMode {
+        match self {
+            Durability::Volatile => DurabilityMode::Volatile,
+            Durability::TransientLocal => DurabilityMode::TransientLocal,
+        }
+    }
 }
 
 /// Ordering guarantee requested by the application (DESTINATION_ORDER
@@ -167,6 +178,18 @@ impl QosProfile {
     pub fn with_durability(mut self, durability: Durability) -> Self {
         self.durability = durability;
         self
+    }
+
+    /// Lowers this profile's DURABILITY + HISTORY policies to the
+    /// transport-layer [`DurableConfig`] the session cores consume: the
+    /// durability policy picks the mode, and a `KeepLast(depth)` history
+    /// bounds the writer's retained window.
+    pub fn durable_config(&self) -> DurableConfig {
+        let config = DurableConfig::for_mode(self.durability.mode());
+        match self.history {
+            History::KeepLast(depth) if depth > 0 => config.with_history_depth(depth as usize),
+            _ => config,
+        }
     }
 }
 
@@ -362,6 +385,26 @@ mod tests {
         assert_eq!(qos.history, History::KeepLast(8));
         assert_eq!(qos.durability, Durability::TransientLocal);
         assert_eq!(qos.reliability, Reliability::BestEffort);
+    }
+
+    #[test]
+    fn qos_lowers_to_transport_durable_config() {
+        let volatile = QosProfile::reliable().durable_config();
+        assert_eq!(volatile.mode, DurabilityMode::Volatile);
+        assert_eq!(volatile.history_depth, None);
+
+        let durable = QosProfile::reliable()
+            .with_durability(Durability::TransientLocal)
+            .with_history(History::KeepLast(32))
+            .durable_config();
+        assert_eq!(durable.mode, DurabilityMode::TransientLocal);
+        assert_eq!(durable.history_depth, Some(32));
+
+        // KeepAll retains everything: no transport-layer bound.
+        let keep_all = QosProfile::reliable()
+            .with_durability(Durability::TransientLocal)
+            .durable_config();
+        assert_eq!(keep_all.history_depth, None);
     }
 
     #[test]

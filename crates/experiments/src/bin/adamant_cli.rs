@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! adamant_cli [dds] [loss%] [receivers] [rate_hz] [relate2|relate2jit]
-//! adamant_cli udp [loss%] [receivers] [rate_hz] [samples] [--endpoints N] [--workers W]
+//! adamant_cli udp [loss%] [receivers] [rate_hz] [samples]
+//!             [--endpoints N] [--workers W] [--seed S] [--chaos]
 //! ```
 //!
 //! The selector path requires `artifacts/selector.json` (produce it with
@@ -18,7 +19,11 @@
 //! reports what the wire actually did. With `--endpoints N` (and
 //! optionally `--workers W`, default 4) the session runs inside a sharded
 //! [`adamant_rt::Cluster`] — one writer plus `N - 1` readers hosted on `W`
-//! worker threads — instead of one OS thread per endpoint.
+//! worker threads — instead of one OS thread per endpoint. `--seed S`
+//! fixes the entropy base so a run is reproducible; `--chaos` wraps every
+//! core in a TransientLocal [`adamant_proto::DurableCore`] and
+//! crash-restarts the last reader mid-stream (inside a cluster), proving
+//! durable catch-up over the real wire.
 
 use adamant::{AppParams, Environment, LinuxProcProbe, ProtocolSelector, ResourceProbe};
 use adamant_dds::DdsImplementation;
@@ -28,7 +33,8 @@ use adamant_metrics::MetricKind;
 /// Runs a NAKcast session over real UDP on localhost and prints per-node
 /// statistics. Arguments: `[loss%] [receivers] [rate_hz] [samples]`, plus
 /// `--endpoints N` / `--workers W` to host the session in a sharded
-/// cluster instead of a thread per endpoint.
+/// cluster instead of a thread per endpoint, `--seed S` for a reproducible
+/// entropy base, and `--chaos` for a durable crash-restart run.
 fn run_udp_session(args: &[String]) {
     use adamant_proto::{GroupId, NodeId, Span};
     use adamant_rt::{Endpoint, MonotonicClock, RtConfig};
@@ -40,11 +46,15 @@ fn run_udp_session(args: &[String]) {
     let mut positional: Vec<&String> = Vec::new();
     let mut endpoints_flag: Option<usize> = None;
     let mut workers_flag: Option<usize> = None;
+    let mut seed: u64 = 0;
+    let mut chaos = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--endpoints" => endpoints_flag = it.next().and_then(|s| s.parse().ok()),
             "--workers" => workers_flag = it.next().and_then(|s| s.parse().ok()),
+            "--seed" => seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(0),
+            "--chaos" => chaos = true,
             _ => positional.push(arg),
         }
     }
@@ -64,10 +74,16 @@ fn run_udp_session(args: &[String]) {
         .and_then(|s| s.parse().ok())
         .unwrap_or(500);
 
+    if chaos {
+        let endpoints = endpoints_flag.unwrap_or(receivers + 1).max(2);
+        let workers = workers_flag.unwrap_or(4).max(1);
+        run_udp_chaos(loss, endpoints, workers, rate, samples, seed);
+        return;
+    }
     if endpoints_flag.is_some() || workers_flag.is_some() {
         let endpoints = endpoints_flag.unwrap_or(receivers + 1).max(2);
         let workers = workers_flag.unwrap_or(4).max(1);
-        run_udp_cluster(loss, endpoints, workers, rate, samples);
+        run_udp_cluster(loss, endpoints, workers, rate, samples, seed);
         return;
     }
 
@@ -82,7 +98,7 @@ fn run_udp_session(args: &[String]) {
             Endpoint::bind(
                 n,
                 "127.0.0.1:0",
-                RtConfig::new(u64::from(n.0) + 1).with_clock(clock),
+                RtConfig::new(seed.wrapping_add(u64::from(n.0) + 1)).with_clock(clock),
             )
             .expect("bind 127.0.0.1")
         })
@@ -168,7 +184,14 @@ fn run_udp_session(args: &[String]) {
 /// Hosts the same NAKcast session inside a sharded [`adamant_rt::Cluster`]:
 /// one writer and `endpoints - 1` readers partitioned across `workers`
 /// worker threads, each worker batching socket I/O for its shard.
-fn run_udp_cluster(loss: f64, endpoints: usize, workers: usize, rate: f64, samples: u64) {
+fn run_udp_cluster(
+    loss: f64,
+    endpoints: usize,
+    workers: usize,
+    rate: f64,
+    samples: u64,
+    seed: u64,
+) {
     use adamant_proto::{GroupId, NodeId, Span};
     use adamant_rt::{Cluster, ClusterConfig, EndpointId, MonotonicClock};
     use adamant_transport::{
@@ -181,7 +204,11 @@ fn run_udp_cluster(loss: f64, endpoints: usize, workers: usize, rate: f64, sampl
     let receivers = endpoints - 1;
     let clock = MonotonicClock::start();
 
-    let mut cluster = Cluster::new(ClusterConfig::new(workers).with_clock(clock));
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(workers)
+            .with_seed(seed)
+            .with_clock(clock),
+    );
     let writer_id = cluster
         .add_endpoint(
             NodeId(0),
@@ -270,6 +297,149 @@ fn run_udp_cluster(loss: f64, endpoints: usize, workers: usize, rate: f64, sampl
             "WARNING: incomplete delivery (try a longer run or lower loss)"
         }
     );
+}
+
+/// Durable crash-restart over the real wire: every core runs inside a
+/// TransientLocal [`adamant_proto::DurableCore`] on a sharded cluster. The
+/// last reader checkpoints its delivered set at 35% of the stream, keeps
+/// running to 70%, then "crashes" — [`adamant_rt::Cluster::restart_endpoint`]
+/// swaps in a fresh incarnation seeded only with the stale checkpoint, so
+/// everything the doomed incarnation delivered after it must come back
+/// through durable catch-up NAKs answered from the writer's history cache.
+fn run_udp_chaos(loss: f64, endpoints: usize, workers: usize, rate: f64, samples: u64, seed: u64) {
+    use adamant_proto::{DurableConfig, DurableCore, GroupId, NodeId, Span};
+    use adamant_rt::{Cluster, ClusterConfig, EndpointId, MonotonicClock};
+    use adamant_transport::{AppSpec, NakcastReceiver, NakcastSender, StackProfile, Tuning};
+    use std::time::Duration;
+
+    let tuning = Tuning::default();
+    let group = GroupId(0);
+    let config = DurableConfig::transient_local();
+    let receivers = endpoints - 1;
+    let clock = MonotonicClock::start();
+    let session_nak = Span::from_millis(2);
+
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(workers)
+            .with_seed(seed)
+            .with_clock(clock),
+    );
+    let writer_id = cluster
+        .add_endpoint(
+            NodeId(0),
+            "127.0.0.1:0",
+            DurableCore::writer(
+                NakcastSender::new(
+                    AppSpec::at_rate(samples, rate, 12),
+                    StackProfile::new(10.0, 48),
+                    tuning,
+                    group,
+                ),
+                group,
+                config,
+            ),
+        )
+        .expect("bind writer on 127.0.0.1");
+    let reader_ids: Vec<EndpointId> = (1..=receivers as u32)
+        .map(|n| {
+            cluster
+                .add_endpoint(
+                    NodeId(n),
+                    "127.0.0.1:0",
+                    DurableCore::reader(
+                        NakcastReceiver::new(NodeId(0), samples, session_nak, tuning, loss),
+                        NodeId(0),
+                        config,
+                    ),
+                )
+                .expect("bind reader on 127.0.0.1")
+        })
+        .collect();
+    cluster.connect_full_mesh().expect("wire cluster mesh");
+    let victim = *reader_ids.last().expect("at least one reader");
+    let victim_node = cluster.node(victim).expect("victim node");
+
+    let publish = samples as f64 / rate.max(1.0);
+    println!(
+        "durable chaos (seed {seed}): {samples} samples at {rate} Hz to {receivers} \
+         reader(s) on {workers} worker(s), {:.0}% loss; node {} crash-restarts at \
+         ~{:.1}s with a checkpoint from ~{:.1}s",
+        loss * 100.0,
+        victim_node.0,
+        publish * 0.7,
+        publish * 0.35
+    );
+
+    cluster
+        .run_for(Duration::from_secs_f64(publish * 0.35))
+        .expect("cluster run (pre-checkpoint)");
+    let checkpoint = cluster
+        .core::<DurableCore<NakcastReceiver>>(victim)
+        .expect("victim core")
+        .delivered_set()
+        .clone();
+    cluster
+        .run_for(Duration::from_secs_f64(publish * 0.35))
+        .expect("cluster run (doomed incarnation)");
+    println!(
+        "crash: node {} restarting with a {}-sample checkpoint",
+        victim_node.0,
+        checkpoint.len()
+    );
+    cluster
+        .restart_endpoint(
+            victim,
+            DurableCore::reader(
+                NakcastReceiver::new(NodeId(0), samples, session_nak, tuning, loss),
+                NodeId(0),
+                config,
+            )
+            .with_delivered(checkpoint),
+        )
+        .expect("restart victim endpoint");
+    cluster
+        .run_for(Duration::from_secs_f64(publish * 0.3 + 2.0))
+        .expect("cluster run (recovery)");
+
+    let replayed = cluster
+        .core::<DurableCore<NakcastSender>>(writer_id)
+        .map_or(0, |w| w.replayed());
+    println!("\nwriter: replayed {replayed} samples from durable history");
+    let mut complete = true;
+    for (i, &id) in reader_ids.iter().enumerate() {
+        let reader = cluster
+            .core::<DurableCore<NakcastReceiver>>(id)
+            .expect("reader core survives the run");
+        let delivered = reader.delivered_set().len() as u64;
+        complete &= delivered == samples;
+        let role = if id == victim { " [victim]" } else { "" };
+        println!(
+            "reader {}{role}: delivered {}/{} ({} via catch-up, {} catch-up naks, \
+             {} duplicates suppressed, caught up: {})",
+            i + 1,
+            delivered,
+            samples,
+            reader.recovered_via_catch_up(),
+            reader.catch_up_naks(),
+            reader.duplicates_suppressed(),
+            reader.caught_up_at().is_some() || reader.catch_up_naks() == 0,
+        );
+    }
+    println!(
+        "victim incarnation: {}",
+        cluster.incarnation(victim).unwrap_or(0)
+    );
+    println!(
+        "{}",
+        if complete {
+            "durable recovery complete: every reader holds the full stream"
+        } else {
+            "WARNING: durable recovery incomplete (try a longer run or lower loss)"
+        }
+    );
+    if !complete {
+        std::process::exit(1);
+    }
 }
 
 fn main() {

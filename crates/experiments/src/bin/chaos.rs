@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! chaos [scenario] [seed] [--trace]
-//!        scenario ∈ loss-spike | bandwidth-drop | cpu-contention | all
+//!        scenario ∈ loss-spike | bandwidth-drop | cpu-contention
+//!                  | reader-crash-recovery | all
 //!        (default: all, seed 77)
 //! ```
 //!
@@ -17,12 +18,24 @@
 //! `chaos_<scenario>.json` report artifact. Any invariant violation makes
 //! the process exit non-zero — this is the CI entry point for trace-driven
 //! verification.
+//!
+//! `reader-crash-recovery` is the durable-delivery scenario: a
+//! TransientLocal reader crashes mid-stream, restarts as a new incarnation,
+//! and must provably recover every retained sample exactly once within the
+//! catch-up schedule bound; a paired Volatile run must provably *fail* to
+//! (the checker flags the crash-window gap).
 
 use adamant::HealingOutcome;
 use adamant_experiments::artifacts;
 use adamant_experiments::chaos::{self, ChaosScenario, FAULT_AT, SAMPLES, SCENARIOS};
 use adamant_json::{Json, ToJson};
-use adamant_metrics::{registry_from_trace, verify_trace};
+use adamant_metrics::{registry_from_trace, verify_trace, InvariantKind};
+use adamant_proto::DurabilityMode;
+
+/// CLI name of the durable crash-restart scenario (it runs on raw durable
+/// cores rather than a self-healing session, so it is dispatched apart
+/// from [`SCENARIOS`]).
+const DURABLE_SCENARIO: &str = "reader-crash-recovery";
 
 fn run_scenario(
     scenario: &ChaosScenario,
@@ -85,6 +98,101 @@ fn verify_and_save(scenario: &ChaosScenario, seed: u64, outcome: &HealingOutcome
             ok = false;
         }
     }
+    ok
+}
+
+/// Runs the durable crash-restart scenario: the TransientLocal run must
+/// recover everything, the Volatile control run must not. With `--trace`
+/// both traces are replayed through the invariant checker and persisted as
+/// one report artifact.
+fn run_durable_scenario(seed: u64, trace_mode: bool) -> bool {
+    println!("== {DURABLE_SCENARIO} (seed {seed}) ==");
+    println!(
+        "   durable reader crashes at {:.1}s and restarts at {:.1}s into a \
+         {}-sample 100 Hz stream ({:.0}% end-host loss)",
+        chaos::CRASH_AT.as_secs_f64(),
+        chaos::RESTART_AT.as_secs_f64(),
+        chaos::DURABLE_SAMPLES,
+        chaos::DURABLE_LOSS * 100.0
+    );
+    let tl = chaos::run_reader_crash_recovery(DurabilityMode::TransientLocal, seed);
+    let vol = chaos::run_reader_crash_recovery(DurabilityMode::Volatile, seed);
+
+    println!(
+        "   transient-local: victim delivered {}/{} ({} via catch-up, {} writer \
+         replays, {} duplicates suppressed)",
+        tl.victim_delivered,
+        chaos::DURABLE_SAMPLES,
+        tl.victim_recovered,
+        tl.replayed,
+        tl.duplicates_suppressed
+    );
+    match tl.caught_up_at {
+        Some(at) => println!(
+            "   transient-local: caught up {:.0} ms after the restart",
+            (at - chaos::RESTART_AT).as_secs_f64() * 1e3
+        ),
+        None => println!("   transient-local: NEVER completed catch-up"),
+    }
+    println!(
+        "   volatile control: victim delivered {}/{} (crash window stays lost)",
+        vol.victim_delivered,
+        chaos::DURABLE_SAMPLES
+    );
+
+    let mut ok = tl.caught_up_at.is_some() && tl.victim_delivered == chaos::DURABLE_SAMPLES;
+    if trace_mode {
+        let tl_verify = verify_trace(
+            &tl.trace,
+            &chaos::durable_verify_spec(DurabilityMode::TransientLocal),
+        );
+        let vol_verify = verify_trace(
+            &vol.trace,
+            &chaos::durable_verify_spec(DurabilityMode::Volatile),
+        );
+        let registry = registry_from_trace(DURABLE_SCENARIO, &tl.trace);
+        println!(
+            "   trace: {} events, {} accepted ({} recovered)",
+            tl_verify.events, tl_verify.accepted, tl_verify.recovered
+        );
+        if tl_verify.is_clean() {
+            println!("   invariants: transient-local recovery proven clean");
+        } else {
+            for v in &tl_verify.violations {
+                eprintln!(
+                    "   VIOLATION [{}] t={}ns: {}",
+                    v.invariant, v.time_ns, v.detail
+                );
+            }
+            ok = false;
+        }
+        let vol_gaps = vol_verify.violations_of(InvariantKind::NoGapAfterCatchUp);
+        if vol_gaps > 0 {
+            println!("   invariants: volatile control flagged as expected (gap detected)");
+        } else {
+            eprintln!("   UNEXPECTED: volatile control run shows no delivery gap");
+            ok = false;
+        }
+        let artifact = Json::Obj(vec![
+            (
+                "scenario".to_owned(),
+                Json::Str(DURABLE_SCENARIO.to_owned()),
+            ),
+            ("seed".to_owned(), Json::Num(seed as f64)),
+            ("transient_local".to_owned(), tl_verify.to_json()),
+            ("volatile".to_owned(), vol_verify.to_json()),
+            ("volatile_gap_detected".to_owned(), Json::Bool(vol_gaps > 0)),
+            ("registry".to_owned(), registry.to_json()),
+        ]);
+        match artifacts::save(&format!("chaos_{DURABLE_SCENARIO}.json"), &artifact) {
+            Ok(path) => println!("   report artifact: {}", path.display()),
+            Err(e) => {
+                eprintln!("   failed to write report artifact: {e}");
+                ok = false;
+            }
+        }
+    }
+    println!();
     ok
 }
 
@@ -161,22 +269,31 @@ fn main() {
     let which = args.first().cloned().unwrap_or_else(|| "all".to_owned());
     let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(77);
 
-    if which != "all" && chaos::scenario(&which).is_none() {
+    if which != "all" && which != DURABLE_SCENARIO && chaos::scenario(&which).is_none() {
         eprintln!("unknown scenario `{which}`; pick one of:");
         for s in &SCENARIOS {
-            eprintln!("  {:<16} {}", s.name, s.description);
+            eprintln!("  {:<24} {}", s.name, s.description);
         }
-        eprintln!("  {:<16} every scenario in sequence", "all");
+        eprintln!(
+            "  {:<24} durable reader crash/restart with provable catch-up",
+            DURABLE_SCENARIO
+        );
+        eprintln!("  {:<24} every scenario in sequence", "all");
         std::process::exit(1);
     }
 
-    let selector = chaos::build_selector();
     let mut clean = true;
-    for scenario in SCENARIOS
-        .iter()
-        .filter(|s| which == "all" || s.name == which)
-    {
-        clean &= run_scenario(scenario, &selector, seed, trace_mode);
+    if which == "all" || chaos::scenario(&which).is_some() {
+        let selector = chaos::build_selector();
+        for scenario in SCENARIOS
+            .iter()
+            .filter(|s| which == "all" || s.name == which)
+        {
+            clean &= run_scenario(scenario, &selector, seed, trace_mode);
+        }
+    }
+    if which == "all" || which == DURABLE_SCENARIO {
+        clean &= run_durable_scenario(seed, trace_mode);
     }
     if !clean {
         std::process::exit(1);

@@ -18,9 +18,14 @@ use adamant::{
 use adamant_dds::DdsImplementation;
 use adamant_metrics::{MetricKind, VerifySpec};
 use adamant_netsim::{
-    Bandwidth, FaultPlan, LossModel, MachineClass, NetworkConfig, NodeId, SimDuration, SimTime,
+    Bandwidth, FaultPlan, HostConfig, LossModel, MachineClass, MemorySink, NetworkConfig, NodeId,
+    SimDriver, SimDuration, SimTime, Simulation, TracedEvent,
 };
-use adamant_transport::{nakcast_recovery_bound, ProtocolKind, TransportConfig, Tuning};
+use adamant_proto::{catch_up_bound, DurabilityMode, DurableConfig, DurableCore};
+use adamant_transport::{
+    nakcast_recovery_bound, AppSpec, NakcastReceiver, NakcastSender, ProtocolKind, StackProfile,
+    TransportConfig, Tuning,
+};
 
 /// When every scenario's fault lands.
 pub const FAULT_AT: SimTime = SimTime::from_secs(3);
@@ -201,6 +206,167 @@ pub fn chaos_verify_spec(outcome: &HealingOutcome) -> VerifySpec {
         .with_tolerance(1e-9)
 }
 
+// ------------------------------------------------- durable crash-restart
+
+/// Stream length of the durable reader-crash-recovery scenario.
+pub const DURABLE_SAMPLES: u64 = 600;
+/// Durable readers in that scenario; the last one is the crash victim.
+pub const DURABLE_RECEIVERS: u32 = 2;
+/// Per-reader end-host loss the durable scenario runs under (so the live
+/// path exercises the inner NAK machinery alongside durable catch-up).
+pub const DURABLE_LOSS: f64 = 0.02;
+/// When the victim reader crashes.
+pub const CRASH_AT: SimTime = SimTime::from_secs(1);
+/// When the victim restarts as a new incarnation.
+pub const RESTART_AT: SimTime = SimTime::from_secs(2);
+/// The inner NAKcast session timeout for the durable scenario.
+const DURABLE_SESSION_NAK: SimDuration = SimDuration::from_millis(5);
+
+/// The durable tuning every endpoint of the scenario runs under: default
+/// timing, unbounded writer history (the whole stream stays recoverable).
+pub fn durable_config(mode: DurabilityMode) -> DurableConfig {
+    DurableConfig::for_mode(mode)
+}
+
+/// What one durable crash-restart run produced.
+pub struct DurableChaosOutcome {
+    /// The structured trace of the whole run (always captured — proving
+    /// recovery is the point of the scenario).
+    pub trace: Vec<TracedEvent>,
+    /// The reader that crashed and restarted.
+    pub victim: NodeId,
+    /// Samples the writer replayed from its durable history cache.
+    pub replayed: u64,
+    /// Distinct sequences the victim handed to the application across both
+    /// incarnations (checkpoint plus live and catch-up deliveries).
+    pub victim_delivered: u64,
+    /// Historical samples the restarted incarnation recovered via the
+    /// catch-up protocol.
+    pub victim_recovered: u64,
+    /// Cross-incarnation duplicates the durable wrapper suppressed.
+    pub duplicates_suppressed: u64,
+    /// When the restarted incarnation completed catch-up; `None` means it
+    /// never did (always the case for a Volatile victim).
+    pub caught_up_at: Option<SimTime>,
+}
+
+/// Runs the durable reader-crash-recovery scenario: a `DurableCore`-wrapped
+/// NAKcast session where the victim reader crashes at [`CRASH_AT`] and
+/// restarts at [`RESTART_AT`] as a new incarnation, recovering its delivery
+/// checkpoint from the dead incarnation (the [`FaultPlan`] restart factory
+/// models state read back from stable storage). In
+/// [`DurabilityMode::TransientLocal`] the new incarnation catch-up-NAKs
+/// every retained sample the checkpoint is missing; in
+/// [`DurabilityMode::Volatile`] it joins at the live edge and the crash
+/// window stays lost.
+pub fn run_reader_crash_recovery(mode: DurabilityMode, seed: u64) -> DurableChaosOutcome {
+    let config = durable_config(mode);
+    let tuning = Tuning::default();
+    let host = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+
+    let mut sim = Simulation::new(seed).with_obs_sink(MemorySink::new());
+    let group = sim.create_group(&[]);
+    let writer = sim.add_node(
+        host,
+        SimDriver::new(DurableCore::writer(
+            NakcastSender::new(
+                AppSpec::at_rate(DURABLE_SAMPLES, 100.0, 12),
+                StackProfile::new(10.0, 48),
+                tuning,
+                group,
+            ),
+            group,
+            config,
+        )),
+    );
+    sim.join_group(group, writer);
+    let mut readers = Vec::new();
+    for _ in 0..DURABLE_RECEIVERS {
+        let rx = sim.add_node(
+            host,
+            SimDriver::new(DurableCore::reader(
+                NakcastReceiver::new(
+                    writer,
+                    DURABLE_SAMPLES,
+                    DURABLE_SESSION_NAK,
+                    tuning,
+                    DURABLE_LOSS,
+                ),
+                writer,
+                config,
+            )),
+        );
+        sim.join_group(group, rx);
+        readers.push(rx);
+    }
+    let victim = *readers.last().expect("at least one reader");
+
+    let plan = FaultPlan::new().crash_at(CRASH_AT, victim).restart_with_at(
+        RESTART_AT,
+        victim,
+        move |previous| {
+            // The restarted process recovers its delivery checkpoint from
+            // stable storage: the dead incarnation's delivered set.
+            let checkpoint = previous
+                .as_ref()
+                .and_then(|agent| {
+                    agent
+                        .as_any()
+                        .downcast_ref::<DurableCore<NakcastReceiver>>()
+                })
+                .map(|core| core.delivered_set().clone())
+                .unwrap_or_default();
+            Box::new(SimDriver::new(
+                DurableCore::reader(
+                    NakcastReceiver::new(
+                        writer,
+                        DURABLE_SAMPLES,
+                        DURABLE_SESSION_NAK,
+                        tuning,
+                        DURABLE_LOSS,
+                    ),
+                    writer,
+                    config,
+                )
+                .with_delivered(checkpoint),
+            ))
+        },
+    );
+    plan.run(&mut sim, SimTime::from_secs(9));
+
+    let replayed = sim
+        .agent::<DurableCore<NakcastSender>>(writer)
+        .map_or(0, DurableCore::replayed);
+    let reader = sim
+        .agent::<DurableCore<NakcastReceiver>>(victim)
+        .expect("victim core survives the run");
+    let (victim_delivered, victim_recovered, duplicates_suppressed, caught_up_at) = (
+        reader.delivered_set().len() as u64,
+        reader.recovered_via_catch_up(),
+        reader.duplicates_suppressed(),
+        reader.caught_up_at(),
+    );
+    DurableChaosOutcome {
+        trace: sim.take_obs_events(),
+        victim,
+        replayed,
+        victim_delivered,
+        victim_recovered,
+        duplicates_suppressed,
+        caught_up_at,
+    }
+}
+
+/// The [`VerifySpec`] proving durable crash-restart recovery: the victim is
+/// declared durable, so the checker demands a gap-free acceptance union
+/// across its incarnations, cross-incarnation at-most-once delivery, and
+/// catch-up completion within the retry schedule's worst-case bound.
+pub fn durable_verify_spec(mode: DurabilityMode) -> VerifySpec {
+    VerifySpec::new(DURABLE_SAMPLES, DURABLE_RECEIVERS)
+        .with_durable_nodes([DURABLE_RECEIVERS as usize])
+        .with_catch_up_bound(catch_up_bound(&durable_config(mode)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +386,42 @@ mod tests {
         let outcome = run_chaos(scenario("loss-spike").unwrap(), &selector, 5, false);
         assert!(outcome.trace.is_empty());
         assert!(outcome.report.delivered > 0);
+    }
+
+    #[test]
+    fn transient_local_victim_provably_recovers_all_history() {
+        let outcome = run_reader_crash_recovery(DurabilityMode::TransientLocal, 11);
+        assert_eq!(outcome.victim_delivered, DURABLE_SAMPLES);
+        assert!(
+            outcome.victim_recovered > 0,
+            "the crash window must be recovered through catch-up"
+        );
+        assert!(outcome.replayed > 0);
+        assert!(outcome.caught_up_at.is_some());
+        let verify = adamant_metrics::verify_trace(
+            &outcome.trace,
+            &durable_verify_spec(DurabilityMode::TransientLocal),
+        );
+        assert!(verify.is_clean(), "violations: {:?}", verify.violations);
+    }
+
+    #[test]
+    fn volatile_victim_loses_the_crash_window() {
+        use adamant_metrics::InvariantKind;
+        let outcome = run_reader_crash_recovery(DurabilityMode::Volatile, 11);
+        assert!(outcome.caught_up_at.is_none(), "volatile never catches up");
+        assert!(
+            outcome.victim_delivered < DURABLE_SAMPLES,
+            "the crash window must stay lost on a volatile reader"
+        );
+        let verify = adamant_metrics::verify_trace(
+            &outcome.trace,
+            &durable_verify_spec(DurabilityMode::Volatile),
+        );
+        assert!(
+            verify.violations_of(InvariantKind::NoGapAfterCatchUp) > 0,
+            "the checker must flag the gap: {:?}",
+            verify.violations
+        );
     }
 }

@@ -137,6 +137,10 @@ pub fn registry_from_trace(protocol: &str, events: &[TracedEvent]) -> MetricsReg
     let mut reg = MetricsRegistry::new();
     let key = |node: NodeId, name: &str| MetricsRegistry::node_key(protocol, node, name);
     let run = |name: &str| format!("{protocol}/run/{name}");
+    let dur = |name: &str| format!("{protocol}/durability/{name}");
+    // Restart instants, so catch-up completions fold into a recovery-latency
+    // histogram (time from the restart to full history recovery).
+    let mut restarted_at: BTreeMap<usize, u64> = BTreeMap::new();
     for te in events {
         match te.event {
             ObsEvent::PacketSent {
@@ -162,7 +166,10 @@ pub fn registry_from_trace(protocol: &str, events: &[TracedEvent]) -> MetricsReg
             }
             ObsEvent::EpochDropped { node } => reg.inc(key(node, "epoch_drops")),
             ObsEvent::NodeCrashed { node, .. } => reg.inc(key(node, "crashes")),
-            ObsEvent::NodeRestarted { node, .. } => reg.inc(key(node, "restarts")),
+            ObsEvent::NodeRestarted { node, .. } => {
+                reg.inc(key(node, "restarts"));
+                restarted_at.insert(node.index(), te.time.as_nanos());
+            }
             ObsEvent::PartitionChanged { .. } => reg.inc(run("partition_changes")),
             ObsEvent::NetworkChanged { .. } => reg.inc(run("network_changes")),
             ObsEvent::BandwidthChanged { node, .. } => reg.inc(key(node, "bandwidth_changes")),
@@ -194,6 +201,34 @@ pub fn registry_from_trace(protocol: &str, events: &[TracedEvent]) -> MetricsReg
             }
             ObsEvent::RepairDecoded { node, .. } => reg.inc(key(node, "repairs_decoded")),
             ObsEvent::FailoverPromoted { node } => reg.inc(key(node, "failover_promotions")),
+            ObsEvent::HistoryRetained { node, retained, .. } => {
+                reg.inc(key(node, "history_retained"));
+                reg.set_gauge(dur("retained_samples"), retained as f64);
+            }
+            ObsEvent::HistoryEvicted { node, .. } => {
+                reg.inc(key(node, "history_evicted"));
+                reg.inc(dur("evicted_samples"));
+            }
+            ObsEvent::CatchUpNakSent { node, count } => {
+                reg.inc(key(node, "catch_up_nak_rounds"));
+                reg.add(dur("catch_up_naks"), u64::from(count));
+            }
+            ObsEvent::DurableReplayed { node, .. } => {
+                reg.inc(key(node, "durable_replays"));
+                reg.inc(dur("replayed_samples"));
+            }
+            ObsEvent::CatchUpCompleted { node, recovered } => {
+                reg.inc(key(node, "catch_ups_completed"));
+                reg.add(dur("recovered_samples"), recovered);
+                if let Some(&t0) = restarted_at.get(&node.index()) {
+                    let us = te.time.as_nanos().saturating_sub(t0) as f64 / 1_000.0;
+                    reg.observe_us(dur("recovery_latency"), us);
+                }
+            }
+            ObsEvent::CatchUpAbandoned { node, count } => {
+                reg.inc(key(node, "catch_ups_abandoned"));
+                reg.add(dur("abandoned_samples"), u64::from(count));
+            }
             ObsEvent::HealAlarm { .. } => reg.inc(run("heal_alarms")),
             ObsEvent::HealProbe { .. } => reg.inc(run("heal_probes")),
             ObsEvent::HealDecision { .. } => reg.inc(run("heal_decisions")),
@@ -243,6 +278,86 @@ mod tests {
         );
         let hist = json.get("histograms").unwrap().get("p/node0/latency");
         assert_eq!(hist.unwrap().field::<u64>("count"), Ok(2));
+    }
+
+    #[test]
+    fn durability_events_fold_into_run_scope_keys() {
+        let writer = NodeId::from_index(0);
+        let reader = NodeId::from_index(1);
+        let trace = vec![
+            ev(
+                0,
+                ObsEvent::HistoryRetained {
+                    node: writer,
+                    seq: 0,
+                    retained: 1,
+                },
+            ),
+            ev(
+                10,
+                ObsEvent::HistoryRetained {
+                    node: writer,
+                    seq: 1,
+                    retained: 2,
+                },
+            ),
+            ev(
+                20,
+                ObsEvent::HistoryEvicted {
+                    node: writer,
+                    seq: 0,
+                },
+            ),
+            ev(
+                30_000,
+                ObsEvent::NodeRestarted {
+                    node: reader,
+                    epoch: 1,
+                },
+            ),
+            ev(
+                31_000,
+                ObsEvent::CatchUpNakSent {
+                    node: reader,
+                    count: 3,
+                },
+            ),
+            ev(
+                31_500,
+                ObsEvent::DurableReplayed {
+                    node: writer,
+                    seq: 1,
+                },
+            ),
+            ev(
+                32_000,
+                ObsEvent::CatchUpCompleted {
+                    node: reader,
+                    recovered: 3,
+                },
+            ),
+            ev(
+                40_000,
+                ObsEvent::CatchUpAbandoned {
+                    node: reader,
+                    count: 1,
+                },
+            ),
+        ];
+        let reg = registry_from_trace("durable", &trace);
+        assert_eq!(reg.gauge("durable/durability/retained_samples"), Some(2.0));
+        assert_eq!(reg.counter("durable/durability/evicted_samples"), 1);
+        assert_eq!(reg.counter("durable/durability/catch_up_naks"), 3);
+        assert_eq!(reg.counter("durable/durability/replayed_samples"), 1);
+        assert_eq!(reg.counter("durable/durability/recovered_samples"), 3);
+        assert_eq!(reg.counter("durable/durability/abandoned_samples"), 1);
+        assert_eq!(reg.counter("durable/node1/catch_ups_completed"), 1);
+        // Recovery latency = completion (32 ms) minus restart (30 ms).
+        let h = reg
+            .histogram("durable/durability/recovery_latency")
+            .unwrap();
+        assert_eq!(h.count(), 1);
+        assert!((1_900.0..=2_100.0).contains(&h.percentile(0.5).unwrap()));
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //!    `nakcast_recovery_bound` in `adamant-transport`).
 //! 4. **ReLate2 consistency** — ReLate2 recomputed from the trace's
 //!    accepted samples equals the engine-reported value within tolerance.
+//! 5. **No gap after catch-up** — a durable (TransientLocal) reader's
+//!    acceptances, unioned across every incarnation, cover all published
+//!    samples by the end of the trace: crash-restart loses nothing.
+//! 6. **Cross-incarnation at-most-once** — a durable reader never accepts
+//!    the same sequence in two incarnations (restart dedupe works).
+//! 7. **Catch-up latency bound** — a restarted durable reader completes
+//!    catch-up within the configured bound, and always completes.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -37,6 +44,13 @@ pub enum InvariantKind {
     RecoveryLatencyBound,
     /// Trace-recomputed ReLate2 disagrees with the engine's report.
     Relate2Consistency,
+    /// A durable reader's union of acceptances across incarnations misses
+    /// published samples at the end of the trace.
+    NoGapAfterCatchUp,
+    /// A durable reader accepted the same sequence in two incarnations.
+    CrossIncarnationAtMostOnce,
+    /// A restarted durable reader finished catch-up too late, or never.
+    CatchUpLatencyBound,
 }
 
 adamant_json::impl_json_unit_enum!(InvariantKind {
@@ -44,6 +58,9 @@ adamant_json::impl_json_unit_enum!(InvariantKind {
     AtMostOnce,
     RecoveryLatencyBound,
     Relate2Consistency,
+    NoGapAfterCatchUp,
+    CrossIncarnationAtMostOnce,
+    CatchUpLatencyBound,
 });
 
 impl std::fmt::Display for InvariantKind {
@@ -53,6 +70,9 @@ impl std::fmt::Display for InvariantKind {
             InvariantKind::AtMostOnce => "at-most-once",
             InvariantKind::RecoveryLatencyBound => "recovery-latency-bound",
             InvariantKind::Relate2Consistency => "relate2-consistency",
+            InvariantKind::NoGapAfterCatchUp => "no-gap-after-catch-up",
+            InvariantKind::CrossIncarnationAtMostOnce => "cross-incarnation-at-most-once",
+            InvariantKind::CatchUpLatencyBound => "catch-up-latency-bound",
         };
         write!(f, "{name}")
     }
@@ -93,6 +113,13 @@ pub struct VerifySpec {
     pub recovery_bound: Option<SimDuration>,
     /// Absolute tolerance for the ReLate2 comparison.
     pub tolerance: f64,
+    /// Nodes holding durable (TransientLocal) readers: their acceptances
+    /// must union to every published sample across incarnations, exactly
+    /// once per sequence.
+    pub durable_nodes: BTreeSet<usize>,
+    /// Upper bound on restart-to-catch-up-completion latency for durable
+    /// nodes (derive it from `adamant_proto::catch_up_bound`).
+    pub catch_up_bound: Option<SimDuration>,
 }
 
 impl VerifySpec {
@@ -105,7 +132,22 @@ impl VerifySpec {
             reported_relate2: None,
             recovery_bound: None,
             tolerance: 1e-9,
+            durable_nodes: BTreeSet::new(),
+            catch_up_bound: None,
         }
+    }
+
+    /// Marks `nodes` as durable readers whose crash-restart recovery the
+    /// checker must prove (invariants 5–7).
+    pub fn with_durable_nodes(mut self, nodes: impl IntoIterator<Item = usize>) -> Self {
+        self.durable_nodes.extend(nodes);
+        self
+    }
+
+    /// Also bound restart-to-catch-up-completion latency by `bound`.
+    pub fn with_catch_up_bound(mut self, bound: SimDuration) -> Self {
+        self.catch_up_bound = Some(bound);
+        self
     }
 
     /// Also check the trace-recomputed ReLate2 against `reported`.
@@ -187,6 +229,15 @@ pub fn verify_trace(events: &[TracedEvent], spec: &VerifySpec) -> VerifyReport {
     let mut violations = Vec::new();
     let mut accepted = 0u64;
     let mut recovered_count = 0u64;
+    // Durable bookkeeping: per-node acceptance union across incarnations,
+    // restart instants, and restarts still awaiting a CatchUpCompleted.
+    let mut durable_union: BTreeMap<usize, BTreeSet<u64>> = spec
+        .durable_nodes
+        .iter()
+        .map(|&n| (n, BTreeSet::new()))
+        .collect();
+    let mut restarted_at: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut pending_catch_up: BTreeSet<usize> = BTreeSet::new();
 
     for te in events {
         let time_ns = te.time.as_nanos();
@@ -197,6 +248,28 @@ pub fn verify_trace(events: &[TracedEvent], spec: &VerifySpec) -> VerifyReport {
             ObsEvent::NodeRestarted { node, .. } => {
                 crashed.remove(&node.index());
                 *incarnation.entry(node.index()).or_insert(0) += 1;
+                if spec.durable_nodes.contains(&node.index()) {
+                    restarted_at.insert(node.index(), time_ns);
+                    pending_catch_up.insert(node.index());
+                }
+            }
+            ObsEvent::CatchUpCompleted { node, .. } => {
+                let idx = node.index();
+                pending_catch_up.remove(&idx);
+                if let (Some(&t0), Some(bound)) = (restarted_at.get(&idx), spec.catch_up_bound) {
+                    let elapsed = time_ns.saturating_sub(t0);
+                    if elapsed > bound.as_nanos() {
+                        violations.push(Violation {
+                            invariant: InvariantKind::CatchUpLatencyBound,
+                            time_ns,
+                            detail: format!(
+                                "{node} completed catch-up {elapsed} ns after restart \
+                                 (bound {} ns)",
+                                bound.as_nanos()
+                            ),
+                        });
+                    }
+                }
             }
             ObsEvent::PacketDelivered { node, wire_id, .. } if crashed.contains(&node.index()) => {
                 violations.push(Violation {
@@ -229,6 +302,16 @@ pub fn verify_trace(events: &[TracedEvent], spec: &VerifySpec) -> VerifyReport {
                     });
                     continue;
                 }
+                if let Some(union) = durable_union.get_mut(&idx) {
+                    if !union.insert(seq) {
+                        violations.push(Violation {
+                            invariant: InvariantKind::CrossIncarnationAtMostOnce,
+                            time_ns,
+                            detail: format!("sample {seq} accepted by {node} in two incarnations"),
+                        });
+                        continue;
+                    }
+                }
                 accepted += 1;
                 let latency_ns = delivered_ns.saturating_sub(published_ns);
                 latencies
@@ -253,6 +336,32 @@ pub fn verify_trace(events: &[TracedEvent], spec: &VerifySpec) -> VerifyReport {
                 }
             }
             _ => {}
+        }
+    }
+
+    let end_ns = events.last().map_or(0, |e| e.time.as_nanos());
+    for &idx in &pending_catch_up {
+        violations.push(Violation {
+            invariant: InvariantKind::CatchUpLatencyBound,
+            time_ns: end_ns,
+            detail: format!("node{idx} restarted but never completed catch-up"),
+        });
+    }
+    for (&idx, union) in &durable_union {
+        let missing: Vec<u64> = (0..spec.samples_sent)
+            .filter(|seq| !union.contains(seq))
+            .collect();
+        if !missing.is_empty() {
+            violations.push(Violation {
+                invariant: InvariantKind::NoGapAfterCatchUp,
+                time_ns: end_ns,
+                detail: format!(
+                    "node{idx} missing {} of {} samples across incarnations (first gap: {})",
+                    missing.len(),
+                    spec.samples_sent,
+                    missing[0]
+                ),
+            });
         }
     }
 
@@ -392,6 +501,91 @@ mod tests {
         let wrong = VerifySpec::new(2, 1).with_reported_relate2(50_000.0);
         let report = verify_trace(&trace, &wrong);
         assert_eq!(report.violations_of(InvariantKind::Relate2Consistency), 1);
+    }
+
+    #[test]
+    fn durable_crash_restart_recovery_is_proven() {
+        let node = NodeId::from_index(1);
+        let trace = vec![
+            accept(10, 1, 0, false),
+            accept(20, 1, 1, false),
+            ev(30, ObsEvent::NodeCrashed { node, epoch: 1 }),
+            ev(40, ObsEvent::NodeRestarted { node, epoch: 2 }),
+            accept(50, 1, 2, true),
+            accept(60, 1, 3, false),
+            ev(70, ObsEvent::CatchUpCompleted { node, recovered: 1 }),
+        ];
+        let spec = VerifySpec::new(4, 1)
+            .with_durable_nodes([1])
+            .with_catch_up_bound(SimDuration::from_millis(1));
+        let report = verify_trace(&trace, &spec);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.accepted, 4);
+    }
+
+    #[test]
+    fn durable_gap_at_end_of_trace_is_flagged() {
+        // A volatile reader that restarts mid-stream loses sample 1 for
+        // good; marking it durable makes that loss a violation.
+        let node = NodeId::from_index(1);
+        let trace = vec![
+            accept(10, 1, 0, false),
+            ev(20, ObsEvent::NodeCrashed { node, epoch: 1 }),
+            ev(30, ObsEvent::NodeRestarted { node, epoch: 2 }),
+            accept(40, 1, 2, false),
+        ];
+        let spec = VerifySpec::new(3, 1).with_durable_nodes([1]);
+        let report = verify_trace(&trace, &spec);
+        assert_eq!(report.violations_of(InvariantKind::NoGapAfterCatchUp), 1);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.detail.contains("first gap: 1")));
+        // A restart with no CatchUpCompleted is itself a violation.
+        assert_eq!(report.violations_of(InvariantKind::CatchUpLatencyBound), 1);
+    }
+
+    #[test]
+    fn cross_incarnation_duplicate_is_flagged_for_durable_nodes() {
+        let node = NodeId::from_index(1);
+        let trace = vec![
+            accept(10, 1, 0, false),
+            ev(20, ObsEvent::NodeCrashed { node, epoch: 1 }),
+            ev(30, ObsEvent::NodeRestarted { node, epoch: 2 }),
+            accept(40, 1, 0, false), // delivered again after restart
+            accept(50, 1, 1, false),
+            ev(60, ObsEvent::CatchUpCompleted { node, recovered: 0 }),
+        ];
+        let spec = VerifySpec::new(2, 1).with_durable_nodes([1]);
+        let report = verify_trace(&trace, &spec);
+        assert_eq!(
+            report.violations_of(InvariantKind::CrossIncarnationAtMostOnce),
+            1
+        );
+        assert_eq!(report.accepted, 2, "duplicate must not count");
+        // Plain (non-durable) verification accepts the re-delivery.
+        let plain = verify_trace(&trace, &VerifySpec::new(2, 1));
+        assert_eq!(
+            plain.violations_of(InvariantKind::CrossIncarnationAtMostOnce),
+            0
+        );
+    }
+
+    #[test]
+    fn slow_catch_up_breaks_the_bound() {
+        let node = NodeId::from_index(1);
+        let trace = vec![
+            accept(10, 1, 0, false),
+            ev(20, ObsEvent::NodeCrashed { node, epoch: 1 }),
+            ev(30, ObsEvent::NodeRestarted { node, epoch: 2 }),
+            // Catch-up completes 5 ms after restart; bound is 1 ms.
+            ev(5_030, ObsEvent::CatchUpCompleted { node, recovered: 1 }),
+        ];
+        let spec = VerifySpec::new(1, 1)
+            .with_durable_nodes([1])
+            .with_catch_up_bound(SimDuration::from_millis(1));
+        let report = verify_trace(&trace, &spec);
+        assert_eq!(report.violations_of(InvariantKind::CatchUpLatencyBound), 1);
     }
 
     #[test]

@@ -178,6 +178,18 @@ fn lift(event: ProtoEvent, node: NodeId) -> ObsEvent {
         ProtoEvent::RepairSent { copies, span } => ObsEvent::RepairSent { node, copies, span },
         ProtoEvent::RepairDecoded { seq } => ObsEvent::RepairDecoded { node, seq },
         ProtoEvent::FailoverPromoted => ObsEvent::FailoverPromoted { node },
+        ProtoEvent::HistoryRetained { seq, retained } => ObsEvent::HistoryRetained {
+            node,
+            seq,
+            retained,
+        },
+        ProtoEvent::HistoryEvicted { seq } => ObsEvent::HistoryEvicted { node, seq },
+        ProtoEvent::CatchUpNakSent { count } => ObsEvent::CatchUpNakSent { node, count },
+        ProtoEvent::DurableReplayed { seq } => ObsEvent::DurableReplayed { node, seq },
+        ProtoEvent::CatchUpCompleted { recovered } => {
+            ObsEvent::CatchUpCompleted { node, recovered }
+        }
+        ProtoEvent::CatchUpAbandoned { count } => ObsEvent::CatchUpAbandoned { node, count },
     }
 }
 

@@ -11,6 +11,7 @@
 //! This is the substrate for the chaos experiments: a scenario is a plan
 //! plus assertions on how quickly QoS recovers after each fault.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::agent::Agent;
@@ -19,10 +20,18 @@ use crate::packet::NodeId;
 use crate::sim::{NetworkConfig, Simulation};
 use crate::time::SimTime;
 
+/// Builds a restarted node's agent from the crashed incarnation's agent
+/// (if the plan crashed it and stashed the old agent). Lets a new
+/// incarnation carry durable state — e.g. a reader's delivered-sample set —
+/// across a crash, modelling state recovered from stable storage.
+pub type RestartFn = Box<dyn FnOnce(Option<Box<dyn Agent>>) -> Box<dyn Agent>>;
+
 /// One injectable fault.
 pub enum Fault {
     /// Crash a host: its agent is removed, in-flight traffic to it is
-    /// discarded, and its timers never fire again.
+    /// discarded, and its timers never fire again. The dead agent is
+    /// stashed by the [`FaultPlan`] so a later [`Fault::RestartWith`] can
+    /// inspect it.
     Crash {
         /// The host to take down.
         node: NodeId,
@@ -34,6 +43,15 @@ pub enum Fault {
         node: NodeId,
         /// The new incarnation's agent.
         agent: Box<dyn Agent>,
+    },
+    /// Restart a crashed host with an agent built by a factory that
+    /// receives the crashed incarnation's agent (when this plan crashed
+    /// it). Models a process restarting from durable local storage.
+    RestartWith {
+        /// The host to bring back.
+        node: NodeId,
+        /// Builds the new incarnation from the old one.
+        factory: RestartFn,
     },
     /// Split the network into islands that cannot exchange packets.
     Partition {
@@ -70,6 +88,10 @@ impl fmt::Debug for Fault {
             Fault::Crash { node } => f.debug_struct("Crash").field("node", node).finish(),
             Fault::Restart { node, .. } => f
                 .debug_struct("Restart")
+                .field("node", node)
+                .finish_non_exhaustive(),
+            Fault::RestartWith { node, .. } => f
+                .debug_struct("RestartWith")
                 .field("node", node)
                 .finish_non_exhaustive(),
             Fault::Partition { islands } => f
@@ -128,9 +150,21 @@ impl fmt::Debug for Fault {
 /// assert_eq!(sim.now(), SimTime::from_secs(5));
 /// assert!(!sim.is_crashed(b));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct FaultPlan {
     events: Vec<(SimTime, Fault)>,
+    /// Agents harvested by `Crash` faults, keyed by node index, awaiting a
+    /// `RestartWith` factory.
+    crashed: BTreeMap<usize, Box<dyn Agent>>,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("events", &self.events)
+            .field("crashed", &self.crashed.keys().collect::<Vec<_>>())
+            .finish()
+    }
 }
 
 impl FaultPlan {
@@ -154,6 +188,27 @@ impl FaultPlan {
     /// Restarts `node` at `at` with a fresh agent.
     pub fn restart_at(self, at: SimTime, node: NodeId, agent: Box<dyn Agent>) -> Self {
         self.fault_at(at, Fault::Restart { node, agent })
+    }
+
+    /// Restarts `node` at `at` with an agent built from the crashed
+    /// incarnation's agent (stashed by an earlier [`crash_at`] on this
+    /// plan). The factory receives `None` if the plan never crashed the
+    /// node or the stash was already consumed.
+    ///
+    /// [`crash_at`]: FaultPlan::crash_at
+    pub fn restart_with_at(
+        self,
+        at: SimTime,
+        node: NodeId,
+        factory: impl FnOnce(Option<Box<dyn Agent>>) -> Box<dyn Agent> + 'static,
+    ) -> Self {
+        self.fault_at(
+            at,
+            Fault::RestartWith {
+                node,
+                factory: Box::new(factory),
+            },
+        )
     }
 
     /// Partitions the network into `islands` at `at`.
@@ -216,9 +271,32 @@ impl FaultPlan {
             };
             let (at, fault) = self.events.remove(index);
             sim.run_until(at.max(sim.now()));
-            apply(sim, fault);
+            self.apply(sim, fault);
         }
         sim.run_until(deadline);
+    }
+
+    fn apply(&mut self, sim: &mut Simulation, fault: Fault) {
+        match fault {
+            Fault::Crash { node } => {
+                if let Some(agent) = sim.crash_node(node) {
+                    self.crashed.insert(node.index(), agent);
+                }
+            }
+            Fault::Restart { node, agent } => {
+                self.crashed.remove(&node.index());
+                sim.restart_node(node, agent);
+            }
+            Fault::RestartWith { node, factory } => {
+                let previous = self.crashed.remove(&node.index());
+                sim.restart_node(node, factory(previous));
+            }
+            Fault::Partition { islands } => sim.set_partition(&islands),
+            Fault::Heal => sim.heal_partition(),
+            Fault::SetNetwork { network } => sim.set_network(network),
+            Fault::SetBandwidth { node, bandwidth } => sim.set_host_bandwidth(node, bandwidth),
+            Fault::CpuContention { node, factor } => sim.set_cpu_contention(node, factor),
+        }
     }
 
     /// Consumes the plan and runs `sim` until `deadline`.
@@ -233,20 +311,6 @@ impl FaultPlan {
             panic!("fault {fault:?} at {at:?} is scheduled after the deadline {deadline:?}");
         }
         self.run_until(sim, deadline);
-    }
-}
-
-fn apply(sim: &mut Simulation, fault: Fault) {
-    match fault {
-        Fault::Crash { node } => {
-            sim.crash_node(node);
-        }
-        Fault::Restart { node, agent } => sim.restart_node(node, agent),
-        Fault::Partition { islands } => sim.set_partition(&islands),
-        Fault::Heal => sim.heal_partition(),
-        Fault::SetNetwork { network } => sim.set_network(network),
-        Fault::SetBandwidth { node, bandwidth } => sim.set_host_bandwidth(node, bandwidth),
-        Fault::CpuContention { node, factor } => sim.set_cpu_contention(node, factor),
     }
 }
 
@@ -350,6 +414,55 @@ mod tests {
         // `a` after its restart.
         let after = received(&sim, b);
         assert!(after > 0 && after < 25, "restarted count {after}");
+    }
+
+    #[test]
+    fn restart_with_hands_the_crashed_agent_to_the_factory() {
+        let (mut sim, a, b) = chatter_pair();
+        let mut plan = FaultPlan::new()
+            .crash_at(SimTime::from_millis(10), b)
+            .restart_with_at(SimTime::from_millis(20), b, move |previous| {
+                // The factory sees the dead incarnation's agent and can
+                // carry its durable state into the new one.
+                let old = previous.expect("crash stashed the agent");
+                let old = old
+                    .as_any()
+                    .downcast_ref::<Chatter>()
+                    .expect("stashed agent downcasts");
+                let mut fresh = Chatter::new(a);
+                fresh.received = old.received;
+                Box::new(fresh)
+            });
+        plan.run_until(&mut sim, SimTime::from_millis(15));
+        let carried = {
+            assert!(sim.is_crashed(b));
+            // Peek at what the stash will hand over.
+            plan.crashed
+                .get(&b.index())
+                .and_then(|agent| agent.as_any().downcast_ref::<Chatter>())
+                .map(|c| c.received)
+                .expect("agent stashed")
+        };
+        assert!(carried > 0);
+        plan.run_until(&mut sim, SimTime::from_millis(40));
+        assert!(!sim.is_crashed(b));
+        assert!(plan.crashed.is_empty(), "stash consumed by the factory");
+        // The new incarnation resumed from the carried count instead of
+        // zero, and kept hearing from `a` after the restart.
+        assert!(received(&sim, b) > carried);
+    }
+
+    #[test]
+    fn restart_with_factory_sees_none_without_a_stash() {
+        let (mut sim, a, b) = chatter_pair();
+        sim.crash_node(b); // crashed outside the plan: nothing stashed
+        let mut plan =
+            FaultPlan::new().restart_with_at(SimTime::from_millis(5), b, move |previous| {
+                assert!(previous.is_none());
+                Box::new(Chatter::new(a))
+            });
+        plan.run_until(&mut sim, SimTime::from_millis(10));
+        assert!(!sim.is_crashed(b));
     }
 
     #[test]

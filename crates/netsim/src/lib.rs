@@ -82,7 +82,7 @@ pub use adamant_proto::CalendarQueue;
 pub use agent::{Agent, Ctx};
 pub use driver::SimDriver;
 pub use event::TimerId;
-pub use fault::{Fault, FaultPlan};
+pub use fault::{Fault, FaultPlan, RestartFn};
 pub use host::{Bandwidth, HostConfig, MachineClass};
 pub use loss::LossModel;
 pub use obs::{DropReason, MemorySink, ObsEvent, TraceSink, TracedEvent};

@@ -201,6 +201,54 @@ pub enum ObsEvent {
         node: NodeId,
     },
 
+    // -- durable delivery (emitted by the DurableCore wrapper) --
+    /// A durable writer retained a freshly published sample.
+    HistoryRetained {
+        /// The writer node.
+        node: NodeId,
+        /// The retained sequence.
+        seq: u64,
+        /// Samples retained after this one was cached.
+        retained: u64,
+    },
+    /// A durable writer's bounded history cache evicted its oldest sample.
+    HistoryEvicted {
+        /// The writer node.
+        node: NodeId,
+        /// The evicted sequence.
+        seq: u64,
+    },
+    /// A durable reader sent a catch-up NAK round for historical samples.
+    CatchUpNakSent {
+        /// The reader node.
+        node: NodeId,
+        /// Sequences requested in this round.
+        count: u32,
+    },
+    /// A durable writer replayed a retained sample from its history cache.
+    DurableReplayed {
+        /// The writer node.
+        node: NodeId,
+        /// The replayed sequence.
+        seq: u64,
+    },
+    /// A durable reader finished catch-up with every wanted historical
+    /// sample recovered.
+    CatchUpCompleted {
+        /// The reader node.
+        node: NodeId,
+        /// Samples recovered through the catch-up path.
+        recovered: u64,
+    },
+    /// A durable reader abandoned historical sequences (writer evicted
+    /// them, or the retry budget ran out).
+    CatchUpAbandoned {
+        /// The reader node.
+        node: NodeId,
+        /// Sequences abandoned.
+        count: u32,
+    },
+
     // -- self-healing loop (emitted by the healing driver) --
     /// The windowed QoS monitor raised an alarm.
     HealAlarm {

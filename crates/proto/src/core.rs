@@ -239,6 +239,34 @@ impl<'a> Env<'a> {
             self.effects.push(Effect::Trace(event()));
         }
     }
+
+    /// Number of effects currently buffered. Wrapper cores record this
+    /// before delegating to an inner core so they can inspect (or veto)
+    /// exactly the effects the inner step appended.
+    pub fn effects_len(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// The effects appended since `mark` (a value previously returned by
+    /// [`effects_len`](Self::effects_len)).
+    pub fn effects_since(&self, mark: usize) -> &[Effect] {
+        &self.effects[mark.min(self.effects.len())..]
+    }
+
+    /// Retains only the effects appended since `mark` for which `keep`
+    /// returns `true`; effects buffered before `mark` are untouched. This
+    /// is how wrapper cores suppress an inner core's effects (e.g. a
+    /// duplicate delivery across reader incarnations) without the inner
+    /// core knowing it is wrapped.
+    pub fn retain_effects_since(&mut self, mark: usize, mut keep: impl FnMut(&Effect) -> bool) {
+        let mark = mark.min(self.effects.len());
+        let mut index = 0usize;
+        self.effects.retain(|effect| {
+            let kept = index < mark || keep(effect);
+            index += 1;
+            kept
+        });
+    }
 }
 
 /// A runtime-agnostic protocol state machine.

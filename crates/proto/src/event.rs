@@ -60,4 +60,40 @@ pub enum ProtoEvent {
     },
     /// A warm standby promoted itself to session sender.
     FailoverPromoted,
+    /// A durable writer retained a freshly published sample in its history
+    /// cache.
+    HistoryRetained {
+        /// The retained sequence.
+        seq: u64,
+        /// Samples retained after this one was cached.
+        retained: u64,
+    },
+    /// A durable writer's bounded history cache evicted its oldest sample
+    /// to make room.
+    HistoryEvicted {
+        /// The evicted sequence.
+        seq: u64,
+    },
+    /// A durable reader sent a catch-up NAK round for historical samples.
+    CatchUpNakSent {
+        /// Sequences requested in this round.
+        count: u32,
+    },
+    /// A durable writer replayed a retained sample from its history cache.
+    DurableReplayed {
+        /// The replayed sequence.
+        seq: u64,
+    },
+    /// A durable reader finished catch-up: every wanted historical sample
+    /// was recovered.
+    CatchUpCompleted {
+        /// Samples recovered through the catch-up path.
+        recovered: u64,
+    },
+    /// A durable reader abandoned historical sequences (evicted by the
+    /// writer, or the retry budget ran out).
+    CatchUpAbandoned {
+        /// Sequences abandoned.
+        count: u32,
+    },
 }

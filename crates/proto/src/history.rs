@@ -1,0 +1,382 @@
+//! Durable-delivery state: the writer-side [`HistoryCache`] ring of
+//! retained samples and the reader-side [`GapTracker`] that drives
+//! catch-up NAK rounds.
+//!
+//! Both are plain data structures with no I/O and no timers of their own —
+//! the [`DurableCore`](crate::DurableCore) wrapper owns the protocol that
+//! moves their state, so the simulator and the real-UDP runtime share one
+//! implementation.
+
+use std::collections::VecDeque;
+
+use crate::time::{Span, TimePoint};
+
+/// Base wait added per catch-up retry round; doubles each round up to
+/// [`CATCH_UP_BACKOFF_MAX`]. Mirrors the NAKcast re-NAK backoff idiom so a
+/// slow writer is not stormed with duplicate catch-up NAKs.
+pub const CATCH_UP_BACKOFF_BASE: Span = Span::from_millis(5);
+/// Upper bound of the exponential catch-up backoff.
+pub const CATCH_UP_BACKOFF_MAX: Span = Span::from_secs(2);
+
+/// The exponential catch-up backoff after `retries` completed rounds.
+pub fn catch_up_backoff(retries: u32) -> Span {
+    let doubled = CATCH_UP_BACKOFF_BASE * 2u64.saturating_pow(retries.min(16));
+    doubled.min(CATCH_UP_BACKOFF_MAX)
+}
+
+/// A bounded ring of retained samples on the writer side: publication
+/// times keyed by a contiguous run of sequence numbers.
+///
+/// Samples must be pushed in ascending contiguous sequence order (the
+/// publisher's natural order). When a depth is configured, pushing past it
+/// evicts the oldest retained sample; [`evicted`](Self::evicted) counts
+/// those forced evictions. Acknowledged prefixes can also be trimmed with
+/// [`ack_up_to`](Self::ack_up_to), which does *not* count as eviction.
+#[derive(Debug, Clone)]
+pub struct HistoryCache {
+    depth: Option<usize>,
+    first: u64,
+    times: VecDeque<TimePoint>,
+    evicted: u64,
+}
+
+impl HistoryCache {
+    /// A cache that retains every pushed sample.
+    pub fn unbounded() -> Self {
+        HistoryCache {
+            depth: None,
+            first: 0,
+            times: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    /// A cache retaining at most `depth` samples (`depth >= 1`), evicting
+    /// oldest-first beyond that.
+    pub fn bounded(depth: usize) -> Self {
+        assert!(depth >= 1, "history depth must be at least 1");
+        HistoryCache {
+            depth: Some(depth),
+            first: 0,
+            times: VecDeque::with_capacity(depth),
+            evicted: 0,
+        }
+    }
+
+    /// The configured depth, or `None` if unbounded.
+    pub fn depth(&self) -> Option<usize> {
+        self.depth
+    }
+
+    /// Retains `(seq, at)`. `seq` must continue the contiguous run (or
+    /// start it, if the cache has never held a sample). Returns the
+    /// sequence evicted to make room, if any.
+    pub fn push(&mut self, seq: u64, at: TimePoint) -> Option<u64> {
+        let expected = self.first + self.times.len() as u64;
+        assert_eq!(
+            seq, expected,
+            "HistoryCache::push out of order: got {seq}, expected {expected}"
+        );
+        self.times.push_back(at);
+        if let Some(depth) = self.depth {
+            if self.times.len() > depth {
+                self.times.pop_front();
+                let victim = self.first;
+                self.first += 1;
+                self.evicted += 1;
+                return Some(victim);
+            }
+        }
+        None
+    }
+
+    /// The publication time of `seq`, if still retained.
+    pub fn get(&self, seq: u64) -> Option<TimePoint> {
+        let offset = seq.checked_sub(self.first)?;
+        self.times.get(offset as usize).copied()
+    }
+
+    /// The oldest retained sequence, if any.
+    pub fn first_seq(&self) -> Option<u64> {
+        (!self.times.is_empty()).then_some(self.first)
+    }
+
+    /// The newest retained sequence, if any.
+    pub fn last_seq(&self) -> Option<u64> {
+        (!self.times.is_empty()).then(|| self.first + self.times.len() as u64 - 1)
+    }
+
+    /// Retained sample count.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Samples forced out by the depth bound (acknowledged trims are not
+    /// counted here).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Drops every retained sample with sequence `<= seq` (all consumers
+    /// acknowledged them). Keeps the contiguity invariant: the cache
+    /// afterwards starts at `seq + 1` (or is empty).
+    pub fn ack_up_to(&mut self, seq: u64) {
+        while self.first <= seq && !self.times.is_empty() {
+            self.times.pop_front();
+            self.first += 1;
+        }
+        if self.times.is_empty() {
+            self.first = self.first.max(seq + 1);
+        }
+    }
+}
+
+/// Reader-side catch-up bookkeeping: which historical sequences are still
+/// wanted, and how many NAK rounds have been spent asking for them.
+///
+/// The tracker is timer-free; the durable reader wrapper asks it which
+/// sequences to request each round and computes the next retry delay from
+/// [`retry_delay`](Self::retry_delay).
+#[derive(Debug, Clone)]
+pub struct GapTracker {
+    pending: std::collections::BTreeSet<u64>,
+    rounds: u32,
+    max_retries: u32,
+}
+
+impl GapTracker {
+    /// A tracker permitting `max_retries` retry rounds after the first
+    /// request round.
+    pub fn new(max_retries: u32) -> Self {
+        GapTracker {
+            pending: std::collections::BTreeSet::new(),
+            rounds: 0,
+            max_retries,
+        }
+    }
+
+    /// Marks `seq` as wanted.
+    pub fn want(&mut self, seq: u64) {
+        self.pending.insert(seq);
+    }
+
+    /// Marks `seq` as satisfied; returns whether it was still wanted.
+    pub fn resolve(&mut self, seq: u64) -> bool {
+        self.pending.remove(&seq)
+    }
+
+    /// Sequences still wanted, in ascending order.
+    pub fn outstanding(&self) -> impl Iterator<Item = u64> + '_ {
+        self.pending.iter().copied()
+    }
+
+    /// Whether every wanted sequence has been satisfied (or abandoned).
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Wanted sequences remaining.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Completed request rounds.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Starts a request round: returns the sequences to NAK and counts the
+    /// round. Returns an empty vec when nothing is outstanding.
+    pub fn begin_round(&mut self) -> Vec<u64> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        self.rounds += 1;
+        self.pending.iter().copied().collect()
+    }
+
+    /// Whether the retry budget is spent (the first round plus
+    /// `max_retries` retries have all run).
+    pub fn exhausted(&self) -> bool {
+        self.rounds > self.max_retries
+    }
+
+    /// Abandons everything still wanted, returning the abandoned
+    /// sequences.
+    pub fn abandon_all(&mut self) -> Vec<u64> {
+        let gone: Vec<u64> = self.pending.iter().copied().collect();
+        self.pending.clear();
+        gone
+    }
+
+    /// Abandons every wanted sequence below `floor` (the writer evicted
+    /// them), returning the abandoned sequences.
+    pub fn abandon_below(&mut self, floor: u64) -> Vec<u64> {
+        let keep = self.pending.split_off(&floor);
+        let gone: Vec<u64> = self.pending.iter().copied().collect();
+        self.pending = keep;
+        gone
+    }
+
+    /// The wait before the next retry round: the base `timeout` plus the
+    /// exponential [`catch_up_backoff`] for the rounds already spent.
+    pub fn retry_delay(&self, timeout: Span) -> Span {
+        timeout + catch_up_backoff(self.rounds.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn unbounded_cache_retains_everything() {
+        let mut cache = HistoryCache::unbounded();
+        for seq in 0..100 {
+            assert_eq!(cache.push(seq, TimePoint::from_micros(seq)), None);
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.first_seq(), Some(0));
+        assert_eq!(cache.last_seq(), Some(99));
+        assert_eq!(cache.evicted(), 0);
+        assert_eq!(cache.get(42), Some(TimePoint::from_micros(42)));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_first() {
+        let mut cache = HistoryCache::bounded(3);
+        assert_eq!(cache.push(0, TimePoint::ZERO), None);
+        assert_eq!(cache.push(1, TimePoint::ZERO), None);
+        assert_eq!(cache.push(2, TimePoint::ZERO), None);
+        assert_eq!(cache.push(3, TimePoint::ZERO), Some(0));
+        assert_eq!(cache.push(4, TimePoint::ZERO), Some(1));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.first_seq(), Some(2));
+        assert_eq!(cache.last_seq(), Some(4));
+        assert_eq!(cache.evicted(), 2);
+        assert_eq!(cache.get(1), None);
+        assert!(cache.get(2).is_some());
+    }
+
+    #[test]
+    fn ack_trims_without_counting_eviction() {
+        let mut cache = HistoryCache::bounded(10);
+        for seq in 0..5 {
+            cache.push(seq, TimePoint::ZERO);
+        }
+        cache.ack_up_to(2);
+        assert_eq!(cache.first_seq(), Some(3));
+        assert_eq!(cache.evicted(), 0);
+        cache.ack_up_to(10);
+        assert!(cache.is_empty());
+        // The contiguous run resumes past the acked prefix.
+        cache.push(11, TimePoint::ZERO);
+        assert_eq!(cache.first_seq(), Some(11));
+    }
+
+    /// Property test (satellite): under random write/ack interleavings the
+    /// cache never exceeds its depth, stays a contiguous run, evicts
+    /// oldest-first, and its low edge never moves backwards.
+    #[test]
+    fn bounded_cache_property_random_interleavings() {
+        let mut rng = DetRng::seed_from_u64(0xD00D);
+        for case in 0..200u64 {
+            let depth = 1 + rng.next_below(16) as usize;
+            let mut cache = HistoryCache::bounded(depth);
+            let mut next_seq = 0u64;
+            let mut last_first: Option<u64> = None;
+            let mut last_evicted = 0u64;
+            for _ in 0..300 {
+                if rng.bernoulli(0.7) {
+                    let evicted = cache.push(next_seq, TimePoint::from_micros(next_seq));
+                    // Oldest-first: the only sequence a push can evict is
+                    // the previous low edge, and only when full.
+                    if let Some(victim) = evicted {
+                        assert_eq!(Some(victim), last_first, "case {case}");
+                        assert_eq!(cache.evicted(), last_evicted + 1);
+                    } else {
+                        assert_eq!(cache.evicted(), last_evicted);
+                    }
+                    next_seq += 1;
+                } else if next_seq > 0 {
+                    let upto = rng.next_below(next_seq);
+                    cache.ack_up_to(upto);
+                }
+                assert!(cache.len() <= depth, "case {case}: depth exceeded");
+                match (cache.first_seq(), cache.last_seq()) {
+                    (Some(first), Some(last)) => {
+                        // Contiguous run: every retained seq resolves,
+                        // nothing outside does.
+                        assert_eq!(last - first + 1, cache.len() as u64);
+                        assert!(cache.get(first).is_some() && cache.get(last).is_some());
+                        assert!(first == 0 || cache.get(first - 1).is_none());
+                        assert!(cache.get(last + 1).is_none());
+                        if let Some(prev) = last_first {
+                            assert!(first >= prev, "case {case}: low edge moved backwards");
+                        }
+                        last_first = Some(first);
+                    }
+                    (None, None) => {}
+                    other => panic!("case {case}: inconsistent edges {other:?}"),
+                }
+                last_evicted = cache.evicted();
+            }
+        }
+    }
+
+    #[test]
+    fn gap_tracker_rounds_and_backoff() {
+        let mut gaps = GapTracker::new(2);
+        gaps.want(3);
+        gaps.want(7);
+        gaps.want(5);
+        assert_eq!(gaps.begin_round(), vec![3, 5, 7]);
+        assert!(!gaps.exhausted());
+        assert!(gaps.resolve(5));
+        assert!(!gaps.resolve(5));
+        assert_eq!(gaps.begin_round(), vec![3, 7]);
+        assert_eq!(gaps.begin_round(), vec![3, 7]);
+        assert!(gaps.exhausted());
+        assert_eq!(gaps.abandon_all(), vec![3, 7]);
+        assert!(gaps.is_empty());
+        // Nothing outstanding: rounds stop counting.
+        assert!(gaps.begin_round().is_empty());
+        assert_eq!(gaps.rounds(), 3);
+    }
+
+    #[test]
+    fn gap_tracker_abandons_below_eviction_floor() {
+        let mut gaps = GapTracker::new(4);
+        for seq in [1u64, 2, 5, 9] {
+            gaps.want(seq);
+        }
+        assert_eq!(gaps.abandon_below(5), vec![1, 2]);
+        assert_eq!(gaps.outstanding().collect::<Vec<_>>(), vec![5, 9]);
+    }
+
+    #[test]
+    fn catch_up_backoff_is_exponential_and_capped() {
+        assert_eq!(catch_up_backoff(0), Span::from_millis(5));
+        assert_eq!(catch_up_backoff(2), Span::from_millis(20));
+        assert_eq!(catch_up_backoff(16), Span::from_secs(2));
+        assert_eq!(catch_up_backoff(40), Span::from_secs(2));
+        let mut gaps = GapTracker::new(3);
+        gaps.want(0);
+        gaps.begin_round();
+        assert_eq!(
+            gaps.retry_delay(Span::from_millis(50)),
+            Span::from_millis(55)
+        );
+        gaps.begin_round();
+        assert_eq!(
+            gaps.retry_delay(Span::from_millis(50)),
+            Span::from_millis(60)
+        );
+    }
+}

@@ -25,7 +25,9 @@
 
 mod clock;
 mod core;
+mod durable;
 mod event;
+mod history;
 mod ids;
 mod rng;
 mod time;
@@ -34,7 +36,12 @@ pub mod wire;
 
 pub use clock::{Clock, ManualClock};
 pub use core::{Effect, Env, EnvHost, Input, Membership, ProtocolCore, TimerToken};
+pub use durable::{
+    catch_up_bound, DurabilityMode, DurableConfig, DurableCore, DurableDelivery, LiveJoin,
+    TAG_DURABLE_HEARTBEAT, TAG_DURABLE_NAK,
+};
 pub use event::ProtoEvent;
+pub use history::{catch_up_backoff, GapTracker, HistoryCache};
 pub use ids::{Destination, GroupId, NodeId, ProcessingCost};
 pub use rng::{DetRng, Entropy};
 pub use time::{Span, TimePoint};

@@ -93,8 +93,30 @@ pub struct EndpointAd {
 pub struct DiscoveryMsg {
     /// The announcing participant's id.
     pub participant_id: u32,
+    /// The participant's incarnation number: restarts announce a higher
+    /// epoch so peers can prune state left by the crashed incarnation.
+    pub epoch: u32,
     /// The endpoints it hosts.
     pub endpoints: Vec<EndpointAd>,
+}
+
+/// A durable writer's history advertisement: the contiguous range of
+/// sequences still retained in its [`HistoryCache`](crate::HistoryCache)
+/// and replayable on request. Only sent while the cache is non-empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableHeartbeatMsg {
+    /// Oldest retained sequence.
+    pub first_seq: u64,
+    /// Newest retained sequence.
+    pub last_seq: u64,
+}
+
+/// A catch-up NAK from a durable reader: historical sequences it wants
+/// replayed from the writer's history cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableNakMsg {
+    /// The sequences to replay, ascending.
+    pub seqs: Vec<u64>,
 }
 
 /// Every message a protocol core can put on the wire.
@@ -122,6 +144,10 @@ pub enum WireMsg {
     Forwarded(DataMsg),
     /// A participant discovery announcement (dds layer).
     Discovery(Arc<DiscoveryMsg>),
+    /// A durable writer's retained-history advertisement.
+    DurableHeartbeat(DurableHeartbeatMsg),
+    /// A durable reader's catch-up request.
+    DurableNak(DurableNakMsg),
 }
 
 const KIND_DATA: u8 = 1;
@@ -133,6 +159,8 @@ const KIND_ACK: u8 = 6;
 const KIND_MEMBERSHIP: u8 = 7;
 const KIND_FORWARDED: u8 = 8;
 const KIND_DISCOVERY: u8 = 9;
+const KIND_DURABLE_HEARTBEAT: u8 = 10;
+const KIND_DURABLE_NAK: u8 = 11;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -249,9 +277,22 @@ impl WireMsg {
                 buf.push(KIND_MEMBERSHIP);
                 put_u64(buf, m.epoch);
             }
+            WireMsg::DurableHeartbeat(m) => {
+                buf.push(KIND_DURABLE_HEARTBEAT);
+                put_u64(buf, m.first_seq);
+                put_u64(buf, m.last_seq);
+            }
+            WireMsg::DurableNak(m) => {
+                buf.push(KIND_DURABLE_NAK);
+                put_u32(buf, m.seqs.len() as u32);
+                for &seq in &m.seqs {
+                    put_u64(buf, seq);
+                }
+            }
             WireMsg::Discovery(m) => {
                 buf.push(KIND_DISCOVERY);
                 put_u32(buf, m.participant_id);
+                put_u32(buf, m.epoch);
                 put_u32(buf, m.endpoints.len() as u32);
                 for ep in &m.endpoints {
                     put_u32(buf, ep.topic.len() as u32);
@@ -312,8 +353,21 @@ impl WireMsg {
                 WireMsg::Ack(AckMsg { below, missing })
             }
             KIND_MEMBERSHIP => WireMsg::Membership(MembershipMsg { epoch: r.u64()? }),
+            KIND_DURABLE_HEARTBEAT => WireMsg::DurableHeartbeat(DurableHeartbeatMsg {
+                first_seq: r.u64()?,
+                last_seq: r.u64()?,
+            }),
+            KIND_DURABLE_NAK => {
+                let count = r.u32()?.min(MAX_WIRE_ELEMS);
+                let mut seqs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    seqs.push(r.u64()?);
+                }
+                WireMsg::DurableNak(DurableNakMsg { seqs })
+            }
             KIND_DISCOVERY => {
                 let participant_id = r.u32()?;
+                let epoch = r.u32()?;
                 let count = r.u32()?.min(MAX_WIRE_ELEMS);
                 let mut endpoints = Vec::with_capacity(count as usize);
                 for _ in 0..count {
@@ -329,6 +383,7 @@ impl WireMsg {
                 }
                 WireMsg::Discovery(Arc::new(DiscoveryMsg {
                     participant_id,
+                    epoch,
                     endpoints,
                 }))
             }
@@ -407,12 +462,20 @@ mod tests {
         round_trip(WireMsg::Membership(MembershipMsg { epoch: 42 }));
         round_trip(WireMsg::Discovery(Arc::new(DiscoveryMsg {
             participant_id: 3,
+            epoch: 2,
             endpoints: vec![EndpointAd {
                 topic: "sensors".to_owned(),
                 is_writer: true,
                 qos_code: 0xDEAD,
             }],
         })));
+        round_trip(WireMsg::DurableHeartbeat(DurableHeartbeatMsg {
+            first_seq: 17,
+            last_seq: 116,
+        }));
+        round_trip(WireMsg::DurableNak(DurableNakMsg {
+            seqs: vec![17, 20, 99],
+        }));
     }
 
     #[test]
@@ -430,6 +493,10 @@ mod tests {
     fn hostile_length_prefix_does_not_allocate_unbounded() {
         // A NAK frame claiming u32::MAX sequences but carrying none.
         let mut bytes = vec![2u8];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(WireMsg::decode(&bytes).is_none());
+        // Same hostile prefix on the durable catch-up NAK.
+        let mut bytes = vec![KIND_DURABLE_NAK];
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(WireMsg::decode(&bytes).is_none());
     }

@@ -9,7 +9,10 @@
 //! window plus **one timer wheel** (the hierarchical calendar queue shared
 //! with the simulator) carrying every timer of every core in the shard, so
 //! a worker makes one `next_deadline` query per idle sleep no matter how
-//! many endpoints it hosts.
+//! many endpoints it hosts. The wheels live on the cluster between
+//! windows, so timers pending when a window closes fire in the next one;
+//! timers armed by an endpoint incarnation that has since been restarted
+//! ([`Cluster::restart_endpoint`]) are dropped as stale when they pop.
 //!
 //! Per poll iteration a worker fires all due timers across the shard (in
 //! global deadline order), then visits each endpoint once: retry parked
@@ -188,6 +191,11 @@ pub struct Cluster {
     cfg: ClusterConfig,
     /// `None` only for endpoints whose shard was lost to a worker panic.
     entries: Vec<Option<Entry>>,
+    /// One timer wheel per worker shard, persisted across
+    /// [`run_for`](Cluster::run_for) windows so pending protocol timers
+    /// survive window boundaries (a shard lost to a panic gets a fresh
+    /// wheel). Lazily sized on the first run.
+    wheels: Vec<TimerWheel>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -205,6 +213,7 @@ impl Cluster {
         Cluster {
             cfg,
             entries: Vec::new(),
+            wheels: Vec::new(),
         }
     }
 
@@ -225,12 +234,54 @@ impl Cluster {
         let cfg = RtConfig::new(endpoint_seed(self.cfg.seed, index))
             .with_observed(self.cfg.observed)
             .with_clock(self.cfg.clock);
-        let slot = Slot::bind(node, addr, cfg)?;
+        let mut slot = Slot::bind(node, addr, cfg)?;
+        slot.wheel_owner = wheel_owner(index, 0);
         self.entries.push(Some(Entry {
             slot,
             core: Box::new(core),
         }));
         Ok(EndpointId(index))
+    }
+
+    /// Restarts endpoint `id` as a fresh incarnation running `core`: the
+    /// socket, peer routes, and group table survive (the process came back
+    /// on the same port); the core, entropy stream, and in-flight state
+    /// are replaced, and timers armed by the previous incarnation are
+    /// dropped as stale when they pop from the shard's persistent wheel.
+    /// The endpoint's report keeps accumulating across incarnations.
+    /// Call between [`run_for`](Cluster::run_for) windows.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::UnknownEndpoint`] for a dead or out-of-range id.
+    pub fn restart_endpoint<C: ProtocolCore>(
+        &mut self,
+        id: EndpointId,
+        core: C,
+    ) -> Result<(), RtError> {
+        let base = self.cfg.seed;
+        let entry = self.entry_mut(id)?;
+        let incarnation = u64::from(entry.slot.incarnation) + 1;
+        // A distinct deterministic stream per (cluster seed, endpoint,
+        // incarnation), so a restarted core never replays its predecessor's
+        // entropy.
+        let seed = endpoint_seed(
+            base.wrapping_add(incarnation.wrapping_mul(0xA076_1D64_78BD_642F)),
+            id.0,
+        );
+        entry.slot.restart(seed);
+        entry.core = Box::new(core);
+        Ok(())
+    }
+
+    /// How many times endpoint `id` has been restarted (0 = original
+    /// incarnation).
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::UnknownEndpoint`] for a dead or out-of-range id.
+    pub fn incarnation(&self, id: EndpointId) -> Result<u32, RtError> {
+        Ok(self.entry(id)?.slot.incarnation)
     }
 
     /// Endpoints added so far (including any lost to a shard panic).
@@ -337,34 +388,41 @@ impl Cluster {
         let deadline = clock.now() + Span::from_nanos(wall.as_nanos() as u64);
 
         // Deal the endpoints out to their shards. Workers take their shard
-        // by value (sockets and cores move to the thread) and hand it back
-        // when the window closes.
+        // by value (sockets, cores, and the shard's persistent timer wheel
+        // move to the thread) and hand it back when the window closes.
         let mut shards: Vec<Vec<(usize, Entry)>> = (0..workers).map(|_| Vec::new()).collect();
         for (index, cell) in self.entries.iter_mut().enumerate() {
             if let Some(entry) = cell.take() {
                 shards[index % workers].push((index, entry));
             }
         }
+        self.wheels.resize_with(workers, TimerWheel::new);
+        let wheels: Vec<TimerWheel> = self.wheels.drain(..).collect();
 
         let mut first_error: Option<RtError> = None;
         let mut panicked: Option<usize> = None;
+        self.wheels.resize_with(workers, TimerWheel::new);
         let joined: Vec<_> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .into_iter()
-                .map(|shard| scope.spawn(move || run_shard(shard, clock, deadline)))
+                .zip(wheels)
+                .map(|(shard, wheel)| scope.spawn(move || run_shard(shard, wheel, clock, deadline)))
                 .collect();
             handles.into_iter().map(|h| h.join()).collect()
         });
         for (shard_index, outcome) in joined.into_iter().enumerate() {
             match outcome {
-                Ok((shard, error)) => {
+                Ok((shard, wheel, error)) => {
                     for (index, entry) in shard {
                         self.entries[index] = Some(entry);
                     }
+                    self.wheels[shard_index] = wheel;
                     if first_error.is_none() {
                         first_error = error;
                     }
                 }
+                // The panicked shard's wheel stays the fresh one installed
+                // above — its endpoints are gone, so their timers are too.
                 Err(_) => panicked = panicked.or(Some(shard_index)),
             }
         }
@@ -473,18 +531,27 @@ fn endpoint_seed(base: u64, index: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-/// One worker's event loop: drives every endpoint of `shard` against one
-/// shared timer wheel until `deadline`, then returns the shard (errors are
-/// carried out-of-band so the endpoints always come home).
+/// The owner code endpoint `index` arms timers under during `incarnation`:
+/// the index in the high bits, the incarnation (mod 256) in the low byte,
+/// so a restarted endpoint's stale timers are distinguishable when they
+/// pop from the shard's persistent wheel.
+fn wheel_owner(index: usize, incarnation: u32) -> u32 {
+    ((index as u32) << 8) | (incarnation & 0xFF)
+}
+
+/// One worker's event loop: drives every endpoint of `shard` against the
+/// shard's persistent timer wheel until `deadline`, then returns the shard
+/// and wheel (errors are carried out-of-band so the endpoints always come
+/// home).
 fn run_shard(
     mut shard: Vec<(usize, Entry)>,
+    mut wheel: TimerWheel,
     clock: MonotonicClock,
     deadline: TimePoint,
-) -> (Vec<(usize, Entry)>, Option<RtError>) {
-    let mut wheel = TimerWheel::new();
+) -> (Vec<(usize, Entry)>, TimerWheel, Option<RtError>) {
     let mut buf = vec![0u8; RECV_BUF_BYTES];
     let result = drive_shard(&mut shard, &mut wheel, &mut buf, clock, deadline);
-    (shard, result.err())
+    (shard, wheel, result.err())
 }
 
 fn drive_shard(
@@ -494,15 +561,30 @@ fn drive_shard(
     clock: MonotonicClock,
     deadline: TimePoint,
 ) -> Result<(), RtError> {
-    for (owner, (_, entry)) in shard.iter_mut().enumerate() {
+    // Global endpoint index → position in this shard slice, for routing
+    // timer fires back to their slot.
+    let positions: std::collections::BTreeMap<usize, usize> = shard
+        .iter()
+        .enumerate()
+        .map(|(pos, (index, _))| (*index, pos))
+        .collect();
+    for (_, entry) in shard.iter_mut() {
         let Entry { slot, core } = entry;
-        slot.start(core.as_core(), wheel, owner as u32)?;
+        let owner = slot.wheel_owner;
+        slot.start(core.as_core(), wheel, owner)?;
     }
     loop {
         // Fire everything due across the shard, in global deadline order.
         while let Some(fire) = wheel.pop_due(clock.now()) {
-            let (_, entry) = &mut shard[fire.owner as usize];
+            let index = (fire.owner >> 8) as usize;
+            let Some(&pos) = positions.get(&index) else {
+                continue; // endpoint no longer in this shard
+            };
+            let (_, entry) = &mut shard[pos];
             let Entry { slot, core } = entry;
+            if fire.owner != slot.wheel_owner {
+                continue; // armed by a dead incarnation: drop as stale
+            }
             slot.step(
                 core.as_core(),
                 Input::TimerFired {
@@ -519,10 +601,11 @@ fn drive_shard(
         // One batched I/O pass over the shard: retry parked sends, then
         // drain each socket until `WouldBlock`.
         let mut progressed = false;
-        for (owner, (_, entry)) in shard.iter_mut().enumerate() {
+        for (_, entry) in shard.iter_mut() {
             let Entry { slot, core } = entry;
+            let owner = slot.wheel_owner;
             progressed |= slot.flush_outbox()? > 0;
-            progressed |= slot.drain_socket(core.as_core(), buf, wheel, owner as u32)?;
+            progressed |= slot.drain_socket(core.as_core(), buf, wheel, owner)?;
         }
         if !progressed {
             let next = wheel
@@ -619,6 +702,79 @@ mod tests {
         assert_eq!(stats.delivered, 25 * 7);
         assert_eq!(stats.decode_errors, 0);
         assert_eq!(stats.unroutable, 0);
+    }
+
+    #[test]
+    fn timers_pending_at_a_window_boundary_fire_in_the_next_window() {
+        // The beacon publishes on a 1 ms timer; splitting the run into two
+        // windows must not strand the timer armed at the first window's
+        // close (the wheel persists on the cluster between windows).
+        let mut cluster = Cluster::new(ClusterConfig::new(2).with_seed(11));
+        let tx = cluster
+            .add_endpoint(NodeId(0), "127.0.0.1:0", Beacon { next: 0, total: 40 })
+            .unwrap();
+        let rx = cluster
+            .add_endpoint(NodeId(1), "127.0.0.1:0", Listener)
+            .unwrap();
+        cluster.connect_full_mesh().unwrap();
+        cluster.run_for(Duration::from_millis(25)).unwrap();
+        let mid = cluster.core::<Beacon>(tx).unwrap().next;
+        assert!(mid < 40, "first window should end mid-stream, got {mid}");
+        cluster.run_for(Duration::from_millis(60)).unwrap();
+        assert_eq!(
+            cluster.core::<Beacon>(tx).unwrap().next,
+            40,
+            "publication must resume after the window boundary"
+        );
+        assert_eq!(
+            cluster.report(rx).unwrap().delivered_seqs(),
+            (0..40).collect::<BTreeSet<u64>>()
+        );
+    }
+
+    #[test]
+    fn restart_endpoint_swaps_the_core_and_drops_stale_timers() {
+        /// Counts its own timer fires, forever.
+        #[derive(Debug, Default)]
+        struct Ticker {
+            fires: u64,
+        }
+        impl ProtocolCore for Ticker {
+            fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+                match input {
+                    Input::Start => {
+                        env.set_timer(Span::from_millis(1), 1);
+                    }
+                    Input::TimerFired { .. } => {
+                        self.fires += 1;
+                        env.set_timer(Span::from_millis(1), 1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut cluster = Cluster::new(ClusterConfig::new(1).with_seed(5));
+        let id = cluster
+            .add_endpoint(NodeId(0), "127.0.0.1:0", Ticker::default())
+            .unwrap();
+        let addr = cluster.local_addr(id).unwrap();
+        cluster.run_for(Duration::from_millis(30)).unwrap();
+        let before = cluster.core::<Ticker>(id).unwrap().fires;
+        assert!(before > 0);
+        assert_eq!(cluster.incarnation(id).unwrap(), 0);
+
+        cluster.restart_endpoint(id, Ticker::default()).unwrap();
+        assert_eq!(cluster.incarnation(id).unwrap(), 1);
+        assert_eq!(cluster.local_addr(id).unwrap(), addr, "socket survives");
+        cluster.run_for(Duration::from_millis(30)).unwrap();
+        let after = cluster.core::<Ticker>(id).unwrap().fires;
+        // The fresh core restarted its count; the dead incarnation's
+        // pending timer was dropped as stale rather than double-driving
+        // the new core.
+        assert!(
+            after > 0 && after <= 35,
+            "restarted ticker fired {after} times"
+        );
     }
 
     #[test]

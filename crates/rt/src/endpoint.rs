@@ -181,6 +181,17 @@ pub(crate) struct Slot {
     outbox: VecDeque<(SocketAddr, Vec<u8>)>,
     pub(crate) started: bool,
     pub(crate) report: EndpointReport,
+    /// Whether trace events are recorded (kept so a restart can rebuild
+    /// the [`EnvHost`] with the same observation setting).
+    observed: bool,
+    /// Restarts this slot has been through (0 for the first incarnation).
+    pub(crate) incarnation: u32,
+    /// The owner code this slot's timers are armed under on a shared
+    /// wheel: `(endpoint index << 8) | (incarnation & 0xFF)`. A restart
+    /// changes the code, so timers armed by a dead incarnation are
+    /// recognised as stale when they pop. [`Endpoint`] (one slot, private
+    /// wheel) leaves it at 0.
+    pub(crate) wheel_owner: u32,
 }
 
 impl Slot {
@@ -203,7 +214,29 @@ impl Slot {
             outbox: VecDeque::new(),
             started: false,
             report: EndpointReport::default(),
+            observed: cfg.observed,
+            incarnation: 0,
+            wheel_owner: 0,
         })
+    }
+
+    /// Reinitialises this slot for a fresh core incarnation: same socket
+    /// (the restarted process keeps its port), same peer routes and group
+    /// table, new entropy stream, cleared in-flight state. The report keeps
+    /// accumulating across incarnations — callers segment it by the restart
+    /// instant when they need per-incarnation views. The wheel-owner code
+    /// changes, so timers the previous incarnation armed on a shared wheel
+    /// are dropped as stale when they pop.
+    pub(crate) fn restart(&mut self, seed: u64) {
+        self.incarnation = self.incarnation.wrapping_add(1);
+        self.wheel_owner = (self.wheel_owner & !0xFF) | (self.incarnation & 0xFF);
+        self.started = false;
+        self.effects.clear();
+        self.encode_buf.clear();
+        self.outbox.clear();
+        let groups = std::mem::take(self.host.groups_mut());
+        self.host = EnvHost::new(self.node, seed).with_observed(self.observed);
+        *self.host.groups_mut() = groups;
     }
 
     pub(crate) fn local_addr(&self) -> Result<SocketAddr, RtError> {
@@ -570,11 +603,14 @@ mod tests {
         let mut beacon = Beacon { next: 0, total: 20 };
         let mut listener = Listener;
         std::thread::scope(|s| {
+            // Wide walls: the beacon only needs ~20ms of ticks, but under a
+            // fully loaded test host the threads can be starved for far
+            // longer than that.
             s.spawn(|| {
-                tx.run_for(&mut beacon, Duration::from_millis(100)).unwrap();
+                tx.run_for(&mut beacon, Duration::from_millis(400)).unwrap();
             });
             s.spawn(|| {
-                rx.run_for(&mut listener, Duration::from_millis(150))
+                rx.run_for(&mut listener, Duration::from_millis(600))
                     .unwrap();
             });
         });

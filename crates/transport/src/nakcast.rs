@@ -18,8 +18,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use adamant_metrics::{Delivery, DenseReceptionLog};
 use adamant_proto::wire::{DataMsg, NakMsg};
 use adamant_proto::{
-    Env, GroupId, Input, NodeId, ProcessingCost, ProtoEvent, ProtocolCore, Span, TimePoint,
-    TimerToken, WireMsg,
+    Env, GroupId, Input, LiveJoin, NodeId, ProcessingCost, ProtoEvent, ProtocolCore, Span,
+    TimePoint, TimerToken, WireMsg,
 };
 
 use crate::config::Tuning;
@@ -86,7 +86,16 @@ impl NakcastSender {
     pub fn published(&self) -> u64 {
         self.core.published()
     }
+
+    /// Bounds the retransmission history retained for NAK replays
+    /// (builder-style); unbounded by default.
+    pub fn with_history_depth(mut self, depth: usize) -> Self {
+        self.core = self.core.with_history_depth(depth);
+        self
+    }
 }
+
+impl LiveJoin for NakcastSender {}
 
 impl ProtocolCore for NakcastSender {
     fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
@@ -134,6 +143,9 @@ pub struct NakcastReceiver {
     dropped: u64,
     duplicates: u64,
     next_deliver: u64,
+    /// Live-join floor: sequences below this predate the join and are
+    /// ignored outright (a durable wrapper recovers them instead).
+    floor: u64,
     buffer: BTreeMap<u64, PendingSample>,
     missing: BTreeMap<u64, MissingState>,
     abandoned: BTreeSet<u64>,
@@ -164,6 +176,7 @@ impl NakcastReceiver {
             dropped: 0,
             duplicates: 0,
             next_deliver: 0,
+            floor: 0,
             buffer: BTreeMap::new(),
             missing: BTreeMap::new(),
             abandoned: BTreeSet::new(),
@@ -333,6 +346,11 @@ impl NakcastReceiver {
     }
 
     fn on_data(&mut self, env: &mut Env<'_>, data: &DataMsg) {
+        if data.seq < self.floor {
+            // Pre-join history: never buffered or NAKed here — a durable
+            // wrapper owns recovery below the join floor.
+            return;
+        }
         if env.rng().bernoulli(self.drop_probability) {
             self.dropped += 1;
             return;
@@ -379,6 +397,17 @@ impl NakcastReceiver {
         }
         self.try_deliver(env);
         self.reschedule_scan(env);
+    }
+}
+
+impl LiveJoin for NakcastReceiver {
+    /// Positions the receiver at the live edge: in-order delivery resumes
+    /// at `next`, nothing below it is ever marked missing, and the
+    /// advertised high-water mark starts just below the join point.
+    fn join_at(&mut self, next: u64) {
+        self.next_deliver = next;
+        self.floor = next;
+        self.highest_advertised = next.checked_sub(1);
     }
 }
 

@@ -6,7 +6,7 @@
 //! real-UDP runtime.
 
 use adamant_proto::wire::{DataMsg, FinMsg, HeartbeatMsg};
-use adamant_proto::{Env, GroupId, NodeId, ProcessingCost, Span, TimePoint, WireMsg};
+use adamant_proto::{Env, GroupId, HistoryCache, NodeId, ProcessingCost, Span, TimePoint, WireMsg};
 
 use crate::config::Tuning;
 use crate::profile::{AppSpec, StackProfile};
@@ -36,7 +36,7 @@ pub(crate) struct PublisherCore {
     send_fin: bool,
     extra_data_rx: Span,
     next_seq: u64,
-    history: Vec<TimePoint>,
+    history: HistoryCache,
     finished: bool,
 }
 
@@ -58,7 +58,7 @@ impl PublisherCore {
             send_fin,
             extra_data_rx: Span::ZERO,
             next_seq: 0,
-            history: Vec::with_capacity(app.total_samples as usize),
+            history: HistoryCache::unbounded(),
             finished: false,
         }
     }
@@ -67,6 +67,13 @@ impl PublisherCore {
     /// bookkeeping such as Ricochet's XOR-buffer maintenance).
     pub fn with_extra_data_rx(mut self, extra: Span) -> Self {
         self.extra_data_rx = extra;
+        self
+    }
+
+    /// Bounds the retransmission history to `depth` samples (unbounded by
+    /// default); requests below the retained window go unanswered.
+    pub fn with_history_depth(mut self, depth: usize) -> Self {
+        self.history = HistoryCache::bounded(depth);
         self
     }
 
@@ -92,9 +99,9 @@ impl PublisherCore {
         self.next_seq
     }
 
-    /// The publication time of `seq`, if already published.
+    /// The publication time of `seq`, if published and still retained.
     pub fn published_at(&self, seq: u64) -> Option<TimePoint> {
-        self.history.get(seq as usize).copied()
+        self.history.get(seq)
     }
 
     /// Whether the final sample has been published.
@@ -110,7 +117,14 @@ impl PublisherCore {
     pub fn resume_from(&mut self, history: Vec<TimePoint>) {
         self.next_seq = history.len() as u64;
         self.finished = self.next_seq >= self.app.total_samples;
-        self.history = history;
+        let mut cache = match self.history.depth() {
+            Some(depth) => HistoryCache::bounded(depth),
+            None => HistoryCache::unbounded(),
+        };
+        for (seq, at) in history.into_iter().enumerate() {
+            cache.push(seq as u64, at);
+        }
+        self.history = cache;
     }
 
     /// Must be called from the embedding core's `Start` input.
@@ -151,7 +165,7 @@ impl PublisherCore {
         }
         let seq = self.next_seq;
         let now = env.now();
-        self.history.push(now);
+        self.history.push(seq, now);
         self.next_seq += 1;
         env.send(
             self.group,
