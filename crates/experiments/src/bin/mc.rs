@@ -1,0 +1,226 @@
+//! Model-checking and wire-fuzzing driver for CI and local runs.
+//!
+//! ```text
+//! mc [explore|walk|fuzz|all] [--seed S] [--fuzz-iters N] [--walks N]
+//! ```
+//!
+//! * `explore` — exhaustive DFS over the three `adamant-mc` scenarios:
+//!   NAKcast 1-writer/2-reader (with a drop budget, then a duplication
+//!   budget), and the durable crash/restart topology. Clean runs write
+//!   their statistics to `artifacts/mc_explore.json`; a violation writes
+//!   the replayable counterexample to `artifacts/mc_counterexample.json`
+//!   and exits nonzero.
+//! * `walk` — seeded random walks over the same scenarios, deeper than
+//!   the exhaustive budgets.
+//! * `fuzz` — the `proto::wire` property harness (decode totality,
+//!   round-trip, truncation, corruption) for a fixed iteration budget;
+//!   failures land in `artifacts/mc_fuzz_failures.json` and exit nonzero.
+//! * `all` (default) — everything above, plus a self-check that the
+//!   deliberately-broken dedup scenario still yields a counterexample
+//!   that replays bit-identically from its recorded schedule.
+//!
+//! Budgets here are larger than the `adamant-mc` unit tests': this binary
+//! runs in release in CI, the tests run in debug.
+
+use adamant_experiments::artifacts;
+use adamant_json::ToJson;
+use adamant_mc::{explore, fuzz_wire, random_walks, replay, scenarios, McConfig, McResult};
+use adamant_proto::TimePoint;
+
+fn nakcast_cfg(seed: u64) -> McConfig {
+    McConfig::default()
+        .with_seed(seed)
+        .with_max_depth(48)
+        .with_max_states(1_500_000)
+        .with_max_drops(1)
+        .with_horizon(TimePoint::from_millis(50))
+}
+
+fn durable_cfg(seed: u64) -> McConfig {
+    McConfig::default()
+        .with_seed(seed)
+        .with_max_depth(72)
+        .with_max_states(1_500_000)
+        .with_horizon(scenarios::durable_horizon())
+}
+
+/// The checked scenarios as `(name, scenario, config)` triples.
+fn suite(seed: u64) -> Vec<(&'static str, adamant_mc::Scenario, McConfig)> {
+    vec![
+        (
+            "nakcast-1w2r+drop",
+            scenarios::nakcast_1w2r(2),
+            nakcast_cfg(seed),
+        ),
+        (
+            "nakcast-1w2r+dup",
+            scenarios::nakcast_1w2r(1),
+            nakcast_cfg(seed).with_max_drops(0).with_max_dups(1),
+        ),
+        (
+            "durable-crash-restart",
+            scenarios::durable_crash_restart(2),
+            durable_cfg(seed),
+        ),
+    ]
+}
+
+fn report_violation(result: &McResult) -> bool {
+    let Some(ce) = &result.counterexample else {
+        return false;
+    };
+    let path = artifacts::save("mc_counterexample.json", ce).expect("write counterexample");
+    eprintln!(
+        "VIOLATION in `{}` ({} decisions): {:?}",
+        ce.scenario,
+        ce.schedule.decisions.len(),
+        ce.violations
+    );
+    eprintln!("counterexample written to {}", path.display());
+    true
+}
+
+fn run_explore(seed: u64) -> bool {
+    let mut clean = true;
+    let mut stats = Vec::new();
+    for (name, scenario, cfg) in suite(seed) {
+        let result = explore(&scenario, &cfg);
+        println!(
+            "explore {name:<24} states={:<8} transitions={:<8} quiescent={:<6} exhausted={} clean={}",
+            result.stats.states,
+            result.stats.transitions,
+            result.stats.quiescent_leaves,
+            result.exhausted,
+            result.is_clean(),
+        );
+        if report_violation(&result) {
+            clean = false;
+        }
+        stats.push((name.to_owned(), result.stats.to_json()));
+    }
+    if clean {
+        let doc = adamant_json::Json::Obj(stats);
+        artifacts::save("mc_explore.json", &doc).expect("write explore stats");
+    }
+    clean
+}
+
+fn run_walks(seed: u64, walks: usize) -> bool {
+    let mut clean = true;
+    for (name, scenario, cfg) in suite(seed) {
+        let result = random_walks(&scenario, &cfg, walks, 400);
+        println!(
+            "walk    {name:<24} walks={:<6} steps={:<8} quiescent={:<6} clean={}",
+            result.stats.walks,
+            result.stats.steps,
+            result.stats.quiescent,
+            result.is_clean(),
+        );
+        if let Some(ce) = &result.counterexample {
+            let path = artifacts::save("mc_counterexample.json", ce).expect("write counterexample");
+            eprintln!("walk VIOLATION in `{}`: {:?}", ce.scenario, ce.violations);
+            eprintln!("counterexample written to {}", path.display());
+            clean = false;
+        }
+    }
+    clean
+}
+
+fn run_fuzz(seed: u64, iters: u64) -> bool {
+    let report = fuzz_wire(seed, iters);
+    println!(
+        "fuzz    wire                     iters={:<8} decoded={:<6} prefixes={:<8} mutants={:<8} clean={}",
+        report.iterations,
+        report.random_decoded,
+        report.prefixes,
+        report.mutants,
+        report.is_clean(),
+    );
+    if !report.is_clean() {
+        let path = artifacts::save("mc_fuzz_failures.json", &report).expect("write fuzz report");
+        eprintln!(
+            "{} wire property failure(s); inputs written to {}",
+            report.failures.len(),
+            path.display()
+        );
+        return false;
+    }
+    true
+}
+
+/// Self-check: the checker must still *find* bugs. The broken-dedup
+/// scenario yields a counterexample, and replaying its schedule twice
+/// reproduces the recorded trace and end-state hash bit-identically.
+fn run_selfcheck(seed: u64) -> bool {
+    let scenario = scenarios::nakcast_broken_dedup(1);
+    let cfg = McConfig::default()
+        .with_seed(seed)
+        .with_max_depth(32)
+        .with_max_states(500_000)
+        .with_max_dups(1)
+        .with_horizon(TimePoint::from_millis(50));
+    let result = explore(&scenario, &cfg);
+    let Some(ce) = &result.counterexample else {
+        eprintln!("SELF-CHECK FAILED: broken dedup not caught");
+        return false;
+    };
+    let first = replay(&scenario, &cfg, &ce.schedule);
+    let second = replay(&scenario, &cfg, &ce.schedule);
+    let reproduced = first.state_hash == ce.state_hash
+        && second.state_hash == ce.state_hash
+        && first.trace == ce.trace
+        && second.trace == ce.trace
+        && !first.report.violations.is_empty();
+    println!(
+        "selfcheck broken-dedup           decisions={:<4} replay-bit-identical={}",
+        ce.schedule.decisions.len(),
+        reproduced,
+    );
+    if !reproduced {
+        let path = artifacts::save("mc_counterexample.json", ce).expect("write counterexample");
+        eprintln!(
+            "SELF-CHECK FAILED: replay diverged; counterexample at {}",
+            path.display()
+        );
+    }
+    reproduced
+}
+
+fn flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
+    let seed = flag(&args, "--seed").unwrap_or(1);
+    let fuzz_iters = flag(&args, "--fuzz-iters").unwrap_or(20_000);
+    let walks = flag(&args, "--walks").unwrap_or(512) as usize;
+
+    let clean = match mode.as_str() {
+        "explore" => run_explore(seed),
+        "walk" => run_walks(seed, walks),
+        "fuzz" => run_fuzz(seed, fuzz_iters),
+        "all" => {
+            let mut ok = run_explore(seed);
+            ok &= run_walks(seed, walks);
+            ok &= run_fuzz(seed, fuzz_iters);
+            ok &= run_selfcheck(seed);
+            ok
+        }
+        other => {
+            eprintln!("unknown mode `{other}`; use explore | walk | fuzz | all");
+            std::process::exit(2);
+        }
+    };
+    if !clean {
+        std::process::exit(1);
+    }
+}

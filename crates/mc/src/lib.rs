@@ -1,0 +1,44 @@
+//! # adamant-mc
+//!
+//! Explicit-state model checking and deterministic fuzzing for the
+//! ADAMANT sans-I/O protocol cores.
+//!
+//! The simulator (`adamant-netsim`) executes *one* schedule per seed; the
+//! checker here executes *all* of them, within budgets. A [`World`] holds
+//! a small topology of [`ProtocolCore`](adamant_proto::ProtocolCore)s
+//! plus the set of pending events — in-flight messages, armed timers,
+//! scripted crash/restart faults — and [`explore`] forks it (cores are
+//! `Clone`) down every enabled action: deliver a message, drop it,
+//! duplicate it, fire the globally-earliest timer, or take the next
+//! fault. States are merged by a 64-bit fingerprint of the full world
+//! (cores included, via their `Debug` rendering — see
+//! `adamant_proto::StateHash`), which is what makes exhaustive search of
+//! these topologies tractable.
+//!
+//! Every explored path lowers its protocol events to the same
+//! `ObsEvent` trace the simulator emits and feeds it through
+//! `adamant-metrics`' invariant checker — so "NAK recovery always
+//! completes" and "durable restart never double-delivers" are checked on
+//! *every* reachable schedule, not a sampled one. A violation comes back
+//! as a [`Counterexample`]: the seed plus decision list ([`Schedule`])
+//! that [`replay`] re-executes bit-identically.
+//!
+//! [`random_walks`] trades exhaustiveness for depth, and [`fuzz_wire`]
+//! hammers the `proto::wire` codec with seeded random/mutated frames.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explore;
+mod fuzz;
+mod scenario;
+pub mod scenarios;
+mod world;
+
+pub use explore::{
+    explore, random_walks, replay, Counterexample, ExploreStats, McResult, Replayed, Schedule,
+    WalkResult, WalkStats,
+};
+pub use fuzz::{arbitrary_msg, fuzz_wire, FuzzFailure, FuzzFailureKind, FuzzReport};
+pub use scenario::{CoreFactory, Fault, FaultKind, McConfig, RestartFactory, Scenario};
+pub use world::{Action, McCore, World};

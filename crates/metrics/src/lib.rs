@@ -61,5 +61,7 @@ pub use record::{Delivery, DenseReceptionLog, ReceptionLog};
 pub use registry::{registry_from_trace, MetricsRegistry};
 pub use report::{QosReport, QosReportBuilder};
 pub use stats::{percentile, Welford};
-pub use verify::{verify_trace, InvariantKind, VerifyReport, VerifySpec, Violation};
+pub use verify::{
+    verify_trace, verify_trace_prefix, InvariantKind, VerifyReport, VerifySpec, Violation,
+};
 pub use windowed::{constant_rate_schedule, windowed_qos, WindowQos};

@@ -222,6 +222,25 @@ impl ToJson for VerifyReport {
 /// receiver's acceptance order — so with a faithful trace the recomputed
 /// value is bit-identical, not merely close.
 pub fn verify_trace(events: &[TracedEvent], spec: &VerifySpec) -> VerifyReport {
+    verify_inner(events, spec, true)
+}
+
+/// Replays `events` as a *prefix* of a longer run: only prefix-closed
+/// invariants are checked.
+///
+/// A prefix-closed invariant is one a clean run can never violate partway
+/// through — no-delivery-after-crash, at-most-once, recovery/catch-up
+/// latency, cross-incarnation dedupe. End-of-trace completeness checks
+/// (durable union covers every sample, every restart reached catch-up,
+/// ReLate2 agreement) are skipped because an honest partial schedule fails
+/// them trivially. The model checker in `adamant-mc` calls this on every
+/// explored path and reserves [`verify_trace`] for quiescent terminal
+/// states.
+pub fn verify_trace_prefix(events: &[TracedEvent], spec: &VerifySpec) -> VerifyReport {
+    verify_inner(events, spec, false)
+}
+
+fn verify_inner(events: &[TracedEvent], spec: &VerifySpec, end_of_trace: bool) -> VerifyReport {
     let mut crashed: BTreeSet<usize> = BTreeSet::new();
     let mut incarnation: BTreeMap<usize, u64> = BTreeMap::new();
     let mut seen: BTreeSet<(usize, u64, u64)> = BTreeSet::new();
@@ -340,6 +359,10 @@ pub fn verify_trace(events: &[TracedEvent], spec: &VerifySpec) -> VerifyReport {
     }
 
     let end_ns = events.last().map_or(0, |e| e.time.as_nanos());
+    if !end_of_trace {
+        pending_catch_up.clear();
+        durable_union.clear();
+    }
     for &idx in &pending_catch_up {
         violations.push(Violation {
             invariant: InvariantKind::CatchUpLatencyBound,
@@ -376,7 +399,7 @@ pub fn verify_trace(events: &[TracedEvent], spec: &VerifySpec) -> VerifyReport {
         accepted as f64 / expected as f64
     };
     let recomputed_relate2 = welford.mean() * ((1.0 - reliability) * 100.0 + 1.0);
-    if let Some(reported) = spec.reported_relate2 {
+    if let Some(reported) = spec.reported_relate2.filter(|_| end_of_trace) {
         if (recomputed_relate2 - reported).abs() > spec.tolerance {
             violations.push(Violation {
                 invariant: InvariantKind::Relate2Consistency,
@@ -586,6 +609,36 @@ mod tests {
             .with_catch_up_bound(SimDuration::from_millis(1));
         let report = verify_trace(&trace, &spec);
         assert_eq!(report.violations_of(InvariantKind::CatchUpLatencyBound), 1);
+    }
+
+    #[test]
+    fn prefix_verification_skips_end_of_trace_checks_only() {
+        let node = NodeId::from_index(1);
+        // A restart whose catch-up hasn't happened *yet*: a legal prefix.
+        let partial = vec![
+            accept(10, 1, 0, false),
+            ev(20, ObsEvent::NodeCrashed { node, epoch: 1 }),
+            ev(30, ObsEvent::NodeRestarted { node, epoch: 2 }),
+        ];
+        let spec = VerifySpec::new(3, 1)
+            .with_durable_nodes([1])
+            .with_catch_up_bound(SimDuration::from_millis(1))
+            .with_reported_relate2(0.0);
+        assert!(!verify_trace(&partial, &spec).is_clean());
+        assert!(verify_trace_prefix(&partial, &spec).is_clean());
+        // Prefix-closed violations still trip: accept while crashed.
+        let bad = vec![
+            ev(20, ObsEvent::NodeCrashed { node, epoch: 1 }),
+            accept(30, 1, 0, false),
+        ];
+        let report = verify_trace_prefix(&bad, &spec);
+        assert_eq!(report.violations_of(InvariantKind::NoDeliveryAfterCrash), 1);
+        // And so does a duplicate acceptance mid-prefix.
+        let dup = vec![accept(10, 1, 0, false), accept(20, 1, 0, false)];
+        assert_eq!(
+            verify_trace_prefix(&dup, &spec).violations_of(InvariantKind::AtMostOnce),
+            1
+        );
     }
 
     #[test]

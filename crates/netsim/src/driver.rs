@@ -109,7 +109,7 @@ impl<C: ProtocolCore> SimDriver<C> {
                 Effect::Deliver { .. } => {}
                 Effect::Trace(event) => {
                     let node = ctx.node;
-                    ctx.emit(|| lift(event, node));
+                    ctx.emit(|| lift_proto_event(event, node));
                 }
             }
         }
@@ -157,7 +157,11 @@ impl<C: ProtocolCore> Agent for SimDriver<C> {
 
 /// Stamps a node-agnostic core trace event with the emitting host,
 /// producing the simulator's observability event.
-fn lift(event: ProtoEvent, node: NodeId) -> ObsEvent {
+///
+/// Public so other drivers of [`ProtocolCore`]s — the model checker in
+/// `adamant-mc` in particular — lower their traces into the exact
+/// `ObsEvent` form the invariant checker consumes.
+pub fn lift_proto_event(event: ProtoEvent, node: NodeId) -> ObsEvent {
     match event {
         ProtoEvent::SampleAccepted {
             seq,

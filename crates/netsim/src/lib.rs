@@ -80,7 +80,7 @@ mod trace;
 
 pub use adamant_proto::CalendarQueue;
 pub use agent::{Agent, Ctx};
-pub use driver::SimDriver;
+pub use driver::{lift_proto_event, SimDriver};
 pub use event::TimerId;
 pub use fault::{Fault, FaultPlan, RestartFn};
 pub use host::{Bandwidth, HostConfig, MachineClass};

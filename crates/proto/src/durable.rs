@@ -53,6 +53,11 @@ const DURABLE_NAK_PER_SEQ_BYTES: u32 = 8;
 /// Live packets a not-yet-joined reader will hold before shedding the
 /// oldest (bounds memory if the writer's durable heartbeat never comes).
 const HOLD_CAP: usize = 4096;
+/// Largest advertised history span a joining reader will request; anything
+/// older is abandoned up front. Bounds the work and memory a single
+/// (possibly hostile) durable heartbeat can cause, far above any history
+/// depth the experiments configure.
+const CATCH_UP_SPAN_CAP: u64 = 1 << 16;
 
 /// Opt-in hook for receiver cores that can join a stream mid-flight: the
 /// durable reader wrapper calls [`join_at`](Self::join_at) once, before
@@ -180,7 +185,7 @@ pub struct DurableDelivery {
     pub recovered: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct WriterState {
     group: GroupId,
     cache: HistoryCache,
@@ -190,7 +195,7 @@ struct WriterState {
     replayed: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ReaderState {
     writer: NodeId,
     joined: bool,
@@ -208,7 +213,7 @@ struct ReaderState {
     caught_up_at: Option<TimePoint>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Role {
     Writer(WriterState),
     Reader(ReaderState),
@@ -217,7 +222,7 @@ enum Role {
 /// The durable wrapper around an inner session core. See the module docs
 /// for the protocol; construct with [`writer`](Self::writer) or
 /// [`reader`](Self::reader).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DurableCore<C> {
     inner: C,
     config: DurableConfig,
@@ -592,7 +597,9 @@ fn join<C: ProtocolCore + LiveJoin>(
     env: &mut Env<'_>,
 ) {
     r.joined = true;
-    r.join_floor = hb.last_seq + 1;
+    // Saturate rather than overflow: a hostile heartbeat advertising
+    // `last_seq == u64::MAX` must not panic the reader (fuzz finding).
+    r.join_floor = hb.last_seq.saturating_add(1);
     inner.join_at(r.join_floor);
 
     // Drain the held live traffic: historical data is wrapper-owned, the
@@ -611,18 +618,25 @@ fn join<C: ProtocolCore + LiveJoin>(
             r.completed = true;
         }
         DurabilityMode::TransientLocal => {
-            for seq in hb.first_seq..r.join_floor {
+            // Only the newest `CATCH_UP_SPAN_CAP` advertised sequences are
+            // requested; a hostile heartbeat claiming an astronomical
+            // retained range must not make the reader enumerate it (fuzz
+            // finding — the work here has to stay bounded by reader state,
+            // not by attacker-chosen integers).
+            let start = hb
+                .first_seq
+                .max(r.join_floor.saturating_sub(CATCH_UP_SPAN_CAP));
+            for seq in start..r.join_floor {
                 if !r.delivered.contains(&seq) {
                     r.gaps.want(seq);
                 }
             }
-            // Sequences the writer already evicted are gone for good.
-            let lost = (0..hb.first_seq)
-                .filter(|seq| !r.delivered.contains(seq))
-                .count();
+            // Sequences the writer already evicted — or beyond the span
+            // this reader will request — are gone for good.
+            let lost = start.saturating_sub(r.delivered.range(..start).count() as u64);
             if lost > 0 {
-                r.abandoned += lost as u64;
-                let count = lost as u32;
+                r.abandoned += lost;
+                let count = lost.min(u64::from(u32::MAX)) as u32;
                 env.emit(|| ProtoEvent::CatchUpAbandoned { count });
             }
             if r.gaps.is_empty() {
@@ -914,6 +928,184 @@ mod tests {
             first_seq: first,
             last_seq: last,
         })
+    }
+
+    /// Property: across randomized loss schedules, exhausting the NAK
+    /// retry budget is *always* reported — `CatchUpAbandoned` emitted,
+    /// `catch_up_abandoned()` accounting every unrecovered sequence, and
+    /// `caught_up_at()` left `None` — never passed off as a successful
+    /// catch-up. Recovery and abandonment must partition the wanted span
+    /// exactly on every schedule.
+    #[test]
+    fn retry_abandonment_is_always_reported_across_loss_schedules() {
+        const TOTAL: u64 = 5;
+        let mut abandoned_runs = 0;
+        let mut clean_runs = 0;
+        for seed in 0..200u64 {
+            let mut rng = crate::DetRng::seed_from_u64(0xABA2_0000 ^ seed);
+            let mut host = EnvHost::new(NodeId(1), seed);
+            let config = DurableConfig::transient_local()
+                .with_nak_timeout(Span::from_millis(1))
+                .with_max_retries(3);
+            let mut reader = DurableCore::reader(TestSink::new(), NodeId(0), config);
+            host.step(&mut reader, TimePoint::ZERO, Input::Start);
+            let mut now = TimePoint::from_millis(1);
+            let hb = WireMsg::DurableHeartbeat(DurableHeartbeatMsg {
+                first_seq: 0,
+                last_seq: TOTAL - 1,
+            });
+            let mut effects = host.step(
+                &mut reader,
+                now,
+                Input::PacketIn {
+                    src: NodeId(0),
+                    msg: &hb,
+                },
+            );
+
+            // Drive the reader's retry loop as a lossy writer: each NAK is
+            // dropped outright 1 time in 4, and each requested replay is
+            // dropped 1 time in 3. All surviving replays arrive before the
+            // retry timer fires (FIFO path), so abandonment only ever
+            // happens on a genuinely exhausted budget.
+            let mut pending: Option<(TimerToken, u64, TimePoint)> = None;
+            let mut reported: u64 = 0; // CatchUpAbandoned counts seen
+            for _ in 0..64 {
+                let mut replies: Vec<u64> = Vec::new();
+                for effect in &effects {
+                    match effect {
+                        Effect::Send {
+                            msg: WireMsg::DurableNak(nak),
+                            ..
+                        } if rng.next_below(4) != 0 => {
+                            for &seq in &nak.seqs {
+                                if rng.next_below(3) != 0 {
+                                    replies.push(seq);
+                                }
+                            }
+                        }
+                        Effect::SetTimer { token, delay, tag } => {
+                            pending = Some((*token, *tag, now + *delay));
+                        }
+                        Effect::CancelTimer { token }
+                            if pending.is_some_and(|(t, _, _)| t == *token) =>
+                        {
+                            pending = None;
+                        }
+                        Effect::Trace(ProtoEvent::CatchUpAbandoned { count }) => {
+                            reported += u64::from(*count);
+                        }
+                        _ => {}
+                    }
+                }
+                effects = Vec::new();
+                for seq in replies {
+                    now += Span::from_micros(100);
+                    let replay = WireMsg::Data(DataMsg {
+                        seq,
+                        published_at: TimePoint::from_micros(seq),
+                        retransmission: true,
+                    });
+                    let step = host.step(
+                        &mut reader,
+                        now,
+                        Input::PacketIn {
+                            src: NodeId(0),
+                            msg: &replay,
+                        },
+                    );
+                    effects.extend(step);
+                }
+                // Scan replay-step effects for cancels/abandonments too.
+                for effect in &effects {
+                    match effect {
+                        Effect::CancelTimer { token }
+                            if pending.is_some_and(|(t, _, _)| t == *token) =>
+                        {
+                            pending = None;
+                        }
+                        Effect::Trace(ProtoEvent::CatchUpAbandoned { count }) => {
+                            reported += u64::from(*count);
+                        }
+                        _ => {}
+                    }
+                }
+                let Some((token, tag, deadline)) = pending.take() else {
+                    break; // terminal: caught up or abandoned
+                };
+                now = deadline;
+                effects = host.step(&mut reader, now, Input::TimerFired { token, tag });
+            }
+            assert!(pending.is_none(), "seed {seed}: retry loop never quiesced");
+
+            let recovered = reader.recovered_via_catch_up();
+            let abandoned = reader.catch_up_abandoned();
+            assert_eq!(
+                recovered + abandoned,
+                TOTAL,
+                "seed {seed}: recovery + abandonment must partition the span"
+            );
+            assert_eq!(
+                reported, abandoned,
+                "seed {seed}: abandonment count not reported via trace events"
+            );
+            if abandoned > 0 {
+                abandoned_runs += 1;
+                assert_eq!(
+                    reader.caught_up_at(),
+                    None,
+                    "seed {seed}: abandonment reported as successful catch-up"
+                );
+            } else {
+                clean_runs += 1;
+                assert!(
+                    reader.caught_up_at().is_some(),
+                    "seed {seed}: full recovery without completion"
+                );
+                assert_eq!(reader.delivered_set().len() as u64, TOTAL);
+            }
+        }
+        // The schedule distribution must actually exercise both outcomes.
+        assert!(abandoned_runs > 10, "only {abandoned_runs} abandoned runs");
+        assert!(clean_runs > 10, "only {clean_runs} clean runs");
+    }
+
+    #[test]
+    fn hostile_heartbeat_with_max_range_is_bounded_and_panic_free() {
+        // last_seq == u64::MAX used to overflow `last_seq + 1` (debug
+        // panic; silent wrap-to-zero skipping catch-up in release), and a
+        // saturating floor alone would enumerate ~2^64 gap entries. The
+        // reader must instead join promptly, request at most
+        // CATCH_UP_SPAN_CAP sequences, and report the rest abandoned.
+        let mut host = EnvHost::new(NodeId(1), 2);
+        let mut reader =
+            DurableCore::reader(TestSink::new(), NodeId(0), DurableConfig::transient_local());
+        host.step(&mut reader, TimePoint::ZERO, Input::Start);
+        let hb = durable_hb(0, u64::MAX);
+        let effects = host.step(
+            &mut reader,
+            TimePoint::from_millis(1),
+            Input::PacketIn {
+                src: NodeId(0),
+                msg: &hb,
+            },
+        );
+        assert_eq!(reader.inner().joined_at, Some(u64::MAX), "floor saturates");
+        let naked: usize = sends_of(&effects)
+            .iter()
+            .filter_map(|m| match m {
+                WireMsg::DurableNak(n) => Some(n.seqs.len()),
+                _ => None,
+            })
+            .sum();
+        assert!(naked as u64 <= CATCH_UP_SPAN_CAP, "requests stay bounded");
+        assert!(naked > 0, "the newest span is still requested");
+        assert_eq!(
+            reader.catch_up_abandoned(),
+            u64::MAX - CATCH_UP_SPAN_CAP,
+            "everything beyond the cap is abandoned, not silently dropped"
+        );
+        assert_eq!(reader.caught_up_at(), None);
     }
 
     #[test]

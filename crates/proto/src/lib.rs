@@ -30,6 +30,7 @@ mod event;
 mod history;
 mod ids;
 mod rng;
+mod snapshot;
 mod time;
 mod timer;
 pub mod wire;
@@ -44,6 +45,7 @@ pub use event::ProtoEvent;
 pub use history::{catch_up_backoff, GapTracker, HistoryCache};
 pub use ids::{Destination, GroupId, NodeId, ProcessingCost};
 pub use rng::{DetRng, Entropy};
+pub use snapshot::{fingerprint_debug, Fnv64, StateHash};
 pub use time::{Span, TimePoint};
 pub use timer::{CalendarQueue, TimerFire, TimerWheel};
 pub use wire::WireMsg;

@@ -203,11 +203,32 @@ impl<'a> Reader<'a> {
     fn done(&self) -> bool {
         self.bytes.is_empty()
     }
+
+    /// Reads a length prefix for a repeated section whose elements occupy
+    /// at least `elem_min_size` bytes each.
+    ///
+    /// Rejects (rather than clamps) counts above [`MAX_WIRE_ELEMS`], and
+    /// rejects any count the remaining bytes cannot possibly satisfy —
+    /// so the `Vec::with_capacity` sized from the returned count can never
+    /// exceed the datagram length. A 5-byte frame claiming a million
+    /// elements used to reserve 8 MB before the first element read failed;
+    /// now it is refused up front.
+    fn count(&mut self, elem_min_size: usize) -> Option<usize> {
+        let count = self.u32()?;
+        if count > MAX_WIRE_ELEMS {
+            return None;
+        }
+        let count = count as usize;
+        if count.checked_mul(elem_min_size)? > self.bytes.len() {
+            return None;
+        }
+        Some(count)
+    }
 }
 
-/// Largest element count accepted while decoding, preventing a hostile
-/// length prefix from forcing a huge allocation. Far above anything the
-/// protocols produce in a single datagram.
+/// Largest element count accepted while decoding; anything above it is
+/// rejected as hostile. Far above anything the protocols produce in a
+/// single datagram.
 const MAX_WIRE_ELEMS: u32 = 1 << 20;
 
 fn data_body(buf: &mut Vec<u8>, msg: &DataMsg) {
@@ -320,16 +341,16 @@ impl WireMsg {
             KIND_DATA => WireMsg::Data(read_data_body(&mut r)?),
             KIND_FORWARDED => WireMsg::Forwarded(read_data_body(&mut r)?),
             KIND_NAK => {
-                let count = r.u32()?.min(MAX_WIRE_ELEMS);
-                let mut seqs = Vec::with_capacity(count as usize);
+                let count = r.count(8)?;
+                let mut seqs = Vec::with_capacity(count);
                 for _ in 0..count {
                     seqs.push(r.u64()?);
                 }
                 WireMsg::Nak(NakMsg { seqs })
             }
             KIND_REPAIR => {
-                let count = r.u32()?.min(MAX_WIRE_ELEMS);
-                let mut entries = Vec::with_capacity(count as usize);
+                let count = r.count(16)?;
+                let mut entries = Vec::with_capacity(count);
                 for _ in 0..count {
                     entries.push((r.u64()?, TimePoint::from_nanos(r.u64()?)));
                 }
@@ -345,8 +366,8 @@ impl WireMsg {
             KIND_FIN => WireMsg::Fin(FinMsg { total: r.u64()? }),
             KIND_ACK => {
                 let below = r.u64()?;
-                let count = r.u32()?.min(MAX_WIRE_ELEMS);
-                let mut missing = Vec::with_capacity(count as usize);
+                let count = r.count(8)?;
+                let mut missing = Vec::with_capacity(count);
                 for _ in 0..count {
                     missing.push(r.u64()?);
                 }
@@ -358,8 +379,8 @@ impl WireMsg {
                 last_seq: r.u64()?,
             }),
             KIND_DURABLE_NAK => {
-                let count = r.u32()?.min(MAX_WIRE_ELEMS);
-                let mut seqs = Vec::with_capacity(count as usize);
+                let count = r.count(8)?;
+                let mut seqs = Vec::with_capacity(count);
                 for _ in 0..count {
                     seqs.push(r.u64()?);
                 }
@@ -368,8 +389,10 @@ impl WireMsg {
             KIND_DISCOVERY => {
                 let participant_id = r.u32()?;
                 let epoch = r.u32()?;
-                let count = r.u32()?.min(MAX_WIRE_ELEMS);
-                let mut endpoints = Vec::with_capacity(count as usize);
+                // Smallest possible endpoint: empty topic (4-byte length),
+                // writer flag, and qos code.
+                let count = r.count(4 + 1 + 8)?;
+                let mut endpoints = Vec::with_capacity(count);
                 for _ in 0..count {
                     let len = r.u32()? as usize;
                     let topic = std::str::from_utf8(r.take(len)?).ok()?.to_owned();
@@ -499,5 +522,56 @@ mod tests {
         let mut bytes = vec![KIND_DURABLE_NAK];
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(WireMsg::decode(&bytes).is_none());
+    }
+
+    /// Frames the fuzz harness flagged as allocation bombs: every counted
+    /// section used to `Vec::with_capacity(count)` before checking whether
+    /// the bytes for even one element were present, so a handful of bytes
+    /// reserved megabytes. Each input is pinned verbatim.
+    #[test]
+    fn regression_tiny_frames_claiming_many_elements_are_rejected() {
+        fn counted(kind: u8, prefix: &[u8], count: u32, body: &[u8]) -> Vec<u8> {
+            let mut bytes = vec![kind];
+            bytes.extend_from_slice(prefix);
+            bytes.extend_from_slice(&count.to_le_bytes());
+            bytes.extend_from_slice(body);
+            bytes
+        }
+        // 13-byte NAK: count 1<<20 (within the old clamp) but one element.
+        let nak = counted(KIND_NAK, &[], 1 << 20, &7u64.to_le_bytes());
+        assert!(WireMsg::decode(&nak).is_none());
+        // Repair claiming 1<<20 16-byte entries with an empty body.
+        assert!(WireMsg::decode(&counted(KIND_REPAIR, &[], 1 << 20, &[])).is_none());
+        // ACK: valid `below`, hostile missing-count, no missing list.
+        let ack = counted(KIND_ACK, &3u64.to_le_bytes(), 1 << 20, &[]);
+        assert!(WireMsg::decode(&ack).is_none());
+        // Durable NAK with the same shape.
+        assert!(WireMsg::decode(&counted(KIND_DURABLE_NAK, &[], 1 << 20, &[])).is_none());
+        // Discovery announcing 1<<20 endpoints in a 13-byte frame.
+        let disc = counted(KIND_DISCOVERY, &[1, 0, 0, 0, 2, 0, 0, 0], 1 << 20, &[]);
+        assert!(WireMsg::decode(&disc).is_none());
+        // Counts just above MAX_WIRE_ELEMS are rejected outright rather
+        // than silently clamped to a prefix of the claimed list.
+        let huge = counted(KIND_NAK, &[], MAX_WIRE_ELEMS + 1, &7u64.to_le_bytes());
+        assert!(WireMsg::decode(&huge).is_none());
+        // A discovery endpoint whose topic length points past the frame.
+        let mut topic_bomb = vec![KIND_DISCOVERY];
+        topic_bomb.extend_from_slice(&[1, 0, 0, 0, 2, 0, 0, 0]); // id, epoch
+        topic_bomb.extend_from_slice(&1u32.to_le_bytes()); // one endpoint
+        topic_bomb.extend_from_slice(&u32::MAX.to_le_bytes()); // topic len
+        topic_bomb.extend_from_slice(&[b'x'; 13]);
+        assert!(WireMsg::decode(&topic_bomb).is_none());
+    }
+
+    #[test]
+    fn exact_count_frames_still_decode() {
+        // The rejection must be capacity-driven, not off-by-one: a frame
+        // whose count exactly matches its payload stays valid.
+        let msg = WireMsg::Nak(NakMsg {
+            seqs: (0..32).collect(),
+        });
+        assert_eq!(WireMsg::decode(&msg.to_bytes()), Some(msg));
+        let empty = WireMsg::DurableNak(DurableNakMsg { seqs: vec![] });
+        assert_eq!(WireMsg::decode(&empty.to_bytes()), Some(empty));
     }
 }

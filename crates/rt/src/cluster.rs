@@ -824,6 +824,72 @@ mod tests {
     }
 
     #[test]
+    fn restart_endpoint_out_of_range_is_a_typed_error() {
+        let mut cluster = Cluster::new(ClusterConfig::new(1));
+        let err = cluster
+            .restart_endpoint(EndpointId(0), Listener)
+            .unwrap_err();
+        assert!(matches!(err, RtError::UnknownEndpoint { index: 0 }));
+
+        cluster
+            .add_endpoint(NodeId(0), "127.0.0.1:0", Listener)
+            .unwrap();
+        let err = cluster
+            .restart_endpoint(EndpointId(99), Listener)
+            .unwrap_err();
+        assert!(matches!(err, RtError::UnknownEndpoint { index: 99 }));
+    }
+
+    #[test]
+    fn restart_endpoint_after_shard_panic_is_unknown_endpoint() {
+        #[derive(Debug)]
+        struct Bomb;
+        impl ProtocolCore for Bomb {
+            fn step(&mut self, input: Input<'_>, _env: &mut Env<'_>) {
+                if matches!(input, Input::Start) {
+                    panic!("boom");
+                }
+            }
+        }
+        let mut cluster = Cluster::new(ClusterConfig::new(2));
+        let survivor = cluster
+            .add_endpoint(NodeId(0), "127.0.0.1:0", Listener)
+            .unwrap();
+        let bomb = cluster
+            .add_endpoint(NodeId(1), "127.0.0.1:0", Bomb)
+            .unwrap();
+        let err = cluster.run_for(Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, RtError::ShardPanicked { shard: 1 }));
+
+        // The endpoint lost with the panicked shard cannot be restarted —
+        // its socket died with the worker — and says so as a typed error
+        // rather than panicking or silently re-adding.
+        let err = cluster.restart_endpoint(bomb, Listener).unwrap_err();
+        assert!(matches!(err, RtError::UnknownEndpoint { index: 1 }));
+        // The surviving shard's endpoint is unaffected.
+        cluster.restart_endpoint(survivor, Listener).unwrap();
+        assert_eq!(cluster.incarnation(survivor).unwrap(), 1);
+    }
+
+    #[test]
+    fn double_restart_yields_distinct_incarnations() {
+        let mut cluster = Cluster::new(ClusterConfig::new(1).with_seed(3));
+        let id = cluster
+            .add_endpoint(NodeId(0), "127.0.0.1:0", Listener)
+            .unwrap();
+        let addr = cluster.local_addr(id).unwrap();
+        // Back-to-back restarts with no run_for in between must both
+        // succeed: each bumps the incarnation (staling the previous
+        // incarnation's timers) and keeps the bound socket.
+        cluster.restart_endpoint(id, Listener).unwrap();
+        cluster.restart_endpoint(id, Listener).unwrap();
+        assert_eq!(cluster.incarnation(id).unwrap(), 2);
+        assert_eq!(cluster.local_addr(id).unwrap(), addr);
+        cluster.run_for(Duration::from_millis(5)).unwrap();
+        assert_eq!(cluster.incarnation(id).unwrap(), 2);
+    }
+
+    #[test]
     fn metrics_fold_under_node_and_cluster_keys() {
         let mut cluster = Cluster::new(ClusterConfig::new(2).with_seed(9));
         cluster

@@ -62,7 +62,7 @@ pub fn nakcast_recovery_bound(timeout: Span, tuning: &Tuning) -> Span {
 
 /// Sender side of NAKcast: publishes, heartbeats, and answers NAKs with
 /// unicast retransmissions.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NakcastSender {
     core: PublisherCore,
     retransmissions_sent: u64,
@@ -133,7 +133,7 @@ struct MissingState {
 }
 
 /// Receiver side of NAKcast.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NakcastReceiver {
     sender: NodeId,
     timeout: Span,

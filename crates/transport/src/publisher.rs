@@ -26,7 +26,7 @@ pub(crate) const TIMER_HEARTBEAT: u64 = 2;
 ///
 /// Protocol senders embed one of these and forward their timer inputs to
 /// [`PublisherCore::handle_timer`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct PublisherCore {
     app: AppSpec,
     profile: StackProfile,
