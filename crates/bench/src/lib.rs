@@ -110,6 +110,28 @@ impl PhaseProfiler {
     }
 }
 
+/// One point of the multiplexed runtime's endpoint-scaling series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Endpoints hosted in the mux cluster for this point.
+    pub endpoints: u64,
+    /// Aggregate delivered messages per wall-clock second.
+    pub msgs_per_sec: f64,
+    /// Worker loop iterations that made no progress before parking
+    /// (should stay near zero — the runtime sleeps instead of spinning).
+    pub busy_polls: u64,
+}
+
+impl ToJson for ScalingPoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("endpoints".to_owned(), Json::Num(self.endpoints as f64)),
+            ("msgs_per_sec".to_owned(), Json::Num(self.msgs_per_sec)),
+            ("busy_polls".to_owned(), Json::Num(self.busy_polls as f64)),
+        ])
+    }
+}
+
 /// A machine-readable perf report for one bench binary run, written as
 /// `BENCH_netsim.json` so CI can archive and diff engine throughput.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,14 +149,26 @@ pub struct PerfReport {
     /// by a warmed NAKcast receiver fed an in-order data stream through
     /// `EnvHost` — the driver-independent protocol-engine baseline.
     pub proto_effects_per_sec: f64,
-    /// Aggregate delivered-message throughput of a sharded
-    /// [`adamant_rt::Cluster`] hosting many echo endpoints over real UDP
-    /// sockets; zero when not measured.
+    /// Aggregate delivered-message throughput of the readiness-driven
+    /// multiplexed runtime ([`adamant_rt::MuxCluster`]): many timer-paced
+    /// echo endpoints sharing per-worker socket pools, batched syscalls,
+    /// and frame coalescing; zero when not measured.
     pub cluster_msgs_per_sec: f64,
-    /// The same echo workload run one endpoint at a time through
-    /// single-endpoint `run_for` loops — the baseline the cluster is
-    /// measured against; zero when not measured.
+    /// The same workload shape on the per-socket [`adamant_rt::Cluster`]
+    /// (one UDP socket per endpoint, one `recv_from` per datagram) — the
+    /// pre-multiplexing runtime the mux number is measured against; zero
+    /// when not measured.
+    pub per_socket_msgs_per_sec: f64,
+    /// The echo workload run one endpoint at a time through
+    /// single-endpoint `run_for` loops — the no-cluster baseline; zero
+    /// when not measured.
     pub sequential_msgs_per_sec: f64,
+    /// Multiplexed-runtime endpoint scaling: delivered throughput and
+    /// worker idle accounting at 1k/10k/100k endpoints under a constant
+    /// aggregate offered load. Flat `msgs_per_sec` across the series is
+    /// the scaling claim; `busy_polls` staying small is the no-spinning
+    /// claim.
+    pub endpoint_scaling: Vec<ScalingPoint>,
     /// Heap allocations observed during a steady-state window of the event
     /// loop (after warm-up). The allocation-free hot path keeps this at 0.
     pub event_loop_steady_allocs: u64,
@@ -179,8 +213,16 @@ impl ToJson for PerfReport {
                 Json::Num(self.cluster_msgs_per_sec),
             ),
             (
+                "per_socket_msgs_per_sec".to_owned(),
+                Json::Num(self.per_socket_msgs_per_sec),
+            ),
+            (
                 "sequential_msgs_per_sec".to_owned(),
                 Json::Num(self.sequential_msgs_per_sec),
+            ),
+            (
+                "cluster_endpoints_scaling".to_owned(),
+                self.endpoint_scaling.to_json(),
             ),
             (
                 "event_loop_steady_allocs".to_owned(),
@@ -318,8 +360,14 @@ mod tests {
             events_per_sec_traced: 900_000.0,
             queue_ops_per_sec: 50_000_000.0,
             proto_effects_per_sec: 30_000_000.0,
-            cluster_msgs_per_sec: 400_000.0,
+            cluster_msgs_per_sec: 2_000_000.0,
+            per_socket_msgs_per_sec: 400_000.0,
             sequential_msgs_per_sec: 100_000.0,
+            endpoint_scaling: vec![ScalingPoint {
+                endpoints: 100_000,
+                msgs_per_sec: 900_000.0,
+                busy_polls: 12,
+            }],
             event_loop_steady_allocs: 0,
             training_epoch_allocs: 0,
             measurements: vec![BenchMeasurement {
@@ -333,8 +381,16 @@ mod tests {
         assert_eq!(json.field::<f64>("events_per_sec"), Ok(1_000_000.0));
         assert_eq!(json.field::<f64>("queue_ops_per_sec"), Ok(50_000_000.0));
         assert_eq!(json.field::<f64>("proto_effects_per_sec"), Ok(30_000_000.0));
-        assert_eq!(json.field::<f64>("cluster_msgs_per_sec"), Ok(400_000.0));
+        assert_eq!(json.field::<f64>("cluster_msgs_per_sec"), Ok(2_000_000.0));
+        assert_eq!(json.field::<f64>("per_socket_msgs_per_sec"), Ok(400_000.0));
         assert_eq!(json.field::<f64>("sequential_msgs_per_sec"), Ok(100_000.0));
+        let scaling = json
+            .get("cluster_endpoints_scaling")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(scaling[0].field::<u64>("endpoints"), Ok(100_000));
+        assert_eq!(scaling[0].field::<u64>("busy_polls"), Ok(12));
         assert_eq!(json.field::<u64>("event_loop_steady_allocs"), Ok(0));
         assert_eq!(json.field::<u64>("training_epoch_allocs"), Ok(0));
         assert_eq!(

@@ -24,10 +24,11 @@
 // Protocol-layer identities and time (defining crate for NodeId/GroupId).
 pub use adamant_proto::{GroupId, NodeId, ProtocolCore, Span, TimePoint};
 
-// Real-clock runtime: single endpoint or sharded cluster.
+// Real-clock runtime: single endpoint, per-socket cluster, or the
+// readiness-driven multiplexed cluster.
 pub use adamant_rt::{
     Cluster, ClusterConfig, ClusterStats, Endpoint, EndpointId, EndpointReport, MonotonicClock,
-    RtConfig, RtError,
+    MuxCluster, MuxConfig, RtConfig, RtError,
 };
 
 // Transport selection and tuning.

@@ -14,6 +14,12 @@
 //! 4. **Corruption** — byte-flipped encodings never panic the decoder,
 //!    and when they still parse, the parse itself round-trips.
 //!
+//! The same four properties also cover the wire-version-2
+//! [`FrameHeader`] that carries the endpoint demux key on the real-UDP
+//! path: header+body frames must round-trip, every strict prefix of the
+//! header (which would truncate the demux fields) must be rejected, and
+//! corrupted version bytes must fail closed.
+//!
 //! Violating inputs are captured as hex strings in the [`FuzzReport`] so
 //! CI can pin them as regression tests (see
 //! `proto::wire::tests::regression_tiny_frames_claiming_many_elements_are_rejected`
@@ -27,7 +33,7 @@ use adamant_proto::wire::{
     AckMsg, DataMsg, DiscoveryMsg, DurableHeartbeatMsg, DurableNakMsg, EndpointAd, FinMsg,
     HeartbeatMsg, MembershipMsg, NakMsg, RepairMsg,
 };
-use adamant_proto::{DetRng, TimePoint, WireMsg};
+use adamant_proto::{DetRng, FrameHeader, NodeId, TimePoint, WireMsg};
 
 /// Which property an input violated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +93,11 @@ pub struct FuzzReport {
     pub mutants: u64,
     /// Mutants that still decoded (coverage signal).
     pub mutants_decoded: u64,
+    /// Header+body datagram frames round-tripped (wire version 2).
+    pub frames: u64,
+    /// Strict prefixes of framed datagrams checked against the header
+    /// decoder (truncated demux fields must be rejected).
+    pub frame_prefixes: u64,
     /// Property violations, at most one recorded per iteration.
     pub failures: Vec<FuzzFailure>,
 }
@@ -112,6 +123,11 @@ impl ToJson for FuzzReport {
             (
                 "mutants_decoded".to_owned(),
                 Json::Num(self.mutants_decoded as f64),
+            ),
+            ("frames".to_owned(), Json::Num(self.frames as f64)),
+            (
+                "frame_prefixes".to_owned(),
+                Json::Num(self.frame_prefixes as f64),
             ),
             ("failures".to_owned(), self.failures.to_json()),
         ])
@@ -288,8 +304,83 @@ pub fn fuzz_wire(seed: u64, iterations: u64) -> FuzzReport {
                 report.mutants_decoded += 1;
             }
         }
+
+        // Wire version 2 framing: the same properties over a full
+        // header+body datagram, exercising the demux key fields. Driven
+        // by a per-iteration derived rng so the main property stream
+        // keeps its historical coverage profile.
+        let mut frame_rng =
+            DetRng::seed_from_u64(seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        check_frame(&mut frame_rng, &encoded, iteration, &mut report);
     }
     report
+}
+
+/// Frame-header properties (wire version 2): a header+body datagram must
+/// round-trip through [`FrameHeader::decode`] + [`WireMsg::decode`], every
+/// strict prefix of the header must be rejected (a truncated demux key
+/// must never route), and a corrupted version byte must fail closed.
+fn check_frame(rng: &mut DetRng, body: &[u8], iteration: u64, report: &mut FuzzReport) {
+    let header = FrameHeader {
+        src: NodeId(rng.next_u64() as u32),
+        dst_endpoint: rng.next_u64() as u32,
+        dst_incarnation: rng.next_u64() as u32,
+    };
+    let mut frame = Vec::with_capacity(FrameHeader::LEN + body.len());
+    header.encode(&mut frame);
+    frame.extend_from_slice(body);
+    report.frames += 1;
+
+    let fail = |kind, bytes: &[u8]| FuzzFailure {
+        kind,
+        input_hex: hex(bytes),
+        iteration,
+    };
+    match catch_unwind(AssertUnwindSafe(|| FrameHeader::decode(&frame))) {
+        Err(_) => report
+            .failures
+            .push(fail(FuzzFailureKind::DecodePanicked, &frame)),
+        Ok(None) => report
+            .failures
+            .push(fail(FuzzFailureKind::RoundTripMismatch, &frame)),
+        Ok(Some((back, rest))) => {
+            if back != header || rest != body {
+                report
+                    .failures
+                    .push(fail(FuzzFailureKind::RoundTripMismatch, &frame));
+            }
+        }
+    }
+
+    // Strict prefixes of the header: the demux fields must be complete
+    // before any routing decision — no prefix may parse.
+    for cut in 0..FrameHeader::LEN.min(frame.len()) {
+        report.frame_prefixes += 1;
+        match catch_unwind(AssertUnwindSafe(|| FrameHeader::decode(&frame[..cut]))) {
+            Ok(None) => {}
+            Ok(Some(_)) => report
+                .failures
+                .push(fail(FuzzFailureKind::PrefixAccepted, &frame[..cut])),
+            Err(_) => report
+                .failures
+                .push(fail(FuzzFailureKind::DecodePanicked, &frame[..cut])),
+        }
+    }
+
+    // A flipped version byte must be rejected, never misparsed.
+    let mut wrong_version = frame.clone();
+    wrong_version[0] ^= 1 << rng.next_below(8);
+    if wrong_version[0] != frame[0] {
+        match catch_unwind(AssertUnwindSafe(|| FrameHeader::decode(&wrong_version))) {
+            Ok(None) => {}
+            Ok(Some(_)) => report
+                .failures
+                .push(fail(FuzzFailureKind::RoundTripMismatch, &wrong_version)),
+            Err(_) => report
+                .failures
+                .push(fail(FuzzFailureKind::DecodePanicked, &wrong_version)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +393,8 @@ mod tests {
         assert!(a.is_clean(), "wire fuzz failures: {:?}", a.failures);
         assert!(a.random_decoded > 0, "bias never produced a valid frame");
         assert!(a.mutants_decoded > 0, "no mutant survived decoding");
+        assert_eq!(a.frames, a.iterations, "every iteration frames a datagram");
+        assert!(a.frame_prefixes > 0, "header prefixes never checked");
         let b = fuzz_wire(42, 300);
         assert_eq!(a, b, "same seed must reproduce the same report");
     }

@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use crate::ids::NodeId;
 use crate::time::TimePoint;
 
 /// An application data sample (original multicast or unicast retransmission).
@@ -419,6 +420,170 @@ impl WireMsg {
     }
 }
 
+/// Wire format version carried in the first byte of every datagram frame.
+///
+/// Version 2 introduced the demux key (`dst_endpoint`/`dst_incarnation`)
+/// so many endpoints can share one socket; version 1 — a bare 4-byte
+/// source-node prefix — is no longer accepted.
+pub const WIRE_VERSION: u8 = 2;
+
+/// `dst_endpoint` wildcard: the datagram is for whoever owns the socket.
+///
+/// Used by per-socket senders (one endpoint per socket, no demux needed)
+/// and by external peers that do not know the receiver's endpoint index.
+/// The multiplexed runtime cannot route a wildcard and counts it as an
+/// unknown-endpoint drop.
+pub const ANY_ENDPOINT: u32 = u32::MAX;
+
+/// `dst_incarnation` wildcard: deliver regardless of restart generation.
+pub const ANY_INCARNATION: u32 = u32::MAX;
+
+/// The fixed-size datagram header prepended to every [`WireMsg`] body on
+/// the real-UDP path.
+///
+/// Layout (little-endian, [`FrameHeader::LEN`] bytes):
+///
+/// ```text
+/// [version u8 = 2][src u32][dst_endpoint u32][dst_incarnation u32]
+/// ```
+///
+/// `src` identifies the sending node (replacing the bare node-id prefix of
+/// wire version 1). `dst_endpoint` is the receiving cluster's endpoint
+/// index — the demux key that lets one shared socket serve thousands of
+/// endpoints — and `dst_incarnation` pins the datagram to a restart
+/// generation so packets in flight across a `restart_endpoint` are
+/// counted as stale instead of being delivered to the wrong incarnation.
+/// Senders that cannot or need not name the receiver use the
+/// [`ANY_ENDPOINT`]/[`ANY_INCARNATION`] wildcards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The sending node.
+    pub src: NodeId,
+    /// Receiver endpoint index within its cluster, or [`ANY_ENDPOINT`].
+    pub dst_endpoint: u32,
+    /// Receiver incarnation the datagram was addressed to, or
+    /// [`ANY_INCARNATION`].
+    pub dst_incarnation: u32,
+}
+
+impl FrameHeader {
+    /// Encoded size in bytes: version + src + dst_endpoint + dst_incarnation.
+    pub const LEN: usize = 1 + 4 + 4 + 4;
+
+    /// A header addressed to whichever endpoint owns the destination
+    /// socket, any incarnation — what per-socket senders stamp.
+    pub fn broadcast(src: NodeId) -> Self {
+        FrameHeader {
+            src,
+            dst_endpoint: ANY_ENDPOINT,
+            dst_incarnation: ANY_INCARNATION,
+        }
+    }
+
+    /// Appends the header to `buf` (not cleared first).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(WIRE_VERSION);
+        put_u32(buf, self.src.0);
+        put_u32(buf, self.dst_endpoint);
+        put_u32(buf, self.dst_incarnation);
+    }
+
+    /// Splits a datagram into its header and the frame-body bytes (one or
+    /// more length-prefixed [`WireMsg`] entries — see [`FrameBody`]).
+    ///
+    /// `None` on a truncated header or an unknown version byte; the body
+    /// is *not* validated here (the runtime decodes it separately so body
+    /// corruption is attributed to the resolved endpoint).
+    pub fn decode(bytes: &[u8]) -> Option<(FrameHeader, &[u8])> {
+        if bytes.len() < Self::LEN || bytes[0] != WIRE_VERSION {
+            return None;
+        }
+        let word = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let header = FrameHeader {
+            src: NodeId(word(1)),
+            dst_endpoint: word(5),
+            dst_incarnation: word(9),
+        };
+        Some((header, &bytes[Self::LEN..]))
+    }
+
+    /// Appends one length-prefixed frame-body entry (`[len u16 LE][bytes]`)
+    /// to `buf`. Coalescing senders call this repeatedly to pack several
+    /// messages for the same destination into one datagram; the receiver
+    /// walks them back out with [`FrameBody`].
+    ///
+    /// Returns `false` (appending nothing) if `msg` exceeds the `u16`
+    /// length prefix — no protocol message comes anywhere near 64 KiB, so
+    /// this is a can't-happen guard, not a working path.
+    pub fn encode_body_entry(buf: &mut Vec<u8>, msg: &[u8]) -> bool {
+        let Ok(len) = u16::try_from(msg.len()) else {
+            return false;
+        };
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(msg);
+        true
+    }
+}
+
+/// Iterator over the length-prefixed [`WireMsg`] entries of a frame body.
+///
+/// A frame body is `([len u16 LE][msg bytes])+`: usually one entry, but a
+/// coalescing sender (the multiplexed runtime) packs every adjacent
+/// same-destination message into one datagram, so per-datagram costs —
+/// syscall share, kernel stack traversal, header bytes — amortize over
+/// the whole batch.
+///
+/// The iterator yields raw entry slices (the caller decodes each with
+/// [`WireMsg::decode`] so a bad entry is counted where it is understood).
+/// A truncated length prefix or an entry running past the buffer stops
+/// iteration and sets [`malformed`](FrameBody::malformed); an empty body
+/// is malformed too (a frame must carry at least one entry).
+#[derive(Debug)]
+pub struct FrameBody<'a> {
+    rest: &'a [u8],
+    malformed: bool,
+}
+
+impl<'a> FrameBody<'a> {
+    /// Starts walking `body` (the second half of [`FrameHeader::decode`]).
+    pub fn new(body: &'a [u8]) -> FrameBody<'a> {
+        FrameBody {
+            rest: body,
+            malformed: body.is_empty(),
+        }
+    }
+
+    /// Whether the walk hit a truncated or overrunning entry (checked
+    /// after iteration; entries yielded before the damage are still good).
+    pub fn malformed(&self) -> bool {
+        self.malformed
+    }
+}
+
+impl<'a> Iterator for FrameBody<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        if self.rest.len() < 2 {
+            self.malformed = true;
+            self.rest = &[];
+            return None;
+        }
+        let len = u16::from_le_bytes([self.rest[0], self.rest[1]]) as usize;
+        if self.rest.len() < 2 + len {
+            self.malformed = true;
+            self.rest = &[];
+            return None;
+        }
+        let entry = &self.rest[2..2 + len];
+        self.rest = &self.rest[2 + len..];
+        Some(entry)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,5 +738,101 @@ mod tests {
         assert_eq!(WireMsg::decode(&msg.to_bytes()), Some(msg));
         let empty = WireMsg::DurableNak(DurableNakMsg { seqs: vec![] });
         assert_eq!(WireMsg::decode(&empty.to_bytes()), Some(empty));
+    }
+
+    #[test]
+    fn frame_header_round_trips_with_body() {
+        let header = FrameHeader {
+            src: NodeId(7),
+            dst_endpoint: 93_417,
+            dst_incarnation: 3,
+        };
+        let body = WireMsg::Fin(FinMsg { total: 11 });
+        let mut frame = Vec::new();
+        header.encode(&mut frame);
+        assert!(FrameHeader::encode_body_entry(&mut frame, &body.to_bytes()));
+
+        let (back, rest) = FrameHeader::decode(&frame).expect("header decodes");
+        assert_eq!(back, header);
+        let mut entries = FrameBody::new(rest);
+        let entry = entries.next().expect("one entry");
+        assert_eq!(WireMsg::decode(entry), Some(body));
+        assert_eq!(entries.next(), None);
+        assert!(!entries.malformed());
+    }
+
+    #[test]
+    fn frame_body_walks_coalesced_entries_in_order() {
+        let msgs = vec![
+            WireMsg::Fin(FinMsg { total: 1 }),
+            WireMsg::Data(DataMsg {
+                seq: 9,
+                published_at: TimePoint::from_nanos(77),
+                retransmission: true,
+            }),
+            WireMsg::Fin(FinMsg { total: 3 }),
+        ];
+        let mut body = Vec::new();
+        for msg in &msgs {
+            assert!(FrameHeader::encode_body_entry(&mut body, &msg.to_bytes()));
+        }
+        let mut entries = FrameBody::new(&body);
+        for msg in &msgs {
+            let entry = entries.next().expect("entry present");
+            assert_eq!(WireMsg::decode(entry).as_ref(), Some(msg));
+        }
+        assert_eq!(entries.next(), None);
+        assert!(!entries.malformed());
+    }
+
+    #[test]
+    fn frame_body_flags_truncation_and_empty_bodies() {
+        // Empty body: a frame must carry at least one entry.
+        assert!(FrameBody::new(&[]).malformed());
+        // Truncated length prefix.
+        let mut one_byte = FrameBody::new(&[5]);
+        assert_eq!(one_byte.next(), None);
+        assert!(one_byte.malformed());
+        // Entry running past the buffer; earlier entries still yield.
+        let mut body = Vec::new();
+        FrameHeader::encode_body_entry(&mut body, &[1, 2, 3]);
+        body.extend_from_slice(&[200, 0, 9]); // claims 200 bytes, has 1
+        let mut entries = FrameBody::new(&body);
+        assert_eq!(entries.next(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(entries.next(), None);
+        assert!(entries.malformed());
+    }
+
+    #[test]
+    fn frame_header_wildcards_round_trip() {
+        let header = FrameHeader::broadcast(NodeId(42));
+        assert_eq!(header.dst_endpoint, ANY_ENDPOINT);
+        assert_eq!(header.dst_incarnation, ANY_INCARNATION);
+        let mut frame = Vec::new();
+        header.encode(&mut frame);
+        assert_eq!(frame.len(), FrameHeader::LEN);
+        let (back, rest) = FrameHeader::decode(&frame).expect("header decodes");
+        assert_eq!(back, header);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn frame_header_rejects_truncation_and_unknown_versions() {
+        let mut frame = Vec::new();
+        FrameHeader::broadcast(NodeId(1)).encode(&mut frame);
+        // Every strict prefix of the header is refused — the demux fields
+        // must be present in full before any routing decision is made.
+        for cut in 0..frame.len() {
+            assert!(FrameHeader::decode(&frame[..cut]).is_none(), "cut={cut}");
+        }
+        // Wire version 1 (the bare node-id prefix) and future versions are
+        // both rejected rather than misparsed.
+        let mut v1 = frame.clone();
+        v1[0] = 1;
+        assert!(FrameHeader::decode(&v1).is_none());
+        let mut v3 = frame.clone();
+        v3[0] = 3;
+        assert!(FrameHeader::decode(&v3).is_none());
+        assert!(FrameHeader::decode(&[]).is_none());
     }
 }

@@ -34,8 +34,9 @@ use adamant_metrics::MetricsRegistry;
 use adamant_proto::{Clock, Input, NodeId, ProtocolCore, Span, TimePoint, TimerWheel};
 
 use crate::clock::MonotonicClock;
-use crate::endpoint::{EndpointReport, RtConfig, Slot, MAX_SLEEP, RECV_BUF_BYTES};
+use crate::endpoint::{EndpointReport, RtConfig, Slot, RECV_BUF_BYTES};
 use crate::error::RtError;
+use crate::poller::Poller;
 
 /// Configuration for a [`Cluster`] (consuming `with_*` builders, same
 /// idiom as [`RtConfig`]).
@@ -86,7 +87,7 @@ impl ClusterConfig {
 /// Handle to one endpoint of a [`Cluster`], returned by
 /// [`add_endpoint`](Cluster::add_endpoint).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EndpointId(usize);
+pub struct EndpointId(pub(crate) usize);
 
 impl EndpointId {
     /// The endpoint's index in add order (also determines its shard).
@@ -118,6 +119,23 @@ pub struct ClusterStats {
     pub backpressure_drops: u64,
     /// Soft I/O errors absorbed (ICMP-unreachable noise).
     pub soft_io_errors: u64,
+    /// Datagrams addressed to a previous incarnation of an endpoint
+    /// (in flight across a `restart_endpoint`); dropped, never delivered.
+    pub stale_drops: u64,
+    /// Datagrams whose demux key named no live endpoint of this runtime
+    /// (multiplexed runtime only; a per-socket runtime's socket *is* its
+    /// demux, so the field stays 0 there).
+    pub unknown_endpoint_drops: u64,
+    /// Datagrams dropped before demux because the frame header was
+    /// truncated or carried an unknown wire version (multiplexed runtime;
+    /// the per-socket runtime attributes these to the receiving
+    /// endpoint's `decode_errors` instead).
+    pub header_drops: u64,
+    /// Worker loop iterations that found no due timer and made no I/O
+    /// progress before parking in the poller. An idle cluster accrues a
+    /// handful of these per window — not thousands — because workers
+    /// sleep in `poll()` until the next timer deadline.
+    pub busy_polls: u64,
 }
 
 impl ClusterStats {
@@ -135,13 +153,38 @@ impl ClusterStats {
         registry.add(key("backpressure_stalls"), self.backpressure_stalls);
         registry.add(key("backpressure_drops"), self.backpressure_drops);
         registry.add(key("soft_io_errors"), self.soft_io_errors);
+        registry.add(key("stale_drops"), self.stale_drops);
+        registry.add(key("unknown_endpoint_drops"), self.unknown_endpoint_drops);
+        registry.add(key("header_drops"), self.header_drops);
+        registry.add(key("busy_polls"), self.busy_polls);
+    }
+}
+
+/// Counters a worker accrues that belong to the shard rather than any one
+/// endpoint: pre-demux drops and idle-loop accounting. Folded into
+/// [`ClusterStats`] by both the per-socket and multiplexed runtimes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct WorkerCounters {
+    /// Iterations that made no progress before parking in the poller.
+    pub busy_polls: u64,
+    /// Truncated/unknown-version frame headers (dropped before demux).
+    pub header_drops: u64,
+    /// Demux keys that named no live endpoint of the shard.
+    pub unknown_endpoint_drops: u64,
+}
+
+impl WorkerCounters {
+    pub(crate) fn absorb(&mut self, other: WorkerCounters) {
+        self.busy_polls += other.busy_polls;
+        self.header_drops += other.header_drops;
+        self.unknown_endpoint_drops += other.unknown_endpoint_drops;
     }
 }
 
 /// Object-safe bridge that keeps a boxed core both steppable and
 /// downcastable (`ProtocolCore` is `Send + 'static`, so every sized core
 /// is `Any`; the explicit methods avoid relying on dyn upcasting).
-trait ClusterCore: Send {
+pub(crate) trait ClusterCore: Send {
     fn as_core(&mut self) -> &mut dyn ProtocolCore;
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
@@ -196,6 +239,9 @@ pub struct Cluster {
     /// survive window boundaries (a shard lost to a panic gets a fresh
     /// wheel). Lazily sized on the first run.
     wheels: Vec<TimerWheel>,
+    /// Shard-level counters accumulated across windows (idle-loop and
+    /// pre-demux accounting that belongs to no single endpoint).
+    worker: WorkerCounters,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -214,6 +260,7 @@ impl Cluster {
             cfg,
             entries: Vec::new(),
             wheels: Vec::new(),
+            worker: WorkerCounters::default(),
         }
     }
 
@@ -412,11 +459,12 @@ impl Cluster {
         });
         for (shard_index, outcome) in joined.into_iter().enumerate() {
             match outcome {
-                Ok((shard, wheel, error)) => {
+                Ok((shard, wheel, counters, error)) => {
                     for (index, entry) in shard {
                         self.entries[index] = Some(entry);
                     }
                     self.wheels[shard_index] = wheel;
+                    self.worker.absorb(counters);
                     if first_error.is_none() {
                         first_error = error;
                     }
@@ -484,7 +532,11 @@ impl Cluster {
             stats.backpressure_stalls += report.backpressure_stalls;
             stats.backpressure_drops += report.backpressure_drops;
             stats.soft_io_errors += report.soft_io_errors;
+            stats.stale_drops += report.stale_datagrams;
         }
+        stats.busy_polls = self.worker.busy_polls;
+        stats.header_drops = self.worker.header_drops;
+        stats.unknown_endpoint_drops = self.worker.unknown_endpoint_drops;
         stats
     }
 
@@ -503,6 +555,7 @@ impl Cluster {
             registry.add(key("unroutable"), report.unroutable);
             registry.add(key("backpressure_stalls"), report.backpressure_stalls);
             registry.add(key("backpressure_drops"), report.backpressure_drops);
+            registry.add(key("stale_datagrams"), report.stale_datagrams);
         }
         self.stats().fold_into(protocol, registry);
     }
@@ -524,7 +577,7 @@ impl Cluster {
 
 /// Deterministic per-endpoint seed: SplitMix64-style stream derivation
 /// from the cluster seed and the add index.
-fn endpoint_seed(base: u64, index: usize) -> u64 {
+pub(crate) fn endpoint_seed(base: u64, index: usize) -> u64 {
     let mut z = base.wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -535,7 +588,7 @@ fn endpoint_seed(base: u64, index: usize) -> u64 {
 /// the index in the high bits, the incarnation (mod 256) in the low byte,
 /// so a restarted endpoint's stale timers are distinguishable when they
 /// pop from the shard's persistent wheel.
-fn wheel_owner(index: usize, incarnation: u32) -> u32 {
+pub(crate) fn wheel_owner(index: usize, incarnation: u32) -> u32 {
     ((index as u32) << 8) | (incarnation & 0xFF)
 }
 
@@ -548,10 +601,23 @@ fn run_shard(
     mut wheel: TimerWheel,
     clock: MonotonicClock,
     deadline: TimePoint,
-) -> (Vec<(usize, Entry)>, TimerWheel, Option<RtError>) {
+) -> (
+    Vec<(usize, Entry)>,
+    TimerWheel,
+    WorkerCounters,
+    Option<RtError>,
+) {
     let mut buf = vec![0u8; RECV_BUF_BYTES];
-    let result = drive_shard(&mut shard, &mut wheel, &mut buf, clock, deadline);
-    (shard, wheel, result.err())
+    let mut counters = WorkerCounters::default();
+    let result = drive_shard(
+        &mut shard,
+        &mut wheel,
+        &mut buf,
+        clock,
+        deadline,
+        &mut counters,
+    );
+    (shard, wheel, counters, result.err())
 }
 
 fn drive_shard(
@@ -560,7 +626,15 @@ fn drive_shard(
     buf: &mut [u8],
     clock: MonotonicClock,
     deadline: TimePoint,
+    counters: &mut WorkerCounters,
 ) -> Result<(), RtError> {
+    // Readiness poller over every socket of the shard: the idle branch
+    // parks here until the next timer deadline or an incoming datagram,
+    // so an idle shard costs ~0 CPU instead of a 1 ms spin loop.
+    let mut poller = Poller::new().map_err(RtError::Io)?;
+    for (_, entry) in shard.iter() {
+        poller.register(&entry.slot.socket).map_err(RtError::Io)?;
+    }
     // Global endpoint index → position in this shard slice, for routing
     // timer fires back to their slot.
     let positions: std::collections::BTreeMap<usize, usize> = shard
@@ -608,13 +682,19 @@ fn drive_shard(
             progressed |= slot.drain_socket(core.as_core(), buf, wheel, owner)?;
         }
         if !progressed {
+            counters.busy_polls += 1;
             let next = wheel
                 .next_deadline()
                 .unwrap_or(TimePoint::MAX)
                 .min(deadline);
-            let wait = Duration::from_nanos(next.saturating_since(clock.now()).as_nanos());
+            let mut wait = Duration::from_nanos(next.saturating_since(clock.now()).as_nanos());
+            if shard.iter().any(|(_, e)| !e.slot.outbox.is_empty()) {
+                // The poller only watches readability; parked sends need
+                // a bounded retry cadence, not a timer-length nap.
+                wait = wait.min(Duration::from_millis(1));
+            }
             if !wait.is_zero() {
-                std::thread::sleep(wait.min(MAX_SLEEP));
+                poller.wait(wait).map_err(RtError::Io)?;
             }
         }
     }
@@ -910,6 +990,32 @@ mod tests {
             registry.counter("udp/node0/datagrams_sent")
                 + registry.counter("udp/node1/datagrams_sent")
         );
+    }
+
+    /// Satellite of the readiness-notification rework: an idle cluster
+    /// must park its workers in `poll()` until the window deadline, not
+    /// spin a short-sleep loop. Before the poller, 4 workers over 300 ms
+    /// accrued ~1200 no-progress iterations; now each worker parks once
+    /// (plus at most a couple of early wakes from epoll's millisecond
+    /// timeout floor). Linux-gated: the portable fallback deliberately
+    /// keeps the legacy capped-sleep cadence.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn idle_cluster_parks_instead_of_busy_spinning() {
+        let mut cluster = Cluster::new(ClusterConfig::new(4).with_seed(1));
+        for node in 0..64u32 {
+            cluster
+                .add_endpoint(NodeId(node), "127.0.0.1:0", Listener)
+                .unwrap();
+        }
+        cluster.run_for(Duration::from_millis(300)).unwrap();
+        let stats = cluster.stats();
+        assert!(
+            stats.busy_polls <= 32,
+            "idle cluster busy-spun: {} no-progress iterations",
+            stats.busy_polls
+        );
+        assert_eq!(stats.datagrams_received, 0);
     }
 
     #[test]

@@ -4,20 +4,27 @@
 //! `SimDriver`: it feeds the same [`Input`]s to a [`ProtocolCore`] and
 //! discharges the same [`Effect`]s, but against a real
 //! [`std::net::UdpSocket`] and the [`MonotonicClock`] instead of the
-//! simulated network and virtual time. Datagrams carry the sender's node
-//! id (4 bytes, little endian) followed by the
+//! simulated network and virtual time. Datagrams carry a
+//! [`FrameHeader`] (wire version 2: source node plus the
+//! endpoint/incarnation demux key) followed by the
 //! [`adamant_proto::wire`] encoding of the message; the declared
 //! `size_bytes`/`cost` of a [`Effect::Send`] are simulation-model inputs
-//! and are ignored here — real packets cost what they cost.
+//! and are ignored here — real packets cost what they cost. A per-socket
+//! endpoint stamps the wildcard demux key (the socket *is* the demux) and
+//! ignores the endpoint field on receive, but still honours the
+//! incarnation field so datagrams addressed to a previous incarnation are
+//! counted as stale rather than delivered.
 //!
 //! Timers live on the shared [`TimerWheel`] — the same hierarchical
 //! calendar queue the simulator schedules through — rather than a
-//! per-endpoint binary heap. The event loop is single-threaded and
-//! blocking: it fires due timers, then waits on the socket until the next
-//! timer deadline (or a short cap), stepping the core for every datagram
-//! that arrives. Run one endpoint per thread, or host many endpoints on a
-//! few threads with [`Cluster`](crate::Cluster); a loopback session is two
-//! endpoints on `127.0.0.1` sharing a clock anchor.
+//! per-endpoint binary heap. The event loop is single-threaded: it fires
+//! due timers, then parks in a [`Poller`] until the socket is readable or
+//! the next timer deadline arrives, stepping the core for every datagram.
+//! Run one endpoint per thread, or host many endpoints on a few threads
+//! with [`Cluster`](crate::Cluster) (one socket per endpoint) or
+//! [`MuxCluster`](crate::MuxCluster) (shared sockets, headers demuxed);
+//! a loopback session is two endpoints on `127.0.0.1` sharing a clock
+//! anchor.
 //!
 //! All construction follows one idiom: consuming `with_*` builders for
 //! pre-bind configuration ([`RtConfig::with_clock`],
@@ -30,21 +37,16 @@ use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::time::Duration;
 
 use adamant_proto::{
-    Clock, Destination, Effect, EnvHost, Input, NodeId, ProtoEvent, ProtocolCore, TimePoint,
-    TimerWheel, WireMsg,
+    Clock, Destination, Effect, EnvHost, FrameBody, FrameHeader, Input, NodeId, ProtoEvent,
+    ProtocolCore, TimePoint, TimerWheel, WireMsg, ANY_INCARNATION,
 };
 
 use crate::clock::MonotonicClock;
 use crate::error::RtError;
+use crate::poller::Poller;
 
 /// Maximum UDP payload the endpoint will receive (a full 64 KiB datagram).
 pub(crate) const RECV_BUF_BYTES: usize = 65_536;
-
-/// Longest idle sleep between socket polls. The socket is nonblocking and
-/// the loop sleeps with [`std::thread::sleep`] (hrtimer precision) rather
-/// than a socket read timeout, whose kernel rounding to scheduler-tick
-/// granularity would stall millisecond protocol timers.
-pub(crate) const MAX_SLEEP: Duration = Duration::from_millis(1);
 
 /// Most datagrams a slot will queue while its socket reports `WouldBlock`
 /// before it starts shedding new ones (counted as
@@ -109,6 +111,9 @@ pub struct EndpointReport {
     pub datagrams_received: u64,
     /// Datagrams that failed to parse (short header or bad wire encoding).
     pub decode_errors: u64,
+    /// Datagrams addressed to a previous incarnation of this endpoint
+    /// (in flight across a restart); dropped, never delivered.
+    pub stale_datagrams: u64,
     /// Send effects addressed to a node with no registered peer address.
     pub unroutable: u64,
     /// Times a send hit `WouldBlock` and the datagram was parked in the
@@ -178,7 +183,7 @@ pub(crate) struct Slot {
     encode_buf: Vec<u8>,
     /// Datagrams waiting out a `WouldBlock`, oldest first. While non-empty,
     /// new sends append here so per-destination ordering is preserved.
-    outbox: VecDeque<(SocketAddr, Vec<u8>)>,
+    pub(crate) outbox: VecDeque<(SocketAddr, Vec<u8>)>,
     pub(crate) started: bool,
     pub(crate) report: EndpointReport,
     /// Whether trace events are recorded (kept so a restart can rebuild
@@ -298,16 +303,40 @@ impl Slot {
         owner: u32,
     ) -> Result<(), RtError> {
         self.report.datagrams_received += 1;
-        let Some((header, body)) = datagram.split_at_checked(4) else {
+        let Some((header, body)) = FrameHeader::decode(datagram) else {
             self.report.decode_errors += 1;
             return Ok(());
         };
-        let src = NodeId(u32::from_le_bytes(header.try_into().unwrap()));
-        let Some(msg) = WireMsg::decode(body) else {
-            self.report.decode_errors += 1;
+        // The socket is this slot's demux, so `dst_endpoint` is ignored —
+        // but a datagram stamped for an earlier incarnation was in flight
+        // across a restart and must not reach the new core.
+        if header.dst_incarnation != ANY_INCARNATION && header.dst_incarnation != self.incarnation {
+            self.report.stale_datagrams += 1;
             return Ok(());
-        };
-        self.step(core, Input::PacketIn { src, msg: &msg }, wheel, owner)
+        }
+        // The body is one or more length-prefixed entries (a coalescing
+        // sender packs several messages per datagram); each entry steps
+        // the core independently, and damage is counted where it is found.
+        let mut entries = FrameBody::new(body);
+        for entry in &mut entries {
+            let Some(msg) = WireMsg::decode(entry) else {
+                self.report.decode_errors += 1;
+                continue;
+            };
+            self.step(
+                core,
+                Input::PacketIn {
+                    src: header.src,
+                    msg: &msg,
+                },
+                wheel,
+                owner,
+            )?;
+        }
+        if entries.malformed() {
+            self.report.decode_errors += 1;
+        }
+        Ok(())
     }
 
     /// Drains everything queued on the socket (until `WouldBlock`),
@@ -361,9 +390,19 @@ impl Slot {
     /// encoded once; group fan-out reuses the same buffer per member.
     fn transmit(&mut self, dst: Destination, msg: &WireMsg) -> Result<(), RtError> {
         self.encode_buf.clear();
-        self.encode_buf
-            .extend_from_slice(&self.node.0.to_le_bytes());
+        // Per-socket endpoints address "whoever owns the destination
+        // socket, any incarnation": the receiver applies its own
+        // incarnation check, and there is no endpoint index to name.
+        FrameHeader::broadcast(self.node).encode(&mut self.encode_buf);
+        // One length-prefixed body entry per datagram here (a per-socket
+        // endpoint sends as it steps, so there is nothing to coalesce with;
+        // the length is patched in after encoding the message in place).
+        let len_at = self.encode_buf.len();
+        self.encode_buf.extend_from_slice(&[0, 0]);
         msg.encode(&mut self.encode_buf);
+        let body_len = self.encode_buf.len() - len_at - 2;
+        debug_assert!(body_len <= usize::from(u16::MAX));
+        self.encode_buf[len_at..len_at + 2].copy_from_slice(&(body_len as u16).to_le_bytes());
         match dst {
             Destination::Node(node) => self.transmit_one(node)?,
             Destination::Group(group) => {
@@ -428,6 +467,7 @@ impl Slot {
 pub struct Endpoint {
     slot: Slot,
     wheel: TimerWheel,
+    poller: Poller,
 }
 
 impl Endpoint {
@@ -443,9 +483,13 @@ impl Endpoint {
         addr: impl ToSocketAddrs,
         cfg: RtConfig,
     ) -> Result<Endpoint, RtError> {
+        let slot = Slot::bind(node, addr, cfg)?;
+        let mut poller = Poller::new().map_err(RtError::Io)?;
+        poller.register(&slot.socket).map_err(RtError::Io)?;
         Ok(Endpoint {
-            slot: Slot::bind(node, addr, cfg)?,
+            slot,
             wheel: TimerWheel::new(),
+            poller,
         })
     }
 
@@ -518,14 +562,22 @@ impl Endpoint {
             let flushed = self.slot.flush_outbox()?;
             let drained = self.slot.drain_socket(core, &mut buf, &mut self.wheel, 0)?;
             if !drained && flushed == 0 {
+                // Nothing to do until the next timer or a datagram: park
+                // in the poller for the full gap (zero CPU while idle)
+                // instead of spinning a capped sleep loop.
                 let next = self
                     .wheel
                     .next_deadline()
                     .unwrap_or(TimePoint::MAX)
                     .min(deadline);
-                let wait = Duration::from_nanos(next.saturating_since(clock.now()).as_nanos());
+                let mut wait = Duration::from_nanos(next.saturating_since(clock.now()).as_nanos());
+                if !self.slot.outbox.is_empty() {
+                    // The poller only watches readability; parked sends
+                    // need a bounded retry cadence, not a timer-length nap.
+                    wait = wait.min(Duration::from_millis(1));
+                }
                 if !wait.is_zero() {
-                    std::thread::sleep(wait.min(MAX_SLEEP));
+                    self.poller.wait(wait).map_err(RtError::Io)?;
                 }
             }
         }
@@ -651,12 +703,52 @@ mod tests {
         let mut ep = Endpoint::bind(NodeId(0), "127.0.0.1:0", RtConfig::new(4)).unwrap();
         let addr = ep.local_addr().unwrap();
         let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
-        probe.send_to(&[1, 2], addr).unwrap(); // short header
-        probe.send_to(&[1, 2, 3, 4, 250, 0], addr).unwrap(); // bad wire kind
+        // Truncated header: version byte present, demux fields cut off.
+        probe.send_to(&[2, 1], addr).unwrap();
+        // Valid header, bad wire kind in the body.
+        let mut bad_body = Vec::new();
+        FrameHeader::broadcast(NodeId(9)).encode(&mut bad_body);
+        bad_body.push(250);
+        probe.send_to(&bad_body, addr).unwrap();
+        // Wire version 1 framing (bare node-id prefix) is no longer spoken.
+        probe.send_to(&[1, 0, 0, 0, 250, 0], addr).unwrap();
+        let mut core = Listener;
+        ep.run_for(&mut core, Duration::from_millis(30)).unwrap();
+        assert_eq!(ep.report().datagrams_received, 3);
+        assert_eq!(ep.report().decode_errors, 3);
+        assert!(ep.report().delivered.is_empty());
+    }
+
+    #[test]
+    fn cross_incarnation_datagrams_are_counted_stale() {
+        let mut ep = Endpoint::bind(NodeId(0), "127.0.0.1:0", RtConfig::new(5)).unwrap();
+        let addr = ep.local_addr().unwrap();
+        let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let msg = WireMsg::Data(adamant_proto::wire::DataMsg {
+            seq: 1,
+            published_at: TimePoint::from_nanos(0),
+            retransmission: false,
+        });
+        // Stamped for incarnation 3; this endpoint is incarnation 0.
+        let mut stale = Vec::new();
+        FrameHeader {
+            src: NodeId(9),
+            dst_endpoint: adamant_proto::ANY_ENDPOINT,
+            dst_incarnation: 3,
+        }
+        .encode(&mut stale);
+        FrameHeader::encode_body_entry(&mut stale, &msg.to_bytes());
+        probe.send_to(&stale, addr).unwrap();
+        // Wildcard incarnation still delivers.
+        let mut fresh = Vec::new();
+        FrameHeader::broadcast(NodeId(9)).encode(&mut fresh);
+        FrameHeader::encode_body_entry(&mut fresh, &msg.to_bytes());
+        probe.send_to(&fresh, addr).unwrap();
         let mut core = Listener;
         ep.run_for(&mut core, Duration::from_millis(30)).unwrap();
         assert_eq!(ep.report().datagrams_received, 2);
-        assert_eq!(ep.report().decode_errors, 2);
-        assert!(ep.report().delivered.is_empty());
+        assert_eq!(ep.report().stale_datagrams, 1);
+        assert_eq!(ep.report().decode_errors, 0);
+        assert_eq!(ep.report().delivered.len(), 1);
     }
 }

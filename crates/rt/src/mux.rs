@@ -1,0 +1,1324 @@
+//! The multiplexed runtime: thousands of endpoints over a handful of
+//! shared sockets, driven by readiness notification and batched syscalls.
+//!
+//! [`MuxCluster`] is the scale-oriented sibling of
+//! [`Cluster`](crate::Cluster). Where the per-socket cluster gives every
+//! endpoint its own UDP socket (N endpoints → N file descriptors → N
+//! `recv_from` calls per drain pass), a mux cluster gives each worker a
+//! small fixed pool of shared sockets and multiplexes the whole shard
+//! over them:
+//!
+//! * **Demux key, not socket identity.** Every datagram carries a
+//!   [`FrameHeader`] naming the destination endpoint index and
+//!   incarnation. The worker routes each received datagram to its
+//!   endpoint by that key; unknown keys, truncated headers, and
+//!   cross-incarnation strays are counted in [`ClusterStats`] as typed
+//!   drops — never a panic, never a misdelivery.
+//! * **Batched syscalls.** Each worker's per-tick sends coalesce into one
+//!   outbox per socket and flush via `sendmmsg`; receives drain via
+//!   `recvmmsg` ([`crate::poller`] carries the portable single-syscall
+//!   fallbacks).
+//! * **Readiness, not spinning.** An idle worker parks in `epoll` until
+//!   the next [`TimerWheel`] deadline or an incoming datagram, so idle
+//!   CPU is ~0 regardless of endpoint count.
+//!
+//! The file-descriptor budget is `workers × sockets_per_worker` no matter
+//! how many endpoints are added, which is what makes a 100k-endpoint
+//! process (the bench's `cluster_endpoints_scaling` phase) possible at
+//! all — the per-socket design would need 100k descriptors.
+//!
+//! Endpoint `i` lives on shard `i % workers` (same deal-out rule as
+//! [`Cluster`](crate::Cluster)) and is pinned to socket
+//! `(i / workers) % sockets_per_worker` of that worker's pool, so shard
+//! layout remains a pure function of add order. Routing is by
+//! [`NodeId`] → `(socket address, endpoint index, incarnation)`; a
+//! [`restart_endpoint`](MuxCluster::restart_endpoint) bumps the
+//! incarnation **and rewrites every peer's route entry**, so only
+//! datagrams already in flight at the restart instant are dropped as
+//! stale — exactly the durable-delivery semantics the per-socket runtime
+//! has.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::Duration;
+
+use adamant_metrics::MetricsRegistry;
+use adamant_proto::{
+    Clock, Destination, Effect, EnvHost, FrameBody, FrameHeader, Input, NodeId, ProtocolCore, Span,
+    TimePoint, TimerWheel, WireMsg, ANY_ENDPOINT, ANY_INCARNATION,
+};
+
+use crate::clock::MonotonicClock;
+use crate::cluster::{
+    endpoint_seed, wheel_owner, ClusterCore, ClusterStats, EndpointId, WorkerCounters,
+};
+use crate::endpoint::{EndpointReport, OUTBOX_MAX};
+use crate::error::RtError;
+use crate::poller::{set_socket_buffers, soft_io_error, Poller, RecvBatch, SendBatch};
+
+/// Kernel buffer size requested per shared socket: large enough to absorb
+/// a full burst wave from every endpoint multiplexed onto the socket
+/// between two drain passes (the kernel clamps to `net.core.rmem_max`).
+const SOCKET_BUF_BYTES: usize = 4 << 20;
+
+/// Configuration for a [`MuxCluster`] (consuming `with_*` builders, same
+/// idiom as [`ClusterConfig`](crate::ClusterConfig)).
+#[derive(Debug, Clone, Copy)]
+pub struct MuxConfig {
+    /// Worker threads to shard endpoints across (at least 1).
+    pub workers: usize,
+    /// Shared UDP sockets per worker (at least 1). The process-wide
+    /// descriptor budget is `workers × sockets_per_worker`, independent
+    /// of endpoint count. A few sockets per worker spreads kernel socket
+    /// buffers without inflating the poll set.
+    pub sockets_per_worker: usize,
+    /// Datagrams per `recvmmsg`/`sendmmsg` batch (at least 1). Larger
+    /// batches amortise syscall cost at the price of batch-buffer memory
+    /// (`batch_size × 64 KiB` receive buffer per worker).
+    pub batch_size: usize,
+    /// Base entropy seed; endpoint `i` derives its stream from
+    /// `(base, i)`, exactly as in the per-socket cluster.
+    pub seed: u64,
+    /// Whether cores' trace events are recorded in their reports.
+    pub observed: bool,
+    /// The wall clock shared by every endpoint of the cluster.
+    pub clock: MonotonicClock,
+}
+
+impl MuxConfig {
+    /// A config for `workers` threads with 4 sockets per worker, batch
+    /// size 32, seed 0, tracing on, and a clock anchored now.
+    pub fn new(workers: usize) -> Self {
+        MuxConfig {
+            workers: workers.max(1),
+            sockets_per_worker: 4,
+            batch_size: 32,
+            seed: 0,
+            observed: true,
+            clock: MonotonicClock::start(),
+        }
+    }
+
+    /// Replaces the per-worker socket pool size (builder-style).
+    pub fn with_sockets_per_worker(mut self, sockets: usize) -> Self {
+        self.sockets_per_worker = sockets.max(1);
+        self
+    }
+
+    /// Replaces the syscall batch size (builder-style).
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Replaces the base entropy seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets whether trace events are recorded (builder-style).
+    pub fn with_observed(mut self, observed: bool) -> Self {
+        self.observed = observed;
+        self
+    }
+
+    /// Replaces the shared clock (builder-style).
+    pub fn with_clock(mut self, clock: MonotonicClock) -> Self {
+        self.clock = clock;
+        self
+    }
+}
+
+/// Where an endpoint sends datagrams for one peer node: the peer's shared
+/// socket plus the demux key its worker routes by.
+#[derive(Debug, Clone, Copy)]
+struct MuxRoute {
+    addr: SocketAddr,
+    endpoint: u32,
+    incarnation: u32,
+}
+
+/// One endpoint of the mux cluster. Unlike the per-socket [`Slot`]
+/// (socket + core), a mux entry owns no socket — it is pinned to one of
+/// its worker's shared sockets by index.
+struct MuxEntry {
+    node: NodeId,
+    host: EnvHost,
+    core: Box<dyn ClusterCore>,
+    routes: HashMap<NodeId, MuxRoute>,
+    report: EndpointReport,
+    started: bool,
+    observed: bool,
+    incarnation: u32,
+    wheel_owner: u32,
+    /// Index into the worker's socket pool this endpoint sends from (and
+    /// whose bound address peers send to).
+    socket: usize,
+}
+
+/// A datagram coalesced into a worker's per-socket outbox, tagged with
+/// the shard-local position of the sending endpoint for stat attribution.
+/// The demux key is kept alongside the encoded frame so later messages
+/// for the same `(addr, key)` can append body entries to this datagram
+/// instead of opening a new one.
+struct OutMsg {
+    addr: SocketAddr,
+    endpoint: u32,
+    incarnation: u32,
+    buf: Vec<u8>,
+    from: usize,
+}
+
+/// Coalescing cap per datagram: adjacent same-destination messages pack
+/// into one frame until it reaches this size — an Ethernet-safe payload,
+/// so coalesced frames survive off-loopback paths without fragmentation.
+const COALESCE_BYTES: usize = 1400;
+
+/// The multiplexed sharded runtime (see the module docs for the
+/// architecture).
+///
+/// ```no_run
+/// use adamant_rt::{MuxCluster, MuxConfig, RtError};
+/// # use adamant_proto::{Env, Input, NodeId, ProtocolCore};
+/// # #[derive(Debug)] struct MyCore;
+/// # impl ProtocolCore for MyCore {
+/// #     fn step(&mut self, _input: Input<'_>, _env: &mut Env<'_>) {}
+/// # }
+/// # fn main() -> Result<(), RtError> {
+/// let cfg = MuxConfig::new(4)
+///     .with_sockets_per_worker(4)
+///     .with_batch_size(32)
+///     .with_seed(42);
+/// let mut cluster = MuxCluster::bind("127.0.0.1:0", cfg)?;
+/// for node in 0..100_000 {
+///     cluster.add_endpoint(NodeId(node), MyCore)?;
+/// }
+/// cluster.connect_full_mesh()?;
+/// cluster.run_for(std::time::Duration::from_secs(1))?;
+/// let stats = cluster.stats();
+/// # let _ = stats;
+/// # Ok(())
+/// # }
+/// ```
+pub struct MuxCluster {
+    cfg: MuxConfig,
+    /// `None` only for endpoints whose shard was lost to a worker panic.
+    entries: Vec<Option<MuxEntry>>,
+    /// Each worker's socket pool (emptied for a shard lost to a panic —
+    /// the sockets died with the worker thread).
+    sockets: Vec<Vec<UdpSocket>>,
+    /// Bound address of every socket, `addrs[shard][socket]`.
+    addrs: Vec<Vec<SocketAddr>>,
+    /// One persistent timer wheel per shard, as in the per-socket cluster.
+    wheels: Vec<TimerWheel>,
+    worker: WorkerCounters,
+}
+
+impl std::fmt::Debug for MuxCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxCluster")
+            .field("cfg", &self.cfg)
+            .field("endpoints", &self.entries.len())
+            .finish()
+    }
+}
+
+impl MuxCluster {
+    /// Binds the shared socket pools (`workers × sockets_per_worker`
+    /// sockets at `addr`, typically `"127.0.0.1:0"`) and returns an empty
+    /// cluster; add endpoints, wire them, then run.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Bind`] when any socket cannot be bound,
+    /// [`RtError::Addr`] when a bound address cannot be read.
+    pub fn bind(addr: impl ToSocketAddrs + Copy, cfg: MuxConfig) -> Result<MuxCluster, RtError> {
+        let workers = cfg.workers.max(1);
+        let per_worker = cfg.sockets_per_worker.max(1);
+        let mut sockets = Vec::with_capacity(workers);
+        let mut addrs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let mut pool = Vec::with_capacity(per_worker);
+            let mut pool_addrs = Vec::with_capacity(per_worker);
+            for _ in 0..per_worker {
+                let sock = UdpSocket::bind(addr).map_err(RtError::Bind)?;
+                sock.set_nonblocking(true).map_err(RtError::Bind)?;
+                set_socket_buffers(&sock, SOCKET_BUF_BYTES).map_err(RtError::Bind)?;
+                pool_addrs.push(sock.local_addr().map_err(RtError::Addr)?);
+                pool.push(sock);
+            }
+            sockets.push(pool);
+            addrs.push(pool_addrs);
+        }
+        Ok(MuxCluster {
+            cfg,
+            entries: Vec::new(),
+            sockets,
+            addrs,
+            wheels: Vec::new(),
+            worker: WorkerCounters::default(),
+        })
+    }
+
+    /// Installs `core` as endpoint `node` on the next index. No socket is
+    /// bound: the endpoint shares its shard's pool, and peers reach it by
+    /// demux key at [`endpoint_addr`](MuxCluster::endpoint_addr).
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::ShardPanicked`] when the endpoint's shard lost its
+    /// sockets to an earlier worker panic.
+    pub fn add_endpoint<C: ProtocolCore>(
+        &mut self,
+        node: NodeId,
+        core: C,
+    ) -> Result<EndpointId, RtError> {
+        let index = self.entries.len();
+        let shard = index % self.cfg.workers.max(1);
+        if self.sockets[shard].is_empty() {
+            return Err(RtError::ShardPanicked { shard });
+        }
+        let socket = (index / self.cfg.workers.max(1)) % self.sockets[shard].len();
+        self.entries.push(Some(MuxEntry {
+            node,
+            host: EnvHost::new(node, endpoint_seed(self.cfg.seed, index))
+                .with_observed(self.cfg.observed),
+            core: Box::new(core),
+            routes: HashMap::new(),
+            report: EndpointReport::default(),
+            started: false,
+            observed: self.cfg.observed,
+            incarnation: 0,
+            wheel_owner: wheel_owner(index, 0),
+            socket,
+        }));
+        Ok(EndpointId(index))
+    }
+
+    /// Restarts endpoint `id` as a fresh incarnation running `core`, with
+    /// the same semantics as the per-socket cluster — plus one mux-specific
+    /// step: every live peer's route to this node is re-stamped with the
+    /// new incarnation, so only datagrams already in flight at the restart
+    /// instant are dropped as stale. Call between
+    /// [`run_for`](MuxCluster::run_for) windows.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::UnknownEndpoint`] for a dead or out-of-range id.
+    pub fn restart_endpoint<C: ProtocolCore>(
+        &mut self,
+        id: EndpointId,
+        core: C,
+    ) -> Result<(), RtError> {
+        let base = self.cfg.seed;
+        let entry = self.entry_mut(id)?;
+        let node = entry.node;
+        entry.incarnation = entry.incarnation.wrapping_add(1);
+        entry.wheel_owner = wheel_owner(id.0, entry.incarnation);
+        entry.started = false;
+        let incarnation = entry.incarnation;
+        // Same derivation as Cluster::restart_endpoint: a distinct stream
+        // per (cluster seed, endpoint, incarnation).
+        let seed = endpoint_seed(
+            base.wrapping_add(u64::from(incarnation).wrapping_mul(0xA076_1D64_78BD_642F)),
+            id.0,
+        );
+        let groups = std::mem::take(entry.host.groups_mut());
+        entry.host = EnvHost::new(node, seed).with_observed(entry.observed);
+        *entry.host.groups_mut() = groups;
+        entry.core = Box::new(core);
+        // Re-stamp every peer's route so post-restart sends reach the new
+        // incarnation instead of being dropped as stale.
+        for cell in self.entries.iter_mut().flatten() {
+            if let Some(route) = cell.routes.get_mut(&node) {
+                if route.endpoint == id.0 as u32 {
+                    route.incarnation = incarnation;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// How many times endpoint `id` has been restarted.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::UnknownEndpoint`] for a dead or out-of-range id.
+    pub fn incarnation(&self, id: EndpointId) -> Result<u32, RtError> {
+        Ok(self.entry(id)?.incarnation)
+    }
+
+    /// Endpoints added so far (including any lost to a shard panic).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no endpoints have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The worker shard `id` runs on: `index % workers`.
+    pub fn shard_of(&self, id: EndpointId) -> usize {
+        id.0 % self.cfg.workers.max(1)
+    }
+
+    /// The shared-socket address peers should send endpoint `id`'s
+    /// datagrams to (together with its demux key — see
+    /// [`add_external_peer`](MuxCluster::add_external_peer) for the
+    /// sender side).
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::UnknownEndpoint`] for a dead or out-of-range id.
+    pub fn endpoint_addr(&self, id: EndpointId) -> Result<SocketAddr, RtError> {
+        let entry = self.entry(id)?;
+        Ok(self.addrs[id.0 % self.cfg.workers.max(1)][entry.socket])
+    }
+
+    /// The protocol node id of endpoint `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::UnknownEndpoint`] for a dead or out-of-range id.
+    pub fn node(&self, id: EndpointId) -> Result<NodeId, RtError> {
+        Ok(self.entry(id)?.node)
+    }
+
+    /// Routes endpoint `id`'s sends for `peer`'s node to `peer`'s shared
+    /// socket, stamped with `peer`'s demux key (`id == peer` gives an
+    /// endpoint a route to itself, which self-echo benchmarks use).
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::UnknownEndpoint`] when either id is dead or out of range.
+    pub fn add_peer(&mut self, id: EndpointId, peer: EndpointId) -> Result<(), RtError> {
+        let peer_entry = self.entry(peer)?;
+        let route = MuxRoute {
+            addr: self.addrs[peer.0 % self.cfg.workers.max(1)][peer_entry.socket],
+            endpoint: peer.0 as u32,
+            incarnation: peer_entry.incarnation,
+        };
+        let peer_node = peer_entry.node;
+        self.entry_mut(id)?.routes.insert(peer_node, route);
+        Ok(())
+    }
+
+    /// Routes endpoint `id`'s sends for `peer` to an address outside this
+    /// cluster (a per-socket [`Endpoint`](crate::Endpoint), say), stamped
+    /// with the wildcard demux key — the receiving socket is its own
+    /// demux.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::UnknownEndpoint`] for a dead or out-of-range id.
+    pub fn add_external_peer(
+        &mut self,
+        id: EndpointId,
+        peer: NodeId,
+        addr: SocketAddr,
+    ) -> Result<(), RtError> {
+        self.entry_mut(id)?.routes.insert(
+            peer,
+            MuxRoute {
+                addr,
+                endpoint: ANY_ENDPOINT,
+                incarnation: ANY_INCARNATION,
+            },
+        );
+        Ok(())
+    }
+
+    /// Replaces endpoint `id`'s group-membership table (index = group id).
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::UnknownEndpoint`] for a dead or out-of-range id.
+    pub fn set_groups(&mut self, id: EndpointId, groups: Vec<Vec<NodeId>>) -> Result<(), RtError> {
+        *self.entry_mut(id)?.host.groups_mut() = groups;
+        Ok(())
+    }
+
+    /// Wires every endpoint to every other (routes both ways) and installs
+    /// group 0 containing all nodes on each — the all-to-all session shape
+    /// the paper's scenarios use.
+    pub fn connect_full_mesh(&mut self) -> Result<(), RtError> {
+        let workers = self.cfg.workers.max(1);
+        let mut routes = Vec::with_capacity(self.entries.len());
+        let mut all_nodes = Vec::with_capacity(self.entries.len());
+        for (index, cell) in self.entries.iter().enumerate() {
+            if let Some(entry) = cell {
+                routes.push((
+                    entry.node,
+                    MuxRoute {
+                        addr: self.addrs[index % workers][entry.socket],
+                        endpoint: index as u32,
+                        incarnation: entry.incarnation,
+                    },
+                ));
+                all_nodes.push(entry.node);
+            }
+        }
+        for cell in self.entries.iter_mut().flatten() {
+            for &(node, route) in &routes {
+                if node != cell.node {
+                    cell.routes.insert(node, route);
+                }
+            }
+            *cell.host.groups_mut() = vec![all_nodes.clone()];
+        }
+        Ok(())
+    }
+
+    /// Runs every endpoint's event loop for `wall` of real time across the
+    /// configured worker threads, exactly as
+    /// [`Cluster::run_for`](crate::Cluster::run_for) does — but each
+    /// worker multiplexes its whole shard over its socket pool with
+    /// batched syscalls instead of visiting per-endpoint sockets.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::ShardPanicked`] when a worker thread panicked (that
+    /// shard's endpoints and sockets are lost); otherwise the first hard
+    /// socket error any worker hit.
+    pub fn run_for(&mut self, wall: Duration) -> Result<(), RtError> {
+        if self.entries.is_empty() {
+            return Ok(());
+        }
+        let workers = self.cfg.workers.max(1);
+        let batch = self.cfg.batch_size.max(1);
+        let clock = self.cfg.clock;
+        let deadline = clock.now() + Span::from_nanos(wall.as_nanos() as u64);
+
+        let mut shards: Vec<Vec<(usize, MuxEntry)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (index, cell) in self.entries.iter_mut().enumerate() {
+            if let Some(entry) = cell.take() {
+                shards[index % workers].push((index, entry));
+            }
+        }
+        self.wheels.resize_with(workers, TimerWheel::new);
+        let wheels: Vec<TimerWheel> = self.wheels.drain(..).collect();
+        let socket_pools: Vec<Vec<UdpSocket>> = std::mem::take(&mut self.sockets);
+
+        let mut first_error: Option<RtError> = None;
+        let mut panicked: Option<usize> = None;
+        self.wheels.resize_with(workers, TimerWheel::new);
+        self.sockets = (0..workers).map(|_| Vec::new()).collect();
+        let joined: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .zip(wheels)
+                .zip(socket_pools)
+                .map(|((shard, wheel), pool)| {
+                    scope.spawn(move || {
+                        run_mux_shard(shard, pool, wheel, clock, deadline, workers, batch)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+        for (shard_index, outcome) in joined.into_iter().enumerate() {
+            match outcome {
+                Ok((shard, pool, wheel, counters, error)) => {
+                    for (index, entry) in shard {
+                        self.entries[index] = Some(entry);
+                    }
+                    self.sockets[shard_index] = pool;
+                    self.wheels[shard_index] = wheel;
+                    self.worker.absorb(counters);
+                    if first_error.is_none() {
+                        first_error = error;
+                    }
+                }
+                // The panicked shard's sockets died with the thread; its
+                // endpoints stay `None` and its socket pool stays empty.
+                Err(_) => panicked = panicked.or(Some(shard_index)),
+            }
+        }
+        if let Some(shard) = panicked {
+            return Err(RtError::ShardPanicked { shard });
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The report of endpoint `id`, if it is still live.
+    pub fn report(&self, id: EndpointId) -> Option<&EndpointReport> {
+        self.entries.get(id.0)?.as_ref().map(|e| &e.report)
+    }
+
+    /// Iterates `(id, node, report)` over every live endpoint, in add
+    /// order.
+    pub fn reports(&self) -> impl Iterator<Item = (EndpointId, NodeId, &EndpointReport)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, cell)| cell.as_ref().map(|e| (EndpointId(i), e.node, &e.report)))
+    }
+
+    /// Downcasts endpoint `id`'s core back to its concrete type for
+    /// post-run inspection (`None` on a dead id or type mismatch).
+    pub fn core<C: ProtocolCore>(&self, id: EndpointId) -> Option<&C> {
+        self.entries
+            .get(id.0)?
+            .as_ref()?
+            .core
+            .as_any()
+            .downcast_ref::<C>()
+    }
+
+    /// Mutable variant of [`core`](MuxCluster::core).
+    pub fn core_mut<C: ProtocolCore>(&mut self, id: EndpointId) -> Option<&mut C> {
+        self.entries
+            .get_mut(id.0)?
+            .as_mut()?
+            .core
+            .as_any_mut()
+            .downcast_mut::<C>()
+    }
+
+    /// Aggregate counters across every live endpoint plus the workers'
+    /// shard-level drop/idle accounting.
+    pub fn stats(&self) -> ClusterStats {
+        let mut stats = ClusterStats::default();
+        for (_, _, report) in self.reports() {
+            stats.endpoints += 1;
+            stats.delivered += report.delivered.len() as u64;
+            stats.recovered += report.recovered_count();
+            stats.datagrams_sent += report.datagrams_sent;
+            stats.datagrams_received += report.datagrams_received;
+            stats.decode_errors += report.decode_errors;
+            stats.unroutable += report.unroutable;
+            stats.backpressure_stalls += report.backpressure_stalls;
+            stats.backpressure_drops += report.backpressure_drops;
+            stats.soft_io_errors += report.soft_io_errors;
+            stats.stale_drops += report.stale_datagrams;
+        }
+        stats.busy_polls = self.worker.busy_polls;
+        stats.header_drops = self.worker.header_drops;
+        stats.unknown_endpoint_drops = self.worker.unknown_endpoint_drops;
+        stats
+    }
+
+    /// Folds per-endpoint counters (`<protocol>/node<i>/<name>`) and the
+    /// [`stats`](MuxCluster::stats) aggregates (`<protocol>/cluster/<name>`)
+    /// into `registry`, matching [`Cluster::fold_metrics`](crate::Cluster::fold_metrics).
+    pub fn fold_metrics(&self, protocol: &str, registry: &mut MetricsRegistry) {
+        for (_, node, report) in self.reports() {
+            let key = |name: &str| MetricsRegistry::node_key(protocol, node, name);
+            registry.add(key("delivered"), report.delivered.len() as u64);
+            registry.add(key("recovered"), report.recovered_count());
+            registry.add(key("datagrams_sent"), report.datagrams_sent);
+            registry.add(key("datagrams_received"), report.datagrams_received);
+            registry.add(key("decode_errors"), report.decode_errors);
+            registry.add(key("unroutable"), report.unroutable);
+            registry.add(key("backpressure_stalls"), report.backpressure_stalls);
+            registry.add(key("backpressure_drops"), report.backpressure_drops);
+            registry.add(key("stale_datagrams"), report.stale_datagrams);
+        }
+        self.stats().fold_into(protocol, registry);
+    }
+
+    fn entry(&self, id: EndpointId) -> Result<&MuxEntry, RtError> {
+        self.entries
+            .get(id.0)
+            .and_then(Option::as_ref)
+            .ok_or(RtError::UnknownEndpoint { index: id.0 })
+    }
+
+    fn entry_mut(&mut self, id: EndpointId) -> Result<&mut MuxEntry, RtError> {
+        self.entries
+            .get_mut(id.0)
+            .and_then(Option::as_mut)
+            .ok_or(RtError::UnknownEndpoint { index: id.0 })
+    }
+}
+
+/// Scratch buffers a worker reuses across every step of a window.
+struct Scratch {
+    effects: Vec<Effect>,
+    body: Vec<u8>,
+    /// Retired datagram buffers, recycled to keep the hot path
+    /// allocation-free once warmed up.
+    pool: Vec<Vec<u8>>,
+}
+
+/// Everything a worker hands back when its window ends: the shard's
+/// entries, its socket pool, the timer wheel, the worker counters, and
+/// the first hard error (if any).
+type ShardRun = (
+    Vec<(usize, MuxEntry)>,
+    Vec<UdpSocket>,
+    TimerWheel,
+    WorkerCounters,
+    Option<RtError>,
+);
+
+#[allow(clippy::too_many_arguments)]
+fn run_mux_shard(
+    mut shard: Vec<(usize, MuxEntry)>,
+    sockets: Vec<UdpSocket>,
+    mut wheel: TimerWheel,
+    clock: MonotonicClock,
+    deadline: TimePoint,
+    workers: usize,
+    batch: usize,
+) -> ShardRun {
+    let mut counters = WorkerCounters::default();
+    let result = drive_mux_shard(
+        &mut shard,
+        &sockets,
+        &mut wheel,
+        clock,
+        deadline,
+        workers,
+        batch,
+        &mut counters,
+    );
+    (shard, sockets, wheel, counters, result.err())
+}
+
+/// Maps a global endpoint index to its position in this shard's entry
+/// slice: entries are dealt out strided (`shard_index`, `shard_index +
+/// workers`, …), so position is `global / workers` — verified against the
+/// stored index so a stale or hostile key can never alias another entry.
+fn local_pos(global: usize, shard: &[(usize, MuxEntry)], workers: usize) -> Option<usize> {
+    let pos = global / workers;
+    match shard.get(pos) {
+        Some((index, _)) if *index == global => Some(pos),
+        _ => None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_mux_shard(
+    shard: &mut [(usize, MuxEntry)],
+    sockets: &[UdpSocket],
+    wheel: &mut TimerWheel,
+    clock: MonotonicClock,
+    deadline: TimePoint,
+    workers: usize,
+    batch: usize,
+    counters: &mut WorkerCounters,
+) -> Result<(), RtError> {
+    let mut poller = Poller::new().map_err(RtError::Io)?;
+    for sock in sockets {
+        poller.register(sock).map_err(RtError::Io)?;
+    }
+    let mut recv = RecvBatch::new(batch);
+    let mut send = SendBatch::new(batch);
+    let mut outboxes: Vec<VecDeque<OutMsg>> = (0..sockets.len()).map(|_| VecDeque::new()).collect();
+    let mut scratch = Scratch {
+        effects: Vec::new(),
+        body: Vec::new(),
+        pool: Vec::new(),
+    };
+
+    for (pos, (_, entry)) in shard.iter_mut().enumerate() {
+        if !entry.started {
+            entry.started = true;
+            let now = clock.now();
+            step_entry(
+                entry,
+                pos,
+                Input::Start,
+                now,
+                wheel,
+                &mut outboxes,
+                &mut scratch,
+            );
+        }
+    }
+    loop {
+        // Fire everything due across the shard, in global deadline order.
+        while let Some(fire) = wheel.pop_due(clock.now()) {
+            let index = (fire.owner >> 8) as usize;
+            let Some(pos) = local_pos(index, shard, workers) else {
+                continue;
+            };
+            if fire.owner != shard[pos].1.wheel_owner {
+                continue; // armed by a dead incarnation: drop as stale
+            }
+            let now = clock.now();
+            step_entry(
+                &mut shard[pos].1,
+                pos,
+                Input::TimerFired {
+                    token: fire.token,
+                    tag: fire.tag,
+                },
+                now,
+                wheel,
+                &mut outboxes,
+                &mut scratch,
+            );
+        }
+        if clock.now() >= deadline {
+            break;
+        }
+        let mut progressed = false;
+        // Flush each socket's coalesced outbox in send batches.
+        for (si, sock) in sockets.iter().enumerate() {
+            progressed |=
+                flush_socket(sock, &mut outboxes[si], &mut send, shard, &mut scratch.pool)? > 0;
+        }
+        // Drain each socket in receive batches, demuxing as we go.
+        for sock in sockets {
+            loop {
+                let n = recv.recv(sock).map_err(RtError::Recv)?;
+                if n == 0 {
+                    break;
+                }
+                progressed = true;
+                let now = clock.now();
+                demux_batch(
+                    &recv,
+                    shard,
+                    workers,
+                    now,
+                    wheel,
+                    &mut outboxes,
+                    &mut scratch,
+                    counters,
+                );
+                if n < batch {
+                    break; // short batch: the queue is (momentarily) dry
+                }
+            }
+        }
+        if recv.soft_errors > 0 {
+            // ICMP noise read off a shared socket belongs to no single
+            // endpoint; fold it into the first live entry's report so the
+            // aggregate stat still carries it.
+            if let Some((_, entry)) = shard.first_mut() {
+                entry.report.soft_io_errors += recv.soft_errors;
+            }
+            recv.soft_errors = 0;
+        }
+        if !progressed {
+            counters.busy_polls += 1;
+            let next = wheel
+                .next_deadline()
+                .unwrap_or(TimePoint::MAX)
+                .min(deadline);
+            let mut wait = Duration::from_nanos(next.saturating_since(clock.now()).as_nanos());
+            if outboxes.iter().any(|o| !o.is_empty()) {
+                // The poller only watches readability; parked sends need
+                // a bounded retry cadence, not a timer-length nap.
+                wait = wait.min(Duration::from_millis(1));
+            }
+            if !wait.is_zero() {
+                poller.wait(wait).map_err(RtError::Io)?;
+            }
+        }
+    }
+    for (si, sock) in sockets.iter().enumerate() {
+        flush_socket(sock, &mut outboxes[si], &mut send, shard, &mut scratch.pool)?;
+    }
+    Ok(())
+}
+
+/// Steps one entry's core and discharges its effects: sends are framed
+/// with the destination's demux key and coalesced into the worker's
+/// per-socket outbox; timers go to the shard wheel; deliveries and traces
+/// to the entry's report.
+fn step_entry(
+    entry: &mut MuxEntry,
+    pos: usize,
+    input: Input<'_>,
+    now: TimePoint,
+    wheel: &mut TimerWheel,
+    outboxes: &mut [VecDeque<OutMsg>],
+    scratch: &mut Scratch,
+) {
+    let MuxEntry {
+        node,
+        host,
+        core,
+        routes,
+        report,
+        wheel_owner: owner,
+        socket,
+        ..
+    } = entry;
+    let mut effects = std::mem::take(&mut scratch.effects);
+    host.step_into(core.as_core(), now, input, &mut effects);
+    for effect in effects.drain(..) {
+        match effect {
+            Effect::Send { dst, msg, .. } => {
+                scratch.body.clear();
+                msg.encode(&mut scratch.body);
+                let outbox = &mut outboxes[*socket];
+                let body = &scratch.body;
+                let pool = &mut scratch.pool;
+                let mut queue_one = |peer: NodeId| {
+                    let Some(route) = routes.get(&peer) else {
+                        report.unroutable += 1;
+                        return;
+                    };
+                    // Coalesce: if the newest queued datagram is for the
+                    // same destination and key and has room, append this
+                    // message as another body entry — per-datagram costs
+                    // then amortize over the whole burst.
+                    if let Some(back) = outbox.back_mut() {
+                        // `from` must match too: the header carries one
+                        // `src`, so only one sender's messages may share
+                        // a frame.
+                        if back.from == pos
+                            && back.addr == route.addr
+                            && back.endpoint == route.endpoint
+                            && back.incarnation == route.incarnation
+                            && back.buf.len() + 2 + body.len() <= COALESCE_BYTES
+                        {
+                            FrameHeader::encode_body_entry(&mut back.buf, body);
+                            return;
+                        }
+                    }
+                    if outbox.len() >= OUTBOX_MAX {
+                        report.backpressure_drops += 1;
+                        return;
+                    }
+                    let mut buf = pool.pop().unwrap_or_default();
+                    buf.clear();
+                    FrameHeader {
+                        src: *node,
+                        dst_endpoint: route.endpoint,
+                        dst_incarnation: route.incarnation,
+                    }
+                    .encode(&mut buf);
+                    FrameHeader::encode_body_entry(&mut buf, body);
+                    outbox.push_back(OutMsg {
+                        addr: route.addr,
+                        endpoint: route.endpoint,
+                        incarnation: route.incarnation,
+                        buf,
+                        from: pos,
+                    });
+                };
+                match dst {
+                    Destination::Node(peer) => queue_one(peer),
+                    Destination::Group(group) => {
+                        if let Some(members) = host.groups_mut().get(group.index()) {
+                            for &member in members {
+                                if member != *node {
+                                    queue_one(member);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Effect::SetTimer { token, delay, tag } => {
+                wheel.arm(now + delay, *owner, token, tag);
+            }
+            Effect::CancelTimer { token } => wheel.cancel(*owner, token),
+            Effect::Deliver {
+                seq,
+                published_at,
+                recovered,
+            } => report.delivered.push((seq, published_at, recovered)),
+            Effect::Trace(event) => report.events.push(event),
+        }
+    }
+    scratch.effects = effects;
+}
+
+/// Routes every datagram of a filled receive batch to its endpoint by
+/// demux key, counting pre-demux failures in the worker counters and
+/// post-demux failures in the resolved endpoint's report.
+#[allow(clippy::too_many_arguments)]
+fn demux_batch(
+    recv: &RecvBatch,
+    shard: &mut [(usize, MuxEntry)],
+    workers: usize,
+    now: TimePoint,
+    wheel: &mut TimerWheel,
+    outboxes: &mut [VecDeque<OutMsg>],
+    scratch: &mut Scratch,
+    counters: &mut WorkerCounters,
+) {
+    for datagram in recv.datagrams() {
+        let Some((header, body)) = FrameHeader::decode(datagram) else {
+            counters.header_drops += 1;
+            continue;
+        };
+        // A wildcard key cannot be routed on a shared socket: only
+        // per-socket receivers accept `ANY_ENDPOINT`.
+        if header.dst_endpoint == ANY_ENDPOINT {
+            counters.unknown_endpoint_drops += 1;
+            continue;
+        }
+        let Some(pos) = local_pos(header.dst_endpoint as usize, shard, workers) else {
+            counters.unknown_endpoint_drops += 1;
+            continue;
+        };
+        let entry = &mut shard[pos].1;
+        entry.report.datagrams_received += 1;
+        if header.dst_incarnation != ANY_INCARNATION && header.dst_incarnation != entry.incarnation
+        {
+            entry.report.stale_datagrams += 1;
+            continue;
+        }
+        // Walk the frame's coalesced body entries; each one steps the core
+        // independently and damage is counted where it is found.
+        let mut body_entries = FrameBody::new(body);
+        for bytes in &mut body_entries {
+            let Some(msg) = WireMsg::decode(bytes) else {
+                entry.report.decode_errors += 1;
+                continue;
+            };
+            step_entry(
+                entry,
+                pos,
+                Input::PacketIn {
+                    src: header.src,
+                    msg: &msg,
+                },
+                now,
+                wheel,
+                outboxes,
+                scratch,
+            );
+        }
+        if body_entries.malformed() {
+            entry.report.decode_errors += 1;
+        }
+    }
+}
+
+/// Flushes one socket's outbox in `sendmmsg` batches until it empties or
+/// the socket flow-blocks. Returns the number of datagrams sent; retired
+/// buffers return to the pool.
+fn flush_socket(
+    sock: &UdpSocket,
+    outbox: &mut VecDeque<OutMsg>,
+    send: &mut SendBatch,
+    shard: &mut [(usize, MuxEntry)],
+    pool: &mut Vec<Vec<u8>>,
+) -> Result<usize, RtError> {
+    let mut total = 0;
+    while !outbox.is_empty() {
+        let n = outbox.len().min(send.capacity());
+        let msgs: Vec<(SocketAddr, &[u8])> = outbox
+            .iter()
+            .take(n)
+            .map(|m| (m.addr, m.buf.as_slice()))
+            .collect();
+        match send.send(sock, &msgs) {
+            Ok(0) => {
+                // Flow-blocked: charge a stall to the stuck message's
+                // sender and let the idle branch pace the retry.
+                if let Some(front) = outbox.front() {
+                    shard[front.from].1.report.backpressure_stalls += 1;
+                }
+                break;
+            }
+            Ok(sent) => {
+                drop(msgs);
+                for _ in 0..sent {
+                    let msg = outbox.pop_front().expect("sent ≤ queued");
+                    shard[msg.from].1.report.datagrams_sent += 1;
+                    pool.push(msg.buf);
+                }
+                total += sent;
+                if sent < n {
+                    break; // partial batch: the socket is filling up
+                }
+            }
+            Err(e) if soft_io_error(&e) => {
+                drop(msgs);
+                // The error names the first unsent message: drop it so
+                // the batch makes progress past the unreachable peer.
+                if let Some(msg) = outbox.pop_front() {
+                    shard[msg.from].1.report.soft_io_errors += 1;
+                    pool.push(msg.buf);
+                }
+            }
+            Err(e) => return Err(RtError::Send(e)),
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamant_proto::{Env, GroupId, ProcessingCost};
+    use std::collections::BTreeSet;
+
+    /// Publishes `total` sequenced messages into group 0 on a short timer.
+    #[derive(Debug)]
+    struct Beacon {
+        next: u64,
+        total: u64,
+    }
+
+    impl ProtocolCore for Beacon {
+        fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+            match input {
+                Input::Start | Input::TimerFired { .. } if self.next < self.total => {
+                    env.send(
+                        GroupId(0),
+                        64,
+                        1,
+                        ProcessingCost::FREE,
+                        WireMsg::Data(adamant_proto::wire::DataMsg {
+                            seq: self.next,
+                            published_at: env.now(),
+                            retransmission: false,
+                        }),
+                    );
+                    self.next += 1;
+                    env.set_timer(Span::from_millis(1), 1);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Delivers every data message it hears.
+    #[derive(Debug, Default)]
+    struct Listener;
+
+    impl ProtocolCore for Listener {
+        fn step(&mut self, input: Input<'_>, env: &mut Env<'_>) {
+            if let Input::PacketIn {
+                msg: WireMsg::Data(data),
+                ..
+            } = input
+            {
+                env.deliver(data.seq, data.published_at, false);
+            }
+        }
+    }
+
+    fn small_mux(workers: usize, seed: u64) -> MuxCluster {
+        MuxCluster::bind("127.0.0.1:0", MuxConfig::new(workers).with_seed(seed)).unwrap()
+    }
+
+    #[test]
+    fn mux_cluster_runs_a_beacon_session_across_workers() {
+        let mut cluster = small_mux(3, 7);
+        let tx = cluster
+            .add_endpoint(NodeId(0), Beacon { next: 0, total: 25 })
+            .unwrap();
+        let mut listeners = Vec::new();
+        for node in 1..8u32 {
+            listeners.push(cluster.add_endpoint(NodeId(node), Listener).unwrap());
+        }
+        cluster.connect_full_mesh().unwrap();
+        cluster.run_for(Duration::from_millis(150)).unwrap();
+        assert_eq!(cluster.core::<Beacon>(tx).unwrap().next, 25);
+        let want: BTreeSet<u64> = (0..25).collect();
+        for &id in &listeners {
+            assert_eq!(cluster.report(id).unwrap().delivered_seqs(), want);
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats.endpoints, 8);
+        assert_eq!(stats.delivered, 25 * 7);
+        assert_eq!(stats.decode_errors, 0);
+        assert_eq!(stats.unknown_endpoint_drops, 0);
+        assert_eq!(stats.header_drops, 0);
+        assert_eq!(stats.stale_drops, 0);
+    }
+
+    #[test]
+    fn more_endpoints_than_sockets_still_all_deliver() {
+        // 40 endpoints over 2 workers × 2 sockets: at least 10 endpoints
+        // share every socket, so delivery proves the demux key works.
+        let cfg = MuxConfig::new(2)
+            .with_sockets_per_worker(2)
+            .with_batch_size(4)
+            .with_seed(9);
+        let mut cluster = MuxCluster::bind("127.0.0.1:0", cfg).unwrap();
+        let tx = cluster
+            .add_endpoint(NodeId(0), Beacon { next: 0, total: 10 })
+            .unwrap();
+        let mut rx = Vec::new();
+        for node in 1..40u32 {
+            rx.push(cluster.add_endpoint(NodeId(node), Listener).unwrap());
+        }
+        cluster.connect_full_mesh().unwrap();
+        cluster.run_for(Duration::from_millis(200)).unwrap();
+        assert_eq!(cluster.core::<Beacon>(tx).unwrap().next, 10);
+        let want: BTreeSet<u64> = (0..10).collect();
+        for &id in &rx {
+            assert_eq!(cluster.report(id).unwrap().delivered_seqs(), want);
+        }
+    }
+
+    #[test]
+    fn unknown_endpoint_and_truncated_headers_are_typed_drops() {
+        let mut cluster = small_mux(2, 3);
+        let id = cluster.add_endpoint(NodeId(0), Listener).unwrap();
+        let addr = cluster.endpoint_addr(id).unwrap();
+        let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+        let msg = WireMsg::Fin(adamant_proto::wire::FinMsg { total: 1 });
+        // Demux key naming an endpoint that does not exist.
+        let mut unknown = Vec::new();
+        FrameHeader {
+            src: NodeId(9),
+            dst_endpoint: 999,
+            dst_incarnation: ANY_INCARNATION,
+        }
+        .encode(&mut unknown);
+        FrameHeader::encode_body_entry(&mut unknown, &msg.to_bytes());
+        probe.send_to(&unknown, addr).unwrap();
+        // Wildcard key: unroutable on a shared socket.
+        let mut wildcard = Vec::new();
+        FrameHeader::broadcast(NodeId(9)).encode(&mut wildcard);
+        FrameHeader::encode_body_entry(&mut wildcard, &msg.to_bytes());
+        probe.send_to(&wildcard, addr).unwrap();
+        // Truncated header.
+        probe.send_to(&[2, 1, 0], addr).unwrap();
+        // Wrong wire version.
+        probe.send_to(&[1, 0, 0, 0, 0], addr).unwrap();
+
+        cluster.run_for(Duration::from_millis(50)).unwrap();
+        let stats = cluster.stats();
+        assert_eq!(stats.unknown_endpoint_drops, 2);
+        assert_eq!(stats.header_drops, 2);
+        assert_eq!(stats.delivered, 0);
+        // Pre-demux failures are attributed to no endpoint.
+        assert_eq!(stats.datagrams_received, 0);
+    }
+
+    #[test]
+    fn cross_incarnation_datagrams_are_stale_drops_after_restart() {
+        let mut cluster = small_mux(1, 5);
+        let id = cluster.add_endpoint(NodeId(0), Listener).unwrap();
+        let addr = cluster.endpoint_addr(id).unwrap();
+        cluster.restart_endpoint(id, Listener).unwrap();
+        assert_eq!(cluster.incarnation(id).unwrap(), 1);
+
+        let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let msg = WireMsg::Data(adamant_proto::wire::DataMsg {
+            seq: 4,
+            published_at: TimePoint::from_nanos(0),
+            retransmission: false,
+        });
+        // Stamped for incarnation 0: was in flight across the restart.
+        let mut stale = Vec::new();
+        FrameHeader {
+            src: NodeId(9),
+            dst_endpoint: 0,
+            dst_incarnation: 0,
+        }
+        .encode(&mut stale);
+        FrameHeader::encode_body_entry(&mut stale, &msg.to_bytes());
+        probe.send_to(&stale, addr).unwrap();
+        // Stamped for the live incarnation: delivered.
+        let mut fresh = Vec::new();
+        FrameHeader {
+            src: NodeId(9),
+            dst_endpoint: 0,
+            dst_incarnation: 1,
+        }
+        .encode(&mut fresh);
+        FrameHeader::encode_body_entry(&mut fresh, &msg.to_bytes());
+        probe.send_to(&fresh, addr).unwrap();
+
+        cluster.run_for(Duration::from_millis(50)).unwrap();
+        let stats = cluster.stats();
+        assert_eq!(stats.stale_drops, 1);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.datagrams_received, 2);
+    }
+
+    #[test]
+    fn restart_restamps_peer_routes_so_traffic_resumes() {
+        let mut cluster = small_mux(2, 11);
+        let tx = cluster
+            .add_endpoint(NodeId(0), Beacon { next: 0, total: 10 })
+            .unwrap();
+        let rx = cluster.add_endpoint(NodeId(1), Listener).unwrap();
+        cluster.connect_full_mesh().unwrap();
+        cluster.run_for(Duration::from_millis(80)).unwrap();
+        let before = cluster.report(rx).unwrap().delivered.len();
+        assert_eq!(before, 10);
+
+        // Restart the listener, then publish a second stream from a
+        // restarted sender. The sender's route to the listener was
+        // re-stamped with incarnation 1, so the new core hears everything
+        // — no stale drops on live traffic.
+        cluster.restart_endpoint(rx, Listener).unwrap();
+        cluster
+            .restart_endpoint(
+                tx,
+                Beacon {
+                    next: 10,
+                    total: 20,
+                },
+            )
+            .unwrap();
+        cluster.run_for(Duration::from_millis(80)).unwrap();
+        let report = cluster.report(rx).unwrap();
+        assert_eq!(report.delivered.len() - before, 10);
+        assert_eq!(report.stale_datagrams, 0);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_shard_panicked_and_shard_is_lost() {
+        #[derive(Debug)]
+        struct Bomb;
+        impl ProtocolCore for Bomb {
+            fn step(&mut self, input: Input<'_>, _env: &mut Env<'_>) {
+                if matches!(input, Input::Start) {
+                    panic!("boom");
+                }
+            }
+        }
+        let mut cluster = small_mux(2, 1);
+        let survivor = cluster.add_endpoint(NodeId(0), Listener).unwrap();
+        let bomb = cluster.add_endpoint(NodeId(1), Bomb).unwrap();
+        let err = cluster.run_for(Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, RtError::ShardPanicked { shard: 1 }));
+        assert!(cluster.report(survivor).is_some());
+        assert!(cluster.report(bomb).is_none());
+        // The lost shard's sockets died with its worker: adding another
+        // endpoint to that shard is a typed error, not a crash.
+        cluster.add_endpoint(NodeId(2), Listener).unwrap();
+        let err = cluster.add_endpoint(NodeId(3), Listener).unwrap_err();
+        assert!(matches!(err, RtError::ShardPanicked { shard: 1 }));
+    }
+
+    #[test]
+    fn mux_metrics_fold_under_node_and_cluster_keys() {
+        let mut cluster = small_mux(2, 9);
+        cluster
+            .add_endpoint(NodeId(0), Beacon { next: 0, total: 5 })
+            .unwrap();
+        cluster.add_endpoint(NodeId(1), Listener).unwrap();
+        cluster.connect_full_mesh().unwrap();
+        cluster.run_for(Duration::from_millis(60)).unwrap();
+        let mut registry = MetricsRegistry::new();
+        cluster.fold_metrics("udp", &mut registry);
+        assert_eq!(registry.counter("udp/node1/delivered"), 5);
+        assert_eq!(registry.counter("udp/cluster/delivered"), 5);
+        assert_eq!(registry.counter("udp/cluster/endpoints"), 2);
+        assert_eq!(registry.counter("udp/cluster/unknown_endpoint_drops"), 0);
+    }
+
+    /// The mux worker must also park while idle (the same satellite
+    /// guarantee the per-socket cluster test pins, Linux-gated for the
+    /// same reason).
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn idle_mux_cluster_parks_instead_of_busy_spinning() {
+        let mut cluster = small_mux(4, 2);
+        for node in 0..64u32 {
+            cluster.add_endpoint(NodeId(node), Listener).unwrap();
+        }
+        cluster.run_for(Duration::from_millis(300)).unwrap();
+        let stats = cluster.stats();
+        assert!(
+            stats.busy_polls <= 32,
+            "idle mux cluster busy-spun: {} no-progress iterations",
+            stats.busy_polls
+        );
+    }
+}

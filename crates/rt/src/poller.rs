@@ -1,0 +1,633 @@
+//! Readiness notification and batched datagram I/O for the runtime's
+//! worker loops.
+//!
+//! Three building blocks, each with a Linux fast path and a portable
+//! fallback so the crate builds everywhere the standard library does:
+//!
+//! * [`Poller`] — an `epoll` instance the worker parks in when it has no
+//!   due timers and no pending I/O, with the timeout derived from the
+//!   next [`TimerWheel`](adamant_proto::TimerWheel) deadline. Idle
+//!   workers therefore consume ~0 CPU instead of spinning a short-sleep
+//!   loop. Off Linux, `wait` degrades to a capped `thread::sleep` — the
+//!   exact pre-poller behaviour.
+//! * [`RecvBatch`] — drains a socket with one `recvmmsg` call per batch
+//!   instead of one `recv_from` syscall per datagram.
+//! * [`SendBatch`] — flushes a worker's coalesced outbox with one
+//!   `sendmmsg` call per batch instead of one `send_to` per datagram.
+//!
+//! All `unsafe` in this crate lives in the [`sys`] module below: direct
+//! `extern "C"` bindings against libc symbols (the workspace carries no
+//! external crates, so there is no `libc`/`mio` to lean on). Every
+//! syscall result is translated to `io::Error` immediately; nothing
+//! outside this file sees a raw return code.
+//!
+//! ## Timeout precision
+//!
+//! `epoll_wait` has millisecond granularity while protocol timers are
+//! armed at microsecond precision, so [`Poller::wait`] is hybrid: waits
+//! shorter than one millisecond use `thread::sleep` (high-resolution,
+//! cannot observe I/O readiness — same as the legacy loop), longer waits
+//! use `epoll_wait` with the timeout floored to whole milliseconds. A
+//! floored wait wakes slightly early, the worker loop re-evaluates its
+//! deadlines, and the sub-millisecond remainder is slept exactly.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+/// Below this, `Poller::wait` sleeps instead of polling: `epoll_wait`
+/// cannot express sub-millisecond timeouts.
+const PRECISE_WAIT: Duration = Duration::from_millis(1);
+
+/// Cap on the fallback (non-epoll) sleep, preserving the legacy loop's
+/// worst-case reaction latency to datagrams that arrive mid-sleep.
+const FALLBACK_SLEEP: Duration = Duration::from_millis(1);
+
+/// Largest UDP payload a batch slot accepts; datagrams beyond this are
+/// truncated by the kernel (the codec then rejects the frame).
+pub(crate) const DATAGRAM_BUF_BYTES: usize = 65536;
+
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod sys {
+    //! Direct libc bindings. Struct layouts mirror glibc on Linux; the
+    //! `epoll_event` packing is x86_64-specific (other arches use the
+    //! natural C layout).
+
+    use std::io;
+    use std::net::SocketAddr;
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLLIN: u32 = 0x1;
+
+    pub const AF_INET: u16 = 2;
+    pub const AF_INET6: u16 = 10;
+
+    pub const SOL_SOCKET: i32 = 1;
+    pub const SO_SNDBUF: i32 = 7;
+    pub const SO_RCVBUF: i32 = 8;
+
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct IoVec {
+        pub base: *mut u8,
+        pub len: usize,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct MsgHdr {
+        pub name: *mut u8,
+        pub namelen: u32,
+        pub iov: *mut IoVec,
+        pub iovlen: usize,
+        pub control: *mut u8,
+        pub controllen: usize,
+        pub flags: i32,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct MMsgHdr {
+        pub hdr: MsgHdr,
+        pub len: u32,
+    }
+
+    /// Space for a `sockaddr_in` (16 bytes) or `sockaddr_in6` (28
+    /// bytes), 8-aligned like the kernel expects.
+    #[repr(C, align(8))]
+    #[derive(Clone, Copy)]
+    pub struct SockAddrStorage {
+        pub data: [u8; 28],
+        pub len: u32,
+    }
+
+    impl SockAddrStorage {
+        pub const ZERO: SockAddrStorage = SockAddrStorage {
+            data: [0; 28],
+            len: 0,
+        };
+
+        /// Encodes `addr` into kernel `sockaddr` layout.
+        pub fn encode(addr: &SocketAddr) -> SockAddrStorage {
+            let mut out = SockAddrStorage::ZERO;
+            match addr {
+                SocketAddr::V4(v4) => {
+                    out.data[0..2].copy_from_slice(&AF_INET.to_ne_bytes());
+                    out.data[2..4].copy_from_slice(&v4.port().to_be_bytes());
+                    out.data[4..8].copy_from_slice(&v4.ip().octets());
+                    out.len = 16;
+                }
+                SocketAddr::V6(v6) => {
+                    out.data[0..2].copy_from_slice(&AF_INET6.to_ne_bytes());
+                    out.data[2..4].copy_from_slice(&v6.port().to_be_bytes());
+                    out.data[4..8].copy_from_slice(&v6.flowinfo().to_be_bytes());
+                    out.data[8..24].copy_from_slice(&v6.ip().octets());
+                    out.data[24..28].copy_from_slice(&v6.scope_id().to_ne_bytes());
+                    out.len = 28;
+                }
+            }
+            out
+        }
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn recvmmsg(fd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32, timeout: *mut u8) -> i32;
+        fn sendmmsg(fd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const u8, len: u32) -> i32;
+    }
+
+    fn check(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn epoll_create() -> io::Result<i32> {
+        // SAFETY: epoll_create1 takes no pointers.
+        check(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+    }
+
+    pub fn epoll_add(epfd: i32, fd: i32) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: EPOLLIN,
+            data: fd as u64,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        check(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &mut ev) }).map(drop)
+    }
+
+    pub fn epoll_poll(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `events` is a live, writable slice; maxevents matches
+        // its length (clamped to at least 1 by the caller).
+        let n = check(unsafe {
+            epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms)
+        })?;
+        Ok(n as usize)
+    }
+
+    pub fn close_fd(fd: i32) {
+        // SAFETY: the Poller owns this descriptor exclusively.
+        unsafe { close(fd) };
+    }
+
+    pub fn recv_mmsg(fd: i32, msgvec: &mut [MMsgHdr]) -> io::Result<usize> {
+        // SAFETY: every msghdr's iov/name pointers were populated from
+        // live buffers owned by the caller for the duration of the call.
+        let n = check(unsafe {
+            recvmmsg(
+                fd,
+                msgvec.as_mut_ptr(),
+                msgvec.len() as u32,
+                0,
+                std::ptr::null_mut(),
+            )
+        })?;
+        Ok(n as usize)
+    }
+
+    pub fn send_mmsg(fd: i32, msgvec: &mut [MMsgHdr]) -> io::Result<usize> {
+        // SAFETY: as for recv_mmsg — all pointers reference caller-owned
+        // buffers that outlive the call.
+        let n = check(unsafe { sendmmsg(fd, msgvec.as_mut_ptr(), msgvec.len() as u32, 0) })?;
+        Ok(n as usize)
+    }
+
+    pub fn set_buf_size(fd: i32, name: i32, bytes: i32) -> io::Result<()> {
+        let value = bytes.to_ne_bytes();
+        // SAFETY: `value` is a live 4-byte int for the duration of the
+        // call, which is the size SO_SNDBUF/SO_RCVBUF expect.
+        check(unsafe { setsockopt(fd, SOL_SOCKET, name, value.as_ptr(), value.len() as u32) })
+            .map(drop)
+    }
+}
+
+#[cfg(target_os = "linux")]
+use std::os::fd::AsRawFd;
+
+/// Readiness poller a worker parks in while idle.
+///
+/// On Linux this is an `epoll` instance holding every socket the worker
+/// owns; [`wait`](Poller::wait) blocks until a registered socket becomes
+/// readable or the timeout elapses. Elsewhere it is a stub whose `wait`
+/// sleeps (capped at 1 ms) — functionally the legacy short-sleep loop.
+#[derive(Debug)]
+pub(crate) struct Poller {
+    #[cfg(target_os = "linux")]
+    epfd: i32,
+    registered: usize,
+}
+
+impl Poller {
+    /// Creates an empty poller.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            #[cfg(target_os = "linux")]
+            epfd: sys::epoll_create()?,
+            registered: 0,
+        })
+    }
+
+    /// Adds a socket to the interest set (read readiness). The socket
+    /// must stay alive as long as the poller; deregistration happens
+    /// implicitly when the socket closes.
+    pub fn register(&mut self, sock: &UdpSocket) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        sys::epoll_add(self.epfd, sock.as_raw_fd())?;
+        #[cfg(not(target_os = "linux"))]
+        let _ = sock;
+        self.registered += 1;
+        Ok(())
+    }
+
+    /// Blocks until a registered socket is readable or `timeout` passes.
+    /// Returns the number of ready sockets (0 on timeout). Sub-millisecond
+    /// timeouts are slept rather than polled (see module docs); a wait
+    /// interrupted by a signal reports 0 ready.
+    pub fn wait(&mut self, timeout: Duration) -> io::Result<usize> {
+        if timeout < PRECISE_WAIT || self.registered == 0 {
+            if !timeout.is_zero() {
+                std::thread::sleep(timeout.min(FALLBACK_SLEEP));
+            }
+            return Ok(0);
+        }
+        #[cfg(target_os = "linux")]
+        {
+            let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+            let mut events =
+                vec![sys::EpollEvent { events: 0, data: 0 }; self.registered.clamp(1, 64)];
+            match sys::epoll_poll(self.epfd, &mut events, ms) {
+                Ok(n) => Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+                Err(e) => Err(e),
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            std::thread::sleep(timeout.min(FALLBACK_SLEEP));
+            Ok(0)
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        sys::close_fd(self.epfd);
+    }
+}
+
+/// A reusable receive batch: one `recvmmsg` call fills up to `batch`
+/// datagram slots. The portable fallback loops `recv_from` into the same
+/// slots, so callers see identical semantics either way.
+pub(crate) struct RecvBatch {
+    bufs: Vec<Box<[u8]>>,
+    lens: Vec<usize>,
+    filled: usize,
+    /// ICMP-unreachable noise absorbed while receiving (connection
+    /// refused/reset); the caller folds this into its soft-error stat.
+    pub soft_errors: u64,
+}
+
+impl RecvBatch {
+    /// A batch of `batch` slots, each [`DATAGRAM_BUF_BYTES`] long.
+    pub fn new(batch: usize) -> RecvBatch {
+        let batch = batch.max(1);
+        RecvBatch {
+            bufs: (0..batch)
+                .map(|_| vec![0u8; DATAGRAM_BUF_BYTES].into_boxed_slice())
+                .collect(),
+            lens: vec![0; batch],
+            filled: 0,
+            soft_errors: 0,
+        }
+    }
+
+    /// Drains up to one batch of datagrams from `sock` (which must be
+    /// non-blocking). `Ok(0)` means the socket had nothing pending; hard
+    /// errors surface as `Err`, ICMP noise is counted and skipped.
+    pub fn recv(&mut self, sock: &UdpSocket) -> io::Result<usize> {
+        self.filled = 0;
+        #[cfg(target_os = "linux")]
+        {
+            let mut iovs: Vec<sys::IoVec> = self
+                .bufs
+                .iter_mut()
+                .map(|b| sys::IoVec {
+                    base: b.as_mut_ptr(),
+                    len: b.len(),
+                })
+                .collect();
+            let mut hdrs: Vec<sys::MMsgHdr> = iovs
+                .iter_mut()
+                .map(|iov| sys::MMsgHdr {
+                    hdr: sys::MsgHdr {
+                        name: std::ptr::null_mut(),
+                        namelen: 0,
+                        iov,
+                        iovlen: 1,
+                        control: std::ptr::null_mut(),
+                        controllen: 0,
+                        flags: 0,
+                    },
+                    len: 0,
+                })
+                .collect();
+            loop {
+                match sys::recv_mmsg(sock.as_raw_fd(), &mut hdrs) {
+                    Ok(n) => {
+                        for (i, h) in hdrs[..n].iter().enumerate() {
+                            self.lens[i] = h.len as usize;
+                        }
+                        self.filled = n;
+                        return Ok(n);
+                    }
+                    Err(e) if would_block(&e) => return Ok(0),
+                    Err(e) if soft_io_error(&e) => {
+                        self.soft_errors += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            while self.filled < self.bufs.len() {
+                match sock.recv_from(&mut self.bufs[self.filled]) {
+                    Ok((n, _)) => {
+                        self.lens[self.filled] = n;
+                        self.filled += 1;
+                    }
+                    Err(e) if would_block(&e) => break,
+                    Err(e) if soft_io_error(&e) => self.soft_errors += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(self.filled)
+        }
+    }
+
+    /// The datagrams the last [`recv`](RecvBatch::recv) produced.
+    pub fn datagrams(&self) -> impl Iterator<Item = &[u8]> {
+        self.bufs[..self.filled]
+            .iter()
+            .zip(&self.lens)
+            .map(|(buf, &len)| &buf[..len])
+    }
+}
+
+/// A reusable send batch: one `sendmmsg` call flushes up to its capacity
+/// of `(destination, payload)` pairs from a worker's coalesced outbox.
+pub(crate) struct SendBatch {
+    capacity: usize,
+    #[cfg(target_os = "linux")]
+    addrs: Vec<sys::SockAddrStorage>,
+    #[cfg(target_os = "linux")]
+    iovs: Vec<sys::IoVec>,
+    #[cfg(target_os = "linux")]
+    hdrs: Vec<sys::MMsgHdr>,
+}
+
+impl SendBatch {
+    /// A batch flushing at most `batch` datagrams per call.
+    pub fn new(batch: usize) -> SendBatch {
+        let capacity = batch.max(1);
+        SendBatch {
+            capacity,
+            #[cfg(target_os = "linux")]
+            addrs: vec![sys::SockAddrStorage::ZERO; capacity],
+            #[cfg(target_os = "linux")]
+            iovs: Vec::with_capacity(capacity),
+            #[cfg(target_os = "linux")]
+            hdrs: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// How many datagrams one call can flush.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sends the leading prefix of `msgs` (up to capacity) through
+    /// `sock`, returning how many datagrams the kernel accepted.
+    ///
+    /// `Ok(0)` means the socket is flow-blocked — park and retry later.
+    /// An `Err` always refers to the *first unsent* message, so a caller
+    /// that drops that message and retries makes progress (this is how
+    /// ICMP-unreachable noise is absorbed upstream).
+    pub fn send(&mut self, sock: &UdpSocket, msgs: &[(SocketAddr, &[u8])]) -> io::Result<usize> {
+        if msgs.is_empty() {
+            return Ok(0);
+        }
+        let n = msgs.len().min(self.capacity);
+        #[cfg(target_os = "linux")]
+        {
+            self.iovs.clear();
+            self.hdrs.clear();
+            for (i, (addr, payload)) in msgs[..n].iter().enumerate() {
+                self.addrs[i] = sys::SockAddrStorage::encode(addr);
+                self.iovs.push(sys::IoVec {
+                    // sendmmsg never writes through the iov; the mut cast
+                    // exists only because iovec is shared with recvmmsg.
+                    base: payload.as_ptr() as *mut u8,
+                    len: payload.len(),
+                });
+            }
+            for i in 0..n {
+                self.hdrs.push(sys::MMsgHdr {
+                    hdr: sys::MsgHdr {
+                        name: self.addrs[i].data.as_mut_ptr(),
+                        namelen: self.addrs[i].len,
+                        iov: &mut self.iovs[i],
+                        iovlen: 1,
+                        control: std::ptr::null_mut(),
+                        controllen: 0,
+                        flags: 0,
+                    },
+                    len: 0,
+                });
+            }
+            match sys::send_mmsg(sock.as_raw_fd(), &mut self.hdrs) {
+                Ok(sent) => Ok(sent),
+                Err(e) if would_block(&e) => Ok(0),
+                Err(e) => Err(e),
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let mut sent = 0;
+            for (addr, payload) in &msgs[..n] {
+                match sock.send_to(payload, addr) {
+                    Ok(_) => sent += 1,
+                    Err(e) if would_block(&e) => break,
+                    // Partial progress: report what went through; the
+                    // error re-surfaces on the retry as message zero.
+                    Err(_) if sent > 0 => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(sent)
+        }
+    }
+}
+
+/// Grows `sock`'s kernel send and receive buffers to `bytes` (clamped by
+/// `net.core.{r,w}mem_max` — the kernel silently caps, so this is
+/// best-effort by construction). A shared socket absorbs whole bursts of
+/// multiplexed traffic between drain passes; the ~208 KiB default drops
+/// datagrams under exactly the coalesced load the mux runtime generates.
+/// No-op off Linux.
+pub(crate) fn set_socket_buffers(sock: &UdpSocket, bytes: usize) -> io::Result<()> {
+    #[cfg(target_os = "linux")]
+    {
+        let bytes = bytes.min(i32::MAX as usize) as i32;
+        sys::set_buf_size(sock.as_raw_fd(), sys::SO_RCVBUF, bytes)?;
+        sys::set_buf_size(sock.as_raw_fd(), sys::SO_SNDBUF, bytes)?;
+    }
+    #[cfg(not(target_os = "linux"))]
+    let _ = (sock, bytes);
+    Ok(())
+}
+
+/// Flow-control kinds: the socket simply has no room / no data.
+pub(crate) fn would_block(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+/// ICMP port-unreachable noise a UDP runtime must absorb, not die on.
+pub(crate) fn soft_io_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused | io::ErrorKind::ConnectionReset
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn pair() -> (UdpSocket, UdpSocket, SocketAddr) {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let b_addr = b.local_addr().unwrap();
+        (a, b, b_addr)
+    }
+
+    #[test]
+    fn batched_send_and_recv_round_trip() {
+        let (tx, rx, rx_addr) = pair();
+        let payloads: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i; (i as usize + 1) * 3]).collect();
+        let msgs: Vec<(SocketAddr, &[u8])> =
+            payloads.iter().map(|p| (rx_addr, p.as_slice())).collect();
+
+        let mut sender = SendBatch::new(8);
+        let mut sent = 0;
+        while sent < msgs.len() {
+            let n = sender.send(&tx, &msgs[sent..]).unwrap();
+            assert!(n > 0, "loopback send should not flow-block here");
+            sent += n;
+        }
+
+        let mut batch = RecvBatch::new(8);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        while got.len() < payloads.len() && Instant::now() < deadline {
+            let n = batch.recv(&rx).unwrap();
+            if n == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            got.extend(batch.datagrams().map(<[u8]>::to_vec));
+        }
+        got.sort();
+        let mut want = payloads.clone();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn small_batch_capacity_still_drains_everything() {
+        let (tx, rx, rx_addr) = pair();
+        let payloads: Vec<Vec<u8>> = (0u8..7).map(|i| vec![i]).collect();
+        let msgs: Vec<(SocketAddr, &[u8])> =
+            payloads.iter().map(|p| (rx_addr, p.as_slice())).collect();
+        let mut sender = SendBatch::new(2);
+        assert_eq!(sender.capacity(), 2);
+        let mut sent = 0;
+        while sent < msgs.len() {
+            let n = sender.send(&tx, &msgs[sent..]).unwrap();
+            assert!(n <= 2);
+            sent += n.max(1);
+        }
+        let mut batch = RecvBatch::new(3);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut total = 0;
+        while total < payloads.len() && Instant::now() < deadline {
+            total += batch.recv(&rx).unwrap();
+            if total == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert_eq!(total, payloads.len());
+    }
+
+    #[test]
+    fn poller_wakes_on_readiness_and_times_out_when_idle() {
+        let (tx, rx, rx_addr) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller.register(&rx).unwrap();
+
+        // Idle: a short wait elapses without reporting readiness.
+        let start = Instant::now();
+        let ready = poller.wait(Duration::from_millis(20)).unwrap();
+        #[cfg(target_os = "linux")]
+        {
+            assert_eq!(ready, 0);
+            assert!(start.elapsed() >= Duration::from_millis(15));
+        }
+        #[cfg(not(target_os = "linux"))]
+        let _ = (ready, start);
+
+        // A pending datagram wakes the wait (immediately, on Linux).
+        tx.send_to(b"ping", rx_addr).unwrap();
+        let woke = Instant::now();
+        let ready = poller.wait(Duration::from_secs(5)).unwrap();
+        #[cfg(target_os = "linux")]
+        {
+            assert!(ready > 0, "registered socket with data must be ready");
+            assert!(woke.elapsed() < Duration::from_secs(2));
+        }
+        #[cfg(not(target_os = "linux"))]
+        let _ = (ready, woke);
+    }
+
+    #[test]
+    fn sub_millisecond_waits_sleep_exactly() {
+        let mut poller = Poller::new().unwrap();
+        let start = Instant::now();
+        assert_eq!(poller.wait(Duration::from_micros(200)).unwrap(), 0);
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+}

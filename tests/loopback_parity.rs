@@ -9,7 +9,9 @@ use std::time::Duration;
 
 use adamant_netsim::{Bandwidth, HostConfig, MachineClass, NodeId, SimDriver, SimTime, Simulation};
 use adamant_proto::Span;
-use adamant_rt::{Cluster, ClusterConfig, Endpoint, MonotonicClock, RtConfig};
+use adamant_rt::{
+    Cluster, ClusterConfig, Endpoint, MonotonicClock, MuxCluster, MuxConfig, RtConfig,
+};
 use adamant_transport::{
     AppSpec, DataReader, NakcastReceiver, NakcastSender, StackProfile, Tuning,
 };
@@ -184,6 +186,55 @@ fn run_cluster_fleet(
     (shards, published, outcomes)
 }
 
+/// Runs the same fleet on the multiplexed runtime: all endpoints share
+/// each worker's small socket pool and are demuxed by the wire-header
+/// endpoint ID. Returns the published count, each receiver's outcome,
+/// and the cluster stats (for the no-drop assertions).
+fn run_mux_fleet(
+    receivers: usize,
+    workers: usize,
+    seed: u64,
+    wall: Duration,
+) -> (u64, Vec<RunOutcome>, adamant_rt::ClusterStats) {
+    let clock = MonotonicClock::start();
+    let cfg = MuxConfig::new(workers)
+        .with_sockets_per_worker(2)
+        .with_batch_size(16)
+        .with_seed(seed)
+        .with_clock(clock);
+    let mut cluster = MuxCluster::bind("127.0.0.1:0", cfg).expect("bind mux cluster");
+    let tx = cluster
+        .add_endpoint(NodeId(0), sender_core(adamant_proto::GroupId(0)))
+        .expect("add mux sender");
+    let rx_ids: Vec<_> = (1..=receivers as u32)
+        .map(|n| {
+            cluster
+                .add_endpoint(NodeId(n), receiver_core(NodeId(0)))
+                .expect("add mux receiver")
+        })
+        .collect();
+    cluster.connect_full_mesh().expect("wire mesh");
+    cluster.run_for(wall).expect("mux cluster run");
+    let published = cluster
+        .core::<NakcastSender>(tx)
+        .expect("sender core survives")
+        .published();
+    let outcomes = rx_ids
+        .iter()
+        .map(|&id| {
+            let r = cluster
+                .core::<NakcastReceiver>(id)
+                .expect("receiver core survives");
+            RunOutcome {
+                delivered: r.log().deliveries().iter().map(|d| d.seq).collect(),
+                recovered: r.log().recovered_count(),
+                naks_sent: r.naks_sent(),
+            }
+        })
+        .collect();
+    (published, outcomes, cluster.stats())
+}
+
 #[test]
 fn nakcast_delivers_identically_under_both_drivers() {
     let sim = run_netsim();
@@ -275,6 +326,58 @@ fn cluster_nakcast_matches_netsim_across_64_endpoints() {
         recovered_total > 0,
         "cluster fleet must exercise NAK recovery"
     );
+}
+
+/// The multiplexed-runtime leg of the fleet parity check: the same
+/// 64-endpoint NAKcast session (one sender, 63 lossy receivers) runs on
+/// the readiness-driven [`MuxCluster`] — 4 workers sharing 2 sockets
+/// each, every datagram demuxed by the wire-header endpoint ID — and
+/// must deliver exactly the sequence sets the netsim and per-socket
+/// cluster runs deliver: every receiver, the complete stream.
+#[test]
+fn mux_cluster_nakcast_matches_netsim_and_per_socket_fleets() {
+    const RECEIVERS: usize = 63;
+    const WORKERS: usize = 4;
+
+    let sim = run_netsim_fleet(RECEIVERS);
+    let wall = Duration::from_millis(3_500);
+    let (_, per_socket_published, per_socket) = run_cluster_fleet(RECEIVERS, WORKERS, 42, wall);
+    let (mux_published, mux, stats) = run_mux_fleet(RECEIVERS, WORKERS, 42, wall);
+
+    assert_eq!(per_socket_published, SAMPLES, "per-socket sender finished");
+    assert_eq!(mux_published, SAMPLES, "mux sender finished the stream");
+
+    let expected: BTreeSet<u64> = (0..SAMPLES).collect();
+    for (i, o) in sim.iter().enumerate() {
+        assert_eq!(
+            o.delivered, expected,
+            "netsim receiver {i} must deliver every sample"
+        );
+    }
+    for (i, o) in per_socket.iter().enumerate() {
+        assert_eq!(
+            o.delivered, expected,
+            "per-socket receiver {i} must deliver every sample"
+        );
+    }
+    let mut recovered_total = 0;
+    for (i, o) in mux.iter().enumerate() {
+        assert_eq!(
+            o.delivered, expected,
+            "mux receiver {i} must deliver every sample \
+             (recovered {} via {} NAKs)",
+            o.recovered, o.naks_sent
+        );
+        recovered_total += o.recovered;
+    }
+    // 63 receivers × 300 samples × 5% loss ≈ 945 expected drops.
+    assert!(recovered_total > 0, "mux fleet must exercise NAK recovery");
+
+    // A healthy same-incarnation run never hits the demux error paths.
+    assert_eq!(stats.endpoints, RECEIVERS + 1);
+    assert_eq!(stats.header_drops, 0, "no malformed frames on loopback");
+    assert_eq!(stats.unknown_endpoint_drops, 0, "routes cover the mesh");
+    assert_eq!(stats.stale_drops, 0, "single incarnation, no stale drops");
 }
 
 /// Same seed + same shard assignment ⇒ the same outcome: two
