@@ -75,12 +75,20 @@ impl Adamant {
         metric: MetricKind,
     ) -> Result<Configuration, String> {
         let probed = probe.probe()?;
-        let environment = Environment::new(
-            probed.machine_class(),
-            probed.bandwidth_class(),
-            dds,
-            loss_percent,
-        );
+        let environment = if probed.same_host {
+            // Every peer resolves locally: the co-located descriptor
+            // (lossless, microsecond-RTT) replaces the service
+            // agreement's network axes, which describe a path that is
+            // never traversed.
+            Environment::colocated(probed.machine_class(), dds)
+        } else {
+            Environment::new(
+                probed.machine_class(),
+                probed.bandwidth_class(),
+                dds,
+                loss_percent,
+            )
+        };
         let selection = self.selector.select(&environment, &app, metric);
         Ok(Configuration {
             environment,
@@ -100,7 +108,9 @@ mod tests {
     use adamant_transport::ProtocolKind;
 
     fn trained_platform() -> Adamant {
-        // pc3000 → class 4 (Ricochet R4C3), pc850 → class 3 (NAKcast 1 ms).
+        // pc3000 → class 4 (Ricochet R4C3), pc850 → class 3 (NAKcast
+        // 1 ms) on the LAN classes; WAN → StreamCast (6); same-host →
+        // ShmCast (7).
         let mut rows = Vec::new();
         for machine in MachineClass::all() {
             for bandwidth in BandwidthClass::all() {
@@ -119,10 +129,31 @@ mod tests {
                         } else {
                             3
                         },
-                        scores: vec![0.0; 6],
+                        scores: vec![0.0; 8],
                     });
                 }
             }
+            for loss in 1..=5u8 {
+                rows.push(DatasetRow {
+                    env: Environment::new(
+                        machine,
+                        BandwidthClass::Wan50ms,
+                        DdsImplementation::OpenSplice,
+                        loss,
+                    ),
+                    app: AppParams::new(3, 25),
+                    metric: MetricKind::ReLate2,
+                    best_class: 6,
+                    scores: vec![0.0; 8],
+                });
+            }
+            rows.push(DatasetRow {
+                env: Environment::colocated(machine, DdsImplementation::OpenSplice),
+                app: AppParams::new(3, 25),
+                metric: MetricKind::ReLate2,
+                best_class: 7,
+                scores: vec![0.0; 8],
+            });
         }
         let ds = LabeledDataset { rows };
         let (selector, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
@@ -176,6 +207,54 @@ mod tests {
         assert!(matches!(
             config.transport().kind,
             ProtocolKind::Nakcast { .. }
+        ));
+    }
+
+    #[test]
+    fn wan_cloud_selects_the_stream_core() {
+        let adamant = trained_platform();
+        let wan_cloud = SimulatedCloud::new(Environment::new(
+            MachineClass::Pc3000,
+            BandwidthClass::Wan50ms,
+            DdsImplementation::OpenSplice,
+            3,
+        ));
+        let config = adamant
+            .configure(
+                &wan_cloud,
+                DdsImplementation::OpenSplice,
+                3,
+                AppParams::new(3, 25),
+                MetricKind::ReLate2,
+            )
+            .unwrap();
+        assert_eq!(config.environment.bandwidth, BandwidthClass::Wan50ms);
+        assert!(matches!(
+            config.transport().kind,
+            ProtocolKind::StreamCast { .. }
+        ));
+    }
+
+    #[test]
+    fn colocated_cloud_selects_shared_memory() {
+        let adamant = trained_platform();
+        let shm_env = Environment::colocated(MachineClass::Pc3000, DdsImplementation::OpenSplice);
+        let cloud = SimulatedCloud::new(shm_env);
+        let config = adamant
+            .configure(
+                &cloud,
+                DdsImplementation::OpenSplice,
+                // The service agreement's loss axis is irrelevant when
+                // the probe finds every peer on this host.
+                5,
+                AppParams::new(3, 25),
+                MetricKind::ReLate2,
+            )
+            .unwrap();
+        assert!(config.environment.same_host);
+        assert!(matches!(
+            config.transport().kind,
+            ProtocolKind::ShmCast { .. }
         ));
     }
 

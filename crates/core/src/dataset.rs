@@ -8,7 +8,7 @@ use adamant_transport::ProtocolKind;
 use adamant_ann::{one_hot, MinMaxScaler, TrainingData};
 
 use crate::env::{AppParams, Environment};
-use crate::features::{candidate_protocols, raw_features};
+use crate::features::{candidate_protocols, is_feasible, raw_features};
 
 /// Picks the best (lowest) score index with a stability margin: when a
 /// lower-indexed candidate scores within `margin` (fractionally) of the
@@ -128,6 +128,19 @@ impl LabeledDataset {
         samples: u64,
         repetitions: u32,
     ) -> LabeledDataset {
+        Self::measure_with_metrics(configs, &MetricKind::paper_metrics(), samples, repetitions)
+    }
+
+    /// [`measure`](Self::measure) over an explicit metric set — e.g. the
+    /// full extended family when the WAN axes make the bandwidth-weighted
+    /// metrics decisive. Each candidate still runs only once per
+    /// configuration; every metric is scored from the same reports.
+    pub fn measure_with_metrics(
+        configs: &[(Environment, AppParams)],
+        metrics: &[MetricKind],
+        samples: u64,
+        repetitions: u32,
+    ) -> LabeledDataset {
         use crate::runner::Scenario;
         use adamant_transport::TransportConfig;
 
@@ -136,15 +149,26 @@ impl LabeledDataset {
         for (i, &(env, app)) in configs.iter().enumerate() {
             let scenario =
                 Scenario::paper(env, app, 0x5EED ^ (i as u64) << 8).with_samples(samples);
-            let per_candidate: Vec<Vec<adamant_metrics::QosReport>> = candidates
+            // Candidates the deployment cannot instantiate here (e.g.
+            // ShmCast across hosts) are not measured; an infinite score
+            // keeps the vector aligned with `candidate_protocols()`
+            // while guaranteeing they never become the label.
+            let per_candidate: Vec<Option<Vec<adamant_metrics::QosReport>>> = candidates
                 .iter()
-                .map(|&kind| scenario.run_repeated(TransportConfig::new(kind), repetitions))
+                .map(|&kind| {
+                    is_feasible(kind, &env)
+                        .then(|| scenario.run_repeated(TransportConfig::new(kind), repetitions))
+                })
                 .collect();
-            for metric in MetricKind::paper_metrics() {
+            for &metric in metrics {
                 let scores: Vec<f64> = per_candidate
                     .iter()
-                    .map(|reports| {
-                        reports.iter().map(|r| metric.score(r)).sum::<f64>() / reports.len() as f64
+                    .map(|reports| match reports {
+                        Some(reports) => {
+                            reports.iter().map(|r| metric.score(r)).sum::<f64>()
+                                / reports.len() as f64
+                        }
+                        None => f64::INFINITY,
                     })
                     .collect();
                 let best_class = best_class_with_margin(&scores, LABEL_MARGIN);
@@ -188,7 +212,7 @@ mod tests {
             app: AppParams::new(3, 10),
             metric: MetricKind::ReLate2,
             best_class,
-            scores: vec![1.0; 6],
+            scores: vec![1.0; 8],
         }
     }
 
@@ -200,7 +224,7 @@ mod tests {
         let (data, scaler) = ds.to_training_data();
         assert_eq!(data.len(), 3);
         assert_eq!(data.input_dim(), crate::features::FEATURE_DIM);
-        assert_eq!(data.target_dim(), 6);
+        assert_eq!(data.target_dim(), 8);
         assert_eq!(scaler.dim(), crate::features::FEATURE_DIM);
         // Scaled features live in [0, 1].
         for rowv in data.inputs() {
@@ -216,7 +240,7 @@ mod tests {
         let ds = LabeledDataset {
             rows: vec![row(1, 0), row(2, 0), row(3, 5)],
         };
-        assert_eq!(ds.class_histogram(), vec![2, 0, 0, 0, 0, 1]);
+        assert_eq!(ds.class_histogram(), vec![2, 0, 0, 0, 0, 1, 0, 0]);
         assert_eq!(ds.rows[2].best_protocol(), candidate_protocols()[5]);
     }
 

@@ -1,10 +1,17 @@
 //! The configuration space of the paper's evaluation: cloud environment
-//! variables (Table 1) and application variables (Table 2).
+//! variables (Table 1) and application variables (Table 2), plus the v2
+//! descriptor axes (WAN paths, same-host deployments) that widen the
+//! autonomic choice space beyond the paper's switched LANs.
 
 use adamant_dds::DdsImplementation;
-use adamant_netsim::{Bandwidth, HostConfig, LossModel, MachineClass, NetworkConfig, SimDuration};
+use adamant_netsim::{
+    Bandwidth, HostConfig, LinkProfile, LossModel, MachineClass, NetworkConfig, SimDuration,
+};
 
-/// The network bandwidth classes of Table 1.
+/// The network bandwidth classes of Table 1, plus the v2 WAN class.
+///
+/// The bandwidth/propagation pairing behind each class is defined once, in
+/// [`LinkProfile`] — this enum only names the rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BandwidthClass {
     /// 1 Gb/s LAN.
@@ -13,16 +20,22 @@ pub enum BandwidthClass {
     Mbps100,
     /// 10 Mb/s LAN.
     Mbps10,
+    /// 100 Mb/s wide-area path with a 50 ms round trip (inter-datacenter).
+    /// Not part of Table 1; introduced by the environment descriptor v2.
+    Wan50ms,
 }
 
 adamant_json::impl_json_unit_enum!(BandwidthClass {
     Gbps1,
     Mbps100,
-    Mbps10
+    Mbps10,
+    Wan50ms
 });
 
 impl BandwidthClass {
-    /// All classes, Table 1 order (fastest first).
+    /// The Table 1 classes, paper order (fastest first). The WAN class is
+    /// deliberately excluded so [`Environment::table1`] stays the paper's
+    /// 60-row grid; use [`BandwidthClass::all_v2`] for the widened space.
     pub fn all() -> [BandwidthClass; 3] {
         [
             BandwidthClass::Gbps1,
@@ -31,13 +44,29 @@ impl BandwidthClass {
         ]
     }
 
+    /// Every class of the v2 descriptor, LAN classes first.
+    pub fn all_v2() -> [BandwidthClass; 4] {
+        [
+            BandwidthClass::Gbps1,
+            BandwidthClass::Mbps100,
+            BandwidthClass::Mbps10,
+            BandwidthClass::Wan50ms,
+        ]
+    }
+
+    /// The link profile (bandwidth + propagation) of this class.
+    pub fn link(self) -> LinkProfile {
+        match self {
+            BandwidthClass::Gbps1 => LinkProfile::GBPS1_LAN,
+            BandwidthClass::Mbps100 => LinkProfile::MBPS100_LAN,
+            BandwidthClass::Mbps10 => LinkProfile::MBPS10_LAN,
+            BandwidthClass::Wan50ms => LinkProfile::WAN_50MS,
+        }
+    }
+
     /// The link bandwidth.
     pub fn bandwidth(self) -> Bandwidth {
-        match self {
-            BandwidthClass::Gbps1 => Bandwidth::GBPS_1,
-            BandwidthClass::Mbps100 => Bandwidth::MBPS_100,
-            BandwidthClass::Mbps10 => Bandwidth::MBPS_10,
-        }
+        self.link().bandwidth
     }
 
     /// One-way switch/propagation delay for this network class.
@@ -45,38 +74,49 @@ impl BandwidthClass {
     /// Slower Emulab LANs come with older switching gear; the per-packet
     /// fixed delay grows as the link slows. This is what makes bandwidth a
     /// meaningful environment input even for the paper's 12-byte samples,
-    /// whose serialization time alone would barely register.
+    /// whose serialization time alone would barely register. The WAN class
+    /// is dominated by distance instead: 25 ms each way.
     pub fn propagation(self) -> SimDuration {
-        match self {
-            BandwidthClass::Gbps1 => SimDuration::from_micros(50),
-            BandwidthClass::Mbps100 => SimDuration::from_micros(150),
-            BandwidthClass::Mbps10 => SimDuration::from_micros(500),
-        }
+        self.link().propagation
     }
 
     /// Bandwidth in Mb/s (feature encoding).
     pub fn mbps(self) -> f64 {
         self.bandwidth().mbps()
     }
+
+    /// Whether losses on this class hit the network itself (WAN), as
+    /// opposed to the end hosts (the paper's LAN emulation).
+    pub fn network_level_loss(self) -> bool {
+        matches!(self, BandwidthClass::Wan50ms)
+    }
 }
 
 impl std::fmt::Display for BandwidthClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.bandwidth())
+        match self {
+            BandwidthClass::Wan50ms => write!(f, "{}-wan50ms", self.bandwidth()),
+            _ => write!(f, "{}", self.bandwidth()),
+        }
     }
 }
 
-/// One cloud environment configuration (a row of Table 1).
+/// One cloud environment configuration — a row of Table 1, or one of the
+/// v2 rows (WAN path, same-host deployment) beyond it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Environment {
     /// Machine type: pc850 or pc3000.
     pub machine: MachineClass,
-    /// Network bandwidth class: 1 Gb, 100 Mb, or 10 Mb.
+    /// Network class: 1 Gb, 100 Mb, or 10 Mb LAN, or the 50 ms WAN.
     pub bandwidth: BandwidthClass,
     /// DDS implementation: OpenDDS or OpenSplice.
     pub dds: DdsImplementation,
-    /// Percent end-host network loss (1–5 in the paper).
+    /// Percent network loss (1–5 in the paper). End-host loss on LAN
+    /// classes, network-level loss on the WAN class.
     pub loss_percent: u8,
+    /// Writer and readers share one machine (the shared-memory fast path
+    /// applies, and the network class describes the loopback hop).
+    pub same_host: bool,
 }
 
 adamant_json::impl_json_struct!(Environment {
@@ -84,10 +124,12 @@ adamant_json::impl_json_struct!(Environment {
     bandwidth,
     dds,
     loss_percent,
+    same_host,
 });
 
 impl Environment {
-    /// Creates an environment, validating the loss range.
+    /// Creates a distributed (cross-host) environment, validating the loss
+    /// range.
     ///
     /// # Panics
     ///
@@ -104,6 +146,20 @@ impl Environment {
             bandwidth,
             dds,
             loss_percent,
+            same_host: false,
+        }
+    }
+
+    /// Creates a same-host environment: writer and readers co-located on
+    /// one `machine`, talking over the loopback / shared-memory path. The
+    /// path drops nothing.
+    pub fn colocated(machine: MachineClass, dds: DdsImplementation) -> Self {
+        Environment {
+            machine,
+            bandwidth: BandwidthClass::Gbps1,
+            dds,
+            loss_percent: 0,
+            same_host: true,
         }
     }
 
@@ -115,12 +171,7 @@ impl Environment {
             for bandwidth in BandwidthClass::all() {
                 for dds in DdsImplementation::all() {
                     for loss_percent in 1..=5u8 {
-                        all.push(Environment {
-                            machine,
-                            bandwidth,
-                            dds,
-                            loss_percent,
-                        });
+                        all.push(Environment::new(machine, bandwidth, dds, loss_percent));
                     }
                 }
             }
@@ -128,33 +179,98 @@ impl Environment {
         all
     }
 
-    /// The loss as a probability in `[0, 1]`.
+    /// The widened v2 grid: Table 1 (60) plus the WAN rows
+    /// (2 machines × 2 DDS × 5 loss rates = 20) plus the same-host rows
+    /// (2 machines × 2 DDS = 4) — 84 environments.
+    pub fn cloud_grid() -> Vec<Environment> {
+        let mut all = Environment::table1();
+        for machine in MachineClass::all() {
+            for dds in DdsImplementation::all() {
+                for loss_percent in 1..=5u8 {
+                    all.push(Environment::new(
+                        machine,
+                        BandwidthClass::Wan50ms,
+                        dds,
+                        loss_percent,
+                    ));
+                }
+            }
+        }
+        for machine in MachineClass::all() {
+            for dds in DdsImplementation::all() {
+                all.push(Environment::colocated(machine, dds));
+            }
+        }
+        all
+    }
+
+    /// The link profile of this environment's data path.
+    pub fn link(&self) -> LinkProfile {
+        if self.same_host {
+            LinkProfile::SAME_HOST
+        } else {
+            self.bandwidth.link()
+        }
+    }
+
+    /// Round-trip time of the data path (feature encoding: milliseconds).
+    pub fn rtt_ms(&self) -> f64 {
+        self.link().rtt().as_nanos() as f64 / 1_000_000.0
+    }
+
+    /// The *end-host* loss probability in `[0, 1]` that readers should
+    /// apply. Zero for same-host deployments (the path drops nothing) and
+    /// for the WAN class, where loss lives in the network itself — see
+    /// [`Environment::network_config`] — so control traffic is exposed to
+    /// it too.
     pub fn drop_probability(&self) -> f64 {
-        self.loss_percent as f64 / 100.0
+        if self.same_host || self.bandwidth.network_level_loss() {
+            0.0
+        } else {
+            self.loss_percent as f64 / 100.0
+        }
     }
 
     /// The host configuration every node of this environment runs on (the
     /// paper's LANs are homogeneous).
     pub fn host_config(&self) -> HostConfig {
-        HostConfig::new(self.machine, self.bandwidth.bandwidth())
+        HostConfig::new(self.machine, self.link().bandwidth)
     }
 
-    /// The network configuration of this environment.
+    /// The network configuration of this environment. LAN classes keep the
+    /// paper's model — lossless switch, end-host drops. The WAN class
+    /// moves the Bernoulli loss into the network so every packet,
+    /// including NAKs/ACKs and heartbeats, is at risk. The same-host path
+    /// is a ~1 µs lossless hop.
     pub fn network_config(&self) -> NetworkConfig {
+        let link = self.link();
+        let loss = if !self.same_host && self.bandwidth.network_level_loss() {
+            LossModel::Bernoulli(self.loss_percent as f64 / 100.0)
+        } else {
+            LossModel::NONE
+        };
         NetworkConfig {
-            propagation: self.bandwidth.propagation(),
-            loss: LossModel::NONE,
+            propagation: link.propagation,
+            loss,
         }
     }
 }
 
 impl std::fmt::Display for Environment {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}/{}/{}/{}% loss",
-            self.machine, self.bandwidth, self.dds, self.loss_percent
-        )
+        if self.same_host {
+            write!(
+                f,
+                "{}/same-host/{}/{}% loss",
+                self.machine, self.dds, self.loss_percent
+            )
+        } else {
+            write!(
+                f,
+                "{}/{}/{}/{}% loss",
+                self.machine, self.bandwidth, self.dds, self.loss_percent
+            )
+        }
     }
 }
 
@@ -271,5 +387,95 @@ mod tests {
     fn table2_space() {
         assert_eq!(AppParams::table2_rates(), [10, 25, 50, 100]);
         assert_eq!(AppParams::table2_receivers().count(), 13);
+    }
+
+    #[test]
+    fn cloud_grid_is_table1_plus_wan_plus_same_host() {
+        let grid = Environment::cloud_grid();
+        assert_eq!(grid.len(), 84);
+        let mut unique = grid.clone();
+        unique.sort_by_key(|e| format!("{e}"));
+        unique.dedup();
+        assert_eq!(unique.len(), 84);
+        assert_eq!(&grid[..60], &Environment::table1()[..]);
+        assert_eq!(
+            grid.iter()
+                .filter(|e| e.bandwidth == BandwidthClass::Wan50ms)
+                .count(),
+            20
+        );
+        assert_eq!(grid.iter().filter(|e| e.same_host).count(), 4);
+    }
+
+    #[test]
+    fn wan_moves_loss_into_the_network() {
+        let wan = Environment::new(
+            MachineClass::Pc3000,
+            BandwidthClass::Wan50ms,
+            DdsImplementation::OpenSplice,
+            4,
+        );
+        // End hosts no longer roll drops: the network does, so NAKs and
+        // ACKs are exposed to loss too.
+        assert_eq!(wan.drop_probability(), 0.0);
+        let cfg = wan.network_config();
+        assert_eq!(cfg.propagation, SimDuration::from_millis(25));
+        assert!(matches!(cfg.loss, LossModel::Bernoulli(p) if (p - 0.04).abs() < 1e-12));
+        assert!((wan.rtt_ms() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_host_path_is_fast_and_lossless() {
+        let shm = Environment::colocated(MachineClass::Pc850, DdsImplementation::OpenDds);
+        assert!(shm.same_host);
+        assert_eq!(shm.drop_probability(), 0.0);
+        let cfg = shm.network_config();
+        assert_eq!(cfg.propagation, SimDuration::from_micros(1));
+        assert!(matches!(cfg.loss, LossModel::NONE));
+        assert!(shm.rtt_ms() < 0.01);
+        assert_eq!(shm.to_string(), "pc850/same-host/OpenDDS/0% loss");
+    }
+
+    #[test]
+    fn legacy_lan_classes_are_unchanged_by_v2() {
+        // The Table 1 rows must keep their exact pre-v2 behaviour so
+        // existing golden traces and the regression suite stay valid.
+        for env in Environment::table1() {
+            assert!(!env.same_host);
+            assert!((env.drop_probability() - env.loss_percent as f64 / 100.0).abs() < 1e-12);
+            assert!(matches!(env.network_config().loss, LossModel::NONE));
+        }
+        assert_eq!(
+            BandwidthClass::Gbps1.propagation(),
+            SimDuration::from_micros(50)
+        );
+        assert_eq!(
+            BandwidthClass::Mbps100.propagation(),
+            SimDuration::from_micros(150)
+        );
+        assert_eq!(
+            BandwidthClass::Mbps10.propagation(),
+            SimDuration::from_micros(500)
+        );
+    }
+
+    #[test]
+    fn environment_json_round_trips_across_all_v2_axes() {
+        for env in Environment::cloud_grid() {
+            let text = adamant_json::to_string(&env);
+            let back: Environment = adamant_json::from_str(&text).expect("round trip");
+            assert_eq!(back, env, "{text}");
+        }
+        // Pin the serialized form of one v2 row so the descriptor schema
+        // can't silently drift.
+        let wan = Environment::new(
+            MachineClass::Pc850,
+            BandwidthClass::Wan50ms,
+            DdsImplementation::OpenDds,
+            3,
+        );
+        let text = adamant_json::to_string(&wan);
+        assert!(text.contains("\"bandwidth\":\"Wan50ms\""), "{text}");
+        assert!(text.contains("\"same_host\":false"), "{text}");
     }
 }

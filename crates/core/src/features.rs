@@ -8,18 +8,44 @@ use adamant_transport::ProtocolKind;
 
 use crate::env::{AppParams, Environment};
 
-/// Number of ANN input features.
-pub const FEATURE_DIM: usize = 7;
+/// Number of ANN input features. v2 appends the RTT and same-host axes to
+/// the paper's seven.
+pub const FEATURE_DIM: usize = 9;
 
-/// The candidate protocol configurations the selector chooses between
-/// (§4.2: four NAKcast timeouts, two Ricochet settings).
-pub fn candidate_protocols() -> [ProtocolKind; 6] {
-    ProtocolKind::paper_candidates()
+/// The candidate protocol configurations the selector chooses between:
+/// the paper's six (§4.2: four NAKcast timeouts, two Ricochet settings)
+/// plus the v2 stream/WAN cores — StreamCast for long-RTT lossy paths,
+/// ShmCast for same-host deployments.
+pub fn candidate_protocols() -> [ProtocolKind; 8] {
+    let paper = ProtocolKind::paper_candidates();
+    [
+        paper[0],
+        paper[1],
+        paper[2],
+        paper[3],
+        paper[4],
+        paper[5],
+        ProtocolKind::StreamCast { window: 64 },
+        ProtocolKind::ShmCast { queue: 256 },
+    ]
 }
 
 /// The output class index of `kind`, if it is a candidate.
 pub fn class_index(kind: ProtocolKind) -> Option<usize> {
     candidate_protocols().iter().position(|&k| k == kind)
+}
+
+/// Whether `kind` can be deployed at all in `env`. The shared-memory
+/// path exists only when writer and readers are co-located on one host;
+/// every networked transport is feasible everywhere. Infeasible
+/// candidates are never measured into dataset labels and are masked out
+/// at selection time, so the ANN cannot "choose" a transport the
+/// deployment cannot instantiate.
+pub fn is_feasible(kind: ProtocolKind, env: &Environment) -> bool {
+    match kind {
+        ProtocolKind::ShmCast { .. } => env.same_host,
+        _ => true,
+    }
 }
 
 /// Index of the metric among the ANN-visible metrics (ReLate2 = 0,
@@ -35,7 +61,8 @@ pub fn metric_index(metric: MetricKind) -> usize {
 }
 
 /// Encodes one configuration as raw (unscaled) features:
-/// `[cpu MHz, bandwidth Mb/s, dds, loss %, receivers, rate Hz, metric]`.
+/// `[cpu MHz, bandwidth Mb/s, dds, loss %, receivers, rate Hz, metric,
+/// rtt ms, same-host]`.
 pub fn raw_features(env: &Environment, app: &AppParams, metric: MetricKind) -> [f64; FEATURE_DIM] {
     let mhz = match env.machine {
         MachineClass::Pc850 => 850.0,
@@ -53,6 +80,8 @@ pub fn raw_features(env: &Environment, app: &AppParams, metric: MetricKind) -> [
         app.receivers as f64,
         app.rate_hz as f64,
         metric_index(metric) as f64,
+        env.rtt_ms(),
+        if env.same_host { 1.0 } else { 0.0 },
     ]
 }
 
@@ -79,7 +108,51 @@ mod tests {
         );
         let app = AppParams::new(15, 25);
         let f = raw_features(&env, &app, MetricKind::ReLate2Jit);
-        assert_eq!(f, [850.0, 100.0, 1.0, 4.0, 15.0, 25.0, 1.0]);
+        assert_eq!(f, [850.0, 100.0, 1.0, 4.0, 15.0, 25.0, 1.0, 0.3, 0.0]);
+    }
+
+    #[test]
+    fn v2_axes_reach_the_feature_vector() {
+        let app = AppParams::new(3, 10);
+        let wan = Environment::new(
+            MachineClass::Pc3000,
+            BandwidthClass::Wan50ms,
+            DdsImplementation::OpenDds,
+            2,
+        );
+        let f = raw_features(&wan, &app, MetricKind::ReLate2);
+        assert_eq!(f[7], 50.0, "WAN RTT in ms");
+        assert_eq!(f[8], 0.0);
+
+        let shm = Environment::colocated(MachineClass::Pc3000, DdsImplementation::OpenDds);
+        let f = raw_features(&shm, &app, MetricKind::ReLate2);
+        assert!(f[7] < 0.01, "same-host RTT is ~2 µs");
+        assert_eq!(f[8], 1.0);
+    }
+
+    #[test]
+    fn widened_candidates_cover_the_new_cores() {
+        let all = candidate_protocols();
+        assert_eq!(all.len(), 8);
+        assert_eq!(&all[..6], &ProtocolKind::paper_candidates()[..]);
+        assert_eq!(all[6], ProtocolKind::StreamCast { window: 64 });
+        assert_eq!(all[7], ProtocolKind::ShmCast { queue: 256 });
+    }
+
+    #[test]
+    fn shared_memory_is_only_feasible_on_one_host() {
+        let lan = Environment::new(
+            MachineClass::Pc3000,
+            BandwidthClass::Gbps1,
+            DdsImplementation::OpenDds,
+            1,
+        );
+        let shm = Environment::colocated(MachineClass::Pc3000, DdsImplementation::OpenDds);
+        for kind in candidate_protocols() {
+            assert!(is_feasible(kind, &shm), "{kind} must run same-host");
+            let networked = !matches!(kind, ProtocolKind::ShmCast { .. });
+            assert_eq!(is_feasible(kind, &lan), networked, "{kind} on the LAN");
+        }
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub struct ProbedResources {
     pub model: Option<String>,
     /// Link speed in Mb/s, if known.
     pub link_mbps: Option<f64>,
+    /// Measured path round-trip time to the peers in microseconds, if
+    /// known. Raw link speed cannot distinguish a 100 Mb/s campus LAN
+    /// from a 100 Mb/s inter-region WAN path; the RTT can.
+    pub rtt_us: Option<f64>,
+    /// Whether every peer of the session resolves to this same host.
+    pub same_host: bool,
 }
 
 impl ProbedResources {
@@ -34,9 +40,14 @@ impl ProbedResources {
         }
     }
 
-    /// Maps the probed link onto the nearest Table 1 bandwidth class
-    /// (defaults to 1 Gb/s when unknown).
+    /// Maps the probed link onto the nearest bandwidth class (defaults
+    /// to 1 Gb/s when unknown). A path RTT of 5 ms or more marks the
+    /// WAN class regardless of link speed: propagation, not the NIC,
+    /// dominates such a path.
     pub fn bandwidth_class(&self) -> BandwidthClass {
+        if matches!(self.rtt_us, Some(rtt) if rtt >= 5_000.0) {
+            return BandwidthClass::Wan50ms;
+        }
         match self.link_mbps {
             Some(mbps) if mbps <= 55.0 => BandwidthClass::Mbps10,
             Some(mbps) if mbps <= 550.0 => BandwidthClass::Mbps100,
@@ -100,6 +111,8 @@ impl LinuxProcProbe {
             cpus,
             model,
             link_mbps: None,
+            rtt_us: None,
+            same_host: false,
         })
     }
 }
@@ -142,6 +155,8 @@ impl ResourceProbe for SimulatedCloud {
             cpus,
             model: Some(model.to_owned()),
             link_mbps: Some(self.environment.bandwidth.mbps()),
+            rtt_us: Some(self.environment.rtt_ms() * 1_000.0),
+            same_host: self.environment.same_host,
         })
     }
 }
@@ -187,22 +202,45 @@ cache size\t: 2048 KB
             cpus: 1,
             model: None,
             link_mbps: None,
+            rtt_us: None,
+            same_host: false,
         };
         assert_eq!(r.machine_class(), MachineClass::Pc850);
     }
 
     #[test]
     fn bandwidth_classification() {
-        let mk = |mbps: Option<f64>| ProbedResources {
+        let mk = |mbps: Option<f64>, rtt_us: Option<f64>| ProbedResources {
             cpu_mhz: 3000.0,
             cpus: 1,
             model: None,
             link_mbps: mbps,
+            rtt_us,
+            same_host: false,
         };
-        assert_eq!(mk(Some(10.0)).bandwidth_class(), BandwidthClass::Mbps10);
-        assert_eq!(mk(Some(100.0)).bandwidth_class(), BandwidthClass::Mbps100);
-        assert_eq!(mk(Some(1000.0)).bandwidth_class(), BandwidthClass::Gbps1);
-        assert_eq!(mk(None).bandwidth_class(), BandwidthClass::Gbps1);
+        assert_eq!(
+            mk(Some(10.0), None).bandwidth_class(),
+            BandwidthClass::Mbps10
+        );
+        assert_eq!(
+            mk(Some(100.0), None).bandwidth_class(),
+            BandwidthClass::Mbps100
+        );
+        assert_eq!(
+            mk(Some(1000.0), None).bandwidth_class(),
+            BandwidthClass::Gbps1
+        );
+        assert_eq!(mk(None, None).bandwidth_class(), BandwidthClass::Gbps1);
+        // A 100 Mb/s NIC with a long path RTT is the WAN class: the RTT
+        // axis disambiguates what link speed alone cannot.
+        assert_eq!(
+            mk(Some(100.0), Some(50_000.0)).bandwidth_class(),
+            BandwidthClass::Wan50ms
+        );
+        assert_eq!(
+            mk(Some(100.0), Some(300.0)).bandwidth_class(),
+            BandwidthClass::Mbps100
+        );
     }
 
     #[test]
@@ -216,6 +254,24 @@ cache size\t: 2048 KB
         let probed = SimulatedCloud::new(env).probe().unwrap();
         assert_eq!(probed.machine_class(), MachineClass::Pc850);
         assert_eq!(probed.bandwidth_class(), BandwidthClass::Mbps100);
+    }
+
+    #[test]
+    fn simulated_cloud_round_trips_v2_axes() {
+        let wan = Environment::new(
+            MachineClass::Pc3000,
+            BandwidthClass::Wan50ms,
+            DdsImplementation::OpenSplice,
+            3,
+        );
+        let probed = SimulatedCloud::new(wan).probe().unwrap();
+        assert_eq!(probed.bandwidth_class(), BandwidthClass::Wan50ms);
+        assert!(!probed.same_host);
+
+        let shm = Environment::colocated(MachineClass::Pc3000, DdsImplementation::OpenSplice);
+        let probed = SimulatedCloud::new(shm).probe().unwrap();
+        assert!(probed.same_host);
+        assert_ne!(probed.bandwidth_class(), BandwidthClass::Wan50ms);
     }
 
     #[test]

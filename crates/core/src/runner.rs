@@ -49,7 +49,11 @@ impl Scenario {
     fn qos_for(kind: ProtocolKind) -> QosProfile {
         match kind {
             ProtocolKind::Udp => QosProfile::best_effort(),
-            ProtocolKind::Nakcast { .. } => QosProfile::reliable(),
+            // Stream and shared-memory cores guarantee loss-free ordered
+            // delivery, the same contract NAKcast's reliable profile names.
+            ProtocolKind::Nakcast { .. }
+            | ProtocolKind::StreamCast { .. }
+            | ProtocolKind::ShmCast { .. } => QosProfile::reliable(),
             ProtocolKind::Ricochet { .. }
             | ProtocolKind::Ackcast { .. }
             | ProtocolKind::Slingshot { .. } => QosProfile::time_critical(),

@@ -4,15 +4,15 @@
 use std::time::{Duration, Instant};
 
 use adamant_ann::{
-    argmax, evaluate, train, Activation, DecisionTree, DecisionTreeParams, Evaluation,
-    MinMaxScaler, NeuralNetwork, TrainOutcome, TrainParams,
+    evaluate, train, Activation, DecisionTree, DecisionTreeParams, Evaluation, MinMaxScaler,
+    NeuralNetwork, TrainOutcome, TrainParams,
 };
 use adamant_metrics::MetricKind;
 use adamant_transport::ProtocolKind;
 
 use crate::dataset::LabeledDataset;
 use crate::env::{AppParams, Environment};
-use crate::features::{candidate_protocols, raw_features, FEATURE_DIM};
+use crate::features::{candidate_protocols, is_feasible, raw_features, FEATURE_DIM};
 
 /// Architecture and training configuration for the selector's ANN.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,7 +105,16 @@ impl ProtocolSelector {
         let input = self.scaler.transform_row(&raw);
         let scores = self.network.run(&input);
         let elapsed = start.elapsed();
-        let class = argmax(&scores).expect("network has outputs");
+        // Argmax over the classes that can actually be deployed in this
+        // environment: the network may score ShmCast highly near the
+        // same-host boundary, but a cross-host deployment cannot use it.
+        let class = scores
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| is_feasible(candidate_protocols()[i], env))
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite score"))
+            .map(|(i, _)| i)
+            .expect("at least one feasible candidate");
         Selection {
             protocol: candidate_protocols()[class],
             scores,
@@ -177,6 +186,9 @@ impl TableSelector {
         let query = self.scaler.transform_row(&raw);
         let mut best = (f64::INFINITY, 0usize);
         for (features, class) in &self.entries {
+            if !is_feasible(candidate_protocols()[*class], env) {
+                continue;
+            }
             let dist: f64 = features
                 .iter()
                 .zip(&query)
@@ -259,9 +271,11 @@ mod tests {
     use adamant_dds::DdsImplementation;
     use adamant_netsim::MachineClass;
 
-    /// A synthetic but learnable dataset: pc3000 prefers Ricochet R4C3
-    /// (class 4), pc850 prefers NAKcast 1 ms (class 3) — the paper's
-    /// headline pattern.
+    /// A synthetic but learnable dataset over the widened v2 grid: on the
+    /// LAN classes pc3000 prefers Ricochet R4C3 (class 4) and pc850
+    /// prefers NAKcast 1 ms (class 3) — the paper's headline pattern —
+    /// while the WAN rows prefer StreamCast (class 6) and the same-host
+    /// rows ShmCast (class 7).
     fn synthetic_dataset() -> LabeledDataset {
         let mut rows = Vec::new();
         for machine in MachineClass::all() {
@@ -279,10 +293,32 @@ mod tests {
                                 app: AppParams::new(receivers, 25),
                                 metric: MetricKind::ReLate2,
                                 best_class,
-                                scores: vec![0.0; 6],
+                                scores: vec![0.0; 8],
                             });
                         }
                     }
+                }
+            }
+        }
+        for machine in MachineClass::all() {
+            for dds in DdsImplementation::all() {
+                for receivers in [3u32, 15] {
+                    for loss in 1..=5u8 {
+                        rows.push(DatasetRow {
+                            env: Environment::new(machine, BandwidthClass::Wan50ms, dds, loss),
+                            app: AppParams::new(receivers, 25),
+                            metric: MetricKind::ReLate2,
+                            best_class: 6,
+                            scores: vec![0.0; 8],
+                        });
+                    }
+                    rows.push(DatasetRow {
+                        env: Environment::colocated(machine, dds),
+                        app: AppParams::new(receivers, 25),
+                        metric: MetricKind::ReLate2,
+                        best_class: 7,
+                        scores: vec![0.0; 8],
+                    });
                 }
             }
         }
@@ -329,6 +365,66 @@ mod tests {
     }
 
     #[test]
+    fn selector_learns_the_v2_axes() {
+        let ds = synthetic_dataset();
+        let (selector, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
+        let app = AppParams::new(3, 25);
+        let wan = Environment::new(
+            MachineClass::Pc3000,
+            BandwidthClass::Wan50ms,
+            DdsImplementation::OpenSplice,
+            3,
+        );
+        assert!(matches!(
+            selector.select(&wan, &app, MetricKind::ReLate2).protocol,
+            ProtocolKind::StreamCast { .. }
+        ));
+        let shm = Environment::colocated(MachineClass::Pc850, DdsImplementation::OpenDds);
+        assert!(matches!(
+            selector.select(&shm, &app, MetricKind::ReLate2).protocol,
+            ProtocolKind::ShmCast { .. }
+        ));
+    }
+
+    #[test]
+    fn infeasible_classes_are_masked_at_selection_time() {
+        // A table whose only entry says "ShmCast" must still refuse to
+        // recommend it for a cross-host query — and an ANN query from
+        // right outside the same-host boundary must land on a transport
+        // the deployment can actually instantiate.
+        let ds = LabeledDataset {
+            rows: vec![DatasetRow {
+                env: Environment::colocated(MachineClass::Pc3000, DdsImplementation::OpenDds),
+                app: AppParams::new(3, 25),
+                metric: MetricKind::ReLate2,
+                best_class: 7,
+                scores: vec![0.0; 8],
+            }],
+        };
+        let table = TableSelector::from_dataset(&ds);
+        let lan = Environment::new(
+            MachineClass::Pc3000,
+            BandwidthClass::Gbps1,
+            DdsImplementation::OpenDds,
+            1,
+        );
+        let app = AppParams::new(3, 25);
+        let sel = table.select(&lan, &app, MetricKind::ReLate2);
+        assert!(!matches!(sel.protocol, ProtocolKind::ShmCast { .. }));
+
+        let (selector, _) =
+            ProtocolSelector::train_from(&synthetic_dataset(), &SelectorConfig::default());
+        let mut near = Environment::colocated(MachineClass::Pc3000, DdsImplementation::OpenDds);
+        near.same_host = false;
+        let sel = selector.select(&near, &app, MetricKind::ReLate2);
+        assert!(
+            !matches!(sel.protocol, ProtocolKind::ShmCast { .. }),
+            "picked {} for a cross-host environment",
+            sel.protocol
+        );
+    }
+
+    #[test]
     fn selection_time_is_measured_and_small() {
         let ds = synthetic_dataset();
         let (selector, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
@@ -338,7 +434,7 @@ mod tests {
         let _ = selector.select(&env, &app, MetricKind::ReLate2);
         let sel = selector.select(&env, &app, MetricKind::ReLate2);
         assert!(sel.elapsed < Duration::from_millis(1), "{:?}", sel.elapsed);
-        assert_eq!(sel.scores.len(), 6);
+        assert_eq!(sel.scores.len(), 8);
     }
 
     #[test]
@@ -377,7 +473,7 @@ mod tests {
         let ds = synthetic_dataset();
         let (data, scaler) = ds.to_training_data();
         let _ = data;
-        let net = NeuralNetwork::new(&[FEATURE_DIM, 4, 6], Activation::fann_default(), 1);
+        let net = NeuralNetwork::new(&[FEATURE_DIM, 4, 8], Activation::fann_default(), 1);
         let selector = ProtocolSelector::from_parts(net, scaler);
         let _ = selector.network();
     }

@@ -397,7 +397,8 @@ impl DomainParticipant {
         if needs_reliability
             && !(properties.nak_reliability
                 || properties.ack_reliability
-                || properties.lateral_error_correction)
+                || properties.lateral_error_correction
+                || properties.lossless_path)
         {
             return Err(DdsError::TransportUnsuitable {
                 topic: topic.to_owned(),

@@ -426,6 +426,45 @@ mod tests {
     }
 
     #[test]
+    fn code_values_are_pinned() {
+        // The code travels in `EndpointAd::qos_code` on the discovery
+        // wire: these exact numbers are the compatibility contract with
+        // already-deployed peers. If one of these assertions fails, the
+        // encoding changed and old and new nodes will disagree about QoS
+        // matching — bump the wire format instead of editing the pins.
+        assert_eq!(QosProfile::reliable().code(), 0xFFFF_000D);
+        assert_eq!(QosProfile::best_effort().code(), 0xFFFF_0010);
+        assert_eq!(QosProfile::time_critical().code(), 0xFFFF_0401);
+        assert_eq!(
+            QosProfile::reliable()
+                .with_deadline(SimDuration::from_millis(100))
+                .code(),
+            0x0064_000D
+        );
+        assert_eq!(
+            QosProfile::reliable()
+                .with_durability(Durability::TransientLocal)
+                .with_history(History::KeepLast(32))
+                .with_latency_budget(SimDuration::from_millis(5))
+                .code(),
+            0x5_FFFF_0207
+        );
+        // Saturation behaviour is part of the contract too.
+        assert_eq!(
+            QosProfile::best_effort()
+                .with_history(History::KeepLast(u32::MAX))
+                .code(),
+            0xFFFF_FFF0
+        );
+        assert_eq!(
+            QosProfile::best_effort()
+                .with_deadline(SimDuration::from_secs(100))
+                .code(),
+            0xFFFE_0010
+        );
+    }
+
+    #[test]
     fn code_preserves_matching_semantics() {
         // RxO compatibility over decoded profiles must agree with the
         // originals for everything the discovery path announces.

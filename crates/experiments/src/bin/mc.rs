@@ -4,9 +4,10 @@
 //! mc [explore|walk|fuzz|all] [--seed S] [--fuzz-iters N] [--walks N]
 //! ```
 //!
-//! * `explore` — exhaustive DFS over the three `adamant-mc` scenarios:
-//!   NAKcast 1-writer/2-reader (with a drop budget, then a duplication
-//!   budget), and the durable crash/restart topology. Clean runs write
+//! * `explore` — exhaustive DFS over the `adamant-mc` scenarios: NAKcast
+//!   and StreamCast 1-writer/2-reader (each with a drop budget, then a
+//!   duplication budget), the StreamCast dynamic-join handshake, and the
+//!   durable crash/restart topology. Clean runs write
 //!   their statistics to `artifacts/mc_explore.json`; a violation writes
 //!   the replayable counterexample to `artifacts/mc_counterexample.json`
 //!   and exits nonzero.
@@ -56,6 +57,25 @@ fn suite(seed: u64) -> Vec<(&'static str, adamant_mc::Scenario, McConfig)> {
             "nakcast-1w2r+dup",
             scenarios::nakcast_1w2r(1),
             nakcast_cfg(seed).with_max_drops(0).with_max_dups(1),
+        ),
+        (
+            "streamcast-1w2r+drop",
+            scenarios::streamcast_1w2r(2),
+            nakcast_cfg(seed),
+        ),
+        (
+            "streamcast-1w2r+dup",
+            scenarios::streamcast_1w2r(1),
+            nakcast_cfg(seed).with_max_drops(0).with_max_dups(1),
+        ),
+        (
+            // Dynamic-join handshake safety: drop AND duplication budget
+            // together, shorter horizon to bound the SYN-retry marches.
+            "streamcast-join+drop+dup",
+            scenarios::streamcast_join(1),
+            nakcast_cfg(seed)
+                .with_max_dups(1)
+                .with_horizon(TimePoint::from_millis(25)),
         ),
         (
             "durable-crash-restart",

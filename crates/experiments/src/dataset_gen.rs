@@ -17,7 +17,7 @@ use adamant::{
 use adamant_metrics::MetricKind;
 use adamant_transport::Tuning;
 
-use crate::sweep::{run_all_with_threads, Averaged, RunSpec};
+use crate::sweep::{run_all_with_threads, RunSpec};
 
 /// How many configurations the dataset labels per metric (197 × 2 = 394).
 pub const CONFIGS_PER_METRIC: usize = 197;
@@ -53,6 +53,33 @@ pub fn dataset_grid() -> Vec<(Environment, AppParams)> {
         .collect()
 }
 
+/// The widened v2 grid: the full cloud grid (Table 1 + the WAN class +
+/// the same-host descriptors) × receivers {3, 15} × Table 2 rates.
+pub fn full_grid_v2() -> Vec<(Environment, AppParams)> {
+    let mut grid = Vec::new();
+    for env in Environment::cloud_grid() {
+        for receivers in [3u32, 15] {
+            for rate in AppParams::table2_rates() {
+                grid.push((env, AppParams::new(receivers, rate)));
+            }
+        }
+    }
+    grid
+}
+
+/// The deterministic v2 labelling grid: the paper's 197-configuration
+/// subset plus *every* WAN and same-host configuration — the new axes
+/// are small enough to enumerate exhaustively rather than stride.
+pub fn dataset_grid_v2() -> Vec<(Environment, AppParams)> {
+    let mut grid = dataset_grid();
+    grid.extend(
+        full_grid_v2()
+            .into_iter()
+            .filter(|(env, _)| env.bandwidth == adamant::BandwidthClass::Wan50ms || env.same_host),
+    );
+    grid
+}
+
 /// Generates the labelled dataset by running every candidate protocol on
 /// every configuration of [`dataset_grid`].
 ///
@@ -66,15 +93,44 @@ pub fn generate(
     tuning: Tuning,
     progress: &mut dyn FnMut(usize, usize),
 ) -> LabeledDataset {
-    let grid = dataset_grid();
+    generate_over(
+        &dataset_grid(),
+        samples,
+        repetitions,
+        threads,
+        tuning,
+        progress,
+    )
+}
+
+/// Generates a labelled dataset over an explicit configuration grid.
+///
+/// Candidates the deployment cannot instantiate in a given environment
+/// (ShmCast across hosts) are not run at all; they score infinity so the
+/// score vector stays aligned with `candidate_protocols()` while never
+/// becoming the label.
+pub fn generate_over(
+    grid: &[(Environment, AppParams)],
+    samples: u64,
+    repetitions: u32,
+    threads: usize,
+    tuning: Tuning,
+    progress: &mut dyn FnMut(usize, usize),
+) -> LabeledDataset {
     let candidates = adamant::features::candidate_protocols();
     let mut rows = Vec::with_capacity(grid.len() * 2);
     for (done, &(env, app)) in grid.iter().enumerate() {
         progress(done, grid.len());
-        // All candidate × repetition runs for this configuration.
+        let feasible: Vec<bool> = candidates
+            .iter()
+            .map(|&kind| adamant::features::is_feasible(kind, &env))
+            .collect();
+        // All feasible candidate × repetition runs for this configuration.
         let specs: Vec<RunSpec> = candidates
             .iter()
-            .flat_map(|&protocol| {
+            .zip(&feasible)
+            .filter(|&(_, &ok)| ok)
+            .flat_map(|(&protocol, _)| {
                 (0..repetitions).map(move |repetition| RunSpec {
                     env,
                     app,
@@ -86,19 +142,28 @@ pub fn generate(
             .collect();
         let results = run_all_with_threads(&specs, tuning, threads);
         // Average per candidate, then label per metric.
-        let mut averaged = Vec::with_capacity(candidates.len());
-        for (c, _) in candidates.iter().enumerate() {
-            let reports: Vec<_> = results[c * repetitions as usize..(c + 1) * repetitions as usize]
-                .iter()
-                .map(|r| r.report.clone())
-                .collect();
-            averaged.push((Averaged::over(&reports), reports));
+        let mut averaged: Vec<Option<Vec<_>>> = Vec::with_capacity(candidates.len());
+        let mut offset = 0usize;
+        for &ok in &feasible {
+            if ok {
+                let reports: Vec<_> = results[offset..offset + repetitions as usize]
+                    .iter()
+                    .map(|r| r.report.clone())
+                    .collect();
+                offset += repetitions as usize;
+                averaged.push(Some(reports));
+            } else {
+                averaged.push(None);
+            }
         }
         for metric in MetricKind::paper_metrics() {
             let scores: Vec<f64> = averaged
                 .iter()
-                .map(|(_, reports)| {
-                    reports.iter().map(|r| metric.score(r)).sum::<f64>() / reports.len() as f64
+                .map(|reports| match reports {
+                    Some(reports) => {
+                        reports.iter().map(|r| metric.score(r)).sum::<f64>() / reports.len() as f64
+                    }
+                    None => f64::INFINITY,
                 })
                 .collect();
             let best_class = best_class_with_margin(&scores, LABEL_MARGIN);
@@ -129,6 +194,22 @@ pub fn generate_default(progress: &mut dyn FnMut(usize, usize)) -> LabeledDatase
     )
 }
 
+/// Generates the widened v2 dataset (paper subset + WAN + same-host)
+/// with the paper-scale defaults.
+pub fn generate_v2_default(progress: &mut dyn FnMut(usize, usize)) -> LabeledDataset {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    generate_over(
+        &dataset_grid_v2(),
+        LABEL_SAMPLES,
+        REPETITIONS,
+        threads,
+        Tuning::default(),
+        progress,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +229,21 @@ mod tests {
     #[test]
     fn grid_is_deterministic() {
         assert_eq!(dataset_grid(), dataset_grid());
+        assert_eq!(dataset_grid_v2(), dataset_grid_v2());
+    }
+
+    #[test]
+    fn v2_grid_sizes() {
+        // 84 cloud environments × 2 receiver counts × 4 rates.
+        assert_eq!(full_grid_v2().len(), 672);
+        // The paper's 197 + every WAN (20 envs) and same-host (4 envs)
+        // configuration × 2 receiver counts × 4 rates.
+        assert_eq!(dataset_grid_v2().len(), CONFIGS_PER_METRIC + 24 * 8);
+        let v2 = dataset_grid_v2();
+        assert!(v2.iter().any(|(env, _)| env.same_host));
+        assert!(v2
+            .iter()
+            .any(|(env, _)| env.bandwidth == adamant::BandwidthClass::Wan50ms));
     }
 
     #[test]

@@ -31,7 +31,8 @@ use std::sync::Arc;
 use adamant_json::{Json, ToJson};
 use adamant_proto::wire::{
     AckMsg, DataMsg, DiscoveryMsg, DurableHeartbeatMsg, DurableNakMsg, EndpointAd, FinMsg,
-    HeartbeatMsg, MembershipMsg, NakMsg, RepairMsg,
+    HeartbeatMsg, MembershipMsg, NakMsg, RepairMsg, ShmCreditMsg, StreamAckMsg, StreamSynAckMsg,
+    StreamSynMsg,
 };
 use adamant_proto::{DetRng, FrameHeader, NodeId, TimePoint, WireMsg};
 
@@ -154,7 +155,7 @@ pub fn arbitrary_msg(rng: &mut DetRng) -> WireMsg {
         published_at: TimePoint::from_nanos(rng.next_u64()),
         retransmission: rng.next_below(2) == 1,
     };
-    match rng.next_below(11) {
+    match rng.next_below(15) {
         0 => WireMsg::Data(data(rng)),
         1 => WireMsg::Forwarded(data(rng)),
         2 => WireMsg::Nak(NakMsg {
@@ -199,8 +200,21 @@ pub fn arbitrary_msg(rng: &mut DetRng) -> WireMsg {
             first_seq: rng.next_u64(),
             last_seq: rng.next_u64(),
         }),
-        _ => WireMsg::DurableNak(DurableNakMsg {
+        10 => WireMsg::DurableNak(DurableNakMsg {
             seqs: small_vec(rng),
+        }),
+        11 => WireMsg::StreamSyn(StreamSynMsg {
+            window: rng.next_u64() as u32,
+        }),
+        12 => WireMsg::StreamSynAck(StreamSynAckMsg {
+            window: rng.next_u64() as u32,
+        }),
+        13 => WireMsg::StreamAck(StreamAckMsg {
+            cum_ack: rng.next_u64(),
+            window: rng.next_u64() as u32,
+        }),
+        _ => WireMsg::ShmCredit(ShmCreditMsg {
+            upto: rng.next_u64(),
         }),
     }
 }
@@ -249,7 +263,7 @@ pub fn fuzz_wire(seed: u64, iterations: u64) -> FuzzReport {
         let len = rng.next_below(64) as usize;
         let mut bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         if !bytes.is_empty() && rng.next_below(2) == 1 {
-            bytes[0] = rng.next_below(14) as u8; // kinds are 1..=11; overshoot a little
+            bytes[0] = rng.next_below(18) as u8; // kinds are 1..=15; overshoot a little
         }
         if check_bytes(&bytes, iteration, &mut report.failures) {
             report.random_decoded += 1;
@@ -402,7 +416,7 @@ mod tests {
     #[test]
     fn generator_covers_every_variant() {
         let mut rng = DetRng::seed_from_u64(7);
-        let mut seen = [false; 11];
+        let mut seen = [false; 15];
         for _ in 0..512 {
             let idx = match arbitrary_msg(&mut rng) {
                 WireMsg::Data(_) => 0,
@@ -416,6 +430,10 @@ mod tests {
                 WireMsg::Discovery(_) => 8,
                 WireMsg::DurableHeartbeat(_) => 9,
                 WireMsg::DurableNak(_) => 10,
+                WireMsg::StreamSyn(_) => 11,
+                WireMsg::StreamSynAck(_) => 12,
+                WireMsg::StreamAck(_) => 13,
+                WireMsg::ShmCredit(_) => 14,
             };
             seen[idx] = true;
         }

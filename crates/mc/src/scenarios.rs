@@ -7,7 +7,10 @@ use adamant_proto::{
     catch_up_bound, DurableConfig, DurableCore, Env, GroupId, Input, NodeId, ProtoEvent,
     ProtocolCore, Span, TimePoint, WireMsg,
 };
-use adamant_transport::{AppSpec, NakcastReceiver, NakcastSender, StackProfile, Tuning};
+use adamant_transport::{
+    AppSpec, NakcastReceiver, NakcastSender, StackProfile, StreamCastReceiver, StreamCastSender,
+    Tuning,
+};
 
 use crate::scenario::Scenario;
 use crate::world::McCore;
@@ -36,6 +39,89 @@ fn sender(samples: u64) -> NakcastSender {
 
 fn receiver(samples: u64) -> NakcastReceiver {
     NakcastReceiver::new(NodeId(0), samples, Span::from_millis(1), tuning(), 0.0)
+}
+
+/// StreamCast tuning for model checking.
+///
+/// * RTO band `[15 ms, 40 ms]` instead of `[5 ms, 2 s]`: the cap keeps
+///   the first (pre-RTT-sample) timeout inside the 50 ms horizon, and
+///   the raised floor bounds every schedule to at most three RTO fires
+///   — a 5 ms floor would march ten timer fires (each spraying
+///   retransmissions) into every schedule and blow up the state space.
+/// * `stream_dupack_threshold: 1`: repair on the *first* duplicate
+///   cumulative ACK. This is the correctness-critical one. The model's
+///   adversary may delay every packet to the horizon, where no timer
+///   can ever fire again — so a gap is only recoverable if repair is
+///   message-driven, cascading at a single virtual instant (dup-ACK →
+///   fast retransmit → ACK), exactly as NAKcast's heartbeat → NAK →
+///   repair chain is. Waiting for three dup-ACKs is a reordering
+///   heuristic for real networks, not a correctness requirement.
+fn stream_tuning() -> Tuning {
+    Tuning {
+        stream_rto_min: Span::from_millis(15),
+        stream_rto_max: Span::from_millis(40),
+        stream_dupack_threshold: 1,
+        ..Tuning::default()
+    }
+}
+
+fn stream_sender(samples: u64) -> StreamCastSender {
+    StreamCastSender::new(
+        AppSpec::at_rate(samples, RATE_HZ, 12),
+        StackProfile::new(10.0, 48),
+        stream_tuning(),
+        GroupId(0),
+        4,
+    )
+}
+
+fn stream_receiver(samples: u64) -> StreamCastReceiver {
+    StreamCastReceiver::new(NodeId(0), samples, 4, stream_tuning(), 0.0)
+}
+
+/// 1 writer, 2 readers, StreamCast (window 4), `samples` samples at
+/// 1 kHz, with the membership pre-provisioned on both sides (as an
+/// ADAMANT deployment installs it from the service agreement).
+///
+/// Both readers are durable in the spec, so every quiescent schedule —
+/// every placement of the adversary's drop budget across data and
+/// cumulative ACKs — must end with both ordered streams complete. That
+/// proves the cumulative-ACK, fast-retransmit, and RTO recovery loops
+/// as safety properties rather than sampling them.
+///
+/// Static membership is what makes the completeness property schedule-
+/// independent: publication is timer-driven from `Start`, like NAKcast.
+/// (With dynamic join the adversary can hold the SYN until the horizon,
+/// and samples whose publication never happened cannot be demanded of
+/// the readers — the handshake is checked by [`streamcast_join`]
+/// instead.)
+pub fn streamcast_1w2r(samples: u64) -> Scenario {
+    let spec = VerifySpec::new(samples, 2).with_durable_nodes([1, 2]);
+    Scenario::new("streamcast-1w2r", spec)
+        .with_node(move || {
+            Box::new(
+                stream_sender(samples)
+                    .with_peer(NodeId(1), 4)
+                    .with_peer(NodeId(2), 4),
+            ) as Box<dyn McCore>
+        })
+        .with_node(move || Box::new(stream_receiver(samples).with_connected()) as Box<dyn McCore>)
+        .with_node(move || Box::new(stream_receiver(samples).with_connected()) as Box<dyn McCore>)
+        .with_groups(vec![vec![NodeId(0), NodeId(1), NodeId(2)]])
+}
+
+/// 1 writer, 1 dynamically-joining reader: the SYN/SYN-ACK handshake
+/// (and its retry timer) explored under drops, duplication, and every
+/// delivery order. The spec checks safety — at-most-once, ordering —
+/// but not completeness: the adversary may legitimately delay the SYN
+/// to the horizon, in which case publication never starts and there is
+/// nothing to be complete about.
+pub fn streamcast_join(samples: u64) -> Scenario {
+    let spec = VerifySpec::new(samples, 1);
+    Scenario::new("streamcast-join", spec)
+        .with_node(move || Box::new(stream_sender(samples)) as Box<dyn McCore>)
+        .with_node(move || Box::new(stream_receiver(samples)) as Box<dyn McCore>)
+        .with_groups(vec![vec![NodeId(0), NodeId(1)]])
 }
 
 /// 1 writer, 2 readers, NAKcast, `samples` samples at 1 kHz.

@@ -59,6 +59,78 @@ fn nakcast_1w2r_survives_duplication() {
 }
 
 #[test]
+fn streamcast_1w2r_exhaustive_no_violations() {
+    // Drop budget 1 over the stream core with pre-provisioned
+    // membership: the adversary may kill any one data or cumulative-ACK
+    // packet, and the fast-retransmit / RTO recovery loops must still
+    // complete both ordered streams on every schedule. This search is
+    // what caught the floor-only RTO starvation bug (see `on_rto`).
+    let scenario = scenarios::streamcast_1w2r(2);
+    let result = explore(&scenario, &nakcast_cfg());
+    assert!(
+        result.is_clean(),
+        "counterexample: {}",
+        adamant_json::to_string_pretty(result.counterexample.as_ref().unwrap()),
+    );
+    assert!(
+        result.exhausted,
+        "state budget truncated: {:?}",
+        result.stats
+    );
+    assert!(
+        result.stats.quiescent_leaves > 0,
+        "no schedule quiesced: {:?}",
+        result.stats
+    );
+    assert!(
+        result.stats.states > 100,
+        "suspiciously small: {:?}",
+        result.stats
+    );
+}
+
+#[test]
+fn streamcast_1w2r_survives_duplication() {
+    // Duplication budget 1: the receiver's reception log and hold-back
+    // buffer must suppress every duplicated data packet, and duplicated
+    // ACKs (which feed the dup-ack fast-retransmit counter) must at most
+    // trigger a redundant — deduplicated — retransmission.
+    let scenario = scenarios::streamcast_1w2r(1);
+    let cfg = nakcast_cfg().with_max_drops(0).with_max_dups(1);
+    let result = explore(&scenario, &cfg);
+    assert!(result.is_clean(), "dup handling broken: {:?}", result.stats);
+    assert!(result.exhausted);
+    assert!(result.stats.quiescent_leaves > 0);
+}
+
+#[test]
+fn streamcast_dynamic_join_safe_under_drops_and_dups() {
+    // The SYN/SYN-ACK handshake and its retry timer, explored with one
+    // drop AND one duplication allowed: joining must never double-accept
+    // or reorder, whichever copy of whichever packet survives. The spec
+    // deliberately has no durable nodes — the adversary may hold the SYN
+    // to the horizon, so completeness is not demandable here (that is
+    // the pre-provisioned scenario's job). Horizon 25 ms bounds the
+    // 10 ms SYN-retry marches so the search exhausts.
+    let scenario = scenarios::streamcast_join(1);
+    let cfg = nakcast_cfg()
+        .with_max_dups(1)
+        .with_horizon(TimePoint::from_millis(25));
+    let result = explore(&scenario, &cfg);
+    assert!(
+        result.is_clean(),
+        "counterexample: {}",
+        adamant_json::to_string_pretty(result.counterexample.as_ref().unwrap()),
+    );
+    assert!(
+        result.exhausted,
+        "state budget truncated: {:?}",
+        result.stats
+    );
+    assert!(result.stats.quiescent_leaves > 0, "{:?}", result.stats);
+}
+
+#[test]
 fn durable_crash_restart_exhaustive_no_violations() {
     let scenario = scenarios::durable_crash_restart(2);
     let cfg = McConfig::default()

@@ -75,6 +75,8 @@ impl Bandwidth {
     pub const MBPS_100: Bandwidth = Bandwidth(100_000_000);
     /// 1 Gb/s LAN.
     pub const GBPS_1: Bandwidth = Bandwidth(1_000_000_000);
+    /// 10 Gb/s — the same-host loopback / shared-memory path.
+    pub const GBPS_10: Bandwidth = Bandwidth(10_000_000_000);
 
     /// Creates a bandwidth of `bps` bits per second.
     ///
@@ -116,6 +118,54 @@ impl fmt::Display for Bandwidth {
         } else {
             write!(f, "{}Mb", self.0 / 1_000_000)
         }
+    }
+}
+
+/// A link class: the bandwidth of a path paired with its one-way
+/// switch/propagation delay.
+///
+/// This is the single source of truth for the per-class tables that the
+/// environment descriptor (`adamant-core`) and the simulator both consume —
+/// previously the pairings lived in two places and could drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkProfile {
+    /// Link bandwidth.
+    pub bandwidth: Bandwidth,
+    /// One-way switch + propagation delay per packet copy.
+    pub propagation: SimDuration,
+}
+
+impl LinkProfile {
+    /// 1 Gb/s switched LAN (modern gear, 50 µs switch latency).
+    pub const GBPS1_LAN: LinkProfile = LinkProfile {
+        bandwidth: Bandwidth::GBPS_1,
+        propagation: SimDuration::from_micros(50),
+    };
+    /// 100 Mb/s switched LAN (older gear, 150 µs switch latency).
+    pub const MBPS100_LAN: LinkProfile = LinkProfile {
+        bandwidth: Bandwidth::MBPS_100,
+        propagation: SimDuration::from_micros(150),
+    };
+    /// 10 Mb/s switched LAN (oldest gear, 500 µs switch latency).
+    pub const MBPS10_LAN: LinkProfile = LinkProfile {
+        bandwidth: Bandwidth::MBPS_10,
+        propagation: SimDuration::from_micros(500),
+    };
+    /// A 100 Mb/s wide-area path with a 50 ms round trip (25 ms each way) —
+    /// inter-datacenter distance.
+    pub const WAN_50MS: LinkProfile = LinkProfile {
+        bandwidth: Bandwidth::MBPS_100,
+        propagation: SimDuration::from_millis(25),
+    };
+    /// The same-host path: memory-speed bandwidth and a ~1 µs hop.
+    pub const SAME_HOST: LinkProfile = LinkProfile {
+        bandwidth: Bandwidth::GBPS_10,
+        propagation: SimDuration::from_micros(1),
+    };
+
+    /// Round-trip time of an empty packet on this link.
+    pub fn rtt(self) -> SimDuration {
+        self.propagation * 2
     }
 }
 

@@ -83,7 +83,7 @@ pub use agent::{Agent, Ctx};
 pub use driver::{lift_proto_event, SimDriver};
 pub use event::TimerId;
 pub use fault::{Fault, FaultPlan, RestartFn};
-pub use host::{Bandwidth, HostConfig, MachineClass};
+pub use host::{Bandwidth, HostConfig, LinkProfile, MachineClass};
 pub use loss::LossModel;
 pub use obs::{DropReason, MemorySink, ObsEvent, TraceSink, TracedEvent};
 pub use packet::{

@@ -120,6 +120,42 @@ pub struct DurableNakMsg {
     pub seqs: Vec<u64>,
 }
 
+/// A StreamCast connection request from a receiver: announces the receive
+/// window (in packets) it is prepared to buffer. Retried on a timer until
+/// the sender answers with [`StreamSynAckMsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSynMsg {
+    /// Receive window in packets.
+    pub window: u32,
+}
+
+/// The sender's answer to a [`StreamSynMsg`]: the connection is open and
+/// the stream starts at sequence 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSynAckMsg {
+    /// The sender's configured send window in packets.
+    pub window: u32,
+}
+
+/// A StreamCast cumulative acknowledgement: every sequence below `cum_ack`
+/// has been received in order. Unlike [`AckMsg`] there is no missing list —
+/// loss shows up as duplicate ACKs, TCP-style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamAckMsg {
+    /// All sequences `< cum_ack` are received and delivered in order.
+    pub cum_ack: u64,
+    /// Remaining receive window in packets (flow-control advertisement).
+    pub window: u32,
+}
+
+/// A ShmCast flow-control credit grant: the receiver's bounded queue has
+/// room for every sequence `< upto`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShmCreditMsg {
+    /// The sender may publish sequences up to (exclusive) this value.
+    pub upto: u64,
+}
+
 /// Every message a protocol core can put on the wire.
 ///
 /// The discovery variant is behind an `Arc` because announcements repeat
@@ -149,6 +185,14 @@ pub enum WireMsg {
     DurableHeartbeat(DurableHeartbeatMsg),
     /// A durable reader's catch-up request.
     DurableNak(DurableNakMsg),
+    /// A StreamCast connection request (receiver → sender).
+    StreamSyn(StreamSynMsg),
+    /// A StreamCast connection accept (sender → receiver).
+    StreamSynAck(StreamSynAckMsg),
+    /// A StreamCast cumulative acknowledgement (receiver → sender).
+    StreamAck(StreamAckMsg),
+    /// A ShmCast flow-control credit grant (receiver → sender).
+    ShmCredit(ShmCreditMsg),
 }
 
 const KIND_DATA: u8 = 1;
@@ -162,6 +206,10 @@ const KIND_FORWARDED: u8 = 8;
 const KIND_DISCOVERY: u8 = 9;
 const KIND_DURABLE_HEARTBEAT: u8 = 10;
 const KIND_DURABLE_NAK: u8 = 11;
+const KIND_STREAM_SYN: u8 = 12;
+const KIND_STREAM_SYN_ACK: u8 = 13;
+const KIND_STREAM_ACK: u8 = 14;
+const KIND_SHM_CREDIT: u8 = 15;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -311,6 +359,23 @@ impl WireMsg {
                     put_u64(buf, seq);
                 }
             }
+            WireMsg::StreamSyn(m) => {
+                buf.push(KIND_STREAM_SYN);
+                put_u32(buf, m.window);
+            }
+            WireMsg::StreamSynAck(m) => {
+                buf.push(KIND_STREAM_SYN_ACK);
+                put_u32(buf, m.window);
+            }
+            WireMsg::StreamAck(m) => {
+                buf.push(KIND_STREAM_ACK);
+                put_u64(buf, m.cum_ack);
+                put_u32(buf, m.window);
+            }
+            WireMsg::ShmCredit(m) => {
+                buf.push(KIND_SHM_CREDIT);
+                put_u64(buf, m.upto);
+            }
             WireMsg::Discovery(m) => {
                 buf.push(KIND_DISCOVERY);
                 put_u32(buf, m.participant_id);
@@ -387,6 +452,13 @@ impl WireMsg {
                 }
                 WireMsg::DurableNak(DurableNakMsg { seqs })
             }
+            KIND_STREAM_SYN => WireMsg::StreamSyn(StreamSynMsg { window: r.u32()? }),
+            KIND_STREAM_SYN_ACK => WireMsg::StreamSynAck(StreamSynAckMsg { window: r.u32()? }),
+            KIND_STREAM_ACK => WireMsg::StreamAck(StreamAckMsg {
+                cum_ack: r.u64()?,
+                window: r.u32()?,
+            }),
+            KIND_SHM_CREDIT => WireMsg::ShmCredit(ShmCreditMsg { upto: r.u64()? }),
             KIND_DISCOVERY => {
                 let participant_id = r.u32()?;
                 let epoch = r.u32()?;
@@ -664,6 +736,34 @@ mod tests {
         round_trip(WireMsg::DurableNak(DurableNakMsg {
             seqs: vec![17, 20, 99],
         }));
+        round_trip(WireMsg::StreamSyn(StreamSynMsg { window: 64 }));
+        round_trip(WireMsg::StreamSynAck(StreamSynAckMsg { window: 32 }));
+        round_trip(WireMsg::StreamAck(StreamAckMsg {
+            cum_ack: 1_000_000_007,
+            window: 17,
+        }));
+        round_trip(WireMsg::ShmCredit(ShmCreditMsg { upto: u64::MAX - 1 }));
+    }
+
+    #[test]
+    fn stream_and_shm_frames_reject_truncation_and_trailing_bytes() {
+        for msg in [
+            WireMsg::StreamSyn(StreamSynMsg { window: 8 }),
+            WireMsg::StreamSynAck(StreamSynAckMsg { window: 8 }),
+            WireMsg::StreamAck(StreamAckMsg {
+                cum_ack: 3,
+                window: 8,
+            }),
+            WireMsg::ShmCredit(ShmCreditMsg { upto: 256 }),
+        ] {
+            let bytes = msg.to_bytes();
+            for cut in 0..bytes.len() {
+                assert!(WireMsg::decode(&bytes[..cut]).is_none(), "cut={cut}");
+            }
+            let mut extra = bytes.clone();
+            extra.push(0);
+            assert!(WireMsg::decode(&extra).is_none(), "trailing byte");
+        }
     }
 
     #[test]

@@ -16,7 +16,9 @@ use crate::nakcast::{NakcastReceiver, NakcastSender};
 use crate::profile::{AppSpec, StackProfile};
 use crate::receiver::DataReader;
 use crate::ricochet::{RicochetReceiver, RicochetSender};
+use crate::shmcast::{ShmCastReceiver, ShmCastSender};
 use crate::slingshot::{SlingshotReceiver, SlingshotSender};
+use crate::streamcast::{StreamCastReceiver, StreamCastSender};
 use crate::tags;
 use crate::udp::{UdpReceiver, UdpSender};
 
@@ -74,6 +76,12 @@ fn sender_agent(spec: &SessionSpec, group: GroupId) -> Box<dyn Agent> {
         ProtocolKind::Slingshot { .. } => Box::new(SimDriver::new(SlingshotSender::new(
             app, stack, tuning, group,
         ))),
+        ProtocolKind::StreamCast { window } => Box::new(SimDriver::new(StreamCastSender::new(
+            app, stack, tuning, group, window,
+        ))),
+        ProtocolKind::ShmCast { queue } => Box::new(SimDriver::new(ShmCastSender::new(
+            app, stack, tuning, group, queue,
+        ))),
     }
 }
 
@@ -119,6 +127,19 @@ fn receiver_agent(spec: &SessionSpec, sender: NodeId, group: GroupId) -> Box<dyn
             c,
             tuning,
             spec.drop_probability,
+        ))),
+        ProtocolKind::StreamCast { window } => Box::new(SimDriver::new(StreamCastReceiver::new(
+            sender,
+            app.total_samples,
+            window,
+            tuning,
+            spec.drop_probability,
+        ))),
+        ProtocolKind::ShmCast { queue } => Box::new(SimDriver::new(ShmCastReceiver::new(
+            sender,
+            app.total_samples,
+            queue,
+            tuning,
         ))),
     }
 }
@@ -268,6 +289,14 @@ pub fn published_count(sim: &Simulation, handles: &SessionHandles) -> u64 {
             .agent::<SlingshotSender>(node)
             .expect("sender")
             .published(),
+        ProtocolKind::StreamCast { .. } => sim
+            .agent::<StreamCastSender>(node)
+            .expect("sender")
+            .published(),
+        ProtocolKind::ShmCast { .. } => sim
+            .agent::<ShmCastSender>(node)
+            .expect("sender")
+            .published(),
     }
 }
 
@@ -293,6 +322,8 @@ pub fn reader<'a>(
         ProtocolKind::Ricochet { .. } => get::<RicochetReceiver>(sim, node),
         ProtocolKind::Ackcast { .. } => get::<AckcastReceiver>(sim, node),
         ProtocolKind::Slingshot { .. } => get::<SlingshotReceiver>(sim, node),
+        ProtocolKind::StreamCast { .. } => get::<StreamCastReceiver>(sim, node),
+        ProtocolKind::ShmCast { .. } => get::<ShmCastReceiver>(sim, node),
     }
 }
 

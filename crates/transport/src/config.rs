@@ -43,6 +43,21 @@ pub enum ProtocolKind {
         /// Peers each packet copy is forwarded to.
         c: u8,
     },
+    /// TCP-like reliable ordered stream for WAN/cross-AZ paths: receiver-
+    /// initiated connection handshake, cumulative ACKs, sender RTO from a
+    /// Jacobson RTT estimator with fast retransmit, and a send window of
+    /// `window` packets.
+    StreamCast {
+        /// Send window in packets (per-receiver unacknowledged budget).
+        window: u32,
+    },
+    /// Same-host shared-memory fast path: a zero-loss bounded queue of
+    /// `queue` slots with credit-based backpressure, bypassing the OS
+    /// network stack entirely.
+    ShmCast {
+        /// Bounded queue capacity in packets per receiver.
+        queue: u32,
+    },
 }
 
 impl ProtocolKind {
@@ -78,6 +93,8 @@ impl ProtocolKind {
             ProtocolKind::Ricochet { r, c } => format!("ricochet-r{r}c{c}"),
             ProtocolKind::Ackcast { rto } => format!("ackcast-{:.3}s", rto.as_secs_f64()),
             ProtocolKind::Slingshot { c } => format!("slingshot-c{c}"),
+            ProtocolKind::StreamCast { window } => format!("streamcast-w{window}"),
+            ProtocolKind::ShmCast { queue } => format!("shmcast-q{queue}"),
         }
     }
 
@@ -95,6 +112,8 @@ impl ProtocolKind {
             ProtocolKind::Ricochet { r, c } => (2 << 56) | (u64::from(*r) << 8) | u64::from(*c),
             ProtocolKind::Ackcast { rto } => (3 << 56) | rto.as_nanos(),
             ProtocolKind::Slingshot { c } => (4 << 56) | u64::from(*c),
+            ProtocolKind::StreamCast { window } => (5 << 56) | u64::from(*window),
+            ProtocolKind::ShmCast { queue } => (6 << 56) | u64::from(*queue),
         }
     }
 
@@ -115,6 +134,12 @@ impl ProtocolKind {
             }),
             4 => Some(ProtocolKind::Slingshot {
                 c: (payload & 0xff) as u8,
+            }),
+            5 => Some(ProtocolKind::StreamCast {
+                window: (payload & 0xffff_ffff) as u32,
+            }),
+            6 => Some(ProtocolKind::ShmCast {
+                queue: (payload & 0xffff_ffff) as u32,
             }),
             _ => None,
         }
@@ -158,6 +183,22 @@ impl ProtocolKind {
                 group_membership: true,
                 ..ProtocolProperties::default()
             },
+            ProtocolKind::StreamCast { .. } => ProtocolProperties {
+                multicast: true,
+                packet_tracking: true,
+                ack_reliability: true,
+                ordered_delivery: true,
+                flow_control: true,
+                ..ProtocolProperties::default()
+            },
+            ProtocolKind::ShmCast { .. } => ProtocolProperties {
+                multicast: true,
+                packet_tracking: true,
+                ordered_delivery: true,
+                flow_control: true,
+                lossless_path: true,
+                ..ProtocolProperties::default()
+            },
         }
     }
 }
@@ -172,6 +213,8 @@ impl fmt::Display for ProtocolKind {
             ProtocolKind::Ricochet { r, c } => write!(f, "Ricochet R{r} C{c}"),
             ProtocolKind::Ackcast { rto } => write!(f, "ACKcast {:.3}", rto.as_secs_f64()),
             ProtocolKind::Slingshot { c } => write!(f, "Slingshot C{c}"),
+            ProtocolKind::StreamCast { window } => write!(f, "StreamCast W{window}"),
+            ProtocolKind::ShmCast { queue } => write!(f, "ShmCast Q{queue}"),
         }
     }
 }
@@ -199,6 +242,9 @@ pub struct ProtocolProperties {
     pub group_membership: bool,
     /// Detects unresponsive members via heartbeats.
     pub fault_detection: bool,
+    /// Runs over a path that drops nothing (same-host shared memory), so
+    /// reliability holds without any recovery machinery.
+    pub lossless_path: bool,
 }
 
 /// Engineering constants of the protocol implementations.
@@ -259,6 +305,22 @@ pub struct Tuning {
     /// slot reuse of the real LEC implementation, which this simplified
     /// single-group decoder would otherwise not exhibit.
     pub repair_efficacy: f64,
+    /// StreamCast: interval between connection-request (SYN) retries while
+    /// a receiver waits for the sender's SYN-ACK.
+    pub stream_syn_retry: SimDuration,
+    /// StreamCast: floor on the adaptive retransmission timeout, so a few
+    /// low-RTT samples cannot collapse the RTO into spurious retransmits.
+    pub stream_rto_min: SimDuration,
+    /// StreamCast: ceiling on the adaptive retransmission timeout under
+    /// exponential backoff.
+    pub stream_rto_max: SimDuration,
+    /// StreamCast: duplicate cumulative ACKs of the same value that
+    /// trigger a fast retransmit ahead of the RTO.
+    pub stream_dupack_threshold: u32,
+    /// ShmCast: reference per-packet cost of the shared-memory path, both
+    /// sides. Replaces `os_packet_cost_us` — a same-host enqueue touches a
+    /// ring buffer, not the OS network stack.
+    pub shm_packet_cost_us: f64,
 }
 
 impl Tuning {
@@ -297,6 +359,25 @@ impl Tuning {
         self.repair_efficacy = efficacy;
         self
     }
+
+    /// Replaces the StreamCast SYN retry interval (builder-style).
+    pub fn with_stream_syn_retry(mut self, interval: SimDuration) -> Self {
+        self.stream_syn_retry = interval;
+        self
+    }
+
+    /// Replaces the StreamCast RTO clamp range (builder-style).
+    pub fn with_stream_rto_range(mut self, min: SimDuration, max: SimDuration) -> Self {
+        self.stream_rto_min = min;
+        self.stream_rto_max = max;
+        self
+    }
+
+    /// Replaces the ShmCast per-packet reference cost (builder-style).
+    pub fn with_shm_packet_cost_us(mut self, cost: f64) -> Self {
+        self.shm_packet_cost_us = cost;
+        self
+    }
 }
 
 impl Default for Tuning {
@@ -320,6 +401,11 @@ impl Default for Tuning {
             fec_maintenance_every: 128,
             fec_maintenance_cost_us: 12_000.0,
             repair_efficacy: 0.7,
+            stream_syn_retry: SimDuration::from_millis(10),
+            stream_rto_min: SimDuration::from_millis(5),
+            stream_rto_max: SimDuration::from_secs(2),
+            stream_dupack_threshold: 3,
+            shm_packet_cost_us: 0.8,
         }
     }
 }
@@ -434,6 +520,8 @@ mod tests {
                 rto: SimDuration::from_millis(20),
             },
             ProtocolKind::Slingshot { c: 2 },
+            ProtocolKind::StreamCast { window: 64 },
+            ProtocolKind::ShmCast { queue: 256 },
         ];
         let mut codes: Vec<u64> = kinds.iter().map(|k| k.code()).collect();
         for kind in kinds {
@@ -441,8 +529,40 @@ mod tests {
         }
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), 5, "codes must be distinct");
+        assert_eq!(codes.len(), 7, "codes must be distinct");
         assert_eq!(ProtocolKind::from_code(99 << 56), None);
+        // Family codes are pinned: discovery ads and golden traces carry
+        // them, so they must never shift between releases.
+        assert_eq!(
+            ProtocolKind::StreamCast { window: 64 }.code(),
+            (5 << 56) | 64
+        );
+        assert_eq!(ProtocolKind::ShmCast { queue: 256 }.code(), (6 << 56) | 256);
+    }
+
+    #[test]
+    fn stream_and_shm_labels_and_properties() {
+        assert_eq!(
+            ProtocolKind::StreamCast { window: 64 }.label(),
+            "streamcast-w64"
+        );
+        assert_eq!(ProtocolKind::ShmCast { queue: 256 }.label(), "shmcast-q256");
+        assert_eq!(
+            ProtocolKind::StreamCast { window: 8 }.to_string(),
+            "StreamCast W8"
+        );
+        assert_eq!(
+            ProtocolKind::ShmCast { queue: 16 }.to_string(),
+            "ShmCast Q16"
+        );
+
+        let stream = ProtocolKind::StreamCast { window: 64 }.properties();
+        assert!(stream.ack_reliability && stream.ordered_delivery && stream.flow_control);
+        assert!(!stream.nak_reliability && !stream.lateral_error_correction);
+
+        let shm = ProtocolKind::ShmCast { queue: 256 }.properties();
+        assert!(shm.ordered_delivery && shm.flow_control);
+        assert!(!shm.ack_reliability && !shm.nak_reliability);
     }
 
     #[test]

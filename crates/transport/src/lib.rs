@@ -12,6 +12,11 @@
 //! * [`UDP multicast`](UdpReceiver) — the best-effort baseline.
 //! * [`ACKcast`](AckcastReceiver) — an ACK-window reliable multicast
 //!   baseline.
+//! * [`StreamCast`](StreamCastReceiver) — a TCP-like reliable ordered
+//!   byte-stream transport (handshake, cumulative ACKs, adaptive RTO,
+//!   windowed flow control) for lossy wide-area paths.
+//! * [`ShmCast`](ShmCastReceiver) — a same-host shared-memory bounded
+//!   queue with credit-based backpressure and zero loss.
 //!
 //! The protocols compose the ANT property set ([`ProtocolProperties`]):
 //! multicast, packet tracking, NAK/ACK reliability, lateral error
@@ -57,7 +62,9 @@ mod profile;
 mod publisher;
 mod receiver;
 mod ricochet;
+mod shmcast;
 mod slingshot;
+mod streamcast;
 pub mod tags;
 mod udp;
 
@@ -70,5 +77,7 @@ pub use nakcast::{nakcast_recovery_bound, NakcastReceiver, NakcastSender};
 pub use profile::{AppSpec, StackProfile};
 pub use receiver::{DataReader, ProtocolStats};
 pub use ricochet::{RicochetReceiver, RicochetSender};
+pub use shmcast::{ShmCastReceiver, ShmCastSender, SHM_FRAMING_BYTES};
 pub use slingshot::{SlingshotReceiver, SlingshotSender};
+pub use streamcast::{StreamCastReceiver, StreamCastSender};
 pub use udp::{UdpReceiver, UdpSender};

@@ -16,6 +16,12 @@ pub const TAG_HEARTBEAT: u16 = 6;
 pub const TAG_FIN: u16 = 7;
 /// Tag for group-membership heartbeats.
 pub const TAG_MEMBERSHIP: u16 = 8;
+/// Tag for StreamCast connection-handshake packets (SYN and SYN-ACK).
+pub const TAG_STREAM_SYN: u16 = 9;
+/// Tag for StreamCast cumulative acknowledgements.
+pub const TAG_STREAM_ACK: u16 = 10;
+/// Tag for ShmCast flow-control credit grants.
+pub const TAG_SHM_CREDIT: u16 = 11;
 
 /// Registers human-readable labels for every tag on a simulation.
 pub fn register_all(sim: &mut adamant_netsim::Simulation) {
@@ -27,6 +33,9 @@ pub fn register_all(sim: &mut adamant_netsim::Simulation) {
     sim.register_tag(TAG_HEARTBEAT, "heartbeat");
     sim.register_tag(TAG_FIN, "fin");
     sim.register_tag(TAG_MEMBERSHIP, "membership");
+    sim.register_tag(TAG_STREAM_SYN, "stream-syn");
+    sim.register_tag(TAG_STREAM_ACK, "stream-ack");
+    sim.register_tag(TAG_SHM_CREDIT, "shm-credit");
 }
 
 /// Ethernet + IP + UDP framing bytes charged to every packet.
@@ -59,6 +68,9 @@ mod tests {
             TAG_HEARTBEAT,
             TAG_FIN,
             TAG_MEMBERSHIP,
+            TAG_STREAM_SYN,
+            TAG_STREAM_ACK,
+            TAG_SHM_CREDIT,
         ];
         let mut sorted = tags.to_vec();
         sorted.sort_unstable();

@@ -39,7 +39,10 @@ fn main() {
     // ── 2. Train the knowledge base ──────────────────────────────────────
     let (selector, outcome) = ProtocolSelector::train_from(&dataset, &SelectorConfig::default());
     println!(
-        "trained 7-24-6 ANN: {} epochs, final MSE {:.5}, training recall {:.1}%",
+        "trained {}-{}-{} ANN: {} epochs, final MSE {:.5}, training recall {:.1}%",
+        adamant::features::FEATURE_DIM,
+        SelectorConfig::default().hidden_nodes,
+        adamant::features::candidate_protocols().len(),
         outcome.epochs,
         outcome.final_mse,
         selector.evaluate_on(&dataset).accuracy() * 100.0

@@ -27,6 +27,10 @@ fn slow() -> Environment {
     )
 }
 
+fn colocated() -> Environment {
+    Environment::colocated(MachineClass::Pc3000, DdsImplementation::OpenSplice)
+}
+
 fn trained_controller() -> AdaptiveController {
     let configs = vec![
         (fast(), AppParams::new(3, 25)),
@@ -40,15 +44,7 @@ fn trained_controller() -> AdaptiveController {
             ),
             AppParams::new(3, 25),
         ),
-        (
-            Environment::new(
-                MachineClass::Pc850,
-                BandwidthClass::Gbps1,
-                DdsImplementation::OpenSplice,
-                5,
-            ),
-            AppParams::new(3, 25),
-        ),
+        (colocated(), AppParams::new(3, 25)),
     ];
     // 4 repetitions: NAKcast's recovery latency depends on the per-run
     // heartbeat phase, so 2-rep labels would be phase-lottery noise.
@@ -67,20 +63,23 @@ fn adaptation_follows_the_measured_winners() {
             samples: 400,
         },
         Phase {
-            env: slow(),
+            env: colocated(),
             app: AppParams::new(3, 25),
             samples: 400,
         },
     ];
     let (outcomes, controller) = AdaptiveTimeline::new(controller, 3).run(&phases);
-    // Fast hardware → Ricochet; slow hardware → a NAKcast variant.
+    // On the lossy LAN the sender-driven stream recovers losses faster
+    // than NAK- or lateral-error-correction multicast; once the operator
+    // consolidates the group onto one host, the shared-memory ring wins
+    // outright — and it was never even a candidate before the move.
     assert!(matches!(
         outcomes[0].decision.active_protocol(),
-        ProtocolKind::Ricochet { .. }
+        ProtocolKind::StreamCast { .. }
     ));
     assert!(matches!(
         outcomes[1].decision.active_protocol(),
-        ProtocolKind::Nakcast { .. }
+        ProtocolKind::ShmCast { .. }
     ));
     assert_eq!(controller.switches(), 1);
     for o in &outcomes {

@@ -30,8 +30,12 @@ fn measured_labels_show_the_paper_pattern() {
     let dataset = measured_dataset();
     assert_eq!(dataset.len(), 16); // 8 configs × 2 metrics
 
-    // At 5% loss the paper's headline: Ricochet wins ReLate2 on
-    // pc3000+1Gb, NAKcast 1 ms on pc850+100Mb.
+    // At 5% loss the paper's headline, ranked among the paper's own
+    // transports: Ricochet wins ReLate2 on pc3000+1Gb, NAKcast 1 ms on
+    // pc850+100Mb. The widened candidate set (StreamCast, ShmCast) may
+    // beat both overall — see DESIGN.md §3.1 — so the assertion scores
+    // the paper subset of each row, not the full candidate list.
+    let paper_len = ProtocolKind::paper_candidates().len();
     let find = |machine: MachineClass, bandwidth: BandwidthClass| {
         dataset
             .rows
@@ -44,17 +48,24 @@ fn measured_labels_show_the_paper_pattern() {
             })
             .expect("config present")
     };
-    let fast = find(MachineClass::Pc3000, BandwidthClass::Gbps1);
+    let paper_best = |row: &adamant::DatasetRow| {
+        let idx = row.scores[..paper_len]
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("paper candidates scored")
+            .0;
+        adamant::features::candidate_protocols()[idx]
+    };
+    let fast = paper_best(find(MachineClass::Pc3000, BandwidthClass::Gbps1));
     assert!(
-        matches!(fast.best_protocol(), ProtocolKind::Ricochet { .. }),
-        "pc3000/1Gb should favour Ricochet, got {}",
-        fast.best_protocol()
+        matches!(fast, ProtocolKind::Ricochet { .. }),
+        "pc3000/1Gb should favour Ricochet among the paper set, got {fast}",
     );
-    let slow = find(MachineClass::Pc850, BandwidthClass::Mbps100);
+    let slow = paper_best(find(MachineClass::Pc850, BandwidthClass::Mbps100));
     assert!(
-        matches!(slow.best_protocol(), ProtocolKind::Nakcast { .. }),
-        "pc850/100Mb should favour NAKcast, got {}",
-        slow.best_protocol()
+        matches!(slow, ProtocolKind::Nakcast { .. }),
+        "pc850/100Mb should favour NAKcast among the paper set, got {slow}",
     );
 }
 

@@ -13,7 +13,8 @@ use adamant_rt::{
     Cluster, ClusterConfig, Endpoint, MonotonicClock, MuxCluster, MuxConfig, RtConfig,
 };
 use adamant_transport::{
-    AppSpec, DataReader, NakcastReceiver, NakcastSender, StackProfile, Tuning,
+    AppSpec, DataReader, NakcastReceiver, NakcastSender, ShmCastReceiver, ShmCastSender,
+    StackProfile, StreamCastReceiver, StreamCastSender, Tuning,
 };
 
 const SAMPLES: u64 = 300;
@@ -378,6 +379,179 @@ fn mux_cluster_nakcast_matches_netsim_and_per_socket_fleets() {
     assert_eq!(stats.header_drops, 0, "no malformed frames on loopback");
     assert_eq!(stats.unknown_endpoint_drops, 0, "routes cover the mesh");
     assert_eq!(stats.stale_drops, 0, "single incarnation, no stale drops");
+}
+
+const STREAM_WINDOW: u32 = 64;
+
+fn stream_sender_core(group: adamant_proto::GroupId) -> StreamCastSender {
+    StreamCastSender::new(
+        AppSpec::at_rate(SAMPLES, RATE_HZ, 12),
+        StackProfile::new(10.0, 48),
+        Tuning::default(),
+        group,
+        STREAM_WINDOW,
+    )
+}
+
+fn stream_receiver_core(sender: NodeId) -> StreamCastReceiver {
+    StreamCastReceiver::new(sender, SAMPLES, STREAM_WINDOW, Tuning::default(), DROP_P)
+}
+
+/// The StreamCast leg of the parity check: the same sender/receiver cores
+/// deliver the complete ordered stream both inside netsim and over real
+/// UDP on the multiplexed runtime, with each receiver injecting 5%
+/// end-host loss — so both drivers exercise the cumulative-ACK
+/// retransmission machinery (fast retransmit and/or RTO).
+#[test]
+fn streamcast_delivers_identically_under_netsim_and_mux_udp() {
+    const RECEIVERS: usize = 3;
+
+    // Netsim leg.
+    let mut sim = Simulation::new(42);
+    let host = HostConfig::new(MachineClass::Pc3000, Bandwidth::GBPS_1);
+    let group = sim.create_group(&[]);
+    let tx = sim.add_node(host, SimDriver::new(stream_sender_core(group)));
+    sim.join_group(group, tx);
+    let rx_nodes: Vec<NodeId> = (0..RECEIVERS)
+        .map(|_| {
+            let rx = sim.add_node(host, SimDriver::new(stream_receiver_core(tx)));
+            sim.join_group(group, rx);
+            rx
+        })
+        .collect();
+    sim.run_until(SimTime::from_secs(5));
+    let expected: BTreeSet<u64> = (0..SAMPLES).collect();
+    let mut sim_recovered = 0;
+    for (i, rx) in rx_nodes.iter().enumerate() {
+        let r = sim.agent::<StreamCastReceiver>(*rx).unwrap();
+        let delivered: BTreeSet<u64> = r.log().deliveries().iter().map(|d| d.seq).collect();
+        assert_eq!(
+            delivered, expected,
+            "netsim StreamCast receiver {i} must deliver every sample in order"
+        );
+        sim_recovered += r.log().recovered_count();
+    }
+    assert!(
+        sim.agent::<StreamCastSender>(tx)
+            .unwrap()
+            .retransmissions_sent()
+            > 0,
+        "netsim leg must exercise stream recovery"
+    );
+
+    // Real-UDP leg on the multiplexed runtime.
+    let clock = MonotonicClock::start();
+    let cfg = MuxConfig::new(2)
+        .with_sockets_per_worker(2)
+        .with_batch_size(16)
+        .with_seed(42)
+        .with_clock(clock);
+    let mut cluster = MuxCluster::bind("127.0.0.1:0", cfg).expect("bind mux cluster");
+    let tx_id = cluster
+        .add_endpoint(NodeId(0), stream_sender_core(adamant_proto::GroupId(0)))
+        .expect("add mux stream sender");
+    let rx_ids: Vec<_> = (1..=RECEIVERS as u32)
+        .map(|n| {
+            cluster
+                .add_endpoint(NodeId(n), stream_receiver_core(NodeId(0)))
+                .expect("add mux stream receiver")
+        })
+        .collect();
+    cluster.connect_full_mesh().expect("wire mesh");
+    cluster
+        .run_for(Duration::from_millis(3_000))
+        .expect("mux run");
+
+    let sender = cluster
+        .core::<StreamCastSender>(tx_id)
+        .expect("sender core survives");
+    assert_eq!(
+        sender.published(),
+        SAMPLES,
+        "mux sender finished the stream"
+    );
+    let mut rt_recovered = 0;
+    for (i, &id) in rx_ids.iter().enumerate() {
+        let r = cluster
+            .core::<StreamCastReceiver>(id)
+            .expect("receiver core survives");
+        assert!(r.is_connected(), "receiver {i} completed the handshake");
+        let delivered: BTreeSet<u64> = r.log().deliveries().iter().map(|d| d.seq).collect();
+        assert_eq!(
+            delivered,
+            expected,
+            "mux StreamCast receiver {i} must deliver every sample \
+             (dropped {} acks {})",
+            r.dropped(),
+            r.acks_sent()
+        );
+        rt_recovered += r.log().recovered_count();
+    }
+    assert!(
+        sim_recovered > 0 && rt_recovered > 0,
+        "both drivers must exercise stream recovery (sim {sim_recovered}, rt {rt_recovered})"
+    );
+}
+
+/// The same-host core on the real runtime: ShmCast's credit-based ring is
+/// meant for co-located groups, and a loopback mux cluster *is* one host —
+/// a tiny ring must backpressure the 500 Hz publisher without losing or
+/// reordering anything.
+#[test]
+fn shmcast_runs_over_the_mux_runtime_on_one_host() {
+    const RECEIVERS: usize = 2;
+    const QUEUE: u32 = 8;
+
+    let clock = MonotonicClock::start();
+    let cfg = MuxConfig::new(2)
+        .with_sockets_per_worker(1)
+        .with_seed(7)
+        .with_clock(clock);
+    let mut cluster = MuxCluster::bind("127.0.0.1:0", cfg).expect("bind mux cluster");
+    let tx_id = cluster
+        .add_endpoint(
+            NodeId(0),
+            ShmCastSender::new(
+                AppSpec::at_rate(SAMPLES, RATE_HZ, 12),
+                StackProfile::new(10.0, 48),
+                Tuning::default(),
+                adamant_proto::GroupId(0),
+                QUEUE,
+            ),
+        )
+        .expect("add shm sender");
+    let rx_ids: Vec<_> = (1..=RECEIVERS as u32)
+        .map(|n| {
+            cluster
+                .add_endpoint(
+                    NodeId(n),
+                    ShmCastReceiver::new(NodeId(0), SAMPLES, QUEUE, Tuning::default()),
+                )
+                .expect("add shm receiver")
+        })
+        .collect();
+    cluster.connect_full_mesh().expect("wire mesh");
+    cluster
+        .run_for(Duration::from_millis(2_500))
+        .expect("mux run");
+
+    let sender = cluster
+        .core::<ShmCastSender>(tx_id)
+        .expect("sender core survives");
+    assert_eq!(sender.published(), SAMPLES, "ring sender finished");
+    assert_eq!(sender.queue(), QUEUE);
+    let expected: Vec<u64> = (0..SAMPLES).collect();
+    for (i, &id) in rx_ids.iter().enumerate() {
+        let r = cluster
+            .core::<ShmCastReceiver>(id)
+            .expect("receiver core survives");
+        let delivered: Vec<u64> = r.log().deliveries().iter().map(|d| d.seq).collect();
+        assert_eq!(
+            delivered, expected,
+            "ring receiver {i} must deliver everything in publication order"
+        );
+        assert_eq!(r.duplicates(), 0, "the ring never duplicates");
+    }
 }
 
 /// Same seed + same shard assignment ⇒ the same outcome: two

@@ -1,0 +1,92 @@
+//! CI gate: the retrained selector must reproduce the measured winner
+//! for every known (environment × metric) configuration it was trained
+//! on — the Fig 18 "environments known a priori" property, held at 100%
+//! across the widened grid (LAN loss sweep, WAN, same host).
+//!
+//! The grid here is a compact stand-in for the full `dataset_grid_v2()`
+//! sweep: one representative per axis the selector must separate. A
+//! drop below 100% on *training* rows means the widened feature space
+//! (RTT, same-host) no longer linearly carries the label structure —
+//! exactly the regression this gate exists to catch.
+
+use adamant::{
+    features, AppParams, BandwidthClass, Environment, LabeledDataset, ProtocolSelector,
+    SelectorConfig, TableSelector,
+};
+use adamant_dds::DdsImplementation;
+use adamant_metrics::MetricKind;
+use adamant_netsim::MachineClass;
+
+fn known_environments() -> Vec<(Environment, AppParams)> {
+    use BandwidthClass::*;
+    use DdsImplementation::*;
+    use MachineClass::*;
+    vec![
+        // The paper's two headline LAN corners.
+        (
+            Environment::new(Pc3000, Gbps1, OpenSplice, 5),
+            AppParams::new(3, 25),
+        ),
+        (
+            Environment::new(Pc850, Mbps100, OpenSplice, 5),
+            AppParams::new(3, 25),
+        ),
+        // The widened axes: a lossy WAN path and a consolidated host.
+        (
+            Environment::new(Pc3000, Wan50ms, OpenSplice, 3),
+            AppParams::new(3, 25),
+        ),
+        (
+            Environment::colocated(Pc3000, OpenSplice),
+            AppParams::new(3, 25),
+        ),
+        // A second machine/DDS point so neither axis is constant.
+        (
+            Environment::new(Pc850, Gbps1, OpenDds, 2),
+            AppParams::new(3, 10),
+        ),
+    ]
+}
+
+#[test]
+fn selector_reproduces_every_known_environment_label() {
+    let dataset = LabeledDataset::measure_with_metrics(
+        &known_environments(),
+        &[MetricKind::ReLate2, MetricKind::ReLate2Net],
+        400,
+        2,
+    );
+
+    let (ann, outcome) = ProtocolSelector::train_from(&dataset, &SelectorConfig::default());
+    let table = TableSelector::from_dataset(&dataset);
+
+    let mut ann_hits = 0usize;
+    for row in &dataset.rows {
+        let expected = features::candidate_protocols()[row.best_class];
+        let got = ann.select(&row.env, &row.app, row.metric).protocol;
+        if got == expected {
+            ann_hits += 1;
+        } else {
+            eprintln!(
+                "ANN miss: {} / {} / {:?}: picked {got}, measured winner {expected}",
+                row.env, row.app, row.metric
+            );
+        }
+        // The exact-match table is the floor: it must always agree.
+        assert_eq!(
+            table.select(&row.env, &row.app, row.metric).protocol,
+            expected,
+            "table selector diverged on a training row"
+        );
+    }
+    println!(
+        "selector gate: {ann_hits}/{} known environments correct (train error {:.6})",
+        dataset.rows.len(),
+        outcome.final_mse
+    );
+    assert_eq!(
+        ann_hits,
+        dataset.rows.len(),
+        "selector accuracy on known environments must be 100%"
+    );
+}

@@ -1,0 +1,176 @@
+//! End-to-end demonstration of the widened autonomic choice space: the
+//! selector, retrained on measured (environment × transport) data over
+//! the v2 grid, routes a WAN deployment onto StreamCast and a same-host
+//! deployment onto ShmCast — and in both cases the chosen core beats
+//! every legacy (paper) transport on the target QoS metric by more than
+//! the labelling margin.
+
+use adamant::{
+    features, Adamant, AppParams, BandwidthClass, Environment, LabeledDataset, ProtocolSelector,
+    Scenario, SelectorConfig, SimulatedCloud, LABEL_MARGIN,
+};
+use adamant_dds::DdsImplementation;
+use adamant_metrics::MetricKind;
+use adamant_netsim::MachineClass;
+use adamant_transport::ProtocolKind;
+
+fn wan() -> Environment {
+    Environment::new(
+        MachineClass::Pc3000,
+        BandwidthClass::Wan50ms,
+        DdsImplementation::OpenSplice,
+        3,
+    )
+}
+
+fn colocated() -> Environment {
+    Environment::colocated(MachineClass::Pc3000, DdsImplementation::OpenSplice)
+}
+
+fn app() -> AppParams {
+    AppParams::new(3, 25)
+}
+
+/// Measures the demo grid once; both tests read from it.
+fn measured() -> LabeledDataset {
+    let configs = vec![
+        (wan(), app()),
+        (colocated(), app()),
+        (
+            Environment::new(
+                MachineClass::Pc3000,
+                BandwidthClass::Gbps1,
+                DdsImplementation::OpenSplice,
+                5,
+            ),
+            app(),
+        ),
+        (
+            Environment::new(
+                MachineClass::Pc850,
+                BandwidthClass::Mbps100,
+                DdsImplementation::OpenSplice,
+                5,
+            ),
+            app(),
+        ),
+    ];
+    LabeledDataset::measure_with_metrics(
+        &configs,
+        &[MetricKind::ReLate2, MetricKind::ReLate2Net],
+        500,
+        3,
+    )
+}
+
+fn row<'a>(
+    ds: &'a LabeledDataset,
+    env: &Environment,
+    metric: MetricKind,
+) -> &'a adamant::DatasetRow {
+    ds.rows
+        .iter()
+        .find(|r| r.env == *env && r.metric == metric)
+        .expect("measured row exists")
+}
+
+#[test]
+fn widened_selector_routes_wan_to_streamcast_and_same_host_to_shmcast() {
+    let dataset = measured();
+
+    // --- The measurements themselves: each new core beats every legacy
+    // candidate on its home turf by more than the labelling margin. ---
+
+    // WAN, bandwidth-weighted latency·loss (ReLate2Net): the stream's
+    // sender-driven recovery needs no heartbeat traffic across the long
+    // path, so it wins on latency-per-wire-byte.
+    let wan_row = row(&dataset, &wan(), MetricKind::ReLate2Net);
+    let stream_class = features::class_index(ProtocolKind::StreamCast { window: 64 }).unwrap();
+    assert_eq!(
+        wan_row.best_class, stream_class,
+        "scores {:?}",
+        wan_row.scores
+    );
+    let best_legacy_wan = wan_row.scores[..6]
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        wan_row.scores[stream_class] * (1.0 + LABEL_MARGIN) < best_legacy_wan,
+        "StreamCast {} must beat the best legacy {} by > the margin",
+        wan_row.scores[stream_class],
+        best_legacy_wan
+    );
+
+    // Same host, plain latency·loss (ReLate2): the ring bypasses the OS
+    // network stack entirely.
+    let shm_row = row(&dataset, &colocated(), MetricKind::ReLate2);
+    let shm_class = features::class_index(ProtocolKind::ShmCast { queue: 256 }).unwrap();
+    assert_eq!(shm_row.best_class, shm_class, "scores {:?}", shm_row.scores);
+    let best_legacy_shm = shm_row.scores[..6]
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        shm_row.scores[shm_class] * (1.0 + LABEL_MARGIN) < best_legacy_shm,
+        "ShmCast {} must beat the best legacy {} by > the margin",
+        shm_row.scores[shm_class],
+        best_legacy_shm
+    );
+
+    // On the WAN the stream is not feasible-gated, but shared memory is:
+    // its score must be infinite (never measured, never the label).
+    assert!(
+        wan_row.scores[features::class_index(ProtocolKind::ShmCast { queue: 256 }).unwrap()]
+            .is_infinite()
+    );
+
+    // --- The full autonomic flow: probe → select → install. ---
+    let (selector, _) = ProtocolSelector::train_from(&dataset, &SelectorConfig::default());
+    let platform = Adamant::new(selector);
+
+    let wan_config = platform
+        .configure(
+            &SimulatedCloud::new(wan()),
+            DdsImplementation::OpenSplice,
+            3,
+            app(),
+            MetricKind::ReLate2Net,
+        )
+        .expect("WAN configuration");
+    assert_eq!(wan_config.environment, wan());
+    assert!(
+        matches!(wan_config.transport().kind, ProtocolKind::StreamCast { .. }),
+        "WAN must route onto the stream core, got {}",
+        wan_config.transport().kind
+    );
+    let report = Scenario::paper(wan_config.environment, app(), 11)
+        .with_samples(500)
+        .run(wan_config.transport());
+    assert!(report.reliability() > 0.99, "rel {}", report.reliability());
+
+    let shm_config = platform
+        .configure(
+            &SimulatedCloud::new(colocated()),
+            DdsImplementation::OpenSplice,
+            5,
+            app(),
+            MetricKind::ReLate2,
+        )
+        .expect("same-host configuration");
+    assert!(shm_config.environment.same_host);
+    assert!(
+        matches!(shm_config.transport().kind, ProtocolKind::ShmCast { .. }),
+        "same-host must route onto shared memory, got {}",
+        shm_config.transport().kind
+    );
+    let report = Scenario::paper(shm_config.environment, app(), 11)
+        .with_samples(500)
+        .run(shm_config.transport());
+    assert_eq!(report.reliability(), 1.0, "the ring loses nothing");
+    assert!(
+        report.avg_latency_us < 100.0,
+        "ring latency stays in the double-digit microseconds, got {}",
+        report.avg_latency_us
+    );
+}
