@@ -96,12 +96,17 @@ impl std::fmt::Display for Evaluation {
 }
 
 /// Evaluates `net` as a classifier over `data` (one-hot targets).
+///
+/// Forward passes run through one reused scratch: the evaluation loop
+/// performs no per-example allocation, so the online trainer's holdout
+/// gate can call this every candidate round without touching the heap.
 pub fn evaluate(net: &NeuralNetwork, data: &TrainingData) -> Evaluation {
     let classes = data.target_dim();
     let mut confusion = vec![vec![0usize; classes]; classes];
     let mut correct = 0;
+    let mut scratch = crate::network::BatchScratch::new();
     for (input, target) in data.inputs().iter().zip(data.targets()) {
-        let predicted = argmax(&net.run(input)).expect("nonempty output");
+        let predicted = argmax(net.run_scratch(input, &mut scratch)).expect("nonempty output");
         let actual = argmax(target).expect("nonempty target");
         confusion[actual][predicted] += 1;
         if predicted == actual {

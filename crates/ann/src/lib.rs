@@ -14,9 +14,11 @@
 //! This crate reproduces that toolchain:
 //!
 //! * [`NeuralNetwork`] — dense feedforward network with deterministic
-//!   seeded initialisation and an architecture-only
+//!   seeded initialisation, an architecture-only
 //!   [`ops_per_query`](NeuralNetwork::ops_per_query) count for analytic
-//!   timing models.
+//!   timing models, and a batched flat-slice forward pass
+//!   ([`run_batch_into`](NeuralNetwork::run_batch_into) via
+//!   [`BatchScratch`]) that amortizes fleet-scale inference.
 //! * [`train`] — iRPROP− (FANN's default) and incremental backpropagation,
 //!   driven to a stopping MSE.
 //! * [`evaluate`] / [`one_hot`] / [`argmax`] — classification utilities.
@@ -54,7 +56,7 @@ mod tree;
 pub use activation::Activation;
 pub use classify::{argmax, evaluate, one_hot, Evaluation};
 pub use cv::{cross_validate, fold_assignment, CrossValidation};
-pub use network::NeuralNetwork;
+pub use network::{BatchScratch, NeuralNetwork};
 pub use scale::MinMaxScaler;
 pub use train::{
     train, train_with_validation, Algorithm, TrainOutcome, TrainParams, TrainingData,

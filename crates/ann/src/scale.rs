@@ -53,18 +53,37 @@ impl MinMaxScaler {
     ///
     /// Panics if `row` has the wrong dimensionality.
     pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.dim());
+        self.transform_into(row, &mut out);
+        out
+    }
+
+    /// [`transform_row`](Self::transform_row) appending into a
+    /// caller-provided buffer: batched encoders build flat row-major
+    /// feature matrices without a `Vec` per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` has the wrong dimensionality.
+    pub fn transform_into(&self, row: &[f64], out: &mut Vec<f64>) {
         assert_eq!(row.len(), self.dim(), "dimension mismatch");
-        row.iter()
-            .enumerate()
-            .map(|(d, &x)| {
-                let span = self.maxs[d] - self.mins[d];
-                if span <= 0.0 {
-                    0.5
-                } else {
-                    ((x - self.mins[d]) / span).clamp(0.0, 1.0)
-                }
-            })
-            .collect()
+        out.extend(row.iter().enumerate().map(|(d, &x)| self.scale_dim(d, x)));
+    }
+
+    /// Scales one value of dimension `d` exactly as
+    /// [`transform_into`](Self::transform_into) would — the single-value
+    /// form batched encoders use to write feature lanes directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn scale_dim(&self, d: usize, x: f64) -> f64 {
+        let span = self.maxs[d] - self.mins[d];
+        if span <= 0.0 {
+            0.5
+        } else {
+            ((x - self.mins[d]) / span).clamp(0.0, 1.0)
+        }
     }
 
     /// Scales a whole dataset.

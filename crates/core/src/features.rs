@@ -12,6 +12,41 @@ use crate::env::{AppParams, Environment};
 /// the paper's seven.
 pub const FEATURE_DIM: usize = 9;
 
+/// Names of the ANN input features, aligned with [`raw_features`]. The
+/// array length is pinned to [`FEATURE_DIM`], so bumping the feature
+/// dimension without naming (and encoding) the new axis — or vice versa —
+/// fails to compile instead of silently skewing one side.
+pub const FEATURE_NAMES: [&str; FEATURE_DIM] = [
+    "cpu_mhz",
+    "bandwidth_mbps",
+    "dds",
+    "loss_percent",
+    "receivers",
+    "rate_hz",
+    "metric_index",
+    "rtt_ms",
+    "same_host",
+];
+
+/// The numeric clock-speed encoding of a machine class in MHz: the single
+/// normalization table shared by the feature encoder, the simulated-cloud
+/// probe, and the analytic timing model, so the constants cannot drift
+/// apart.
+pub fn machine_mhz(machine: MachineClass) -> f64 {
+    match machine {
+        MachineClass::Pc850 => 850.0,
+        MachineClass::Pc3000 => 3_000.0,
+    }
+}
+
+/// The numeric encoding of a DDS implementation in the feature vector.
+pub fn dds_code(dds: DdsImplementation) -> f64 {
+    match dds {
+        DdsImplementation::OpenDds => 0.0,
+        DdsImplementation::OpenSplice => 1.0,
+    }
+}
+
 /// The candidate protocol configurations the selector chooses between:
 /// the paper's six (§4.2: four NAKcast timeouts, two Ricochet settings)
 /// plus the v2 stream/WAN cores — StreamCast for long-RTT lossy paths,
@@ -64,18 +99,10 @@ pub fn metric_index(metric: MetricKind) -> usize {
 /// `[cpu MHz, bandwidth Mb/s, dds, loss %, receivers, rate Hz, metric,
 /// rtt ms, same-host]`.
 pub fn raw_features(env: &Environment, app: &AppParams, metric: MetricKind) -> [f64; FEATURE_DIM] {
-    let mhz = match env.machine {
-        MachineClass::Pc850 => 850.0,
-        MachineClass::Pc3000 => 3_000.0,
-    };
-    let dds = match env.dds {
-        DdsImplementation::OpenDds => 0.0,
-        DdsImplementation::OpenSplice => 1.0,
-    };
     [
-        mhz,
+        machine_mhz(env.machine),
         env.bandwidth.mbps(),
-        dds,
+        dds_code(env.dds),
         env.loss_percent as f64,
         app.receivers as f64,
         app.rate_hz as f64,
@@ -169,6 +196,17 @@ mod tests {
         other.loss_percent = 2;
         let f2 = raw_features(&other, &app, MetricKind::ReLate2);
         assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn feature_names_align_with_the_encoder() {
+        assert_eq!(FEATURE_NAMES.len(), FEATURE_DIM);
+        assert_eq!(FEATURE_NAMES[0], "cpu_mhz");
+        assert_eq!(FEATURE_NAMES[FEATURE_DIM - 1], "same_host");
+        assert_eq!(machine_mhz(MachineClass::Pc850), 850.0);
+        assert_eq!(machine_mhz(MachineClass::Pc3000), 3_000.0);
+        assert_eq!(dds_code(DdsImplementation::OpenDds), 0.0);
+        assert_eq!(dds_code(DdsImplementation::OpenSplice), 1.0);
     }
 
     #[test]

@@ -1,34 +1,30 @@
-//! Self-healing sessions: the closed adaptation loop under injected
-//! faults.
+//! The resilient building blocks of the adaptation loop — the graceful
+//! selector chain, switch hysteresis, and the outcome record — plus the
+//! legacy `SelfHealingSession` entry point (now a thin shim over
+//! [`AdaptivePolicy`]).
 //!
-//! [`crate::adaptive`] supplies the pieces the paper's conclusion sketches
-//! — a [`QosMonitor`] watching windowed QoS and a selector answering
-//! "which transport fits this environment?". This module closes the loop
-//! *in simulation*: a [`SelfHealingSession`] runs a live pub/sub session
-//! while a fault plan (loss spikes, bandwidth downgrades, CPU contention —
-//! see [`adamant_netsim::FaultPlan`]) degrades it mid-stream. Each window
-//! the session folds the delivery stream into a [`WindowQos`]; when the
-//! monitor alarms, the session re-probes the (now degraded) environment,
-//! asks a [`ResilientSelector`] for a protocol, and — subject to a
-//! [`SwitchBackoff`] hysteresis policy that prevents flapping — swaps the
-//! running transport over mid-stream through
-//! [`DomainParticipant::reinstall`].
+//! The closed loop itself lives in [`crate::policy`]: a policy runs a live
+//! pub/sub session while a fault plan (loss spikes, bandwidth downgrades,
+//! CPU contention — see [`adamant_netsim::FaultPlan`]) degrades it
+//! mid-stream. Each window the loop folds the delivery stream into a
+//! [`WindowQos`]; when the monitor alarms, it re-probes the (now degraded)
+//! environment, asks a [`ResilientSelector`] for a protocol, and — subject
+//! to a [`SwitchBackoff`] hysteresis policy that prevents flapping — swaps
+//! the running transport over mid-stream.
 //!
-//! The selector itself degrades gracefully: a trained ANN answers only
+//! The selector chain degrades gracefully: a trained ANN answers only
 //! when its output margin clears a confidence floor, a decision-tree
 //! fallback answers otherwise, and with no models at all the session falls
 //! back to the safest candidate (NAKcast with a 1 ms timeout — reliable
 //! under every environment of the paper's evaluation, if not optimal).
 
-use adamant_dds::{DomainParticipant, QosProfile};
-use adamant_metrics::{windowed_qos, Delivery, MetricKind, QosReport, WindowQos};
-use adamant_netsim::{
-    Bandwidth, FaultPlan, MemorySink, ObsEvent, SimDuration, SimTime, Simulation, TracedEvent,
-};
-use adamant_transport::{ant, AppSpec, ProtocolKind, SessionHandles, TransportConfig};
+use adamant_metrics::{Delivery, MetricKind, QosReport, WindowQos};
+use adamant_netsim::{Bandwidth, FaultPlan, SimDuration, SimTime, Simulation, TracedEvent};
+use adamant_transport::{ant, ProtocolKind, SessionHandles, TransportConfig};
 
-use crate::adaptive::{MonitorThresholds, QosMonitor};
+use crate::adaptive::MonitorThresholds;
 use crate::env::{AppParams, BandwidthClass, Environment};
+use crate::policy::{AdaptivePolicy, OnlineStats, StreamConfig};
 use crate::selector::{ProtocolSelector, TreeSelector};
 
 /// Which stage of the fallback chain produced a protocol choice.
@@ -43,8 +39,8 @@ pub enum SelectorSource {
 }
 
 impl SelectorSource {
-    /// Stable integer encoding used by [`ObsEvent::HealDecision`] and
-    /// [`ObsEvent::HealSwitch`] trace events.
+    /// Stable integer encoding used by the `HealDecision` and
+    /// `HealSwitch` trace events of [`adamant_netsim::ObsEvent`].
     pub fn code(self) -> u8 {
         match self {
             SelectorSource::Ann => 0,
@@ -112,6 +108,21 @@ impl ResilientSelector {
     /// The metric the chain optimises.
     pub fn metric(&self) -> MetricKind {
         self.metric
+    }
+
+    /// The currently installed ANN, if any.
+    pub fn ann(&self) -> Option<&ProtocolSelector> {
+        self.ann.as_ref().map(|(selector, _)| selector)
+    }
+
+    /// Hot-swaps the ANN, keeping the existing confidence floor (or
+    /// trusting every answer when no floor was ever set). This is the
+    /// online trainer's install point: swapping a model changes future
+    /// *answers* only — actual protocol switches still flow through the
+    /// alarm → backoff → reinstall path.
+    pub fn replace_ann(&mut self, selector: ProtocolSelector) {
+        let floor = self.ann.as_ref().map(|(_, floor)| *floor).unwrap_or(0.0);
+        self.ann = Some((selector, floor));
     }
 
     /// The last-resort choice when no model can answer: NAKcast with a
@@ -226,6 +237,9 @@ impl SwitchBackoff {
 }
 
 /// Configuration of one self-healing run.
+#[deprecated(
+    note = "use `StreamConfig` for the workload and `AdaptivePolicy` for the decision knobs"
+)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HealingConfig {
     /// The provisioned environment the session starts in (faults may move
@@ -256,6 +270,7 @@ pub struct HealingConfig {
     pub observe: bool,
 }
 
+#[allow(deprecated)]
 impl HealingConfig {
     /// A configuration with sensible defaults: 12-byte payloads, 1 s
     /// windows, default thresholds, 2 s dwell backing off to 16 s, 3 s
@@ -338,8 +353,11 @@ pub struct HealingOutcome {
     /// Pooled whole-run QoS across every incarnation.
     pub report: QosReport,
     /// The structured observability trace, when the run was configured
-    /// with [`HealingConfig::with_observation`]; empty otherwise.
+    /// with [`StreamConfig::with_observation`]; empty otherwise.
     pub trace: Vec<TracedEvent>,
+    /// Counters of the online learn → vet → hot-swap path (all zero when
+    /// online training was not enabled).
+    pub online: OnlineStats,
 }
 
 impl HealingOutcome {
@@ -414,12 +432,15 @@ impl HealingOutcome {
 
 /// A live pub/sub session wrapped in the monitor → probe → select →
 /// reconfigure loop, run against a fault plan.
+#[deprecated(note = "use `AdaptivePolicy::run_stream` with a `StreamConfig`")]
 #[derive(Debug, Clone)]
+#[allow(deprecated)]
 pub struct SelfHealingSession {
     config: HealingConfig,
     selector: ResilientSelector,
 }
 
+#[allow(deprecated)]
 impl SelfHealingSession {
     /// Creates a session runner.
     pub fn new(config: HealingConfig, selector: ResilientSelector) -> Self {
@@ -429,220 +450,70 @@ impl SelfHealingSession {
     /// Runs the session on `initial`, applying `plan`'s faults at their
     /// scheduled instants, until the stream completes (plus grace).
     ///
-    /// The topic uses the time-critical QoS profile, which every candidate
-    /// protocol satisfies — a healing switch must never be vetoed by QoS
-    /// validation.
+    /// This is now a shim over [`AdaptivePolicy::run_stream`]; the two
+    /// paths produce identical outcomes for identical configuration.
     ///
     /// # Panics
     ///
     /// Panics if `initial` cannot carry a time-critical topic (e.g. plain
     /// UDP), or if a fault crashes the session's *sender* (warm-standby
     /// failover lives in `adamant-transport`, not in this loop).
-    pub fn run(&self, initial: TransportConfig, mut plan: FaultPlan) -> HealingOutcome {
+    pub fn run(&self, initial: TransportConfig, plan: FaultPlan) -> HealingOutcome {
         let cfg = self.config;
-        let qos = QosProfile::time_critical();
-        let mut participant = DomainParticipant::new(0, cfg.env.dds);
-        let topic = participant
-            .create_topic::<[u8; 12]>("adamant/self-healing", qos)
-            .expect("fresh participant has no topics");
-        let host = cfg.env.host_config();
-        participant
-            .create_data_writer(
-                topic,
-                qos,
-                AppSpec::at_rate(cfg.samples, cfg.app.rate_hz as f64, cfg.payload_bytes),
-                host,
-            )
-            .expect("topic has no writer yet");
-        for _ in 0..cfg.app.receivers {
-            participant
-                .create_data_reader(topic, qos, host, cfg.env.drop_probability())
-                .expect("reader creation is infallible here");
-        }
-
-        let mut sim = Simulation::new(cfg.seed).with_network(cfg.env.network_config());
-        if cfg.observe {
-            sim.set_obs_sink(MemorySink::new());
-        }
-        let mut handles = participant
-            .install(&mut sim, topic, initial)
-            .expect("initial transport must satisfy time-critical qos");
-
-        let receiver_count = handles.receivers.len() as u64;
-        let mut monitor = QosMonitor::new(cfg.thresholds);
-        let mut backoff = SwitchBackoff::new(cfg.min_dwell, cfg.max_backoff);
-        let mut current = initial.kind;
-        // Reception logs die with their agents on a switch; everything a
-        // dead incarnation delivered is harvested here first, per reader.
-        let mut harvested: Vec<(Vec<Delivery>, u64)> =
-            vec![(Vec::new(), 0); handles.receivers.len()];
-        let mut published_before = 0u64;
-        let mut schedule: Vec<u64> = Vec::new();
-        let mut last_published_total = 0u64;
-        let mut windows: Vec<WindowQos> = Vec::new();
-        let mut switches: Vec<SwitchRecord> = Vec::new();
-        let mut suppressed_switches = 0u64;
-
-        let per_window = (cfg.app.rate_hz as f64 * cfg.window.as_secs_f64()).max(1.0);
-        let publish_windows = (cfg.samples as f64 / per_window).ceil() as usize + 1;
-        let grace_windows = cfg.grace.as_nanos().div_ceil(cfg.window.as_nanos()) as usize;
-        // Switches stretch the stream, but never unboundedly: cap the loop
-        // well past any legitimate completion.
-        let max_windows = 4 * (publish_windows + grace_windows) + 8;
-        let mut publish_done_at: Option<usize> = None;
-
-        for i in 0..max_windows {
-            // Windows are [start, end): measure just shy of the boundary
-            // so an event landing exactly on it is accounted — by both the
-            // publication schedule and the delivery fold — to the next
-            // window, matching `windowed_qos`'s assignment.
-            let window_end = SimTime::ZERO + cfg.window * (i as u64 + 1);
-            let measure_at = SimTime::from_nanos(window_end.as_nanos() - 1);
-            plan.run_until(&mut sim, measure_at);
-
-            let published_total = published_before + ant::published_count(&sim, &handles);
-            schedule.push((published_total - last_published_total) * receiver_count);
-            last_published_total = published_total;
-
-            let pooled = pooled_deliveries(&sim, &handles, &harvested);
-            let window = windowed_qos(&pooled, &schedule, cfg.window)[i];
-            windows.push(window);
-
-            // Grace windows publish nothing and would read as zero
-            // reliability; only live windows feed the monitor.
-            if window.published > 0 && monitor.observe_window(&window) {
-                sim.emit(ObsEvent::HealAlarm { window: i as u32 });
-                let remaining = cfg.samples.saturating_sub(published_total);
-                let probed = self.probe(&sim, &handles, &pooled, &window);
-                sim.emit(ObsEvent::HealProbe {
-                    loss_percent: probed.loss_percent,
-                });
-                let choice = self.selector.select(&probed, &cfg.app);
-                sim.emit(ObsEvent::HealDecision {
-                    source: choice.source.code(),
-                    protocol: choice.protocol.code(),
-                });
-                if choice.protocol != current && remaining > 0 {
-                    if backoff.may_switch(sim.now()) {
-                        for (slot, &node) in harvested.iter_mut().zip(&handles.receivers) {
-                            if !sim.is_crashed(node) {
-                                let r = ant::reader(&sim, &handles, node);
-                                slot.0.extend_from_slice(r.log().deliveries());
-                                slot.1 += r.duplicates();
-                            }
-                        }
-                        published_before = published_total;
-                        let from = current;
-                        handles = participant
-                            .reinstall(
-                                &mut sim,
-                                topic,
-                                &handles,
-                                TransportConfig::new(choice.protocol),
-                                remaining,
-                            )
-                            .expect("candidate protocols satisfy time-critical qos");
-                        current = choice.protocol;
-                        backoff.record_switch(sim.now());
-                        sim.emit(ObsEvent::HealSwitch {
-                            from: from.code(),
-                            to: current.code(),
-                            source: choice.source.code(),
-                        });
-                        switches.push(SwitchRecord {
-                            at: sim.now(),
-                            from,
-                            to: current,
-                            source: choice.source,
-                            probed,
-                        });
-                    } else {
-                        suppressed_switches += 1;
-                        sim.emit(ObsEvent::HealSuppressed {
-                            want: choice.protocol.code(),
-                        });
-                    }
-                }
-            }
-
-            if publish_done_at.is_none() && published_total >= cfg.samples {
-                publish_done_at = Some(i);
-            }
-            if let Some(done) = publish_done_at {
-                if i - done >= grace_windows {
-                    break;
-                }
-            }
-        }
-
-        for (slot, &node) in harvested.iter_mut().zip(&handles.receivers) {
-            if !sim.is_crashed(node) {
-                let r = ant::reader(&sim, &handles, node);
-                slot.0.extend_from_slice(r.log().deliveries());
-                slot.1 += r.duplicates();
-            }
-        }
-        let mut builder = QosReport::builder(cfg.samples, handles.receivers.len() as u32);
-        for (deliveries, duplicates) in &harvested {
-            builder.add_receiver(deliveries, *duplicates);
-        }
-        builder
-            .wire(
-                sim.stats().bytes_per_second(),
-                sim.stats().total_bytes_delivered(),
-            )
-            .duration_secs(sim.now().as_secs_f64());
-
-        HealingOutcome {
-            windows,
-            alarms: monitor.alarms(),
-            switches,
-            suppressed_switches,
-            initial_protocol: initial.kind,
-            final_protocol: current,
-            report: builder.finish(),
-            trace: sim.take_obs_events(),
-        }
-    }
-
-    /// Re-probes the environment after an alarm: machine and bandwidth
-    /// from the (possibly fault-mutated) host the writer runs on, loss
-    /// from the alarming window's own wire evidence — samples that needed
-    /// recovery or are still missing — floored at the provisioned rate.
-    fn probe(
-        &self,
-        sim: &Simulation,
-        handles: &SessionHandles,
-        pooled: &[Delivery],
-        window: &WindowQos,
-    ) -> Environment {
-        let host = sim.host_config(handles.sender);
-        let start = window.start;
-        let end = window.start + window.length;
-        let recovered = pooled
-            .iter()
-            .filter(|d| d.published_at >= start && d.published_at < end && d.recovered)
-            .count() as u64;
-        let expected = window.published;
-        let missing = expected.saturating_sub(window.delivered);
-        let fraction = if expected == 0 {
-            0.0
-        } else {
-            (recovered + missing) as f64 / expected as f64
+        let stream = StreamConfig {
+            env: cfg.env,
+            app: cfg.app,
+            samples: cfg.samples,
+            payload_bytes: cfg.payload_bytes,
+            seed: cfg.seed,
+            window: cfg.window,
+            grace: cfg.grace,
+            observe: cfg.observe,
         };
-        let observed = (fraction * 100.0).round().clamp(0.0, 100.0) as u8;
-        Environment::new(
-            host.machine,
-            nearest_bandwidth_class(host.bandwidth),
-            self.config.env.dds,
-            observed.max(self.config.env.loss_percent),
-        )
+        AdaptivePolicy::from_selector(self.selector.clone())
+            .with_thresholds(cfg.thresholds)
+            .with_backoff(cfg.min_dwell, cfg.max_backoff)
+            .run_stream(&stream, initial, plan)
     }
+}
+
+/// Re-probes the environment after an alarm: machine and bandwidth from
+/// the (possibly fault-mutated) host the writer runs on, loss from the
+/// alarming window's own wire evidence — samples that needed recovery or
+/// are still missing — floored at the provisioned rate.
+pub(crate) fn probe_environment(
+    provisioned: &Environment,
+    sim: &Simulation,
+    handles: &SessionHandles,
+    pooled: &[Delivery],
+    window: &WindowQos,
+) -> Environment {
+    let host = sim.host_config(handles.sender);
+    let start = window.start;
+    let end = window.start + window.length;
+    let recovered = pooled
+        .iter()
+        .filter(|d| d.published_at >= start && d.published_at < end && d.recovered)
+        .count() as u64;
+    let expected = window.published;
+    let missing = expected.saturating_sub(window.delivered);
+    let fraction = if expected == 0 {
+        0.0
+    } else {
+        (recovered + missing) as f64 / expected as f64
+    };
+    let observed = (fraction * 100.0).round().clamp(0.0, 100.0) as u8;
+    Environment::new(
+        host.machine,
+        nearest_bandwidth_class(host.bandwidth),
+        provisioned.dds,
+        observed.max(provisioned.loss_percent),
+    )
 }
 
 /// Everything every reader has delivered so far: harvested logs of dead
 /// incarnations plus the live agents' logs, in stable receiver order.
-fn pooled_deliveries(
+pub(crate) fn pooled_deliveries(
     sim: &Simulation,
     handles: &SessionHandles,
     harvested: &[(Vec<Delivery>, u64)],
@@ -842,6 +713,7 @@ mod tests {
             final_protocol: ResilientSelector::fallback_protocol(),
             report: QosReport::builder(600, 1).finish(),
             trace: Vec::new(),
+            online: OnlineStats::default(),
         };
         let baseline = outcome.mean_relate2(0..2);
         assert!((baseline - 1_000.0).abs() < 1e-9);

@@ -80,6 +80,7 @@ pub mod dataset;
 mod env;
 pub mod features;
 mod healing;
+pub mod policy;
 pub mod prelude;
 pub mod probe;
 mod runner;
@@ -93,11 +94,18 @@ pub use adaptive::{
 };
 pub use dataset::{best_class_with_margin, DatasetRow, LabeledDataset, LABEL_MARGIN};
 pub use env::{AppParams, BandwidthClass, Environment};
+#[allow(deprecated)]
+pub use healing::{HealingConfig, SelfHealingSession};
 pub use healing::{
-    HealingConfig, HealingOutcome, ResilientChoice, ResilientSelector, SelectorSource,
-    SelfHealingSession, SwitchBackoff, SwitchRecord,
+    HealingOutcome, ResilientChoice, ResilientSelector, SelectorSource, SwitchBackoff, SwitchRecord,
+};
+pub use policy::{
+    AdaptivePolicy, FeedbackRing, OnlineStats, OnlineTrainer, OnlineTrainingConfig, QosObservation,
+    StreamConfig,
 };
 pub use probe::{LinuxProcProbe, ProbedResources, ResourceProbe, SimulatedCloud};
 pub use runner::Scenario;
-pub use selector::{ProtocolSelector, Selection, SelectorConfig, TableSelector, TreeSelector};
+pub use selector::{
+    Choice, FeatureRow, ProtocolSelector, Selection, SelectorConfig, TableSelector, TreeSelector,
+};
 pub use timing::QueryCostModel;

@@ -45,7 +45,11 @@ pub use adamant_netsim::{Bandwidth, HostConfig, MachineClass, SimDuration, SimTi
 // Composite QoS metrics.
 pub use adamant_metrics::{MetricKind, MetricsRegistry};
 
-// The adaptation loop from this crate.
+// The adaptation loop from this crate: the unified policy builder and the
+// pieces it composes.
 pub use crate::{
-    AppParams, BandwidthClass, Environment, ProtocolSelector, Scenario, Selection, SelectorConfig,
+    AdaptivePolicy, AppParams, BandwidthClass, Choice, Environment, FeatureRow, HealingOutcome,
+    MonitorThresholds, OnlineStats, OnlineTrainer, OnlineTrainingConfig, ProtocolSelector,
+    QosObservation, ResilientChoice, ResilientSelector, Scenario, Selection, SelectorConfig,
+    SelectorSource, StreamConfig, SwitchRecord, TreeSelector,
 };

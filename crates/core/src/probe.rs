@@ -32,8 +32,11 @@ pub struct ProbedResources {
 impl ProbedResources {
     /// Maps the probed CPU onto the nearest paper machine class (by clock).
     pub fn machine_class(&self) -> MachineClass {
-        // Midpoint between 850 MHz and 3000 MHz.
-        if self.cpu_mhz < 1_925.0 {
+        // Midpoint between the two encoded machine clocks.
+        let midpoint = (crate::features::machine_mhz(MachineClass::Pc850)
+            + crate::features::machine_mhz(MachineClass::Pc3000))
+            / 2.0;
+        if self.cpu_mhz < midpoint {
             MachineClass::Pc850
         } else {
             MachineClass::Pc3000
@@ -146,9 +149,10 @@ impl SimulatedCloud {
 
 impl ResourceProbe for SimulatedCloud {
     fn probe(&self) -> Result<ProbedResources, String> {
-        let (cpu_mhz, cpus, model) = match self.environment.machine {
-            MachineClass::Pc850 => (850.0, 1, "Pentium III (Coppermine)"),
-            MachineClass::Pc3000 => (3_000.0, 2, "Intel(R) Xeon(TM) CPU 3.00GHz"),
+        let cpu_mhz = crate::features::machine_mhz(self.environment.machine);
+        let (cpus, model) = match self.environment.machine {
+            MachineClass::Pc850 => (1, "Pentium III (Coppermine)"),
+            MachineClass::Pc3000 => (2, "Intel(R) Xeon(TM) CPU 3.00GHz"),
         };
         Ok(ProbedResources {
             cpu_mhz,

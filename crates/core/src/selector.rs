@@ -4,8 +4,8 @@
 use std::time::{Duration, Instant};
 
 use adamant_ann::{
-    evaluate, train, Activation, DecisionTree, DecisionTreeParams, Evaluation, MinMaxScaler,
-    NeuralNetwork, TrainOutcome, TrainParams,
+    evaluate, train, Activation, BatchScratch, DecisionTree, DecisionTreeParams, Evaluation,
+    MinMaxScaler, NeuralNetwork, TrainOutcome, TrainParams,
 };
 use adamant_metrics::MetricKind;
 use adamant_transport::ProtocolKind;
@@ -44,6 +44,48 @@ pub struct Selection {
     pub scores: Vec<f64>,
     /// Wall-clock time of the query on this host.
     pub elapsed: Duration,
+}
+
+/// One endpoint's selection query — the raw inputs [`ProtocolSelector::select`]
+/// takes, packaged as plain data so a whole fleet of endpoints can be
+/// encoded and swept through the network in a single batched pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureRow {
+    /// The environment configuration.
+    pub env: Environment,
+    /// The application parameters.
+    pub app: AppParams,
+    /// The composite metric of interest.
+    pub metric: MetricKind,
+}
+
+impl FeatureRow {
+    /// Packages one selection query.
+    pub fn new(env: Environment, app: AppParams, metric: MetricKind) -> Self {
+        FeatureRow { env, app, metric }
+    }
+}
+
+/// One batched selection result: the winning candidate (feasibility-masked
+/// for that row's environment) and its raw network score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Choice {
+    /// The protocol the selector chose.
+    pub protocol: ProtocolKind,
+    /// Index of the protocol among [`candidate_protocols`].
+    pub class: usize,
+    /// The winning raw output score.
+    pub score: f64,
+}
+
+impl Default for Choice {
+    fn default() -> Self {
+        Choice {
+            protocol: candidate_protocols()[0],
+            class: 0,
+            score: 0.0,
+        }
+    }
 }
 
 /// ADAMANT's trained knowledge base: encodes a configuration, runs the
@@ -99,27 +141,101 @@ impl ProtocolSelector {
 
     /// Selects the transport protocol for a configuration, measuring the
     /// query's wall-clock time on this host.
+    ///
+    /// The scalar path is [`select_batch`](Self::select_batch) with a
+    /// single row: both run the same encode → scale → forward → masked
+    /// argmax kernel.
     pub fn select(&self, env: &Environment, app: &AppParams, metric: MetricKind) -> Selection {
-        let raw = raw_features(env, app, metric);
+        let query = [FeatureRow::new(*env, *app, metric)];
         let start = Instant::now();
-        let input = self.scaler.transform_row(&raw);
-        let scores = self.network.run(&input);
+        let mut flat = Vec::with_capacity(FEATURE_DIM);
+        let mut scratch = BatchScratch::new();
+        let mut scores = Vec::new();
+        self.score_batch(&query, &mut flat, &mut scratch, &mut scores);
+        let class = Self::feasible_argmax(&scores, env);
         let elapsed = start.elapsed();
-        // Argmax over the classes that can actually be deployed in this
-        // environment: the network may score ShmCast highly near the
-        // same-host boundary, but a cross-host deployment cannot use it.
-        let class = scores
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| is_feasible(candidate_protocols()[i], env))
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite score"))
-            .map(|(i, _)| i)
-            .expect("at least one feasible candidate");
         Selection {
             protocol: candidate_protocols()[class],
             scores,
             elapsed,
         }
+    }
+
+    /// Selects for a whole fleet of endpoints in one batched forward pass:
+    /// `out[i]` receives the (feasibility-masked) choice for `envs[i]`.
+    /// Identical decisions to per-row [`select`](Self::select) calls, but
+    /// the per-query dispatch, scaling, and buffer churn are amortized
+    /// across the batch — after the internal buffers warm up, the sweep is
+    /// one pass over flat contiguous slices per layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `envs.len() != out.len()`.
+    pub fn select_batch(&self, envs: &[FeatureRow], out: &mut [Choice]) {
+        assert_eq!(
+            envs.len(),
+            out.len(),
+            "output slice must match the query batch"
+        );
+        if envs.is_empty() {
+            return;
+        }
+        let rows = envs.len();
+        let mut cols = Vec::with_capacity(rows * FEATURE_DIM);
+        let mut scratch = BatchScratch::new();
+        let mut scores = Vec::new();
+        self.score_batch(envs, &mut cols, &mut scratch, &mut scores);
+        let classes = candidate_protocols().len();
+        let mut row_scores = Vec::with_capacity(classes);
+        for (r, (query, choice)) in envs.iter().zip(out.iter_mut()).enumerate() {
+            row_scores.clear();
+            row_scores.extend((0..classes).map(|c| scores[c * rows + r]));
+            let class = Self::feasible_argmax(&row_scores, &query.env);
+            *choice = Choice {
+                protocol: candidate_protocols()[class],
+                class,
+                score: row_scores[class],
+            };
+        }
+    }
+
+    /// Encodes, scales, and forward-passes a batch of queries into
+    /// column-major lanes: `scores` becomes the flat `classes ×
+    /// envs.len()` matrix with class `c`'s score for query `r` at
+    /// `scores[c * envs.len() + r]`. Feature lanes are written directly
+    /// (no row-major intermediate, no transposes), and all buffers are
+    /// caller-provided so repeated sweeps allocate nothing once warm.
+    pub(crate) fn score_batch(
+        &self,
+        envs: &[FeatureRow],
+        cols: &mut Vec<f64>,
+        scratch: &mut BatchScratch,
+        scores: &mut Vec<f64>,
+    ) {
+        let rows = envs.len();
+        cols.clear();
+        cols.resize(rows * FEATURE_DIM, 0.0);
+        for (r, query) in envs.iter().enumerate() {
+            let raw = raw_features(&query.env, &query.app, query.metric);
+            for (i, &x) in raw.iter().enumerate() {
+                cols[i * rows + r] = self.scaler.scale_dim(i, x);
+            }
+        }
+        self.network
+            .run_batch_cols_into(cols, rows, scratch, scores);
+    }
+
+    /// Argmax over the classes that can actually be deployed in this
+    /// environment: the network may score ShmCast highly near the
+    /// same-host boundary, but a cross-host deployment cannot use it.
+    fn feasible_argmax(scores: &[f64], env: &Environment) -> usize {
+        scores
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| is_feasible(candidate_protocols()[i], env))
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite score"))
+            .map(|(i, _)| i)
+            .expect("at least one feasible candidate")
     }
 
     /// Training-set recall: the paper's "accuracy for environments known
@@ -466,6 +582,39 @@ mod tests {
         let sel = tree.select(&fast, &AppParams::new(3, 25), MetricKind::ReLate2);
         assert_eq!(sel.protocol, ProtocolKind::Ricochet { r: 4, c: 3 });
         assert!(tree.tree().depth() >= 1);
+    }
+
+    #[test]
+    fn batched_selection_matches_scalar_select() {
+        let ds = synthetic_dataset();
+        let (selector, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
+        let queries: Vec<FeatureRow> = ds
+            .rows
+            .iter()
+            .map(|r| FeatureRow::new(r.env, r.app, r.metric))
+            .collect();
+        let mut choices = vec![Choice::default(); queries.len()];
+        selector.select_batch(&queries, &mut choices);
+        for (query, choice) in queries.iter().zip(&choices) {
+            let scalar = selector.select(&query.env, &query.app, query.metric);
+            assert_eq!(choice.protocol, scalar.protocol);
+            assert_eq!(choice.score, scalar.scores[choice.class]);
+            assert!(crate::features::is_feasible(choice.protocol, &query.env));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice")]
+    fn batch_rejects_mismatched_output() {
+        let ds = synthetic_dataset();
+        let (selector, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
+        let queries = [FeatureRow::new(
+            ds.rows[0].env,
+            ds.rows[0].app,
+            ds.rows[0].metric,
+        )];
+        let mut out: [Choice; 2] = [Choice::default(), Choice::default()];
+        selector.select_batch(&queries, &mut out);
     }
 
     #[test]

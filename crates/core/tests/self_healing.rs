@@ -6,8 +6,8 @@
 
 use adamant::dataset::{DatasetRow, LabeledDataset};
 use adamant::{
-    AppParams, BandwidthClass, Environment, HealingConfig, HealingOutcome, MonitorThresholds,
-    ProtocolSelector, ResilientSelector, SelectorConfig, SelectorSource, SelfHealingSession,
+    AdaptivePolicy, AppParams, BandwidthClass, Environment, HealingOutcome, MonitorThresholds,
+    ProtocolSelector, ResilientSelector, SelectorConfig, SelectorSource, StreamConfig,
     TreeSelector,
 };
 use adamant_dds::DdsImplementation;
@@ -41,13 +41,19 @@ fn loss_dataset() -> LabeledDataset {
     LabeledDataset { rows }
 }
 
-fn selector_chain() -> ResilientSelector {
+fn policy_chain() -> AdaptivePolicy {
     let ds = loss_dataset();
     let (ann, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
     let tree = TreeSelector::from_dataset(&ds, adamant_ann::DecisionTreeParams::default());
-    ResilientSelector::new(MetricKind::ReLate2)
+    AdaptivePolicy::new(MetricKind::ReLate2)
         .with_ann(ann, 0.1)
         .with_tree(tree)
+        .with_thresholds(MonitorThresholds {
+            min_reliability: 0.90,
+            max_avg_latency_us: 8_000.0,
+            consecutive_windows: 2,
+        })
+        .with_backoff(SimDuration::from_secs(2), SimDuration::from_secs(16))
 }
 
 const FAULT_AT: SimTime = SimTime::from_secs(3);
@@ -68,22 +74,16 @@ fn chaos_plan() -> FaultPlan {
     plan
 }
 
-fn run_chaos(selector: &ResilientSelector) -> HealingOutcome {
+fn run_chaos(policy: &AdaptivePolicy) -> HealingOutcome {
     let env = Environment::new(
         MachineClass::Pc3000,
         BandwidthClass::Gbps1,
         DdsImplementation::OpenSplice,
         2,
     );
-    let config = HealingConfig::new(env, AppParams::new(2, 100), 1_200, 77)
-        .with_thresholds(MonitorThresholds {
-            min_reliability: 0.90,
-            max_avg_latency_us: 8_000.0,
-            consecutive_windows: 2,
-        })
-        .with_dwell(SimDuration::from_secs(2), SimDuration::from_secs(16));
-    let session = SelfHealingSession::new(config, selector.clone());
-    session.run(
+    let stream = StreamConfig::new(env, AppParams::new(2, 100), 1_200, 77);
+    policy.run_stream(
+        &stream,
         TransportConfig::new(ProtocolKind::Nakcast {
             timeout: SimDuration::from_millis(50),
         }),
@@ -93,8 +93,8 @@ fn run_chaos(selector: &ResilientSelector) -> HealingOutcome {
 
 #[test]
 fn chaos_scenario_self_heals_with_one_switch() {
-    let selector = selector_chain();
-    let outcome = run_chaos(&selector);
+    let policy = policy_chain();
+    let outcome = run_chaos(&policy);
 
     let relate2 = outcome.window_relate2();
     for (i, w) in outcome.windows.iter().enumerate() {
@@ -177,9 +177,9 @@ fn chaos_scenario_self_heals_with_one_switch() {
 
 #[test]
 fn chaos_scenario_is_bit_for_bit_deterministic() {
-    let selector = selector_chain();
-    let first = run_chaos(&selector);
-    let second = run_chaos(&selector);
+    let policy = policy_chain();
+    let first = run_chaos(&policy);
+    let second = run_chaos(&policy);
     assert_eq!(first, second);
 }
 
@@ -187,8 +187,14 @@ fn chaos_scenario_is_bit_for_bit_deterministic() {
 fn empty_selector_heals_with_the_safe_default() {
     // Graceful degradation: with no trained models at all, the loop still
     // reacts to the alarm — switching to the safe default protocol.
-    let selector = ResilientSelector::new(MetricKind::ReLate2);
-    let outcome = run_chaos(&selector);
+    let policy = AdaptivePolicy::new(MetricKind::ReLate2)
+        .with_thresholds(MonitorThresholds {
+            min_reliability: 0.90,
+            max_avg_latency_us: 8_000.0,
+            consecutive_windows: 2,
+        })
+        .with_backoff(SimDuration::from_secs(2), SimDuration::from_secs(16));
+    let outcome = run_chaos(&policy);
     assert_eq!(outcome.switches.len(), 1, "{:?}", outcome.switches);
     assert_eq!(outcome.switches[0].source, SelectorSource::Default);
     assert_eq!(
@@ -202,21 +208,16 @@ fn empty_selector_heals_with_the_safe_default() {
 fn healthy_run_never_switches() {
     // No faults: the monitor stays quiet and the initial protocol serves
     // the whole stream.
-    let selector = selector_chain();
+    let policy = policy_chain();
     let env = Environment::new(
         MachineClass::Pc3000,
         BandwidthClass::Gbps1,
         DdsImplementation::OpenSplice,
         2,
     );
-    let config = HealingConfig::new(env, AppParams::new(2, 100), 600, 5).with_thresholds(
-        MonitorThresholds {
-            min_reliability: 0.90,
-            max_avg_latency_us: 8_000.0,
-            consecutive_windows: 2,
-        },
-    );
-    let outcome = SelfHealingSession::new(config, selector).run(
+    let stream = StreamConfig::new(env, AppParams::new(2, 100), 600, 5);
+    let outcome = policy.run_stream(
+        &stream,
         TransportConfig::new(ProtocolKind::Nakcast {
             timeout: SimDuration::from_millis(50),
         }),

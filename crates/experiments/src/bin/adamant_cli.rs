@@ -25,7 +25,9 @@
 //! crash-restarts the last reader mid-stream (inside a cluster), proving
 //! durable catch-up over the real wire.
 
-use adamant::{AppParams, Environment, LinuxProcProbe, ProtocolSelector, ResourceProbe};
+use adamant::{
+    AdaptivePolicy, AppParams, Environment, LinuxProcProbe, ProtocolSelector, ResourceProbe,
+};
 use adamant_dds::DdsImplementation;
 use adamant_experiments::artifacts;
 use adamant_metrics::MetricKind;
@@ -467,6 +469,7 @@ fn main() {
         eprintln!("cannot load selector artifact ({e}); run `train` first");
         std::process::exit(1);
     });
+    let policy = AdaptivePolicy::new(metric).with_ann(selector, 0.0);
 
     let probe = LinuxProcProbe::new();
     let probed = match probe.probe() {
@@ -488,18 +491,21 @@ fn main() {
     println!("application: {app}, optimising {metric}");
 
     // Warm up once, then report a measured decision.
-    let _ = selector.select(&env, &app, metric);
-    let selection = selector.select(&env, &app, metric);
+    let _ = policy.select(&env, &app);
+    let choice = policy.select(&env, &app);
     println!(
-        "\n→ configure transport: {}   (decided in {:?})",
-        selection.protocol, selection.elapsed
+        "\n→ configure transport: {}   (source {:?}, confidence {:.3})",
+        choice.protocol, choice.source, choice.confidence
     );
-    print!("  class scores:");
-    for (kind, score) in adamant::features::candidate_protocols()
-        .iter()
-        .zip(&selection.scores)
-    {
-        print!(" {}={score:.3}", kind.label());
+    if let Some(ann) = policy.selector().ann() {
+        let selection = ann.select(&env, &app, metric);
+        print!("  class scores:");
+        for (kind, score) in adamant::features::candidate_protocols()
+            .iter()
+            .zip(&selection.scores)
+        {
+            print!(" {}={score:.3}", kind.label());
+        }
+        println!("   (ann decided in {:?})", selection.elapsed);
     }
-    println!();
 }

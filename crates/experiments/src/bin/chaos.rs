@@ -39,11 +39,11 @@ const DURABLE_SCENARIO: &str = "reader-crash-recovery";
 
 fn run_scenario(
     scenario: &ChaosScenario,
-    selector: &adamant::ResilientSelector,
+    policy: &adamant::AdaptivePolicy,
     seed: u64,
     trace_mode: bool,
 ) -> bool {
-    let outcome = chaos::run_chaos(scenario, selector, seed, trace_mode);
+    let outcome = chaos::run_chaos(scenario, policy, seed, trace_mode);
 
     println!("== {} (seed {seed}) ==", scenario.name);
     println!("   {}", scenario.description);
@@ -284,12 +284,12 @@ fn main() {
 
     let mut clean = true;
     if which == "all" || chaos::scenario(&which).is_some() {
-        let selector = chaos::build_selector();
+        let policy = chaos::build_policy();
         for scenario in SCENARIOS
             .iter()
             .filter(|s| which == "all" || s.name == which)
         {
-            clean &= run_scenario(scenario, &selector, seed, trace_mode);
+            clean &= run_scenario(scenario, &policy, seed, trace_mode);
         }
     }
     if which == "all" || which == DURABLE_SCENARIO {

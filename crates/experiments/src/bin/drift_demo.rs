@@ -1,0 +1,186 @@
+//! Drifting-environment acceptance demo: the online path must beat a
+//! frozen offline model once the fleet leaves the conditions it trained
+//! on.
+//!
+//! The script mirrors a real deployment lifecycle:
+//!
+//! 1. **Offline training.** A selector is trained the classic way, on
+//!    measured sweeps over the *calm* environments the operator
+//!    provisioned for (LAN links, low loss), then frozen.
+//! 2. **Drift.** The fleet migrates to conditions the frozen model never
+//!    saw — a congested 10 Mb/s segment and a 50 ms WAN path, both with
+//!    elevated loss. The frozen model's min-max scaler clamps the unseen
+//!    feature ranges, so it keeps answering as if nothing changed.
+//! 3. **Fleet feedback.** Each drifted shard reports windowed QoS for the
+//!    protocol it is running into an [`OnlineTrainer`]; exploring shards
+//!    cover every feasible candidate class, so the fold reconstructs the
+//!    drifted ground truth per environment.
+//! 4. **Vetted hot-swap.** `maybe_retrain` fits a candidate on the folded
+//!    rows and accepts it only if it does not regress against the frozen
+//!    incumbent on the holdout slice.
+//! 5. **Head-to-head.** Both models pick a transport for every drifted
+//!    environment and the choices are measured end-to-end on fresh seeds.
+//!    The adapted model must win strictly (lower total ReLate2), or the
+//!    process exits nonzero — CI runs this as an acceptance gate.
+//!
+//! ```text
+//! drift_demo        (no arguments; exit 0 = online adaptation won)
+//! ```
+
+use adamant::features::{candidate_protocols, is_feasible};
+use adamant::{
+    AppParams, Environment, LabeledDataset, OnlineTrainer, OnlineTrainingConfig, ProtocolSelector,
+    QosObservation, Scenario, SelectorConfig,
+};
+use adamant_dds::DdsImplementation;
+use adamant_metrics::{MetricKind, QosReport, WindowQos};
+use adamant_netsim::{MachineClass, SimDuration, SimTime};
+use adamant_transport::TransportConfig;
+
+use adamant::BandwidthClass;
+
+/// Samples per measured run — enough for stable scores, small enough that
+/// the whole demo (~130 full-stack runs) finishes in seconds.
+const SAMPLES: u64 = 300;
+
+fn env(bandwidth: BandwidthClass, loss: u8) -> Environment {
+    Environment::new(
+        MachineClass::Pc3000,
+        bandwidth,
+        DdsImplementation::OpenSplice,
+        loss,
+    )
+}
+
+/// The calm conditions the offline model trains on: LAN links, light loss.
+fn calm_configs(app: AppParams) -> Vec<(Environment, AppParams)> {
+    let mut configs = Vec::new();
+    for bandwidth in [BandwidthClass::Gbps1, BandwidthClass::Mbps100] {
+        for loss in 1..=3u8 {
+            configs.push((env(bandwidth, loss), app));
+        }
+    }
+    configs
+}
+
+/// Where the fleet actually ends up: a congested 10 Mb/s segment and a
+/// 50 ms WAN path, both at loss rates past the trained range.
+fn drifted_envs() -> Vec<Environment> {
+    let mut envs = Vec::new();
+    for loss in 6..=9u8 {
+        envs.push(env(BandwidthClass::Mbps10, loss));
+    }
+    for loss in 4..=7u8 {
+        envs.push(env(BandwidthClass::Wan50ms, loss));
+    }
+    envs
+}
+
+/// Condenses one end-to-end report into the windowed form shards export:
+/// the whole run as a single window, with `published` counted per expected
+/// delivery so the window's reliability equals the report's.
+fn window_from_report(report: &QosReport) -> WindowQos {
+    WindowQos {
+        start: SimTime::ZERO,
+        length: SimDuration::from_secs_f64(report.duration_secs.max(1.0)),
+        published: report.samples_sent * u64::from(report.receivers),
+        delivered: report.delivered,
+        avg_latency_us: report.avg_latency_us,
+        jitter_us: report.jitter_us,
+    }
+}
+
+fn main() {
+    let metric = MetricKind::ReLate2;
+    let app = AppParams::new(3, 100);
+
+    // 1. Offline: measure the calm grid and freeze a selector on it.
+    println!("== offline training (calm LAN environments) ==");
+    let calm = LabeledDataset::measure_with_metrics(&calm_configs(app), &[metric], SAMPLES, 1);
+    let (frozen, outcome) = ProtocolSelector::train_from(&calm, &SelectorConfig::default());
+    println!(
+        "frozen selector: {} calm rows, training accuracy {:.0}%",
+        calm.len(),
+        frozen.evaluate_on(&calm).accuracy() * 100.0
+    );
+    let _ = outcome;
+
+    // 2–3. Drift, then fleet feedback: every drifted shard measures the
+    // class it runs and streams the window into the trainer.
+    println!("\n== fleet exploration under drift ==");
+    let envs = drifted_envs();
+    let mut trainer = OnlineTrainer::new(OnlineTrainingConfig {
+        min_rows: envs.len(),
+        ..OnlineTrainingConfig::default()
+    });
+    for (j, &drifted) in envs.iter().enumerate() {
+        for (class, &kind) in candidate_protocols().iter().enumerate() {
+            if !is_feasible(kind, &drifted) {
+                continue;
+            }
+            let seed = 0xD41F ^ ((j * 16 + class) as u64) << 4;
+            let report = Scenario::paper(drifted, app, seed)
+                .with_samples(SAMPLES)
+                .run(TransportConfig::new(kind));
+            trainer.observe(QosObservation {
+                env: drifted,
+                app,
+                metric,
+                class,
+                window: window_from_report(&report),
+            });
+        }
+        println!("shard {j}: observed {drifted}");
+    }
+
+    // 4. Vetted hot-swap: the candidate must clear the holdout gate
+    // against the frozen incumbent.
+    let Some(adapted) = trainer.maybe_retrain(Some(&frozen)) else {
+        eprintln!("FAIL: online candidate did not clear the holdout gate against the frozen model");
+        std::process::exit(1);
+    };
+    let stats = trainer.stats();
+    println!(
+        "\nonline trainer: {} observations folded, {} retrain(s), {} accepted, {} rejected",
+        stats.observations, stats.retrains, stats.accepted, stats.rejected
+    );
+
+    // 5. Head-to-head on fresh seeds: measure what each model's choice
+    // actually delivers in every drifted environment.
+    println!("\n== head-to-head in the drifted environments (ReLate2, lower is better) ==");
+    println!("{:<44} {:>14} {:>14}", "environment", "frozen", "online");
+    let mut frozen_total = 0.0;
+    let mut online_total = 0.0;
+    let mut online_wins = 0u32;
+    for (j, &drifted) in envs.iter().enumerate() {
+        let eval_seed = 0xE7A1 + j as u64;
+        let scenario = Scenario::paper(drifted, app, eval_seed).with_samples(SAMPLES);
+        let frozen_pick = frozen.select(&drifted, &app, metric).protocol;
+        let online_pick = adapted.select(&drifted, &app, metric).protocol;
+        let frozen_score = metric.score(&scenario.run(TransportConfig::new(frozen_pick)));
+        let online_score = metric.score(&scenario.run(TransportConfig::new(online_pick)));
+        frozen_total += frozen_score;
+        online_total += online_score;
+        if online_score < frozen_score {
+            online_wins += 1;
+        }
+        println!(
+            "{:<44} {frozen_score:>14.0} {online_score:>14.0}   {} -> {}",
+            format!("{drifted}"),
+            frozen_pick,
+            online_pick
+        );
+    }
+    println!(
+        "\ntotal ReLate2: frozen {frozen_total:.0}, online {online_total:.0} \
+         ({online_wins}/{} environments improved)",
+        envs.len()
+    );
+
+    if online_total < frozen_total {
+        println!("PASS: online adaptation strictly beats the frozen offline model after drift");
+    } else {
+        eprintln!("FAIL: online adaptation did not beat the frozen offline model after drift");
+        std::process::exit(1);
+    }
+}

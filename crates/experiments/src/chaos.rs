@@ -3,7 +3,7 @@
 //!
 //! Each scenario runs a 1 200-sample, 100 Hz, 2-reader session on NAKcast
 //! with a lazy 50 ms timeout, injects a compound fault at t = 3 s through a
-//! [`FaultPlan`], and lets the [`SelfHealingSession`] loop fight back. With
+//! [`FaultPlan`], and lets the [`AdaptivePolicy`] loop fight back. With
 //! [`run_chaos`]'s `observe` flag the run captures a structured
 //! observability trace, and [`chaos_verify_spec`] builds the matching
 //! [`VerifySpec`] so the trace can be replayed against the runtime
@@ -12,8 +12,8 @@
 
 use adamant::dataset::{DatasetRow, LabeledDataset};
 use adamant::{
-    AppParams, BandwidthClass, Environment, HealingConfig, HealingOutcome, MonitorThresholds,
-    ProtocolSelector, ResilientSelector, SelectorConfig, SelfHealingSession, TreeSelector,
+    AdaptivePolicy, AppParams, BandwidthClass, Environment, HealingOutcome, MonitorThresholds,
+    ProtocolSelector, SelectorConfig, StreamConfig, TreeSelector,
 };
 use adamant_dds::DdsImplementation;
 use adamant_metrics::{MetricKind, VerifySpec};
@@ -137,32 +137,33 @@ pub fn scenario(name: &str) -> Option<&'static ChaosScenario> {
     SCENARIOS.iter().find(|s| s.name == name)
 }
 
-/// Trains the standard selector chain for the chaos scenarios: the
-/// loss-dataset ANN with a 0.1 confidence floor, decision-tree fallback.
-pub fn build_selector() -> ResilientSelector {
+/// Builds the standard policy for the chaos scenarios: the loss-dataset
+/// ANN with a 0.1 confidence floor, decision-tree fallback, chaos alarm
+/// thresholds, and a 2 s dwell backing off to 16 s.
+pub fn build_policy() -> AdaptivePolicy {
     let ds = loss_dataset();
     let (ann, _) = ProtocolSelector::train_from(&ds, &SelectorConfig::default());
     let tree = TreeSelector::from_dataset(&ds, adamant_ann::DecisionTreeParams::default());
-    ResilientSelector::new(MetricKind::ReLate2)
+    AdaptivePolicy::new(MetricKind::ReLate2)
         .with_ann(ann, 0.1)
         .with_tree(tree)
+        .with_thresholds(MonitorThresholds {
+            min_reliability: 0.90,
+            max_avg_latency_us: 8_000.0,
+            consecutive_windows: 2,
+        })
+        .with_backoff(SimDuration::from_secs(2), SimDuration::from_secs(16))
 }
 
-/// The healing configuration every scenario runs under.
-pub fn healing_config(seed: u64) -> HealingConfig {
+/// The stream every scenario runs.
+pub fn chaos_stream(seed: u64) -> StreamConfig {
     let env = Environment::new(
         MachineClass::Pc3000,
         BandwidthClass::Gbps1,
         DdsImplementation::OpenSplice,
         2,
     );
-    HealingConfig::new(env, AppParams::new(RECEIVERS, 100), SAMPLES, seed)
-        .with_thresholds(MonitorThresholds {
-            min_reliability: 0.90,
-            max_avg_latency_us: 8_000.0,
-            consecutive_windows: 2,
-        })
-        .with_dwell(SimDuration::from_secs(2), SimDuration::from_secs(16))
+    StreamConfig::new(env, AppParams::new(RECEIVERS, 100), SAMPLES, seed)
 }
 
 /// The transport every scenario starts on.
@@ -176,15 +177,15 @@ pub fn initial_transport() -> TransportConfig {
 /// the structured trace of the whole run.
 pub fn run_chaos(
     scenario: &ChaosScenario,
-    selector: &ResilientSelector,
+    policy: &AdaptivePolicy,
     seed: u64,
     observe: bool,
 ) -> HealingOutcome {
-    let mut config = healing_config(seed);
+    let mut stream = chaos_stream(seed);
     if observe {
-        config = config.with_observation();
+        stream = stream.with_observation();
     }
-    SelfHealingSession::new(config, selector.clone()).run(initial_transport(), (scenario.plan)())
+    policy.run_stream(&stream, initial_transport(), (scenario.plan)())
 }
 
 /// The [`VerifySpec`] matching a chaos run: structural invariants plus the
@@ -382,8 +383,8 @@ mod tests {
 
     #[test]
     fn unobserved_run_has_no_trace() {
-        let selector = build_selector();
-        let outcome = run_chaos(scenario("loss-spike").unwrap(), &selector, 5, false);
+        let policy = build_policy();
+        let outcome = run_chaos(scenario("loss-spike").unwrap(), &policy, 5, false);
         assert!(outcome.trace.is_empty());
         assert!(outcome.report.delivered > 0);
     }

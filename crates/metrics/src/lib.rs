@@ -65,3 +65,9 @@ pub use verify::{
     verify_trace, verify_trace_prefix, InvariantKind, VerifyReport, VerifySpec, Violation,
 };
 pub use windowed::{constant_rate_schedule, windowed_qos, WindowQos};
+
+// The sim-time types appear throughout this crate's public API
+// (`Delivery`, `WindowQos`); re-exporting them lets wall-clock drivers
+// (`adamant-rt`) build windowed observations without a direct simulator
+// dependency.
+pub use adamant_netsim::{SimDuration, SimTime};

@@ -37,6 +37,14 @@ impl WindowQos {
         }
         self.delivered as f64 / self.published as f64
     }
+
+    /// Windowed ReLate2 — average latency × (percent loss + 1), the
+    /// windowed form of the paper's headline composite metric. This is the
+    /// score the online feedback path exports per shard: lower is better,
+    /// and windows with no publications score zero.
+    pub fn relate2(&self) -> f64 {
+        self.avg_latency_us * ((1.0 - self.reliability()) * 100.0 + 1.0)
+    }
 }
 
 /// Splits a delivery stream into windows of `window` simulated time by

@@ -146,6 +146,51 @@ impl EndpointReport {
             .filter(|e| matches!(e, ProtoEvent::Retransmitted { .. }))
             .count() as u64
     }
+
+    /// Folds this endpoint's accepted-sample trace into per-window QoS
+    /// rows — the per-shard observation tap the online-adaptation feedback
+    /// path consumes. `published_per_window` is the writer's publication
+    /// schedule (its length sets the window count) and `window_ns` the
+    /// window length in nanoseconds of the shared session clock.
+    ///
+    /// The fold reads `SampleAccepted` trace events (they carry both the
+    /// publication and delivery instants), so the endpoint must run with
+    /// [`RtConfig::observed`] enabled; an unobserved report folds to
+    /// windows that saw no deliveries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ns` is zero.
+    pub fn window_qos(
+        &self,
+        published_per_window: &[u64],
+        window_ns: u64,
+    ) -> Vec<adamant_metrics::WindowQos> {
+        use adamant_metrics::{Delivery, SimDuration, SimTime};
+        let deliveries: Vec<Delivery> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                ProtoEvent::SampleAccepted {
+                    seq,
+                    published_ns,
+                    delivered_ns,
+                    recovered,
+                } => Some(Delivery {
+                    seq,
+                    published_at: SimTime::from_nanos(published_ns),
+                    delivered_at: SimTime::from_nanos(delivered_ns),
+                    recovered,
+                }),
+                _ => None,
+            })
+            .collect();
+        adamant_metrics::windowed_qos(
+            &deliveries,
+            published_per_window,
+            SimDuration::from_nanos(window_ns),
+        )
+    }
 }
 
 /// `WouldBlock`-family kinds: the socket has no data / no buffer space.
@@ -590,6 +635,39 @@ impl Endpoint {
 mod tests {
     use super::*;
     use adamant_proto::{Env, GroupId, ProcessingCost, Span};
+
+    #[test]
+    fn window_qos_folds_the_accepted_sample_trace() {
+        let mut report = EndpointReport::default();
+        // Two samples in window 0 (one recovered, late), one in window 1.
+        report.events.push(ProtoEvent::SampleAccepted {
+            seq: 0,
+            published_ns: 100_000,
+            delivered_ns: 600_000,
+            recovered: false,
+        });
+        report.events.push(ProtoEvent::SampleAccepted {
+            seq: 1,
+            published_ns: 900_000,
+            delivered_ns: 2_500_000,
+            recovered: true,
+        });
+        report.events.push(ProtoEvent::SampleAccepted {
+            seq: 2,
+            published_ns: 1_200_000,
+            delivered_ns: 1_400_000,
+            recovered: false,
+        });
+        let windows = report.window_qos(&[3, 2], 1_000_000);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].published, 3);
+        assert_eq!(windows[0].delivered, 2);
+        assert_eq!(windows[1].delivered, 1);
+        assert_eq!(windows[1].avg_latency_us, 200.0);
+        // The unobserved fold sees nothing.
+        let quiet = EndpointReport::default().window_qos(&[3, 2], 1_000_000);
+        assert!(quiet.iter().all(|w| w.delivered == 0));
+    }
 
     /// Publishes `total` sequenced messages into group 0 on a short timer.
     #[derive(Debug)]

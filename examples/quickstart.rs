@@ -6,6 +6,9 @@
 //! 3. Probe a freshly provisioned cloud environment.
 //! 4. Let ADAMANT pick the transport protocol (in microseconds).
 //! 5. Run the configured DDS pub/sub session end to end and report QoS.
+//! 6. Keep adapting: wrap the knowledge base in an [`AdaptivePolicy`] and
+//!    let the closed monitor → probe → select → reconfigure loop (plus
+//!    online learning) ride out a mid-stream fault.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -13,6 +16,7 @@
 
 use adamant::prelude::*;
 use adamant::{Adamant, LabeledDataset, SimulatedCloud};
+use adamant_netsim::{Bandwidth, FaultPlan, LossModel, NetworkConfig};
 
 fn main() {
     // ── 1. Measure which transport wins where ────────────────────────────
@@ -98,5 +102,43 @@ fn main() {
     println!(
         "  (for contrast, NAKcast 50 ms would score ReLate2 = {:.1})",
         MetricKind::ReLate2.score(&worst)
+    );
+
+    // ── 6. Keep adapting online ──────────────────────────────────────────
+    // One builder replaces the hand-wired monitor/probe/selector/backoff
+    // plumbing. Start the stream on the naive transport from the contrast
+    // run and land a mid-stream loss spike: the QoS alarm fires, the
+    // policy re-probes, re-selects, and reinstalls the transport without
+    // dropping the session — while every window feeds the online learner.
+    let policy = AdaptivePolicy::new(MetricKind::ReLate2)
+        .with_ann(adamant.selector().clone(), 0.1)
+        .with_thresholds(MonitorThresholds::default())
+        .with_backoff(SimDuration::from_secs(2), SimDuration::from_secs(16))
+        .with_online_training(OnlineTrainingConfig::default());
+    let fault_at = SimTime::from_secs(3);
+    let mut plan = FaultPlan::new().set_network_at(
+        fault_at,
+        NetworkConfig {
+            propagation: BandwidthClass::Mbps100.propagation(),
+            loss: LossModel::Bernoulli(0.08),
+        },
+    );
+    for node in 0..4 {
+        plan = plan.set_bandwidth_at(fault_at, NodeId::from_index(node), Bandwidth::MBPS_100);
+    }
+    let stream = StreamConfig::new(config.environment, app, 800, 42);
+    let naive = TransportConfig::new(adamant_transport::ProtocolKind::Nakcast {
+        timeout: adamant_netsim::SimDuration::from_millis(50),
+    });
+    let outcome = policy.run_stream(&stream, naive, plan);
+    println!(
+        "\nadaptive stream: {} alarms, {} switch(es), final transport {}",
+        outcome.alarms,
+        outcome.switches.len(),
+        outcome.final_protocol
+    );
+    println!(
+        "  online learner: {} observations folded, {} retrains, {} hot-swaps",
+        outcome.online.observations, outcome.online.retrains, outcome.online.swaps
     );
 }

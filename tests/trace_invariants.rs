@@ -8,9 +8,9 @@ use adamant_netsim::{ObsEvent, SimTime, TracedEvent};
 
 #[test]
 fn chaos_scenario_traces_satisfy_all_invariants() {
-    let selector = chaos::build_selector();
+    let policy = chaos::build_policy();
     for scenario in &SCENARIOS {
-        let outcome = chaos::run_chaos(scenario, &selector, 77, true);
+        let outcome = chaos::run_chaos(scenario, &policy, 77, true);
         assert!(
             !outcome.trace.is_empty(),
             "{}: observed run must capture a trace",
@@ -42,9 +42,9 @@ fn chaos_scenario_traces_satisfy_all_invariants() {
 
 #[test]
 fn checker_catches_delivery_after_crash() {
-    let selector = chaos::build_selector();
+    let policy = chaos::build_policy();
     let scenario = chaos::scenario("loss-spike").expect("scenario exists");
-    let outcome = chaos::run_chaos(scenario, &selector, 77, true);
+    let outcome = chaos::run_chaos(scenario, &policy, 77, true);
     let spec = chaos::chaos_verify_spec(&outcome);
     assert!(verify_trace(&outcome.trace, &spec).is_clean());
 
@@ -80,9 +80,9 @@ fn checker_catches_delivery_after_crash() {
 
 #[test]
 fn checker_catches_duplicate_delivery() {
-    let selector = chaos::build_selector();
+    let policy = chaos::build_policy();
     let scenario = chaos::scenario("loss-spike").expect("scenario exists");
-    let outcome = chaos::run_chaos(scenario, &selector, 77, true);
+    let outcome = chaos::run_chaos(scenario, &policy, 77, true);
     let spec = chaos::chaos_verify_spec(&outcome);
 
     // Corrupt the trace: replay an existing accepted sample verbatim.
